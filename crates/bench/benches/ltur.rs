@@ -1,0 +1,62 @@
+//! Microbenchmarks for the propositional machinery: LTUR unit resolution
+//! and ContractProgram — the per-transition cost drivers of the lazy
+//! automata.
+
+use arb_logic::{contract, ltur, Atom, LturScratch, Program, Rule};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A chain program P0<-; P1<-P0; ...; Pn<-Pn-1 plus branching rules.
+fn chain_program(n: u32) -> Vec<Rule> {
+    let mut rules = vec![Rule::fact(Atom::local(0))];
+    for i in 1..n {
+        rules.push(Rule::new(Atom::local(i), vec![Atom::local(i - 1)]));
+        if i >= 2 {
+            rules.push(Rule::new(
+                Atom::local(i),
+                vec![Atom::local(i - 1), Atom::local(i - 2)],
+            ));
+        }
+    }
+    rules
+}
+
+/// A contraction workload: k sup-headed chains feeding local heads.
+fn contract_program(k: u32) -> Program {
+    let mut rules = Vec::new();
+    for i in 0..k {
+        rules.push(Rule::new(Atom::local(i), vec![Atom::sup1(i)]));
+        for j in 0..4 {
+            let from = Atom::sup1(k + i * 5 + j);
+            let to = if j == 0 { Atom::sup1(i) } else { Atom::sup1(k + i * 5 + j - 1) };
+            rules.push(Rule::new(to, vec![from]));
+        }
+        rules.push(Rule::new(Atom::sup1(k + i * 5 + 3), vec![Atom::local(k + i)]));
+    }
+    Program::canonical(rules)
+}
+
+fn bench_ltur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ltur");
+    for n in [16u32, 64, 256] {
+        let rules = chain_program(n);
+        let mut scratch = LturScratch::new();
+        g.bench_with_input(BenchmarkId::new("chain", n), &rules, |b, rules| {
+            b.iter(|| black_box(ltur(&[rules], &mut scratch)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_contract(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contract");
+    for k in [4u32, 16, 64] {
+        let p = contract_program(k);
+        g.bench_with_input(BenchmarkId::new("chains", k), &p, |b, p| {
+            b.iter(|| black_box(contract(p)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ltur, bench_contract);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Storage-model throughput: database creation and the two linear scans
+//! of Proposition 5.1.
+
+use arb_datagen::{acgt_flat_xml, random_acgt};
+use arb_storage::{bottom_up_scan, create_from_xml, ArbDatabase};
+use arb_xml::XmlConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::io::Cursor;
+
+fn bench_storage(c: &mut Criterion) {
+    let seq = random_acgt(16, 9); // 65_535 symbols
+    let xml = acgt_flat_xml(&seq);
+    let dir = std::env::temp_dir().join("arb-criterion");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.arb");
+
+    let mut g = c.benchmark_group("storage");
+    g.throughput(Throughput::Elements(seq.len() as u64 + 1));
+    g.sample_size(20);
+    g.bench_function("create_from_xml", |b| {
+        b.iter(|| {
+            create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path).unwrap()
+        });
+    });
+
+    create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path).unwrap();
+    let db = ArbDatabase::open(&path).unwrap();
+    g.bench_function("forward_scan", |b| {
+        b.iter(|| {
+            let mut scan = db.forward_scan().unwrap();
+            let mut count = 0u64;
+            while let Some((_, rec)) = scan.next_record().unwrap() {
+                count += rec.has_first as u64;
+            }
+            black_box(count)
+        });
+    });
+    g.bench_function("backward_bottom_up", |b| {
+        b.iter(|| {
+            let mut scan = db.backward_scan().unwrap();
+            black_box(bottom_up_scan(&mut scan, |_: Option<u32>, _, _, ix| ix).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

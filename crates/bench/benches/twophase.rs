@@ -1,0 +1,49 @@
+//! End-to-end two-phase evaluation throughput (nodes/second), in memory,
+//! plus the cost of a single lazily computed transition.
+
+use arb_core::{evaluate_tree, QueryAutomata};
+use arb_datagen::queries::{RandomPathQuery, R_TOP_DOWN};
+use arb_datagen::{treebank_tree, RegexShape, TreebankConfig};
+use arb_tmnf::{normalize, parse_program};
+use arb_tree::LabelTable;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 20_000,
+            seed: 3,
+            filler_tags: 50,
+        },
+        &mut labels,
+    );
+    let q = RandomPathQuery::batch(1, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 1)
+        .pop()
+        .unwrap();
+    let src = q.to_program(R_TOP_DOWN);
+    let ast = parse_program(&src, &mut labels).unwrap();
+    let prog = normalize(&ast);
+
+    let mut g = c.benchmark_group("two_phase");
+    g.throughput(Throughput::Elements(tree.len() as u64));
+    g.sample_size(20);
+    g.bench_function("treebank_size7", |b| {
+        b.iter(|| black_box(evaluate_tree(&prog, &tree)));
+    });
+    g.finish();
+
+    // Isolated transition cost (cold cache each iteration).
+    let mut g = c.benchmark_group("transition");
+    let info = tree.info(tree.root());
+    g.bench_function("leaf_transition_cold", |b| {
+        b.iter(|| {
+            let mut qa = QueryAutomata::new(&prog);
+            black_box(qa.bottom_up(None, None, info))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_two_phase);
+criterion_main!(benches);

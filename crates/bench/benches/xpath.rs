@@ -1,0 +1,49 @@
+//! XPath pipeline costs: parsing, compilation to TMNF, and evaluation by
+//! the automata vs. the direct node-at-a-time baseline.
+
+use arb_datagen::{treebank_tree, TreebankConfig};
+use arb_tree::LabelTable;
+use arb_xpath::{compile_path, parse_xpath, DirectEvaluator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_xpath(c: &mut Criterion) {
+    let src = "//S[NP and not(PP)]//VP";
+    c.bench_function("xpath_parse", |b| {
+        b.iter(|| black_box(parse_xpath(src).unwrap()));
+    });
+
+    let path = parse_xpath(src).unwrap();
+    c.bench_function("xpath_compile", |b| {
+        b.iter(|| {
+            let mut lt = LabelTable::new();
+            black_box(compile_path(&path, &mut lt))
+        });
+    });
+
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 5_000,
+            seed: 8,
+            filler_tags: 20,
+        },
+        &mut labels,
+    );
+    let mut lt = labels.clone();
+    let prog = compile_path(&path, &mut lt);
+    let mut g = c.benchmark_group("xpath_eval");
+    g.sample_size(20);
+    g.bench_function("two_phase", |b| {
+        b.iter(|| black_box(arb_core::evaluate_tree(&prog, &tree).stats.selected));
+    });
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut ev = DirectEvaluator::new(&tree, &labels);
+            black_box(ev.evaluate(&path).count())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_xpath);
+criterion_main!(benches);

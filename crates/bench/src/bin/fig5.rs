@@ -1,0 +1,58 @@
+//! Regenerates paper **Figure 5**: statistics on `.arb` database creation
+//! for Treebank, ACGT-infix, ACGT-flat and Swissprot (synthetic
+//! substitutes; see DESIGN.md). Creation runs end-to-end from XML via the
+//! two-pass algorithm of paper Section 5.
+
+use arb_bench as bench;
+use arb_datagen::acgt;
+use arb_storage::CreationStats;
+use arb_tree::LabelTable;
+
+fn main() {
+    println!("Figure 5: .arb database creation statistics");
+    println!("(scaled; see ARB_* environment variables; paper sizes in DESIGN.md)\n");
+    println!("{}", CreationStats::table_header());
+
+    // Treebank.
+    {
+        let elems = bench::env_usize("ARB_TREEBANK_ELEMS", 100_000);
+        let mut labels = LabelTable::new();
+        let tree = arb_datagen::treebank_tree(
+            &arb_datagen::TreebankConfig {
+                target_elems: elems,
+                seed: 0x7133,
+                filler_tags: 246,
+            },
+            &mut labels,
+        );
+        let stats = bench::fig5_entry("treebank", &tree, &labels);
+        println!("{}", stats.table_row("Treebank"));
+    }
+
+    // ACGT-infix and ACGT-flat (same sequence, two tree models).
+    {
+        let log2 = bench::env_usize("ARB_ACGT_LOG2", 17) as u32;
+        let seq = acgt::random_acgt(log2, 0xD2A);
+        let mut labels = LabelTable::new();
+        let infix = acgt::acgt_infix_tree(&seq, &mut labels);
+        let stats = bench::fig5_entry("acgt-infix", &infix, &labels);
+        println!("{}", stats.table_row("ACGT-infix"));
+
+        let mut labels = LabelTable::new();
+        let flat = acgt::acgt_flat_tree(&seq, &mut labels);
+        let stats = bench::fig5_entry("acgt-flat", &flat, &labels);
+        println!("{}", stats.table_row("ACGT-flat"));
+    }
+
+    // Swissprot.
+    {
+        let (tree, labels) = bench::swissprot_tree_and_labels();
+        let stats = bench::fig5_entry("swissprot", &tree, &labels);
+        println!("{}", stats.table_row("SWISSPROT"));
+    }
+
+    println!(
+        "\nnote: .arb bytes = 2 * nodes; .evt bytes = 2 * .arb bytes (two 2-byte\n\
+         events per node), matching the paper's invariants."
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates paper **Figure 6**: the three benchmark families —
+//! top-down regular path queries on Treebank, sideways caterpillar
+//! queries on ACGT-infix, and bottom-up path queries on ACGT-flat.
+//! Each row averages `ARB_QUERIES` random `w1.w2*.w3` queries per size.
+
+use arb_bench as bench;
+use arb_datagen::queries::{R_BOTTOM_UP, R_INFIX, R_TOP_DOWN};
+use arb_datagen::RegexShape;
+
+fn family(which: &str) {
+    let (lo, hi) = bench::size_range();
+    let count = bench::env_usize("ARB_QUERIES", 5);
+    let (db, alphabet, shape, r, seed) = match which {
+        "treebank" => (
+            bench::treebank_db(),
+            ["NP", "VP", "PP", "S"].as_slice(),
+            RegexShape::Tags,
+            R_TOP_DOWN,
+            1u64,
+        ),
+        "acgt-infix" => (
+            bench::acgt_infix_db(),
+            ["A", "C", "G", "T"].as_slice(),
+            RegexShape::Tags, // infix symbols are element tags
+            R_INFIX,
+            2,
+        ),
+        "acgt-flat" => (
+            bench::acgt_flat_db(),
+            ["A", "C", "G", "T"].as_slice(),
+            RegexShape::Chars,
+            R_BOTTOM_UP,
+            2, // same seed as infix: the paper reuses the same regexes,
+               // so the selected-node counts per size must coincide
+        ),
+        other => {
+            eprintln!("unknown family {other:?}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n{} queries ({} nodes, {} random queries per size {lo}..={hi}):",
+        which,
+        db.db.node_count(),
+        count
+    );
+    println!("{}", bench::Fig6Row::header());
+    for size in lo..=hi {
+        let row = bench::fig6_row(&db, size, count, alphabet, shape, r, seed);
+        println!("{}", row.display());
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    println!("Figure 6: benchmark results (averages per row, as in the paper)");
+    match arg.as_str() {
+        "all" => {
+            family("treebank");
+            family("acgt-infix");
+            family("acgt-flat");
+        }
+        other => family(other),
+    }
+}

@@ -1,0 +1,244 @@
+//! The `arb` command-line tool — the Rust counterpart of the paper's Arb
+//! system binary.
+//!
+//! ```text
+//! arb create <input.xml> <output.arb> [--attrs] [--trim]
+//! arb query  <db.arb> (--tmnf <program> | --xpath <path> | --file <prog.arb-q>)
+//!            [--count | --nodes | --mark [out.xml]] [--stats]
+//! arb stats  <db.arb>
+//! arb check  <db.arb>
+//! arb cat    <db.arb>
+//! ```
+
+use arb_engine::{Database, Query};
+use arb_xml::XmlConfig;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("arb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  arb create <input.xml> <output.arb> [--attrs] [--trim]\n  \
+     arb query <db.arb> (--tmnf <program> | --xpath <path> | --file <path>) \
+     [--count | --nodes | --boolean | --explain | --mark [out.xml]] [--stats]\n  \
+     arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("create") => create(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("cat") => cat(&args[1..]),
+        _ => Err(usage()),
+    }
+}
+
+fn create(args: &[String]) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut config = XmlConfig::default();
+    for a in args {
+        match a.as_str() {
+            "--attrs" => config.attributes_as_nodes = true,
+            "--trim" => config.trim_whitespace_text = true,
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [xml, arb] = paths.as_slice() else {
+        return Err(usage());
+    };
+    let (_db, stats) =
+        Database::create_arb_from_xml(xml, arb, &config).map_err(|e| e.to_string())?;
+    println!("{}", arb_storage::CreationStats::table_header());
+    println!("{}", stats.table_row(arb));
+    Ok(())
+}
+
+fn compile(db: &mut Database, args: &[String]) -> Result<(Query, Vec<String>), String> {
+    let mut rest = Vec::new();
+    let mut query: Option<Query> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tmnf" | "--xpath" | "--file" => {
+                let src = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{} needs an argument", args[i]))?;
+                let q = match args[i].as_str() {
+                    "--tmnf" => db.compile_tmnf(src),
+                    "--xpath" => db.compile_xpath(src),
+                    _ => {
+                        let text =
+                            std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
+                        db.compile_tmnf(&text)
+                    }
+                }
+                .map_err(|e| e.to_string())?;
+                query = Some(q);
+                i += 2;
+            }
+            other => {
+                rest.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    Ok((
+        query.ok_or("no query given (use --tmnf/--xpath/--file)")?,
+        rest,
+    ))
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let mut db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
+    let (q, rest) = compile(&mut db, &args[1..])?;
+
+    let mut mode = "count";
+    let mut mark_out: Option<String> = None;
+    let mut show_stats = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--count" => mode = "count",
+            "--nodes" => mode = "nodes",
+            "--boolean" => mode = "boolean",
+            "--explain" => mode = "explain",
+            "--stats" => show_stats = true,
+            "--mark" => {
+                mode = "mark";
+                if let Some(next) = rest.get(i + 1) {
+                    if !next.starts_with("--") {
+                        mark_out = Some(next.clone());
+                        i += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+
+    if mode == "explain" {
+        println!(
+            "# {} query compiled to strict TMNF ({} predicates, {} rules):",
+            match q.language {
+                arb_engine::QueryLanguage::Tmnf => "TMNF",
+                arb_engine::QueryLanguage::XPath => "XPath",
+            },
+            q.idb_count(),
+            q.rule_count()
+        );
+        print!("{}", q.program().display(db.labels()));
+        return Ok(());
+    }
+    if mode == "boolean" {
+        // Document filtering: a single backward scan (no phase 2).
+        let accepted = db.evaluate_boolean(&q).map_err(|e| e.to_string())?;
+        println!("{}", if accepted { "accept" } else { "reject" });
+        return Ok(());
+    }
+    let outcome = match mode {
+        "mark" => {
+            let stdout = std::io::stdout();
+            match &mark_out {
+                Some(path) => {
+                    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+                    let mut w = std::io::BufWriter::new(f);
+                    let o = db.evaluate_marked(&q, &mut w).map_err(|e| e.to_string())?;
+                    w.flush().map_err(|e| e.to_string())?;
+                    o
+                }
+                None => {
+                    let mut lock = stdout.lock();
+                    let o = db
+                        .evaluate_marked(&q, &mut lock)
+                        .map_err(|e| e.to_string())?;
+                    writeln!(lock).ok();
+                    o
+                }
+            }
+        }
+        _ => db.evaluate(&q).map_err(|e| e.to_string())?,
+    };
+
+    match mode {
+        "count" => println!("{} nodes selected", outcome.stats.selected),
+        "nodes" => {
+            for v in outcome.selected.iter() {
+                println!("{}", v.0);
+            }
+        }
+        _ => {}
+    }
+    if show_stats {
+        println!("{}", arb_core::EvalStats::table_header());
+        println!("{}", outcome.stats.table_row());
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
+    println!("nodes:  {}", db.node_count());
+    println!("tags:   {}", db.labels().tag_count());
+    println!(
+        "bytes:  {}",
+        db.node_count() * arb_storage::format::RECORD_BYTES as u64
+    );
+    if args.iter().any(|a| a == "--full") {
+        let disk = db.as_disk().ok_or("not a disk database")?;
+        let p = arb_storage::profile(disk).map_err(|e| e.to_string())?;
+        println!("elements:   {}", p.elem_nodes);
+        println!("characters: {}", p.char_nodes);
+        println!("max depth:  {}", p.max_depth);
+        println!("max fanout: {}", p.max_fanout);
+        println!("leaf elems: {}", p.leaf_elems);
+        println!("top tags:");
+        for (name, count) in p.top_tags(disk, 10) {
+            println!("  {name:<20} {count}");
+        }
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
+    let disk = db.as_disk().ok_or("not a disk database")?;
+    let report = disk.validate().map_err(|e| format!("INVALID: {e}"))?;
+    println!(
+        "OK: {} nodes ({} elements, {} characters), {} tags",
+        report.nodes,
+        report.elem_nodes,
+        report.char_nodes,
+        db.labels().tag_count()
+    );
+    Ok(())
+}
+
+fn cat(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
+    let disk = db.as_disk().ok_or("not a disk database")?;
+    let mut emitter = arb_engine::XmlEmitter::new(db.labels(), std::io::stdout().lock());
+    let mut scan = disk.forward_scan().map_err(|e| e.to_string())?;
+    while let Some((_ix, rec)) = scan.next_record().map_err(|e| e.to_string())? {
+        emitter.node(rec, false).map_err(|e| e.to_string())?;
+    }
+    let mut out = emitter.finish().map_err(|e| e.to_string())?;
+    writeln!(out).ok();
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Integration tests of the `arb` command-line binary.
+
+/// The `arb` CLI: create, stats, query, cat.
+#[test]
+fn cli_smoke() {
+    let exe = env!("CARGO_BIN_EXE_arb", "arb CLI binary");
+    let dir = std::env::temp_dir().join(format!("arb-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml_path = dir.join("doc.xml");
+    std::fs::write(&xml_path, "<d><k>v</k><k/></d>").unwrap();
+    let arb_path = dir.join("doc.arb");
+
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("spawn arb");
+        assert!(
+            out.status.success(),
+            "arb {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let out = run(&["create", xml_path.to_str().unwrap(), arb_path.to_str().unwrap()]);
+    assert!(out.contains("elem nodes"));
+
+    let out = run(&["stats", arb_path.to_str().unwrap()]);
+    assert!(out.contains("nodes:  4"));
+
+    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k", "--count"]);
+    assert!(out.contains("2 nodes selected"));
+
+    let out = run(&[
+        "query",
+        arb_path.to_str().unwrap(),
+        "--tmnf",
+        "QUERY :- V.Label[k], Leaf;",
+        "--nodes",
+        "--stats",
+    ]);
+    assert!(out.contains('3'), "output: {out}"); // the empty <k/> is node 3
+    assert!(out.contains("|IDB|"));
+
+    let out = run(&["cat", arb_path.to_str().unwrap()]);
+    assert!(out.contains("<d><k>v</k><k></k></d>"));
+
+    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k[not(text())]", "--mark"]);
+    assert!(out.contains("<k arb:selected=\"true\"></k>"));
+
+    let out = run(&["check", arb_path.to_str().unwrap()]);
+    assert!(out.contains("OK: 4 nodes"), "output: {out}");
+
+    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k", "--boolean"]);
+    assert!(out.contains("reject"), "root is not a k: {out}");
+    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//d[k]", "--boolean"]);
+    assert!(out.contains("accept"), "output: {out}");
+
+    // Errors are reported, not panicked.
+    let out = std::process::Command::new(exe)
+        .args(["query", arb_path.to_str().unwrap(), "--tmnf", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

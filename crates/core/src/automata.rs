@@ -1,0 +1,294 @@
+//! Classical tree automata on binary trees (paper Definition 3.1).
+//!
+//! These explicit-table automata ground the semantics: the lazy,
+//! hash-table-driven machinery of [`crate::lazy`] is an implementation of
+//! exactly these devices with `Q_A` = residual programs. The explicit
+//! variants run on in-memory trees and are used by the test suite, by the
+//! STA semantics in [`crate::sta`], and by documentation examples.
+
+use arb_logic::FxHashMap;
+use arb_tree::{BinaryTree, NodeId};
+
+/// State index of an explicit automaton.
+pub type State = u32;
+
+/// Alphabet symbol index (callers map node labels/infos to symbols).
+pub type Symbol = u32;
+
+/// Key for a bottom-up transition: `(left, right, symbol)` where missing
+/// children are the pseudo-state `⊥` (`None`).
+pub type BuKey = (Option<State>, Option<State>, Symbol);
+
+/// A nondeterministic bottom-up tree automaton
+/// `A = (Q, Σ, F, δ)` with `δ : (Q ∪ {⊥}) × (Q ∪ {⊥}) × Σ → 2^Q`.
+#[derive(Clone, Debug)]
+pub struct Nta {
+    /// Number of states.
+    pub n_states: u32,
+    /// Accepting states.
+    pub accepting: Vec<State>,
+    /// Transition table; missing keys mean the empty set.
+    pub delta: FxHashMap<BuKey, Vec<State>>,
+}
+
+impl Nta {
+    /// The possible states at a node given child states and symbol.
+    pub fn step(&self, s1: Option<State>, s2: Option<State>, sym: Symbol) -> &[State] {
+        self.delta.get(&(s1, s2, sym)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Enumerates **all runs** on a tree (exponential; small trees only).
+    /// A run maps each node to a state consistent with `δ`.
+    pub fn runs(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> Vec<Vec<State>> {
+        let n = tree.len();
+        // Assign states node-by-node in reverse preorder (children first),
+        // keeping every partial assignment consistent with δ.
+        let mut partials: Vec<Vec<Option<State>>> = vec![vec![None; n]];
+        for v in (0..n as u32).rev() {
+            let v = NodeId(v);
+            let mut next: Vec<Vec<Option<State>>> = Vec::new();
+            for partial in &partials {
+                let s1 = tree.first_child(v).map(|c| partial[c.ix()].expect("child assigned"));
+                let s2 = tree
+                    .second_child(v)
+                    .map(|c| partial[c.ix()].expect("child assigned"));
+                for &q in self.step(s1, s2, symbol_of(v)) {
+                    let mut p = partial.clone();
+                    p[v.ix()] = Some(q);
+                    next.push(p);
+                }
+            }
+            partials = next;
+        }
+        partials
+            .into_iter()
+            .map(|p| p.into_iter().map(|s| s.expect("complete run")).collect())
+            .collect()
+    }
+
+    /// Enumerates the **accepting** runs (root state in `F`).
+    pub fn accepting_runs(
+        &self,
+        tree: &BinaryTree,
+        symbol_of: &dyn Fn(NodeId) -> Symbol,
+    ) -> Vec<Vec<State>> {
+        self.runs(tree, symbol_of)
+            .into_iter()
+            .filter(|r| self.accepting.contains(&r[0]))
+            .collect()
+    }
+
+    /// Boolean acceptance: does some accepting run exist? Computed in
+    /// linear time by the reachable-state powerset construction (no run
+    /// enumeration).
+    pub fn accepts(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> bool {
+        let n = tree.len();
+        let mut reach: Vec<Vec<State>> = vec![Vec::new(); n];
+        for v in (0..n as u32).rev() {
+            let v = NodeId(v);
+            let mut out: Vec<State> = Vec::new();
+            let c1 = tree.first_child(v).map(|c| c.ix());
+            let c2 = tree.second_child(v).map(|c| c.ix());
+            let opts1: Vec<Option<State>> = match c1 {
+                None => vec![None],
+                Some(c) => reach[c].iter().map(|&s| Some(s)).collect(),
+            };
+            let opts2: Vec<Option<State>> = match c2 {
+                None => vec![None],
+                Some(c) => reach[c].iter().map(|&s| Some(s)).collect(),
+            };
+            for &s1 in &opts1 {
+                for &s2 in &opts2 {
+                    for &q in self.step(s1, s2, symbol_of(v)) {
+                        if !out.contains(&q) {
+                            out.push(q);
+                        }
+                    }
+                }
+            }
+            reach[v.ix()] = out;
+        }
+        reach[0].iter().any(|q| self.accepting.contains(q))
+    }
+}
+
+/// A deterministic bottom-up tree automaton: `δ` maps to a single state.
+#[derive(Clone, Debug)]
+pub struct Dta {
+    /// Number of states.
+    pub n_states: u32,
+    /// Accepting states.
+    pub accepting: Vec<State>,
+    /// Total transition table.
+    pub delta: FxHashMap<BuKey, State>,
+}
+
+impl Dta {
+    /// The unique run on a tree: state per node (preorder-indexed).
+    /// Returns `None` if a transition is missing (partial table).
+    pub fn run(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> Option<Vec<State>> {
+        let n = tree.len();
+        let mut states = vec![0 as State; n];
+        for v in (0..n as u32).rev() {
+            let v = NodeId(v);
+            let s1 = tree.first_child(v).map(|c| states[c.ix()]);
+            let s2 = tree.second_child(v).map(|c| states[c.ix()]);
+            states[v.ix()] = *self.delta.get(&(s1, s2, symbol_of(v)))?;
+        }
+        Some(states)
+    }
+
+    /// Boolean acceptance.
+    pub fn accepts(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> bool {
+        self.run(tree, symbol_of)
+            .is_some_and(|r| self.accepting.contains(&r[0]))
+    }
+}
+
+/// A weak deterministic top-down tree automaton
+/// `B = (Q, Σ, s, δ₁, δ₂)` without acceptance condition (paper Section 3):
+/// its sole purpose is to annotate nodes with states via its run.
+#[derive(Clone, Debug)]
+pub struct TopDown {
+    /// Number of states.
+    pub n_states: u32,
+    /// Start state assigned to the root.
+    pub start: State,
+    /// `δ_k : Q × Σ → Q` for `k ∈ {1, 2}`; key `(state, symbol, k)`.
+    pub delta: FxHashMap<(State, Symbol, u8), State>,
+}
+
+impl TopDown {
+    /// The run: assigns a state to every node top-down. The symbol used
+    /// for a child transition is the **child's** symbol (matching the
+    /// paper's phase 2, where `Σ_B = Q_A` labels each node with its
+    /// phase-1 state). Returns `None` on a missing transition.
+    pub fn run(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> Option<Vec<State>> {
+        let n = tree.len();
+        let mut states = vec![0 as State; n];
+        states[0] = self.start;
+        for v in tree.nodes() {
+            let q = states[v.ix()];
+            if let Some(c) = tree.first_child(v) {
+                states[c.ix()] = *self.delta.get(&(q, symbol_of(c), 1))?;
+            }
+            if let Some(c) = tree.second_child(v) {
+                states[c.ix()] = *self.delta.get(&(q, symbol_of(c), 2))?;
+            }
+        }
+        Some(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tree::{LabelId, TreeBuilder};
+
+    /// Builds a small binary tree a(b, c) directly: root a with children
+    /// b (first) and c (second child of b in binary encoding).
+    fn abc_tree() -> BinaryTree {
+        let mut b = TreeBuilder::new();
+        let (a, bb, c) = (LabelId(300), LabelId(301), LabelId(302));
+        b.open(a);
+        b.leaf(bb);
+        b.leaf(c);
+        b.close();
+        b.finish().unwrap()
+    }
+
+    fn sym(tree: &BinaryTree) -> impl Fn(NodeId) -> Symbol + '_ {
+        |v| tree.label(v).0 as Symbol - 300
+    }
+
+    /// A DTA counting the parity of leaves modulo 2 over symbols {0,1,2}:
+    /// states: 0 = even #leaves, 1 = odd.
+    #[test]
+    fn dta_parity_of_leaves() {
+        let tree = abc_tree();
+        let mut delta: FxHashMap<BuKey, State> = FxHashMap::default();
+        for s in 0..3 {
+            // Leaf: one leaf => odd.
+            delta.insert((None, None, s), 1);
+            for q1 in 0..2 {
+                for q2 in 0..2 {
+                    delta.insert((Some(q1), Some(q2), s), (q1 + q2) % 2);
+                }
+                delta.insert((Some(q1), None, s), q1 % 2);
+                delta.insert((None, Some(q1), s), q1 % 2);
+            }
+        }
+        let dta = Dta {
+            n_states: 2,
+            accepting: vec![0],
+            delta,
+        };
+        let symf = sym(&tree);
+        let run = dta.run(&tree, &symf).unwrap();
+        // Only c is a *binary* leaf (b has a second child, a has a first
+        // child), so every subtree sees exactly one leaf: all odd.
+        assert_eq!(run[2], 1);
+        assert_eq!(run[1], 1);
+        assert_eq!(run[0], 1);
+        assert!(!dta.accepts(&tree, &symf));
+    }
+
+    /// A nondeterministic automaton guessing one leaf to mark: state 1 =
+    /// "marked leaf in my subtree", 0 = "no mark". Exactly one mark must
+    /// reach the root.
+    #[test]
+    fn nta_runs_enumeration() {
+        let tree = abc_tree();
+        let mut delta: FxHashMap<BuKey, Vec<State>> = FxHashMap::default();
+        for s in 0..3 {
+            delta.insert((None, None, s), vec![0, 1]); // leaf: unmarked or marked
+            for q1 in 0..2u32 {
+                for q2 in 0..2u32 {
+                    // Both subtree marks propagate; >1 total is dead.
+                    let total = q1 + q2;
+                    let succ = if total <= 1 { vec![total] } else { vec![] };
+                    delta.insert((Some(q1), Some(q2), s), succ);
+                }
+                // A node with only a right sibling subtree may itself be a
+                // marked unranked leaf: add its own mark if none yet.
+                let opts = if q1 == 0 { vec![0, 1] } else { vec![1] };
+                delta.insert((None, Some(q1), s), opts);
+                delta.insert((Some(q1), None, s), vec![q1]);
+            }
+        }
+        let nta = Nta {
+            n_states: 2,
+            accepting: vec![1],
+            delta,
+        };
+        let symf = sym(&tree);
+        let runs = nta.runs(&tree, &symf);
+        // Each leaf can be 0/1 except both-1 (dead): 3 runs.
+        assert_eq!(runs.len(), 3);
+        let acc = nta.accepting_runs(&tree, &symf);
+        // Accepting: exactly one leaf marked: 2 runs.
+        assert_eq!(acc.len(), 2);
+        assert!(nta.accepts(&tree, &symf));
+    }
+
+    #[test]
+    fn top_down_annotates_depth() {
+        let tree = abc_tree();
+        // States = depth mod 4; symbols ignored except range.
+        let mut delta = FxHashMap::default();
+        for q in 0..4u32 {
+            for s in 0..3 {
+                delta.insert((q, s, 1u8), (q + 1) % 4);
+                delta.insert((q, s, 2u8), (q + 1) % 4);
+            }
+        }
+        let td = TopDown {
+            n_states: 4,
+            start: 0,
+            delta,
+        };
+        let symf = sym(&tree);
+        let run = td.run(&tree, &symf).unwrap();
+        assert_eq!(run, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,345 @@
+//! The lazily-computed deterministic automata `A` and `B` (paper
+//! Section 4, Figures 2 and 3).
+//!
+//! States of the bottom-up automaton `A` are interned residual programs;
+//! states of the top-down automaton `B` are interned predicate sets.
+//! Transitions are computed on demand by `ComputeReachableStates` and
+//! `ComputeTruePreds` and memoized in hash tables — the paper's "in total,
+//! we use four hash tables to store and quickly access the states and
+//! transitions of the two automata", and its remedy for the potentially
+//! exponential automaton sizes ("they are best computed lazily").
+
+use arb_logic::{
+    contract_rules, ltur, ltur_facts, ltur_residual, Atom, FxHashMap, LturScratch, PredSet,
+    PredSetId, PredSetInterner, Program, ProgramId, ProgramInterner, Rule,
+};
+use arb_tmnf::{CoreProgram, PropLocal};
+use arb_tree::NodeInfo;
+
+// (The raw `NodeInfo::symbol_key` is label-resolved; the automata use
+// the coarser schema abstraction below instead.)
+
+/// The lazy automata pair for one TMNF program: everything that persists
+/// across the two phases of Algorithm 4.6. Holds the four hash tables
+/// (two state interners + two transition tables) plus the partitioned
+/// `PropLocal(P)` clause groups and LTUR scratch space.
+pub struct QueryAutomata {
+    /// The compiled propositional clause groups (Definition 4.2).
+    pl: PropLocal,
+    /// EDB atom registry from the program (index = `Atom::edb` index).
+    edbs: Vec<arb_tmnf::EdbAtom>,
+    /// Interner for residual programs — the states `Q_A`.
+    pub programs: ProgramInterner,
+    /// Interner for true-predicate sets — the states `Q_B`.
+    pub predsets: PredSetInterner,
+    /// δ_A: `(s1+1|0, s2+1|0, schema symbol) → state` (0 encodes ⊥).
+    bu_cache: FxHashMap<(u32, u32, u128), ProgramId>,
+    /// δ_B: `(parent predset, child program state, k) → predset`.
+    td_cache: FxHashMap<(u32, u32, u8), PredSetId>,
+    /// `local_rules` specialized per schema symbol (EDB truth vector).
+    local_by_sym: FxHashMap<u128, Vec<Rule>>,
+    scratch: LturScratch,
+    /// Memoization switch (true in production; the `ablation` benchmark
+    /// disables it to quantify the paper's lazy-hash-table design).
+    cache_enabled: bool,
+    /// Lazily computed transitions of `A` (paper Fig. 6 column 5).
+    pub bu_transitions: u64,
+    /// Lazily computed transitions of `B` (paper Fig. 6 column 7).
+    pub td_transitions: u64,
+}
+
+impl QueryAutomata {
+    /// Compiles the automata skeleton for a strict TMNF program.
+    pub fn new(prog: &CoreProgram) -> Self {
+        QueryAutomata {
+            pl: PropLocal::build(prog),
+            edbs: prog.edbs().to_vec(),
+            programs: ProgramInterner::new(),
+            predsets: PredSetInterner::new(),
+            bu_cache: FxHashMap::default(),
+            td_cache: FxHashMap::default(),
+            local_by_sym: FxHashMap::default(),
+            scratch: LturScratch::new(),
+            cache_enabled: true,
+            bu_transitions: 0,
+            td_transitions: 0,
+        }
+    }
+
+    /// The automaton input symbol of a node: the truth vector of the
+    /// program's EDB schema σ at that node (the alphabet Σ_A = 2^σ of
+    /// paper Section 4). Nodes that agree on every EDB atom *mentioned by
+    /// the query* are indistinguishable — this is what keeps the number
+    /// of lazily computed transitions tiny even on databases with
+    /// hundreds of distinct labels (paper Figure 6, Treebank).
+    #[inline]
+    pub fn schema_symbol(&self, info: &NodeInfo) -> u128 {
+        debug_assert!(
+            self.edbs.len() <= 128,
+            "schema abstraction supports up to 128 EDB atoms per query"
+        );
+        let mut mask = 0u128;
+        for (i, atom) in self.edbs.iter().enumerate() {
+            if atom.eval(info) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Specializes `local_rules ∪ PredsAsRules(labels)` for a schema
+    /// symbol: rules whose bodies contain a *false* EDB atom are dropped,
+    /// *true* EDB atoms are stripped. Equivalent to inserting the label
+    /// facts and letting LTUR prune (paper Figure 2), but computed once
+    /// per distinct symbol.
+    fn local_rules_for(&mut self, key: u128) -> &[Rule] {
+        if !self.local_by_sym.contains_key(&key) {
+            let mut out: Vec<Rule> = Vec::with_capacity(self.pl.local.len());
+            'rules: for r in &self.pl.local {
+                let mut body: Vec<Atom> = Vec::with_capacity(r.body.len());
+                for &a in r.body.iter() {
+                    if a.is_edb() {
+                        if key & (1 << a.pred()) != 0 {
+                            continue; // true EDB atom: strip
+                        }
+                        continue 'rules; // false EDB atom: drop rule
+                    }
+                    body.push(a);
+                }
+                out.push(Rule::new(r.head, body));
+            }
+            self.local_by_sym.insert(key, out);
+        }
+        self.local_by_sym.get(&key).expect("just inserted")
+    }
+
+    /// `ComputeReachableStates` (paper Figure 2), memoized: the transition
+    /// function δ_A of the deterministic bottom-up automaton. `None`
+    /// encodes the pseudo-state ⊥ for a missing child.
+    pub fn bottom_up(
+        &mut self,
+        s1: Option<ProgramId>,
+        s2: Option<ProgramId>,
+        info: NodeInfo,
+    ) -> ProgramId {
+        let key = (
+            s1.map_or(0, |s| s.0 + 1),
+            s2.map_or(0, |s| s.0 + 1),
+            self.schema_symbol(&info),
+        );
+        if self.cache_enabled {
+            if let Some(&id) = self.bu_cache.get(&key) {
+                return id;
+            }
+        }
+        self.bu_transitions += 1;
+
+        // P := local_rules ∪ PredsAsRules(labels)  [pre-specialized]
+        self.local_rules_for(key.2);
+        let local = self.local_by_sym.get(&key.2).expect("specialized");
+
+        // if (P^1_res ≠ ⊥) then P := P ∪ left_rules ∪ PushDown₁(P¹res)
+        let down1: Vec<Rule>;
+        let down2: Vec<Rule>;
+        let mut parts: Vec<&[Rule]> = vec![local.as_slice()];
+        if let Some(s1) = s1 {
+            parts.push(&self.pl.left);
+            down1 = self.programs.get(s1).push_down(1);
+            parts.push(&down1);
+        }
+        if let Some(s2) = s2 {
+            parts.push(&self.pl.right);
+            down2 = self.programs.get(s2).push_down(2);
+            parts.push(&down2);
+        }
+
+        // P := LTUR(P); contract if any child exists. The two steps are
+        // fused: the large pre-contraction residual is never
+        // canonicalized (only the contracted result is interned).
+        let res = if s1.is_some() || s2.is_some() {
+            let mut raw = Vec::new();
+            ltur_residual(&parts, &mut self.scratch, &mut raw);
+            contract_rules(&raw)
+        } else {
+            ltur(&parts, &mut self.scratch)
+        };
+        let id = self.programs.intern(res);
+        self.bu_cache.insert(key, id);
+        id
+    }
+
+    /// The start state `s_B = ⋂ ρ_A(Root)` of the top-down automaton: the
+    /// predicates true in all reachable states at the root, i.e. the facts
+    /// of the root's residual program (`TruePreds`).
+    pub fn start_state(&mut self, root: ProgramId) -> PredSetId {
+        let set: PredSet = self.programs.get(root).true_preds().collect();
+        self.predsets.intern(set)
+    }
+
+    /// `ComputeTruePreds` (paper Figure 3), memoized: the transition
+    /// functions δ_B^k of the top-down automaton. Given the parent's true
+    /// predicates and the child's phase-1 residual program, returns the
+    /// child's true predicates.
+    pub fn top_down(&mut self, parent: PredSetId, child: ProgramId, k: u8) -> PredSetId {
+        debug_assert!(k == 1 || k == 2);
+        let key = (parent.0, child.0, k);
+        if self.cache_enabled {
+            if let Some(&id) = self.td_cache.get(&key) {
+                return id;
+            }
+        }
+        self.td_transitions += 1;
+
+        // P := downward_rules_k ∪ PredsAsRules(parent_preds) ∪ PushDown_k(P_res)
+        let downward: &[Rule] = if k == 1 { &self.pl.down1 } else { &self.pl.down2 };
+        let parent_facts = Program::preds_as_rules(
+            self.predsets.get(parent).atoms().iter().copied(),
+        );
+        let pushed = self.programs.get(child).push_down(k);
+        // S := TruePreds(LTUR(P)); return PushUpFrom_k(Preds_k(S)).
+        // Only the derived facts are needed — the residual is discarded.
+        let mut facts = Vec::new();
+        ltur_facts(
+            &[downward, &parent_facts, &pushed],
+            &mut self.scratch,
+            &mut facts,
+        );
+        let set: PredSet = facts
+            .into_iter()
+            .filter(|a| a.sup_k() == Some(k))
+            .map(Atom::push_up)
+            .collect();
+        let id = self.predsets.intern(set);
+        self.td_cache.insert(key, id);
+        id
+    }
+
+    /// True-predicate set membership helper.
+    pub fn predset_contains(&self, id: PredSetId, pred: u32) -> bool {
+        self.predsets.get(id).contains(Atom::local(pred))
+    }
+
+    /// Approximate main-memory footprint of the automata (interned states
+    /// plus transition tables), in bytes — the paper's `mem` column.
+    pub fn memory_bytes(&self) -> usize {
+        let key_bytes = |n: usize, k: usize| n * (k + 8); // entries + overhead
+        self.programs.byte_size()
+            + self.predsets.byte_size()
+            + key_bytes(self.bu_cache.len(), 16)
+            + key_bytes(self.td_cache.len(), 12)
+            + self
+                .local_by_sym
+                .values()
+                .map(|v| v.iter().map(Rule::byte_size).sum::<usize>())
+                .sum::<usize>()
+    }
+
+    /// Disables (or re-enables) transition memoization. With memoization
+    /// off, every node recomputes its transition from scratch — the
+    /// configuration the paper's lazy hash tables avoid.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Number of interned bottom-up states.
+    pub fn bu_state_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of interned top-down states.
+    pub fn td_state_count(&self) -> usize {
+        self.predsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tmnf::{normalize, parse_program};
+    use arb_tree::LabelTable;
+
+    /// Paper Examples 4.5 and 4.7: the three-node chain <a><a><a/></a></a>
+    /// with the program of Example 4.3.
+    #[test]
+    fn examples_4_5_and_4_7() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(arb_tmnf::programs::EXAMPLE_4_3, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let mut qa = QueryAutomata::new(&prog);
+        let a = lt.intern("a").unwrap();
+
+        let leaf = NodeInfo {
+            label: a,
+            has_first: false,
+            has_second: false,
+            is_root: false,
+        };
+        let mid = NodeInfo {
+            label: a,
+            has_first: true,
+            has_second: false,
+            is_root: false,
+        };
+        let root = NodeInfo {
+            label: a,
+            has_first: true,
+            has_second: false,
+            is_root: true,
+        };
+
+        let id = |n: &str| prog.pred_id(n).unwrap();
+
+        // ρA(v2) = {P4 ← P3}
+        let s2 = qa.bottom_up(None, None, leaf);
+        let p = qa.programs.get(s2).clone();
+        assert_eq!(
+            p,
+            Program::canonical(vec![Rule::new(
+                Atom::local(id("P4")),
+                vec![Atom::local(id("P3"))]
+            )])
+        );
+
+        // ρA(v1) = {P5 ← P2}
+        let s1 = qa.bottom_up(Some(s2), None, mid);
+        assert_eq!(
+            qa.programs.get(s1).clone(),
+            Program::canonical(vec![Rule::new(
+                Atom::local(id("P5")),
+                vec![Atom::local(id("P2"))]
+            )])
+        );
+
+        // ρA(v0) = {P1 ←; Q ←}
+        let s0 = qa.bottom_up(Some(s1), None, root);
+        assert_eq!(
+            qa.programs.get(s0).clone(),
+            Program::canonical(vec![
+                Rule::fact(Atom::local(id("P1"))),
+                Rule::fact(Atom::local(id("Q")))
+            ])
+        );
+
+        // Example 4.7 top-down: {P1,Q} at v0; {P2,P5} at v1; {P3,P4} at v2.
+        let b0 = qa.start_state(s0);
+        let atoms = |s: PredSetId, qa: &QueryAutomata| -> Vec<u32> {
+            qa.predsets.get(s).atoms().iter().map(|a| a.pred()).collect()
+        };
+        assert_eq!(atoms(b0, &qa), vec![id("P1"), id("Q")]);
+        let b1 = qa.top_down(b0, s1, 1);
+        assert_eq!(atoms(b1, &qa), vec![id("P2"), id("P5")]);
+        let b2 = qa.top_down(b1, s2, 1);
+        assert_eq!(atoms(b2, &qa), vec![id("P3"), id("P4")]);
+
+        // Transition counts: 3 bottom-up, 2 top-down, all distinct.
+        assert_eq!(qa.bu_transitions, 3);
+        assert_eq!(qa.td_transitions, 2);
+
+        // Memoization: repeating costs nothing.
+        qa.bottom_up(None, None, leaf);
+        qa.top_down(b0, s1, 1);
+        assert_eq!(qa.bu_transitions, 3);
+        assert_eq!(qa.td_transitions, 2);
+        assert!(qa.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # arb-core
+//!
+//! The paper's primary contribution: **two-phase query evaluation with
+//! tree automata** (Sections 3 and 4).
+//!
+//! A TMNF program is evaluated on a binary tree in two deterministic
+//! automaton runs:
+//!
+//! 1. **Bottom-up phase** — a deterministic bottom-up tree automaton `A`
+//!    whose states are *residual propositional Horn programs* representing
+//!    the sets of reachable states of the equivalent nondeterministic
+//!    selecting tree automaton (STA). Its transition function
+//!    `ComputeReachableStates` (paper Figure 2) is computed lazily.
+//! 2. **Top-down phase** — a deterministic top-down automaton `B` over the
+//!    tree of phase-1 state assignments; its states are the sets of *true
+//!    predicates* per node, computed by `ComputeTruePreds` (paper
+//!    Figure 3).
+//!
+//! By Theorem 4.1 the result equals the least-fixpoint semantics of the
+//! TMNF program: `P ∈ ρB(v) ⇔ P(v) ∈ P(T)`.
+//!
+//! Module map:
+//!
+//! * [`automata`] — classical nondeterministic/deterministic bottom-up
+//!   tree automata and weak top-down automata (Definition 3.1),
+//! * [`ops`] — determinization, boolean combinations, complement and
+//!   emptiness (the \[4\] toolbox),
+//! * [`sta`] — selecting tree automata (Definition 3.2), run enumeration,
+//!   and the TMNF→STA translation for small programs,
+//! * [`lazy`] — the lazily-computed deterministic automata `A` and `B`
+//!   (`ComputeReachableStates` / `ComputeTruePreds`) with interned states
+//!   and transition hash tables,
+//! * [`twophase`] — Algorithm 4.6 over in-memory trees,
+//! * [`parallel`] — parallel bottom-up evaluation over balanced trees
+//!   (the Section 6.2 parallelism case study),
+//! * [`stats`] — transition counts, state counts and memory accounting
+//!   (the paper's Figure 6 columns).
+
+pub mod automata;
+pub mod lazy;
+pub mod ops;
+pub mod parallel;
+pub mod sta;
+pub mod stats;
+pub mod twophase;
+
+pub use lazy::QueryAutomata;
+pub use stats::EvalStats;
+pub use twophase::{evaluate_tree, TreeEvalResult};

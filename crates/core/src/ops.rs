@@ -1,0 +1,289 @@
+//! Classical operations on tree automata (the Section 3 substrate,
+//! following \[4\]): determinization, boolean combinations, complement
+//! and emptiness. These are not needed by the two-phase evaluator itself
+//! (residual programs already determinize implicitly) but complete the
+//! automata toolbox — e.g. for the boolean document-filtering queries of
+//! \[12, 3\] the introduction discusses.
+
+use crate::automata::{BuKey, Dta, Nta, State, Symbol};
+use arb_logic::{FxHashMap, FxHashSet};
+
+/// Determinizes a nondeterministic bottom-up automaton by the subset
+/// construction, restricted to the *reachable* subsets over the given
+/// alphabet (symbols `0..n_symbols`).
+///
+/// The blow-up is exponential in the worst case — which is exactly why
+/// the production path represents state sets as residual programs and
+/// computes transitions lazily (paper Section 4).
+pub fn determinize(nta: &Nta, n_symbols: Symbol) -> Dta {
+    // Subsets are sorted state vectors, interned densely.
+    let mut subsets: Vec<Vec<State>> = Vec::new();
+    let mut index: FxHashMap<Vec<State>, State> = FxHashMap::default();
+    let mut intern = |s: Vec<State>, subsets: &mut Vec<Vec<State>>| -> State {
+        if let Some(&i) = index.get(&s) {
+            return i;
+        }
+        let i = subsets.len() as State;
+        index.insert(s.clone(), i);
+        subsets.push(s);
+        i
+    };
+
+    let mut delta: FxHashMap<BuKey, State> = FxHashMap::default();
+    // Seed: leaf transitions.
+    let mut frontier: Vec<State> = Vec::new();
+    for sym in 0..n_symbols {
+        let mut out: Vec<State> = nta.step(None, None, sym).to_vec();
+        out.sort_unstable();
+        out.dedup();
+        let id = intern(out, &mut subsets);
+        delta.insert((None, None, sym), id);
+        if !frontier.contains(&id) {
+            frontier.push(id);
+        }
+    }
+    // Close under transitions (children drawn from known subsets or ⊥).
+    let mut known: Vec<State> = frontier.clone();
+    let mut head = 0;
+    while head < known.len() {
+        // Iterate pairs (a, b) where at least one is the newly added one.
+        let _current = known[head];
+        head += 1;
+        let opts: Vec<Option<State>> = std::iter::once(None)
+            .chain(known.iter().map(|&s| Some(s)))
+            .collect();
+        let mut added = Vec::new();
+        for &s1 in &opts {
+            for &s2 in &opts {
+                if s1.is_none() && s2.is_none() {
+                    continue; // leaf case already seeded
+                }
+                for sym in 0..n_symbols {
+                    let key = (s1, s2, sym);
+                    if delta.contains_key(&key) {
+                        continue;
+                    }
+                    let mut out: FxHashSet<State> = FxHashSet::default();
+                    let set1: Vec<Option<State>> = match s1 {
+                        None => vec![None],
+                        Some(i) => subsets[i as usize].iter().map(|&q| Some(q)).collect(),
+                    };
+                    let set2: Vec<Option<State>> = match s2 {
+                        None => vec![None],
+                        Some(i) => subsets[i as usize].iter().map(|&q| Some(q)).collect(),
+                    };
+                    for &q1 in &set1 {
+                        for &q2 in &set2 {
+                            out.extend(nta.step(q1, q2, sym).iter().copied());
+                        }
+                    }
+                    let mut out: Vec<State> = out.into_iter().collect();
+                    out.sort_unstable();
+                    let id = intern(out, &mut subsets);
+                    delta.insert(key, id);
+                    if !known.contains(&id) && !added.contains(&id) {
+                        added.push(id);
+                    }
+                }
+            }
+        }
+        known.extend(added);
+    }
+
+    let accepting: Vec<State> = subsets
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.iter().any(|q| nta.accepting.contains(q)))
+        .map(|(i, _)| i as State)
+        .collect();
+    Dta {
+        n_states: subsets.len() as u32,
+        accepting,
+        delta,
+    }
+}
+
+/// The product of two deterministic automata with a boolean combination
+/// of their acceptance conditions. State `(q1, q2)` is encoded as
+/// `q1 * b.n_states + q2`.
+pub fn product(a: &Dta, b: &Dta, accept: impl Fn(bool, bool) -> bool) -> Dta {
+    let enc = |q1: State, q2: State| q1 * b.n_states + q2;
+    let mut delta: FxHashMap<BuKey, State> = FxHashMap::default();
+    for (&(s1a, s2a, sym), &qa) in &a.delta {
+        for (&(s1b, s2b, sym_b), &qb) in &b.delta {
+            if sym != sym_b {
+                continue;
+            }
+            // Child pseudo-states must align structurally.
+            let s1 = match (s1a, s1b) {
+                (None, None) => None,
+                (Some(x), Some(y)) => Some(enc(x, y)),
+                _ => continue,
+            };
+            let s2 = match (s2a, s2b) {
+                (None, None) => None,
+                (Some(x), Some(y)) => Some(enc(x, y)),
+                _ => continue,
+            };
+            delta.insert((s1, s2, sym), enc(qa, qb));
+        }
+    }
+    let mut accepting = Vec::new();
+    for q1 in 0..a.n_states {
+        for q2 in 0..b.n_states {
+            if accept(a.accepting.contains(&q1), b.accepting.contains(&q2)) {
+                accepting.push(enc(q1, q2));
+            }
+        }
+    }
+    Dta {
+        n_states: a.n_states * b.n_states,
+        accepting,
+        delta,
+    }
+}
+
+/// Intersection of two deterministic automata.
+pub fn intersect(a: &Dta, b: &Dta) -> Dta {
+    product(a, b, |x, y| x && y)
+}
+
+/// Union of two deterministic automata.
+pub fn union(a: &Dta, b: &Dta) -> Dta {
+    product(a, b, |x, y| x || y)
+}
+
+/// Complement of a *complete* deterministic automaton: flip acceptance.
+pub fn complement(a: &Dta) -> Dta {
+    Dta {
+        n_states: a.n_states,
+        accepting: (0..a.n_states)
+            .filter(|q| !a.accepting.contains(q))
+            .collect(),
+        delta: a.delta.clone(),
+    }
+}
+
+/// Emptiness test: does the automaton accept *some* tree? Computes the
+/// set of states reachable by any tree bottom-up.
+pub fn is_empty(a: &Dta) -> bool {
+    let mut reachable: FxHashSet<State> = FxHashSet::default();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (&(s1, s2, _sym), &q) in &a.delta {
+            let ok1 = s1.is_none_or(|s| reachable.contains(&s));
+            let ok2 = s2.is_none_or(|s| reachable.contains(&s));
+            if ok1 && ok2 && reachable.insert(q) {
+                changed = true;
+            }
+        }
+    }
+    !reachable.iter().any(|q| a.accepting.contains(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tree::{BinaryTree, LabelId, NodeId, TreeBuilder};
+
+    /// Symbols: 0 = 'a', 1 = 'b'.
+    fn tree(ops: &[(bool, u16)]) -> BinaryTree {
+        let mut b = TreeBuilder::new();
+        b.open(LabelId(300));
+        for &(open, l) in ops {
+            if open {
+                b.open(LabelId(300 + l));
+            } else {
+                b.close();
+            }
+        }
+        b.close();
+        b.finish().unwrap()
+    }
+
+    fn symf(t: &BinaryTree) -> impl Fn(NodeId) -> Symbol + '_ {
+        |v| (t.label(v).0 - 300) as Symbol
+    }
+
+    /// An NTA guessing whether some node is labeled 'b' (symbol 1):
+    /// state 1 = "seen b".
+    fn some_b() -> Nta {
+        let mut delta: FxHashMap<BuKey, Vec<State>> = FxHashMap::default();
+        for sym in 0..2u32 {
+            let self_seen = sym == 1;
+            let states = |s: Option<State>| match s {
+                None => vec![None],
+                Some(_) => vec![Some(0), Some(1)],
+            };
+            let _ = states;
+            for s1 in [None, Some(0), Some(1)] {
+                for s2 in [None, Some(0), Some(1)] {
+                    let seen = self_seen
+                        || s1 == Some(1)
+                        || s2 == Some(1);
+                    delta.insert((s1, s2, sym), vec![u32::from(seen)]);
+                }
+            }
+        }
+        Nta {
+            n_states: 2,
+            accepting: vec![1],
+            delta,
+        }
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let nta = some_b();
+        let dta = determinize(&nta, 2);
+        let cases = [
+            (tree(&[]), false),
+            (tree(&[(true, 1), (false, 0)]), true),
+            (tree(&[(true, 0), (false, 0), (true, 0), (false, 0)]), false),
+            (
+                tree(&[(true, 0), (true, 1), (false, 0), (false, 0)]),
+                true,
+            ),
+        ];
+        for (t, expect) in cases {
+            let f = symf(&t);
+            assert_eq!(nta.accepts(&t, &f), expect);
+            assert_eq!(dta.accepts(&t, &f), expect, "determinized");
+        }
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let has_b = determinize(&some_b(), 2);
+        let no_b = complement(&has_b);
+        let both = intersect(&has_b, &no_b); // empty language
+        let either = union(&has_b, &no_b); // universal language
+
+        let t1 = tree(&[(true, 1), (false, 0)]);
+        let t2 = tree(&[(true, 0), (false, 0)]);
+        for t in [&t1, &t2] {
+            let f = symf(t);
+            assert!(!both.accepts(t, &f));
+            assert!(either.accepts(t, &f));
+            assert_ne!(has_b.accepts(t, &f), no_b.accepts(t, &f));
+        }
+        assert!(is_empty(&both));
+        assert!(!is_empty(&either));
+        assert!(!is_empty(&has_b));
+    }
+
+    #[test]
+    fn emptiness_of_unsatisfiable() {
+        // Accepting state unreachable: requires children in state 9.
+        let mut delta: FxHashMap<BuKey, State> = FxHashMap::default();
+        delta.insert((None, None, 0), 0);
+        delta.insert((Some(9), None, 0), 1);
+        let dta = Dta {
+            n_states: 2,
+            accepting: vec![1],
+            delta,
+        };
+        assert!(is_empty(&dta));
+    }
+}

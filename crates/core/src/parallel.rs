@@ -1,0 +1,373 @@
+//! Parallel bottom-up evaluation (the paper's Section 6.2 case study).
+//!
+//! "Tree automata (working on binary trees) naturally admit parallel
+//! processing": computations in distinct subtrees are completely
+//! independent. This module splits a (reasonably balanced) binary tree at
+//! a frontier of subtree roots, runs the phase-1 bottom-up automaton on
+//! the subtrees in parallel worker threads — each with its own lazy
+//! transition tables — and merges the workers' interned states back into
+//! the master automata before finishing the spine sequentially.
+//!
+//! Phase 2 parallelizes symmetrically: the spine is annotated first, then
+//! workers descend the frontier subtrees top-down. On balanced trees
+//! (e.g. the ACGT-infix encoding) this yields the `O(log n)`
+//! parallel-time regular-expression matching the paper describes; on
+//! degenerate right-deep trees (ACGT-flat) no useful frontier exists and
+//! evaluation falls back to sequential.
+
+use crate::lazy::QueryAutomata;
+use crate::stats::EvalStats;
+use crate::twophase::TreeEvalResult;
+use arb_logic::{Atom, PredSetId, Program, ProgramId};
+use arb_tmnf::CoreProgram;
+use arb_tree::{BinaryTree, NodeId};
+use std::time::Instant;
+
+/// Preorder end of each node's subtree: subtree(v) = nodes `v..end[v]`.
+fn subtree_ends(tree: &BinaryTree) -> Vec<u32> {
+    let n = tree.len();
+    let mut end = vec![0u32; n];
+    for ix in (0..n as u32).rev() {
+        let v = NodeId(ix);
+        end[ix as usize] = if let Some(c) = tree.second_child(v) {
+            end[c.ix()]
+        } else if let Some(c) = tree.first_child(v) {
+            end[c.ix()]
+        } else {
+            ix + 1
+        };
+    }
+    end
+}
+
+/// Picks a frontier of disjoint subtree roots covering most of the tree,
+/// by repeatedly splitting the largest region until `target` pieces exist
+/// or pieces become too small.
+fn frontier(tree: &BinaryTree, ends: &[u32], target: usize) -> Vec<NodeId> {
+    let n = tree.len() as u32;
+    let size = |v: NodeId| ends[v.ix()] - v.0;
+    let mut pieces: Vec<NodeId> = vec![tree.root()];
+    let min_piece = (n / (target as u32 * 4)).max(512);
+    while pieces.len() < target {
+        // Split the largest piece into its children.
+        let (i, &v) = match pieces
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| size(v))
+        {
+            Some(x) => x,
+            None => break,
+        };
+        if size(v) < min_piece * 2 {
+            break;
+        }
+        let kids: Vec<NodeId> = [tree.first_child(v), tree.second_child(v)]
+            .into_iter()
+            .flatten()
+            .collect();
+        if kids.is_empty() {
+            break;
+        }
+        pieces.swap_remove(i);
+        pieces.extend(kids);
+        // Note: the split node v itself moves to the sequential spine.
+    }
+    pieces.sort_unstable();
+    pieces
+}
+
+/// Evaluates a program with the phase-1 bottom-up run parallelized over
+/// `threads` workers. Produces the same [`TreeEvalResult`] as
+/// [`crate::twophase::evaluate_tree`] (states re-interned into the master
+/// automata). Both phases parallelize over the same frontier.
+pub fn evaluate_tree_parallel(
+    prog: &CoreProgram,
+    tree: &BinaryTree,
+    threads: usize,
+) -> TreeEvalResult {
+    let n = tree.len();
+    assert!(n > 0, "cannot evaluate a query on an empty tree");
+    let threads = threads.max(1);
+    let ends = subtree_ends(tree);
+    let roots = frontier(tree, &ends, threads * 4);
+
+    let t1 = Instant::now();
+    let mut qa = QueryAutomata::new(prog);
+    let mut rho_a: Vec<ProgramId> = vec![ProgramId(u32::MAX); n];
+    let mut worker_transitions = 0u64;
+
+    // Worker result: per-node local state ids plus the local state table.
+    type WorkerOut = (NodeId, Vec<u32>, Vec<Program>, u64);
+
+    let results: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+        let chunks: Vec<Vec<NodeId>> = {
+            // Round-robin the frontier subtrees over the workers.
+            let mut cs: Vec<Vec<NodeId>> = vec![Vec::new(); threads];
+            for (i, &r) in roots.iter().enumerate() {
+                cs[i % threads].push(r);
+            }
+            cs
+        };
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|mine| {
+                let ends = &ends;
+                scope.spawn(move |_| {
+                    let mut out: Vec<WorkerOut> = Vec::new();
+                    let mut wqa = QueryAutomata::new(prog);
+                    for root in mine {
+                        let lo = root.0;
+                        let hi = ends[root.ix()];
+                        let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
+                        for ix in (lo..hi).rev() {
+                            let v = NodeId(ix);
+                            let s1 = tree
+                                .first_child(v)
+                                .map(|c| ProgramId(local[(c.0 - lo) as usize]));
+                            let s2 = tree
+                                .second_child(v)
+                                .map(|c| ProgramId(local[(c.0 - lo) as usize]));
+                            local[(ix - lo) as usize] =
+                                wqa.bottom_up(s1, s2, tree.info(v)).0;
+                        }
+                        // Export only this subtree's ids; the table is
+                        // shared across the worker's subtrees, export once
+                        // per subtree for simplicity (tables are tiny).
+                        let table: Vec<Program> = (0..wqa.programs.len() as u32)
+                            .map(|i| wqa.programs.get(ProgramId(i)).clone())
+                            .collect();
+                        out.push((root, local, table, wqa.bu_transitions));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    // Merge worker states into the master interner.
+    for (root, local, table, transitions) in results {
+        worker_transitions = worker_transitions.max(transitions);
+        let remap: Vec<ProgramId> = table.into_iter().map(|p| qa.programs.intern(p)).collect();
+        let lo = root.0;
+        for (off, lid) in local.into_iter().enumerate() {
+            rho_a[lo as usize + off] = remap[lid as usize];
+        }
+    }
+
+    // Sequential spine: everything not inside a frontier subtree.
+    let mut covered = vec![false; n];
+    for &r in &roots {
+        for ix in r.0..ends[r.ix()] {
+            covered[ix as usize] = true;
+        }
+    }
+    for ix in (0..n as u32).rev() {
+        if covered[ix as usize] {
+            continue;
+        }
+        let v = NodeId(ix);
+        let s1 = tree.first_child(v).map(|c| rho_a[c.ix()]);
+        let s2 = tree.second_child(v).map(|c| rho_a[c.ix()]);
+        rho_a[v.ix()] = qa.bottom_up(s1, s2, tree.info(v));
+    }
+    let phase1_time = t1.elapsed();
+
+    // --- Phase 2: spine sequentially, frontier subtrees in parallel ----
+    let t2 = Instant::now();
+    let mut rho_b: Vec<PredSetId> = vec![PredSetId(u32::MAX); n];
+    rho_b[0] = qa.start_state(rho_a[0]);
+    // Sequential sweep over spine nodes; also assigns the frontier roots
+    // (their parents are on the spine). Interiors are skipped.
+    let is_root_of = |ix: u32| roots.binary_search(&NodeId(ix)).is_ok();
+    for ix in 0..n as u32 {
+        if covered[ix as usize] && !is_root_of(ix) {
+            continue;
+        }
+        let v = NodeId(ix);
+        if is_root_of(ix) {
+            continue; // assigned by its parent below; interior is worker's
+        }
+        let q = rho_b[v.ix()];
+        debug_assert_ne!(q.0, u32::MAX, "spine parent before child");
+        if let Some(c) = tree.first_child(v) {
+            rho_b[c.ix()] = qa.top_down(q, rho_a[c.ix()], 1);
+        }
+        if let Some(c) = tree.second_child(v) {
+            rho_b[c.ix()] = qa.top_down(q, rho_a[c.ix()], 2);
+        }
+    }
+    // A frontier root may itself be the tree root (tiny trees): handled
+    // since rho_b[0] is set. Workers descend each frontier subtree with
+    // their own caches, re-interning against the master tables afterward.
+    type Phase2Out = (NodeId, Vec<u32>, Vec<arb_logic::PredSet>, u64);
+    let master_programs = &qa.programs;
+    let master_predsets = &qa.predsets;
+    let rho_b_snapshot: Vec<PredSetId> = rho_b.clone();
+    let results2: Vec<Phase2Out> = crossbeam::thread::scope(|scope| {
+        let chunks: Vec<Vec<NodeId>> = {
+            let mut cs: Vec<Vec<NodeId>> = vec![Vec::new(); threads];
+            for (i, &r) in roots.iter().enumerate() {
+                cs[i % threads].push(r);
+            }
+            cs
+        };
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|mine| {
+                let ends = &ends;
+                let rho_a = &rho_a;
+                let rho_b_snapshot = &rho_b_snapshot;
+                scope.spawn(move |_| {
+                    let mut out: Vec<Phase2Out> = Vec::new();
+                    let mut wqa = QueryAutomata::new(prog);
+                    // Master phase-1 states re-interned into the worker.
+                    let mut a_map: Vec<u32> = vec![u32::MAX; master_programs.len()];
+                    for root in mine {
+                        let lo = root.0;
+                        let hi = ends[root.ix()];
+                        let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
+                        // The root's predicate set comes from the master.
+                        let root_set =
+                            master_predsets.get(rho_b_snapshot[root.ix()]).clone();
+                        local[0] = wqa.predsets.intern(root_set).0;
+                        for ix in lo..hi {
+                            let v = NodeId(ix);
+                            let q = PredSetId(local[(ix - lo) as usize]);
+                            for (k, c) in [(1u8, tree.first_child(v)), (2, tree.second_child(v))]
+                            {
+                                let Some(c) = c else { continue };
+                                let m = rho_a[c.ix()].0 as usize;
+                                if a_map[m] == u32::MAX {
+                                    a_map[m] = wqa
+                                        .programs
+                                        .intern(master_programs.get(ProgramId(m as u32)).clone())
+                                        .0;
+                                }
+                                local[(c.0 - lo) as usize] =
+                                    wqa.top_down(q, ProgramId(a_map[m]), k).0;
+                            }
+                        }
+                        let table: Vec<arb_logic::PredSet> = (0..wqa.predsets.len() as u32)
+                            .map(|i| wqa.predsets.get(PredSetId(i)).clone())
+                            .collect();
+                        out.push((root, local, table, wqa.td_transitions));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+    let mut worker_td = 0u64;
+    for (root, local, table, transitions) in results2 {
+        worker_td = worker_td.max(transitions);
+        let remap: Vec<PredSetId> = table.into_iter().map(|s| qa.predsets.intern(s)).collect();
+        let lo = root.0;
+        for (off, lid) in local.into_iter().enumerate() {
+            rho_b[lo as usize + off] = remap[lid as usize];
+        }
+    }
+    debug_assert!(rho_b.iter().all(|s| s.0 != u32::MAX));
+    let phase2_time = t2.elapsed();
+
+    let selected = match prog.query_preds() {
+        [] => 0,
+        qs => rho_b
+            .iter()
+            .filter(|&&ps| {
+                let set = qa.predsets.get(ps);
+                qs.iter().any(|&q| set.contains(Atom::local(q)))
+            })
+            .count() as u64,
+    };
+    let stats = EvalStats {
+        idb_count: prog.pred_count(),
+        rule_count: prog.rule_count(),
+        phase1_time,
+        phase1_transitions: qa.bu_transitions + worker_transitions,
+        phase2_time,
+        phase2_transitions: qa.td_transitions + worker_td,
+        selected,
+        memory_bytes: qa.memory_bytes(),
+        bu_states: qa.bu_state_count(),
+        td_states: qa.td_state_count(),
+        nodes: n as u64,
+    };
+    TreeEvalResult {
+        automata: qa,
+        rho_a,
+        rho_b,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twophase::evaluate_tree;
+    use arb_tmnf::{normalize, parse_program};
+    use arb_tree::{infix::infix_tree, LabelId, LabelTable};
+
+    #[test]
+    fn subtree_ends_are_consistent() {
+        let mut lt = LabelTable::new();
+        let root = lt.intern("r").unwrap();
+        let seq: Vec<LabelId> = (0..31).map(|i| LabelId((i % 4) as u16)).collect();
+        let t = infix_tree(root, &seq);
+        let ends = subtree_ends(&t);
+        assert_eq!(ends[0], t.len() as u32);
+        for v in t.nodes() {
+            for c in [t.first_child(v), t.second_child(v)].into_iter().flatten() {
+                assert!(c.0 > v.0 && ends[c.ix()] <= ends[v.ix()]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut lt = LabelTable::new();
+        let root = lt.intern("r").unwrap();
+        let seq: Vec<LabelId> = (0..1023u32)
+            .map(|i| LabelId(b"ACGT"[(i as usize * 7 + 3) % 4] as u16))
+            .collect();
+        let tree = infix_tree(root, &seq);
+        let src = format!(
+            "QUERY :- V.Label['A'].{}.Label['C'];",
+            arb_tmnf::programs::INFIX_PREVIOUS
+        );
+        let ast = parse_program(&src, &mut lt).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+
+        let seq_res = evaluate_tree(&prog, &tree);
+        let par_res = evaluate_tree_parallel(&prog, &tree, 4);
+        assert_eq!(seq_res.stats.selected, par_res.stats.selected);
+        for v in tree.nodes() {
+            assert_eq!(seq_res.preds_at(v), par_res.preds_at(v), "node {}", v.0);
+        }
+    }
+
+    #[test]
+    fn parallel_on_tiny_tree_falls_back() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut b = arb_tree::TreeBuilder::new();
+        b.open(a);
+        b.leaf(a);
+        b.close();
+        let tree = b.finish().unwrap();
+        let ast = parse_program("Q :- Root;", &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let res = evaluate_tree_parallel(&prog, &tree, 8);
+        assert_eq!(res.rho_b.len(), 2);
+    }
+}

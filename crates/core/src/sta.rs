@@ -1,0 +1,238 @@
+//! Selecting tree automata (paper Definition 3.2) and the TMNF→STA
+//! translation.
+//!
+//! An STA is a nondeterministic bottom-up tree automaton with a set `S` of
+//! *selecting* states; the unary query it defines selects node `v` iff
+//! **every** accepting run is in a selecting state at `v`. STAs capture
+//! exactly the unary MSO queries (Proposition 3.3, \[8\]).
+//!
+//! The explicit translation from TMNF enumerates truth assignments to the
+//! IDB predicates, so it is exponential in `|IDB|` and only usable for
+//! small programs — which is precisely why the production path represents
+//! *sets* of STA states as residual programs instead (Section 4). Here it
+//! serves as the semantic ground truth for differential tests.
+
+use arb_logic::Atom;
+use arb_tmnf::core::{BodyAtom, CoreProgram, CoreRule, PredId};
+use arb_tree::{BinaryTree, NodeId, NodeInfo, NodeSet};
+
+/// An explicit selecting tree automaton over TMNF truth assignments.
+///
+/// States are bitmasks over the IDB predicates; the transition relation is
+/// evaluated symbolically from the program rather than tabulated (the
+/// alphabet `2^σ` is large).
+pub struct Sta<'p> {
+    prog: &'p CoreProgram,
+    /// Selecting states: assignments containing the query predicate.
+    select_pred: PredId,
+}
+
+impl<'p> Sta<'p> {
+    /// Builds the STA for a program and its query predicate. Panics if
+    /// the program has more than 20 IDB predicates (state space 2^20).
+    pub fn from_tmnf(prog: &'p CoreProgram, select_pred: PredId) -> Self {
+        assert!(
+            prog.pred_count() <= 20,
+            "explicit STA is exponential; use the residual-program evaluator"
+        );
+        Sta { prog, select_pred }
+    }
+
+    /// Checks whether assignment `q` at a node with `info` is consistent
+    /// with child assignments `q1`, `q2` (`None` = ⊥): every rule instance
+    /// relating the node and its children must be satisfied. This is the
+    /// membership test `q ∈ δ(q1, q2, σ)`.
+    pub fn locally_consistent(
+        &self,
+        q: u32,
+        q1: Option<u32>,
+        q2: Option<u32>,
+        info: &NodeInfo,
+    ) -> bool {
+        let has = |mask: u32, p: PredId| mask & (1 << p) != 0;
+        for r in self.prog.rules() {
+            let ok = match *r {
+                CoreRule::Edb { head, edb } => {
+                    !self.prog.edb_atom(edb).eval(info) || has(q, head)
+                }
+                CoreRule::And { head, b1, b2 } => {
+                    let truth = |a: BodyAtom| match a {
+                        BodyAtom::Pred(p) => has(q, p),
+                        BodyAtom::Edb(e) => self.prog.edb_atom(e).eval(info),
+                    };
+                    !(truth(b1) && truth(b2)) || has(q, head)
+                }
+                // Down: body at this node forces head at the k-child.
+                CoreRule::Down { head, body, k } => {
+                    let child = if k == 1 { q1 } else { q2 };
+                    match child {
+                        Some(c) => !has(q, body) || has(c, head),
+                        None => true,
+                    }
+                }
+                // Up: body at the k-child forces head at this node.
+                CoreRule::Up { head, body, k } => {
+                    let child = if k == 1 { q1 } else { q2 };
+                    match child {
+                        Some(c) => !has(c, body) || has(q, head),
+                        None => true,
+                    }
+                }
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerates all runs (assignment per node consistent at every node)
+    /// and applies the STA selection criterion:
+    /// `A(T) = { v | ρ(v) ∈ S for every accepting run ρ }`.
+    ///
+    /// In the TMNF→STA translation all states are accepting (`F = Q`), so
+    /// accepting runs = runs. Exponential — tiny trees only.
+    pub fn select(&self, tree: &BinaryTree) -> NodeSet {
+        let n = tree.len();
+        let n_states: u32 = 1 << self.prog.pred_count();
+        // Enumerate runs by assigning states in reverse preorder.
+        let mut partials: Vec<Vec<u32>> = vec![vec![0; n]];
+        for ix in (0..n as u32).rev() {
+            let v = NodeId(ix);
+            let info = tree.info(v);
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            for partial in &partials {
+                let q1 = tree.first_child(v).map(|c| partial[c.ix()]);
+                let q2 = tree.second_child(v).map(|c| partial[c.ix()]);
+                for q in 0..n_states {
+                    if self.locally_consistent(q, q1, q2, &info) {
+                        let mut p = partial.clone();
+                        p[v.ix()] = q;
+                        next.push(p);
+                    }
+                }
+            }
+            partials = next;
+        }
+        // Selection: v selected iff every run has the query predicate at v.
+        let mut out = NodeSet::new(n);
+        let bit = 1u32 << self.select_pred;
+        for v in tree.nodes() {
+            if !partials.is_empty() && partials.iter().all(|r| r[v.ix()] & bit != 0) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Number of runs on a tree (for tests demonstrating nondeterminism).
+    pub fn run_count(&self, tree: &BinaryTree) -> usize {
+        let n = tree.len();
+        let n_states: u32 = 1 << self.prog.pred_count();
+        let mut partials: Vec<Vec<u32>> = vec![vec![0; n]];
+        for ix in (0..n as u32).rev() {
+            let v = NodeId(ix);
+            let info = tree.info(v);
+            let mut next = Vec::new();
+            for partial in &partials {
+                let q1 = tree.first_child(v).map(|c| partial[c.ix()]);
+                let q2 = tree.second_child(v).map(|c| partial[c.ix()]);
+                for q in 0..n_states {
+                    if self.locally_consistent(q, q1, q2, &info) {
+                        let mut p = partial.clone();
+                        p[v.ix()] = q;
+                        next.push(p);
+                    }
+                }
+            }
+            partials = next;
+        }
+        partials.len()
+    }
+}
+
+/// Reads a residual program as a set of STA states: the assignments that
+/// are models of the program (paper Example 4.5: a residual program at a
+/// node "encodes" all assignments not violating its rules).
+pub fn models_of_residual(program: &arb_logic::Program, n_preds: usize) -> Vec<u32> {
+    assert!(n_preds <= 20);
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n_preds) {
+        let atoms: Vec<Atom> = (0..n_preds as u32)
+            .filter(|p| mask & (1 << p) != 0)
+            .map(Atom::local)
+            .collect();
+        if program.is_model(&atoms) {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twophase::evaluate_tree;
+    use arb_tmnf::{naive, normalize, parse_program};
+    use arb_tree::{LabelTable, TreeBuilder};
+
+    fn chain_tree(lt: &mut LabelTable, n: usize) -> BinaryTree {
+        let a = lt.get("a").unwrap_or_else(|| lt.intern("a").unwrap());
+        let mut b = TreeBuilder::new();
+        for _ in 0..n {
+            b.open(a);
+        }
+        for _ in 0..n {
+            b.close();
+        }
+        b.finish().unwrap()
+    }
+
+    /// STA selection == naive fixpoint == two-phase result (Theorem 4.1 &
+    /// Proposition 3.3) on the Example 4.3 program.
+    #[test]
+    fn sta_matches_fixpoint_and_two_phase() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(arb_tmnf::programs::EXAMPLE_4_3, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let tree = chain_tree(&mut lt, 3);
+        let q = prog.pred_id("Q").unwrap();
+
+        let sta = Sta::from_tmnf(&prog, q);
+        let selected = sta.select(&tree);
+
+        let oracle = naive::evaluate(&prog, &tree);
+        let two = evaluate_tree(&prog, &tree);
+        for v in tree.nodes() {
+            assert_eq!(selected.contains(v), oracle.holds(q, v), "node {}", v.0);
+            assert_eq!(selected.contains(v), two.holds(q, v), "node {}", v.0);
+        }
+        // Q holds exactly at the root.
+        assert_eq!(selected.to_vec(), vec![NodeId(0)]);
+    }
+
+    /// The STA is genuinely nondeterministic: any superset of the least
+    /// model consistent with the rules is a run.
+    #[test]
+    fn sta_has_many_runs() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program("P :- Root;", &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let tree = chain_tree(&mut lt, 2);
+        let p = prog.pred_id("P").unwrap();
+        let sta = Sta::from_tmnf(&prog, p);
+        // 1 predicate, 2 nodes: root must have P (1 choice... plus the
+        // superset is itself), child free: total runs = 1 * 2 = 2.
+        assert_eq!(sta.run_count(&tree), 2);
+    }
+
+    /// Residual programs encode state sets: paper Example 4.5 counts 48
+    /// states for {P4 ← P3} over 6 predicates.
+    #[test]
+    fn residual_encodes_48_states() {
+        use arb_logic::{Program, Rule};
+        let p = Program::canonical(vec![Rule::new(Atom::local(3), vec![Atom::local(2)])]);
+        let models = models_of_residual(&p, 6);
+        assert_eq!(models.len(), 48);
+    }
+}

@@ -1,0 +1,83 @@
+//! Evaluation statistics — the columns of the paper's Figure 6.
+
+use std::time::Duration;
+
+/// Statistics collected by a two-phase evaluation run.
+#[derive(Clone, Debug, Default)]
+pub struct EvalStats {
+    /// Number of IDB predicates of the program (column 2, `|IDB|`).
+    pub idb_count: usize,
+    /// Number of TMNF rules (column 3, `|P|`).
+    pub rule_count: usize,
+    /// Wall time of the bottom-up phase (column 4).
+    pub phase1_time: Duration,
+    /// Lazily computed transitions of automaton `A` (column 5).
+    pub phase1_transitions: u64,
+    /// Wall time of the top-down phase (column 6).
+    pub phase2_time: Duration,
+    /// Lazily computed transitions of automaton `B` (column 7).
+    pub phase2_transitions: u64,
+    /// Nodes selected by the query predicate (column 9).
+    pub selected: u64,
+    /// Approximate main memory for automata state (column 10), bytes.
+    pub memory_bytes: usize,
+    /// Number of distinct bottom-up states (residual programs).
+    pub bu_states: usize,
+    /// Number of distinct top-down states (predicate sets).
+    pub td_states: usize,
+    /// Number of tree nodes processed.
+    pub nodes: u64,
+}
+
+impl EvalStats {
+    /// Total wall time (column 8).
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time
+    }
+
+    /// One row of a Figure-6-style table.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>6} {:>6} {:>9.3} {:>10} {:>9.3} {:>10} {:>9.3} {:>10} {:>10.1}",
+            self.idb_count,
+            self.rule_count,
+            self.phase1_time.as_secs_f64(),
+            self.phase1_transitions,
+            self.phase2_time.as_secs_f64(),
+            self.phase2_transitions,
+            self.total_time().as_secs_f64(),
+            self.selected,
+            self.memory_bytes as f64 / 1024.0,
+        )
+    }
+
+    /// Header matching [`EvalStats::table_row`].
+    pub fn table_header() -> &'static str {
+        "  |IDB|    |P|  t1(s)    trans1     t2(s)    trans2   total(s)  selected  mem(KiB)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_formatting() {
+        let s = EvalStats {
+            idb_count: 14,
+            rule_count: 21,
+            phase1_time: Duration::from_millis(500),
+            phase2_time: Duration::from_millis(250),
+            phase1_transitions: 15,
+            phase2_transitions: 40,
+            selected: 8136,
+            memory_bytes: 1653 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(750));
+        let row = s.table_row();
+        assert!(row.contains("14"));
+        assert!(row.contains("8136"));
+        assert!(EvalStats::table_header().contains("trans1"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Algorithm 4.6 — two-phase query evaluation — over in-memory trees.
+//!
+//! 1. Compute the run ρ_A of the bottom-up automaton `A` (lazily, via
+//!    `ComputeReachableStates`) starting at the leaves with residual
+//!    program ⊥.
+//! 2. At the root, extract the true predicates `TruePreds(ρ_A(Root))`.
+//! 3. Starting with those as `s_B`, compute the run ρ_B of the top-down
+//!    automaton `B` (lazily, via `ComputeTruePreds`), which assigns the
+//!    set of true predicates to each node.
+//!
+//! The disk-based variant over `.arb` scans (which streams ρ_A through a
+//! temporary state file, paper footnote 12) lives in `arb-engine`; both
+//! share [`QueryAutomata`].
+
+use crate::lazy::QueryAutomata;
+use crate::stats::EvalStats;
+use arb_logic::{Atom, PredSetId, ProgramId};
+use arb_tmnf::{CoreProgram, PredId};
+use arb_tree::{BinaryTree, NodeId, NodeSet};
+use std::time::Instant;
+
+/// Result of a two-phase evaluation on an in-memory tree: the full
+/// predicate annotation of every node (as interned predicate-set ids)
+/// plus statistics.
+pub struct TreeEvalResult {
+    /// The automata (interners allow decoding the per-node states).
+    pub automata: QueryAutomata,
+    /// ρ_A: phase-1 state (residual program id) per node, preorder.
+    pub rho_a: Vec<ProgramId>,
+    /// ρ_B: phase-2 state (true-predicate set id) per node, preorder.
+    pub rho_b: Vec<PredSetId>,
+    /// Statistics (times, transitions, memory).
+    pub stats: EvalStats,
+}
+
+impl TreeEvalResult {
+    /// True if predicate `p` holds at node `v` (Theorem 4.1).
+    pub fn holds(&self, p: PredId, v: NodeId) -> bool {
+        self.automata
+            .predsets
+            .get(self.rho_b[v.ix()])
+            .contains(Atom::local(p))
+    }
+
+    /// The set of nodes where predicate `p` holds.
+    pub fn extent(&self, p: PredId) -> NodeSet {
+        let mut s = NodeSet::new(self.rho_b.len());
+        for (ix, &ps) in self.rho_b.iter().enumerate() {
+            if self.automata.predsets.get(ps).contains(Atom::local(p)) {
+                s.insert(NodeId(ix as u32));
+            }
+        }
+        s
+    }
+
+    /// All predicates holding at a node.
+    pub fn preds_at(&self, v: NodeId) -> Vec<PredId> {
+        self.automata
+            .predsets
+            .get(self.rho_b[v.ix()])
+            .atoms()
+            .iter()
+            .map(|a| a.pred())
+            .collect()
+    }
+}
+
+/// Evaluates a strict TMNF program on an in-memory tree by Algorithm 4.6.
+///
+/// The phase-1 sweep runs in reverse preorder (children are visited
+/// before parents — the in-memory equivalent of the backward linear scan
+/// of Proposition 5.1); phase 2 runs in preorder (the forward scan).
+pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
+    let mut qa = QueryAutomata::new(prog);
+    let n = tree.len();
+    assert!(n > 0, "cannot evaluate a query on an empty tree");
+
+    // --- Phase 1: bottom-up run of A -------------------------------------
+    let t1 = Instant::now();
+    let mut rho_a: Vec<ProgramId> = vec![ProgramId(0); n];
+    for ix in (0..n as u32).rev() {
+        let v = NodeId(ix);
+        let s1 = tree.first_child(v).map(|c| rho_a[c.ix()]);
+        let s2 = tree.second_child(v).map(|c| rho_a[c.ix()]);
+        rho_a[v.ix()] = qa.bottom_up(s1, s2, tree.info(v));
+    }
+    let phase1_time = t1.elapsed();
+
+    // --- Phase 2: top-down run of B ---------------------------------------
+    let t2 = Instant::now();
+    let mut rho_b: Vec<PredSetId> = vec![PredSetId(0); n];
+    rho_b[0] = qa.start_state(rho_a[0]);
+    for ix in 0..n as u32 {
+        let v = NodeId(ix);
+        let q = rho_b[v.ix()];
+        if let Some(c) = tree.first_child(v) {
+            rho_b[c.ix()] = qa.top_down(q, rho_a[c.ix()], 1);
+        }
+        if let Some(c) = tree.second_child(v) {
+            rho_b[c.ix()] = qa.top_down(q, rho_a[c.ix()], 2);
+        }
+    }
+    let phase2_time = t2.elapsed();
+
+    // --- Statistics --------------------------------------------------------
+    let selected = match prog.query_preds() {
+        [] => 0,
+        qs => rho_b
+            .iter()
+            .filter(|&&ps| {
+                let set = qa.predsets.get(ps);
+                qs.iter().any(|&q| set.contains(Atom::local(q)))
+            })
+            .count() as u64,
+    };
+    let stats = EvalStats {
+        idb_count: prog.pred_count(),
+        rule_count: prog.rule_count(),
+        phase1_time,
+        phase1_transitions: qa.bu_transitions,
+        phase2_time,
+        phase2_transitions: qa.td_transitions,
+        selected,
+        memory_bytes: qa.memory_bytes(),
+        bu_states: qa.bu_state_count(),
+        td_states: qa.td_state_count(),
+        nodes: n as u64,
+    };
+
+    TreeEvalResult {
+        automata: qa,
+        rho_a,
+        rho_b,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tmnf::{naive, normalize, parse_program, programs};
+    use arb_tree::{LabelTable, TreeBuilder};
+
+    /// Cross-checks the two-phase result against the naive fixpoint on
+    /// every (predicate, node) pair — Theorem 4.1.
+    fn assert_matches_naive(src: &str, build: impl FnOnce(&mut LabelTable) -> BinaryTree) {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(src, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let tree = build(&mut lt);
+        let two = evaluate_tree(&prog, &tree);
+        let oracle = naive::evaluate(&prog, &tree);
+        for p in 0..prog.pred_count() as PredId {
+            for v in tree.nodes() {
+                assert_eq!(
+                    two.holds(p, v),
+                    oracle.holds(p, v),
+                    "pred {} at node {}",
+                    prog.pred_name(p),
+                    v.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_4_3_matches_naive() {
+        assert_matches_naive(programs::EXAMPLE_4_3, |lt| {
+            let a = lt.intern("a").unwrap();
+            let mut b = TreeBuilder::new();
+            b.open(a);
+            b.open(a);
+            b.open(a);
+            b.close();
+            b.close();
+            b.close();
+            b.finish().unwrap()
+        });
+    }
+
+    #[test]
+    fn even_odd_matches_naive() {
+        assert_matches_naive(programs::EVEN_ODD, |lt| {
+            let a = lt.get("a").unwrap_or_else(|| lt.intern("a").unwrap());
+            let b = lt.intern("b").unwrap();
+            let mut tb = TreeBuilder::new();
+            tb.open(b);
+            tb.leaf(a);
+            tb.open(b);
+            tb.leaf(a);
+            tb.leaf(a);
+            tb.leaf(b);
+            tb.close();
+            tb.open(a);
+            tb.leaf(a);
+            tb.close();
+            tb.close();
+            tb.finish().unwrap()
+        });
+    }
+
+    #[test]
+    fn upward_and_sideways_rules_match_naive() {
+        assert_matches_naive(
+            "Mark :- V.Label[m];\n\
+             Up :- Mark.invNextSibling*.invFirstChild;\n\
+             Side :- Mark.NextSibling+;\n\
+             Q :- Up, Side;",
+            |lt| {
+                let m = lt.get("m").unwrap_or_else(|| lt.intern("m").unwrap());
+                let x = lt.intern("x").unwrap();
+                let mut tb = TreeBuilder::new();
+                tb.open(x);
+                tb.leaf(m);
+                tb.open(x);
+                tb.leaf(x);
+                tb.leaf(m);
+                tb.close();
+                tb.leaf(x);
+                tb.close();
+                tb.finish().unwrap()
+            },
+        );
+    }
+
+    #[test]
+    fn selected_count_and_stats() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program("QUERY :- V.Label[a], Leaf;", &mut lt).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+        let a = lt.get("a").unwrap();
+        let b = lt.intern("b").unwrap();
+        let mut tb = TreeBuilder::new();
+        tb.open(b);
+        tb.leaf(a);
+        tb.leaf(b);
+        tb.leaf(a);
+        tb.close();
+        let tree = tb.finish().unwrap();
+        let res = evaluate_tree(&prog, &tree);
+        assert_eq!(res.stats.selected, 2);
+        assert_eq!(res.stats.nodes, 4);
+        assert!(res.stats.phase1_transitions > 0);
+        assert!(res.stats.bu_states > 0);
+        let q = prog.pred_id("QUERY").unwrap();
+        assert_eq!(res.extent(q).count(), 2);
+    }
+}

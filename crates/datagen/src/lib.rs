@@ -1,0 +1,28 @@
+//! # arb-datagen
+//!
+//! Synthetic workload generators reproducing the paper's evaluation
+//! databases (Section 6.1) and benchmark queries (Section 6.2).
+//!
+//! The paper evaluates on Penn Treebank (licensed), Swissprot (a large
+//! XML-ized protein database) and a "bogus DNA database" of random
+//! symbols. We regenerate all three synthetically with seeded RNGs:
+//!
+//! * [`acgt`] — the random `{A,C,G,T}` sequence with its *flat* and
+//!   *infix* tree encodings (paper Figure 4) — identical in construction
+//!   to the paper's;
+//! * [`treebank`] — random constituency trees over `{S, NP, VP, PP}` plus
+//!   filler tags, tuned to the paper's element/character/tag ratios;
+//! * [`swissprot`] — record-structured protein entries with long text
+//!   payloads (only used for database-creation statistics, Figure 5);
+//! * [`queries`] — the random regular path expressions `w1.w2*.w3` used
+//!   in all three benchmark families of Figure 6.
+
+pub mod acgt;
+pub mod queries;
+pub mod swissprot;
+pub mod treebank;
+
+pub use acgt::{acgt_flat_tree, acgt_flat_xml, acgt_infix_tree, random_acgt};
+pub use queries::{RandomPathQuery, RegexShape};
+pub use swissprot::{swissprot_tree, SwissprotConfig};
+pub use treebank::{treebank_tree, TreebankConfig};

@@ -1,0 +1,184 @@
+//! Random regular path queries (paper Section 6.2).
+//!
+//! "All regular expressions [...] were always of the form `w1.w2*.w3`,
+//! where the `wi` were sequences of symbols over the alphabet [...] of
+//! length at least one. By the size of such a regular expression, we mean
+//! `|w1| + |w2| + |w3|`. An example of a regular expression of length
+//! five is `S.VP.(NP.PP)*.NP`. Such queries were written as (single-rule)
+//! programs in our extended syntax as
+//!
+//! ```text
+//! QUERY :- V.Label[S].R.Label[VP].
+//!          (R.Label[NP].R.Label[PP])*.
+//!          R.Label[NP];
+//! ```
+//!
+//! where `R` is short for `FirstChild.NextSibling*`."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The step expression of the paper's top-down Treebank queries.
+pub const R_TOP_DOWN: &str = "FirstChild.NextSibling*";
+
+/// The step expression of the bottom-up ACGT-flat queries.
+pub const R_BOTTOM_UP: &str = "invNextSibling";
+
+/// The sideways caterpillar of the ACGT-infix queries: walks the infix
+/// tree to the symbol immediately previous in the sequence.
+pub const R_INFIX: &str = "(FirstChild.SecondChild*.-hasSecondChild \
+| -hasFirstChild.invFirstChild*.invSecondChild)";
+
+/// How symbols are written as label tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegexShape {
+    /// Tag labels: `Label[NP]`.
+    Tags,
+    /// Character labels: `Label['A']`.
+    Chars,
+}
+
+/// A random `w1.w2*.w3` regular path query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomPathQuery {
+    /// The three symbol sequences (each nonempty).
+    pub w1: Vec<String>,
+    /// Starred middle part.
+    pub w2: Vec<String>,
+    /// Tail part.
+    pub w3: Vec<String>,
+    /// Label test syntax.
+    pub shape: RegexShape,
+}
+
+impl RandomPathQuery {
+    /// Generates a query of the given size (≥ 3) over an alphabet.
+    pub fn random(size: usize, alphabet: &[&str], shape: RegexShape, rng: &mut StdRng) -> Self {
+        assert!(size >= 3, "w1, w2, w3 must each have length at least one");
+        // Random composition of `size` into three positive parts.
+        let a = rng.gen_range(1..=size - 2);
+        let b = rng.gen_range(1..=size - a - 1);
+        let c = size - a - b;
+        let pick = |rng: &mut StdRng, n: usize| -> Vec<String> {
+            (0..n)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())].to_string())
+                .collect()
+        };
+        RandomPathQuery {
+            w1: pick(rng, a),
+            w2: pick(rng, b),
+            w3: pick(rng, c),
+            shape,
+        }
+    }
+
+    /// A deterministic batch: the paper uses 25 random queries per size.
+    pub fn batch(
+        count: usize,
+        size: usize,
+        alphabet: &[&str],
+        shape: RegexShape,
+        seed: u64,
+    ) -> Vec<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| Self::random(size, alphabet, shape, &mut rng))
+            .collect()
+    }
+
+    /// The paper's size measure `|w1| + |w2| + |w3|`.
+    pub fn size(&self) -> usize {
+        self.w1.len() + self.w2.len() + self.w3.len()
+    }
+
+    fn label(&self, sym: &str) -> String {
+        match self.shape {
+            RegexShape::Tags => format!("Label[{sym}]"),
+            RegexShape::Chars => format!("Label['{sym}']"),
+        }
+    }
+
+    /// Renders the single-rule Arb program, with `r` as the step
+    /// expression between symbols.
+    pub fn to_program(&self, r: &str) -> String {
+        let mut body = String::from("V");
+        for (i, sym) in self.w1.iter().enumerate() {
+            if i == 0 {
+                body.push_str(&format!(".{}", self.label(sym)));
+            } else {
+                body.push_str(&format!(".{r}.{}", self.label(sym)));
+            }
+        }
+        body.push_str(".(");
+        for (i, sym) in self.w2.iter().enumerate() {
+            if i > 0 {
+                body.push('.');
+            }
+            body.push_str(&format!("{r}.{}", self.label(sym)));
+        }
+        body.push_str(")*");
+        for sym in &self.w3 {
+            body.push_str(&format!(".{r}.{}", self.label(sym)));
+        }
+        format!("QUERY :- {body};")
+    }
+
+    /// Human-readable form, e.g. `S.VP.(NP.PP)*.NP`.
+    pub fn display(&self) -> String {
+        let j = |w: &[String]| w.join(".");
+        format!("{}.({})*.{}", j(&self.w1), j(&self.w2), j(&self.w3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in 3..=15 {
+            let q = RandomPathQuery::random(size, &["NP", "VP", "PP", "S"], RegexShape::Tags, &mut rng);
+            assert_eq!(q.size(), size);
+            assert!(!q.w1.is_empty() && !q.w2.is_empty() && !q.w3.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_example_rendering() {
+        let q = RandomPathQuery {
+            w1: vec!["S".into(), "VP".into()],
+            w2: vec!["NP".into(), "PP".into()],
+            w3: vec!["NP".into()],
+            shape: RegexShape::Tags,
+        };
+        assert_eq!(q.size(), 5);
+        assert_eq!(q.display(), "S.VP.(NP.PP)*.NP");
+        let p = q.to_program("R");
+        assert_eq!(
+            p,
+            "QUERY :- V.Label[S].R.Label[VP].(R.Label[NP].R.Label[PP])*.R.Label[NP];"
+        );
+    }
+
+    #[test]
+    fn char_shape_quotes() {
+        let q = RandomPathQuery {
+            w1: vec!["A".into()],
+            w2: vec!["C".into()],
+            w3: vec!["G".into()],
+            shape: RegexShape::Chars,
+        };
+        let p = q.to_program(R_BOTTOM_UP);
+        assert!(p.contains("Label['A']"));
+        assert!(p.contains("invNextSibling"));
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = RandomPathQuery::batch(25, 7, &["A", "C", "G", "T"], RegexShape::Chars, 9);
+        let b = RandomPathQuery::batch(25, 7, &["A", "C", "G", "T"], RegexShape::Chars, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+    }
+}

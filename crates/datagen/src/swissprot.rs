@@ -1,0 +1,96 @@
+//! Synthetic Swissprot-like protein database.
+//!
+//! Swissprot appears only in the paper's Figure 5 (database creation
+//! statistics): what matters is its *shape* — a long flat list of `entry`
+//! records with a few structured children and very large text payloads
+//! (the paper's XML-ization has ~27 character nodes per element node).
+
+use arb_tree::{BinaryTree, LabelTable, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct SwissprotConfig {
+    /// Number of `entry` records.
+    pub entries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SwissprotConfig {
+    fn default() -> Self {
+        SwissprotConfig {
+            entries: 10_000,
+            seed: 0x5072,
+        }
+    }
+}
+
+/// Generates the synthetic protein database as a binary tree.
+pub fn swissprot_tree(config: &SwissprotConfig, labels: &mut LabelTable) -> BinaryTree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let root = labels.intern("sptr").expect("label space");
+    let entry = labels.intern("entry").expect("label space");
+    let acc = labels.intern("accession").expect("label space");
+    let name = labels.intern("name").expect("label space");
+    let seq = labels.intern("sequence").expect("label space");
+    let feature = labels.intern("feature").expect("label space");
+    let comment = labels.intern("comment").expect("label space");
+
+    let mut b = TreeBuilder::new();
+    b.open(root);
+    for i in 0..config.entries {
+        b.open(entry);
+        b.open(acc);
+        b.text(format!("P{:05}", i % 100_000).as_bytes());
+        b.close();
+        b.open(name);
+        b.text(format!("PROT{i}_HUMAN").as_bytes());
+        b.close();
+        let n_feats = rng.gen_range(0..5);
+        for f in 0..n_feats {
+            b.open(feature);
+            b.text(format!("domain {f} of interest").as_bytes());
+            b.close();
+        }
+        if rng.gen_bool(0.5) {
+            b.open(comment);
+            b.text(b"catalytic activity observed in vitro; function inferred");
+            b.close();
+        }
+        b.open(seq);
+        let len = rng.gen_range(80..400);
+        let aas = b"ACDEFGHIKLMNPQRSTVWY";
+        let payload: Vec<u8> = (0..len).map(|_| aas[rng.gen_range(0..aas.len())]).collect();
+        b.text(&payload);
+        b.close();
+        b.close();
+    }
+    b.close();
+    b.finish().expect("generator emits balanced documents")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_swissprot() {
+        let mut lt = LabelTable::new();
+        let cfg = SwissprotConfig {
+            entries: 100,
+            seed: 5,
+        };
+        let t = swissprot_tree(&cfg, &mut lt);
+        let elems = t.nodes().filter(|&v| !t.label(v).is_text()).count();
+        let chars = t.len() - elems;
+        // Paper ratio: ~27 chars per element; ours should be text-heavy.
+        assert!(chars > elems * 10, "chars={chars} elems={elems}");
+        assert!(lt.get("sequence").is_some());
+        // Deterministic.
+        let mut lt2 = LabelTable::new();
+        let t2 = swissprot_tree(&cfg, &mut lt2);
+        assert_eq!(t.parts(), t2.parts());
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic Penn-Treebank-like constituency trees.
+//!
+//! The real Penn Treebank is licensed and cannot ship with a
+//! reproduction. The paper's Treebank benchmarks (Figure 6, top) only
+//! exercise *downward regular path queries over the {S, NP, VP, PP} tag
+//! skeleton*, so what matters is (a) deep recursive nesting of those four
+//! tags with realistic branching, (b) a long tail of other tags (the
+//! paper reports 251 tags), and (c) a large volume of character nodes
+//! (words at the leaves; the paper reports ~12 character nodes per
+//! element node). This generator reproduces those properties with a
+//! seeded RNG.
+
+use arb_tree::{BinaryTree, LabelId, LabelTable, TreeBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning parameters for the generator.
+#[derive(Clone, Debug)]
+pub struct TreebankConfig {
+    /// Approximate number of element nodes to generate.
+    pub target_elems: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of filler tags beyond the core {TOP, S, NP, VP, PP} set
+    /// (the paper's corpus has 251 distinct tags).
+    pub filler_tags: usize,
+}
+
+impl Default for TreebankConfig {
+    fn default() -> Self {
+        TreebankConfig {
+            target_elems: 50_000,
+            seed: 0x7133,
+            filler_tags: 246,
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "the", "a", "market", "stock", "price", "company", "shares", "trading", "investors", "rose",
+    "fell", "said", "new", "year", "million", "percent", "bank", "rates", "analyst", "report",
+];
+
+/// Generates a synthetic treebank as a binary tree (document root `TOP`).
+pub fn treebank_tree(config: &TreebankConfig, labels: &mut LabelTable) -> BinaryTree {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let s = labels.intern("S").expect("label space");
+    let np = labels.intern("NP").expect("label space");
+    let vp = labels.intern("VP").expect("label space");
+    let pp = labels.intern("PP").expect("label space");
+    let top = labels.intern("TOP").expect("label space");
+    let fillers: Vec<LabelId> = (0..config.filler_tags)
+        .map(|i| labels.intern(&format!("T{i}")).expect("label space"))
+        .collect();
+
+    let mut b = TreeBuilder::with_capacity(config.target_elems * 13);
+    let mut elems = 0usize;
+    b.open(top);
+    while elems < config.target_elems {
+        // One sentence.
+        gen_phrase(&mut b, &mut rng, s, &[s, np, vp, pp], &fillers, 0, &mut elems);
+    }
+    b.close();
+    b.finish().expect("generator emits balanced documents")
+}
+
+/// Recursively generates one phrase node with children.
+#[allow(clippy::too_many_arguments)]
+fn gen_phrase(
+    b: &mut TreeBuilder,
+    rng: &mut StdRng,
+    label: LabelId,
+    core: &[LabelId],
+    fillers: &[LabelId],
+    depth: usize,
+    elems: &mut usize,
+) {
+    b.open(label);
+    *elems += 1;
+    let max_kids = if depth > 10 { 0 } else { 4 };
+    let n_kids = if max_kids == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_kids)
+    };
+    if n_kids == 0 || depth > 10 {
+        // Leaf phrase: a word.
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        b.text(w.as_bytes());
+    } else {
+        for _ in 0..n_kids {
+            let child = if rng.gen_bool(0.8) {
+                core[rng.gen_range(0..core.len())]
+            } else {
+                fillers[rng.gen_range(0..fillers.len())]
+            };
+            gen_phrase(b, rng, child, core, fillers, depth + 1, elems);
+        }
+    }
+    b.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_hits_target_and_is_deterministic() {
+        let mut lt1 = LabelTable::new();
+        let cfg = TreebankConfig {
+            target_elems: 2000,
+            seed: 11,
+            filler_tags: 30,
+        };
+        let t1 = treebank_tree(&cfg, &mut lt1);
+        let mut lt2 = LabelTable::new();
+        let t2 = treebank_tree(&cfg, &mut lt2);
+        assert_eq!(t1.parts(), t2.parts());
+        // Element count near target; plenty of char nodes.
+        let elems = t1
+            .nodes()
+            .filter(|&v| !t1.label(v).is_text())
+            .count();
+        let chars = t1.len() - elems;
+        assert!(elems >= 2000, "elems = {elems}");
+        assert!(chars > elems, "chars = {chars}");
+        assert!(lt1.get("NP").is_some() && lt1.get("VP").is_some());
+    }
+
+    #[test]
+    fn contains_deep_core_tag_nesting() {
+        let mut lt = LabelTable::new();
+        let cfg = TreebankConfig {
+            target_elems: 5000,
+            seed: 1,
+            filler_tags: 10,
+        };
+        let t = treebank_tree(&cfg, &mut lt);
+        let depth = arb_tree::traverse::unranked_depth(&t);
+        assert!(depth >= 5, "depth = {depth}");
+    }
+}

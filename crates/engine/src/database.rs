@@ -1,0 +1,305 @@
+//! The `Database` handle: disk or memory, plus query compilation bound to
+//! the database's label space.
+
+use crate::diskeval::{evaluate_disk, evaluate_disk_with_hook};
+use crate::output::XmlEmitter;
+use crate::query::{choose_query_pred, Query, QueryLanguage};
+use crate::QueryOutcome;
+use arb_core::evaluate_tree;
+use arb_storage::{ArbDatabase, CreationStats, NodeRecord};
+use arb_tree::{BinaryTree, LabelTable, NodeSet};
+use arb_xml::XmlConfig;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Query compilation failure.
+    Query(String),
+    /// Database creation / parsing failure.
+    Create(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "I/O error: {e}"),
+            EngineError::Query(m) => write!(f, "query error: {m}"),
+            EngineError::Create(m) => write!(f, "database error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<io::Error> for EngineError {
+    fn from(e: io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+enum Backing {
+    Disk(ArbDatabase),
+    Memory(BinaryTree),
+}
+
+/// A queryable tree database.
+///
+/// Owns the label table; queries are compiled against it so that label
+/// tests in the query resolve to the same 14-bit indexes as the stored
+/// records.
+pub struct Database {
+    backing: Backing,
+    labels: LabelTable,
+}
+
+impl Database {
+    /// Opens an existing `.arb` database.
+    pub fn open_arb(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        let db = ArbDatabase::open(path.as_ref().to_path_buf())?;
+        let labels = db.labels().clone();
+        Ok(Database {
+            backing: Backing::Disk(db),
+            labels,
+        })
+    }
+
+    /// Creates a `.arb` database from an XML file (the paper's two-pass
+    /// creation), then opens it. Returns the Figure-5 statistics too.
+    pub fn create_arb_from_xml(
+        xml_path: impl AsRef<Path>,
+        arb_path: impl AsRef<Path>,
+        config: &XmlConfig,
+    ) -> Result<(Self, CreationStats), EngineError> {
+        let (db, stats) =
+            ArbDatabase::create_from_xml_file(xml_path.as_ref(), arb_path.as_ref(), config)
+                .map_err(|e| EngineError::Create(e.to_string()))?;
+        let labels = db.labels().clone();
+        Ok((
+            Database {
+                backing: Backing::Disk(db),
+                labels,
+            },
+            stats,
+        ))
+    }
+
+    /// An in-memory database parsed from an XML string.
+    pub fn from_xml_str(xml: &str) -> Result<Self, EngineError> {
+        let mut labels = LabelTable::new();
+        let tree = arb_xml::str_to_tree(xml, &mut labels)
+            .map_err(|e| EngineError::Create(e.to_string()))?;
+        Ok(Database {
+            backing: Backing::Memory(tree),
+            labels,
+        })
+    }
+
+    /// An in-memory database from an existing tree and label table.
+    pub fn from_tree(tree: BinaryTree, labels: LabelTable) -> Self {
+        Database {
+            backing: Backing::Memory(tree),
+            labels,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u64 {
+        match &self.backing {
+            Backing::Disk(db) => db.node_count() as u64,
+            Backing::Memory(t) => t.len() as u64,
+        }
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// The on-disk database, if this is a disk database.
+    pub fn as_disk(&self) -> Option<&ArbDatabase> {
+        match &self.backing {
+            Backing::Disk(db) => Some(db),
+            Backing::Memory(_) => None,
+        }
+    }
+
+    /// Materializes the tree (reads the whole database for disk
+    /// backings).
+    pub fn to_tree(&self) -> Result<BinaryTree, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => Ok(db.to_tree()?),
+            Backing::Memory(t) => Ok(t.clone()),
+        }
+    }
+
+    /// Compiles a TMNF (Arb surface syntax) query against this database.
+    /// The query predicate is `QUERY` if such a predicate exists, else
+    /// the head of the last rule.
+    pub fn compile_tmnf(&mut self, src: &str) -> Result<Query, EngineError> {
+        let ast = arb_tmnf::parse_program(src, &mut self.labels)
+            .map_err(|e| EngineError::Query(e.to_string()))?;
+        let mut prog = arb_tmnf::normalize(&ast);
+        choose_query_pred(&mut prog);
+        let prog = arb_tmnf::optimize(&prog);
+        Ok(Query {
+            prog,
+            language: QueryLanguage::Tmnf,
+            source: src.to_string(),
+        })
+    }
+
+    /// Compiles a Core XPath query against this database.
+    pub fn compile_xpath(&mut self, src: &str) -> Result<Query, EngineError> {
+        let prog = arb_xpath::compile(src, &mut self.labels)
+            .map_err(|e| EngineError::Query(e.to_string()))?;
+        let prog = arb_tmnf::optimize(&prog);
+        Ok(Query {
+            prog,
+            language: QueryLanguage::XPath,
+            source: src.to_string(),
+        })
+    }
+
+    /// Evaluates a query as a **boolean** (document-filtering) query:
+    /// true iff a query predicate holds at the root. For disk databases
+    /// this needs only the bottom-up phase — a single backward scan.
+    pub fn evaluate_boolean(&self, query: &Query) -> Result<bool, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => Ok(crate::diskeval::evaluate_boolean(&query.prog, db)?),
+            Backing::Memory(tree) => {
+                let res = evaluate_tree(&query.prog, tree);
+                Ok(query
+                    .prog
+                    .query_preds()
+                    .iter()
+                    .any(|&p| res.holds(p, tree.root())))
+            }
+        }
+    }
+
+    /// Evaluates a query by the two-phase algorithm: two linear scans for
+    /// disk databases, two in-memory sweeps otherwise.
+    pub fn evaluate(&self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => Ok(evaluate_disk(&query.prog, db)?),
+            Backing::Memory(tree) => {
+                let res = evaluate_tree(&query.prog, tree);
+                let mut selected = NodeSet::new(tree.len());
+                let mut per_pred_counts = vec![0u64; query.prog.query_preds().len()];
+                for v in tree.nodes() {
+                    let mut any = false;
+                    for (i, &q) in query.prog.query_preds().iter().enumerate() {
+                        if res.holds(q, v) {
+                            per_pred_counts[i] += 1;
+                            any = true;
+                        }
+                    }
+                    if any {
+                        selected.insert(v);
+                    }
+                }
+                Ok(QueryOutcome {
+                    stats: res.stats,
+                    selected,
+                    per_pred_counts,
+                })
+            }
+        }
+    }
+
+    /// Evaluates a query and writes the whole document with selected
+    /// nodes marked (the paper's default output mode), streaming during
+    /// phase 2 for disk databases.
+    pub fn evaluate_marked(
+        &self,
+        query: &Query,
+        out: impl Write,
+    ) -> Result<QueryOutcome, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => {
+                let query_atoms: Vec<arb_logic::Atom> = query
+                    .prog
+                    .query_preds()
+                    .iter()
+                    .map(|&p| arb_logic::Atom::local(p))
+                    .collect();
+                let mut emitter = XmlEmitter::new(&self.labels, out);
+                let mut emit_err: Option<io::Error> = None;
+                let mut hook = |_ix: u32, rec: NodeRecord, set: &arb_logic::PredSet| {
+                    let sel = query_atoms.iter().any(|a| set.contains(*a));
+                    if let Err(e) = emitter.node(rec, sel) {
+                        emit_err.get_or_insert(e);
+                    }
+                };
+                let outcome = evaluate_disk_with_hook(&query.prog, db, Some(&mut hook))?;
+                if let Some(e) = emit_err {
+                    return Err(e.into());
+                }
+                emitter.finish()?;
+                Ok(outcome)
+            }
+            Backing::Memory(tree) => {
+                let outcome = self.evaluate(query)?;
+                let mut out = out;
+                let writer = arb_xml::MarkedWriter::new(&self.labels, Some(&outcome.selected));
+                writer.write(tree, &mut out)?;
+                Ok(outcome)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_database_end_to_end() {
+        let mut db = Database::from_xml_str("<r><a/><b><a>t</a></b></r>").unwrap();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let outcome = db.evaluate(&q).unwrap();
+        assert_eq!(outcome.stats.selected, 2);
+        assert_eq!(outcome.per_pred_counts, vec![2]);
+
+        let mut buf = Vec::new();
+        db.evaluate_marked(&q, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            s,
+            "<r><a arb:selected=\"true\"></a><b><a arb:selected=\"true\">t</a></b></r>"
+        );
+    }
+
+    #[test]
+    fn disk_and_memory_agree() {
+        let xml = "<doc><x><y/>ab</x><x/></doc>";
+        let dir = std::env::temp_dir().join(format!("arb-dbx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml_path = dir.join("d.xml");
+        std::fs::write(&xml_path, xml).unwrap();
+        let (mut disk, stats) =
+            Database::create_arb_from_xml(&xml_path, dir.join("d.arb"), &XmlConfig::default())
+                .unwrap();
+        assert_eq!(stats.nodes(), disk.node_count());
+
+        let mut mem = Database::from_xml_str(xml).unwrap();
+        let src = "QUERY :- V.Label[x], HasFirstChild;";
+        let qd = disk.compile_tmnf(src).unwrap();
+        let qm = mem.compile_tmnf(src).unwrap();
+        let od = disk.evaluate(&qd).unwrap();
+        let om = mem.evaluate(&qm).unwrap();
+        assert_eq!(od.stats.selected, om.stats.selected);
+        assert_eq!(od.selected.to_vec(), om.selected.to_vec());
+
+        let mut bd = Vec::new();
+        let mut bm = Vec::new();
+        disk.evaluate_marked(&qd, &mut bd).unwrap();
+        mem.evaluate_marked(&qm, &mut bm).unwrap();
+        assert_eq!(bd, bm);
+    }
+}

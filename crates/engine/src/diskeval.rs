@@ -1,0 +1,225 @@
+//! Algorithm 4.6 over the `.arb` secondary-storage model.
+//!
+//! Phase 1 runs the bottom-up automaton over one **backward linear scan**
+//! of the `.arb` file, streaming the per-node state ids (4 bytes/node) to
+//! the temporary `.sta` file. Phase 2 runs the top-down automaton over
+//! one **forward linear scan**, reading the `.sta` file forward in
+//! lockstep. Main memory holds only the two automata (lazily grown hash
+//! tables) and a stack bounded by the XML depth — the paper's three
+//! desiderata of Section 1.1.
+
+use crate::QueryOutcome;
+use arb_core::{EvalStats, QueryAutomata};
+use arb_logic::{Atom, PredSetId, ProgramId};
+use arb_storage::stafile::{StateFileReader, StateFileWriter};
+use arb_storage::{bottom_up_scan, top_down_scan, ArbDatabase, DownContext};
+use arb_tmnf::CoreProgram;
+use arb_tree::{NodeId, NodeSet};
+use std::io;
+use std::time::Instant;
+
+/// Per-node hook invoked during phase 2 (document order) with the node's
+/// record and its final true-predicate set — used for marked-XML output.
+pub type Phase2Hook<'a> =
+    &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet);
+
+/// Evaluates a TMNF program over a disk database by the two-phase
+/// algorithm. Pass a `hook` to observe every node's predicates in
+/// document order during phase 2 (e.g. to emit marked XML).
+pub fn evaluate_disk_with_hook(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    mut hook: Option<Phase2Hook<'_>>,
+) -> io::Result<QueryOutcome> {
+    let mut qa = QueryAutomata::new(prog);
+    let n = db.node_count();
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cannot evaluate a query on an empty database",
+        ));
+    }
+    let sta_path = db.sta_path();
+
+    // --- Phase 1: backward scan, bottom-up automaton, stream states -----
+    let t1 = Instant::now();
+    let mut scan = db.backward_scan()?;
+    let mut sta = StateFileWriter::create(&sta_path, n as u64)?;
+    let mut sta_err: Option<io::Error> = None;
+    let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
+        let s = qa.bottom_up(s1, s2, rec.info(ix));
+        if let Err(e) = sta.write_state(s.0) {
+            sta_err.get_or_insert(e);
+        }
+        s
+    })?;
+    if let Some(e) = sta_err {
+        return Err(e);
+    }
+    sta.finish()?;
+    let phase1_time = t1.elapsed();
+
+    // --- Phase 2: forward scan, top-down automaton ----------------------
+    let t2 = Instant::now();
+    let mut scan = db.forward_scan()?;
+    let mut sta = StateFileReader::open(&sta_path)?;
+    let query_atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
+    let mut selected = NodeSet::new(n as usize);
+    let mut per_pred_counts = vec![0u64; query_atoms.len()];
+    let mut io_err: Option<io::Error> = None;
+    let start = qa.start_state(root_state);
+    top_down_scan(&mut scan, |ctx, rec, ix| -> PredSetId {
+        // The child's phase-1 state, in preorder lockstep with the scan.
+        let rho_a = match sta.read_state() {
+            Ok(s) => ProgramId(s),
+            Err(e) => {
+                io_err.get_or_insert(e);
+                return PredSetId(0);
+            }
+        };
+        let state = match ctx {
+            DownContext::Root => {
+                debug_assert_eq!(rho_a, root_state);
+                start
+            }
+            DownContext::Child(parent, k) => qa.top_down(parent, rho_a, k),
+        };
+        let set = qa.predsets.get(state);
+        let mut any = false;
+        for (i, a) in query_atoms.iter().enumerate() {
+            if set.contains(*a) {
+                per_pred_counts[i] += 1;
+                any = true;
+            }
+        }
+        if any {
+            selected.insert(NodeId(ix));
+        }
+        if let Some(h) = hook.as_mut() {
+            let set = qa.predsets.get(state).clone();
+            h(ix, rec, &set);
+        }
+        state
+    })?;
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    let phase2_time = t2.elapsed();
+
+    let stats = EvalStats {
+        idb_count: prog.pred_count(),
+        rule_count: prog.rule_count(),
+        phase1_time,
+        phase1_transitions: qa.bu_transitions,
+        phase2_time,
+        phase2_transitions: qa.td_transitions,
+        selected: selected.count() as u64,
+        memory_bytes: qa.memory_bytes(),
+        bu_states: qa.bu_state_count(),
+        td_states: qa.td_state_count(),
+        nodes: n as u64,
+    };
+    Ok(QueryOutcome {
+        stats,
+        selected,
+        per_pred_counts,
+    })
+}
+
+/// [`evaluate_disk_with_hook`] without a hook.
+pub fn evaluate_disk(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<QueryOutcome> {
+    evaluate_disk_with_hook(prog, db, None)
+}
+
+/// Evaluates a **boolean** query — "accept or reject an entire XML
+/// document on the grounds of its contents" (paper §1, the \[12, 3\]
+/// document-filtering setting): does the query predicate hold at the
+/// root?
+///
+/// Only the bottom-up phase is needed: the root's residual program
+/// already carries all constraints of the whole tree, so the answer is a
+/// membership test on its facts. One backward linear scan, no `.sta`
+/// file.
+pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool> {
+    let mut qa = QueryAutomata::new(prog);
+    let n = db.node_count();
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cannot evaluate a query on an empty database",
+        ));
+    }
+    let mut scan = db.backward_scan()?;
+    let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
+        qa.bottom_up(s1, s2, rec.info(ix))
+    })?;
+    let start = qa.start_state(root_state);
+    let set = qa.predsets.get(start);
+    Ok(prog
+        .query_preds()
+        .iter()
+        .any(|&p| set.contains(Atom::local(p))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_storage::create::create_from_xml;
+    use arb_tmnf::{naive, normalize, parse_program};
+    
+    use arb_xml::XmlConfig;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    fn mkdb(xml: &str, name: &str) -> ArbDatabase {
+        let dir = std::env::temp_dir().join(format!("arb-eval-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let arb: PathBuf = dir.join(name);
+        create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb).unwrap();
+        ArbDatabase::open(&arb).unwrap()
+    }
+
+    /// Disk evaluation must equal the in-memory naive fixpoint on every
+    /// (pred, node) pair (Theorem 4.1 end-to-end, through the storage
+    /// model).
+    #[test]
+    fn disk_matches_naive() {
+        let xml = "<doc><sec><p>ab</p><p/></sec><sec>c</sec></doc>";
+        let db = mkdb(xml, "m1.arb");
+        let mut labels = db.labels().clone();
+        let src = "InSec :- V.Label[sec].FirstChild.NextSibling*;\n\
+                   CharNode :- Text, InSec;\n\
+                   QUERY :- CharNode, CharNode;";
+        let ast = parse_program(src, &mut labels).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+
+        let outcome = evaluate_disk(&prog, &db).unwrap();
+
+        let tree = db.to_tree().unwrap();
+        let oracle = naive::evaluate(&prog, &tree);
+        let q = prog.pred_id("QUERY").unwrap();
+        for v in tree.nodes() {
+            assert_eq!(outcome.selected.contains(v), oracle.holds(q, v), "node {}", v.0);
+        }
+        // InSec covers only the *children* of sec elements; the only
+        // character child of a sec is 'c' ('a','b' sit inside a p).
+        assert_eq!(outcome.stats.selected, 1);
+        assert_eq!(outcome.per_pred_counts, vec![1]);
+    }
+
+    #[test]
+    fn hook_sees_every_node_in_document_order() {
+        let db = mkdb("<a><b/><c/></a>", "m2.arb");
+        let mut labels = db.labels().clone();
+        let ast = parse_program("QUERY :- Root;", &mut labels).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+        let mut seen = Vec::new();
+        let mut hook = |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet| {
+            seen.push(ix);
+        };
+        evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

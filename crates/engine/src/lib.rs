@@ -1,0 +1,49 @@
+//! # arb-engine
+//!
+//! The high-level Arb query engine: databases (on disk in the `.arb`
+//! storage model, or in memory), compiled queries (TMNF or Core XPath),
+//! and two-phase evaluation with optional marked-XML output — the Rust
+//! counterpart of the paper's C++ `Arb` system.
+//!
+//! ```
+//! use arb_engine::{Database, Engine};
+//!
+//! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>").unwrap();
+//! let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+//! let outcome = db.evaluate(&q).unwrap();
+//! assert_eq!(outcome.stats.selected, 2);
+//! # let _ = Engine::default();
+//! ```
+
+pub mod database;
+pub mod diskeval;
+pub mod output;
+pub mod query;
+
+pub use database::{Database, EngineError};
+pub use diskeval::evaluate_disk;
+pub use output::XmlEmitter;
+pub use query::{Query, QueryLanguage};
+
+use arb_core::EvalStats;
+use arb_tree::NodeSet;
+
+/// The result of evaluating a query.
+pub struct QueryOutcome {
+    /// Figure-6-style statistics (times, transitions, selected, memory).
+    pub stats: EvalStats,
+    /// The selected nodes (union over all query predicates), as preorder
+    /// indexes.
+    pub selected: NodeSet,
+    /// Per-query-predicate selection counts, in the order of
+    /// `query_preds()` (multi-query support, paper §7).
+    pub per_pred_counts: Vec<u64>,
+}
+
+/// Engine-level knobs.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    /// Force in-memory evaluation even for disk databases (materializes
+    /// the tree first). Off by default.
+    pub prefer_memory: bool,
+}

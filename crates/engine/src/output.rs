@@ -1,0 +1,152 @@
+//! Streaming marked-XML output during phase 2.
+//!
+//! "As the default behavior of Arb, the entire XML document is returned
+//! with selected nodes marked up in the usual XML fashion. This output
+//! can be produced in the second (top-down traversal) phase of query
+//! processing" (paper §6.3). The emitter consumes the forward record
+//! stream in document order and writes the document incrementally, with
+//! an open-element stack bounded by the XML depth.
+
+use arb_storage::NodeRecord;
+use arb_tree::{LabelId, LabelTable};
+use std::io::{self, Write};
+
+/// Incremental XML serializer over preorder `.arb` records.
+pub struct XmlEmitter<'a, W: Write> {
+    labels: &'a LabelTable,
+    out: W,
+    /// Open elements awaiting their close tag: (label, has_second).
+    stack: Vec<(LabelId, bool)>,
+    /// Inside a run of selected character nodes.
+    char_run_selected: bool,
+}
+
+impl<'a, W: Write> XmlEmitter<'a, W> {
+    /// A fresh emitter.
+    pub fn new(labels: &'a LabelTable, out: W) -> Self {
+        XmlEmitter {
+            labels,
+            out,
+            stack: Vec::new(),
+            char_run_selected: false,
+        }
+    }
+
+    fn close_char_run(&mut self) -> io::Result<()> {
+        if self.char_run_selected {
+            self.out.write_all(b"</arb:selected>")?;
+            self.char_run_selected = false;
+        }
+        Ok(())
+    }
+
+    fn emit_close(&mut self, label: LabelId) -> io::Result<()> {
+        self.out.write_all(b"</")?;
+        self.out.write_all(self.labels.name(label).as_bytes())?;
+        self.out.write_all(b">")
+    }
+
+    /// Feeds the next node in document order; `selected` marks it.
+    pub fn node(&mut self, rec: NodeRecord, selected: bool) -> io::Result<()> {
+        let is_char = rec.label.is_text();
+        if is_char {
+            if selected != self.char_run_selected {
+                if selected {
+                    self.out.write_all(b"<arb:selected>")?;
+                } else {
+                    self.out.write_all(b"</arb:selected>")?;
+                }
+                self.char_run_selected = selected;
+            }
+            let b = rec.label.text_byte().expect("char label");
+            match b {
+                b'&' => self.out.write_all(b"&amp;")?,
+                b'<' => self.out.write_all(b"&lt;")?,
+                b'>' => self.out.write_all(b"&gt;")?,
+                _ => self.out.write_all(&[b])?,
+            }
+        } else {
+            self.close_char_run()?;
+            self.out.write_all(b"<")?;
+            self.out.write_all(self.labels.name(rec.label).as_bytes())?;
+            if selected {
+                self.out.write_all(b" arb:selected=\"true\"")?;
+            }
+            self.out.write_all(b">")?;
+        }
+        if rec.has_first {
+            debug_assert!(!is_char, "character nodes are leaves");
+            self.stack.push((rec.label, rec.has_second));
+            return Ok(());
+        }
+        if !is_char {
+            self.close_char_run()?;
+            self.emit_close(rec.label)?;
+        }
+        // Unwind closed ancestors until one still expects a sibling.
+        let mut has_second = rec.has_second;
+        while !has_second {
+            match self.stack.pop() {
+                Some((label, hs)) => {
+                    self.close_char_run()?;
+                    self.emit_close(label)?;
+                    has_second = hs;
+                }
+                None => break, // document complete
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes, checking well-formedness, and returns the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.close_char_run()?;
+        if !self.stack.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record stream ended with open elements",
+            ));
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_storage::create::create_from_xml;
+    use arb_storage::ArbDatabase;
+    use arb_xml::XmlConfig;
+    use std::io::Cursor;
+
+    fn emit(xml: &str, selected: &[u32]) -> String {
+        let dir = std::env::temp_dir().join(format!("arb-out-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let arb = dir.join(format!("o{}.arb", selected.len()));
+        create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb).unwrap();
+        let db = ArbDatabase::open(&arb).unwrap();
+        let mut em = XmlEmitter::new(db.labels(), Vec::new());
+        let mut scan = db.forward_scan().unwrap();
+        while let Some((ix, rec)) = scan.next_record().unwrap() {
+            em.node(rec, selected.contains(&ix)).unwrap();
+        }
+        String::from_utf8(em.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_unmarked() {
+        let xml = "<a><b>x&amp;y</b><c></c></a>";
+        assert_eq!(emit(xml, &[]), xml);
+    }
+
+    #[test]
+    fn marks_selected_nodes() {
+        // Nodes: 0=a 1=b 2='x' 3=c.
+        let s = emit("<a><b>x</b><c/></a>", &[1, 2]);
+        assert_eq!(
+            s,
+            "<a><b arb:selected=\"true\"><arb:selected>x</arb:selected></b><c></c></a>"
+        );
+    }
+}

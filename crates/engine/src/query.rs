@@ -1,0 +1,74 @@
+//! Compiled queries.
+
+use arb_tmnf::CoreProgram;
+
+/// The source language a query was compiled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLanguage {
+    /// The Arb surface syntax (TMNF with caterpillar expressions).
+    Tmnf,
+    /// Core XPath.
+    XPath,
+}
+
+/// A compiled query: a strict TMNF program with its query predicate(s)
+/// chosen, bound to the label space of the database it was compiled
+/// against.
+pub struct Query {
+    pub(crate) prog: CoreProgram,
+    /// Source language.
+    pub language: QueryLanguage,
+    /// Original query text.
+    pub source: String,
+}
+
+impl Query {
+    /// The compiled strict TMNF program.
+    pub fn program(&self) -> &CoreProgram {
+        &self.prog
+    }
+
+    /// `|IDB|` (paper Figure 6 column 2).
+    pub fn idb_count(&self) -> usize {
+        self.prog.pred_count()
+    }
+
+    /// `|P|` (paper Figure 6 column 3).
+    pub fn rule_count(&self) -> usize {
+        self.prog.rule_count()
+    }
+}
+
+/// Chooses the query predicates for a freshly normalized program:
+/// a predicate named `QUERY` if present, else the head of the last rule.
+pub(crate) fn choose_query_pred(prog: &mut CoreProgram) {
+    if let Some(q) = prog.pred_id("QUERY") {
+        prog.add_query_pred(q);
+        return;
+    }
+    if let Some(last) = prog.rules().last() {
+        let head = last.head();
+        prog.add_query_pred(head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tmnf::{normalize, parse_program};
+    use arb_tree::LabelTable;
+
+    #[test]
+    fn query_pred_convention() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program("A :- Root; QUERY :- A.FirstChild;", &mut lt).unwrap();
+        let mut prog = normalize(&ast);
+        choose_query_pred(&mut prog);
+        assert_eq!(prog.query_pred(), prog.pred_id("QUERY"));
+
+        let ast = parse_program("A :- Root; B :- A.FirstChild;", &mut lt).unwrap();
+        let mut prog = normalize(&ast);
+        choose_query_pred(&mut prog);
+        assert_eq!(prog.query_pred(), prog.pred_id("B"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Propositional atoms with child superscripts.
+//!
+//! Definition 4.2 of the paper works with propositional predicates
+//! `σ ∪ {X_i, X_i^1, X_i^2}`: for each IDB predicate `X_i` of the TMNF
+//! program there is a *local* atom `X_i`, a *left-child* atom `X_i^1` and a
+//! *right-child* atom `X_i^2`; EDB predicates (relation names such as
+//! `Root` or `Label[a]`) are a separate namespace.
+
+use std::fmt;
+
+/// The four kinds of propositional atoms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Tag {
+    /// Local IDB predicate `X_i` (no superscript).
+    Local = 0,
+    /// Left-child predicate `X_i^1`.
+    Sup1 = 1,
+    /// Right-child predicate `X_i^2`.
+    Sup2 = 2,
+    /// EDB predicate (a relation name from the schema σ).
+    Edb = 3,
+}
+
+/// A propositional atom: a predicate index and a [`Tag`], packed into a
+/// `u32` (`index << 2 | tag`). IDB and EDB predicates use independent
+/// dense index spaces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// Local IDB atom `X_i`.
+    #[inline]
+    pub fn local(pred: u32) -> Self {
+        Atom(pred << 2)
+    }
+
+    /// Left-child atom `X_i^1`.
+    #[inline]
+    pub fn sup1(pred: u32) -> Self {
+        Atom((pred << 2) | 1)
+    }
+
+    /// Right-child atom `X_i^2`.
+    #[inline]
+    pub fn sup2(pred: u32) -> Self {
+        Atom((pred << 2) | 2)
+    }
+
+    /// Child atom `X_i^k` for `k ∈ {1, 2}`.
+    #[inline]
+    pub fn sup(pred: u32, k: u8) -> Self {
+        debug_assert!(k == 1 || k == 2);
+        Atom((pred << 2) | k as u32)
+    }
+
+    /// EDB atom with the given EDB index.
+    #[inline]
+    pub fn edb(pred: u32) -> Self {
+        Atom((pred << 2) | 3)
+    }
+
+    /// Predicate index (meaningful within the atom's namespace).
+    #[inline]
+    pub fn pred(self) -> u32 {
+        self.0 >> 2
+    }
+
+    /// The atom's tag.
+    #[inline]
+    pub fn tag(self) -> Tag {
+        match self.0 & 3 {
+            0 => Tag::Local,
+            1 => Tag::Sup1,
+            2 => Tag::Sup2,
+            _ => Tag::Edb,
+        }
+    }
+
+    /// True for `X_i` (local IDB, no superscript).
+    #[inline]
+    pub fn is_local(self) -> bool {
+        self.0 & 3 == 0
+    }
+
+    /// True for `X_i^1` or `X_i^2`.
+    #[inline]
+    pub fn is_sup(self) -> bool {
+        matches!(self.0 & 3, 1 | 2)
+    }
+
+    /// True for EDB atoms.
+    #[inline]
+    pub fn is_edb(self) -> bool {
+        self.0 & 3 == 3
+    }
+
+    /// `PushDown_k`: adds superscript `k` to a local atom (paper §4.1).
+    ///
+    /// # Panics
+    /// Panics (debug) if the atom is not local.
+    #[inline]
+    pub fn push_down(self, k: u8) -> Self {
+        debug_assert!(self.is_local(), "PushDown requires local atoms");
+        debug_assert!(k == 1 || k == 2);
+        Atom(self.0 | k as u32)
+    }
+
+    /// `PushUpFrom_k`: removes a superscript (paper §4.1).
+    ///
+    /// # Panics
+    /// Panics (debug) if the atom is not superscripted.
+    #[inline]
+    pub fn push_up(self) -> Self {
+        debug_assert!(self.is_sup(), "PushUpFrom requires superscripted atoms");
+        Atom(self.0 & !3)
+    }
+
+    /// The superscript `k ∈ {1, 2}`, if any.
+    #[inline]
+    pub fn sup_k(self) -> Option<u8> {
+        match self.0 & 3 {
+            1 => Some(1),
+            2 => Some(2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag() {
+            Tag::Local => write!(f, "P{}", self.pred()),
+            Tag::Sup1 => write!(f, "P{}^1", self.pred()),
+            Tag::Sup2 => write!(f, "P{}^2", self.pred()),
+            Tag::Edb => write!(f, "E{}", self.pred()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let a = Atom::local(7);
+        assert_eq!(a.pred(), 7);
+        assert_eq!(a.tag(), Tag::Local);
+        assert!(a.is_local() && !a.is_sup() && !a.is_edb());
+
+        let b = Atom::sup1(7);
+        assert_eq!(b.tag(), Tag::Sup1);
+        assert_eq!(b.sup_k(), Some(1));
+        assert_eq!(b.push_up(), a);
+
+        let c = a.push_down(2);
+        assert_eq!(c, Atom::sup2(7));
+        assert_eq!(c.sup_k(), Some(2));
+
+        let e = Atom::edb(3);
+        assert!(e.is_edb());
+        assert_eq!(e.pred(), 3);
+        assert_eq!(e.sup_k(), None);
+    }
+
+    #[test]
+    fn ordering_groups_by_pred_then_tag() {
+        assert!(Atom::local(1) < Atom::sup1(1));
+        assert!(Atom::sup2(1) < Atom::local(2));
+    }
+}

@@ -1,0 +1,218 @@
+//! `ContractProgram` (paper Section 4.1).
+//!
+//! After LTUR, the program at a tree node mixes *local* atoms (about the
+//! node itself) and *superscripted* atoms (about its children). The
+//! residual automaton state must only constrain the node's own predicates,
+//! so superscripted predicates are *unfolded away*:
+//!
+//! > "We unfold two rules r₁ and r₂ if head(r₂) ∈ body(r₁) and head(r₂)
+//! > has a superscript (1 or 2). This is done until no new rules can be
+//! > computed. Then, all rules containing a predicate with superscript 1
+//! > or 2 are removed. The rules that remain are all local."
+//!
+//! The implementation performs SLD-style resolution: each pending rule
+//! resolves its *first* superscripted body atom against every rule with
+//! that head. Selecting a single atom per step is complete for Horn
+//! programs and avoids enumerating redundant unfolding orders. A seen-set
+//! guarantees termination (the rule space is finite); final
+//! canonicalization applies subsumption, keeping residual programs small —
+//! the property the paper's practicality rests on.
+
+use crate::atom::Atom;
+use crate::fxhash::FxHashSet;
+use crate::program::{Program, Rule};
+
+/// Contracts a program to its local-only residual.
+pub fn contract(p: &Program) -> Program {
+    contract_rules(p.rules())
+}
+
+/// [`contract`] over a raw (possibly non-canonical) rule slice — used to
+/// fuse LTUR's residual directly into contraction without canonicalizing
+/// the large intermediate program.
+pub fn contract_rules(rules: &[Rule]) -> Program {
+    // Index rules by superscripted head.
+    let mut by_head: std::collections::BTreeMap<Atom, Vec<&Rule>> = Default::default();
+    let mut out: Vec<Rule> = Vec::new();
+    let mut pending: Vec<Rule> = Vec::new();
+    for r in rules {
+        if r.head.is_sup() {
+            by_head.entry(r.head).or_default().push(r);
+        }
+    }
+    for r in rules {
+        if !r.head.is_sup() {
+            if r.body.iter().any(|a| a.is_sup()) {
+                pending.push(r.clone());
+            } else {
+                out.push(r.clone());
+            }
+        }
+    }
+
+    let mut seen: FxHashSet<Rule> = FxHashSet::default();
+    // Also track unfolded sup-headed rules so cyclic chains terminate.
+    while let Some(r) = pending.pop() {
+        // Find the first superscripted body atom.
+        let Some(pos) = r.body.iter().position(|a| a.is_sup()) else {
+            out.push(r);
+            continue;
+        };
+        let b = r.body[pos];
+        let Some(defs) = by_head.get(&b) else {
+            continue; // no rule derives b: the rule can never fire
+        };
+        for r2 in defs {
+            // Unfold: body := (body \ {b}) ∪ body(r2).
+            let mut body: Vec<Atom> = Vec::with_capacity(r.body.len() - 1 + r2.body.len());
+            body.extend(r.body.iter().copied().filter(|&a| a != b));
+            body.extend(r2.body.iter().copied());
+            let nr = Rule::new(r.head, body);
+            if nr.is_tautology() {
+                continue;
+            }
+            // Resolving may reintroduce b through r2's body (cycles): the
+            // seen-set cuts repetition.
+            if seen.insert(nr.clone()) {
+                pending.push(nr);
+            }
+        }
+    }
+
+    // The sup-headed rules themselves are dropped ("all rules containing a
+    // predicate with superscript 1 or 2 are removed").
+    Program::canonical(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Atom {
+        Atom::local(i)
+    }
+    fn s1(i: u32) -> Atom {
+        Atom::sup1(i)
+    }
+    fn s2(i: u32) -> Atom {
+        Atom::sup2(i)
+    }
+
+    /// Paper Example 4.4.
+    #[test]
+    fn example_4_4() {
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![l(1), l(2)]),   // P0 <- P1 & P2
+            Rule::new(l(1), vec![s1(3)]),        // P1 <- P3^1
+            Rule::new(l(2), vec![s1(4)]),        // P2 <- P4^1
+            Rule::new(s1(3), vec![s1(5)]),       // P3^1 <- P5^1
+            Rule::new(s1(4), vec![s1(5), s1(6)]),// P4^1 <- P5^1 & P6^1
+            Rule::new(s1(5), vec![l(7)]),        // P5^1 <- P7
+            Rule::new(s1(6), vec![l(7), l(8)]),  // P6^1 <- P7 & P8
+            Rule::new(l(8), vec![s2(9), s2(10)]),// P8 <- P9^2 & P10^2
+            Rule::new(s2(9), vec![l(11)]),       // P9^2 <- P11
+        ]);
+        let c = contract(&p);
+        let expect = Program::canonical(vec![
+            Rule::new(l(0), vec![l(1), l(2)]),
+            Rule::new(l(1), vec![l(7)]),
+            Rule::new(l(2), vec![l(7), l(8)]),
+        ]);
+        assert_eq!(c, expect);
+    }
+
+    /// Paper Example 4.5, node v1: contract
+    /// {P2^1<-P1; P3^1<-P2; P5<-P4^1; Q<-P5^1; P4^1<-P3^1} to {P5<-P2}.
+    /// (Predicate numbering: P1..P5 = 0..4, Q = 5.)
+    #[test]
+    fn example_4_5_v1() {
+        let p = Program::canonical(vec![
+            Rule::new(s1(1), vec![l(0)]), // P2^1 <- P1
+            Rule::new(s1(2), vec![l(1)]), // P3^1 <- P2
+            Rule::new(l(4), vec![s1(3)]), // P5 <- P4^1
+            Rule::new(l(5), vec![s1(4)]), // Q <- P5^1
+            Rule::new(s1(3), vec![s1(2)]),// P4^1 <- P3^1
+        ]);
+        let c = contract(&p);
+        let expect = Program::canonical(vec![Rule::new(l(4), vec![l(1)])]);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn dead_sup_atom_kills_rule() {
+        // P0 <- P1^1 and nothing derives P1^1.
+        let p = Program::canonical(vec![Rule::new(l(0), vec![s1(1)])]);
+        assert!(contract(&p).is_empty());
+    }
+
+    #[test]
+    fn sup_fact_discharges() {
+        // P0 <- P1^1; P1^1 <-.  => P0 <-.
+        let p = Program::canonical(vec![Rule::new(l(0), vec![s1(1)]), Rule::fact(s1(1))]);
+        let c = contract(&p);
+        assert_eq!(c, Program::canonical(vec![Rule::fact(l(0))]));
+    }
+
+    #[test]
+    fn cyclic_sup_rules_terminate() {
+        // P0 <- P1^1; P1^1 <- P2^1; P2^1 <- P1^1  (cycle, no base case).
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![s1(1)]),
+            Rule::new(s1(1), vec![s1(2)]),
+            Rule::new(s1(2), vec![s1(1)]),
+        ]);
+        assert!(contract(&p).is_empty());
+    }
+
+    #[test]
+    fn cyclic_with_base_case() {
+        // P0 <- P1^1; P1^1 <- P2^1; P2^1 <- P1^1; P2^1 <- P3. => P0 <- P3.
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![s1(1)]),
+            Rule::new(s1(1), vec![s1(2)]),
+            Rule::new(s1(2), vec![s1(1)]),
+            Rule::new(s1(2), vec![l(3)]),
+        ]);
+        let c = contract(&p);
+        assert_eq!(c, Program::canonical(vec![Rule::new(l(0), vec![l(3)])]));
+    }
+
+    #[test]
+    fn local_rules_pass_through() {
+        let p = Program::canonical(vec![Rule::new(l(0), vec![l(1)]), Rule::fact(l(2))]);
+        assert_eq!(contract(&p), p);
+    }
+
+    #[test]
+    fn mixed_sup_body() {
+        // P0 <- P1^1 & P2^2; P1^1 <- P3; P2^2 <- P4.  => P0 <- P3 & P4.
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![s1(1), s2(2)]),
+            Rule::new(s1(1), vec![l(3)]),
+            Rule::new(s2(2), vec![l(4)]),
+        ]);
+        let c = contract(&p);
+        assert_eq!(
+            c,
+            Program::canonical(vec![Rule::new(l(0), vec![l(3), l(4)])])
+        );
+    }
+
+    #[test]
+    fn alternative_derivations_kept() {
+        // P0 <- P1^1; P1^1 <- P2; P1^1 <- P3.  => P0 <- P2; P0 <- P3.
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![s1(1)]),
+            Rule::new(s1(1), vec![l(2)]),
+            Rule::new(s1(1), vec![l(3)]),
+        ]);
+        let c = contract(&p);
+        assert_eq!(
+            c,
+            Program::canonical(vec![
+                Rule::new(l(0), vec![l(2)]),
+                Rule::new(l(0), vec![l(3)])
+            ])
+        );
+    }
+}

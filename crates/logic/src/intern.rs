@@ -1,0 +1,218 @@
+//! Hash-consing of residual programs and predicate sets.
+//!
+//! The deterministic bottom-up automaton `A` has states `Q_A ⊆ 2^{2^IDB}`
+//! represented as residual programs, and the top-down automaton `B` has
+//! states `Q_B = 2^IDB` represented as sets of true predicates. Interning
+//! both into dense `u32` identifiers makes transition-table keys small and
+//! lets the evaluator stream 4-byte state ids to disk between the two
+//! phases (paper footnote 12: "we write the pointer to the internal data
+//! structure of the residual program ρA(v) for each node").
+
+use crate::atom::Atom;
+use crate::fxhash::FxHashMap;
+use crate::program::Program;
+use std::sync::Arc;
+
+/// Identifier of an interned [`Program`] (a state of automaton `A`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProgramId(pub u32);
+
+/// Interner for canonical residual programs.
+#[derive(Default)]
+pub struct ProgramInterner {
+    items: Vec<Arc<Program>>,
+    map: FxHashMap<Arc<Program>, u32>,
+    bytes: usize,
+}
+
+impl ProgramInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a program, returning its id (allocating one if new).
+    pub fn intern(&mut self, p: Program) -> ProgramId {
+        if let Some(&id) = self.map.get(&p) {
+            return ProgramId(id);
+        }
+        let id = self.items.len() as u32;
+        let arc = Arc::new(p);
+        self.bytes += arc.byte_size();
+        self.items.push(arc.clone());
+        self.map.insert(arc, id);
+        ProgramId(id)
+    }
+
+    /// Looks up a program by id.
+    ///
+    /// # Panics
+    /// Panics on an id not produced by this interner.
+    pub fn get(&self, id: ProgramId) -> &Program {
+        &self.items[id.0 as usize]
+    }
+
+    /// Number of distinct programs interned (the automaton's state count).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Approximate heap footprint of all interned programs, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Identifier of an interned [`PredSet`] (a state of automaton `B`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PredSetId(pub u32);
+
+/// A sorted set of local IDB atoms — a state of the top-down automaton
+/// `B = 2^IDB` (the set of predicates true at a node).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PredSet {
+    atoms: Box<[Atom]>,
+}
+
+impl PredSet {
+    /// Builds a set from atoms (sorted and deduplicated; all atoms must be
+    /// local IDB atoms).
+    pub fn new(mut atoms: Vec<Atom>) -> Self {
+        debug_assert!(atoms.iter().all(|a| a.is_local()));
+        atoms.sort_unstable();
+        atoms.dedup();
+        PredSet {
+            atoms: atoms.into_boxed_slice(),
+        }
+    }
+
+    /// The empty predicate set.
+    pub fn empty() -> Self {
+        PredSet::default()
+    }
+
+    /// Sorted member atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: Atom) -> bool {
+        self.atoms.binary_search(&a).is_ok()
+    }
+
+    /// Number of predicates in the set.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<PredSet>() + self.atoms.len() * std::mem::size_of::<Atom>()
+    }
+}
+
+impl FromIterator<Atom> for PredSet {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        PredSet::new(iter.into_iter().collect())
+    }
+}
+
+/// Interner for predicate sets.
+#[derive(Default)]
+pub struct PredSetInterner {
+    items: Vec<Arc<PredSet>>,
+    map: FxHashMap<Arc<PredSet>, u32>,
+    bytes: usize,
+}
+
+impl PredSetInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate set, returning its id.
+    pub fn intern(&mut self, s: PredSet) -> PredSetId {
+        if let Some(&id) = self.map.get(&s) {
+            return PredSetId(id);
+        }
+        let id = self.items.len() as u32;
+        let arc = Arc::new(s);
+        self.bytes += arc.byte_size();
+        self.items.push(arc.clone());
+        self.map.insert(arc, id);
+        PredSetId(id)
+    }
+
+    /// Looks up a set by id.
+    pub fn get(&self, id: PredSetId) -> &PredSet {
+        &self.items[id.0 as usize]
+    }
+
+    /// Number of distinct sets interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Rule;
+
+    #[test]
+    fn program_interning_dedups() {
+        let mut i = ProgramInterner::new();
+        let p1 = Program::canonical(vec![Rule::new(Atom::local(0), vec![Atom::local(1)])]);
+        let p2 = Program::canonical(vec![Rule::new(Atom::local(0), vec![Atom::local(1)])]);
+        let id1 = i.intern(p1);
+        let id2 = i.intern(p2);
+        assert_eq!(id1, id2);
+        assert_eq!(i.len(), 1);
+        let id3 = i.intern(Program::empty());
+        assert_ne!(id1, id3);
+        assert_eq!(i.get(id3), &Program::empty());
+        assert!(i.byte_size() > 0);
+    }
+
+    #[test]
+    fn predset_sorted_dedup() {
+        let s = PredSet::new(vec![Atom::local(3), Atom::local(1), Atom::local(3)]);
+        assert_eq!(s.atoms(), &[Atom::local(1), Atom::local(3)]);
+        assert!(s.contains(Atom::local(1)));
+        assert!(!s.contains(Atom::local(2)));
+    }
+
+    #[test]
+    fn predset_interning() {
+        let mut i = PredSetInterner::new();
+        let a = i.intern(PredSet::new(vec![Atom::local(1), Atom::local(0)]));
+        let b = i.intern(PredSet::new(vec![Atom::local(0), Atom::local(1)]));
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        let c = i.intern(PredSet::empty());
+        assert_ne!(a, c);
+        assert!(i.get(c).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # arb-logic
+//!
+//! Propositional Horn program machinery (paper Section 4.1).
+//!
+//! The key observation behind the paper's scalability is that the *set of
+//! reachable states* of a nondeterministic selecting tree automaton at a
+//! node can be represented as a single **residual propositional logic
+//! program** (Horn formula), which in practice stays very small. This crate
+//! implements everything needed to manipulate such programs:
+//!
+//! * [`Atom`] — propositional predicates, with the paper's child
+//!   superscripts `X¹`/`X²` and EDB predicates,
+//! * [`Rule`] / [`Program`] — canonical (sorted, deduplicated,
+//!   subsumption-reduced) Horn programs,
+//! * [`ltur()`] — Minoux's linear-time unit resolution (LTUR, \[13\]) and the
+//!   residual-program construction of Section 4.1,
+//! * [`contract()`] — the `ContractProgram` procedure: SLD-style unfolding of
+//!   superscripted predicates until only *local* rules remain,
+//! * [`intern`] — hash-consing of programs and predicate sets into dense
+//!   `u32` state identifiers (the automaton state spaces `Q_A ⊆ 2^{2^IDB}`
+//!   and `Q_B = 2^IDB`),
+//! * [`fxhash`] — a small fast hasher for the transition hash tables.
+
+pub mod atom;
+pub mod contract;
+pub mod fxhash;
+pub mod intern;
+pub mod ltur;
+pub mod program;
+
+pub use atom::{Atom, Tag};
+pub use contract::{contract, contract_rules};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{PredSet, PredSetId, PredSetInterner, ProgramId, ProgramInterner};
+pub use ltur::{ltur, ltur_facts, ltur_once, ltur_residual, LturScratch};
+pub use program::{Program, Rule};

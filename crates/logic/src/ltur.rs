@@ -1,0 +1,332 @@
+//! LTUR — Minoux's linear-time unit resolution \[13\] and the residual
+//! program construction of paper Section 4.1.
+//!
+//! Given a propositional Horn program `P`, `LTUR(P)` is computed as:
+//!
+//! 1. compute the set `M` of all predicates derivable from the facts of
+//!    `P` using the rules of `P`;
+//! 2. drop all rules whose heads are true (in `M`) or which contain an EDB
+//!    predicate in the body that is not in `M`;
+//! 3. remove all body predicates of remaining rules that are true;
+//! 4. insert each *IDB* predicate `p ∈ M` as a new fact `p ←`.
+//!
+//! The implementation is the standard counter/watch-list unit propagation,
+//! linear in the total size of the program. A reusable [`LturScratch`]
+//! avoids per-call allocations — important because the lazy automata call
+//! LTUR once per *transition*, and transitions number in the hundreds of
+//! thousands on the ACGT-infix workloads (paper Figure 6).
+
+use crate::atom::Atom;
+use crate::program::{Program, Rule};
+
+/// Reusable scratch space for [`ltur`]. Create once per evaluation and
+/// pass to every call.
+#[derive(Default)]
+pub struct LturScratch {
+    /// Epoch-stamped truth marks, indexed by raw atom id.
+    truth: Vec<u32>,
+    epoch: u32,
+    /// Per-rule counters of not-yet-true body atoms.
+    counters: Vec<u32>,
+    /// Flattened watch lists: for each atom, the head of its edge list.
+    watch_heads: Vec<u32>,
+    /// Worklist of newly-true atoms.
+    queue: Vec<Atom>,
+    /// Derived IDB atoms of the current call, in derivation order.
+    derived: Vec<Atom>,
+    /// Watcher edge lists (one edge per (rule, body atom) pair).
+    edge_next: Vec<u32>,
+    edge_rule: Vec<u32>,
+}
+
+impl LturScratch {
+    /// Fresh scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn is_true(&self, a: Atom) -> bool {
+        self.truth
+            .get(a.0 as usize)
+            .is_some_and(|&e| e == self.epoch)
+    }
+
+    #[inline]
+    fn mark_true(&mut self, a: Atom) -> bool {
+        let ix = a.0 as usize;
+        if ix >= self.truth.len() {
+            self.truth.resize(ix + 1, 0);
+        }
+        if self.truth[ix] == self.epoch {
+            false
+        } else {
+            self.truth[ix] = self.epoch;
+            true
+        }
+    }
+}
+
+const NO_RULE: u32 = u32::MAX;
+
+/// Runs LTUR over the concatenation of the given rule slices (the lazy
+/// automata assemble their input programs from several fixed parts, e.g.
+/// `local_rules ∪ left_rules ∪ PushDown₁(P¹res)`; passing slices avoids
+/// building a combined vector).
+///
+/// Returns the residual program: EDB-free conditional rules with true body
+/// atoms removed, plus facts for every derived IDB atom (local or
+/// superscripted).
+pub fn ltur(parts: &[&[Rule]], scratch: &mut LturScratch) -> Program {
+    let mut out = Vec::new();
+    ltur_residual(parts, scratch, &mut out);
+    Program::canonical(out)
+}
+
+/// LTUR variant that appends the raw (non-canonicalized) residual rules
+/// to `out`. Used when contraction follows immediately: canonicalizing
+/// the large intermediate program would be wasted work (the paper's
+/// pipeline only interns the *contracted* result).
+pub fn ltur_residual(parts: &[&[Rule]], scratch: &mut LturScratch, out: &mut Vec<Rule>) {
+    propagate(parts, scratch);
+    residual(parts, scratch, out);
+}
+
+/// Unit propagation: computes the derivable set `M` into the scratch.
+fn propagate(parts: &[&[Rule]], scratch: &mut LturScratch) {
+    // --- setup: bump epoch, clear per-call state --------------------------
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        // Extremely rare wrap-around: clear marks and restart epochs.
+        scratch.truth.clear();
+        scratch.epoch = 1;
+    }
+    scratch.queue.clear();
+    scratch.derived.clear();
+    scratch.counters.clear();
+    scratch.watch_heads.clear();
+    scratch.edge_next.clear();
+    scratch.edge_rule.clear();
+
+    let n_rules: usize = parts.iter().map(|p| p.len()).sum();
+    scratch.counters.reserve(n_rules);
+
+    // Determine atom universe bound for the watch-head table.
+    let mut max_atom = 0u32;
+    for p in parts {
+        for r in p.iter() {
+            max_atom = max_atom.max(r.head.0);
+            for a in r.body.iter() {
+                max_atom = max_atom.max(a.0);
+            }
+        }
+    }
+    scratch
+        .watch_heads
+        .resize(max_atom as usize + 1, NO_RULE);
+
+    // --- phase 1: unit propagation (compute M) ---------------------------
+    let rule_at = |ix: u32| -> &Rule {
+        let mut ix = ix as usize;
+        for p in parts {
+            if ix < p.len() {
+                return &p[ix];
+            }
+            ix -= p.len();
+        }
+        unreachable!("rule index out of range")
+    };
+
+    // Watcher lists as a flat edge adjacency: each (rule, body atom) pair
+    // is one edge; `watch_heads[atom]` heads a linked list through
+    // `edge_next`. Bodies are deduplicated by `Rule::new`, so each edge
+    // decrements its rule counter at most once.
+    {
+        let mut rid = 0u32;
+        for p in parts {
+            for r in p.iter() {
+                scratch.counters.push(r.body.len() as u32);
+                if r.body.is_empty() {
+                    scratch.queue.push(r.head);
+                }
+                for a in r.body.iter() {
+                    let slot = &mut scratch.watch_heads[a.0 as usize];
+                    scratch.edge_next.push(*slot);
+                    scratch.edge_rule.push(rid);
+                    *slot = (scratch.edge_next.len() - 1) as u32;
+                }
+                rid += 1;
+            }
+        }
+    }
+
+    let mut qhead = 0usize;
+    while qhead < scratch.queue.len() {
+        let a = scratch.queue[qhead];
+        qhead += 1;
+        if !scratch.mark_true(a) {
+            continue;
+        }
+        scratch.derived.push(a);
+        // Wake rules watching `a`.
+        let mut e = scratch.watch_heads[a.0 as usize];
+        while e != NO_RULE {
+            let rid = scratch.edge_rule[e as usize] as usize;
+            scratch.counters[rid] -= 1;
+            if scratch.counters[rid] == 0 {
+                let head = rule_at(rid as u32).head;
+                if !scratch.is_true(head) {
+                    scratch.queue.push(head);
+                }
+            }
+            e = scratch.edge_next[e as usize];
+        }
+    }
+
+}
+
+/// Builds the residual rules from a propagated scratch.
+fn residual(parts: &[&[Rule]], scratch: &LturScratch, out: &mut Vec<Rule>) {
+    for p in parts {
+        'rules: for r in p.iter() {
+            if scratch.is_true(r.head) {
+                continue; // head already true
+            }
+            let mut body: Vec<Atom> = Vec::with_capacity(r.body.len());
+            for &a in r.body.iter() {
+                if scratch.is_true(a) {
+                    continue; // drop satisfied body atom
+                }
+                if a.is_edb() {
+                    continue 'rules; // false EDB atom: rule can never fire
+                }
+                body.push(a);
+            }
+            debug_assert!(
+                !body.is_empty(),
+                "empty residual body implies head should be true"
+            );
+            out.push(Rule::new(r.head, body));
+        }
+    }
+    // Facts for derived IDB atoms (EDB facts are dropped per footnote 11).
+    for &a in &scratch.derived {
+        if !a.is_edb() {
+            out.push(Rule::fact(a));
+        }
+    }
+}
+
+/// LTUR variant computing only the derived (true) IDB atoms — phase 2 of
+/// the two-phase algorithm needs nothing else (`TruePreds(LTUR(P))`).
+pub fn ltur_facts(parts: &[&[Rule]], scratch: &mut LturScratch, out: &mut Vec<Atom>) {
+    propagate(parts, scratch);
+    out.extend(scratch.derived.iter().copied().filter(|a| !a.is_edb()));
+}
+
+/// Convenience wrapper: LTUR over a single rule set with fresh scratch.
+pub fn ltur_once(rules: &[Rule]) -> Program {
+    ltur(&[rules], &mut LturScratch::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Atom {
+        Atom::local(i)
+    }
+    fn e(i: u32) -> Atom {
+        Atom::edb(i)
+    }
+
+    #[test]
+    fn derives_transitively() {
+        // P0<-; P1<-P0; P2<-P1&P3  => facts P0,P1; residual P2<-P3.
+        let rules = vec![
+            Rule::fact(l(0)),
+            Rule::new(l(1), vec![l(0)]),
+            Rule::new(l(2), vec![l(1), l(3)]),
+        ];
+        let res = ltur_once(&rules);
+        let facts: Vec<Atom> = res.true_preds().collect();
+        assert_eq!(facts, vec![l(0), l(1)]);
+        let cond: Vec<&Rule> = res.rules().iter().filter(|r| !r.is_fact()).collect();
+        assert_eq!(cond.len(), 1);
+        assert_eq!(cond[0].head, l(2));
+        assert_eq!(&*cond[0].body, &[l(3)]);
+    }
+
+    #[test]
+    fn false_edb_kills_rule() {
+        // P0 <- E0; P1 <- E1; E1 <-   => P1 fact, P0 rule dropped, E1 fact dropped.
+        let rules = vec![
+            Rule::new(l(0), vec![e(0)]),
+            Rule::new(l(1), vec![e(1)]),
+            Rule::fact(e(1)),
+        ];
+        let res = ltur_once(&rules);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.rules()[0], Rule::fact(l(1)));
+    }
+
+    #[test]
+    fn duplicate_body_atoms_ok() {
+        // Rule::new dedups, but double-check propagation with shared atoms.
+        let rules = vec![
+            Rule::new(l(1), vec![l(0), l(0)]),
+            Rule::fact(l(0)),
+            Rule::new(l(2), vec![l(0), l(1)]),
+        ];
+        let res = ltur_once(&rules);
+        let facts: std::collections::BTreeSet<Atom> = res.true_preds().collect();
+        assert!(facts.contains(&l(0)) && facts.contains(&l(1)) && facts.contains(&l(2)));
+    }
+
+    #[test]
+    fn paper_example_4_5_leaf() {
+        // PropLocal of Example 4.3 at leaf v2 with labels
+        // {-HasFirstChild, -HasSecondChild, a}: local rules are
+        // P1<-Root; P4<-P3&Leaf. Root false, Leaf true.
+        // EDB ids: 0=Root, 1=Leaf.
+        let local = vec![
+            Rule::new(l(0), vec![e(0)]),       // P1 <- Root
+            Rule::new(l(3), vec![l(2), e(1)]), // P4 <- P3 & Leaf
+        ];
+        let labels = vec![Rule::fact(e(1))]; // Leaf is true
+        let res = ltur(&[&local, &labels], &mut LturScratch::new());
+        // Expect exactly {P4 <- P3} (paper: ρA(v2) = {P4 ← P3}).
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.rules()[0], Rule::new(l(3), vec![l(2)]));
+    }
+
+    #[test]
+    fn multiple_parts_concatenate() {
+        let a = vec![Rule::fact(l(0))];
+        let b = vec![Rule::new(l(1), vec![l(0)])];
+        let res = ltur(&[&a, &b], &mut LturScratch::new());
+        assert_eq!(res.true_preds().count(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let mut s = LturScratch::new();
+        let r1 = vec![Rule::fact(l(0)), Rule::new(l(1), vec![l(0)])];
+        let p1 = ltur(&[&r1], &mut s);
+        assert_eq!(p1.true_preds().count(), 2);
+        // Second call must not see stale truth.
+        let r2 = vec![Rule::new(l(1), vec![l(0)])];
+        let p2 = ltur(&[&r2], &mut s);
+        assert_eq!(p2.true_preds().count(), 0);
+        assert_eq!(p2.len(), 1);
+    }
+
+    #[test]
+    fn cyclic_rules_do_not_derive() {
+        // P0 <- P1; P1 <- P0 — no facts, nothing derived.
+        let rules = vec![Rule::new(l(0), vec![l(1)]), Rule::new(l(1), vec![l(0)])];
+        let res = ltur_once(&rules);
+        assert_eq!(res.true_preds().count(), 0);
+        assert_eq!(res.len(), 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Canonical propositional Horn programs.
+//!
+//! Residual programs serve as *states* of the deterministic bottom-up tree
+//! automaton (paper Section 4.2), so they must have a canonical form under
+//! which logically-identical programs compare equal and hash identically:
+//!
+//! * rule bodies are sorted and deduplicated,
+//! * tautological rules (head appears in the body) are dropped,
+//! * rules are sorted and deduplicated,
+//! * *subsumption-reduced*: a rule is dropped if another rule with the same
+//!   head has a subset body (in particular, a fact `X ←` subsumes every
+//!   other rule with head `X`).
+
+use crate::atom::Atom;
+use std::fmt;
+
+/// A propositional Horn clause `head ← body₁ ∧ … ∧ bodyₙ`.
+/// An empty body makes the rule a *fact*.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body atoms, sorted and deduplicated.
+    pub body: Box<[Atom]>,
+}
+
+impl Rule {
+    /// Builds a rule, sorting and deduplicating the body.
+    pub fn new(head: Atom, mut body: Vec<Atom>) -> Self {
+        body.sort_unstable();
+        body.dedup();
+        Rule {
+            head,
+            body: body.into_boxed_slice(),
+        }
+    }
+
+    /// A fact `head ←`.
+    pub fn fact(head: Atom) -> Self {
+        Rule {
+            head,
+            body: Box::new([]),
+        }
+    }
+
+    /// True if the body is empty.
+    #[inline]
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// True if the head occurs in the body (the rule derives nothing new).
+    #[inline]
+    pub fn is_tautology(&self) -> bool {
+        self.body.binary_search(&self.head).is_ok()
+    }
+
+    /// True if `self`'s body is a subset of `other`'s body (bodies sorted).
+    fn body_subset_of(&self, other: &Rule) -> bool {
+        if self.body.len() > other.body.len() {
+            return false;
+        }
+        let mut it = other.body.iter();
+        'outer: for a in self.body.iter() {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Approximate heap size in bytes (for the memory statistics of the
+    /// benchmark tables).
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<Rule>() + self.body.len() * std::mem::size_of::<Atom>()
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} <-", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " &")?;
+            }
+            write!(f, " {a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A canonical propositional Horn program: the hash-consable unit used as
+/// an automaton state.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Program {
+    rules: Box<[Rule]>,
+}
+
+impl Program {
+    /// The empty program (no constraints: every truth assignment is a
+    /// model — the automaton state carrying no information).
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// Canonicalizes a set of rules: sorts/dedups bodies and rules, drops
+    /// tautologies, and applies subsumption reduction.
+    pub fn canonical(rules: Vec<Rule>) -> Self {
+        let mut rules: Vec<Rule> = rules.into_iter().filter(|r| !r.is_tautology()).collect();
+        // Sort so that for equal heads, shorter bodies come first: then a
+        // single forward pass can apply subsumption against kept rules.
+        rules.sort_unstable_by(|a, b| {
+            a.head
+                .cmp(&b.head)
+                .then(a.body.len().cmp(&b.body.len()))
+                .then(a.body.cmp(&b.body))
+        });
+        rules.dedup();
+        let mut kept: Vec<Rule> = Vec::with_capacity(rules.len());
+        let mut group_start = 0usize;
+        for r in rules {
+            if kept.get(group_start).is_some_and(|g| g.head != r.head) {
+                group_start = kept.len();
+            }
+            let subsumed = kept[group_start..].iter().any(|k| k.body_subset_of(&r));
+            if !subsumed {
+                kept.push(r);
+            }
+        }
+        Program {
+            rules: kept.into_boxed_slice(),
+        }
+    }
+
+    /// The rules, in canonical order.
+    #[inline]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// `TruePreds` (paper §4.1): the atoms already known true, i.e. the
+    /// heads of facts.
+    pub fn true_preds(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.rules.iter().filter(|r| r.is_fact()).map(|r| r.head)
+    }
+
+    /// `PredsAsRules` (paper §4.1): a set of atoms as a set of facts.
+    pub fn preds_as_rules(preds: impl IntoIterator<Item = Atom>) -> Vec<Rule> {
+        preds.into_iter().map(Rule::fact).collect()
+    }
+
+    /// `PushDown_k` (paper §4.1): adds superscript `k` to every atom. All
+    /// atoms must be local.
+    pub fn push_down(&self, k: u8) -> Vec<Rule> {
+        self.rules
+            .iter()
+            .map(|r| Rule {
+                head: r.head.push_down(k),
+                body: r.body.iter().map(|a| a.push_down(k)).collect(),
+            })
+            .collect()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        std::mem::size_of::<Program>() + self.rules.iter().map(Rule::byte_size).sum::<usize>()
+    }
+
+    /// Checks a truth assignment (set of true atoms, sorted) against the
+    /// program: every rule whose body is satisfied must have a true head.
+    /// Used by tests relating residual programs to STA state sets.
+    pub fn is_model(&self, true_atoms: &[Atom]) -> bool {
+        let truth = |a: &Atom| true_atoms.binary_search(a).is_ok();
+        self.rules
+            .iter()
+            .all(|r| !r.body.iter().all(&truth) || truth(&r.head))
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.rules.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Atom {
+        Atom::local(i)
+    }
+
+    #[test]
+    fn rule_body_canonicalized() {
+        let r = Rule::new(l(0), vec![l(3), l(1), l(3)]);
+        assert_eq!(&*r.body, &[l(1), l(3)]);
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let p = Program::canonical(vec![Rule::new(l(0), vec![l(0), l(1)])]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn subsumption_fact_beats_rules() {
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![l(1), l(2)]),
+            Rule::fact(l(0)),
+            Rule::new(l(0), vec![l(1)]),
+        ]);
+        assert_eq!(p.len(), 1);
+        assert!(p.rules()[0].is_fact());
+    }
+
+    #[test]
+    fn subsumption_subset_body() {
+        let p = Program::canonical(vec![
+            Rule::new(l(0), vec![l(1), l(2), l(3)]),
+            Rule::new(l(0), vec![l(1), l(3)]),
+            Rule::new(l(4), vec![l(1), l(2)]),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(&*p.rules()[0].body, &[l(1), l(3)]);
+    }
+
+    #[test]
+    fn canonical_equal_programs_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let p1 = Program::canonical(vec![
+            Rule::new(l(0), vec![l(2), l(1)]),
+            Rule::new(l(3), vec![l(4)]),
+        ]);
+        let p2 = Program::canonical(vec![
+            Rule::new(l(3), vec![l(4)]),
+            Rule::new(l(0), vec![l(1), l(2), l(2)]),
+        ]);
+        assert_eq!(p1, p2);
+        let h = |p: &Program| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&p1), h(&p2));
+    }
+
+    #[test]
+    fn push_down_and_true_preds() {
+        let p = Program::canonical(vec![Rule::fact(l(0)), Rule::new(l(1), vec![l(2)])]);
+        assert_eq!(p.true_preds().collect::<Vec<_>>(), vec![l(0)]);
+        let down = p.push_down(1);
+        assert!(down.iter().all(|r| r.head.is_sup()));
+        assert_eq!(down[0].head, Atom::sup1(0));
+    }
+
+    #[test]
+    fn model_check() {
+        // P0 <- P1 & P2
+        let p = Program::canonical(vec![Rule::new(l(0), vec![l(1), l(2)])]);
+        assert!(p.is_model(&[])); // body unsatisfied
+        assert!(p.is_model(&[l(1)]));
+        assert!(p.is_model(&[l(0), l(1), l(2)]));
+        assert!(!p.is_model(&[l(1), l(2)]));
+    }
+}

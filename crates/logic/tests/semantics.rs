@@ -1,0 +1,109 @@
+//! Semantic property tests for the propositional machinery, against
+//! brute-force model enumeration over small atom universes.
+//!
+//! These pin down the two lemmas the two-phase algorithm's correctness
+//! rests on (paper Section 4):
+//!
+//! 1. **LTUR** computes the least model: an IDB atom is derivable iff it
+//!    is true in every model, and the residual program has the same
+//!    models as the input.
+//! 2. **ContractProgram** preserves the *local projection* of the model
+//!    set: an assignment of the local atoms is a model of `contract(P)`
+//!    iff it extends to a model of `P` over the superscripted atoms.
+
+use arb_logic::{contract, ltur_once, Atom, Program, Rule};
+use proptest::prelude::*;
+
+const N_LOCAL: u32 = 4;
+const N_SUP: u32 = 3;
+
+/// All atoms of the test universe, in a fixed order.
+fn universe() -> Vec<Atom> {
+    let mut u: Vec<Atom> = (0..N_LOCAL).map(Atom::local).collect();
+    u.extend((0..N_SUP).map(Atom::sup1));
+    u
+}
+
+/// Decodes a bitmask over [`universe`] into a sorted atom set.
+fn assignment(mask: u32) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = universe()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, a)| a)
+        .collect();
+    atoms.sort_unstable();
+    atoms
+}
+
+/// All models of a program, as masks.
+fn models(p: &Program) -> Vec<u32> {
+    let n = universe().len();
+    (0..1u32 << n)
+        .filter(|&m| p.is_model(&assignment(m)))
+        .collect()
+}
+
+/// Strategy: a random Horn program over the universe (no EDB atoms).
+fn random_rules() -> impl Strategy<Value = Vec<Rule>> {
+    let n = universe().len();
+    let rule = (0..n, proptest::collection::vec(0..n, 0..3usize));
+    proptest::collection::vec(rule, 0..10).prop_map(|rs| {
+        let u = universe();
+        rs.into_iter()
+            .map(|(h, body)| Rule::new(u[h], body.into_iter().map(|b| u[b]).collect()))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// LTUR's derived facts = intersection of all models (the least
+    /// model), and the residual program is model-equivalent.
+    #[test]
+    fn ltur_computes_least_model(rules in random_rules()) {
+        let input = Program::canonical(rules.clone());
+        let residual = ltur_once(&rules);
+        // Model-equivalence.
+        prop_assert_eq!(models(&input), models(&residual));
+        // Facts = atoms true in all models.
+        let ms = models(&input);
+        for (i, a) in universe().into_iter().enumerate() {
+            let in_all = ms.iter().all(|m| m & (1 << i) != 0);
+            let derived = residual.true_preds().any(|f| f == a);
+            prop_assert_eq!(derived, in_all, "atom {:?}", a);
+        }
+    }
+
+    /// Contraction preserves the local projection of the model set:
+    /// local models of contract(P) = { m|local : m model of P }.
+    #[test]
+    fn contract_preserves_local_projection(rules in random_rules()) {
+        let p = Program::canonical(rules);
+        let c = contract(&p);
+        // contract output must be local-only.
+        for r in c.rules() {
+            prop_assert!(r.head.is_local());
+            prop_assert!(r.body.iter().all(|a| a.is_local()));
+        }
+        let local_mask = (1u32 << N_LOCAL) - 1;
+        let projected: std::collections::BTreeSet<u32> =
+            models(&p).into_iter().map(|m| m & local_mask).collect();
+        let local_models: std::collections::BTreeSet<u32> = (0..1u32 << N_LOCAL)
+            .filter(|&m| c.is_model(&assignment(m)))
+            .collect();
+        prop_assert_eq!(local_models, projected);
+    }
+
+    /// Canonicalization (incl. subsumption) is semantics-preserving and
+    /// idempotent.
+    #[test]
+    fn canonical_is_sound_and_idempotent(rules in random_rules()) {
+        let p1 = Program::canonical(rules.clone());
+        let p2 = Program::canonical(p1.rules().to_vec());
+        prop_assert_eq!(&p1, &p2);
+        let raw = Program::canonical(rules); // same path, sanity
+        prop_assert_eq!(models(&raw), models(&p1));
+    }
+}

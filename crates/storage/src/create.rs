@@ -1,0 +1,377 @@
+//! Two-pass `.arb` database creation (paper Section 5).
+//!
+//! "In a first pass, we make a SAX parsing run through the XML document
+//! to count the total number n of nodes and write the SAX events to a
+//! file. Then we create a new file – the .arb database – and start
+//! writing it backwards, beginning at an offset of k·n bytes, while
+//! reading our SAX events file backward. In this single backward pass, we
+//! can transform the document into a binary tree [...] and only require a
+//! stack of memory proportional to the depth of the XML tree."
+
+use crate::evt::{Event, EVENT_BYTES};
+use crate::format::{NodeRecord, RECORD_BYTES};
+use crate::rev::{RevReader, RevWriter};
+use arb_tree::{BinaryTree, LabelId, LabelTable};
+use arb_xml::{XmlConfig, XmlEvent, XmlParser};
+use std::fs::File;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Statistics of a database creation run — the columns of paper Figure 5.
+#[derive(Clone, Debug, Default)]
+pub struct CreationStats {
+    /// Element nodes inserted (column 1).
+    pub elem_nodes: u64,
+    /// Character nodes inserted (column 2).
+    pub char_nodes: u64,
+    /// Number of distinct tags, excluding character labels (column 3).
+    pub tags: u64,
+    /// Total creation time (column 4).
+    pub time: Duration,
+    /// `.arb` file size in bytes (column 5) — always `2 * (1) + (2)` ...
+    /// precisely `((1)+(2)) * 2`.
+    pub arb_bytes: u64,
+    /// `.lab` file size in bytes (column 6).
+    pub lab_bytes: u64,
+    /// Temporary `.evt` file size in bytes (column 7) — twice `.arb`.
+    pub evt_bytes: u64,
+}
+
+impl CreationStats {
+    /// Total node count.
+    pub fn nodes(&self) -> u64 {
+        self.elem_nodes + self.char_nodes
+    }
+
+    /// One row of a Figure-5-style table.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<12} {:>12} {:>12} {:>6} {:>9.2} {:>13} {:>9} {:>13}",
+            name,
+            self.elem_nodes,
+            self.char_nodes,
+            self.tags,
+            self.time.as_secs_f64(),
+            self.arb_bytes,
+            self.lab_bytes,
+            self.evt_bytes,
+        )
+    }
+
+    /// Header matching [`CreationStats::table_row`].
+    pub fn table_header() -> &'static str {
+        "database       elem nodes   char nodes   tags   time(s)     .arb bytes      .lab    .evt bytes"
+    }
+}
+
+/// Derived sibling paths for a database base path (`x.arb` →
+/// `x.lab`, `x.evt`, `x.sta`).
+pub fn sibling(path: &Path, ext: &str) -> PathBuf {
+    path.with_extension(ext)
+}
+
+/// Pass 1: stream SAX events to the `.evt` file; returns node count.
+fn write_events<R: BufRead>(
+    reader: R,
+    config: &XmlConfig,
+    labels: &mut LabelTable,
+    evt_path: &Path,
+) -> Result<(u64, u64), CreateError> {
+    let mut parser = XmlParser::with_config(reader, config.clone());
+    let mut out = BufWriter::with_capacity(64 * 1024, File::create(evt_path)?);
+    let mut elem_nodes = 0u64;
+    let mut char_nodes = 0u64;
+    let mut open_labels: Vec<LabelId> = Vec::new();
+    loop {
+        match parser.next_event().map_err(CreateError::Xml)? {
+            XmlEvent::StartTag { name, attrs } => {
+                let l = labels.intern(&name).map_err(|e| CreateError::other(e.to_string()))?;
+                out.write_all(&Event::Begin(l).to_bytes())?;
+                open_labels.push(l);
+                elem_nodes += 1;
+                if config.attributes_as_nodes {
+                    for (k, v) in &attrs {
+                        let al = labels
+                            .intern(&format!("@{k}"))
+                            .map_err(|e| CreateError::other(e.to_string()))?;
+                        out.write_all(&Event::Begin(al).to_bytes())?;
+                        elem_nodes += 1;
+                        for &b in v.as_bytes() {
+                            let cl = LabelId::from_char_byte(b);
+                            out.write_all(&Event::Begin(cl).to_bytes())?;
+                            out.write_all(&Event::End(cl).to_bytes())?;
+                            char_nodes += 1;
+                        }
+                        out.write_all(&Event::End(al).to_bytes())?;
+                    }
+                }
+            }
+            XmlEvent::EndTag { .. } => {
+                let l = open_labels.pop().expect("parser guarantees balance");
+                out.write_all(&Event::End(l).to_bytes())?;
+            }
+            XmlEvent::Text(bytes) => {
+                for &b in &bytes {
+                    let cl = LabelId::from_char_byte(b);
+                    out.write_all(&Event::Begin(cl).to_bytes())?;
+                    out.write_all(&Event::End(cl).to_bytes())?;
+                    char_nodes += 1;
+                }
+            }
+            XmlEvent::Eof => break,
+        }
+    }
+    out.flush()?;
+    Ok((elem_nodes, char_nodes))
+}
+
+/// Pass 2: read the `.evt` file backwards and write the `.arb` file
+/// backwards. The stack is bounded by the XML depth.
+fn events_to_arb(evt_path: &Path, arb_path: &Path, n: u64) -> Result<(), CreateError> {
+    let evt_file = File::open(evt_path)?;
+    let total_evt = evt_file.metadata()?.len();
+    let mut rev = RevReader::new(evt_file, total_evt, EVENT_BYTES)?;
+    let arb_file = File::create(arb_path)?;
+    arb_file.set_len(n * RECORD_BYTES as u64)?;
+    let mut out = RevWriter::new(arb_file, n * RECORD_BYTES as u64);
+
+    /// Per-open-node state while reading events backwards.
+    struct Frame {
+        label: LabelId,
+        /// Seen a child End already (=> the node has a first child once
+        /// its Begin arrives; before that, each child End tells the next
+        /// child that it has a following sibling).
+        has_child: bool,
+        /// The node has a following sibling (known at its End event from
+        /// the parent's `has_child` at that moment).
+        has_next: bool,
+    }
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut buf = [0u8; EVENT_BYTES];
+    while rev.read_record(&mut buf)?.is_some() {
+        match Event::from_bytes(buf) {
+            Event::End(label) => {
+                let has_next = stack.last().is_some_and(|p| p.has_child);
+                if let Some(p) = stack.last_mut() {
+                    p.has_child = true;
+                }
+                stack.push(Frame {
+                    label,
+                    has_child: false,
+                    has_next,
+                });
+            }
+            Event::Begin(label) => {
+                let frame = stack.pop().ok_or_else(|| {
+                    CreateError::other("event stream underflow (unbalanced events)")
+                })?;
+                if frame.label != label {
+                    return Err(CreateError::other(format!(
+                        "event stream corrupt: begin label {} does not match end label {}",
+                        label.0, frame.label.0
+                    )));
+                }
+                let rec = NodeRecord {
+                    label,
+                    has_first: frame.has_child,
+                    has_second: frame.has_next,
+                };
+                out.write_record(&rec.to_bytes())?;
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err(CreateError::other("event stream truncated"));
+    }
+    out.finish()?;
+    Ok(())
+}
+
+/// Errors raised during database creation.
+#[derive(Debug)]
+pub enum CreateError {
+    /// I/O failure.
+    Io(io::Error),
+    /// XML parse failure.
+    Xml(arb_xml::XmlError),
+    /// Structural failure.
+    Other(String),
+}
+
+impl CreateError {
+    fn other(msg: impl Into<String>) -> Self {
+        CreateError::Other(msg.into())
+    }
+}
+
+impl std::fmt::Display for CreateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CreateError::Io(e) => write!(f, "I/O error: {e}"),
+            CreateError::Xml(e) => write!(f, "{e}"),
+            CreateError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CreateError {}
+
+impl From<io::Error> for CreateError {
+    fn from(e: io::Error) -> Self {
+        CreateError::Io(e)
+    }
+}
+
+/// Creates a `.arb` database (plus `.lab`) from an XML stream, exactly as
+/// the paper prescribes: forward SAX pass to `.evt`, backward pass to
+/// `.arb`. `arb_path` should end in `.arb`; the `.lab` and `.evt` files
+/// are placed alongside. The `.evt` file is kept (the paper reports its
+/// size in Figure 5); callers may delete it.
+pub fn create_from_xml<R: BufRead>(
+    reader: R,
+    config: &XmlConfig,
+    arb_path: &Path,
+) -> Result<(CreationStats, LabelTable), CreateError> {
+    let start = Instant::now();
+    let evt_path = sibling(arb_path, "evt");
+    let lab_path = sibling(arb_path, "lab");
+    let mut labels = LabelTable::new();
+    let (elem_nodes, char_nodes) = write_events(reader, config, &mut labels, &evt_path)?;
+    let n = elem_nodes + char_nodes;
+    if n == 0 {
+        return Err(CreateError::other("empty document"));
+    }
+    events_to_arb(&evt_path, arb_path, n)?;
+    std::fs::write(&lab_path, labels.to_lab_string())?;
+    let stats = CreationStats {
+        elem_nodes,
+        char_nodes,
+        tags: labels.tag_count() as u64,
+        time: start.elapsed(),
+        arb_bytes: std::fs::metadata(arb_path)?.len(),
+        lab_bytes: std::fs::metadata(&lab_path)?.len(),
+        evt_bytes: std::fs::metadata(&evt_path)?.len(),
+    };
+    Ok((stats, labels))
+}
+
+/// Creates a `.arb` database directly from an in-memory tree (used by the
+/// synthetic data generators; a single forward pass suffices because the
+/// whole structure is already known).
+pub fn create_from_tree(
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    arb_path: &Path,
+) -> Result<CreationStats, CreateError> {
+    let start = Instant::now();
+    let mut out = BufWriter::with_capacity(64 * 1024, File::create(arb_path)?);
+    let mut elem_nodes = 0u64;
+    let mut char_nodes = 0u64;
+    for v in tree.nodes() {
+        let label = tree.label(v);
+        if label.is_text() {
+            char_nodes += 1;
+        } else {
+            elem_nodes += 1;
+        }
+        let rec = NodeRecord {
+            label,
+            has_first: tree.has_first(v),
+            has_second: tree.has_second(v),
+        };
+        out.write_all(&rec.to_bytes())?;
+    }
+    out.flush()?;
+    let lab_path = sibling(arb_path, "lab");
+    std::fs::write(&lab_path, labels.to_lab_string())?;
+    Ok(CreationStats {
+        elem_nodes,
+        char_nodes,
+        tags: labels.tag_count() as u64,
+        time: start.elapsed(),
+        arb_bytes: std::fs::metadata(arb_path)?.len(),
+        lab_bytes: std::fs::metadata(&lab_path)?.len(),
+        evt_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ForwardScan;
+    use std::io::Cursor;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "arb-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn creation_matches_in_memory_encoding() {
+        let xml = "<a><b>hi</b><c/>x</a>";
+        let dir = tmpdir();
+        let arb = dir.join("t1.arb");
+        let (stats, labels) =
+            create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb).unwrap();
+        assert_eq!(stats.elem_nodes, 3);
+        assert_eq!(stats.char_nodes, 3);
+        assert_eq!(stats.nodes(), 6);
+        assert_eq!(stats.arb_bytes, 12);
+        assert_eq!(stats.evt_bytes, 24); // two events * two bytes per node
+
+        // Compare against the in-memory tree encoding.
+        let mut lt2 = LabelTable::new();
+        let tree = arb_xml::str_to_tree(xml, &mut lt2).unwrap();
+        let file = std::fs::read(&arb).unwrap();
+        let mut scan = ForwardScan::new(Cursor::new(file), tree.len() as u32);
+        let mut ix = 0u32;
+        while let Some((i, rec)) = scan.next_record().unwrap() {
+            assert_eq!(i, ix);
+            let v = arb_tree::NodeId(i);
+            assert_eq!(rec.has_first, tree.has_first(v), "node {i}");
+            assert_eq!(rec.has_second, tree.has_second(v), "node {i}");
+            assert_eq!(
+                labels.name(rec.label),
+                lt2.name(tree.label(v)),
+                "node {i} label"
+            );
+            ix += 1;
+        }
+        assert_eq!(ix, 6);
+    }
+
+    #[test]
+    fn from_tree_equals_from_xml() {
+        let xml = "<r><x>ab</x><y><z/></y></r>";
+        let dir = tmpdir();
+        let via_xml = dir.join("t2a.arb");
+        create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &via_xml).unwrap();
+        let mut lt = LabelTable::new();
+        let tree = arb_xml::str_to_tree(xml, &mut lt).unwrap();
+        let via_tree = dir.join("t2b.arb");
+        create_from_tree(&tree, &lt, &via_tree).unwrap();
+        assert_eq!(
+            std::fs::read(&via_xml).unwrap(),
+            std::fs::read(&via_tree).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let dir = tmpdir();
+        let arb = dir.join("t3.arb");
+        assert!(create_from_xml(
+            Cursor::new("".as_bytes()),
+            &XmlConfig::default(),
+            &arb
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! `ArbDatabase` — an opened `.arb`/`.lab` pair.
+
+use crate::create::{sibling, CreationStats};
+use crate::format::RECORD_BYTES;
+use crate::scan::{BackwardScan, ForwardScan};
+use crate::traversal::bottom_up_scan;
+use arb_tree::{BinaryTree, LabelId, LabelTable, NONE};
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Summary returned by [`ArbDatabase::validate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Total nodes.
+    pub nodes: u64,
+    /// Element nodes.
+    pub elem_nodes: u64,
+    /// Character nodes.
+    pub char_nodes: u64,
+}
+
+/// A tree database in the Arb storage model: the `.arb` record file plus
+/// its `.lab` label table.
+pub struct ArbDatabase {
+    arb_path: PathBuf,
+    labels: LabelTable,
+    node_count: u32,
+}
+
+impl ArbDatabase {
+    /// Opens an existing database.
+    pub fn open(arb_path: impl Into<PathBuf>) -> io::Result<Self> {
+        let arb_path = arb_path.into();
+        let len = std::fs::metadata(&arb_path)?.len();
+        if len % RECORD_BYTES as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "size of .arb file is not a multiple of the record size",
+            ));
+        }
+        let node_count = u32::try_from(len / RECORD_BYTES as u64).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "database exceeds 2^32 nodes")
+        })?;
+        let lab_path = sibling(&arb_path, "lab");
+        let labels = match std::fs::read_to_string(&lab_path) {
+            Ok(s) => LabelTable::from_lab_str(&s)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => LabelTable::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(ArbDatabase {
+            arb_path,
+            labels,
+            node_count,
+        })
+    }
+
+    /// Creates a database from an XML file on disk, then opens it.
+    pub fn create_from_xml_file(
+        xml_path: &Path,
+        arb_path: impl Into<PathBuf>,
+        config: &arb_xml::XmlConfig,
+    ) -> Result<(Self, CreationStats), crate::create::CreateError> {
+        let arb_path = arb_path.into();
+        let reader = io::BufReader::with_capacity(64 * 1024, File::open(xml_path)?);
+        let (stats, _labels) = crate::create::create_from_xml(reader, config, &arb_path)?;
+        let db = ArbDatabase::open(&arb_path)?;
+        Ok((db, stats))
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// The label table.
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Path of the `.arb` file.
+    pub fn path(&self) -> &Path {
+        &self.arb_path
+    }
+
+    /// Path for the temporary `.sta` state file of a query run.
+    pub fn sta_path(&self) -> PathBuf {
+        sibling(&self.arb_path, "sta")
+    }
+
+    /// Opens a forward record scan (top-down traversal input).
+    pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
+        Ok(ForwardScan::new(File::open(&self.arb_path)?, self.node_count))
+    }
+
+    /// Opens a backward record scan (bottom-up traversal input).
+    pub fn backward_scan(&self) -> io::Result<BackwardScan<File>> {
+        BackwardScan::new(File::open(&self.arb_path)?, self.node_count)
+    }
+
+    /// Validates the database's structural integrity in one backward
+    /// scan: the child flags must describe a single well-formed tree and
+    /// every label must resolve (character range or `.lab` entry).
+    /// Returns a summary report.
+    pub fn validate(&self) -> io::Result<ValidationReport> {
+        let mut report = ValidationReport::default();
+        let tag_limit = arb_tree::TEXT_LABELS as usize + self.labels.tag_count();
+        let mut scan = self.backward_scan()?;
+        let mut bad_label = None;
+        crate::traversal::bottom_up_scan(&mut scan, |_: Option<()>, _, rec, ix| {
+            if rec.label.is_text() {
+                report.char_nodes += 1;
+            } else {
+                report.elem_nodes += 1;
+                if rec.label.index() as usize >= tag_limit {
+                    bad_label.get_or_insert((ix, rec.label.index()));
+                }
+            }
+        })?;
+        if let Some((ix, l)) = bad_label {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("node {ix} has label #{l} beyond the .lab table"),
+            ));
+        }
+        report.nodes = report.elem_nodes + report.char_nodes;
+        Ok(report)
+    }
+
+    /// Materializes the database as an in-memory [`BinaryTree`] via one
+    /// backward scan (Prop. 5.1). Used by tests, the naive baseline, and
+    /// small interactive workloads.
+    pub fn to_tree(&self) -> io::Result<BinaryTree> {
+        let n = self.node_count as usize;
+        let mut labels = vec![LabelId(0); n];
+        let mut first = vec![NONE; n];
+        let mut second = vec![NONE; n];
+        let mut scan = self.backward_scan()?;
+        bottom_up_scan(&mut scan, |s1: Option<u32>, s2, rec, ix| {
+            labels[ix as usize] = rec.label;
+            if let Some(c) = s1 {
+                first[ix as usize] = c;
+            }
+            if let Some(c) = s2 {
+                second[ix as usize] = c;
+            }
+            ix
+        })?;
+        BinaryTree::from_parts(labels, first, second)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_xml::XmlConfig;
+    use std::io::Cursor;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("arb-db-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
+        let arb = tmp("db1.arb");
+        crate::create::create_from_xml(
+            Cursor::new(xml.as_bytes()),
+            &XmlConfig::default(),
+            &arb,
+        )
+        .unwrap();
+        let db = ArbDatabase::open(&arb).unwrap();
+        assert_eq!(db.node_count(), 7);
+        assert!(db.labels().get("doc").is_some());
+
+        // Reconstruct and compare with direct parsing.
+        let tree = db.to_tree().unwrap();
+        let mut lt = LabelTable::new();
+        let direct = arb_xml::str_to_tree(xml, &mut lt).unwrap();
+        assert_eq!(tree.len(), direct.len());
+        for v in tree.nodes() {
+            assert_eq!(tree.has_first(v), direct.has_first(v));
+            assert_eq!(tree.has_second(v), direct.has_second(v));
+            assert_eq!(
+                db.labels().name(tree.label(v)),
+                lt.name(direct.label(v))
+            );
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_corrupt() {
+        let xml = "<doc><a>xy</a></doc>";
+        let arb = tmp("dbv.arb");
+        crate::create::create_from_xml(
+            Cursor::new(xml.as_bytes()),
+            &XmlConfig::default(),
+            &arb,
+        )
+        .unwrap();
+        let db = ArbDatabase::open(&arb).unwrap();
+        let report = db.validate().unwrap();
+        assert_eq!(report.nodes, 4);
+        assert_eq!(report.elem_nodes, 2);
+        assert_eq!(report.char_nodes, 2);
+
+        // Corrupt: claim a first child on the last record.
+        let mut bytes = std::fs::read(&arb).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] |= 0x80; // set has_first on final record
+        let bad = tmp("dbv-bad.arb");
+        std::fs::write(&bad, &bytes).unwrap();
+        std::fs::copy(arb.with_extension("lab"), bad.with_extension("lab")).unwrap();
+        let db = ArbDatabase::open(&bad).unwrap();
+        assert!(db.validate().is_err());
+
+        // Corrupt: label beyond the .lab table.
+        let mut bytes = std::fs::read(&arb).unwrap();
+        bytes[0] = 0xFF;
+        bytes[1] = (bytes[1] & 0xC0) | 0x3F; // label = 16383
+        let bad2 = tmp("dbv-bad2.arb");
+        std::fs::write(&bad2, &bytes).unwrap();
+        std::fs::copy(arb.with_extension("lab"), bad2.with_extension("lab")).unwrap();
+        let db = ArbDatabase::open(&bad2).unwrap();
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn open_rejects_ragged_file() {
+        let p = tmp("ragged.arb");
+        std::fs::write(&p, [1, 2, 3]).unwrap();
+        assert!(ArbDatabase::open(&p).is_err());
+    }
+
+    #[test]
+    fn sta_path_is_sibling() {
+        let arb = tmp("db2.arb");
+        std::fs::write(&arb, [0, 0]).unwrap();
+        let db = ArbDatabase::open(&arb).unwrap();
+        assert!(db.sta_path().to_string_lossy().ends_with("db2.sta"));
+    }
+}

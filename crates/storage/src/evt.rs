@@ -1,0 +1,73 @@
+//! The temporary `.evt` SAX-event file.
+//!
+//! Database creation first streams the document's SAX events to disk —
+//! "two events – a 'begin' and an 'end' event for each node", two bytes
+//! per event (paper Figure 5, column 7) — so that the second pass can
+//! read them *backwards* to produce the `.arb` file.
+//!
+//! Encoding: bit 15 = end-event flag, bits 0–13 = label.
+
+use arb_tree::LabelId;
+
+/// Bytes per event record.
+pub const EVENT_BYTES: usize = 2;
+
+const END_FLAG: u16 = 1 << 15;
+
+/// A begin/end event for one node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// Node begins (subtree follows).
+    Begin(LabelId),
+    /// Node ends.
+    End(LabelId),
+}
+
+impl Event {
+    /// Encodes to the on-disk `u16`.
+    #[inline]
+    pub fn encode(self) -> u16 {
+        match self {
+            Event::Begin(l) => l.0,
+            Event::End(l) => l.0 | END_FLAG,
+        }
+    }
+
+    /// Decodes from the on-disk `u16`.
+    #[inline]
+    pub fn decode(raw: u16) -> Self {
+        if raw & END_FLAG != 0 {
+            Event::End(LabelId(raw & !END_FLAG))
+        } else {
+            Event::Begin(LabelId(raw))
+        }
+    }
+
+    /// On-disk little-endian bytes.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; EVENT_BYTES] {
+        self.encode().to_le_bytes()
+    }
+
+    /// Decodes from on-disk bytes.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; EVENT_BYTES]) -> Self {
+        Self::decode(u16::from_le_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for l in [0u16, 65, 255, 256, 16383] {
+            let b = Event::Begin(LabelId(l));
+            let e = Event::End(LabelId(l));
+            assert_eq!(Event::from_bytes(b.to_bytes()), b);
+            assert_eq!(Event::from_bytes(e.to_bytes()), e);
+            assert_ne!(b.encode(), e.encode());
+        }
+    }
+}

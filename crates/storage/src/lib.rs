@@ -1,0 +1,37 @@
+//! # arb-storage
+//!
+//! The Arb storage model for binary trees on disk (paper Section 5).
+//!
+//! Each node is a fixed-size 2-byte record: the two highest bits say
+//! whether the node has a first and/or second child, the remaining 14
+//! bits hold the label index. Records are stored in **preorder**. Label
+//! names live in a separate `.lab` file; database creation streams SAX
+//! events to a temporary `.evt` file (forward pass) and then writes the
+//! `.arb` file **backwards** while reading the events backwards — the
+//! trick that bounds memory by the *XML* (unranked) depth rather than the
+//! (potentially huge) sibling-chain depth of the binary tree.
+//!
+//! Proposition 5.1: the binary tree can be traversed
+//! * **top-down** by one forward linear scan, and
+//! * **bottom-up** by one backward linear scan,
+//!
+//! each with a stack of size `O(depth(XML tree))`. [`traversal`]
+//! implements both as generic drivers; [`crate::db::ArbDatabase`] ties
+//! everything together.
+
+pub mod create;
+pub mod db;
+pub mod evt;
+pub mod format;
+pub mod rev;
+pub mod scan;
+pub mod stafile;
+pub mod stats;
+pub mod traversal;
+
+pub use create::{create_from_tree, create_from_xml, CreationStats};
+pub use db::ArbDatabase;
+pub use format::NodeRecord;
+pub use scan::{BackwardScan, ForwardScan};
+pub use stats::{profile, Profile};
+pub use traversal::{bottom_up_scan, top_down_scan, DownContext};

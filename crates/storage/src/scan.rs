@@ -1,0 +1,112 @@
+//! Linear scans over `.arb` record streams.
+
+use crate::format::{NodeRecord, RECORD_BYTES};
+use crate::rev::RevReader;
+use std::io::{self, BufReader, Read, Seek};
+
+/// Forward (left-to-right) record scan — the top-down traversal's input
+/// (paper Prop. 5.1). Yields `(preorder index, record)`.
+pub struct ForwardScan<R: Read> {
+    inner: BufReader<R>,
+    next_ix: u32,
+    n: u32,
+}
+
+impl<R: Read> ForwardScan<R> {
+    /// A scan over `n` records.
+    pub fn new(inner: R, n: u32) -> Self {
+        ForwardScan {
+            inner: BufReader::with_capacity(64 * 1024, inner),
+            next_ix: 0,
+            n,
+        }
+    }
+
+    /// Reads the next record, or `None` after the last.
+    pub fn next_record(&mut self) -> io::Result<Option<(u32, NodeRecord)>> {
+        if self.next_ix >= self.n {
+            return Ok(None);
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        self.inner.read_exact(&mut buf)?;
+        let ix = self.next_ix;
+        self.next_ix += 1;
+        Ok(Some((ix, NodeRecord::from_bytes(buf))))
+    }
+}
+
+/// Backward (right-to-left) record scan — the bottom-up traversal's input
+/// (paper Prop. 5.1). Yields `(preorder index, record)` from `n−1` down
+/// to `0`.
+pub struct BackwardScan<R: Read + Seek> {
+    inner: RevReader<R>,
+    next_ix: u32,
+}
+
+impl<R: Read + Seek> BackwardScan<R> {
+    /// A scan over `n` records.
+    pub fn new(inner: R, n: u32) -> io::Result<Self> {
+        Ok(BackwardScan {
+            inner: RevReader::new(inner, n as u64 * RECORD_BYTES as u64, RECORD_BYTES)?,
+            next_ix: n,
+        })
+    }
+
+    /// Reads the previous record, or `None` before the first.
+    pub fn next_record(&mut self) -> io::Result<Option<(u32, NodeRecord)>> {
+        let mut buf = [0u8; RECORD_BYTES];
+        match self.inner.read_record(&mut buf)? {
+            None => Ok(None),
+            Some(()) => {
+                self.next_ix -= 1;
+                Ok(Some((self.next_ix, NodeRecord::from_bytes(buf))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_tree::LabelId;
+    use std::io::Cursor;
+
+    fn records() -> Vec<NodeRecord> {
+        (0..5u16)
+            .map(|i| NodeRecord {
+                label: LabelId(300 + i),
+                has_first: i % 2 == 0,
+                has_second: i % 3 == 0,
+            })
+            .collect()
+    }
+
+    fn file_of(recs: &[NodeRecord]) -> Vec<u8> {
+        recs.iter().flat_map(|r| r.to_bytes()).collect()
+    }
+
+    #[test]
+    fn forward_yields_in_order() {
+        let recs = records();
+        let mut scan = ForwardScan::new(Cursor::new(file_of(&recs)), recs.len() as u32);
+        let mut seen = Vec::new();
+        while let Some((ix, r)) = scan.next_record().unwrap() {
+            assert_eq!(ix as usize, seen.len());
+            seen.push(r);
+        }
+        assert_eq!(seen, recs);
+    }
+
+    #[test]
+    fn backward_yields_in_reverse() {
+        let recs = records();
+        let mut scan = BackwardScan::new(Cursor::new(file_of(&recs)), recs.len() as u32).unwrap();
+        let mut expected_ix = recs.len() as u32;
+        while let Some((ix, r)) = scan.next_record().unwrap() {
+            expected_ix -= 1;
+            assert_eq!(ix, expected_ix);
+            assert_eq!(r, recs[ix as usize]);
+        }
+        assert_eq!(expected_ix, 0);
+    }
+}

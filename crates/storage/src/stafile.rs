@@ -1,0 +1,148 @@
+//! The temporary `.sta` state file connecting the two phases.
+//!
+//! "Since the run of A may be very large and B needs to process it, we
+//! write it to the disk. In our implementation, we write the pointer to
+//! the internal data structure of the residual program ρA(v) for each
+//! node v, in the order we visit the nodes. Our temporary file thus
+//! consumes four bytes per node." (paper footnote 12)
+//!
+//! Phase 1 visits nodes backwards, so state ids are written through a
+//! [`RevWriter`] and land at offset `4·ix` for preorder index `ix`;
+//! phase 2 then reads the file forward, aligned with its forward `.arb`
+//! scan.
+
+use crate::rev::RevWriter;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, Write};
+use std::path::Path;
+
+/// Bytes per state entry.
+pub const STATE_BYTES: usize = 4;
+
+/// Writes state ids during the backward phase-1 scan.
+pub struct StateFileWriter {
+    inner: RevWriter<File>,
+}
+
+impl StateFileWriter {
+    /// Creates a state file for `n` nodes.
+    pub fn create(path: &Path, n: u64) -> io::Result<Self> {
+        let f = File::create(path)?;
+        f.set_len(n * STATE_BYTES as u64)?;
+        Ok(StateFileWriter {
+            inner: RevWriter::new(f, n * STATE_BYTES as u64),
+        })
+    }
+
+    /// Writes the state of the next node (phase 1 visits `n−1 .. 0`).
+    pub fn write_state(&mut self, state: u32) -> io::Result<()> {
+        self.inner.write_record(&state.to_le_bytes())
+    }
+
+    /// Finishes; errors if fewer or more than `n` states were written.
+    pub fn finish(self) -> io::Result<()> {
+        self.inner.finish()?;
+        Ok(())
+    }
+}
+
+/// Reads state ids in preorder during the forward phase-2 scan.
+pub struct StateFileReader {
+    inner: BufReader<File>,
+}
+
+impl StateFileReader {
+    /// Opens a state file.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(StateFileReader {
+            inner: BufReader::with_capacity(64 * 1024, File::open(path)?),
+        })
+    }
+
+    /// Reads the next state id.
+    pub fn read_state(&mut self) -> io::Result<u32> {
+        let mut buf = [0u8; STATE_BYTES];
+        self.inner.read_exact(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+}
+
+/// In-memory variant used when the whole run fits in RAM (small trees,
+/// tests): same interface, no file.
+#[derive(Default)]
+pub struct MemStates {
+    states: Vec<u32>,
+}
+
+impl MemStates {
+    /// Storage for `n` states.
+    pub fn new(n: usize) -> Self {
+        MemStates {
+            states: vec![u32::MAX; n],
+        }
+    }
+
+    /// Records the state of node `ix`.
+    pub fn set(&mut self, ix: u32, state: u32) {
+        self.states[ix as usize] = state;
+    }
+
+    /// The state of node `ix`.
+    pub fn get(&self, ix: u32) -> u32 {
+        self.states[ix as usize]
+    }
+}
+
+/// Ensures a file handle's cursor sits at the start (paranoia helper for
+/// reuse across scans).
+pub fn rewind(f: &mut File) -> io::Result<()> {
+    f.seek(std::io::SeekFrom::Start(0))?;
+    Ok(())
+}
+
+/// Writes raw bytes at a path (test helper).
+pub fn write_all(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_write_forward_read() {
+        let dir = std::env::temp_dir().join(format!("arb-sta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.sta");
+        let n = 1000u32;
+        let mut w = StateFileWriter::create(&path, n as u64).unwrap();
+        // Phase-1 order: node n-1 first.
+        for ix in (0..n).rev() {
+            w.write_state(ix * 3).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = StateFileReader::open(&path).unwrap();
+        for ix in 0..n {
+            assert_eq!(r.read_state().unwrap(), ix * 3);
+        }
+    }
+
+    #[test]
+    fn finish_detects_missing_states() {
+        let dir = std::env::temp_dir().join(format!("arb-sta2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("y.sta");
+        let mut w = StateFileWriter::create(&path, 3).unwrap();
+        w.write_state(1).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn mem_states() {
+        let mut m = MemStates::new(4);
+        m.set(2, 99);
+        assert_eq!(m.get(2), 99);
+    }
+}

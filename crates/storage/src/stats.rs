@@ -1,0 +1,128 @@
+//! Database profiling: distributions computed in one linear scan.
+//!
+//! Useful both operationally (`arb stats --full`) and for checking that
+//! synthetic workloads match the corpus shapes the paper reports (tag
+//! counts, character/element ratios, tree depths).
+
+use crate::db::ArbDatabase;
+use arb_tree::LabelId;
+use std::collections::HashMap;
+use std::io;
+
+/// Distribution profile of a database.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Total nodes.
+    pub nodes: u64,
+    /// Element nodes.
+    pub elem_nodes: u64,
+    /// Character nodes.
+    pub char_nodes: u64,
+    /// Per-tag element counts (tag labels only).
+    pub tag_counts: HashMap<LabelId, u64>,
+    /// Maximum unranked (XML) depth.
+    pub max_depth: u32,
+    /// Maximum unranked fan-out (children per element).
+    pub max_fanout: u64,
+    /// Leaf elements (no children).
+    pub leaf_elems: u64,
+}
+
+impl Profile {
+    /// Top `k` tags by count, with names resolved.
+    pub fn top_tags<'a>(&self, db: &'a ArbDatabase, k: usize) -> Vec<(std::borrow::Cow<'a, str>, u64)> {
+        let mut v: Vec<(LabelId, u64)> = self.tag_counts.iter().map(|(&l, &c)| (l, c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v.truncate(k);
+        v.into_iter()
+            .map(|(l, c)| (db.labels().name(l), c))
+            .collect()
+    }
+}
+
+/// Computes the profile by one backward scan (Prop. 5.1 fold: each node
+/// returns its subtree's unranked depth and its own sibling-chain info).
+pub fn profile(db: &ArbDatabase) -> io::Result<Profile> {
+    let mut p = Profile::default();
+    let mut scan = db.backward_scan()?;
+    // Fold value per binary subtree root: (unranked depth of the subtree
+    // rooted at this node *as an unranked node*, number of siblings in
+    // this node's chain including itself, max depth among the chain).
+    struct Fold {
+        chain_len: u64,
+        chain_max_depth: u32,
+    }
+    crate::traversal::bottom_up_scan(&mut scan, |s1: Option<Fold>, s2, rec, _ix| {
+        p.nodes += 1;
+        if rec.label.is_text() {
+            p.char_nodes += 1;
+        } else {
+            p.elem_nodes += 1;
+            *p.tag_counts.entry(rec.label).or_insert(0) += 1;
+        }
+        let (kids_depth, fanout) = match &s1 {
+            Some(f) => (f.chain_max_depth, f.chain_len),
+            None => (0, 0),
+        };
+        if !rec.label.is_text() {
+            if fanout == 0 {
+                p.leaf_elems += 1;
+            }
+            p.max_fanout = p.max_fanout.max(fanout);
+        }
+        let my_depth = kids_depth + 1;
+        p.max_depth = p.max_depth.max(my_depth);
+        match s2 {
+            Some(next) => Fold {
+                chain_len: next.chain_len + 1,
+                chain_max_depth: next.chain_max_depth.max(my_depth),
+            },
+            None => Fold {
+                chain_len: 1,
+                chain_max_depth: my_depth,
+            },
+        }
+    })?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::create::create_from_xml;
+    use arb_xml::XmlConfig;
+    use std::io::Cursor;
+
+    fn mkdb(xml: &str, name: &str) -> ArbDatabase {
+        let dir = std::env::temp_dir().join(format!("arb-prof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path).unwrap();
+        ArbDatabase::open(&path).unwrap()
+    }
+
+    #[test]
+    fn profile_counts_and_depth() {
+        // <a><b>xy</b><b/><c><d/></c></a>: depth 3 (a > c > d),
+        // max fanout 3 (a's children), leaves: d and the empty b.
+        let db = mkdb("<a><b>xy</b><b/><c><d/></c></a>", "p1.arb");
+        let p = profile(&db).unwrap();
+        assert_eq!(p.nodes, 7);
+        assert_eq!(p.elem_nodes, 5);
+        assert_eq!(p.char_nodes, 2);
+        assert_eq!(p.max_depth, 3);
+        assert_eq!(p.max_fanout, 3);
+        assert_eq!(p.leaf_elems, 2);
+        let top = p.top_tags(&db, 2);
+        assert_eq!(top[0].0, "b");
+        assert_eq!(top[0].1, 2);
+    }
+
+    #[test]
+    fn deep_chain_depth() {
+        let db = mkdb("<a><a><a><a/></a></a></a>", "p2.arb");
+        let p = profile(&db).unwrap();
+        assert_eq!(p.max_depth, 4);
+        assert_eq!(p.max_fanout, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Surface AST for the Arb rule syntax (paper Section 2.2).
+//!
+//! A surface rule is `Head :- item, …, item;` where each item is a
+//! *caterpillar expression*: a regular expression over moves
+//! (`FirstChild`, `SecondChild`/`NextSibling` and their inverses) and
+//! node tests (EDB atoms and IDB predicates). Strict TMNF rules are the
+//! special cases `P :- U;`, `P :- P0.B;`, `P :- P0.invB;`, `P :- P1, P2;`.
+
+use crate::edb::EdbAtom;
+
+/// A binary tree move (an edge relation or its inverse).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Move {
+    /// `FirstChild`.
+    FirstChild,
+    /// `SecondChild`, written `NextSibling` in the unranked reading.
+    SecondChild,
+    /// `invFirstChild`.
+    InvFirstChild,
+    /// `invSecondChild`, written `invNextSibling` in the unranked reading.
+    InvSecondChild,
+}
+
+impl Move {
+    /// The inverse move.
+    pub fn inverse(self) -> Move {
+        match self {
+            Move::FirstChild => Move::InvFirstChild,
+            Move::SecondChild => Move::InvSecondChild,
+            Move::InvFirstChild => Move::FirstChild,
+            Move::InvSecondChild => Move::SecondChild,
+        }
+    }
+}
+
+/// A symbol of a caterpillar expression: a move or a node test that must
+/// hold at the current node of the walk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepSym {
+    /// Move along an edge.
+    Move(Move),
+    /// EDB test at the current node.
+    Edb(EdbAtom),
+    /// IDB predicate test at the current node (the leading predicate of a
+    /// path item, or an intermediate condition).
+    Pred(String),
+}
+
+/// A regular expression over [`StepSym`]s.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Regex {
+    /// ε — the empty walk.
+    Eps,
+    /// A single symbol.
+    Sym(StepSym),
+    /// Concatenation.
+    Cat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+    /// One or more.
+    Plus(Box<Regex>),
+    /// Zero or one.
+    Opt(Box<Regex>),
+}
+
+impl Regex {
+    /// Concatenation constructor that simplifies ε.
+    pub fn cat(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Eps, b) => b,
+            (a, Regex::Eps) => a,
+            (a, b) => Regex::Cat(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Alternation constructor.
+    pub fn alt(a: Regex, b: Regex) -> Regex {
+        Regex::Alt(Box::new(a), Box::new(b))
+    }
+
+    /// Concatenates a sequence of expressions.
+    pub fn seq(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        parts
+            .into_iter()
+            .fold(Regex::Eps, Regex::cat)
+    }
+
+    /// A move symbol.
+    pub fn mv(m: Move) -> Regex {
+        Regex::Sym(StepSym::Move(m))
+    }
+
+    /// An EDB test symbol.
+    pub fn edb(e: EdbAtom) -> Regex {
+        Regex::Sym(StepSym::Edb(e))
+    }
+
+    /// An IDB predicate test symbol.
+    pub fn pred(name: impl Into<String>) -> Regex {
+        Regex::Sym(StepSym::Pred(name.into()))
+    }
+
+    /// Number of symbol occurrences (Glushkov positions).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Eps => 0,
+            Regex::Sym(_) => 1,
+            Regex::Cat(a, b) | Regex::Alt(a, b) => a.size() + b.size(),
+            Regex::Star(a) | Regex::Plus(a) | Regex::Opt(a) => a.size(),
+        }
+    }
+}
+
+/// One body item of a surface rule: a caterpillar expression. The item
+/// holds at node `x` iff some walk matching the expression ends at `x`
+/// (tests constrain the walk's intermediate nodes; the walk may start at
+/// any node satisfying its leading tests).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BodyItem {
+    /// The caterpillar expression.
+    pub regex: Regex,
+}
+
+/// A surface rule `head :- items;`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SurfaceRule {
+    /// Head predicate name.
+    pub head: String,
+    /// Conjunctive body items.
+    pub items: Vec<BodyItem>,
+}
+
+/// A parsed surface program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SurfaceProgram {
+    /// Rules in source order.
+    pub rules: Vec<SurfaceRule>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_simplifies_eps() {
+        let r = Regex::cat(Regex::Eps, Regex::mv(Move::FirstChild));
+        assert_eq!(r, Regex::mv(Move::FirstChild));
+        let r = Regex::cat(Regex::mv(Move::FirstChild), Regex::Eps);
+        assert_eq!(r, Regex::mv(Move::FirstChild));
+    }
+
+    #[test]
+    fn seq_builds_catenation() {
+        let r = Regex::seq([
+            Regex::mv(Move::FirstChild),
+            Regex::mv(Move::SecondChild),
+            Regex::edb(EdbAtom::Leaf),
+        ]);
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn inverse_involution() {
+        for m in [
+            Move::FirstChild,
+            Move::SecondChild,
+            Move::InvFirstChild,
+            Move::InvSecondChild,
+        ] {
+            assert_eq!(m.inverse().inverse(), m);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Strict TMNF programs: the four rule templates over interned predicates.
+
+use crate::edb::EdbAtom;
+use arb_tree::LabelTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an IDB predicate within a [`CoreProgram`].
+pub type PredId = u32;
+
+/// A strict TMNF rule (paper Section 2.2, templates (1)–(4)).
+///
+/// `k = 1` denotes the `FirstChild` relation, `k = 2` `SecondChild`
+/// (a.k.a. `NextSibling`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreRule {
+    /// Template (1): `head(x) ← U(x)`.
+    Edb {
+        /// Head predicate.
+        head: PredId,
+        /// EDB index into [`CoreProgram::edbs`].
+        edb: u32,
+    },
+    /// Template (2): `head(x) ← body(x0) ∧ B(x0, x)` — the head holds at
+    /// the `k`-child of a node where the body holds (information flows
+    /// *down*). Surface syntax `head :- body.FirstChild;`.
+    Down {
+        /// Head predicate (derived at the child).
+        head: PredId,
+        /// Body predicate (holds at the parent).
+        body: PredId,
+        /// Which child: 1 or 2.
+        k: u8,
+    },
+    /// Template (3): `head(x0) ← body(x) ∧ B(x0, x)` — the head holds at
+    /// the parent of a `k`-child where the body holds (information flows
+    /// *up*). Surface syntax `head :- body.invFirstChild;`.
+    Up {
+        /// Head predicate (derived at the parent).
+        head: PredId,
+        /// Body predicate (holds at the `k`-child).
+        body: PredId,
+        /// Which child: 1 or 2.
+        k: u8,
+    },
+    /// Template (4): `head(x) ← b1(x) ∧ b2(x)`.
+    ///
+    /// Following the paper's usage (Examples 2.2 and 4.3 write rules like
+    /// `P4 :- P3, Leaf;`), conjunction operands may be EDB atoms as well
+    /// as IDB predicates.
+    And {
+        /// Head predicate.
+        head: PredId,
+        /// First body operand.
+        b1: BodyAtom,
+        /// Second body operand (may equal `b1`, expressing a copy rule).
+        b2: BodyAtom,
+    },
+}
+
+/// An operand of a conjunctive (type-4) rule body.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BodyAtom {
+    /// An IDB predicate.
+    Pred(PredId),
+    /// An EDB atom (index into [`CoreProgram::edbs`]).
+    Edb(u32),
+}
+
+impl CoreRule {
+    /// The head predicate of the rule.
+    pub fn head(&self) -> PredId {
+        match *self {
+            CoreRule::Edb { head, .. }
+            | CoreRule::Down { head, .. }
+            | CoreRule::Up { head, .. }
+            | CoreRule::And { head, .. } => head,
+        }
+    }
+}
+
+/// A strict TMNF program: interned predicate names, an EDB registry, the
+/// rules, and the distinguished query predicates.
+#[derive(Clone, Default)]
+pub struct CoreProgram {
+    pred_names: Vec<String>,
+    pred_by_name: HashMap<String, PredId>,
+    /// EDB atoms referenced by the program (indexed by `CoreRule::Edb::edb`).
+    edbs: Vec<EdbAtom>,
+    edb_by_atom: HashMap<EdbAtom, u32>,
+    rules: Vec<CoreRule>,
+    query_preds: Vec<PredId>,
+    gensym: u32,
+}
+
+impl CoreProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate name.
+    pub fn pred(&mut self, name: &str) -> PredId {
+        if let Some(&p) = self.pred_by_name.get(name) {
+            return p;
+        }
+        let id = self.pred_names.len() as PredId;
+        self.pred_names.push(name.to_string());
+        self.pred_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// A fresh auxiliary predicate with a unique name.
+    pub fn fresh_pred(&mut self, hint: &str) -> PredId {
+        loop {
+            let name = format!("_{hint}{}", self.gensym);
+            self.gensym += 1;
+            if !self.pred_by_name.contains_key(&name) {
+                return self.pred(&name);
+            }
+        }
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred_id(&self, name: &str) -> Option<PredId> {
+        self.pred_by_name.get(name).copied()
+    }
+
+    /// The name of a predicate.
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.pred_names[p as usize]
+    }
+
+    /// Number of IDB predicates (the paper's `|IDB|` column).
+    pub fn pred_count(&self) -> usize {
+        self.pred_names.len()
+    }
+
+    /// Interns an EDB atom, returning its index.
+    pub fn edb(&mut self, atom: EdbAtom) -> u32 {
+        if let Some(&ix) = self.edb_by_atom.get(&atom) {
+            return ix;
+        }
+        let ix = self.edbs.len() as u32;
+        self.edbs.push(atom);
+        self.edb_by_atom.insert(atom, ix);
+        ix
+    }
+
+    /// The EDB registry.
+    pub fn edbs(&self) -> &[EdbAtom] {
+        &self.edbs
+    }
+
+    /// The EDB atom at an index.
+    pub fn edb_atom(&self, ix: u32) -> EdbAtom {
+        self.edbs[ix as usize]
+    }
+
+    /// Appends a rule.
+    pub fn add_rule(&mut self, rule: CoreRule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules (the paper's `|P|` column counts these).
+    pub fn rules(&self) -> &[CoreRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Marks a predicate as a query predicate (TMNF programs can compute
+    /// several node-selecting queries at once, paper §2.2/§7).
+    pub fn add_query_pred(&mut self, p: PredId) {
+        if !self.query_preds.contains(&p) {
+            self.query_preds.push(p);
+        }
+    }
+
+    /// The distinguished query predicates.
+    pub fn query_preds(&self) -> &[PredId] {
+        &self.query_preds
+    }
+
+    /// Convenience: the single query predicate, if exactly one is set.
+    pub fn query_pred(&self) -> Option<PredId> {
+        match self.query_preds.as_slice() {
+            [p] => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Renders the program in Arb surface syntax.
+    pub fn display<'a>(&'a self, labels: &'a LabelTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a CoreProgram, &'a LabelTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let p = self.0;
+                for r in &p.rules {
+                    match *r {
+                        CoreRule::Edb { head, edb } => writeln!(
+                            f,
+                            "{} :- {};",
+                            p.pred_name(head),
+                            p.edb_atom(edb).display(self.1)
+                        )?,
+                        CoreRule::Down { head, body, k } => writeln!(
+                            f,
+                            "{} :- {}.{};",
+                            p.pred_name(head),
+                            p.pred_name(body),
+                            if k == 1 { "FirstChild" } else { "SecondChild" }
+                        )?,
+                        CoreRule::Up { head, body, k } => writeln!(
+                            f,
+                            "{} :- {}.{};",
+                            p.pred_name(head),
+                            p.pred_name(body),
+                            if k == 1 {
+                                "invFirstChild"
+                            } else {
+                                "invSecondChild"
+                            }
+                        )?,
+                        CoreRule::And { head, b1, b2 } => {
+                            let show = |a: &BodyAtom| match *a {
+                                BodyAtom::Pred(q) => p.pred_name(q).to_string(),
+                                BodyAtom::Edb(e) => {
+                                    p.edb_atom(e).display(self.1).to_string()
+                                }
+                            };
+                            writeln!(
+                                f,
+                                "{} :- {}, {};",
+                                p.pred_name(head),
+                                show(&b1),
+                                show(&b2)
+                            )?
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+        D(self, labels)
+    }
+}
+
+impl fmt::Debug for CoreProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoreProgram")
+            .field("preds", &self.pred_names)
+            .field("rules", &self.rules)
+            .field("query", &self.query_preds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_and_rules() {
+        let mut p = CoreProgram::new();
+        let a = p.pred("A");
+        let b = p.pred("B");
+        assert_eq!(p.pred("A"), a);
+        assert_ne!(a, b);
+        let e = p.edb(EdbAtom::Root);
+        assert_eq!(p.edb(EdbAtom::Root), e);
+        p.add_rule(CoreRule::Edb { head: a, edb: e });
+        p.add_rule(CoreRule::Down {
+            head: b,
+            body: a,
+            k: 1,
+        });
+        assert_eq!(p.rule_count(), 2);
+        assert_eq!(p.rules()[1].head(), b);
+        p.add_query_pred(b);
+        p.add_query_pred(b);
+        assert_eq!(p.query_preds(), &[b]);
+        assert_eq!(p.query_pred(), Some(b));
+    }
+
+    #[test]
+    fn fresh_preds_unique() {
+        let mut p = CoreProgram::new();
+        let x = p.fresh_pred("s");
+        let y = p.fresh_pred("s");
+        assert_ne!(x, y);
+        assert_ne!(p.pred_name(x), p.pred_name(y));
+    }
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let mut p = CoreProgram::new();
+        let a = p.pred("A");
+        let b = p.pred("B");
+        let e = p.edb(EdbAtom::Leaf);
+        p.add_rule(CoreRule::Edb { head: a, edb: e });
+        p.add_rule(CoreRule::Up {
+            head: b,
+            body: a,
+            k: 2,
+        });
+        p.add_rule(CoreRule::And {
+            head: b,
+            b1: BodyAtom::Pred(a),
+            b2: BodyAtom::Pred(a),
+        });
+        let lt = LabelTable::new();
+        let s = format!("{}", p.display(&lt));
+        assert!(s.contains("A :- Leaf;"));
+        assert!(s.contains("B :- A.invSecondChild;"));
+        assert!(s.contains("B :- A, A;"));
+    }
+}

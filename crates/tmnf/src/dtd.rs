@@ -1,0 +1,677 @@
+//! DTD conformance as a node-selecting query (paper Section 1.3, item 4):
+//!
+//! > "the selection of nodes based on universal properties, such as
+//! > conformance of their subtrees with a DTD, can also be expressed."
+//!
+//! A [`Dtd`] maps element tags to regular content models over child tags
+//! and `#PCDATA`. [`conformance_program`] compiles it to a strict TMNF
+//! program whose query predicate `Conf` holds at exactly the nodes whose
+//! subtree conforms: the children word must be in the content model's
+//! language *and* every element child must itself conform — mutual
+//! recursion that the bottom-up automaton phase resolves in one scan.
+
+use crate::core::{BodyAtom, CoreProgram, CoreRule, PredId};
+use crate::edb::EdbAtom;
+use arb_tree::{BinaryTree, LabelId, LabelTable, NodeId, NodeSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A content-model symbol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Sym {
+    /// A child element with this tag.
+    Tag(String),
+    /// Character data.
+    Pcdata,
+}
+
+/// A regular content model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ContentModel {
+    /// `EMPTY` — no children.
+    Empty,
+    /// A single symbol (tag name or `#PCDATA`).
+    Sym(String),
+    /// Sequence `a, b`.
+    Cat(Box<ContentModel>, Box<ContentModel>),
+    /// Choice `a | b`.
+    Alt(Box<ContentModel>, Box<ContentModel>),
+    /// `a*`.
+    Star(Box<ContentModel>),
+    /// `a+`.
+    Plus(Box<ContentModel>),
+    /// `a?`.
+    Opt(Box<ContentModel>),
+}
+
+/// A document type definition: one content model per declared tag.
+#[derive(Clone, Debug, Default)]
+pub struct Dtd {
+    decls: Vec<(String, ContentModel)>,
+}
+
+/// Errors from [`Dtd::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdError {
+    /// Description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for DtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DTD error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DtdError {}
+
+impl Dtd {
+    /// Parses a compact DTD syntax, one declaration per element:
+    ///
+    /// ```text
+    /// book    = (title, author+, chapter*);
+    /// title   = #PCDATA*;
+    /// author  = #PCDATA*;
+    /// chapter = (#PCDATA | emph)*;
+    /// emph    = #PCDATA*;
+    /// ```
+    ///
+    /// `EMPTY` denotes no children; `#` starts a comment line.
+    pub fn parse(src: &str) -> Result<Dtd, DtdError> {
+        let mut p = DtdParser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let mut dtd = Dtd::default();
+        loop {
+            p.ws();
+            if p.pos >= p.src.len() {
+                return Ok(dtd);
+            }
+            let name = p.name()?;
+            p.expect(b'=')?;
+            let cm = p.alt()?;
+            p.expect(b';')?;
+            if dtd.decls.iter().any(|(n, _)| n == &name) {
+                return Err(p.err(format!("duplicate declaration for {name:?}")));
+            }
+            dtd.decls.push((name, cm));
+        }
+    }
+
+    /// The declarations, in source order.
+    pub fn declarations(&self) -> &[(String, ContentModel)] {
+        &self.decls
+    }
+
+    /// The content model of a tag, if declared.
+    pub fn model(&self, tag: &str) -> Option<&ContentModel> {
+        self.decls.iter().find(|(n, _)| n == tag).map(|(_, m)| m)
+    }
+
+    /// **Direct oracle**: checks conformance of every node's subtree by
+    /// recursive NFA simulation over the children lists. Used to
+    /// differential-test the TMNF compilation.
+    pub fn check_tree(&self, tree: &BinaryTree, labels: &LabelTable) -> NodeSet {
+        let mut conforms = NodeSet::new(tree.len());
+        // Children before parents: reverse preorder.
+        for ix in (0..tree.len() as u32).rev() {
+            let v = NodeId(ix);
+            let label = tree.label(v);
+            if label.is_text() {
+                conforms.insert(v);
+                continue;
+            }
+            let Some(model) = self.model(&labels.name(label)) else {
+                continue; // undeclared tags do not conform (strict mode)
+            };
+            // All element children must conform, and the children word
+            // must be in L(model).
+            let children = tree.unranked_children(v);
+            let ok_children = children.iter().all(|&c| conforms.contains(c));
+            if ok_children && nfa_match(model, &children, tree, labels) {
+                conforms.insert(v);
+            }
+        }
+        conforms
+    }
+}
+
+/// Backtracking-free NFA match of a children word against a content model
+/// (Glushkov subset simulation).
+fn nfa_match(
+    model: &ContentModel,
+    children: &[NodeId],
+    tree: &BinaryTree,
+    labels: &LabelTable,
+) -> bool {
+    let mut positions = Vec::new();
+    let mut follow = Vec::new();
+    let gl = glushkov_cm(model, &mut positions, &mut follow);
+    let matches_sym = |sym: &Sym, v: NodeId| -> bool {
+        let l = tree.label(v);
+        match sym {
+            Sym::Pcdata => l.is_text(),
+            Sym::Tag(t) => !l.is_text() && labels.name(l) == t.as_str(),
+        }
+    };
+    // Subset simulation: current = set of positions just consumed.
+    let mut current: Option<Vec<usize>> = None; // None = at the start
+    for &c in children {
+        let sources: Vec<usize> = match &current {
+            None => gl.first.clone(),
+            Some(cur) => {
+                let mut out: Vec<usize> = cur
+                    .iter()
+                    .flat_map(|&q| follow[q].iter().copied())
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        };
+        let next: Vec<usize> = sources
+            .into_iter()
+            .filter(|&p| matches_sym(&positions[p], c))
+            .collect();
+        if next.is_empty() {
+            return false;
+        }
+        current = Some(next);
+    }
+    match current {
+        None => gl.nullable,
+        Some(cur) => cur.iter().any(|q| gl.last.contains(q)),
+    }
+}
+
+struct GlCm {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+fn glushkov_cm(m: &ContentModel, positions: &mut Vec<Sym>, follow: &mut Vec<Vec<usize>>) -> GlCm {
+    match m {
+        ContentModel::Empty => GlCm {
+            nullable: true,
+            first: vec![],
+            last: vec![],
+        },
+        ContentModel::Sym(s) => {
+            let p = positions.len();
+            positions.push(if s == "#PCDATA" {
+                Sym::Pcdata
+            } else {
+                Sym::Tag(s.clone())
+            });
+            follow.push(Vec::new());
+            GlCm {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
+        }
+        ContentModel::Cat(a, b) => {
+            let ga = glushkov_cm(a, positions, follow);
+            let gb = glushkov_cm(b, positions, follow);
+            for &p in &ga.last {
+                follow[p].extend_from_slice(&gb.first);
+            }
+            let mut first = ga.first;
+            if ga.nullable {
+                first.extend_from_slice(&gb.first);
+            }
+            let mut last = gb.last;
+            if gb.nullable {
+                last.extend_from_slice(&ga.last);
+            }
+            GlCm {
+                nullable: ga.nullable && gb.nullable,
+                first,
+                last,
+            }
+        }
+        ContentModel::Alt(a, b) => {
+            let ga = glushkov_cm(a, positions, follow);
+            let gb = glushkov_cm(b, positions, follow);
+            let mut first = ga.first;
+            first.extend_from_slice(&gb.first);
+            let mut last = ga.last;
+            last.extend_from_slice(&gb.last);
+            GlCm {
+                nullable: ga.nullable || gb.nullable,
+                first,
+                last,
+            }
+        }
+        ContentModel::Star(a) | ContentModel::Plus(a) => {
+            let ga = glushkov_cm(a, positions, follow);
+            for &p in &ga.last {
+                let fs = ga.first.clone();
+                follow[p].extend(fs);
+            }
+            GlCm {
+                nullable: matches!(m, ContentModel::Star(_)) || ga.nullable,
+                first: ga.first,
+                last: ga.last,
+            }
+        }
+        ContentModel::Opt(a) => {
+            let ga = glushkov_cm(a, positions, follow);
+            GlCm {
+                nullable: true,
+                first: ga.first,
+                last: ga.last,
+            }
+        }
+    }
+}
+
+struct DtdParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl DtdParser<'_> {
+    fn err(&self, message: impl Into<String>) -> DtdError {
+        DtdError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self.src.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+                self.pos += 1;
+            }
+            if self.src.get(self.pos) == Some(&b'#')
+                && self.src.get(self.pos + 1) != Some(&b'P')
+            {
+                while self.src.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DtdError> {
+        self.ws();
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, DtdError> {
+        self.ws();
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'#') {
+            self.pos += 1; // #PCDATA
+        }
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn alt(&mut self) -> Result<ContentModel, DtdError> {
+        let mut m = self.cat()?;
+        loop {
+            self.ws();
+            if self.src.get(self.pos) == Some(&b'|') {
+                self.pos += 1;
+                m = ContentModel::Alt(Box::new(m), Box::new(self.cat()?));
+            } else {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn cat(&mut self) -> Result<ContentModel, DtdError> {
+        let mut m = self.postfix()?;
+        loop {
+            self.ws();
+            if self.src.get(self.pos) == Some(&b',') {
+                self.pos += 1;
+                m = ContentModel::Cat(Box::new(m), Box::new(self.postfix()?));
+            } else {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn postfix(&mut self) -> Result<ContentModel, DtdError> {
+        let mut m = self.primary()?;
+        loop {
+            self.ws();
+            match self.src.get(self.pos) {
+                Some(b'*') => {
+                    self.pos += 1;
+                    m = ContentModel::Star(Box::new(m));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    m = ContentModel::Plus(Box::new(m));
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    m = ContentModel::Opt(Box::new(m));
+                }
+                _ => return Ok(m),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<ContentModel, DtdError> {
+        self.ws();
+        if self.src.get(self.pos) == Some(&b'(') {
+            self.pos += 1;
+            let m = self.alt()?;
+            self.expect(b')')?;
+            return Ok(m);
+        }
+        let n = self.name()?;
+        if n == "EMPTY" {
+            Ok(ContentModel::Empty)
+        } else {
+            Ok(ContentModel::Sym(n))
+        }
+    }
+}
+
+/// Compiles a DTD into a strict TMNF program whose query predicate
+/// (`Conf`) selects exactly the nodes whose subtree conforms.
+///
+/// For each declared tag `t`, a Glushkov automaton over its content model
+/// is turned into suffix predicates `S_{t,q}(y)` — "the sibling list from
+/// `y` on can be consumed from state `q`, with every consumed element
+/// child itself conforming" — derived right-to-left along sibling chains
+/// and handed to the parent through `invFirstChild`.
+pub fn conformance_program(dtd: &Dtd, labels: &mut LabelTable) -> CoreProgram {
+    let mut prog = CoreProgram::new();
+    let conf = prog.pred("Conf");
+    let text_edb = prog.edb(EdbAtom::Text);
+    // Character nodes always conform.
+    prog.add_rule(CoreRule::Edb {
+        head: conf,
+        edb: text_edb,
+    });
+
+    // Per-tag label ids (and per-symbol tests).
+    let mut label_of: HashMap<&str, LabelId> = HashMap::new();
+    for (tag, _) in &dtd.decls {
+        let l = labels.intern(tag).expect("valid tag name");
+        label_of.insert(tag.as_str(), l);
+    }
+
+    for (tag, model) in &dtd.decls {
+        let mut positions = Vec::new();
+        let mut follow = Vec::new();
+        let gl = glushkov_cm(model, &mut positions, &mut follow);
+        let tag_label = label_of[tag.as_str()];
+
+        // Suffix predicate per position: "this child matched position p
+        // and the rest of the list completes the word".
+        let spreds: Vec<PredId> = (0..positions.len())
+            .map(|p| prog.fresh_pred(&format!("s_{tag}_{p}")))
+            .collect();
+        // OkSym_p(y): y matches position p's symbol and conforms.
+        let okpreds: Vec<PredId> = (0..positions.len())
+            .map(|p| prog.fresh_pred(&format!("ok_{tag}_{p}")))
+            .collect();
+        for (p, sym) in positions.iter().enumerate() {
+            match sym {
+                Sym::Pcdata => {
+                    // Character child: conforms trivially.
+                    prog.add_rule(CoreRule::Edb {
+                        head: okpreds[p],
+                        edb: text_edb,
+                    });
+                }
+                Sym::Tag(t) => {
+                    let l = match label_of.get(t.as_str()) {
+                        Some(&l) => l,
+                        None => labels.intern(t).expect("valid tag name"),
+                    };
+                    let e = prog.edb(EdbAtom::Label(l));
+                    prog.add_rule(CoreRule::And {
+                        head: okpreds[p],
+                        b1: BodyAtom::Pred(conf),
+                        b2: BodyAtom::Edb(e),
+                    });
+                }
+            }
+        }
+        // Last positions close the word at the last sibling.
+        let last_sib = prog.edb(EdbAtom::LastSibling);
+        for &p in &gl.last {
+            prog.add_rule(CoreRule::And {
+                head: spreds[p],
+                b1: BodyAtom::Pred(okpreds[p]),
+                b2: BodyAtom::Edb(last_sib),
+            });
+        }
+        // Interior transitions: S_p(y) if ok_p(y) and the next sibling
+        // starts a suffix from some follower q.
+        for (p, fs) in follow.iter().enumerate() {
+            for &q in fs {
+                // ns(y) := S_q(next(y))
+                let ns = prog.fresh_pred(&format!("ns_{tag}_{p}_{q}"));
+                prog.add_rule(CoreRule::Up {
+                    head: ns,
+                    body: spreds[q],
+                    k: 2,
+                });
+                prog.add_rule(CoreRule::And {
+                    head: spreds[p],
+                    b1: BodyAtom::Pred(okpreds[p]),
+                    b2: BodyAtom::Pred(ns),
+                });
+            }
+        }
+        // Conformance of a t-labeled node.
+        let tag_edb = prog.edb(EdbAtom::Label(tag_label));
+        if gl.nullable {
+            let leaf = prog.edb(EdbAtom::Leaf);
+            let no_kids = prog.fresh_pred(&format!("nokids_{tag}"));
+            prog.add_rule(CoreRule::Edb {
+                head: no_kids,
+                edb: leaf,
+            });
+            prog.add_rule(CoreRule::And {
+                head: conf,
+                b1: BodyAtom::Pred(no_kids),
+                b2: BodyAtom::Edb(tag_edb),
+            });
+        }
+        // First child starts the word at some first position.
+        for &p in &gl.first {
+            let fc = prog.fresh_pred(&format!("fc_{tag}_{p}"));
+            prog.add_rule(CoreRule::Up {
+                head: fc,
+                body: spreds[p],
+                k: 1,
+            });
+            prog.add_rule(CoreRule::And {
+                head: conf,
+                b1: BodyAtom::Pred(fc),
+                b2: BodyAtom::Edb(tag_edb),
+            });
+        }
+    }
+    prog.add_query_pred(conf);
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use arb_tree::TreeBuilder;
+
+    const BOOK_DTD: &str = "
+        # a small document type
+        book    = (title, author+, chapter*);
+        title   = #PCDATA*;
+        author  = #PCDATA*;
+        chapter = (#PCDATA | emph)*;
+        emph    = #PCDATA*;
+    ";
+
+    fn build(xml_ops: &dyn Fn(&mut TreeBuilder, &mut LabelTable)) -> (BinaryTree, LabelTable) {
+        let mut lt = LabelTable::new();
+        let mut b = TreeBuilder::new();
+        xml_ops(&mut b, &mut lt);
+        (b.finish().unwrap(), lt)
+    }
+
+    #[test]
+    fn parse_and_model_access() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        assert_eq!(dtd.declarations().len(), 5);
+        assert!(dtd.model("book").is_some());
+        assert!(dtd.model("missing").is_none());
+        assert!(Dtd::parse("a = (b;").is_err());
+        assert!(Dtd::parse("a = b; a = c;").is_err());
+    }
+
+    #[test]
+    fn direct_checker_semantics() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        // Conforming book.
+        let (tree, lt) = build(&|b, lt| {
+            let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+            b.open(t(lt, "book"));
+            b.open(t(lt, "title"));
+            b.text(b"T");
+            b.close();
+            b.open(t(lt, "author"));
+            b.text(b"A");
+            b.close();
+            b.open(t(lt, "chapter"));
+            b.text(b"x");
+            b.open(t(lt, "emph"));
+            b.text(b"y");
+            b.close();
+            b.close();
+            b.close();
+        });
+        let ok = dtd.check_tree(&tree, &lt);
+        assert!(ok.contains(NodeId(0)), "book conforms");
+        // Non-conforming: book without author.
+        let (tree2, lt2) = build(&|b, lt| {
+            let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+            b.open(t(lt, "book"));
+            b.open(t(lt, "title"));
+            b.close();
+            b.close();
+        });
+        let ok2 = dtd.check_tree(&tree2, &lt2);
+        assert!(!ok2.contains(NodeId(0)), "book without author");
+        assert!(ok2.contains(NodeId(1)), "empty title still conforms");
+    }
+
+    type TreeCase = Box<dyn Fn(&mut TreeBuilder, &mut LabelTable)>;
+
+    #[test]
+    fn compiled_program_matches_direct_checker() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let cases: Vec<TreeCase> = vec![
+            // conforming full book
+            Box::new(|b, lt| {
+                let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+                b.open(t(lt, "book"));
+                b.open(t(lt, "title"));
+                b.text(b"T");
+                b.close();
+                b.open(t(lt, "author"));
+                b.close();
+                b.open(t(lt, "author"));
+                b.close();
+                b.open(t(lt, "chapter"));
+                b.close();
+                b.close();
+            }),
+            // chapter with a bad child
+            Box::new(|b, lt| {
+                let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+                b.open(t(lt, "book"));
+                b.open(t(lt, "title"));
+                b.close();
+                b.open(t(lt, "author"));
+                b.close();
+                b.open(t(lt, "chapter"));
+                b.open(t(lt, "title")) /* title not allowed in chapter */;
+                b.close();
+                b.close();
+                b.close();
+            }),
+            // wrong order
+            Box::new(|b, lt| {
+                let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+                b.open(t(lt, "book"));
+                b.open(t(lt, "author"));
+                b.close();
+                b.open(t(lt, "title"));
+                b.close();
+                b.close();
+            }),
+            // undeclared tag
+            Box::new(|b, lt| {
+                let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+                b.open(t(lt, "pamphlet"));
+                b.close();
+            }),
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            let (tree, mut lt) = build(case);
+            let expected = dtd.check_tree(&tree, &lt);
+            let prog = conformance_program(&dtd, &mut lt);
+            let res = naive::evaluate(&prog, &tree);
+            let conf = prog.query_pred().unwrap();
+            for v in tree.nodes() {
+                assert_eq!(
+                    res.holds(conf, v),
+                    expected.contains(v),
+                    "case {i}, node {}",
+                    v.0
+                );
+            }
+        }
+    }
+
+    /// Conformance marking through the full two-phase automaton pipeline.
+    #[test]
+    fn conformance_via_automata() {
+        let dtd = Dtd::parse("pair = (item, item); item = EMPTY;").unwrap();
+        let (tree, mut lt) = build(&|b, lt| {
+            let t = |lt: &mut LabelTable, n: &str| lt.intern(n).unwrap();
+            b.open(t(lt, "pair"));
+            b.leaf(t(lt, "item"));
+            b.leaf(t(lt, "item"));
+            b.close();
+        });
+        let prog = conformance_program(&dtd, &mut lt);
+        let expected = dtd.check_tree(&tree, &lt);
+        assert!(expected.contains(NodeId(0)));
+        let res = naive::evaluate(&prog, &tree);
+        let conf = prog.query_pred().unwrap();
+        assert!(res.holds(conf, NodeId(0)));
+        assert!(res.holds(conf, NodeId(1)));
+    }
+}

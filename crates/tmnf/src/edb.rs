@@ -1,0 +1,146 @@
+//! The unary EDB schema σ (paper Section 2.1).
+//!
+//! A monadic datalog program over binary trees may use the unary relations
+//! `V`, `Root`, `HasFirstChild`, `HasSecondChild`, `Label[l]` (for each
+//! label `l`) and, for each of these, its complement `−U`. The paper's
+//! aliases `Leaf = −HasFirstChild` and `LastSibling = −HasSecondChild` are
+//! normalized to the complements here.
+
+use arb_tree::{LabelId, LabelTable, NodeInfo};
+use std::fmt;
+
+/// A unary EDB atom, evaluable from a node's [`NodeInfo`] alone.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EdbAtom {
+    /// `V` — every node.
+    V,
+    /// `Root` / `−Root`.
+    Root,
+    /// Complement of [`EdbAtom::Root`].
+    NotRoot,
+    /// `HasFirstChild`.
+    HasFirstChild,
+    /// `−HasFirstChild`, a.k.a. `Leaf`.
+    Leaf,
+    /// `HasSecondChild` (a.k.a. `NextSibling` existence).
+    HasSecondChild,
+    /// `−HasSecondChild`, a.k.a. `LastSibling`.
+    LastSibling,
+    /// `Label[l]` — the node carries label `l`.
+    Label(LabelId),
+    /// `−Label[l]`.
+    NotLabel(LabelId),
+    /// Extension: the node is a text character node (any label `< 256`).
+    Text,
+    /// Complement of [`EdbAtom::Text`]: an element node.
+    NotText,
+}
+
+impl EdbAtom {
+    /// Evaluates the atom at a node.
+    #[inline]
+    pub fn eval(self, info: &NodeInfo) -> bool {
+        match self {
+            EdbAtom::V => true,
+            EdbAtom::Root => info.is_root,
+            EdbAtom::NotRoot => !info.is_root,
+            EdbAtom::HasFirstChild => info.has_first,
+            EdbAtom::Leaf => !info.has_first,
+            EdbAtom::HasSecondChild => info.has_second,
+            EdbAtom::LastSibling => !info.has_second,
+            EdbAtom::Label(l) => info.label == l,
+            EdbAtom::NotLabel(l) => info.label != l,
+            EdbAtom::Text => info.label.is_text(),
+            EdbAtom::NotText => !info.label.is_text(),
+        }
+    }
+
+    /// The complement atom `−U`.
+    pub fn complement(self) -> EdbAtom {
+        match self {
+            EdbAtom::V => panic!("-V is unsatisfiable and not part of the schema"),
+            EdbAtom::Root => EdbAtom::NotRoot,
+            EdbAtom::NotRoot => EdbAtom::Root,
+            EdbAtom::HasFirstChild => EdbAtom::Leaf,
+            EdbAtom::Leaf => EdbAtom::HasFirstChild,
+            EdbAtom::HasSecondChild => EdbAtom::LastSibling,
+            EdbAtom::LastSibling => EdbAtom::HasSecondChild,
+            EdbAtom::Label(l) => EdbAtom::NotLabel(l),
+            EdbAtom::NotLabel(l) => EdbAtom::Label(l),
+            EdbAtom::Text => EdbAtom::NotText,
+            EdbAtom::NotText => EdbAtom::Text,
+        }
+    }
+
+    /// Renders the atom in Arb surface syntax.
+    pub fn display<'a>(&'a self, labels: &'a LabelTable) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a EdbAtom, &'a LabelTable);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self.0 {
+                    EdbAtom::V => write!(f, "V"),
+                    EdbAtom::Root => write!(f, "Root"),
+                    EdbAtom::NotRoot => write!(f, "-Root"),
+                    EdbAtom::HasFirstChild => write!(f, "HasFirstChild"),
+                    EdbAtom::Leaf => write!(f, "Leaf"),
+                    EdbAtom::HasSecondChild => write!(f, "HasSecondChild"),
+                    EdbAtom::LastSibling => write!(f, "LastSibling"),
+                    EdbAtom::Label(l) => write!(f, "Label[{}]", self.1.name(*l)),
+                    EdbAtom::NotLabel(l) => write!(f, "-Label[{}]", self.1.name(*l)),
+                    EdbAtom::Text => write!(f, "Text"),
+                    EdbAtom::NotText => write!(f, "-Text"),
+                }
+            }
+        }
+        D(self, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(label: LabelId, has_first: bool, has_second: bool, is_root: bool) -> NodeInfo {
+        NodeInfo {
+            label,
+            has_first,
+            has_second,
+            is_root,
+        }
+    }
+
+    #[test]
+    fn eval_matches_info() {
+        let tag = LabelId(300);
+        let i = info(tag, true, false, true);
+        assert!(EdbAtom::V.eval(&i));
+        assert!(EdbAtom::Root.eval(&i));
+        assert!(!EdbAtom::NotRoot.eval(&i));
+        assert!(EdbAtom::HasFirstChild.eval(&i));
+        assert!(!EdbAtom::Leaf.eval(&i));
+        assert!(!EdbAtom::HasSecondChild.eval(&i));
+        assert!(EdbAtom::LastSibling.eval(&i));
+        assert!(EdbAtom::Label(tag).eval(&i));
+        assert!(!EdbAtom::Label(LabelId(301)).eval(&i));
+        assert!(EdbAtom::NotLabel(LabelId(301)).eval(&i));
+        assert!(EdbAtom::NotText.eval(&i));
+        let c = info(LabelId::from_char_byte(b'A'), false, true, false);
+        assert!(EdbAtom::Text.eval(&c));
+    }
+
+    #[test]
+    fn complements_are_involutions() {
+        let atoms = [
+            EdbAtom::Root,
+            EdbAtom::HasFirstChild,
+            EdbAtom::HasSecondChild,
+            EdbAtom::Label(LabelId(300)),
+            EdbAtom::Text,
+        ];
+        let i = info(LabelId(300), false, true, false);
+        for a in atoms {
+            assert_eq!(a.complement().complement(), a);
+            assert_ne!(a.eval(&i), a.complement().eval(&i));
+        }
+    }
+}

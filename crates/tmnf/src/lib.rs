@@ -1,0 +1,62 @@
+//! # arb-tmnf
+//!
+//! TMNF — *tree-marking normal form* (paper Section 2.2) — the internal
+//! query language of the Arb system: a restricted monadic datalog over
+//! binary trees with exactly the expressive power of unary MSO
+//! (Proposition 2.1, \[9\]).
+//!
+//! Strict TMNF rules take the four template forms
+//!
+//! ```text
+//! P(x)  ← U(x).                      (1)   P :- U;
+//! P(x)  ← P0(x0) ∧ B(x0, x).         (2)   P :- P0.B;
+//! P(x0) ← P0(x) ∧ B(x0, x).          (3)   P :- P0.invB;
+//! P(x)  ← P1(x) ∧ P2(x).             (4)   P :- P1, P2;
+//! ```
+//!
+//! where `U` ranges over the unary EDB relations (`Root`, `HasFirstChild`,
+//! `Label[l]`, … and complements) and `B` over `FirstChild`/`SecondChild`.
+//!
+//! The crate provides:
+//!
+//! * [`edb::EdbAtom`] — the unary EDB schema σ,
+//! * [`core::CoreProgram`] — strict TMNF programs over interned predicates,
+//! * [`ast`] / [`parser`] — the Arb surface syntax, including *caterpillar
+//!   expressions* (regular expressions over tree relations, §2.2),
+//! * [`normalize()`] — linear-time compilation of surface programs to strict
+//!   TMNF via Glushkov position automata,
+//! * [`proplocal`] — `PropLocal(P)` (Definition 4.2): the propositional
+//!   projection partitioned into local/left/right/downward rule groups,
+//! * [`naive`] — a semi-naive datalog fixpoint evaluator over in-memory
+//!   trees: the correctness oracle and the "conventional" baseline,
+//! * [`programs`] — canned example programs from the paper.
+
+pub mod ast;
+pub mod core;
+pub mod dtd;
+pub mod edb;
+pub mod naive;
+pub mod normalize;
+pub mod optimize;
+pub mod parser;
+pub mod programs;
+pub mod proplocal;
+
+pub use crate::core::{CoreProgram, CoreRule, PredId};
+pub use ast::{BodyItem, Move, Regex, StepSym, SurfaceProgram, SurfaceRule};
+pub use dtd::{conformance_program, ContentModel, Dtd};
+pub use edb::EdbAtom;
+pub use naive::NaiveResult;
+pub use normalize::normalize;
+pub use optimize::optimize;
+pub use parser::{parse_program, ParseError};
+pub use proplocal::PropLocal;
+
+use arb_tree::LabelTable;
+
+/// One-stop compilation: parse Arb surface syntax and normalize to strict
+/// TMNF. Tag labels mentioned in the program are interned into `labels`.
+pub fn compile(src: &str, labels: &mut LabelTable) -> Result<CoreProgram, ParseError> {
+    let ast = parse_program(src, labels)?;
+    Ok(normalize(&ast))
+}

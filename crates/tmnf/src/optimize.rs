@@ -1,0 +1,295 @@
+//! TMNF program optimization.
+//!
+//! The Glushkov/XPath compilation pipelines generate auxiliary predicates
+//! freely (copy rules from accepting states, `_and` chains, unused
+//! negative-pair halves). Since automaton construction cost scales with
+//! `|IDB|` and `|P|` (every rule becomes a propositional clause carried
+//! through LTUR at every transition), shrinking the program before
+//! building `PropLocal(P)` pays off directly.
+//!
+//! Passes (all semantics-preserving for the query predicates, verified by
+//! differential property tests):
+//!
+//! 1. **copy propagation** — a predicate defined by a single copy rule
+//!    `P :- Q, Q;` and nothing else is replaced by `Q` everywhere;
+//! 2. **dead-code elimination** — rules whose heads cannot reach a query
+//!    predicate through the rule dependency graph are dropped, then
+//!    unused predicates are compacted away (renumbering).
+
+use crate::core::{BodyAtom, CoreProgram, CoreRule, PredId};
+
+/// Optimizes a program; the result computes the same extents for every
+/// query predicate. Predicate ids are renumbered (names preserved).
+pub fn optimize(prog: &CoreProgram) -> CoreProgram {
+    let copied = copy_propagate(prog);
+    eliminate_dead(&copied)
+}
+
+/// Applies copy propagation: predicates whose *only* defining rule is a
+/// single self-conjunction copy `P :- Q, Q;` (and which are not query
+/// predicates) are aliased to `Q`.
+fn copy_propagate(prog: &CoreProgram) -> CoreProgram {
+    let np = prog.pred_count() as u32;
+    // Collect defining-rule counts and the candidate source.
+    let mut def_count = vec![0u32; np as usize];
+    let mut copy_src: Vec<Option<PredId>> = vec![None; np as usize];
+    for r in prog.rules() {
+        let h = r.head() as usize;
+        def_count[h] += 1;
+        copy_src[h] = match *r {
+            CoreRule::And {
+                b1: BodyAtom::Pred(p),
+                b2: BodyAtom::Pred(q),
+                ..
+            } if p == q => Some(p),
+            _ => None,
+        };
+    }
+    // Resolve alias chains (P -> Q -> R) with cycle protection.
+    let mut alias: Vec<PredId> = (0..np).collect();
+    for p in 0..np {
+        if def_count[p as usize] == 1
+            && copy_src[p as usize].is_some()
+            && !prog.query_preds().contains(&p)
+        {
+            alias[p as usize] = copy_src[p as usize].expect("checked");
+        }
+    }
+    let resolve = |alias: &[PredId], mut p: PredId| -> PredId {
+        let mut hops = 0;
+        while alias[p as usize] != p && hops <= np {
+            p = alias[p as usize];
+            hops += 1;
+        }
+        p
+    };
+
+    let mut out = CoreProgram::new();
+    // Preserve names and ids 1:1 (compaction happens in the DCE pass).
+    for p in 0..np {
+        out.pred(prog.pred_name(p));
+    }
+    for r in prog.rules() {
+        let head = resolve(&alias, r.head());
+        if head != r.head() {
+            continue; // the defining copy rule itself disappears
+        }
+        let map_atom = |a: BodyAtom| match a {
+            BodyAtom::Pred(p) => BodyAtom::Pred(resolve(&alias, p)),
+            e => e,
+        };
+        let rule = match *r {
+            CoreRule::Edb { edb, .. } => CoreRule::Edb {
+                head,
+                edb: out.edb(prog.edb_atom(edb)),
+            },
+            CoreRule::Down { body, k, .. } => CoreRule::Down {
+                head,
+                body: resolve(&alias, body),
+                k,
+            },
+            CoreRule::Up { body, k, .. } => CoreRule::Up {
+                head,
+                body: resolve(&alias, body),
+                k,
+            },
+            CoreRule::And { b1, b2, .. } => {
+                let (b1, b2) = (map_atom(b1), map_atom(b2));
+                let (b1, b2) = match (b1, b2) {
+                    (BodyAtom::Edb(e), BodyAtom::Edb(e2)) => {
+                        (BodyAtom::Edb(out.edb(prog.edb_atom(e))), BodyAtom::Edb(out.edb(prog.edb_atom(e2))))
+                    }
+                    (BodyAtom::Edb(e), p) => (BodyAtom::Edb(out.edb(prog.edb_atom(e))), p),
+                    (p, BodyAtom::Edb(e)) => (p, BodyAtom::Edb(out.edb(prog.edb_atom(e)))),
+                    other => other,
+                };
+                CoreRule::And { head, b1, b2 }
+            }
+        };
+        out.add_rule(rule);
+    }
+    for &q in prog.query_preds() {
+        out.add_query_pred(resolve(&alias, q));
+    }
+    out
+}
+
+/// Drops rules that cannot contribute to a query predicate and compacts
+/// predicate ids.
+fn eliminate_dead(prog: &CoreProgram) -> CoreProgram {
+    let np = prog.pred_count();
+    // Reverse reachability from the query predicates over "head depends
+    // on body" edges.
+    let mut needed = vec![false; np];
+    let mut work: Vec<PredId> = prog.query_preds().to_vec();
+    for &q in &work {
+        needed[q as usize] = true;
+    }
+    while let Some(p) = work.pop() {
+        for r in prog.rules() {
+            if r.head() != p {
+                continue;
+            }
+            let push = |b: PredId, needed: &mut Vec<bool>, work: &mut Vec<PredId>| {
+                if !needed[b as usize] {
+                    needed[b as usize] = true;
+                    work.push(b);
+                }
+            };
+            match *r {
+                CoreRule::Edb { .. } => {}
+                CoreRule::Down { body, .. } | CoreRule::Up { body, .. } => {
+                    push(body, &mut needed, &mut work)
+                }
+                CoreRule::And { b1, b2, .. } => {
+                    if let BodyAtom::Pred(b) = b1 {
+                        push(b, &mut needed, &mut work);
+                    }
+                    if let BodyAtom::Pred(b) = b2 {
+                        push(b, &mut needed, &mut work);
+                    }
+                }
+            }
+        }
+    }
+
+    // Compact: new ids for needed predicates only.
+    let mut out = CoreProgram::new();
+    let mut remap: Vec<Option<PredId>> = vec![None; np];
+    for p in 0..np as u32 {
+        if needed[p as usize] {
+            remap[p as usize] = Some(out.pred(prog.pred_name(p)));
+        }
+    }
+    let m = |p: PredId, remap: &[Option<PredId>]| remap[p as usize].expect("needed pred");
+    for r in prog.rules() {
+        if !needed[r.head() as usize] {
+            continue;
+        }
+        let rule = match *r {
+            CoreRule::Edb { head, edb } => CoreRule::Edb {
+                head: m(head, &remap),
+                edb: out.edb(prog.edb_atom(edb)),
+            },
+            CoreRule::Down { head, body, k } => CoreRule::Down {
+                head: m(head, &remap),
+                body: m(body, &remap),
+                k,
+            },
+            CoreRule::Up { head, body, k } => CoreRule::Up {
+                head: m(head, &remap),
+                body: m(body, &remap),
+                k,
+            },
+            CoreRule::And { head, b1, b2 } => {
+                let map_atom = |a: BodyAtom, out: &mut CoreProgram| match a {
+                    BodyAtom::Pred(p) => BodyAtom::Pred(m(p, &remap)),
+                    BodyAtom::Edb(e) => BodyAtom::Edb(out.edb(prog.edb_atom(e))),
+                };
+                let b1 = map_atom(b1, &mut out);
+                let b2 = map_atom(b2, &mut out);
+                CoreRule::And {
+                    head: m(head, &remap),
+                    b1,
+                    b2,
+                }
+            }
+        };
+        out.add_rule(rule);
+    }
+    for &q in prog.query_preds() {
+        out.add_query_pred(m(q, &remap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive, normalize, parse_program};
+    use arb_tree::{LabelTable, TreeBuilder};
+
+    fn compile(src: &str, lt: &mut LabelTable) -> CoreProgram {
+        let ast = parse_program(src, lt).unwrap();
+        let mut p = normalize(&ast);
+        let last = p.rules().last().unwrap().head();
+        p.add_query_pred(last);
+        p
+    }
+
+    #[test]
+    fn removes_dead_rules_and_preds() {
+        let mut lt = LabelTable::new();
+        let prog = compile(
+            "Dead1 :- Root; Dead2 :- Dead1.FirstChild;\n\
+             Live :- Leaf; QUERY :- Live, Label[a];",
+            &mut lt,
+        );
+        let opt = optimize(&prog);
+        assert!(opt.pred_count() < prog.pred_count());
+        assert!(opt.rule_count() < prog.rule_count());
+        assert!(opt.pred_id("Dead1").is_none());
+        assert!(opt.pred_id("QUERY").is_some());
+    }
+
+    #[test]
+    fn copy_chains_collapse() {
+        let mut lt = LabelTable::new();
+        // A <- copy of B <- copy of C.
+        let prog = compile(
+            "C :- Root; B :- C; A :- B; QUERY :- A.FirstChild;",
+            &mut lt,
+        );
+        let opt = optimize(&prog);
+        // B and A vanish; QUERY :- C.FirstChild remains.
+        assert!(opt.pred_count() <= 2);
+        assert_eq!(opt.rule_count(), 2);
+    }
+
+    #[test]
+    fn optimized_program_is_equivalent() {
+        let mut lt = LabelTable::new();
+        let srcs = [
+            "QUERY :- V.Label[S].FirstChild.NextSibling*.Label[NP];",
+            "A :- Leaf; B :- A.invNextSibling; C :- Root; QUERY :- B, A;",
+            "X :- V.Label[a].(FirstChild|SecondChild)+; QUERY :- X, Leaf;",
+        ];
+        for src in srcs {
+            let prog = compile(src, &mut lt);
+            let opt = optimize(&prog);
+            assert!(opt.rule_count() <= prog.rule_count());
+
+            let mut b = TreeBuilder::new();
+            let s = lt.intern("S").unwrap();
+            let np = lt.intern("NP").unwrap();
+            let a = lt.intern("a").unwrap();
+            b.open(s);
+            b.open(np);
+            b.leaf(a);
+            b.leaf(np);
+            b.close();
+            b.open(a);
+            b.leaf(np);
+            b.close();
+            b.close();
+            let tree = b.finish().unwrap();
+
+            let r1 = naive::evaluate(&prog, &tree);
+            let r2 = naive::evaluate(&opt, &tree);
+            let q1 = prog.query_pred().unwrap();
+            let q2 = opt.query_pred().unwrap();
+            for v in tree.nodes() {
+                assert_eq!(r1.holds(q1, v), r2.holds(q2, v), "{src} at {}", v.0);
+            }
+        }
+    }
+
+    #[test]
+    fn query_preds_never_aliased_away() {
+        let mut lt = LabelTable::new();
+        let prog = compile("A :- Root; QUERY :- A;", &mut lt);
+        let opt = optimize(&prog);
+        assert!(opt.pred_id("QUERY").is_some());
+        assert_eq!(opt.query_preds().len(), 1);
+    }
+}

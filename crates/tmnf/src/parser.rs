@@ -1,0 +1,520 @@
+//! Parser for the Arb surface syntax.
+//!
+//! Grammar (whitespace and `#`-to-end-of-line comments ignored):
+//!
+//! ```text
+//! program  := rule*
+//! rule     := IDENT ":-" item ("," item)* ";"
+//! item     := alt
+//! alt      := cat ("|" cat)*
+//! cat      := postfix ("." postfix)*
+//! postfix  := primary ("*" | "+" | "?")*
+//! primary  := "(" alt ")" | "-"? name
+//! name     := EDB name | move name | Label "[" label "]" | predicate
+//! ```
+//!
+//! EDB and move names are recognized case-insensitively: `V`, `Root`,
+//! `HasFirstChild`, `HasSecondChild`, `Leaf`, `LastSibling`, `Text`,
+//! `FirstChild`, `SecondChild`, `NextSibling`, `invFirstChild`,
+//! `invSecondChild`, `invNextSibling`. `Label[x]` tests a tag label;
+//! `Label['c']` tests a character label. Everything else is an IDB
+//! predicate name (case-sensitive).
+
+use crate::ast::{BodyItem, Move, Regex, SurfaceProgram, SurfaceRule};
+use crate::edb::EdbAtom;
+use arb_tree::{LabelId, LabelTable};
+use std::fmt;
+
+/// A parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    /// `Label[...]` / `-Label[...]` content, pre-resolved.
+    Label(LabelId),
+    ColonDash,
+    Dot,
+    Comma,
+    Semi,
+    Pipe,
+    Star,
+    Plus,
+    Question,
+    LParen,
+    RParen,
+    Minus,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn ident(&mut self, first: u8) -> String {
+        let mut s = String::new();
+        s.push(first as char);
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                s.push(b as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Reads the `[...]` part of a `Label[...]` token.
+    fn label_body(&mut self, labels: &mut LabelTable) -> Result<LabelId, ParseError> {
+        match self.peek() {
+            Some(b'\'') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.err("unterminated character label"))?;
+                if self.bump() != Some(b'\'') {
+                    return Err(self.err("character label must be a single byte in quotes"));
+                }
+                if self.bump() != Some(b']') {
+                    return Err(self.err("expected ']' after character label"));
+                }
+                Ok(LabelId::from_char_byte(c))
+            }
+            _ => {
+                let mut name = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b']') => break,
+                        Some(b) if !b.is_ascii_whitespace() => name.push(b as char),
+                        Some(_) => return Err(self.err("whitespace in label name")),
+                        None => return Err(self.err("unterminated Label[...]")),
+                    }
+                }
+                if name.is_empty() {
+                    return Err(self.err("empty label name"));
+                }
+                labels
+                    .intern(&name)
+                    .map_err(|e| self.err(format!("bad label: {e}")))
+            }
+        }
+    }
+
+    fn next(&mut self, labels: &mut LabelTable) -> Result<Tok, ParseError> {
+        self.skip_trivia();
+        let Some(b) = self.bump() else {
+            return Ok(Tok::Eof);
+        };
+        Ok(match b {
+            b'.' => Tok::Dot,
+            b',' => Tok::Comma,
+            b';' => Tok::Semi,
+            b'|' => Tok::Pipe,
+            b'*' => Tok::Star,
+            b'+' => Tok::Plus,
+            b'?' => Tok::Question,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'-' => Tok::Minus,
+            b':' => {
+                if self.bump() == Some(b'-') {
+                    Tok::ColonDash
+                } else {
+                    return Err(self.err("expected ':-'"));
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let id = self.ident(b);
+                if id.eq_ignore_ascii_case("label") && self.peek() == Some(b'[') {
+                    self.bump();
+                    Tok::Label(self.label_body(labels)?)
+                } else {
+                    Tok::Ident(id)
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        })
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    labels: &'a mut LabelTable,
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, labels: &'a mut LabelTable) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let (line, col) = (lexer.line, lexer.col);
+        let tok = lexer.next(labels)?;
+        Ok(Parser {
+            lexer,
+            labels,
+            tok,
+            line,
+            col,
+        })
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        self.line = self.lexer.line;
+        self.col = self.lexer.col;
+        let next = self.lexer.next(self.labels)?;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
+        if self.tok == t {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.tok)))
+        }
+    }
+
+    fn program(&mut self) -> Result<SurfaceProgram, ParseError> {
+        let mut rules = Vec::new();
+        while self.tok != Tok::Eof {
+            rules.push(self.rule()?);
+        }
+        Ok(SurfaceProgram { rules })
+    }
+
+    fn rule(&mut self) -> Result<SurfaceRule, ParseError> {
+        let head = match self.advance()? {
+            Tok::Ident(name) => {
+                if reserved(&name).is_some() {
+                    return Err(self.err(format!(
+                        "{name:?} is a reserved EDB/move name and cannot be a rule head"
+                    )));
+                }
+                name
+            }
+            other => return Err(self.err(format!("expected rule head, found {other:?}"))),
+        };
+        self.expect(Tok::ColonDash, "':-'")?;
+        let mut items = vec![BodyItem { regex: self.alt()? }];
+        while self.tok == Tok::Comma {
+            self.advance()?;
+            items.push(BodyItem { regex: self.alt()? });
+        }
+        self.expect(Tok::Semi, "';'")?;
+        Ok(SurfaceRule { head, items })
+    }
+
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.cat()?;
+        while self.tok == Tok::Pipe {
+            self.advance()?;
+            r = Regex::alt(r, self.cat()?);
+        }
+        Ok(r)
+    }
+
+    fn cat(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.postfix()?;
+        while self.tok == Tok::Dot {
+            self.advance()?;
+            r = Regex::cat(r, self.postfix()?);
+        }
+        Ok(r)
+    }
+
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.primary()?;
+        loop {
+            match self.tok {
+                Tok::Star => {
+                    self.advance()?;
+                    r = Regex::Star(Box::new(r));
+                }
+                Tok::Plus => {
+                    self.advance()?;
+                    r = Regex::Plus(Box::new(r));
+                }
+                Tok::Question => {
+                    self.advance()?;
+                    r = Regex::Opt(Box::new(r));
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Regex, ParseError> {
+        match self.advance()? {
+            Tok::LParen => {
+                let r = self.alt()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(r)
+            }
+            Tok::Minus => match self.advance()? {
+                Tok::Ident(name) => match reserved(&name) {
+                    Some(Name::Edb(e)) => {
+                        if e == EdbAtom::V {
+                            Err(self.err("-V is unsatisfiable"))
+                        } else {
+                            Ok(Regex::edb(e.complement()))
+                        }
+                    }
+                    Some(Name::Move(_)) => {
+                        Err(self.err(format!("cannot complement move {name:?}")))
+                    }
+                    None => Err(self.err(format!(
+                        "'-' may only complement EDB relations, found {name:?}"
+                    ))),
+                },
+                Tok::Label(l) => Ok(Regex::edb(EdbAtom::NotLabel(l))),
+                other => Err(self.err(format!("expected EDB name after '-', found {other:?}"))),
+            },
+            Tok::Label(l) => Ok(Regex::edb(EdbAtom::Label(l))),
+            Tok::Ident(name) => match reserved(&name) {
+                Some(Name::Edb(e)) => Ok(Regex::edb(e)),
+                Some(Name::Move(m)) => Ok(Regex::mv(m)),
+                None => Ok(Regex::pred(name)),
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+enum Name {
+    Edb(EdbAtom),
+    Move(Move),
+}
+
+/// Recognizes reserved EDB relation and move names (case-insensitive).
+fn reserved(name: &str) -> Option<Name> {
+    let lower = name.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "v" => Name::Edb(EdbAtom::V),
+        "root" => Name::Edb(EdbAtom::Root),
+        "hasfirstchild" => Name::Edb(EdbAtom::HasFirstChild),
+        "hassecondchild" => Name::Edb(EdbAtom::HasSecondChild),
+        "leaf" => Name::Edb(EdbAtom::Leaf),
+        "lastsibling" => Name::Edb(EdbAtom::LastSibling),
+        "text" => Name::Edb(EdbAtom::Text),
+        "firstchild" => Name::Move(Move::FirstChild),
+        "secondchild" | "nextsibling" => Name::Move(Move::SecondChild),
+        "invfirstchild" => Name::Move(Move::InvFirstChild),
+        "invsecondchild" | "invnextsibling" => Name::Move(Move::InvSecondChild),
+        _ => return None,
+    })
+}
+
+/// Parses an Arb surface program. Tag labels are interned into `labels`.
+pub fn parse_program(src: &str, labels: &mut LabelTable) -> Result<SurfaceProgram, ParseError> {
+    Parser::new(src, labels)?.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StepSym;
+
+    fn parse(src: &str) -> SurfaceProgram {
+        let mut lt = LabelTable::new();
+        parse_program(src, &mut lt).expect("parse failed")
+    }
+
+    #[test]
+    fn strict_tmnf_forms() {
+        let p = parse(
+            "Even :- Leaf, -Label[a];\n\
+             FSEven :- SFREven.invNextSibling;\n\
+             SFREven :- FSEven, Even;\n\
+             Even :- SFREven.invFirstChild;",
+        );
+        assert_eq!(p.rules.len(), 4);
+        assert_eq!(p.rules[0].head, "Even");
+        assert_eq!(p.rules[0].items.len(), 2);
+        assert_eq!(p.rules[0].items[0].regex, Regex::edb(EdbAtom::Leaf));
+        // -Label[a]
+        match &p.rules[0].items[1].regex {
+            Regex::Sym(StepSym::Edb(EdbAtom::NotLabel(_))) => {}
+            other => panic!("expected -Label, got {other:?}"),
+        }
+        // path item
+        match &p.rules[1].items[0].regex {
+            Regex::Cat(a, b) => {
+                assert_eq!(**a, Regex::pred("SFREven"));
+                assert_eq!(**b, Regex::mv(Move::InvSecondChild));
+            }
+            other => panic!("expected cat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caterpillar_with_star_and_parens() {
+        let p = parse(
+            "QUERY :- V.Label[S].FirstChild.NextSibling*.Label[VP].\
+             (FirstChild.NextSibling*.Label[NP])*.Label[NP];",
+        );
+        assert_eq!(p.rules.len(), 1);
+        assert!(p.rules[0].items[0].regex.size() >= 8);
+    }
+
+    #[test]
+    fn alternation_and_complements() {
+        // The paper's ACGT-infix caterpillar.
+        let p = parse(
+            "Prev :- X.(FirstChild.SecondChild*.-hasSecondChild \
+             | -hasFirstChild.invFirstChild*.invSecondChild);",
+        );
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn char_labels() {
+        let mut lt = LabelTable::new();
+        let p = parse_program("Q :- Label['A'];", &mut lt).unwrap();
+        assert_eq!(
+            p.rules[0].items[0].regex,
+            Regex::edb(EdbAtom::Label(LabelId::from_char_byte(b'A')))
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let p = parse("# a comment\nQ :- Root; # trailing\n");
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let mut lt = LabelTable::new();
+        let e = parse_program("Q :- ;", &mut lt).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.col > 1);
+        assert!(parse_program("Root :- V;", &mut lt).is_err());
+        assert!(parse_program("Q :- -V;", &mut lt).is_err());
+        assert!(parse_program("Q :- -FirstChild;", &mut lt).is_err());
+        assert!(parse_program("Q :- Label[a b];", &mut lt).is_err());
+        assert!(parse_program("Q :- A.B", &mut lt).is_err()); // missing ';'
+    }
+
+    #[test]
+    fn reserved_names_case_insensitive() {
+        let p = parse("Q :- lastsibling; R :- LASTSIBLING;");
+        assert_eq!(p.rules[0].items[0].regex, Regex::edb(EdbAtom::LastSibling));
+        assert_eq!(p.rules[1].items[0].regex, Regex::edb(EdbAtom::LastSibling));
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The parser never panics: any input either parses or returns a
+        /// positioned error.
+        #[test]
+        fn parser_total_on_arbitrary_input(src in "[ -~\\n]{0,80}") {
+            let mut lt = LabelTable::new();
+            let _ = parse_program(&src, &mut lt);
+        }
+
+        /// Inputs built from plausible token soup also never panic, and
+        /// exercise deeper parser paths than raw bytes.
+        #[test]
+        fn parser_total_on_token_soup(
+            toks in proptest::collection::vec(0..12u8, 0..40)
+        ) {
+            let parts = [
+                "P", ":-", ".", ",", ";", "(", ")", "*", "Label[a]",
+                "-", "FirstChild", "invNextSibling",
+            ];
+            let src: String = toks
+                .iter()
+                .map(|&t| parts[t as usize])
+                .collect::<Vec<_>>()
+                .join(" ");
+            let mut lt = LabelTable::new();
+            let _ = parse_program(&src, &mut lt);
+        }
+    }
+}

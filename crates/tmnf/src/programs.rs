@@ -1,0 +1,113 @@
+//! Canned TMNF programs from the paper, usable in examples, tests and
+//! benchmarks.
+
+/// Paper Example 2.2: assigns `Even` to exactly the nodes whose subtree
+/// contains an even number of leaves labeled `a`, and `Odd` to the rest.
+///
+/// The program traverses bottom-up: leaves are annotated first, then
+/// sibling lists are folded from the right (`SFR` = "siblings from
+/// right"), and complete sums are pushed up through `invFirstChild`.
+pub const EVEN_ODD: &str = "\
+Even :- Leaf, -Label[a];
+Odd :- Leaf, Label[a];
+
+SFREven :- Even, LastSibling;
+SFROdd :- Odd, LastSibling;
+
+FSEven :- SFREven.invNextSibling;
+FSOdd :- SFROdd.invNextSibling;
+SFREven :- FSEven, Even;
+SFROdd :- FSEven, Odd;
+SFROdd :- FSOdd, Even;
+SFREven :- FSOdd, Odd;
+
+Even :- SFREven.invFirstChild;
+Odd :- SFROdd.invFirstChild;
+";
+
+/// Paper Example 4.3: the six-rule running example of Section 4.
+pub const EXAMPLE_4_3: &str = "\
+P1 :- Root;
+P2 :- P1.FirstChild;
+P3 :- P2.FirstChild;
+P4 :- P3, Leaf;
+P5 :- P4.invFirstChild;
+Q :- P5.invFirstChild;
+";
+
+/// Selects all nodes labeled `gene` that have a child labeled `sequence`
+/// (the structural part of the paper's Section 1.3 bio-informatics
+/// example; the regular-expression text matching is demonstrated in the
+/// `dna_caterpillar` example).
+pub const GENE_WITH_SEQUENCE: &str = "\
+SeqChild :- V.Label[sequence].invNextSibling*.invFirstChild;
+QUERY :- SeqChild, Label[gene];
+";
+
+/// The caterpillar expression `R` of the paper's ACGT-infix benchmark
+/// (Section 6.2): walks the infix tree to the symbol immediately previous
+/// in the sequence. Substitute into `w1.R.w2...` query builders.
+pub const INFIX_PREVIOUS: &str = "(FirstChild.SecondChild*.-hasSecondChild \
+| -hasFirstChild.invFirstChild*.invSecondChild)";
+
+/// Selects `publication` nodes whose subtree contains an even number of
+/// `page`-labeled nodes (the counting part of the paper's Section 1.3
+/// example 3). Counts *all* nodes labeled `page` in the subtree via a
+/// bottom-up parity fold over the binary tree.
+pub const EVEN_PAGES: &str = "\
+# BE/BO: parity of page-labeled nodes in the *binary* subtree of a node
+# (even/odd), by structural recursion: own label XOR children parities.
+# FE/FO: parity of the first child's binary subtree (even if absent).
+FE :- Leaf;
+FE :- BE.invFirstChild;
+FO :- BO.invFirstChild;
+# SE/SO: parity of the second child's binary subtree (even if absent).
+SE :- LastSibling;
+SE :- BE.invSecondChild;
+SO :- BO.invSecondChild;
+# CE/CO: combined parity of both children's binary subtrees.
+CE :- FE, SE;
+CE :- FO, SO;
+CO :- FE, SO;
+CO :- FO, SE;
+# Fold in the node's own label.
+BE :- CE, -Label[page];
+BO :- CE, Label[page];
+BO :- CO, -Label[page];
+BE :- CO, Label[page];
+# The *unranked* subtree of x is x plus the binary subtree of x's first
+# child: parity = FE/FO XOR own label.
+SubEven :- FE, -Label[page];
+SubEven :- FO, Label[page];
+QUERY :- SubEven, Label[publication];
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use arb_tree::LabelTable;
+
+    #[test]
+    fn all_programs_parse() {
+        for (name, src) in [
+            ("EVEN_ODD", EVEN_ODD),
+            ("EXAMPLE_4_3", EXAMPLE_4_3),
+            ("GENE_WITH_SEQUENCE", GENE_WITH_SEQUENCE),
+            ("EVEN_PAGES", EVEN_PAGES),
+        ] {
+            let mut lt = LabelTable::new();
+            let ast = parse_program(src, &mut lt)
+                .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            let prog = crate::normalize::normalize(&ast);
+            assert!(prog.rule_count() > 0, "{name} has no rules");
+        }
+    }
+
+    #[test]
+    fn infix_previous_parses_in_context() {
+        let mut lt = LabelTable::new();
+        let src = format!("Q :- V.Label['A'].{INFIX_PREVIOUS}.Label['C'];");
+        assert!(parse_program(&src, &mut lt).is_ok());
+    }
+}

@@ -1,0 +1,160 @@
+//! `PropLocal(P)` — Definition 4.2 of the paper.
+//!
+//! The propositional projection of a strict TMNF program over the atoms
+//! `σ ∪ {X_i, X_i^1, X_i^2}`, partitioned into the rule groups used by the
+//! lazy automata:
+//!
+//! * **local rules** — from templates (1) and (4): `X_i ← R` and
+//!   `X_i ← X_j ∧ X_k`;
+//! * **left rules** — clauses mentioning left-child atoms: `X_i ← X_j^1`
+//!   (from `invFirstChild`) and `X_i^1 ← X_j` (from `FirstChild`);
+//! * **right rules** — the superscript-2 analogues;
+//! * **downward rules k** — only the `X_i^k ← X_j` clauses (templates
+//!   (5)/(6) of the definition), used by the top-down automaton.
+//!
+//! IDB predicate `X_i` maps to `Atom::local(i)`; the EDB predicate at
+//! index `e` in the program's registry maps to `Atom::edb(e)`.
+
+use crate::core::{BodyAtom, CoreProgram, CoreRule};
+use arb_logic::{Atom, Rule};
+
+/// The partitioned propositional projection of a TMNF program.
+#[derive(Debug, Clone, Default)]
+pub struct PropLocal {
+    /// `local_rules`: clauses over local and EDB atoms only.
+    pub local: Vec<Rule>,
+    /// `left_rules`: clauses mentioning superscript-1 atoms.
+    pub left: Vec<Rule>,
+    /// `right_rules`: clauses mentioning superscript-2 atoms.
+    pub right: Vec<Rule>,
+    /// `downward_rules_1 ⊆ left_rules`.
+    pub down1: Vec<Rule>,
+    /// `downward_rules_2 ⊆ right_rules`.
+    pub down2: Vec<Rule>,
+}
+
+impl PropLocal {
+    /// Builds `PropLocal(P)` for a strict TMNF program.
+    pub fn build(prog: &CoreProgram) -> PropLocal {
+        let mut pl = PropLocal::default();
+        for r in prog.rules() {
+            match *r {
+                // (1)  X_i :- R   =>   X_i ← R
+                CoreRule::Edb { head, edb } => pl.local.push(Rule::new(
+                    Atom::local(head),
+                    vec![Atom::edb(edb)],
+                )),
+                // (2)  X_i :- X_j, X_k   =>   X_i ← X_j ∧ X_k
+                // (operands may be EDB atoms, as in Example 4.3's
+                //  P4 ← P3 ∧ Leaf)
+                CoreRule::And { head, b1, b2 } => {
+                    let atom = |a: BodyAtom| match a {
+                        BodyAtom::Pred(p) => Atom::local(p),
+                        BodyAtom::Edb(e) => Atom::edb(e),
+                    };
+                    pl.local.push(Rule::new(
+                        Atom::local(head),
+                        vec![atom(b1), atom(b2)],
+                    ))
+                }
+                // (3)/(4)  X_i :- X_j.invB   =>   X_i ← X_j^k
+                CoreRule::Up { head, body, k } => {
+                    let rule = Rule::new(Atom::local(head), vec![Atom::sup(body, k)]);
+                    if k == 1 {
+                        pl.left.push(rule);
+                    } else {
+                        pl.right.push(rule);
+                    }
+                }
+                // (5)/(6)  X_i :- X_j.B   =>   X_i^k ← X_j  (downward rules)
+                CoreRule::Down { head, body, k } => {
+                    let rule = Rule::new(Atom::sup(head, k), vec![Atom::local(body)]);
+                    if k == 1 {
+                        pl.left.push(rule.clone());
+                        pl.down1.push(rule);
+                    } else {
+                        pl.right.push(rule.clone());
+                        pl.down2.push(rule);
+                    }
+                }
+            }
+        }
+        pl
+    }
+
+    /// Total number of propositional clauses.
+    pub fn clause_count(&self) -> usize {
+        self.local.len() + self.left.len() + self.right.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use arb_tree::LabelTable;
+
+    /// Paper Example 4.3: PropLocal of the six-rule program.
+    #[test]
+    fn example_4_3_proplocal() {
+        let mut lt = LabelTable::new();
+        let src = "P1 :- Root;\n\
+                   P2 :- P1.FirstChild;\n\
+                   P3 :- P2.FirstChild;\n\
+                   P4 :- P3, Leaf;\n\
+                   P5 :- P4.invFirstChild;\n\
+                   Q :- P5.invFirstChild;";
+        let ast = parse_program(src, &mut lt).unwrap();
+        let prog = crate::normalize::normalize(&ast);
+        let pl = PropLocal::build(&prog);
+        let id = |n: &str| prog.pred_id(n).unwrap();
+
+        // Example 4.3 reports:
+        //   local_rules = {P1 ← Root; P4 ← P3 ∧ Leaf}
+        //   left_rules  = {P2^1 ← P1; P3^1 ← P2; P5 ← P4^1; Q ← P5^1}
+        //   downward_rules_1 = {P2^1 ← P1; P3^1 ← P2}
+        //   right_rules = downward_rules_2 = ∅.
+        assert!(pl.right.is_empty());
+        assert!(pl.down2.is_empty());
+        assert_eq!(pl.down1.len(), 2);
+        assert_eq!(pl.left.len(), 4);
+        assert!(pl
+            .left
+            .contains(&Rule::new(Atom::sup1(id("P2")), vec![Atom::local(id("P1"))])));
+        assert!(pl
+            .left
+            .contains(&Rule::new(Atom::local(id("P5")), vec![Atom::sup1(id("P4"))])));
+        assert!(pl
+            .left
+            .contains(&Rule::new(Atom::local(id("Q")), vec![Atom::sup1(id("P5"))])));
+        // local: exactly {P1 ← Root; P4 ← P3 ∧ Leaf} as in the paper.
+        assert_eq!(pl.local.len(), 2);
+        assert!(pl
+            .local
+            .iter()
+            .any(|r| r.head == Atom::local(id("P1")) && r.body.len() == 1));
+        assert!(pl
+            .local
+            .iter()
+            .any(|r| r.head == Atom::local(id("P4")) && r.body.len() == 2));
+    }
+
+    #[test]
+    fn downward_rules_are_subsets() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(
+            "A :- Root; B :- A.FirstChild; C :- B.SecondChild; D :- C.invSecondChild;",
+            &mut lt,
+        )
+        .unwrap();
+        let prog = crate::normalize::normalize(&ast);
+        let pl = PropLocal::build(&prog);
+        for r in &pl.down1 {
+            assert!(pl.left.contains(r));
+        }
+        for r in &pl.down2 {
+            assert!(pl.right.contains(r));
+        }
+        assert_eq!(pl.clause_count(), prog.rule_count());
+    }
+}

@@ -1,0 +1,195 @@
+//! Sequence-as-tree encodings of paper Figure 4.
+//!
+//! A string of symbols can be represented as a *flat* tree — a root with
+//! one child per symbol, chained through `NextSibling` (an extremely
+//! right-deep binary tree) — or as a balanced *infix* tree, where the
+//! in-order traversal of a complete binary tree spells the sequence. The
+//! infix form enables parallel processing (paper Section 6.2) because the
+//! binary tree is balanced.
+
+use crate::label::LabelId;
+use crate::tree::{BinaryTree, NodeId, TreeBuilder, NONE};
+
+/// Builds the flat tree of Figure 4(a): a root labeled `root_label` whose
+/// unranked children are the symbols of `seq` in order.
+pub fn flat_tree(root_label: LabelId, seq: &[LabelId]) -> BinaryTree {
+    let mut b = TreeBuilder::with_capacity(seq.len() + 1);
+    b.open(root_label);
+    for &s in seq {
+        b.leaf(s);
+    }
+    b.close();
+    b.finish().expect("flat tree construction cannot fail")
+}
+
+/// Builds the infix tree of Figure 4(b): a separate root node labeled
+/// `root_label` whose first child is the root of a balanced binary tree
+/// whose in-order (infix) traversal spells `seq`.
+///
+/// For sequences of length `2^d - 1` the tree is complete of depth `d`;
+/// other lengths yield an almost-complete tree ("it is clear that almost
+/// complete infix trees can be created for sequences of arbitrary length").
+pub fn infix_tree(root_label: LabelId, seq: &[LabelId]) -> BinaryTree {
+    let n = seq.len();
+    let mut labels = Vec::with_capacity(n + 1);
+    let mut first = Vec::with_capacity(n + 1);
+    let mut second = Vec::with_capacity(n + 1);
+    labels.push(root_label);
+    first.push(if n == 0 { NONE } else { 1 });
+    second.push(NONE);
+
+    // Allocate nodes in preorder recursively: mid, left half, right half.
+    fn build(
+        seq: &[LabelId],
+        lo: usize,
+        hi: usize,
+        labels: &mut Vec<LabelId>,
+        first: &mut Vec<u32>,
+        second: &mut Vec<u32>,
+    ) -> u32 {
+        debug_assert!(lo < hi);
+        let mid = lo + (hi - lo) / 2;
+        let id = labels.len() as u32;
+        labels.push(seq[mid]);
+        first.push(NONE);
+        second.push(NONE);
+        if lo < mid {
+            let l = build(seq, lo, mid, labels, first, second);
+            first[id as usize] = l;
+        }
+        if mid + 1 < hi {
+            let r = build(seq, mid + 1, hi, labels, first, second);
+            second[id as usize] = r;
+        }
+        id
+    }
+
+    if n > 0 {
+        build(seq, 0, n, &mut labels, &mut first, &mut second);
+    }
+    BinaryTree::from_parts(labels, first, second).expect("infix tree construction cannot fail")
+}
+
+/// Reads the sequence back from an infix tree (in-order traversal of the
+/// subtree below the separate root). Inverse of [`infix_tree`].
+pub fn infix_sequence(tree: &BinaryTree) -> Vec<LabelId> {
+    let mut out = Vec::with_capacity(tree.len().saturating_sub(1));
+    let Some(start) = tree.first_child(tree.root()) else {
+        return out;
+    };
+    // Iterative in-order traversal.
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut cur = Some(start);
+    while cur.is_some() || !stack.is_empty() {
+        while let Some(v) = cur {
+            stack.push(v);
+            cur = tree.first_child(v);
+        }
+        let v = stack.pop().expect("stack nonempty");
+        out.push(tree.label(v));
+        cur = tree.second_child(v);
+    }
+    out
+}
+
+/// Reads the sequence back from a flat tree (the root's unranked children).
+pub fn flat_sequence(tree: &BinaryTree) -> Vec<LabelId> {
+    tree.unranked_children(tree.root())
+        .into_iter()
+        .map(|c| tree.label(c))
+        .collect()
+}
+
+/// Depth of the binary tree (number of nodes on the longest root-to-leaf
+/// path through `FirstChild`/`SecondChild` edges).
+pub fn binary_depth(tree: &BinaryTree) -> usize {
+    // Iterative postorder with explicit stack to avoid recursion limits on
+    // right-deep flat trees.
+    if tree.is_empty() {
+        return 0;
+    }
+    let n = tree.len();
+    let mut depth = vec![0usize; n];
+    let mut max = 0;
+    // Nodes in reverse preorder: children come after parents in preorder,
+    // so a reverse sweep sees children first.
+    for v in (0..n).rev() {
+        let d1 = tree
+            .first_child(NodeId(v as u32))
+            .map_or(0, |c| depth[c.ix()]);
+        let d2 = tree
+            .second_child(NodeId(v as u32))
+            .map_or(0, |c| depth[c.ix()]);
+        depth[v] = 1 + d1.max(d2);
+        max = max.max(depth[v]);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_of(s: &str) -> Vec<LabelId> {
+        s.bytes().map(LabelId::from_char_byte).collect()
+    }
+
+    #[test]
+    fn figure_4_flat() {
+        let root = LabelId(300);
+        let t = flat_tree(root, &seq_of("ACGTACG"));
+        assert_eq!(t.len(), 8);
+        assert_eq!(
+            flat_sequence(&t)
+                .iter()
+                .map(|l| l.text_byte().unwrap() as char)
+                .collect::<String>(),
+            "ACGTACG"
+        );
+        // Flat tree is right-deep: binary depth = len.
+        assert_eq!(binary_depth(&t), 8);
+    }
+
+    #[test]
+    fn figure_4_infix() {
+        let root = LabelId(300);
+        let t = infix_tree(root, &seq_of("ACGTACG"));
+        assert_eq!(t.len(), 8);
+        // Complete infix tree over 2^3-1 symbols: depth 3 below the root.
+        assert_eq!(binary_depth(&t), 4);
+        // Root of infix part holds the middle symbol 'T'.
+        let mid = t.first_child(t.root()).unwrap();
+        assert_eq!(t.label(mid).text_byte(), Some(b'T'));
+        assert_eq!(
+            infix_sequence(&t)
+                .iter()
+                .map(|l| l.text_byte().unwrap() as char)
+                .collect::<String>(),
+            "ACGTACG"
+        );
+    }
+
+    #[test]
+    fn infix_roundtrip_arbitrary_lengths() {
+        let root = LabelId(300);
+        for n in 0..40usize {
+            let seq: Vec<LabelId> = (0..n).map(|i| LabelId((i % 4) as u16)).collect();
+            let t = infix_tree(root, &seq);
+            assert_eq!(t.len(), n + 1);
+            assert_eq!(infix_sequence(&t), seq, "length {n}");
+            // Almost-complete: depth ≤ ceil(log2(n+1)) + 1.
+            let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
+            assert!(binary_depth(&t) <= bound + 1, "length {n}");
+        }
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let root = LabelId(300);
+        let t = flat_tree(root, &[]);
+        assert_eq!(t.len(), 1);
+        let t = infix_tree(root, &[]);
+        assert_eq!(t.len(), 1);
+        assert!(infix_sequence(&t).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Node labels and the label table (`.lab` model).
+//!
+//! The Arb storage model (paper Section 5) encodes each node label as a
+//! 14-bit integer. Indexes `0..=255` are reserved for text characters (one
+//! node per text byte); indexes `>= 256` name element tags, whose string
+//! names live in a separate `.lab` file, whitespace-separated, where the
+//! name of label `i` is the `(i - 255)`-th entry.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of label indexes reserved for text characters (bytes `0..=255`).
+pub const TEXT_LABELS: u16 = 256;
+
+/// Maximum number of distinct labels: the storage model uses 14 bits
+/// (2 bytes per node minus 2 flag bits), i.e. `2^14 = 16384` labels.
+pub const MAX_LABELS: u16 = 1 << 14;
+
+/// An interned node label.
+///
+/// Values `0..=255` are text characters; values `256..` are tag names
+/// resolved through a [`LabelTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u16);
+
+impl LabelId {
+    /// The label of a text character node.
+    #[inline]
+    pub fn from_char_byte(b: u8) -> Self {
+        LabelId(b as u16)
+    }
+
+    /// `true` if this label denotes a text character node.
+    #[inline]
+    pub fn is_text(self) -> bool {
+        self.0 < TEXT_LABELS
+    }
+
+    /// The text byte, if this is a character label.
+    #[inline]
+    pub fn text_byte(self) -> Option<u8> {
+        if self.is_text() {
+            Some(self.0 as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Raw 14-bit index.
+    #[inline]
+    pub fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(b) = self.text_byte() {
+            write!(f, "LabelId({:?})", b as char)
+        } else {
+            write!(f, "LabelId(#{})", self.0)
+        }
+    }
+}
+
+/// Errors raised while interning labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelError {
+    /// The 14-bit label space (16384 labels) is exhausted.
+    TooManyLabels,
+    /// Tag names are stored whitespace-separated in the `.lab` file and so
+    /// must not contain whitespace (XML tag names never do).
+    InvalidName(String),
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::TooManyLabels => {
+                write!(f, "label space exhausted ({} labels max)", MAX_LABELS)
+            }
+            LabelError::InvalidName(n) => write!(f, "invalid label name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+/// Interning table for tag-name labels.
+///
+/// Character labels (`0..=255`) are implicit and never stored. Tag labels
+/// are dense from 256 upward, in first-seen order — exactly the order of
+/// entries in the `.lab` file.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    names: Vec<String>,
+    by_name: HashMap<String, u16>,
+}
+
+impl LabelTable {
+    /// Empty table (only the 256 implicit character labels exist).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tag-name labels (excludes the 256 character labels).
+    pub fn tag_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of labels in use, including the reserved character range.
+    pub fn label_count(&self) -> usize {
+        self.names.len() + TEXT_LABELS as usize
+    }
+
+    /// Intern a tag name, returning its label.
+    pub fn intern(&mut self, name: &str) -> Result<LabelId, LabelError> {
+        if let Some(&ix) = self.by_name.get(name) {
+            return Ok(LabelId(ix));
+        }
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(LabelError::InvalidName(name.to_string()));
+        }
+        let ix = TEXT_LABELS as usize + self.names.len();
+        if ix >= MAX_LABELS as usize {
+            return Err(LabelError::TooManyLabels);
+        }
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), ix as u16);
+        Ok(LabelId(ix as u16))
+    }
+
+    /// Look up a previously interned tag name.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).map(|&ix| LabelId(ix))
+    }
+
+    /// Human-readable name of a label: the tag name, or the character for
+    /// text labels.
+    pub fn name(&self, label: LabelId) -> Cow<'_, str> {
+        if let Some(b) = label.text_byte() {
+            Cow::Owned((b as char).to_string())
+        } else {
+            let ix = (label.0 - TEXT_LABELS) as usize;
+            match self.names.get(ix) {
+                Some(n) => Cow::Borrowed(n.as_str()),
+                None => Cow::Owned(format!("#{}", label.0)),
+            }
+        }
+    }
+
+    /// Iterate over tag names in label order (the `.lab` file order).
+    pub fn tag_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// Serialize to the `.lab` file format: whitespace-separated entries.
+    pub fn to_lab_string(&self) -> String {
+        self.names.join("\n")
+    }
+
+    /// Parse the `.lab` file format.
+    pub fn from_lab_str(s: &str) -> Result<Self, LabelError> {
+        let mut t = Self::new();
+        for entry in s.split_whitespace() {
+            t.intern(entry)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_labels_are_implicit() {
+        let l = LabelId::from_char_byte(b'A');
+        assert!(l.is_text());
+        assert_eq!(l.text_byte(), Some(b'A'));
+        let t = LabelTable::new();
+        assert_eq!(t.name(l), "A");
+        assert_eq!(t.label_count(), 256);
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = LabelTable::new();
+        let a = t.intern("gene").unwrap();
+        let b = t.intern("sequence").unwrap();
+        let a2 = t.intern("gene").unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(a.0, 256);
+        assert_eq!(b.0, 257);
+        assert_eq!(t.name(a), "gene");
+        assert!(!a.is_text());
+    }
+
+    #[test]
+    fn lab_roundtrip() {
+        let mut t = LabelTable::new();
+        for n in ["a", "b", "c", "publication", "page"] {
+            t.intern(n).unwrap();
+        }
+        let s = t.to_lab_string();
+        let t2 = LabelTable::from_lab_str(&s).unwrap();
+        assert_eq!(t2.tag_count(), 5);
+        assert_eq!(t2.get("publication"), t.get("publication"));
+        assert_eq!(t2.name(LabelId(258)), "c");
+    }
+
+    #[test]
+    fn rejects_whitespace_names() {
+        let mut t = LabelTable::new();
+        assert!(t.intern("bad name").is_err());
+        assert!(t.intern("").is_err());
+    }
+
+    #[test]
+    fn label_space_is_14_bits() {
+        assert_eq!(MAX_LABELS, 16384);
+    }
+}

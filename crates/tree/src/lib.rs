@@ -1,0 +1,32 @@
+//! # arb-tree
+//!
+//! The binary tree data model underlying the Arb system (Koch, VLDB 2003,
+//! Section 2.1).
+//!
+//! XML documents are unranked ordered labeled trees. Arb works on their
+//! *binary tree encoding*: the first child of a node in the unranked tree
+//! becomes the **first (left) child** in the binary tree, and the right
+//! neighboring sibling becomes the **second (right) child** (paper Figure 1).
+//! Text is modeled as one leaf node per character (labels 0..=255 are
+//! reserved for text bytes).
+//!
+//! This crate provides:
+//!
+//! * [`LabelId`] / [`LabelTable`] — interned node labels with the paper's
+//!   14-bit label space and reserved character range,
+//! * [`BinaryTree`] — an immutable binary tree stored in preorder,
+//! * [`TreeBuilder`] — construction from unranked document events
+//!   (open/text/close), guaranteeing preorder layout,
+//! * [`infix`] — the balanced "infix" sequence trees of paper Figure 4,
+//! * [`NodeSet`] — compact node-id sets used for query results,
+//! * traversal utilities (preorder, postorder, depths, document order).
+
+pub mod infix;
+pub mod label;
+pub mod nodeset;
+pub mod traverse;
+pub mod tree;
+
+pub use label::{LabelId, LabelTable, MAX_LABELS, TEXT_LABELS};
+pub use nodeset::NodeSet;
+pub use tree::{BinaryTree, NodeId, NodeInfo, TreeBuilder, NONE};

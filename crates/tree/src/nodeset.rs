@@ -1,0 +1,180 @@
+//! Compact sets of node ids (query results, per-predicate extents).
+
+use crate::tree::NodeId;
+use std::fmt;
+
+/// A bit set over node ids `0..len`.
+///
+/// Used for query results (the set of selected nodes) and for the
+/// per-predicate extents of the naive datalog evaluator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Empty set over a universe of `len` nodes.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Insert a node; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let (w, b) = (v.ix() / 64, v.ix() % 64);
+        debug_assert!(v.ix() < self.len);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Remove a node; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let (w, b) = (v.ix() / 64, v.ix() % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        if v.ix() >= self.len {
+            return false;
+        }
+        self.words[v.ix() / 64] & (1u64 << (v.ix() % 64)) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no node is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union. Panics if universes differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection. Panics if universes differ.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Iterate node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(NodeId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Collect into a `Vec` of node ids.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|v| v.0)).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set sized to the maximum id + 1.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let ids: Vec<NodeId> = iter.into_iter().collect();
+        let len = ids.iter().map(|v| v.ix() + 1).max().unwrap_or(0);
+        let mut s = NodeSet::new(len);
+        for v in ids {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(NodeId(0)));
+        assert!(s.insert(NodeId(64)));
+        assert!(s.insert(NodeId(129)));
+        assert!(!s.insert(NodeId(64)));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(NodeId(129)));
+        assert!(!s.contains(NodeId(128)));
+        assert!(!s.contains(NodeId(4000)));
+        assert!(s.remove(NodeId(64)));
+        assert!(!s.remove(NodeId(64)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = NodeSet::new(200);
+        for i in [5u32, 1, 199, 64, 63] {
+            s.insert(NodeId(i));
+        }
+        let v: Vec<u32> = s.iter().map(|n| n.0).collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 199]);
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = NodeSet::new(100);
+        let mut b = NodeSet::new(100);
+        a.insert(NodeId(1));
+        a.insert(NodeId(2));
+        b.insert(NodeId(2));
+        b.insert(NodeId(3));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        a.intersect_with(&b);
+        assert_eq!(a.to_vec(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: NodeSet = [NodeId(3), NodeId(7)].into_iter().collect();
+        assert_eq!(s.universe(), 8);
+        assert_eq!(s.count(), 2);
+        let empty: NodeSet = std::iter::empty().collect();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Traversal utilities: postorder, unranked depth, document events.
+
+use crate::label::LabelId;
+use crate::tree::{BinaryTree, NodeId};
+
+/// Bottom-up (postorder with respect to the binary structure: first-child
+/// subtree, second-child subtree, node) visit order.
+///
+/// This matches the order in which the bottom-up automaton run assigns
+/// states, and equals *reverse preorder* reversed node-last... concretely:
+/// it is the order a backward linear scan of the `.arb` file completes
+/// nodes (paper Prop. 5.1).
+pub fn postorder(tree: &BinaryTree) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(tree.len());
+    if tree.is_empty() {
+        return out;
+    }
+    // Emulate the backward scan: nodes in reverse preorder are exactly the
+    // order in which subtrees complete bottom-up; but classic postorder
+    // (left, right, node) is also available via an explicit stack.
+    let mut stack: Vec<(NodeId, bool)> = vec![(tree.root(), false)];
+    while let Some((v, expanded)) = stack.pop() {
+        if expanded {
+            out.push(v);
+        } else {
+            stack.push((v, true));
+            if let Some(c) = tree.second_child(v) {
+                stack.push((c, false));
+            }
+            if let Some(c) = tree.first_child(v) {
+                stack.push((c, false));
+            }
+        }
+    }
+    out
+}
+
+/// Unranked depth of the tree: the maximum number of `FirstChild` edges on
+/// any root-to-node path plus one. This bounds the stacks required by the
+/// storage-model traversals (paper Prop. 5.1).
+pub fn unranked_depth(tree: &BinaryTree) -> usize {
+    if tree.is_empty() {
+        return 0;
+    }
+    let n = tree.len();
+    let mut depth = vec![1usize; n];
+    let mut max = 1;
+    for v in 0..n as u32 {
+        let d = depth[v as usize];
+        if let Some(c) = tree.first_child(NodeId(v)) {
+            depth[c.ix()] = d + 1;
+            max = max.max(d + 1);
+        }
+        if let Some(c) = tree.second_child(NodeId(v)) {
+            depth[c.ix()] = d; // siblings share unranked depth
+        }
+    }
+    max
+}
+
+/// A document event reconstructed from the binary tree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DocEvent {
+    /// Element open tag.
+    Open(NodeId, LabelId),
+    /// Element close tag.
+    Close(NodeId, LabelId),
+    /// Text character node.
+    Char(NodeId, u8),
+}
+
+/// Reconstructs the unranked document event stream (open/char/close) from
+/// the binary tree by a single preorder walk — the inverse of
+/// [`crate::TreeBuilder`]. Character-labeled nodes become [`DocEvent::Char`].
+pub fn doc_events(tree: &BinaryTree) -> Vec<DocEvent> {
+    let mut out = Vec::with_capacity(tree.len() * 2);
+    if tree.is_empty() {
+        return out;
+    }
+    // Stack holds (node, label) of open elements awaiting their close.
+    let mut open: Vec<(NodeId, LabelId)> = Vec::new();
+    let mut v = tree.root();
+    loop {
+        let label = tree.label(v);
+        let is_char = label.is_text();
+        if is_char {
+            out.push(DocEvent::Char(v, label.text_byte().expect("text label")));
+        } else {
+            out.push(DocEvent::Open(v, label));
+        }
+        if !is_char && tree.has_first(v) {
+            open.push((v, label));
+            v = tree.first_child(v).expect("has_first");
+            continue;
+        }
+        if !is_char {
+            out.push(DocEvent::Close(v, label));
+        }
+        // Ascend until a node with an unvisited second child is found.
+        let mut cur = v;
+        loop {
+            if let Some(s) = tree.second_child(cur) {
+                v = s;
+                break;
+            }
+            match open.pop() {
+                Some((p, pl)) => {
+                    out.push(DocEvent::Close(p, pl));
+                    cur = p;
+                }
+                None => return out,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+    use crate::tree::TreeBuilder;
+
+    fn sample() -> (BinaryTree, LabelId, LabelId) {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let b = lt.intern("b").unwrap();
+        let mut t = TreeBuilder::new();
+        t.open(a);
+        t.open(b);
+        t.text(b"x");
+        t.close();
+        t.open(b);
+        t.close();
+        t.close();
+        (t.finish().unwrap(), a, b)
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        let (t, _, _) = sample();
+        let order = postorder(&t);
+        assert_eq!(order.len(), t.len());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in t.nodes() {
+            for c in [t.first_child(v), t.second_child(v)].into_iter().flatten() {
+                assert!(pos[&c] < pos[&v], "child {c:?} after parent {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn doc_events_roundtrip() {
+        let (t, _, _) = sample();
+        let evs = doc_events(&t);
+        // Rebuild via TreeBuilder and compare structure.
+        let mut b = TreeBuilder::new();
+        for e in &evs {
+            match e {
+                DocEvent::Open(_, l) => b.open(*l),
+                DocEvent::Close(_, _) => b.close(),
+                DocEvent::Char(_, c) => b.text(&[*c]),
+            }
+        }
+        let t2 = b.finish().unwrap();
+        assert_eq!(t.parts(), t2.parts());
+    }
+
+    #[test]
+    fn unranked_depth_flat_vs_nested() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        // Flat: root with 10 children => depth 2.
+        let mut b = TreeBuilder::new();
+        b.open(a);
+        for _ in 0..10 {
+            b.leaf(a);
+        }
+        b.close();
+        let t = b.finish().unwrap();
+        assert_eq!(unranked_depth(&t), 2);
+        // Nested chain of 5 => depth 5.
+        let mut b = TreeBuilder::new();
+        for _ in 0..5 {
+            b.open(a);
+        }
+        for _ in 0..5 {
+            b.close();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(unranked_depth(&t), 5);
+    }
+}

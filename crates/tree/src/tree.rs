@@ -1,0 +1,535 @@
+//! The in-memory binary tree and its builder.
+//!
+//! Nodes are stored in **preorder** (node `v` precedes its first-child
+//! subtree, which precedes its second-child subtree). For trees built from
+//! XML documents this coincides with document order, and it is exactly the
+//! record order of the `.arb` storage model (paper Section 5), so node ids
+//! are stable across the in-memory and on-disk representations.
+
+use crate::label::LabelId;
+
+/// Sentinel for "no node".
+pub const NONE: u32 = u32::MAX;
+
+/// A node identifier: the preorder index of the node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Preorder index as `usize`.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Everything the tree automata need to know about a node locally: its
+/// label and which children exist — the automaton alphabet Σ_A of paper
+/// Section 4 ("the alphabet is the set of subsets of the schema σ").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeInfo {
+    /// Node label.
+    pub label: LabelId,
+    /// Whether the node has a first (left) child — in the unranked view,
+    /// whether it has any child.
+    pub has_first: bool,
+    /// Whether the node has a second (right) child — in the unranked view,
+    /// whether it has a next sibling.
+    pub has_second: bool,
+    /// Whether the node is the tree root.
+    pub is_root: bool,
+}
+
+impl NodeInfo {
+    /// Compact key identifying this symbol: `label * 8 + flags`.
+    /// Used to key per-symbol caches in the lazy automata.
+    #[inline]
+    pub fn symbol_key(&self) -> u32 {
+        ((self.label.0 as u32) << 3)
+            | (self.has_first as u32)
+            | ((self.has_second as u32) << 1)
+            | ((self.is_root as u32) << 2)
+    }
+}
+
+/// An immutable binary tree in preorder layout.
+///
+/// This is the model of paper Section 2.1: unary relations `Root`,
+/// `HasFirstChild`, `HasSecondChild`, `Label[l]` and binary relations
+/// `FirstChild`, `SecondChild` (a.k.a. `NextSibling`).
+#[derive(Clone, Debug)]
+pub struct BinaryTree {
+    labels: Vec<LabelId>,
+    first: Vec<u32>,
+    second: Vec<u32>,
+    /// Parent in the *binary* tree; `NONE` for the root.
+    parent: Vec<u32>,
+    /// True if this node is the *first* (left) child of its binary parent.
+    is_first_child: Vec<bool>,
+}
+
+impl BinaryTree {
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the tree has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The root node (preorder index 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        debug_assert!(!self.is_empty());
+        NodeId(0)
+    }
+
+    /// Label of `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> LabelId {
+        self.labels[v.ix()]
+    }
+
+    /// First (left) child of `v`, if any.
+    #[inline]
+    pub fn first_child(&self, v: NodeId) -> Option<NodeId> {
+        let c = self.first[v.ix()];
+        (c != NONE).then_some(NodeId(c))
+    }
+
+    /// Second (right) child of `v`, if any. In the unranked view this is
+    /// the `NextSibling` relation.
+    #[inline]
+    pub fn second_child(&self, v: NodeId) -> Option<NodeId> {
+        let c = self.second[v.ix()];
+        (c != NONE).then_some(NodeId(c))
+    }
+
+    /// Binary parent of `v` (the inverse of `FirstChild ∪ SecondChild`).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v.ix()];
+        (p != NONE).then_some(NodeId(p))
+    }
+
+    /// True if `v` is the first child of its binary parent.
+    #[inline]
+    pub fn is_first_child(&self, v: NodeId) -> bool {
+        self.is_first_child[v.ix()]
+    }
+
+    /// `HasFirstChild` EDB relation.
+    #[inline]
+    pub fn has_first(&self, v: NodeId) -> bool {
+        self.first[v.ix()] != NONE
+    }
+
+    /// `HasSecondChild` EDB relation.
+    #[inline]
+    pub fn has_second(&self, v: NodeId) -> bool {
+        self.second[v.ix()] != NONE
+    }
+
+    /// `Root` EDB relation.
+    #[inline]
+    pub fn is_root(&self, v: NodeId) -> bool {
+        v.0 == 0
+    }
+
+    /// Leaf in the *binary* sense: `-HasFirstChild` — in the unranked view,
+    /// a node without children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        !self.has_first(v)
+    }
+
+    /// `LastSibling` (= `-HasSecondChild`).
+    #[inline]
+    pub fn is_last_sibling(&self, v: NodeId) -> bool {
+        !self.has_second(v)
+    }
+
+    /// Local node information (the automaton input symbol at `v`).
+    #[inline]
+    pub fn info(&self, v: NodeId) -> NodeInfo {
+        NodeInfo {
+            label: self.label(v),
+            has_first: self.has_first(v),
+            has_second: self.has_second(v),
+            is_root: self.is_root(v),
+        }
+    }
+
+    /// All node ids in preorder.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// The *unranked* parent of `v`: follow `invSecondChild*` (the sibling
+    /// chain backwards) then one `invFirstChild` step.
+    pub fn unranked_parent(&self, v: NodeId) -> Option<NodeId> {
+        let mut cur = v;
+        loop {
+            let p = self.parent(cur)?;
+            if self.is_first_child(cur) {
+                return Some(p);
+            }
+            cur = p;
+        }
+    }
+
+    /// The unranked children of `v`: the first child and its sibling chain.
+    pub fn unranked_children(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.first_child(v);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.second_child(c);
+        }
+        out
+    }
+
+    /// Concatenated text of the character-node children of `v` (stops at
+    /// non-character children only in the sense that those contribute
+    /// nothing).
+    pub fn text_of_children(&self, v: NodeId) -> String {
+        let mut s = String::new();
+        for c in self.unranked_children(v) {
+            if let Some(b) = self.label(c).text_byte() {
+                s.push(b as char);
+            }
+        }
+        s
+    }
+
+    /// Builds a tree directly from parallel arrays. Mainly for tests and
+    /// for reconstruction from storage; validates preorder layout.
+    pub fn from_parts(
+        labels: Vec<LabelId>,
+        first: Vec<u32>,
+        second: Vec<u32>,
+    ) -> Result<Self, String> {
+        let n = labels.len();
+        if first.len() != n || second.len() != n {
+            return Err("length mismatch".into());
+        }
+        let mut parent = vec![NONE; n];
+        let mut is_first_child = vec![false; n];
+        for v in 0..n {
+            for (child, is_first) in [(first[v], true), (second[v], false)] {
+                if child != NONE {
+                    let c = child as usize;
+                    if c >= n {
+                        return Err(format!("child index {c} out of bounds"));
+                    }
+                    if parent[c] != NONE {
+                        return Err(format!("node {c} has two parents"));
+                    }
+                    parent[c] = v as u32;
+                    is_first_child[c] = is_first;
+                }
+            }
+        }
+        // Preorder check: first child must be v+1; second child must be
+        // v + 1 + size(first subtree). We verify the weaker local property
+        // that children come after their parent and node 0 is the root.
+        for (v, &p) in parent.iter().enumerate() {
+            if v == 0 {
+                if p != NONE {
+                    return Err("node 0 must be the root".into());
+                }
+            } else if p == NONE {
+                return Err(format!("node {v} is unreachable"));
+            } else if p as usize >= v {
+                return Err(format!("node {v} precedes its parent"));
+            }
+        }
+        Ok(Self {
+            labels,
+            first,
+            second,
+            parent,
+            is_first_child,
+        })
+    }
+
+    /// Raw preorder arrays `(labels, first, second)`.
+    pub fn parts(&self) -> (&[LabelId], &[u32], &[u32]) {
+        (&self.labels, &self.first, &self.second)
+    }
+}
+
+/// Frame used by [`TreeBuilder`].
+struct Frame {
+    node: u32,
+    last_child: u32,
+}
+
+/// Builds a [`BinaryTree`] from unranked document events, performing the
+/// unranked→binary encoding of paper Figure 1 on the fly.
+///
+/// ```
+/// use arb_tree::{TreeBuilder, LabelTable};
+/// let mut labels = LabelTable::new();
+/// let mut b = TreeBuilder::new();
+/// let a = labels.intern("a").unwrap();
+/// b.open(a);
+/// b.open(a);
+/// b.text(b"hi");
+/// b.close();
+/// b.close();
+/// let t = b.finish().unwrap();
+/// assert_eq!(t.len(), 4); // a, a, 'h', 'i'
+/// ```
+#[derive(Default)]
+pub struct TreeBuilder {
+    labels: Vec<LabelId>,
+    first: Vec<u32>,
+    second: Vec<u32>,
+    stack: Vec<Frame>,
+    roots_seen: u32,
+    done_root: u32,
+}
+
+impl TreeBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(n),
+            first: Vec::with_capacity(n),
+            second: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    fn add_node(&mut self, label: LabelId) -> u32 {
+        let id = self.labels.len() as u32;
+        self.labels.push(label);
+        self.first.push(NONE);
+        self.second.push(NONE);
+        match self.stack.last_mut() {
+            Some(f) => {
+                if f.last_child == NONE {
+                    self.first[f.node as usize] = id;
+                } else {
+                    self.second[f.last_child as usize] = id;
+                }
+                f.last_child = id;
+            }
+            None => {
+                self.roots_seen += 1;
+                if self.roots_seen == 1 {
+                    self.done_root = id;
+                }
+            }
+        }
+        id
+    }
+
+    /// Open an element node.
+    pub fn open(&mut self, label: LabelId) {
+        let id = self.add_node(label);
+        self.stack.push(Frame {
+            node: id,
+            last_child: NONE,
+        });
+    }
+
+    /// Close the current element node.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close(&mut self) {
+        self.stack.pop().expect("close() without open()");
+    }
+
+    /// Append text: one character node per byte (paper Section 2.1).
+    pub fn text(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add_node(LabelId::from_char_byte(b));
+        }
+    }
+
+    /// Append a single leaf node with the given label.
+    pub fn leaf(&mut self, label: LabelId) {
+        self.add_node(label);
+    }
+
+    /// Current unranked depth of the open-element stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finish building. Fails if elements remain open or the document does
+    /// not have exactly one root node.
+    pub fn finish(self) -> Result<BinaryTree, String> {
+        if !self.stack.is_empty() {
+            return Err(format!("{} unclosed elements", self.stack.len()));
+        }
+        if self.roots_seen != 1 {
+            return Err(format!(
+                "document must have exactly one root node, found {}",
+                self.roots_seen
+            ));
+        }
+        BinaryTree::from_parts(self.labels, self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+
+    /// Builds the unranked tree of paper Figure 1(a):
+    /// v1(v2, v3(v5, v6), v4) and checks the binary encoding of Figure 1(b).
+    #[test]
+    fn figure_1_encoding() {
+        let mut lt = LabelTable::new();
+        let l: Vec<LabelId> = (1..=6)
+            .map(|i| lt.intern(&format!("v{i}")).unwrap())
+            .collect();
+        let mut b = TreeBuilder::new();
+        b.open(l[0]); // v1
+        b.open(l[1]); // v2
+        b.close();
+        b.open(l[2]); // v3
+        b.open(l[4]); // v5
+        b.close();
+        b.open(l[5]); // v6
+        b.close();
+        b.close();
+        b.open(l[3]); // v4
+        b.close();
+        b.close();
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 6);
+        let v1 = t.root();
+        // Figure 1(b): v1's first child is v2; v2's second child is v3;
+        // v3's first child is v5, second child v4; v5's second child is v6.
+        let v2 = t.first_child(v1).unwrap();
+        assert_eq!(t.label(v2), l[1]);
+        assert!(t.second_child(v1).is_none());
+        let v3 = t.second_child(v2).unwrap();
+        assert_eq!(t.label(v3), l[2]);
+        let v5 = t.first_child(v3).unwrap();
+        assert_eq!(t.label(v5), l[4]);
+        let v4 = t.second_child(v3).unwrap();
+        assert_eq!(t.label(v4), l[3]);
+        let v6 = t.second_child(v5).unwrap();
+        assert_eq!(t.label(v6), l[5]);
+        // Unranked views agree.
+        assert_eq!(t.unranked_children(v1), vec![v2, v3, v4]);
+        assert_eq!(t.unranked_parent(v6), Some(v3));
+        assert_eq!(t.unranked_parent(v4), Some(v1));
+        assert_eq!(t.unranked_parent(v1), None);
+    }
+
+    #[test]
+    fn preorder_ids_follow_document_order() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(a);
+        b.open(a);
+        b.open(a);
+        b.close();
+        b.close();
+        b.open(a);
+        b.close();
+        b.close();
+        let t = b.finish().unwrap();
+        // Document order: root=0, first child=1, grandchild=2, second child=3.
+        assert_eq!(t.first_child(NodeId(0)), Some(NodeId(1)));
+        assert_eq!(t.first_child(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.second_child(NodeId(1)), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn text_nodes_are_char_siblings() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(a);
+        b.text(b"ACG");
+        b.close();
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.text_of_children(t.root()), "ACG");
+        let c1 = t.first_child(t.root()).unwrap();
+        assert!(t.label(c1).is_text());
+        let c2 = t.second_child(c1).unwrap();
+        assert_eq!(t.label(c2).text_byte(), Some(b'C'));
+    }
+
+    #[test]
+    fn builder_rejects_multiple_roots() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(a);
+        b.close();
+        b.open(a);
+        b.close();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_unclosed() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut b = TreeBuilder::new();
+        b.open(a);
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let l = LabelId(300);
+        // Child precedes parent.
+        assert!(BinaryTree::from_parts(vec![l, l], vec![NONE, 0], vec![NONE, NONE]).is_err());
+        // Two parents.
+        assert!(
+            BinaryTree::from_parts(vec![l, l, l], vec![1, 1, NONE], vec![NONE, NONE, NONE])
+                .is_err()
+        );
+        // Unreachable node.
+        assert!(BinaryTree::from_parts(vec![l, l], vec![NONE, NONE], vec![NONE, NONE]).is_err());
+        // Good single chain.
+        assert!(BinaryTree::from_parts(vec![l, l], vec![1, NONE], vec![NONE, NONE]).is_ok());
+    }
+
+    #[test]
+    fn info_symbol_keys_distinct() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a").unwrap();
+        let mut keys = std::collections::HashSet::new();
+        for has_first in [false, true] {
+            for has_second in [false, true] {
+                for is_root in [false, true] {
+                    let info = NodeInfo {
+                        label: a,
+                        has_first,
+                        has_second,
+                        is_root,
+                    };
+                    assert!(keys.insert(info.symbol_key()));
+                }
+            }
+        }
+    }
+}

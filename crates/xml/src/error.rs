@@ -1,0 +1,39 @@
+//! XML error type with source position.
+
+use std::fmt;
+
+/// A parse or well-formedness error, with 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl XmlError {
+    /// Builds an error.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        XmlError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::new(format!("I/O error: {e}"), 0, 0)
+    }
+}

@@ -1,0 +1,24 @@
+//! SAX-style XML events.
+
+/// A pull-parser event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// An element start tag (self-closing tags produce a matching
+    /// [`XmlEvent::EndTag`] immediately after).
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order, entity-decoded.
+        attrs: Vec<(String, String)>,
+    },
+    /// An element end tag.
+    EndTag {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entity-decoded bytes; consecutive runs may be
+    /// split across events).
+    Text(Vec<u8>),
+    /// End of document.
+    Eof,
+}

@@ -1,0 +1,116 @@
+//! # arb-xml
+//!
+//! A from-scratch streaming XML substrate for Arb-rs: a SAX-style pull
+//! parser ([`parser::XmlParser`]), an escaping writer ([`writer`]), and
+//! bridges to the binary tree model ([`to_tree`], [`writer::write_tree`]).
+//!
+//! The parser supports the XML subset the paper's databases exercise —
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions, XML declarations, DOCTYPE (skipped), and the
+//! predefined + numeric character entities. It is a streaming parser: it
+//! reads from any `BufRead` with O(depth) state, which is what the
+//! two-pass `.arb` database creation of paper Section 5 requires.
+
+pub mod error;
+pub mod events;
+pub mod parser;
+pub mod writer;
+
+pub use error::XmlError;
+pub use events::XmlEvent;
+pub use parser::{XmlConfig, XmlParser};
+pub use writer::{escape_text, write_tree, MarkedWriter};
+
+use arb_tree::{BinaryTree, LabelTable, TreeBuilder};
+use std::io::BufRead;
+
+/// Parses an XML document into its binary tree (paper Section 2.1):
+/// elements become labeled nodes, text becomes one character node per
+/// byte. Attributes are handled per [`XmlConfig::attributes_as_nodes`].
+/// Tag names are interned into `labels`.
+pub fn to_tree<R: BufRead>(
+    reader: R,
+    config: &XmlConfig,
+    labels: &mut LabelTable,
+) -> Result<BinaryTree, XmlError> {
+    let mut parser = XmlParser::with_config(reader, config.clone());
+    let mut builder = TreeBuilder::new();
+    loop {
+        match parser.next_event()? {
+            XmlEvent::StartTag { name, attrs } => {
+                let l = labels
+                    .intern(&name)
+                    .map_err(|e| parser.error(format!("label error: {e}")))?;
+                builder.open(l);
+                if config.attributes_as_nodes {
+                    for (k, v) in &attrs {
+                        let al = labels
+                            .intern(&format!("@{k}"))
+                            .map_err(|e| parser.error(format!("label error: {e}")))?;
+                        builder.open(al);
+                        builder.text(v.as_bytes());
+                        builder.close();
+                    }
+                }
+            }
+            XmlEvent::EndTag { .. } => builder.close(),
+            XmlEvent::Text(bytes) => builder.text(&bytes),
+            XmlEvent::Eof => break,
+        }
+    }
+    builder
+        .finish()
+        .map_err(|e| XmlError::new(format!("document structure: {e}"), 0, 0))
+}
+
+/// Parses an XML string into a tree (convenience for tests and examples).
+pub fn str_to_tree(src: &str, labels: &mut LabelTable) -> Result<BinaryTree, XmlError> {
+    to_tree(src.as_bytes(), &XmlConfig::default(), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_document() {
+        // The three-node document of paper Example 4.5.
+        let mut lt = LabelTable::new();
+        let t = str_to_tree("<a> <a> <a/> </a> </a>", &mut lt).unwrap();
+        // Whitespace between tags is kept as char nodes by default...
+        assert!(t.len() > 3);
+        // ...and dropped with trim enabled.
+        let cfg = XmlConfig {
+            trim_whitespace_text: true,
+            attributes_as_nodes: false,
+        };
+        let mut lt = LabelTable::new();
+        let t = to_tree("<a> <a> <a/> </a> </a>".as_bytes(), &cfg, &mut lt).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(lt.name(t.label(t.root())), "a");
+    }
+
+    #[test]
+    fn attributes_as_nodes_mode() {
+        let cfg = XmlConfig {
+            attributes_as_nodes: true,
+            trim_whitespace_text: true,
+        };
+        let mut lt = LabelTable::new();
+        let t = to_tree(r#"<a x="1" y="two"/>"#.as_bytes(), &cfg, &mut lt).unwrap();
+        // a, @x, '1', @y, 't','w','o'
+        assert_eq!(t.len(), 7);
+        let root = t.root();
+        let kids = t.unranked_children(root);
+        assert_eq!(lt.name(t.label(kids[0])), "@x");
+        assert_eq!(t.text_of_children(kids[1]), "two");
+    }
+
+    #[test]
+    fn text_becomes_char_nodes() {
+        let mut lt = LabelTable::new();
+        let t = str_to_tree("<g>ACGT</g>", &mut lt).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.text_of_children(t.root()), "ACGT");
+    }
+}

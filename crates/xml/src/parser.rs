@@ -1,0 +1,514 @@
+//! The streaming pull parser.
+
+use crate::error::XmlError;
+use crate::events::XmlEvent;
+use std::io::BufRead;
+
+/// Parser configuration.
+#[derive(Debug, Clone, Default)]
+pub struct XmlConfig {
+    /// Drop text runs consisting solely of whitespace (useful for
+    /// pretty-printed documents whose indentation is not data).
+    pub trim_whitespace_text: bool,
+    /// When building trees, represent attributes as `@name` child nodes
+    /// (off by default: the paper's documents "contain no other kinds of
+    /// nodes" than elements and characters).
+    pub attributes_as_nodes: bool,
+}
+
+/// A streaming (SAX-style pull) XML parser over any `BufRead`.
+///
+/// State is O(element depth): just the open-tag stack for well-formedness
+/// checking — the property that lets `.arb` database creation stream
+/// arbitrarily large documents (paper Section 5).
+pub struct XmlParser<R: BufRead> {
+    input: R,
+    config: XmlConfig,
+    line: usize,
+    col: usize,
+    /// Single-byte lookahead.
+    peeked: Option<u8>,
+    /// Open element names, for well-formedness.
+    stack: Vec<String>,
+    /// Pending EndTag for a self-closed element.
+    pending_end: Option<String>,
+    seen_root: bool,
+    done: bool,
+}
+
+impl<R: BufRead> XmlParser<R> {
+    /// Parser with default configuration.
+    pub fn new(input: R) -> Self {
+        Self::with_config(input, XmlConfig::default())
+    }
+
+    /// Parser with explicit configuration.
+    pub fn with_config(input: R, config: XmlConfig) -> Self {
+        XmlParser {
+            input,
+            config,
+            line: 1,
+            col: 1,
+            peeked: None,
+            stack: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            done: false,
+        }
+    }
+
+    /// Builds an error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> XmlError {
+        XmlError::new(message, self.line, self.col)
+    }
+
+    /// Current element depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn read_byte(&mut self) -> Result<Option<u8>, XmlError> {
+        if let Some(b) = self.peeked.take() {
+            return Ok(Some(b));
+        }
+        let mut buf = [0u8; 1];
+        let n = loop {
+            match self.input.read(&mut buf) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if n == 0 {
+            return Ok(None);
+        }
+        if buf[0] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Ok(Some(buf[0]))
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>, XmlError> {
+        if self.peeked.is_none() {
+            self.peeked = self.read_byte()?;
+        }
+        Ok(self.peeked)
+    }
+
+    fn expect_byte(&mut self, what: &str) -> Result<u8, XmlError> {
+        self.read_byte()?
+            .ok_or_else(|| self.error(format!("unexpected end of input, expected {what}")))
+    }
+
+    fn skip_ws(&mut self) -> Result<(), XmlError> {
+        while let Some(b) = self.peek_byte()? {
+            if b.is_ascii_whitespace() {
+                self.read_byte()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let mut name = String::new();
+        while let Some(b) = self.peek_byte()? {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if ok {
+                name.push(self.read_byte()?.expect("peeked") as char);
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.error("expected a name"));
+        }
+        Ok(name)
+    }
+
+    /// Decodes an entity reference after the `&` has been consumed.
+    fn read_entity(&mut self) -> Result<Vec<u8>, XmlError> {
+        let mut ent = String::new();
+        loop {
+            match self.expect_byte("';' ending entity")? {
+                b';' => break,
+                b if ent.len() > 16 => {
+                    return Err(self.error(format!("entity too long near {:?}", b as char)))
+                }
+                b => ent.push(b as char),
+            }
+        }
+        let decoded: String = match ent.as_str() {
+            "amp" => "&".into(),
+            "lt" => "<".into(),
+            "gt" => ">".into(),
+            "apos" => "'".into(),
+            "quot" => "\"".into(),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| self.error(format!("bad character reference &{ent};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.error(format!("invalid code point &{ent};")))?
+                    .to_string()
+            }
+            _ if ent.starts_with('#') => {
+                let cp = ent[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.error(format!("bad character reference &{ent};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.error(format!("invalid code point &{ent};")))?
+                    .to_string()
+            }
+            _ => return Err(self.error(format!("unknown entity &{ent};"))),
+        };
+        Ok(decoded.into_bytes())
+    }
+
+    /// Skips until the terminator byte sequence has been read.
+    fn skip_until(&mut self, terminator: &[u8], what: &str) -> Result<(), XmlError> {
+        let mut matched = 0;
+        loop {
+            let b = self.expect_byte(what)?;
+            if b == terminator[matched] {
+                matched += 1;
+                if matched == terminator.len() {
+                    return Ok(());
+                }
+            } else if b == terminator[0] {
+                matched = 1;
+            } else {
+                matched = 0;
+            }
+        }
+    }
+
+    /// Reads an attribute value (quoted, entity-decoded).
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        self.skip_ws()?;
+        let quote = self.expect_byte("attribute quote")?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.error("attribute value must be quoted"));
+        }
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let b = self.expect_byte("closing quote")?;
+            if b == quote {
+                break;
+            }
+            if b == b'&' {
+                out.extend(self.read_entity()?);
+            } else {
+                out.push(b);
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.error("attribute value is not UTF-8"))
+    }
+
+    /// Parses the inside of a `<...>` construct, `<` already consumed.
+    fn read_markup(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        match self.peek_byte()? {
+            Some(b'?') => {
+                // XML declaration / processing instruction: skip.
+                self.read_byte()?;
+                self.skip_until(b"?>", "'?>'")?;
+                Ok(None)
+            }
+            Some(b'!') => {
+                self.read_byte()?;
+                match self.peek_byte()? {
+                    Some(b'-') => {
+                        self.read_byte()?;
+                        if self.expect_byte("comment")? != b'-' {
+                            return Err(self.error("malformed comment"));
+                        }
+                        self.skip_until(b"-->", "'-->'")?;
+                        Ok(None)
+                    }
+                    Some(b'[') => {
+                        // CDATA section: verify the keyword, then emit text.
+                        for expected in *b"[CDATA[" {
+                            if self.expect_byte("CDATA")? != expected {
+                                return Err(self.error("malformed CDATA section"));
+                            }
+                        }
+                        let mut out = Vec::new();
+                        // Scan for ]]> while collecting bytes.
+                        let mut tail = [0u8; 2];
+                        let mut have = 0usize;
+                        loop {
+                            let b = self.expect_byte("']]>'")?;
+                            if have == 2 && tail[0] == b']' && tail[1] == b']' && b == b'>' {
+                                break;
+                            }
+                            if have == 2 {
+                                out.push(tail[0]);
+                                tail[0] = tail[1];
+                                tail[1] = b;
+                            } else {
+                                tail[have] = b;
+                                have += 1;
+                            }
+                        }
+                        if self.stack.is_empty() {
+                            return Err(self.error("CDATA outside of root element"));
+                        }
+                        Ok(Some(XmlEvent::Text(out)))
+                    }
+                    _ => {
+                        // DOCTYPE etc.: skip to matching '>'.
+                        let mut depth = 1;
+                        loop {
+                            match self.expect_byte("'>'")? {
+                                b'<' => depth += 1,
+                                b'>' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        Ok(None)
+                    }
+                }
+            }
+            Some(b'/') => {
+                self.read_byte()?;
+                let name = self.read_name()?;
+                self.skip_ws()?;
+                if self.expect_byte("'>'")? != b'>' {
+                    return Err(self.error("malformed end tag"));
+                }
+                match self.stack.pop() {
+                    Some(open) if open == name => Ok(Some(XmlEvent::EndTag { name })),
+                    Some(open) => {
+                        Err(self.error(format!("mismatched end tag </{name}>, expected </{open}>")))
+                    }
+                    None => Err(self.error(format!("unexpected end tag </{name}>"))),
+                }
+            }
+            _ => {
+                let name = self.read_name()?;
+                let mut attrs = Vec::new();
+                loop {
+                    self.skip_ws()?;
+                    match self.peek_byte()? {
+                        Some(b'>') => {
+                            self.read_byte()?;
+                            if self.seen_root && self.stack.is_empty() {
+                                return Err(self.error("multiple root elements"));
+                            }
+                            self.seen_root = true;
+                            self.stack.push(name.clone());
+                            return Ok(Some(XmlEvent::StartTag { name, attrs }));
+                        }
+                        Some(b'/') => {
+                            self.read_byte()?;
+                            if self.expect_byte("'>'")? != b'>' {
+                                return Err(self.error("malformed self-closing tag"));
+                            }
+                            if self.seen_root && self.stack.is_empty() {
+                                return Err(self.error("multiple root elements"));
+                            }
+                            self.seen_root = true;
+                            self.pending_end = Some(name.clone());
+                            return Ok(Some(XmlEvent::StartTag { name, attrs }));
+                        }
+                        Some(_) => {
+                            let key = self.read_name()?;
+                            self.skip_ws()?;
+                            if self.expect_byte("'='")? != b'=' {
+                                return Err(self.error("expected '=' in attribute"));
+                            }
+                            let value = self.read_attr_value()?;
+                            attrs.push((key, value));
+                        }
+                        None => return Err(self.error("unexpected end of input in tag")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the next event. After [`XmlEvent::Eof`], keeps returning it.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(XmlEvent::EndTag { name });
+        }
+        if self.done {
+            return Ok(XmlEvent::Eof);
+        }
+        loop {
+            match self.peek_byte()? {
+                None => {
+                    if !self.stack.is_empty() {
+                        return Err(self.error(format!(
+                            "unexpected end of input: <{}> still open",
+                            self.stack.last().expect("nonempty")
+                        )));
+                    }
+                    if !self.seen_root {
+                        return Err(self.error("empty document"));
+                    }
+                    self.done = true;
+                    return Ok(XmlEvent::Eof);
+                }
+                Some(b'<') => {
+                    self.read_byte()?;
+                    if let Some(ev) = self.read_markup()? {
+                        return Ok(ev);
+                    }
+                }
+                Some(_) => {
+                    // Character data until the next '<'.
+                    let mut out: Vec<u8> = Vec::new();
+                    let mut all_ws = true;
+                    while let Some(b) = self.peek_byte()? {
+                        if b == b'<' {
+                            break;
+                        }
+                        self.read_byte()?;
+                        if b == b'&' {
+                            let bytes = self.read_entity()?;
+                            all_ws = all_ws && bytes.iter().all(u8::is_ascii_whitespace);
+                            out.extend(bytes);
+                        } else {
+                            all_ws = all_ws && b.is_ascii_whitespace();
+                            out.push(b);
+                        }
+                    }
+                    if self.stack.is_empty() {
+                        if all_ws {
+                            continue; // whitespace outside the root is fine
+                        }
+                        return Err(self.error("character data outside of root element"));
+                    }
+                    if all_ws && self.config.trim_whitespace_text {
+                        continue;
+                    }
+                    return Ok(XmlEvent::Text(out));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<XmlEvent> {
+        let mut p = XmlParser::new(src.as_bytes());
+        let mut out = Vec::new();
+        loop {
+            let e = p.next_event().unwrap_or_else(|e| panic!("{e}"));
+            let eof = e == XmlEvent::Eof;
+            out.push(e);
+            if eof {
+                break;
+            }
+        }
+        out
+    }
+
+    fn start(name: &str) -> XmlEvent {
+        XmlEvent::StartTag {
+            name: name.into(),
+            attrs: vec![],
+        }
+    }
+    fn end(name: &str) -> XmlEvent {
+        XmlEvent::EndTag { name: name.into() }
+    }
+
+    #[test]
+    fn basic_nesting_and_self_close() {
+        assert_eq!(
+            events("<a><b/></a>"),
+            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::Eof]
+        );
+    }
+
+    #[test]
+    fn text_and_entities() {
+        let evs = events("<a>x &amp; y &#65;&#x42;</a>");
+        assert_eq!(evs[1], XmlEvent::Text(b"x & y AB".to_vec()));
+    }
+
+    #[test]
+    fn attributes() {
+        let evs = events(r#"<a one="1" two='&lt;3'/>"#);
+        assert_eq!(
+            evs[0],
+            XmlEvent::StartTag {
+                name: "a".into(),
+                attrs: vec![("one".into(), "1".into()), ("two".into(), "<3".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn prolog_comments_doctype_cdata() {
+        let evs = events(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n\
+             <!-- hi --><a><![CDATA[<raw>&]]></a>",
+        );
+        assert_eq!(
+            evs,
+            vec![
+                start("a"),
+                XmlEvent::Text(b"<raw>&".to_vec()),
+                end("a"),
+                XmlEvent::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn well_formedness_errors() {
+        let check = |src: &str| {
+            let mut p = XmlParser::new(src.as_bytes());
+            loop {
+                match p.next_event() {
+                    Err(_) => return true,
+                    Ok(XmlEvent::Eof) => return false,
+                    Ok(_) => {}
+                }
+            }
+        };
+        assert!(check("<a><b></a></b>")); // mismatched
+        assert!(check("<a>")); // unclosed
+        assert!(check("<a/><b/>")); // two roots
+        assert!(check("text")); // no root
+        assert!(check("<a>&bogus;</a>")); // unknown entity
+        assert!(check("")); // empty
+        assert!(!check("<a>ok</a>"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut p = XmlParser::new("<a>\n  <b></c>\n</a>".as_bytes());
+        let err = loop {
+            match p.next_event() {
+                Err(e) => break e,
+                Ok(XmlEvent::Eof) => panic!("expected error"),
+                Ok(_) => {}
+            }
+        };
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let mut p = XmlParser::new("<a/>".as_bytes());
+        while p.next_event().unwrap() != XmlEvent::Eof {}
+        assert_eq!(p.next_event().unwrap(), XmlEvent::Eof);
+    }
+}

@@ -1,0 +1,199 @@
+//! XML serialization: trees back to documents, optionally with query
+//! results marked up.
+//!
+//! "As the default behavior of Arb, the entire XML document is returned
+//! with selected nodes marked up in the usual XML fashion" (paper §6.3):
+//! selected element nodes get an `arb:selected="true"` attribute, and
+//! maximal runs of selected character nodes are wrapped in an
+//! `<arb:selected>` element.
+
+use arb_tree::{
+    traverse::{doc_events, DocEvent},
+    BinaryTree, LabelTable, NodeSet,
+};
+use std::io::{self, Write};
+
+/// Escapes character data for element content.
+pub fn escape_text(bytes: &[u8], out: &mut impl Write) -> io::Result<()> {
+    for &b in bytes {
+        match b {
+            b'&' => out.write_all(b"&amp;")?,
+            b'<' => out.write_all(b"&lt;")?,
+            b'>' => out.write_all(b"&gt;")?,
+            _ => out.write_all(&[b])?,
+        }
+    }
+    Ok(())
+}
+
+fn escape_attr(s: &str, out: &mut impl Write) -> io::Result<()> {
+    for &b in s.as_bytes() {
+        match b {
+            b'&' => out.write_all(b"&amp;")?,
+            b'<' => out.write_all(b"&lt;")?,
+            b'"' => out.write_all(b"&quot;")?,
+            _ => out.write_all(&[b])?,
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a binary tree back to XML (no marking).
+pub fn write_tree(
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    MarkedWriter::new(labels, None).write(tree, out)
+}
+
+/// Writer producing the document with an optional selected-node marking.
+pub struct MarkedWriter<'a> {
+    labels: &'a LabelTable,
+    selected: Option<&'a NodeSet>,
+}
+
+impl<'a> MarkedWriter<'a> {
+    /// A writer; pass `Some(set)` to mark those nodes.
+    pub fn new(labels: &'a LabelTable, selected: Option<&'a NodeSet>) -> Self {
+        MarkedWriter { labels, selected }
+    }
+
+    /// Serializes the tree.
+    pub fn write(&self, tree: &BinaryTree, out: &mut impl Write) -> io::Result<()> {
+        let mut char_run_selected = false;
+        for ev in doc_events(tree) {
+            match ev {
+                DocEvent::Open(v, label) => {
+                    if char_run_selected {
+                        out.write_all(b"</arb:selected>")?;
+                        char_run_selected = false;
+                    }
+                    out.write_all(b"<")?;
+                    out.write_all(self.labels.name(label).as_bytes())?;
+                    if self.selected.is_some_and(|s| s.contains(v)) {
+                        out.write_all(b" arb:selected=\"true\"")?;
+                    }
+                    out.write_all(b">")?;
+                }
+                DocEvent::Close(_, label) => {
+                    if char_run_selected {
+                        out.write_all(b"</arb:selected>")?;
+                        char_run_selected = false;
+                    }
+                    out.write_all(b"</")?;
+                    out.write_all(self.labels.name(label).as_bytes())?;
+                    out.write_all(b">")?;
+                }
+                DocEvent::Char(v, b) => {
+                    let sel = self.selected.is_some_and(|s| s.contains(v));
+                    if sel != char_run_selected {
+                        if sel {
+                            out.write_all(b"<arb:selected>")?;
+                        } else {
+                            out.write_all(b"</arb:selected>")?;
+                        }
+                        char_run_selected = sel;
+                    }
+                    escape_text(&[b], out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a tree to a `String` (convenience).
+pub fn tree_to_string(tree: &BinaryTree, labels: &LabelTable) -> String {
+    let mut out = Vec::new();
+    write_tree(tree, labels, &mut out).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("writer produces UTF-8")
+}
+
+/// Convenience used by doc examples: escapes an attribute value.
+pub fn attr_to_string(s: &str) -> String {
+    let mut out = Vec::new();
+    escape_attr(s, &mut out).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("escaped output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::str_to_tree;
+    use arb_tree::NodeId;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut lt = LabelTable::new();
+        let t = str_to_tree("<a><b>x&amp;y</b><c/></a>", &mut lt).unwrap();
+        let s = tree_to_string(&t, &lt);
+        assert_eq!(s, "<a><b>x&amp;y</b><c></c></a>");
+        // Reparse gives the same tree.
+        let mut lt2 = LabelTable::new();
+        let t2 = str_to_tree(&s, &mut lt2).unwrap();
+        assert_eq!(t.len(), t2.len());
+    }
+
+    #[test]
+    fn marking_elements_and_chars() {
+        let mut lt = LabelTable::new();
+        let t = str_to_tree("<a><b>xy</b></a>", &mut lt).unwrap();
+        // Nodes: 0=a, 1=b, 2='x', 3='y'. Select b and 'y'.
+        let mut sel = NodeSet::new(t.len());
+        sel.insert(NodeId(1));
+        sel.insert(NodeId(3));
+        let mut out = Vec::new();
+        MarkedWriter::new(&lt, Some(&sel)).write(&t, &mut out).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<a><b arb:selected=\"true\">x<arb:selected>y</arb:selected></b></a>"
+        );
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(attr_to_string(r#"a"b<c&d"#), "a&quot;b&lt;c&amp;d");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::str_to_tree;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Arbitrary ASCII text content survives write → parse → write.
+        #[test]
+        fn text_escaping_roundtrip(text in "[ -~]{0,40}") {
+            let mut lt = LabelTable::new();
+            let t = lt.intern("t").expect("label");
+            let mut b = arb_tree::TreeBuilder::new();
+            b.open(t);
+            b.text(text.as_bytes());
+            b.close();
+            let tree = b.finish().expect("balanced");
+            let xml = tree_to_string(&tree, &lt);
+            let mut lt2 = LabelTable::new();
+            let tree2 = str_to_tree(&xml, &mut lt2).expect("reparse");
+            prop_assert_eq!(tree2.text_of_children(tree2.root()), text);
+        }
+
+        /// Attribute escaping is reversible through the parser.
+        #[test]
+        fn attr_escaping_roundtrip(value in "[ -~]{0,30}") {
+            let escaped = attr_to_string(&value);
+            let xml = format!("<a k=\"{escaped}\"/>");
+            let mut p = crate::XmlParser::new(xml.as_bytes());
+            match p.next_event().expect("parse") {
+                crate::XmlEvent::StartTag { attrs, .. } => {
+                    prop_assert_eq!(&attrs[0].1, &value);
+                }
+                other => prop_assert!(false, "unexpected event {:?}", other),
+            }
+        }
+    }
+}

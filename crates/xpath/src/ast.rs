@@ -1,0 +1,117 @@
+//! Core XPath abstract syntax.
+
+/// The eleven structural axes of Core XPath.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `self::`
+    SelfAxis,
+    /// `parent::`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `following::`
+    Following,
+    /// `preceding::`
+    Preceding,
+}
+
+impl Axis {
+    /// All axes (for exhaustive tests).
+    pub const ALL: [Axis; 11] = [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::SelfAxis,
+        Axis::Parent,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Following,
+        Axis::Preceding,
+    ];
+
+    /// The XPath name of the axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+}
+
+/// A node test.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NodeTest {
+    /// A tag name. Attribute nodes (databases created with
+    /// `attributes_as_nodes`) are addressed by their `@`-prefixed tag,
+    /// e.g. `@id` parses to `Name("@id")`.
+    Name(String),
+    /// `*` — any element node.
+    AnyElement,
+    /// `text()` — character nodes.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+/// One location step: `axis::test[pred]…`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Zero or more qualifier expressions.
+    pub predicates: Vec<Expr>,
+}
+
+/// A location path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocationPath {
+    /// Absolute paths start at the (virtual) document node. Top-level
+    /// queries are always evaluated from the document, so this flag only
+    /// matters inside predicates.
+    pub absolute: bool,
+    /// The steps.
+    pub steps: Vec<Step>,
+}
+
+/// A qualifier expression (Core XPath conditions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Existential path condition.
+    Path(LocationPath),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Extension: `contains-text("s")` — some run of consecutive
+    /// character descendants spells the literal string `s` (possible
+    /// because text is stored as character sibling nodes, paper §1.3
+    /// example 2).
+    ContainsText(String),
+}

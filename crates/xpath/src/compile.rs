@@ -1,0 +1,658 @@
+//! Compilation of Core XPath to strict TMNF.
+//!
+//! Every axis is a *caterpillar expression* over the binary encoding
+//! (`child = FirstChild.NextSibling*`, `parent =
+//! invNextSibling*.invFirstChild`, …). Location steps chain these
+//! forward; predicates compile to **positive/negative predicate pairs**
+//! `(C, C̄)` so that `not(·)` is a swap. The negative sides of the
+//! branching axes are universal statements ("no child satisfies D"),
+//! expressed with the sibling-list and subtree folds of paper
+//! Example 2.2.
+//!
+//! The document node (the virtual parent of the root element) is modeled
+//! symbolically: it flows through leading `/` and
+//! `descendant-or-self::node()` steps and contributes the root element to
+//! `child::` steps; it is never itself selectable.
+
+use crate::ast::{Axis, Expr, LocationPath, NodeTest, Step};
+use arb_tmnf::ast::{BodyItem, Move, Regex, SurfaceProgram, SurfaceRule};
+use arb_tmnf::{normalize, CoreProgram, EdbAtom};
+use arb_tree::LabelTable;
+
+/// Compilation context: accumulated surface rules plus a name counter.
+struct Ctx<'l> {
+    rules: Vec<SurfaceRule>,
+    n: u32,
+    labels: &'l mut LabelTable,
+}
+
+impl Ctx<'_> {
+    fn fresh(&mut self, hint: &str) -> String {
+        self.n += 1;
+        format!("_x{}{}", hint, self.n)
+    }
+
+    /// Adds `head :- items;` (conjunction).
+    fn rule(&mut self, head: &str, items: Vec<Regex>) {
+        debug_assert!(!items.is_empty());
+        self.rules.push(SurfaceRule {
+            head: head.to_string(),
+            items: items.into_iter().map(|regex| BodyItem { regex }).collect(),
+        });
+    }
+
+    fn label_atom(&mut self, name: &str) -> EdbAtom {
+        EdbAtom::Label(self.labels.intern(name).expect("valid tag name"))
+    }
+}
+
+/// The forward caterpillar expression of an axis: a walk from the context
+/// node to each axis member.
+pub fn axis_regex(axis: Axis) -> Regex {
+    use Move::*;
+    let child = || Regex::cat(Regex::mv(FirstChild), Regex::Star(Box::new(Regex::mv(SecondChild))));
+    let parent = || {
+        Regex::cat(
+            Regex::Star(Box::new(Regex::mv(InvSecondChild))),
+            Regex::mv(InvFirstChild),
+        )
+    };
+    let descendant = || {
+        Regex::cat(
+            Regex::mv(FirstChild),
+            Regex::Star(Box::new(Regex::alt(
+                Regex::mv(FirstChild),
+                Regex::mv(SecondChild),
+            ))),
+        )
+    };
+    match axis {
+        Axis::Child => child(),
+        Axis::Parent => parent(),
+        Axis::Descendant => descendant(),
+        Axis::DescendantOrSelf => Regex::Opt(Box::new(descendant())),
+        Axis::SelfAxis => Regex::Eps,
+        Axis::Ancestor => Regex::Plus(Box::new(parent())),
+        Axis::AncestorOrSelf => Regex::Star(Box::new(parent())),
+        Axis::FollowingSibling => Regex::Plus(Box::new(Regex::mv(SecondChild))),
+        Axis::PrecedingSibling => Regex::Plus(Box::new(Regex::mv(InvSecondChild))),
+        Axis::Following => Regex::seq([
+            Regex::Star(Box::new(parent())),
+            Regex::Plus(Box::new(Regex::mv(SecondChild))),
+            Regex::Opt(Box::new(descendant())),
+        ]),
+        Axis::Preceding => Regex::seq([
+            Regex::Star(Box::new(parent())),
+            Regex::Plus(Box::new(Regex::mv(InvSecondChild))),
+            Regex::Opt(Box::new(descendant())),
+        ]),
+    }
+}
+
+/// Reverses a caterpillar expression: the reversed expression walks from
+/// the target back to the source (moves inverted, tests unchanged).
+pub fn reverse_regex(r: &Regex) -> Regex {
+    use arb_tmnf::ast::StepSym;
+    match r {
+        Regex::Eps => Regex::Eps,
+        Regex::Sym(StepSym::Move(m)) => Regex::mv(m.inverse()),
+        Regex::Sym(s) => Regex::Sym(s.clone()),
+        Regex::Cat(a, b) => Regex::cat(reverse_regex(b), reverse_regex(a)),
+        Regex::Alt(a, b) => Regex::alt(reverse_regex(a), reverse_regex(b)),
+        Regex::Star(a) => Regex::Star(Box::new(reverse_regex(a))),
+        Regex::Plus(a) => Regex::Plus(Box::new(reverse_regex(a))),
+        Regex::Opt(a) => Regex::Opt(Box::new(reverse_regex(a))),
+    }
+}
+
+/// The EDB test of a node test, if any (`node()` is unconstrained).
+fn test_atom(ctx: &mut Ctx, test: &NodeTest) -> Option<EdbAtom> {
+    match test {
+        NodeTest::Name(n) => Some(ctx.label_atom(n)),
+        NodeTest::AnyElement => Some(EdbAtom::NotText),
+        NodeTest::Text => Some(EdbAtom::Text),
+        NodeTest::AnyNode => None,
+    }
+}
+
+// --------------------------------------------------------------------------
+// Existential / universal axis combinators
+// --------------------------------------------------------------------------
+
+/// `∃ y ∈ axis(x): D(y)` — by walking the reversed axis from D-nodes.
+fn ex_axis_pos(ctx: &mut Ctx, axis: Axis, d: &str) -> String {
+    let out = ctx.fresh("ex");
+    let walk = Regex::cat(Regex::pred(d), reverse_regex(&axis_regex(axis)));
+    ctx.rule(&out, vec![walk]);
+    out
+}
+
+/// `∀ y ∈ axis(x): N(y)` — the universal dual, given the *negative*
+/// predicate `N = ¬D`. Uses the structural-recursion idioms of paper
+/// Example 2.2 for the branching axes.
+fn all_axis_neg(ctx: &mut Ctx, axis: Axis, nd: &str) -> String {
+    use Move::*;
+    let child_walk = || Regex::cat(Regex::mv(FirstChild), Regex::Star(Box::new(Regex::mv(SecondChild))));
+    match axis {
+        Axis::SelfAxis => nd.to_string(),
+        Axis::Child => {
+            // NFR(y): y and all its following siblings satisfy N.
+            let nfr = ctx.fresh("nfr");
+            ctx.rule(&nfr, vec![Regex::pred(nd), Regex::edb(EdbAtom::LastSibling)]);
+            let fs = ctx.fresh("fs");
+            ctx.rule(&fs, vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvSecondChild))]);
+            ctx.rule(&nfr, vec![Regex::pred(nd), Regex::pred(&fs)]);
+            let out = ctx.fresh("nochild");
+            ctx.rule(&out, vec![Regex::edb(EdbAtom::Leaf)]);
+            ctx.rule(&out, vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvFirstChild))]);
+            out
+        }
+        Axis::Descendant => {
+            // BinNone(v): every node of v's *binary* subtree satisfies N.
+            let bn = ctx.fresh("bn");
+            let a1 = ctx.fresh("a1");
+            ctx.rule(&a1, vec![Regex::edb(EdbAtom::Leaf)]);
+            ctx.rule(&a1, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))]);
+            let a2 = ctx.fresh("a2");
+            ctx.rule(&a2, vec![Regex::edb(EdbAtom::LastSibling)]);
+            ctx.rule(&a2, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvSecondChild))]);
+            ctx.rule(&bn, vec![Regex::pred(nd), Regex::pred(&a1), Regex::pred(&a2)]);
+            // Descendants of x = binary subtree of x's first child.
+            let out = ctx.fresh("nodesc");
+            ctx.rule(&out, vec![Regex::edb(EdbAtom::Leaf)]);
+            ctx.rule(&out, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))]);
+            out
+        }
+        Axis::DescendantOrSelf => {
+            let nodesc = all_axis_neg(ctx, Axis::Descendant, nd);
+            let out = ctx.fresh("nodos");
+            ctx.rule(&out, vec![Regex::pred(nd), Regex::pred(&nodesc)]);
+            out
+        }
+        Axis::Parent => {
+            let out = ctx.fresh("nopar");
+            ctx.rule(&out, vec![Regex::edb(EdbAtom::Root)]);
+            ctx.rule(&out, vec![Regex::cat(Regex::pred(nd), child_walk())]);
+            out
+        }
+        Axis::Ancestor => {
+            // NoAnc(x) = Root(x) ∨ (N(parent) ∧ NoAnc(parent)).
+            let noanc = ctx.fresh("noanc");
+            ctx.rule(&noanc, vec![Regex::edb(EdbAtom::Root)]);
+            let g = ctx.fresh("g");
+            ctx.rule(&g, vec![Regex::pred(&noanc), Regex::pred(nd)]);
+            ctx.rule(&noanc, vec![Regex::cat(Regex::pred(&g), child_walk())]);
+            noanc
+        }
+        Axis::AncestorOrSelf => {
+            let noanc = all_axis_neg(ctx, Axis::Ancestor, nd);
+            let out = ctx.fresh("noaos");
+            ctx.rule(&out, vec![Regex::pred(nd), Regex::pred(&noanc)]);
+            out
+        }
+        Axis::FollowingSibling => {
+            // NR(x) = LastSibling(x) ∨ (N(next) ∧ NR(next)).
+            let nr = ctx.fresh("nr");
+            ctx.rule(&nr, vec![Regex::edb(EdbAtom::LastSibling)]);
+            let g = ctx.fresh("g");
+            ctx.rule(&g, vec![Regex::pred(&nr), Regex::pred(nd)]);
+            ctx.rule(&nr, vec![Regex::cat(Regex::pred(&g), Regex::mv(InvSecondChild))]);
+            nr
+        }
+        Axis::PrecedingSibling => {
+            // NL(x) = FirstSib(x) ∨ (N(prev) ∧ NL(prev)).
+            let firstsib = ctx.fresh("fsib");
+            ctx.rule(&firstsib, vec![Regex::edb(EdbAtom::Root)]);
+            ctx.rule(
+                &firstsib,
+                vec![Regex::cat(Regex::edb(EdbAtom::V), Regex::mv(FirstChild))],
+            );
+            let nl = ctx.fresh("nl");
+            ctx.rule(&nl, vec![Regex::pred(&firstsib), Regex::pred(&firstsib)]);
+            let g = ctx.fresh("g");
+            ctx.rule(&g, vec![Regex::pred(&nl), Regex::pred(nd)]);
+            ctx.rule(&nl, vec![Regex::cat(Regex::pred(&g), Regex::mv(SecondChild))]);
+            nl
+        }
+        Axis::Following => {
+            // ∀ a ∈ anc-or-self(x): ∀ b ∈ fs(a): subtree-or-self(b) ⊆ N.
+            let no_sub = all_axis_neg(ctx, Axis::DescendantOrSelf, nd);
+            let no_fs = all_axis_neg(ctx, Axis::FollowingSibling, &no_sub);
+            all_axis_neg(ctx, Axis::AncestorOrSelf, &no_fs)
+        }
+        Axis::Preceding => {
+            let no_sub = all_axis_neg(ctx, Axis::DescendantOrSelf, nd);
+            let no_ps = all_axis_neg(ctx, Axis::PrecedingSibling, &no_sub);
+            all_axis_neg(ctx, Axis::AncestorOrSelf, &no_ps)
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Conditions: positive/negative pairs
+// --------------------------------------------------------------------------
+
+/// Compiles a qualifier expression at a context node into a
+/// `(pos, neg)` predicate pair.
+fn compile_expr(ctx: &mut Ctx, expr: &Expr) -> (String, String) {
+    match expr {
+        Expr::And(a, b) => {
+            let (ap, an) = compile_expr(ctx, a);
+            let (bp, bn) = compile_expr(ctx, b);
+            let pos = ctx.fresh("and");
+            ctx.rule(&pos, vec![Regex::pred(&ap), Regex::pred(&bp)]);
+            let neg = ctx.fresh("nand");
+            ctx.rule(&neg, vec![Regex::pred(&an), Regex::pred(&an)]);
+            ctx.rule(&neg, vec![Regex::pred(&bn), Regex::pred(&bn)]);
+            (pos, neg)
+        }
+        Expr::Or(a, b) => {
+            let (ap, an) = compile_expr(ctx, a);
+            let (bp, bn) = compile_expr(ctx, b);
+            let pos = ctx.fresh("or");
+            ctx.rule(&pos, vec![Regex::pred(&ap), Regex::pred(&ap)]);
+            ctx.rule(&pos, vec![Regex::pred(&bp), Regex::pred(&bp)]);
+            let neg = ctx.fresh("nor");
+            ctx.rule(&neg, vec![Regex::pred(&an), Regex::pred(&bn)]);
+            (pos, neg)
+        }
+        Expr::Not(e) => {
+            let (p, n) = compile_expr(ctx, e);
+            (n, p)
+        }
+        Expr::ContainsText(text) => compile_contains_text(ctx, text),
+        Expr::Path(lp) if lp.absolute => compile_absolute_condition(ctx, lp),
+        Expr::Path(lp) => compile_exists(ctx, &lp.steps, 0),
+    }
+}
+
+/// `(pos, neg)` for `contains-text("s")`: some run of consecutive
+/// character descendants spells `s`. Positive side: a suffix-predicate
+/// chain `M_i(y)` = "`s[i..]` is spelled starting at `y`" walked
+/// backwards from the last character. Negative side: the dual chain
+/// `N_i(y)` = "`s[i..]` does *not* start at `y`" (wrong character, or the
+/// sibling list ends early, or the rest fails), folded over all
+/// descendants with the subtree scan.
+fn compile_contains_text(ctx: &mut Ctx, text: &str) -> (String, String) {
+    use arb_tree::LabelId;
+    let bytes = text.as_bytes();
+    debug_assert!(!bytes.is_empty(), "parser rejects empty strings");
+    let mut m_next: Option<String> = None;
+    let mut n_next: Option<String> = None;
+    for (i, &b) in bytes.iter().enumerate().rev() {
+        let ci = EdbAtom::Label(LabelId::from_char_byte(b));
+        let m = ctx.fresh("ct");
+        let nn = ctx.fresh("nct");
+        match &m_next {
+            // Last character: the label alone suffices.
+            None => ctx.rule(&m, vec![Regex::edb(ci)]),
+            Some(mn) => ctx.rule(
+                &m,
+                vec![
+                    Regex::cat(Regex::pred(mn), Regex::mv(Move::InvSecondChild)),
+                    Regex::edb(ci),
+                ],
+            ),
+        }
+        match &n_next {
+            None => ctx.rule(&nn, vec![Regex::edb(ci.complement())]),
+            Some(nx) => {
+                ctx.rule(&nn, vec![Regex::edb(ci.complement())]);
+                ctx.rule(&nn, vec![Regex::edb(EdbAtom::LastSibling)]);
+                ctx.rule(
+                    &nn,
+                    vec![Regex::cat(Regex::pred(nx), Regex::mv(Move::InvSecondChild))],
+                );
+            }
+        }
+        let _ = i;
+        m_next = Some(m);
+        n_next = Some(nn);
+    }
+    let m0 = m_next.expect("nonempty string");
+    let n0 = n_next.expect("nonempty string");
+    let pos = ex_axis_pos(ctx, Axis::Descendant, &m0);
+    let neg = all_axis_neg(ctx, Axis::Descendant, &n0);
+    (pos, neg)
+}
+
+/// `(pos, neg)` for "some walk along `steps[i..]` from the context node
+/// succeeds".
+fn compile_exists(ctx: &mut Ctx, steps: &[Step], i: usize) -> (String, String) {
+    let step = &steps[i];
+    // Target pair D / ¬D: the target must pass the test, every
+    // qualifier, and the rest of the path.
+    let mut pos_items: Vec<Regex> = Vec::new();
+    let mut neg_alts: Vec<Regex> = Vec::new();
+    if let Some(atom) = test_atom(ctx, &step.test) {
+        pos_items.push(Regex::edb(atom));
+        neg_alts.push(Regex::edb(atom.complement()));
+    }
+    for p in &step.predicates {
+        let (pp, pn) = compile_expr(ctx, p);
+        pos_items.push(Regex::pred(&pp));
+        neg_alts.push(Regex::pred(&pn));
+    }
+    if i + 1 < steps.len() {
+        let (rp, rn) = compile_exists(ctx, steps, i + 1);
+        pos_items.push(Regex::pred(&rp));
+        neg_alts.push(Regex::pred(&rn));
+    }
+    let dpos = ctx.fresh("d");
+    if pos_items.is_empty() {
+        ctx.rule(&dpos, vec![Regex::edb(EdbAtom::V)]);
+    } else {
+        ctx.rule(&dpos, pos_items);
+    }
+    let dneg = ctx.fresh("nd");
+    for alt in neg_alts {
+        ctx.rule(&dneg, vec![alt.clone(), alt]);
+    }
+    // (If neg_alts was empty, dneg has no rules: the target never fails,
+    // and the universal dual correctly only holds where the axis is
+    // empty.)
+    let pos = ex_axis_pos(ctx, step.axis, &dpos);
+    let neg = all_axis_neg(ctx, step.axis, &dneg);
+    (pos, neg)
+}
+
+/// An absolute path inside a condition is a *global* boolean: it holds at
+/// every node iff the path matches anywhere in the document. Both sides
+/// are computed at the root and broadcast down.
+fn compile_absolute_condition(ctx: &mut Ctx, lp: &LocationPath) -> (String, String) {
+    use Move::*;
+    let broadcast = |ctx: &mut Ctx, at_root: &str| -> String {
+        let out = ctx.fresh("bc");
+        ctx.rule(
+            &out,
+            vec![Regex::cat(
+                Regex::pred(at_root),
+                Regex::Star(Box::new(Regex::alt(
+                    Regex::mv(FirstChild),
+                    Regex::mv(SecondChild),
+                ))),
+            )],
+        );
+        out
+    };
+    // Evaluate the path as an existential from the document. The document
+    // relates to the root element: child(document) = {root},
+    // descendant(-or-self)(document) ⊇ all tree nodes.
+    let (pos_at, neg_at) = match lp.steps.first().map(|s| s.axis) {
+        None => {
+            // Bare "/": matches the document itself — always true.
+            let t = ctx.fresh("true");
+            ctx.rule(&t, vec![Regex::edb(EdbAtom::V)]);
+            return (t.clone(), ctx.fresh("false"));
+        }
+        Some(Axis::Child) => {
+            // D must hold at the root.
+            let (dp, dn) = compile_exists_target(ctx, &lp.steps, 0);
+            let p = ctx.fresh("absp");
+            ctx.rule(&p, vec![Regex::pred(&dp), Regex::edb(EdbAtom::Root)]);
+            let n = ctx.fresh("absn");
+            ctx.rule(&n, vec![Regex::pred(&dn), Regex::edb(EdbAtom::Root)]);
+            (p, n)
+        }
+        Some(Axis::Descendant | Axis::DescendantOrSelf) => {
+            // Some/no node in the whole tree satisfies D: evaluate the
+            // descendant-or-self combinators at the root.
+            let (dp, dn) = compile_exists_target(ctx, &lp.steps, 0);
+            let some = ex_axis_pos(ctx, Axis::DescendantOrSelf, &dp);
+            let none = all_axis_neg(ctx, Axis::DescendantOrSelf, &dn);
+            let p = ctx.fresh("absp");
+            ctx.rule(&p, vec![Regex::pred(&some), Regex::edb(EdbAtom::Root)]);
+            let n = ctx.fresh("absn");
+            ctx.rule(&n, vec![Regex::pred(&none), Regex::edb(EdbAtom::Root)]);
+            (p, n)
+        }
+        Some(_) => {
+            // Other axes are empty from the document: always false.
+            let n = ctx.fresh("true");
+            ctx.rule(&n, vec![Regex::edb(EdbAtom::V)]);
+            return (ctx.fresh("false"), n);
+        }
+    };
+    (broadcast(ctx, &pos_at), broadcast(ctx, &neg_at))
+}
+
+/// The target pair `(D, ¬D)` of `steps[i]` (test ∧ predicates ∧ rest),
+/// *without* the axis move — used when the context is known directly.
+fn compile_exists_target(ctx: &mut Ctx, steps: &[Step], i: usize) -> (String, String) {
+    let step = &steps[i];
+    let mut pos_items: Vec<Regex> = Vec::new();
+    let mut neg_alts: Vec<Regex> = Vec::new();
+    if let Some(atom) = test_atom(ctx, &step.test) {
+        pos_items.push(Regex::edb(atom));
+        neg_alts.push(Regex::edb(atom.complement()));
+    }
+    for p in &step.predicates {
+        let (pp, pn) = compile_expr(ctx, p);
+        pos_items.push(Regex::pred(&pp));
+        neg_alts.push(Regex::pred(&pn));
+    }
+    if i + 1 < steps.len() {
+        let (rp, rn) = compile_exists(ctx, steps, i + 1);
+        pos_items.push(Regex::pred(&rp));
+        neg_alts.push(Regex::pred(&rn));
+    }
+    let dpos = ctx.fresh("d");
+    if pos_items.is_empty() {
+        ctx.rule(&dpos, vec![Regex::edb(EdbAtom::V)]);
+    } else {
+        ctx.rule(&dpos, pos_items);
+    }
+    let dneg = ctx.fresh("nd");
+    for alt in neg_alts {
+        ctx.rule(&dneg, vec![alt.clone(), alt]);
+    }
+    (dpos, dneg)
+}
+
+// --------------------------------------------------------------------------
+// Main path (node selection)
+// --------------------------------------------------------------------------
+
+/// Compiles the top-level location path to a strict TMNF program whose
+/// query predicate `QUERY` selects the result nodes. Top-level queries
+/// are evaluated from the document node (relative queries are treated as
+/// document-relative).
+pub fn compile_path(path: &LocationPath, labels: &mut LabelTable) -> CoreProgram {
+    compile_union(std::slice::from_ref(path), labels)
+}
+
+/// Compiles a union query `p1 | p2 | …`: `QUERY` selects the union of
+/// the paths' results.
+pub fn compile_union(paths: &[LocationPath], labels: &mut LabelTable) -> CoreProgram {
+    let mut ctx = Ctx {
+        rules: Vec::new(),
+        n: 0,
+        labels,
+    };
+    let mut finals: Vec<Option<String>> = Vec::new();
+    for path in paths {
+        finals.push(compile_main(&mut ctx, path));
+    }
+    let any_rule = finals.iter().flatten().count() > 0;
+    if any_rule {
+        for c in finals.into_iter().flatten() {
+            ctx.rule("QUERY", vec![Regex::pred(&c), Regex::pred(&c)]);
+        }
+    } else {
+        // Only "/" paths: the document node is not selectable.
+        let never = ctx.fresh("never");
+        ctx.rule("QUERY", vec![Regex::pred(&never), Regex::pred(&never)]);
+    }
+    let program = SurfaceProgram { rules: ctx.rules };
+    let mut prog = normalize(&program);
+    let q = prog.pred_id("QUERY").expect("QUERY rule emitted");
+    prog.add_query_pred(q);
+    prog
+}
+
+/// Compiles one main path inside a shared context; returns the final
+/// step predicate (`None` for the bare document path `/`).
+fn compile_main(ctx: &mut Ctx, path: &LocationPath) -> Option<String> {
+    // Context: a predicate for the tree-node part, plus a flag for the
+    // virtual document node.
+    let mut cur: Option<String> = None;
+    let mut includes_doc = true;
+
+    for step in &path.steps {
+        let s = ctx.fresh("step");
+        // Gather the local constraints of the step target.
+        let test = test_atom(ctx, &step.test);
+        let mut constraint_items: Vec<Regex> = Vec::new();
+        if let Some(atom) = test {
+            constraint_items.push(Regex::edb(atom));
+        }
+        for p in &step.predicates {
+            let (pp, _pn) = compile_expr(ctx, p);
+            constraint_items.push(Regex::pred(&pp));
+        }
+
+        // From tree-node contexts: walk the axis.
+        if let Some(c) = &cur {
+            let mut items = vec![Regex::cat(Regex::pred(c), axis_regex(step.axis))];
+            items.extend(constraint_items.iter().cloned());
+            ctx.rule(&s, items);
+        }
+        // From the document: child ⇒ root; descendant(-or-self) ⇒ any.
+        if includes_doc {
+            match step.axis {
+                Axis::Child => {
+                    let mut items = vec![Regex::edb(EdbAtom::Root)];
+                    items.extend(constraint_items.iter().cloned());
+                    ctx.rule(&s, items);
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let mut items = constraint_items.clone();
+                    if items.is_empty() {
+                        items.push(Regex::edb(EdbAtom::V));
+                    }
+                    ctx.rule(&s, items);
+                }
+                _ => {}
+            }
+        }
+        includes_doc = includes_doc
+            && matches!(
+                step.axis,
+                Axis::DescendantOrSelf | Axis::SelfAxis | Axis::AncestorOrSelf
+            )
+            && step.test == NodeTest::AnyNode
+            && step.predicates.is_empty();
+        cur = Some(s);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use arb_tmnf::naive;
+    use arb_tree::TreeBuilder;
+
+    fn sample() -> (arb_tree::BinaryTree, LabelTable) {
+        // <r><a><b/><c/></a><b>t</b></r>   nodes: 0=r 1=a 2=b 3=c 4=b 5='t'
+        let mut lt = LabelTable::new();
+        let r = lt.intern("r").unwrap();
+        let a = lt.intern("a").unwrap();
+        let b = lt.intern("b").unwrap();
+        let c = lt.intern("c").unwrap();
+        let mut t = TreeBuilder::new();
+        t.open(r);
+        t.open(a);
+        t.leaf(b);
+        t.leaf(c);
+        t.close();
+        t.open(b);
+        t.text(b"t");
+        t.close();
+        t.close();
+        (t.finish().unwrap(), lt)
+    }
+
+    fn eval(src: &str) -> Vec<u32> {
+        let (tree, mut lt) = sample();
+        let path = parse_xpath(src).unwrap();
+        let prog = compile_path(&path, &mut lt);
+        let res = naive::evaluate(&prog, &tree);
+        let q = prog.query_pred().unwrap();
+        tree.nodes().filter(|&v| res.holds(q, v)).map(|v| v.0).collect()
+    }
+
+    #[test]
+    fn basic_paths() {
+        assert_eq!(eval("/r"), vec![0]);
+        assert_eq!(eval("/a"), Vec::<u32>::new());
+        assert_eq!(eval("//b"), vec![2, 4]);
+        assert_eq!(eval("/r/a/b"), vec![2]);
+        assert_eq!(eval("/r/*"), vec![1, 4]);
+        assert_eq!(eval("//text()"), vec![5]);
+        assert_eq!(eval("//node()"), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(eval("//a[b]"), vec![1]);
+        assert_eq!(eval("//a[d]"), Vec::<u32>::new());
+        assert_eq!(eval("/r[a]/b"), vec![4]);
+        assert_eq!(eval("//b[text()]"), vec![4]);
+        assert_eq!(eval("//*[b and c]"), vec![1]);
+        // r (node 0) has a b child (node 4) too.
+        assert_eq!(eval("//*[b or c]"), vec![0, 1]);
+    }
+
+    #[test]
+    fn negation() {
+        // Elements with no b child: r has children a,b — a has b child...
+        // not(b): r? r has child b (node 4) => excluded. a has b => excluded.
+        // b,c,t have no b children => b(2), c(3), b(4)... node 4's children:
+        // only 't' — no b. So //*[not(b)] = {2,3,4}.
+        assert_eq!(eval("//*[not(b)]"), vec![2, 3, 4]);
+        // Double negation cancels.
+        assert_eq!(eval("//*[not(not(b))]"), eval("//*[b]"));
+        // not over descendant axis.
+        assert_eq!(eval("//*[not(.//text())]"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn upward_and_sideways() {
+        assert_eq!(eval("//b/.."), vec![0, 1]);
+        assert_eq!(eval("//c/parent::a"), vec![1]);
+        // b@2 has following sibling c@3; b@4 is last among r's children.
+        assert_eq!(eval("//b/following-sibling::*"), vec![3]);
+        assert_eq!(eval("//c/preceding-sibling::b"), vec![2]);
+        assert_eq!(eval("//b/ancestor::r"), vec![0]);
+        assert_eq!(eval("//c/ancestor-or-self::*"), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn following_preceding() {
+        // following(b@2) = c(3), b(4), t(5); following(a@1) = b(4), t(5).
+        assert_eq!(eval("//a/following::*"), vec![4]);
+        assert_eq!(eval("//c/following::node()"), vec![4, 5]);
+        assert_eq!(eval("//b[not(following::c)]"), vec![4]);
+        // preceding(b@4) = a(1), b(2), c(3) (not r: ancestor).
+        assert_eq!(eval("/r/b/preceding::node()"), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn absolute_condition() {
+        // Global: the document has a c somewhere, so every a qualifies.
+        assert_eq!(eval("//a[//c]"), vec![1]);
+        assert_eq!(eval("//a[//missing]"), Vec::<u32>::new());
+        assert_eq!(eval("//a[not(//missing)]"), vec![1]);
+    }
+
+    #[test]
+    fn reverse_regex_is_involution_on_moves() {
+        for axis in Axis::ALL {
+            let r = axis_regex(axis);
+            let rr = reverse_regex(&reverse_regex(&r));
+            assert_eq!(format!("{r:?}"), format!("{rr:?}"), "{}", axis.name());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! A conventional node-at-a-time Core XPath evaluator.
+//!
+//! This is the class of engine the paper's introduction criticizes:
+//! every location step walks the axis from each frontier node, and every
+//! qualifier re-evaluates its subexpression per candidate node — so parts
+//! of the tree are visited many times (up to exponentially often in naive
+//! engines; here memoized per (condition, node) to the \[10\]-style
+//! polynomial bound). It doubles as a differential-testing oracle for the
+//! TMNF compilation.
+
+use crate::ast::{Axis, Expr, LocationPath, NodeTest, Step};
+use arb_tree::{BinaryTree, LabelTable, NodeId, NodeSet};
+use std::collections::HashMap;
+
+/// Evaluation context: a tree node or the virtual document node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Ctx {
+    Doc,
+    Node(NodeId),
+}
+
+/// The direct evaluator.
+pub struct DirectEvaluator<'t> {
+    tree: &'t BinaryTree,
+    labels: &'t LabelTable,
+    /// Memo for qualifier expressions: (expr identity, node) → bool.
+    memo: HashMap<(usize, NodeId), bool>,
+    /// Count of axis-node visits (work measure for the baseline
+    /// comparison).
+    pub visits: u64,
+}
+
+impl<'t> DirectEvaluator<'t> {
+    /// A fresh evaluator for one tree.
+    pub fn new(tree: &'t BinaryTree, labels: &'t LabelTable) -> Self {
+        DirectEvaluator {
+            tree,
+            labels,
+            memo: HashMap::new(),
+            visits: 0,
+        }
+    }
+
+    /// Evaluates a location path from the document node, returning the
+    /// selected tree nodes in preorder.
+    pub fn evaluate(&mut self, path: &LocationPath) -> NodeSet {
+        // The memo keys by AST node address, which is only stable within
+        // one path's evaluation.
+        self.memo.clear();
+        let frontier = self.eval_steps(vec![Ctx::Doc], &path.steps);
+        let mut out = NodeSet::new(self.tree.len());
+        for c in frontier {
+            if let Ctx::Node(v) = c {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    fn eval_steps(&mut self, mut frontier: Vec<Ctx>, steps: &[Step]) -> Vec<Ctx> {
+        for step in steps {
+            let mut next: Vec<Ctx> = Vec::new();
+            let mut seen = NodeSet::new(self.tree.len());
+            let mut doc_in = false;
+            for &c in &frontier {
+                for target in self.axis_members(c, step.axis) {
+                    match target {
+                        Ctx::Doc => {
+                            // The document survives only unconstrained
+                            // node() steps (mirrors the compiler).
+                            if !doc_in
+                                && step.test == NodeTest::AnyNode
+                                && step.predicates.is_empty()
+                            {
+                                doc_in = true;
+                                next.push(Ctx::Doc);
+                            }
+                        }
+                        Ctx::Node(v) => {
+                            if seen.contains(v) {
+                                continue;
+                            }
+                            if !self.test(v, &step.test) {
+                                continue;
+                            }
+                            if step.predicates.iter().any(|p| !self.eval_expr(v, p)) {
+                                continue;
+                            }
+                            seen.insert(v);
+                            next.push(Ctx::Node(v));
+                        }
+                    }
+                }
+            }
+            next.sort_by_key(|c| match c {
+                Ctx::Doc => u32::MAX,
+                Ctx::Node(v) => v.0,
+            });
+            frontier = next;
+        }
+        frontier
+    }
+
+    fn test(&self, v: NodeId, test: &NodeTest) -> bool {
+        match test {
+            NodeTest::Name(n) => self.labels.get(n) == Some(self.tree.label(v)),
+            NodeTest::AnyElement => !self.tree.label(v).is_text(),
+            NodeTest::Text => self.tree.label(v).is_text(),
+            NodeTest::AnyNode => true,
+        }
+    }
+
+    fn eval_expr(&mut self, v: NodeId, expr: &Expr) -> bool {
+        let key = (expr as *const Expr as usize, v);
+        if let Some(&b) = self.memo.get(&key) {
+            return b;
+        }
+        let r = match expr {
+            Expr::And(a, b) => self.eval_expr(v, a) && self.eval_expr(v, b),
+            Expr::Or(a, b) => self.eval_expr(v, a) || self.eval_expr(v, b),
+            Expr::Not(e) => !self.eval_expr(v, e),
+            Expr::Path(lp) => {
+                let start = if lp.absolute { Ctx::Doc } else { Ctx::Node(v) };
+                !self.eval_steps(vec![start], &lp.steps).is_empty()
+            }
+            Expr::ContainsText(text) => {
+                let bytes = text.as_bytes();
+                let mut descendants = Vec::new();
+                self.collect_descendants(v, &mut descendants);
+                descendants.iter().any(|&y| self.spells(y, bytes))
+            }
+        };
+        self.memo.insert(key, r);
+        r
+    }
+
+    /// The members of an axis from a context, in document order.
+    fn axis_members(&mut self, c: Ctx, axis: Axis) -> Vec<Ctx> {
+        let t = self.tree;
+        let out: Vec<Ctx> = match c {
+            Ctx::Doc => match axis {
+                Axis::Child => vec![Ctx::Node(t.root())],
+                Axis::Descendant => t.nodes().map(Ctx::Node).collect(),
+                Axis::DescendantOrSelf => std::iter::once(Ctx::Doc)
+                    .chain(t.nodes().map(Ctx::Node))
+                    .collect(),
+                Axis::SelfAxis | Axis::AncestorOrSelf => vec![Ctx::Doc],
+                _ => vec![],
+            },
+            Ctx::Node(v) => match axis {
+                Axis::SelfAxis => vec![Ctx::Node(v)],
+                Axis::Child => t.unranked_children(v).into_iter().map(Ctx::Node).collect(),
+                Axis::Descendant => {
+                    let mut out = Vec::new();
+                    self.collect_descendants(v, &mut out);
+                    out.into_iter().map(Ctx::Node).collect()
+                }
+                Axis::DescendantOrSelf => {
+                    let mut out = vec![v];
+                    self.collect_descendants(v, &mut out);
+                    out.into_iter().map(Ctx::Node).collect()
+                }
+                Axis::Parent => t.unranked_parent(v).map(Ctx::Node).into_iter().collect(),
+                Axis::Ancestor => {
+                    let mut out = Vec::new();
+                    let mut cur = t.unranked_parent(v);
+                    while let Some(p) = cur {
+                        out.push(Ctx::Node(p));
+                        cur = t.unranked_parent(p);
+                    }
+                    out
+                }
+                Axis::AncestorOrSelf => {
+                    let mut out = vec![Ctx::Node(v)];
+                    let mut cur = t.unranked_parent(v);
+                    while let Some(p) = cur {
+                        out.push(Ctx::Node(p));
+                        cur = t.unranked_parent(p);
+                    }
+                    out
+                }
+                Axis::FollowingSibling => {
+                    let mut out = Vec::new();
+                    let mut cur = t.second_child(v);
+                    while let Some(s) = cur {
+                        out.push(Ctx::Node(s));
+                        cur = t.second_child(s);
+                    }
+                    out
+                }
+                Axis::PrecedingSibling => {
+                    // Walk from the first sibling forward until v.
+                    let mut out = Vec::new();
+                    if let Some(p) = t.unranked_parent(v) {
+                        let mut cur = t.first_child(p);
+                        while let Some(s) = cur {
+                            if s == v {
+                                break;
+                            }
+                            out.push(Ctx::Node(s));
+                            cur = t.second_child(s);
+                        }
+                    }
+                    out
+                }
+                Axis::Following => {
+                    let mut out = Vec::new();
+                    for a in self.axis_members(Ctx::Node(v), Axis::AncestorOrSelf) {
+                        for fs in self.axis_members(a, Axis::FollowingSibling) {
+                            for d in self.axis_members(fs, Axis::DescendantOrSelf) {
+                                out.push(d);
+                            }
+                        }
+                    }
+                    out
+                }
+                Axis::Preceding => {
+                    let mut out = Vec::new();
+                    for a in self.axis_members(Ctx::Node(v), Axis::AncestorOrSelf) {
+                        for ps in self.axis_members(a, Axis::PrecedingSibling) {
+                            for d in self.axis_members(ps, Axis::DescendantOrSelf) {
+                                out.push(d);
+                            }
+                        }
+                    }
+                    out
+                }
+            },
+        };
+        self.visits += out.len() as u64;
+        out
+    }
+
+    /// True if the consecutive character siblings starting at `y` spell
+    /// `bytes`.
+    fn spells(&self, y: NodeId, bytes: &[u8]) -> bool {
+        let mut cur = Some(y);
+        for &b in bytes {
+            match cur {
+                Some(c) if self.tree.label(c).text_byte() == Some(b) => {
+                    cur = self.tree.second_child(c);
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn collect_descendants(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        for c in self.tree.unranked_children(v) {
+            out.push(c);
+            self.collect_descendants(c, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use arb_tree::TreeBuilder;
+
+    fn sample() -> (BinaryTree, LabelTable) {
+        let mut lt = LabelTable::new();
+        let r = lt.intern("r").unwrap();
+        let a = lt.intern("a").unwrap();
+        let b = lt.intern("b").unwrap();
+        let mut t = TreeBuilder::new();
+        t.open(r);
+        t.open(a);
+        t.leaf(b);
+        t.close();
+        t.leaf(b);
+        t.close();
+        (t.finish().unwrap(), lt)
+    }
+
+    #[test]
+    fn direct_basics() {
+        let (tree, lt) = sample();
+        let mut ev = DirectEvaluator::new(&tree, &lt);
+        let sel = ev.evaluate(&parse_xpath("//b").unwrap());
+        assert_eq!(sel.to_vec(), vec![NodeId(2), NodeId(3)]);
+        let sel = ev.evaluate(&parse_xpath("/r/a[b]").unwrap());
+        assert_eq!(sel.to_vec(), vec![NodeId(1)]);
+        let sel = ev.evaluate(&parse_xpath("//b[not(..)]").unwrap());
+        assert!(sel.is_empty());
+        assert!(ev.visits > 0);
+    }
+
+    /// The direct evaluator and the TMNF compilation must agree.
+    #[test]
+    fn agrees_with_compilation() {
+        let (tree, mut lt) = sample();
+        for src in [
+            "//b",
+            "//a/b",
+            "/r/*",
+            "//*[b]",
+            "//*[not(b)]",
+            "//b/ancestor::*",
+            "//b/following::node()",
+            "//b/preceding::node()",
+            "//*[following-sibling::b]",
+        ] {
+            let path = parse_xpath(src).unwrap();
+            let mut ev = DirectEvaluator::new(&tree, &lt);
+            let direct = ev.evaluate(&path);
+            let prog = crate::compile::compile_path(&path, &mut lt);
+            let res = arb_tmnf::naive::evaluate(&prog, &tree);
+            let q = prog.query_pred().unwrap();
+            for v in tree.nodes() {
+                assert_eq!(direct.contains(v), res.holds(q, v), "{src} at node {}", v.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Recursive-descent parser for Core XPath.
+//!
+//! ```text
+//! path    := '/' relpath? | '//' relpath | relpath
+//! relpath := step (('/' | '//') step)*
+//! step    := '.' | '..' | (axis '::')? test predicate*
+//! test    := NAME | '*' | 'text' '(' ')' | 'node' '(' ')'
+//! predicate := '[' expr ']'
+//! expr    := and_expr ('or' and_expr)*
+//! and_expr := unary ('and' unary)*
+//! unary   := 'not' '(' expr ')' | '(' expr ')' | path
+//! ```
+//!
+//! `//` abbreviates `/descendant-or-self::node()/`; `.` is
+//! `self::node()` and `..` is `parent::node()`.
+
+use crate::ast::{Axis, Expr, LocationPath, NodeTest, Step};
+use std::fmt;
+
+/// XPath parse/compile error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Description.
+    pub message: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: impl Into<String>) -> XPathError {
+        XPathError {
+            message: m.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a keyword only if not followed by a name character.
+    fn eat_kw(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.src[self.pos..].starts_with(s.as_bytes()) {
+            let after = self.src.get(self.pos + s.len());
+            if !after.is_some_and(|&b| is_name_char(b)) {
+                self.pos += s.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn name(&mut self) -> Option<String> {
+        self.ws();
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(|&b| is_name_char(b)) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        }
+    }
+
+    fn path(&mut self) -> Result<LocationPath, XPathError> {
+        let mut steps = Vec::new();
+        let absolute;
+        if self.eat("//") {
+            absolute = true;
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            });
+        } else if self.eat("/") {
+            absolute = true;
+            if self.peek().is_none() {
+                return Ok(LocationPath {
+                    absolute,
+                    steps, // "/" alone: the document — selects nothing
+                });
+            }
+        } else {
+            absolute = false;
+        }
+        steps.push(self.step()?);
+        loop {
+            if self.eat("//") {
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: vec![],
+                });
+                steps.push(self.step()?);
+            } else if self.eat("/") {
+                steps.push(self.step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn step(&mut self) -> Result<Step, XPathError> {
+        self.ws();
+        if self.eat("..") {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
+        }
+        if self.eat(".") {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
+        }
+        // Attribute abbreviation: `@name` = `child::@name` over the
+        // attributes-as-nodes encoding.
+        if self.eat("@") {
+            let n = self.name().ok_or_else(|| self.err("expected attribute name"))?;
+            return Ok(Step {
+                axis: Axis::Child,
+                test: NodeTest::Name(format!("@{n}")),
+                predicates: self.predicates()?,
+            });
+        }
+        // Optional axis.
+        let mut axis = Axis::Child;
+        let save = self.pos;
+        if let Some(n) = self.name() {
+            if self.eat("::") {
+                axis = Axis::ALL
+                    .into_iter()
+                    .find(|a| a.name() == n)
+                    .ok_or_else(|| self.err(format!("unknown axis {n:?}")))?;
+            } else {
+                self.pos = save;
+            }
+        } else {
+            self.pos = save;
+        }
+        // Node test.
+        let test = if self.eat("*") {
+            NodeTest::AnyElement
+        } else if self.eat_kw("text") {
+            if !(self.eat("(") && self.eat(")")) {
+                return Err(self.err("expected text()"));
+            }
+            NodeTest::Text
+        } else if self.eat_kw("node") {
+            if !(self.eat("(") && self.eat(")")) {
+                return Err(self.err("expected node()"));
+            }
+            NodeTest::AnyNode
+        } else if let Some(n) = self.name() {
+            NodeTest::Name(n)
+        } else {
+            return Err(self.err("expected a node test"));
+        };
+        Ok(Step {
+            axis,
+            test,
+            predicates: self.predicates()?,
+        })
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Expr>, XPathError> {
+        let mut out = Vec::new();
+        while self.eat("[") {
+            out.push(self.expr()?);
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, XPathError> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, XPathError> {
+        let mut e = self.unary()?;
+        while self.eat_kw("and") {
+            e = Expr::And(Box::new(e), Box::new(self.unary()?));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, XPathError> {
+        if self.eat_kw("contains-text") {
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after contains-text"));
+            }
+            self.ws();
+            if self.src.get(self.pos) != Some(&b'"') {
+                return Err(self.err("contains-text expects a quoted string"));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while self.src.get(self.pos).is_some_and(|&b| b != b'"') {
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string"));
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.pos += 1;
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            if text.is_empty() {
+                return Err(self.err("contains-text requires a nonempty string"));
+            }
+            return Ok(Expr::ContainsText(text));
+        }
+        if self.eat_kw("not") {
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let e = self.expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        if self.eat("(") {
+            let e = self.expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(e);
+        }
+        Ok(Expr::Path(self.path()?))
+    }
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+/// Parses a Core XPath query (a single location path).
+pub fn parse_xpath(src: &str) -> Result<LocationPath, XPathError> {
+    match parse_xpath_union(src)?.as_slice() {
+        [one] => Ok(one.clone()),
+        _ => Err(XPathError {
+            message: "expected a single path (use parse_xpath_union for '|')".into(),
+            offset: 0,
+        }),
+    }
+}
+
+/// Parses a union query `path ('|' path)*`.
+pub fn parse_xpath_union(src: &str) -> Result<Vec<LocationPath>, XPathError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut paths = vec![p.path()?];
+    while p.eat("|") {
+        paths.push(p.path()?);
+    }
+    p.ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations() {
+        let p = parse_xpath("//a").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[1].test, NodeTest::Name("a".into()));
+
+        let p = parse_xpath("a/b//c").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 4);
+
+        let p = parse_xpath("../x").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        for a in Axis::ALL {
+            let src = format!("/{}::*", a.name());
+            let p = parse_xpath(&src).unwrap();
+            assert_eq!(p.steps[0].axis, a, "{src}");
+        }
+        assert!(parse_xpath("/bogus::*").is_err());
+    }
+
+    #[test]
+    fn predicates_and_booleans() {
+        let p = parse_xpath("//a[b and not(c or .//d)][text()]").unwrap();
+        let step = &p.steps[1];
+        assert_eq!(step.predicates.len(), 2);
+        match &step.predicates[0] {
+            Expr::And(l, r) => {
+                assert!(matches!(**l, Expr::Path(_)));
+                assert!(matches!(**r, Expr::Not(_)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+        match &step.predicates[1] {
+            Expr::Path(lp) => assert_eq!(lp.steps[0].test, NodeTest::Text),
+            other => panic!("expected Path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hyphenated_names_vs_axes() {
+        let p = parse_xpath("//following-sibling::a").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::FollowingSibling);
+        let p = parse_xpath("//my-tag").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Name("my-tag".into()));
+    }
+
+    #[test]
+    fn attribute_steps() {
+        let p = parse_xpath("//book[@id]/@lang").unwrap();
+        assert_eq!(p.steps[2].test, NodeTest::Name("@lang".into()));
+        match &p.steps[1].predicates[0] {
+            Expr::Path(lp) => assert_eq!(lp.steps[0].test, NodeTest::Name("@id".into())),
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("//a[").is_err());
+        assert!(parse_xpath("//a]").is_err());
+        assert!(parse_xpath("//a[not b]").is_err());
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The XPath parser is total: parse or positioned error, never a
+        /// panic.
+        #[test]
+        fn parser_total_on_arbitrary_input(src in "[ -~]{0,60}") {
+            let _ = parse_xpath_union(&src);
+        }
+
+        /// Token-soup inputs reach deeper grammar productions.
+        #[test]
+        fn parser_total_on_token_soup(
+            toks in proptest::collection::vec(0..14u8, 0..30)
+        ) {
+            let parts = [
+                "/", "//", "a", "*", "[", "]", "(", ")", "and", "or",
+                "not", "::", "text()", "|",
+            ];
+            let src: String = toks.iter().map(|&t| parts[t as usize]).collect();
+            let _ = parse_xpath_union(&src);
+        }
+    }
+}

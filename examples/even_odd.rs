@@ -1,0 +1,39 @@
+//! Paper Example 2.2: mark every node whose subtree contains an even
+//! number of leaves labeled `a` — counting modulo a constant, a query no
+//! path language can express, evaluated bottom-up by the tree automata.
+//!
+//! ```sh
+//! cargo run --example even_odd
+//! ```
+
+use arb::tmnf::programs::EVEN_ODD;
+use arb::{Database, QueryOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xml = "<b><a/><a/><b><a/><a/></b></b>";
+    println!("document: {xml}\n");
+    let mut db = Database::from_xml_str(xml)?;
+
+    // The program computes both Even and Odd; select Even nodes.
+    let src = format!("{EVEN_ODD}\nQUERY :- Even, Even;");
+    let q = db.compile_tmnf(&src)?;
+    let outcome: QueryOutcome = db.evaluate(&q)?;
+
+    println!("nodes with an EVEN number of 'a'-leaves in their subtree:");
+    for v in outcome.selected.iter() {
+        println!("  node {} (preorder)", v.0);
+    }
+    // Root has 4 'a' leaves => Even; the inner <b> has 2 => Even;
+    // each <a/> leaf contains itself => Odd:
+    let tree = db.to_tree()?;
+    for v in tree.nodes() {
+        let name = db.labels().name(tree.label(v)).into_owned();
+        println!(
+            "  node {}: <{}> => {}",
+            v.0,
+            name,
+            if outcome.selected.contains(v) { "Even" } else { "Odd" }
+        );
+    }
+    Ok(())
+}

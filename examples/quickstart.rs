@@ -1,0 +1,47 @@
+//! Quickstart: create a database, run a TMNF and an XPath query, and
+//! print the document with selected nodes marked.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use arb::{Database, Query};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any XML document; text becomes one character node per byte
+    // (paper Section 2.1).
+    let xml = "<library><book><title>TCS</title><loaned/></book>\
+               <book><title>VLDB03</title></book></library>";
+    let mut db = Database::from_xml_str(xml)?;
+
+    // --- TMNF (the Arb surface syntax, paper Section 2.2) --------------
+    // Select books that are NOT loaned: a universal condition, expressed
+    // with a sibling scan over the children list.
+    let tmnf = "
+        # NotLoanedFromRight(y): y and all following siblings are not 'loaned'.
+        NFR :- -Label[loaned], LastSibling;
+        FS :- NFR.invNextSibling;
+        NFR :- -Label[loaned], FS;
+        NoLoanedChild :- Leaf;
+        NoLoanedChild :- NFR.invFirstChild;
+        QUERY :- NoLoanedChild, Label[book];
+    ";
+    let q: Query = db.compile_tmnf(tmnf)?;
+    let outcome = db.evaluate(&q)?;
+    println!("TMNF: {} book(s) not loaned", outcome.stats.selected);
+
+    // --- XPath (compiled to TMNF, then the same automata) --------------
+    let q = db.compile_xpath("//book[not(loaned)]")?;
+    let outcome = db.evaluate(&q)?;
+    println!("XPath: {} book(s) not loaned", outcome.stats.selected);
+
+    // --- Marked output (the engine's default mode, paper §6.3) ---------
+    let mut out = Vec::new();
+    db.evaluate_marked(&q, &mut out)?;
+    println!("marked: {}", String::from_utf8(out)?);
+
+    // --- Evaluation statistics (paper Figure 6 columns) ----------------
+    println!("\n{}", arb::core::EvalStats::table_header());
+    println!("{}", outcome.stats.table_row());
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Core XPath on the tree-automata engine: all structural axes and
+//! boolean conditions with negation (paper Section 1.3, item 1).
+//!
+//! ```sh
+//! cargo run --example xpath_demo
+//! ```
+
+use arb::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let xml = "<doc>\
+        <chapter id='1'><title>Intro</title><p>hello</p></chapter>\
+        <chapter id='2'><title>Theory</title><p>trees</p><p>automata</p></chapter>\
+        <appendix><title>Proofs</title></appendix>\
+    </doc>";
+    let mut db = Database::from_xml_str(xml)?;
+
+    let queries = [
+        // Downward.
+        "/doc/chapter/title",
+        "//p",
+        // Conditions with and/or/not — beyond any streaming fragment.
+        "//chapter[title and not(p)]",
+        "//chapter[p]/title",
+        // Upward and sideways axes.
+        "//title/parent::chapter",
+        "//chapter/following-sibling::appendix",
+        "//p[not(following-sibling::p)]",
+        "//title[ancestor::doc]",
+        // Document-order axes.
+        "//chapter/following::title",
+    ];
+    for src in queries {
+        match db.compile_xpath(src) {
+            Ok(q) => {
+                let outcome = db.evaluate(&q)?;
+                let nodes: Vec<u32> = outcome.selected.iter().map(|v| v.0).collect();
+                println!("{src:<45} -> {} node(s) {nodes:?}", outcome.stats.selected);
+            }
+            Err(e) => println!("{src:<45} -> error: {e}"),
+        }
+    }
+
+    // Marked output for one query.
+    let q = db.compile_xpath("//chapter[not(p)]")?;
+    let mut out = Vec::new();
+    db.evaluate_marked(&q, &mut out)?;
+    println!("\nmarked //chapter[not(p)]:\n{}", String::from_utf8(out)?);
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # arb — facade crate
+//!
+//! Re-exports the full Arb-rs workspace: a Rust reproduction of
+//! *"Efficient Processing of Expressive Node-Selecting Queries on XML Data
+//! in Secondary Storage: A Tree Automata-based Approach"* (Christoph Koch,
+//! VLDB 2003).
+//!
+//! See the crate-level docs of the individual subsystems:
+//!
+//! * [`tree`] — binary tree data model (paper §2.1)
+//! * [`xml`] — streaming XML (SAX) substrate
+//! * [`logic`] — propositional Horn programs, LTUR, residual programs (§4.1)
+//! * [`tmnf`] — the TMNF query language and caterpillar expressions (§2.2)
+//! * [`core`] — tree automata, STAs and two-phase evaluation (§3–4)
+//! * [`storage`] — the `.arb` secondary-storage model (§5)
+//! * [`xpath`] — Core XPath front end
+//! * [`datagen`] — workload generators for the evaluation (§6)
+//! * [`engine`] — the high-level query engine API
+
+pub use arb_core as core;
+pub use arb_datagen as datagen;
+pub use arb_engine as engine;
+pub use arb_logic as logic;
+pub use arb_storage as storage;
+pub use arb_tmnf as tmnf;
+pub use arb_tree as tree;
+pub use arb_xml as xml;
+pub use arb_xpath as xpath;
+
+pub use arb_engine::{Database, Engine, Query, QueryOutcome};

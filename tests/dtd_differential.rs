@@ -1,0 +1,72 @@
+//! Differential testing of DTD-conformance compilation: for random trees
+//! over the DTD's alphabet, the compiled TMNF program (evaluated naively
+//! *and* by the two-phase automata) must agree with the direct recursive
+//! checker on every node.
+
+use arb::core::evaluate_tree;
+use arb::tmnf::{conformance_program, naive, Dtd};
+use arb::tree::{BinaryTree, LabelTable, TreeBuilder};
+use proptest::prelude::*;
+
+const DTD_SRC: &str = "
+    a = (b, c?)*;
+    b = (#PCDATA | c)*;
+    c = EMPTY;
+";
+
+fn random_tree() -> impl Strategy<Value = (BinaryTree, LabelTable)> {
+    proptest::collection::vec((0..4u8, 0..3u8), 0..30).prop_map(|ops| {
+        let mut lt = LabelTable::new();
+        let tags = ["a", "b", "c"].map(|n| lt.intern(n).expect("label"));
+        let mut b = TreeBuilder::new();
+        b.open(tags[0]);
+        let mut depth = 1;
+        for (op, t) in ops {
+            match op {
+                0 if depth > 1 => {
+                    b.close();
+                    depth -= 1;
+                }
+                1 => b.text(b"w"),
+                2 => b.leaf(tags[t as usize]),
+                _ => {
+                    b.open(tags[t as usize]);
+                    depth += 1;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close();
+            depth -= 1;
+        }
+        (b.finish().expect("balanced"), lt)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_conformance_agrees_with_checker((tree, lt) in random_tree()) {
+        let dtd = Dtd::parse(DTD_SRC).expect("dtd");
+        let expected = dtd.check_tree(&tree, &lt);
+        let mut labels = lt.clone();
+        let prog = conformance_program(&dtd, &mut labels);
+        let conf = prog.query_pred().expect("Conf");
+
+        let fixpoint = naive::evaluate(&prog, &tree);
+        let two = evaluate_tree(&prog, &tree);
+        for v in tree.nodes() {
+            prop_assert_eq!(
+                fixpoint.holds(conf, v),
+                expected.contains(v),
+                "naive at node {}", v.0
+            );
+            prop_assert_eq!(
+                two.holds(conf, v),
+                expected.contains(v),
+                "two-phase at node {}", v.0
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper's Section 1.3 showcase queries as executable tests.
+
+use arb::tree::{LabelTable, NodeId, TreeBuilder};
+use arb::Database;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// §1.3 example 3 (counting part): select `publication` nodes whose
+/// subtree contains an even number of `page`-labeled nodes — verified
+/// against direct counting on random trees.
+#[test]
+fn even_pages_matches_direct_count() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for round in 0..20 {
+        // Random tree over {publication, page, other} tags.
+        let mut lt = LabelTable::new();
+        let tags = ["publication", "page", "other"].map(|n| lt.intern(n).unwrap());
+        let mut b = TreeBuilder::new();
+        b.open(tags[2]);
+        let mut depth = 1;
+        for _ in 0..rng.gen_range(0..60) {
+            match rng.gen_range(0..4) {
+                0 if depth > 1 => {
+                    b.close();
+                    depth -= 1;
+                }
+                1 => b.leaf(tags[rng.gen_range(0..3)]),
+                _ => {
+                    b.open(tags[rng.gen_range(0..3)]);
+                    depth += 1;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close();
+            depth -= 1;
+        }
+        let tree = b.finish().unwrap();
+
+        let mut db = Database::from_tree(tree.clone(), lt.clone());
+        let q = db.compile_tmnf(arb::tmnf::programs::EVEN_PAGES).unwrap();
+        let outcome = db.evaluate(&q).unwrap();
+
+        // Direct count: pages in each node's unranked subtree.
+        let page = lt.get("page").unwrap();
+        let publication = lt.get("publication").unwrap();
+        let n = tree.len();
+        // pages_below[v] = #page nodes in v's unranked subtree (incl. v).
+        let mut pages = vec![0u32; n];
+        for ix in (0..n as u32).rev() {
+            let v = NodeId(ix);
+            let own = u32::from(tree.label(v) == page);
+            let below: u32 = tree
+                .unranked_children(v)
+                .iter()
+                .map(|c| pages[c.ix()])
+                .sum();
+            pages[ix as usize] = own + below;
+        }
+        for v in tree.nodes() {
+            let expect = tree.label(v) == publication && pages[v.ix()] % 2 == 0;
+            assert_eq!(
+                outcome.selected.contains(v),
+                expect,
+                "round {round}, node {} ({} pages)",
+                v.0,
+                pages[v.ix()]
+            );
+        }
+    }
+}
+
+/// §1.3 example 2 (structural part): genes with a `sequence` child whose
+/// text contains a given substring — via the XPath `contains-text`
+/// extension, checked both polarities.
+#[test]
+fn gene_sequence_substring() {
+    let xml = "<db>\
+        <gene><sequence>TTACCGTAA</sequence></gene>\
+        <gene><sequence>GGGG</sequence></gene>\
+        <gene><note>ACCGT</note></gene>\
+    </db>";
+    let mut db = Database::from_xml_str(xml).unwrap();
+    let q = db
+        .compile_xpath("//gene[sequence[contains-text(\"ACCGT\")]]")
+        .unwrap();
+    let outcome = db.evaluate(&q).unwrap();
+    assert_eq!(outcome.stats.selected, 1);
+    let q = db
+        .compile_xpath("//gene[not(sequence[contains-text(\"ACCGT\")])]")
+        .unwrap();
+    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
+}
+
+/// §1.3 example 1: upward and sideways axes with boolean conditions —
+/// the fragment streaming processors cannot express.
+#[test]
+fn upward_sideways_boolean() {
+    let xml = "<s><np/><vp><np/><pp/></vp><np/></s>";
+    let mut db = Database::from_xml_str(xml).unwrap();
+    // NPs whose parent is a VP containing a PP, with a following sibling.
+    let q = db
+        .compile_xpath("//np[parent::vp[pp] and following-sibling::node()]")
+        .unwrap();
+    let outcome = db.evaluate(&q).unwrap();
+    assert_eq!(outcome.selected.to_vec(), vec![NodeId(3)]);
+}
+
+/// §1.3 example 4 is covered by `tests/dtd_differential.rs` and the
+/// `dtd_conformance` example; this smoke test ties it to the engine.
+#[test]
+fn dtd_conformance_via_engine() {
+    let dtd = arb::tmnf::Dtd::parse("r = (x*); x = EMPTY;").unwrap();
+    let db = Database::from_xml_str("<r><x/><x/></r>").unwrap();
+    let mut labels = db.labels().clone();
+    let prog = arb::tmnf::conformance_program(&dtd, &mut labels);
+    let res = arb::core::evaluate_tree(&prog, &db.to_tree().unwrap());
+    let conf = prog.query_pred().unwrap();
+    assert!(res.holds(conf, NodeId(0)));
+}

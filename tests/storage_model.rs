@@ -1,0 +1,147 @@
+//! Property tests for the storage model (paper Section 5):
+//! XML → `.evt` → backward pass → `.arb` creation, Proposition 5.1
+//! traversals, and marked-output roundtrips.
+
+use arb::storage::{create_from_xml, ArbDatabase};
+use arb::tree::{LabelId, LabelTable, NodeId, TreeBuilder};
+use arb::xml::{str_to_tree, XmlConfig};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "arb-sm-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&d).expect("tmp dir");
+    d.join(name)
+}
+
+/// Strategy: a random small XML document.
+fn random_xml() -> impl Strategy<Value = String> {
+    // Build documents from nesting ops to guarantee well-formedness.
+    proptest::collection::vec((0..3u8, 0..3usize, "[a-z]{1,4}"), 0..30).prop_map(|ops| {
+        let tags = ["x", "y", "z"];
+        let mut out = String::from("<r>");
+        let mut stack: Vec<&str> = vec![];
+        for (op, t, text) in ops {
+            match op {
+                0 => {
+                    let tag = tags[t % 3];
+                    out.push_str(&format!("<{tag}>"));
+                    stack.push(tag);
+                }
+                1 => {
+                    if let Some(tag) = stack.pop() {
+                        out.push_str(&format!("</{tag}>"));
+                    }
+                }
+                _ => out.push_str(&text),
+            }
+        }
+        while let Some(tag) = stack.pop() {
+            out.push_str(&format!("</{tag}>"));
+        }
+        out.push_str("</r>");
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two-pass database creation produces exactly the binary tree
+    /// the direct in-memory parser produces, record for record.
+    #[test]
+    fn creation_equals_direct_parse(xml in random_xml()) {
+        let path = tmp("c.arb");
+        let (stats, labels) =
+            create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path)
+                .expect("create");
+        let db = ArbDatabase::open(&path).expect("open");
+        let tree = db.to_tree().expect("reconstruct");
+
+        let mut lt = LabelTable::new();
+        let direct = str_to_tree(&xml, &mut lt).expect("parse");
+        prop_assert_eq!(tree.len(), direct.len());
+        prop_assert_eq!(stats.nodes(), direct.len() as u64);
+        for v in tree.nodes() {
+            prop_assert_eq!(tree.has_first(v), direct.has_first(v));
+            prop_assert_eq!(tree.has_second(v), direct.has_second(v));
+            prop_assert_eq!(
+                labels.name(tree.label(v)).into_owned(),
+                lt.name(direct.label(v)).into_owned()
+            );
+        }
+        // Paper file-size invariants: .arb = 2 bytes/node, .evt = 2×.
+        prop_assert_eq!(stats.arb_bytes, stats.nodes() * 2);
+        prop_assert_eq!(stats.evt_bytes, stats.arb_bytes * 2);
+    }
+
+    /// Unmarked output reproduces an equivalent document (reparse equal).
+    #[test]
+    fn emit_reparse_roundtrip(xml in random_xml()) {
+        let mut lt = LabelTable::new();
+        let tree = str_to_tree(&xml, &mut lt).expect("parse");
+        let out = arb::xml::writer::tree_to_string(&tree, &lt);
+        let mut lt2 = LabelTable::new();
+        let tree2 = str_to_tree(&out, &mut lt2).expect("reparse");
+        prop_assert_eq!(tree.parts(), tree2.parts());
+    }
+}
+
+/// Figure-1 sanity: the stored record order is document order, and the
+/// label file uses the (i − 255)-th whitespace-separated entry scheme.
+#[test]
+fn lab_file_format_matches_paper() {
+    let xml = "<beta><alpha/><gamma/></beta>";
+    let path = tmp("lab.arb");
+    create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path).unwrap();
+    let lab = std::fs::read_to_string(path.with_extension("lab")).unwrap();
+    let entries: Vec<&str> = lab.split_whitespace().collect();
+    // First-seen order: beta=256, alpha=257, gamma=258.
+    assert_eq!(entries, vec!["beta", "alpha", "gamma"]);
+    let db = ArbDatabase::open(&path).unwrap();
+    assert_eq!(db.labels().name(LabelId(256)), "beta");
+    assert_eq!(db.labels().name(LabelId(258)), "gamma");
+}
+
+/// A unicode/entity-heavy document survives the whole pipeline.
+#[test]
+fn entities_and_bytes_roundtrip() {
+    let xml = "<t>a&amp;b&lt;c&gt;d&#65;</t>";
+    let path = tmp("ent.arb");
+    create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &path).unwrap();
+    let db = ArbDatabase::open(&path).unwrap();
+    let tree = db.to_tree().unwrap();
+    assert_eq!(tree.text_of_children(NodeId(0)), "a&b<c>dA");
+}
+
+/// Depth stress: a 50k-deep nesting chain must not overflow any stack
+/// (builders and traversals are iterative).
+#[test]
+fn deep_nesting_is_iterative() {
+    let mut lt = LabelTable::new();
+    let a = lt.intern("d").unwrap();
+    let mut b = TreeBuilder::new();
+    let depth = 50_000;
+    for _ in 0..depth {
+        b.open(a);
+    }
+    for _ in 0..depth {
+        b.close();
+    }
+    let tree = b.finish().unwrap();
+    let path = tmp("deep.arb");
+    arb::storage::create_from_tree(&tree, &lt, &path).unwrap();
+    let db = ArbDatabase::open(&path).unwrap();
+    let rebuilt = db.to_tree().unwrap();
+    assert_eq!(rebuilt.len(), depth);
+    // And a query runs over it.
+    let mut database = arb::Database::open_arb(&path).unwrap();
+    let q = database.compile_tmnf("QUERY :- Leaf;").unwrap();
+    let outcome = database.evaluate(&q).unwrap();
+    assert_eq!(outcome.stats.selected, 1);
+}

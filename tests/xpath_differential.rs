@@ -1,0 +1,179 @@
+//! Differential testing of the Core XPath pipeline: for random trees and
+//! a diverse query pool, the **direct node-at-a-time evaluator**, the
+//! **naive datalog fixpoint** of the compiled TMNF, and the **two-phase
+//! automaton run** must all select the same nodes.
+
+use arb::core::evaluate_tree;
+use arb::tmnf::naive;
+use arb::tree::{BinaryTree, LabelId, LabelTable, TreeBuilder};
+use arb::xpath::{compile_path, parse_xpath, DirectEvaluator};
+use proptest::prelude::*;
+
+const QUERIES: &[&str] = &[
+    "//a",
+    "/r/a",
+    "//a/b",
+    "//a//b",
+    "//*[a]",
+    "//*[not(a)]",
+    "//a[b and not(c)]",
+    "//a[b or c]",
+    "//b/..",
+    "//b/parent::a",
+    "//b/ancestor::*",
+    "//a/descendant-or-self::b",
+    "//b/following-sibling::*",
+    "//b/preceding-sibling::a",
+    "//c/following::b",
+    "//c/preceding::node()",
+    "//a[not(.//c)]",
+    "//a[not(following::b)]",
+    "//text()",
+    "//*[text()]",
+    "//a[//c]",
+    "//a[not(//missing)]",
+    "//*[not(ancestor::b)]",
+    "//a/self::a[b]",
+    "//*[b][not(c)]",
+    "//a[contains-text(\"t\")]",
+    "//*[not(contains-text(\"tt\"))]",
+];
+
+/// Union queries, tested against the union of direct evaluations.
+const UNION_QUERIES: &[&str] = &["//a | //b", "/r/a | //c[not(a)] | //text()"];
+
+fn random_tree() -> impl Strategy<Value = (BinaryTree, LabelTable)> {
+    proptest::collection::vec((0..4u8, 0..3u16), 0..35).prop_map(|ops| {
+        let mut lt = LabelTable::new();
+        let r = lt.intern("r").expect("label");
+        for n in ["a", "b", "c"] {
+            lt.intern(n).expect("label");
+        }
+        let mut b = TreeBuilder::new();
+        b.open(r);
+        let mut depth = 1;
+        for (op, l) in ops {
+            match op {
+                0 if depth > 1 => {
+                    b.close();
+                    depth -= 1;
+                }
+                1 => b.text(b"t"),
+                2 => b.leaf(LabelId(257 + l)),
+                _ => {
+                    b.open(LabelId(257 + l));
+                    depth += 1;
+                }
+            }
+        }
+        while depth > 0 {
+            b.close();
+            depth -= 1;
+        }
+        (b.finish().expect("balanced"), lt)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn direct_naive_and_automata_agree((tree, lt) in random_tree()) {
+        for src in QUERIES {
+            let path = parse_xpath(src).expect("parse");
+            let mut labels = lt.clone();
+            let prog = compile_path(&path, &mut labels);
+            let q = prog.query_pred().expect("query pred");
+
+            let mut direct = DirectEvaluator::new(&tree, &labels);
+            let expected = direct.evaluate(&path);
+
+            let fixpoint = naive::evaluate(&prog, &tree);
+            let two = evaluate_tree(&prog, &tree);
+            for v in tree.nodes() {
+                prop_assert_eq!(
+                    fixpoint.holds(q, v),
+                    expected.contains(v),
+                    "{} at node {} (naive vs direct)", src, v.0
+                );
+                prop_assert_eq!(
+                    two.holds(q, v),
+                    expected.contains(v),
+                    "{} at node {} (two-phase vs direct)", src, v.0
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unions_agree((tree, lt) in random_tree()) {
+        for src in UNION_QUERIES {
+            let paths = arb::xpath::parse_xpath_union(src).expect("parse");
+            let mut labels = lt.clone();
+            let prog = arb::xpath::compile_union(&paths, &mut labels);
+            let q = prog.query_pred().expect("query pred");
+            let fixpoint = naive::evaluate(&prog, &tree);
+
+            let mut direct = DirectEvaluator::new(&tree, &labels);
+            let mut expected = arb::tree::NodeSet::new(tree.len());
+            for p in &paths {
+                expected.union_with(&direct.evaluate(p));
+            }
+            for v in tree.nodes() {
+                prop_assert_eq!(
+                    fixpoint.holds(q, v),
+                    expected.contains(v),
+                    "{} at node {}", src, v.0
+                );
+            }
+        }
+    }
+}
+
+/// De Morgan consistency: `not(a or b)` ≡ `not(a) and not(b)` and double
+/// negation elimination, via the pos/neg pair compilation.
+#[test]
+fn negation_laws() {
+    let mut lt = LabelTable::new();
+    for n in ["r", "a", "b", "c"] {
+        lt.intern(n).unwrap();
+    }
+    let mut b = TreeBuilder::new();
+    b.open(LabelId(256));
+    b.open(LabelId(257));
+    b.leaf(LabelId(258));
+    b.close();
+    b.open(LabelId(257));
+    b.leaf(LabelId(259));
+    b.close();
+    b.leaf(LabelId(257));
+    b.close();
+    let tree = b.finish().unwrap();
+
+    let pairs = [
+        ("//*[not(b or c)]", "//*[not(b) and not(c)]"),
+        ("//*[not(not(b))]", "//*[b]"),
+        ("//*[not(b and c)]", "//*[not(b) or not(c)]"),
+    ];
+    for (lhs, rhs) in pairs {
+        let mut l1 = lt.clone();
+        let p1 = compile_path(&parse_xpath(lhs).unwrap(), &mut l1);
+        let mut l2 = lt.clone();
+        let p2 = compile_path(&parse_xpath(rhs).unwrap(), &mut l2);
+        let r1 = naive::evaluate(&p1, &tree);
+        let r2 = naive::evaluate(&p2, &tree);
+        let (q1, q2) = (p1.query_pred().unwrap(), p2.query_pred().unwrap());
+        for v in tree.nodes() {
+            assert_eq!(
+                r1.holds(q1, v),
+                r2.holds(q2, v),
+                "{lhs} vs {rhs} at node {}",
+                v.0
+            );
+        }
+    }
+}
