@@ -27,10 +27,17 @@ fn contract_program(k: u32) -> Program {
         rules.push(Rule::new(Atom::local(i), vec![Atom::sup1(i)]));
         for j in 0..4 {
             let from = Atom::sup1(k + i * 5 + j);
-            let to = if j == 0 { Atom::sup1(i) } else { Atom::sup1(k + i * 5 + j - 1) };
+            let to = if j == 0 {
+                Atom::sup1(i)
+            } else {
+                Atom::sup1(k + i * 5 + j - 1)
+            };
             rules.push(Rule::new(to, vec![from]));
         }
-        rules.push(Rule::new(Atom::sup1(k + i * 5 + 3), vec![Atom::local(k + i)]));
+        rules.push(Rule::new(
+            Atom::sup1(k + i * 5 + 3),
+            vec![Atom::local(k + i)],
+        ));
     }
     Program::canonical(rules)
 }

@@ -14,7 +14,11 @@ use arb_logic::ProgramId;
 use arb_tree::NodeId;
 use std::time::Instant;
 
-fn run_once(prog: &arb_tmnf::CoreProgram, tree: &arb_tree::BinaryTree, cache: bool) -> (f64, u64, QueryAutomata) {
+fn run_once(
+    prog: &arb_tmnf::CoreProgram,
+    tree: &arb_tree::BinaryTree,
+    cache: bool,
+) -> (f64, u64, QueryAutomata) {
     let mut qa = QueryAutomata::new(prog);
     qa.set_cache_enabled(cache);
     let t = Instant::now();
@@ -53,14 +57,21 @@ fn main() {
     ] {
         let db = mkdb();
         let tree = db.db.to_tree().expect("materialize");
-        let q = RandomPathQuery::batch(1, 7, alphabet, shape, 3).pop().expect("query");
+        let q = RandomPathQuery::batch(1, 7, alphabet, shape, 3)
+            .pop()
+            .expect("query");
         let mut labels = db.labels.clone();
         let prog = bench::compile_query(&q, r, &mut labels);
         let (t_c, tr_c, qa) = run_once(&prog, &tree, true);
         let (t_u, tr_u, _) = run_once(&prog, &tree, false);
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12} {:>12} {:>8.1}x",
-            name, t_c, t_u, tr_c, tr_u, t_u / t_c
+            name,
+            t_c,
+            t_u,
+            tr_c,
+            tr_u,
+            t_u / t_c
         );
 
         // Ablation 2: residual program size distribution.

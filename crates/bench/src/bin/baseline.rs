@@ -48,8 +48,15 @@ fn main() {
         let dsel = direct.evaluate(&path);
         let direct_t = t.elapsed();
 
-        assert_eq!(outcome.stats.selected, naive_count, "{src}: oracle mismatch");
-        assert_eq!(outcome.stats.selected, dsel.count() as u64, "{src}: direct mismatch");
+        assert_eq!(
+            outcome.stats.selected, naive_count,
+            "{src}: oracle mismatch"
+        );
+        assert_eq!(
+            outcome.stats.selected,
+            dsel.count() as u64,
+            "{src}: direct mismatch"
+        );
         println!(
             "{:<32} {:>12.2} {:>12.2} {:>12.2} {:>10}",
             src,

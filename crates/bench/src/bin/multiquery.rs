@@ -56,8 +56,7 @@ fn main() {
         }
         // Per-predicate counts must agree between the two strategies.
         assert_eq!(
-            combined.per_pred_counts,
-            sep_counts,
+            combined.per_pred_counts, sep_counts,
             "combined vs separate selection mismatch"
         );
         println!(

@@ -27,7 +27,11 @@ fn main() {
     let t = Instant::now();
     let seq = evaluate_tree(&prog, &tree);
     let t_seq = t.elapsed();
-    println!("sequential: {:>8.2} ms  (selected {})", t_seq.as_secs_f64() * 1e3, seq.stats.selected);
+    println!(
+        "sequential: {:>8.2} ms  (selected {})",
+        t_seq.as_secs_f64() * 1e3,
+        seq.stats.selected
+    );
 
     for threads in [1usize, 2, 4, 8] {
         let t = Instant::now();

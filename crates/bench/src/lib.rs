@@ -44,10 +44,7 @@ pub fn size_range() -> (usize, usize) {
         Ok(v) => {
             let parts: Vec<&str> = v.split("..=").collect();
             match parts.as_slice() {
-                [lo, hi] => (
-                    lo.parse().unwrap_or(5),
-                    hi.parse().unwrap_or(15),
-                ),
+                [lo, hi] => (lo.parse().unwrap_or(5), hi.parse().unwrap_or(15)),
                 _ => (5, 15),
             }
         }
@@ -266,11 +263,8 @@ pub fn fig5_entry(name: &str, tree: &BinaryTree, labels: &LabelTable) -> Creatio
         1 << 20,
         std::fs::File::open(&xml_path).expect("open xml"),
     );
-    let (stats, _labels) = arb_storage::create_from_xml(
-        reader,
-        &arb_xml::XmlConfig::default(),
-        &arb_path,
-    )
-    .expect("create database");
+    let (stats, _labels) =
+        arb_storage::create_from_xml(reader, &arb_xml::XmlConfig::default(), &arb_path)
+            .expect("create database");
     stats
 }

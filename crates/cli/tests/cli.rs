@@ -23,13 +23,23 @@ fn cli_smoke() {
         String::from_utf8(out.stdout).unwrap()
     };
 
-    let out = run(&["create", xml_path.to_str().unwrap(), arb_path.to_str().unwrap()]);
+    let out = run(&[
+        "create",
+        xml_path.to_str().unwrap(),
+        arb_path.to_str().unwrap(),
+    ]);
     assert!(out.contains("elem nodes"));
 
     let out = run(&["stats", arb_path.to_str().unwrap()]);
     assert!(out.contains("nodes:  4"));
 
-    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k", "--count"]);
+    let out = run(&[
+        "query",
+        arb_path.to_str().unwrap(),
+        "--xpath",
+        "//k",
+        "--count",
+    ]);
     assert!(out.contains("2 nodes selected"));
 
     let out = run(&[
@@ -46,15 +56,33 @@ fn cli_smoke() {
     let out = run(&["cat", arb_path.to_str().unwrap()]);
     assert!(out.contains("<d><k>v</k><k></k></d>"));
 
-    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k[not(text())]", "--mark"]);
+    let out = run(&[
+        "query",
+        arb_path.to_str().unwrap(),
+        "--xpath",
+        "//k[not(text())]",
+        "--mark",
+    ]);
     assert!(out.contains("<k arb:selected=\"true\"></k>"));
 
     let out = run(&["check", arb_path.to_str().unwrap()]);
     assert!(out.contains("OK: 4 nodes"), "output: {out}");
 
-    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//k", "--boolean"]);
+    let out = run(&[
+        "query",
+        arb_path.to_str().unwrap(),
+        "--xpath",
+        "//k",
+        "--boolean",
+    ]);
     assert!(out.contains("reject"), "root is not a k: {out}");
-    let out = run(&["query", arb_path.to_str().unwrap(), "--xpath", "//d[k]", "--boolean"]);
+    let out = run(&[
+        "query",
+        arb_path.to_str().unwrap(),
+        "--xpath",
+        "//d[k]",
+        "--boolean",
+    ]);
     assert!(out.contains("accept"), "output: {out}");
 
     // Errors are reported, not panicked.

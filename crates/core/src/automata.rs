@@ -48,7 +48,9 @@ impl Nta {
             let v = NodeId(v);
             let mut next: Vec<Vec<Option<State>>> = Vec::new();
             for partial in &partials {
-                let s1 = tree.first_child(v).map(|c| partial[c.ix()].expect("child assigned"));
+                let s1 = tree
+                    .first_child(v)
+                    .map(|c| partial[c.ix()].expect("child assigned"));
                 let s2 = tree
                     .second_child(v)
                     .map(|c| partial[c.ix()].expect("child assigned"));
@@ -126,7 +128,11 @@ pub struct Dta {
 impl Dta {
     /// The unique run on a tree: state per node (preorder-indexed).
     /// Returns `None` if a transition is missing (partial table).
-    pub fn run(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> Option<Vec<State>> {
+    pub fn run(
+        &self,
+        tree: &BinaryTree,
+        symbol_of: &dyn Fn(NodeId) -> Symbol,
+    ) -> Option<Vec<State>> {
         let n = tree.len();
         let mut states = vec![0 as State; n];
         for v in (0..n as u32).rev() {
@@ -163,7 +169,11 @@ impl TopDown {
     /// for a child transition is the **child's** symbol (matching the
     /// paper's phase 2, where `Σ_B = Q_A` labels each node with its
     /// phase-1 state). Returns `None` on a missing transition.
-    pub fn run(&self, tree: &BinaryTree, symbol_of: &dyn Fn(NodeId) -> Symbol) -> Option<Vec<State>> {
+    pub fn run(
+        &self,
+        tree: &BinaryTree,
+        symbol_of: &dyn Fn(NodeId) -> Symbol,
+    ) -> Option<Vec<State>> {
         let n = tree.len();
         let mut states = vec![0 as State; n];
         states[0] = self.start;

@@ -191,10 +191,13 @@ impl QueryAutomata {
         self.td_transitions += 1;
 
         // P := downward_rules_k ∪ PredsAsRules(parent_preds) ∪ PushDown_k(P_res)
-        let downward: &[Rule] = if k == 1 { &self.pl.down1 } else { &self.pl.down2 };
-        let parent_facts = Program::preds_as_rules(
-            self.predsets.get(parent).atoms().iter().copied(),
-        );
+        let downward: &[Rule] = if k == 1 {
+            &self.pl.down1
+        } else {
+            &self.pl.down2
+        };
+        let parent_facts =
+            Program::preds_as_rules(self.predsets.get(parent).atoms().iter().copied());
         let pushed = self.programs.get(child).push_down(k);
         // S := TruePreds(LTUR(P)); return PushUpFrom_k(Preds_k(S)).
         // Only the derived facts are needed — the residual is discarded.
@@ -323,7 +326,12 @@ mod tests {
         // Example 4.7 top-down: {P1,Q} at v0; {P2,P5} at v1; {P3,P4} at v2.
         let b0 = qa.start_state(s0);
         let atoms = |s: PredSetId, qa: &QueryAutomata| -> Vec<u32> {
-            qa.predsets.get(s).atoms().iter().map(|a| a.pred()).collect()
+            qa.predsets
+                .get(s)
+                .atoms()
+                .iter()
+                .map(|a| a.pred())
+                .collect()
         };
         assert_eq!(atoms(b0, &qa), vec![id("P1"), id("Q")]);
         let b1 = qa.top_down(b0, s1, 1);

@@ -219,9 +219,7 @@ mod tests {
             let _ = states;
             for s1 in [None, Some(0), Some(1)] {
                 for s2 in [None, Some(0), Some(1)] {
-                    let seen = self_seen
-                        || s1 == Some(1)
-                        || s2 == Some(1);
+                    let seen = self_seen || s1 == Some(1) || s2 == Some(1);
                     delta.insert((s1, s2, sym), vec![u32::from(seen)]);
                 }
             }
@@ -241,10 +239,7 @@ mod tests {
             (tree(&[]), false),
             (tree(&[(true, 1), (false, 0)]), true),
             (tree(&[(true, 0), (false, 0), (true, 0), (false, 0)]), false),
-            (
-                tree(&[(true, 0), (true, 1), (false, 0), (false, 0)]),
-                true,
-            ),
+            (tree(&[(true, 0), (true, 1), (false, 0), (false, 0)]), true),
         ];
         for (t, expect) in cases {
             let f = symf(&t);

@@ -50,11 +50,7 @@ fn frontier(tree: &BinaryTree, ends: &[u32], target: usize) -> Vec<NodeId> {
     let min_piece = (n / (target as u32 * 4)).max(512);
     while pieces.len() < target {
         // Split the largest piece into its children.
-        let (i, &v) = match pieces
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| size(v))
-        {
+        let (i, &v) = match pieces.iter().enumerate().max_by_key(|(_, &v)| size(v)) {
             Some(x) => x,
             None => break,
         };
@@ -127,8 +123,7 @@ pub fn evaluate_tree_parallel(
                             let s2 = tree
                                 .second_child(v)
                                 .map(|c| ProgramId(local[(c.0 - lo) as usize]));
-                            local[(ix - lo) as usize] =
-                                wqa.bottom_up(s1, s2, tree.info(v)).0;
+                            local[(ix - lo) as usize] = wqa.bottom_up(s1, s2, tree.info(v)).0;
                         }
                         // Export only this subtree's ids; the table is
                         // shared across the worker's subtrees, export once
@@ -232,14 +227,12 @@ pub fn evaluate_tree_parallel(
                         let hi = ends[root.ix()];
                         let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
                         // The root's predicate set comes from the master.
-                        let root_set =
-                            master_predsets.get(rho_b_snapshot[root.ix()]).clone();
+                        let root_set = master_predsets.get(rho_b_snapshot[root.ix()]).clone();
                         local[0] = wqa.predsets.intern(root_set).0;
                         for ix in lo..hi {
                             let v = NodeId(ix);
                             let q = PredSetId(local[(ix - lo) as usize]);
-                            for (k, c) in [(1u8, tree.first_child(v)), (2, tree.second_child(v))]
-                            {
+                            for (k, c) in [(1u8, tree.first_child(v)), (2, tree.second_child(v))] {
                                 let Some(c) = c else { continue };
                                 let m = rho_a[c.ix()].0 as usize;
                                 if a_map[m] == u32::MAX {

@@ -52,9 +52,7 @@ impl<'p> Sta<'p> {
         let has = |mask: u32, p: PredId| mask & (1 << p) != 0;
         for r in self.prog.rules() {
             let ok = match *r {
-                CoreRule::Edb { head, edb } => {
-                    !self.prog.edb_atom(edb).eval(info) || has(q, head)
-                }
+                CoreRule::Edb { head, edb } => !self.prog.edb_atom(edb).eval(info) || has(q, head),
                 CoreRule::And { head, b1, b2 } => {
                     let truth = |a: BodyAtom| match a {
                         BodyAtom::Pred(p) => has(q, p),

@@ -52,12 +52,14 @@ pub fn acgt_infix_tree(seq: &[LabelId], labels: &mut LabelTable) -> BinaryTree {
         .collect();
     let tagged: Vec<LabelId> = seq
         .iter()
-        .map(|l| tags[match l.text_byte().expect("char label") {
-            b'A' => 0,
-            b'C' => 1,
-            b'G' => 2,
-            _ => 3,
-        }])
+        .map(|l| {
+            tags[match l.text_byte().expect("char label") {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                _ => 3,
+            }]
+        })
         .collect();
     infix::infix_tree(root, &tagged)
 }
@@ -86,10 +88,9 @@ mod tests {
         assert_eq!(a.len(), 1023);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.iter().all(|l| matches!(
-            l.text_byte(),
-            Some(b'A' | b'C' | b'G' | b'T')
-        )));
+        assert!(a
+            .iter()
+            .all(|l| matches!(l.text_byte(), Some(b'A' | b'C' | b'G' | b'T'))));
     }
 
     #[test]
@@ -106,10 +107,7 @@ mod tests {
             .iter()
             .map(|l| lt.name(*l).into_owned())
             .collect();
-        let seq_names: String = seq
-            .iter()
-            .map(|l| l.text_byte().unwrap() as char)
-            .collect();
+        let seq_names: String = seq.iter().map(|l| l.text_byte().unwrap() as char).collect();
         assert_eq!(infix_names, seq_names);
         // Depths: flat is right-deep, infix is logarithmic.
         assert_eq!(infix::binary_depth(&flat), seq.len() + 1);

@@ -138,10 +138,23 @@ mod tests {
     fn sizes_are_respected() {
         let mut rng = StdRng::seed_from_u64(1);
         for size in 3..=15 {
-            let q = RandomPathQuery::random(size, &["NP", "VP", "PP", "S"], RegexShape::Tags, &mut rng);
+            let q =
+                RandomPathQuery::random(size, &["NP", "VP", "PP", "S"], RegexShape::Tags, &mut rng);
             assert_eq!(q.size(), size);
             assert!(!q.w1.is_empty() && !q.w2.is_empty() && !q.w3.is_empty());
         }
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let alphabet = &["NP", "VP", "PP", "S"];
+        let a = RandomPathQuery::batch(25, 7, alphabet, RegexShape::Tags, 42);
+        let b = RandomPathQuery::batch(25, 7, alphabet, RegexShape::Tags, 42);
+        let c = RandomPathQuery::batch(25, 7, alphabet, RegexShape::Tags, 43);
+        assert_eq!(a.len(), 25);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|q| q.size() == 7));
     }
 
     #[test]
@@ -172,13 +185,5 @@ mod tests {
         let p = q.to_program(R_BOTTOM_UP);
         assert!(p.contains("Label['A']"));
         assert!(p.contains("invNextSibling"));
-    }
-
-    #[test]
-    fn batches_are_deterministic() {
-        let a = RandomPathQuery::batch(25, 7, &["A", "C", "G", "T"], RegexShape::Chars, 9);
-        let b = RandomPathQuery::batch(25, 7, &["A", "C", "G", "T"], RegexShape::Chars, 9);
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 25);
     }
 }

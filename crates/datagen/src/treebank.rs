@@ -37,8 +37,26 @@ impl Default for TreebankConfig {
 }
 
 const WORDS: &[&str] = &[
-    "the", "a", "market", "stock", "price", "company", "shares", "trading", "investors", "rose",
-    "fell", "said", "new", "year", "million", "percent", "bank", "rates", "analyst", "report",
+    "the",
+    "a",
+    "market",
+    "stock",
+    "price",
+    "company",
+    "shares",
+    "trading",
+    "investors",
+    "rose",
+    "fell",
+    "said",
+    "new",
+    "year",
+    "million",
+    "percent",
+    "bank",
+    "rates",
+    "analyst",
+    "report",
 ];
 
 /// Generates a synthetic treebank as a binary tree (document root `TOP`).
@@ -58,7 +76,15 @@ pub fn treebank_tree(config: &TreebankConfig, labels: &mut LabelTable) -> Binary
     b.open(top);
     while elems < config.target_elems {
         // One sentence.
-        gen_phrase(&mut b, &mut rng, s, &[s, np, vp, pp], &fillers, 0, &mut elems);
+        gen_phrase(
+            &mut b,
+            &mut rng,
+            s,
+            &[s, np, vp, pp],
+            &fillers,
+            0,
+            &mut elems,
+        );
     }
     b.close();
     b.finish().expect("generator emits balanced documents")
@@ -117,10 +143,7 @@ mod tests {
         let t2 = treebank_tree(&cfg, &mut lt2);
         assert_eq!(t1.parts(), t2.parts());
         // Element count near target; plenty of char nodes.
-        let elems = t1
-            .nodes()
-            .filter(|&v| !t1.label(v).is_text())
-            .count();
+        let elems = t1.nodes().filter(|&v| !t1.label(v).is_text()).count();
         let chars = t1.len() - elems;
         assert!(elems >= 2000, "elems = {elems}");
         assert!(chars > elems, "chars = {chars}");

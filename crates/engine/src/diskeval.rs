@@ -20,8 +20,7 @@ use std::time::Instant;
 
 /// Per-node hook invoked during phase 2 (document order) with the node's
 /// record and its final true-predicate set — used for marked-XML output.
-pub type Phase2Hook<'a> =
-    &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet);
+pub type Phase2Hook<'a> = &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet);
 
 /// Evaluates a TMNF program over a disk database by the two-phase
 /// algorithm. Pass a `hook` to observe every node's predicates in
@@ -166,7 +165,7 @@ mod tests {
     use super::*;
     use arb_storage::create::create_from_xml;
     use arb_tmnf::{naive, normalize, parse_program};
-    
+
     use arb_xml::XmlConfig;
     use std::io::Cursor;
     use std::path::PathBuf;
@@ -200,7 +199,12 @@ mod tests {
         let oracle = naive::evaluate(&prog, &tree);
         let q = prog.pred_id("QUERY").unwrap();
         for v in tree.nodes() {
-            assert_eq!(outcome.selected.contains(v), oracle.holds(q, v), "node {}", v.0);
+            assert_eq!(
+                outcome.selected.contains(v),
+                oracle.holds(q, v),
+                "node {}",
+                v.0
+            );
         }
         // InSec covers only the *children* of sec elements; the only
         // character child of a sec is 'c' ('a','b' sit inside a p).

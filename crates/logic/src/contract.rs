@@ -102,15 +102,15 @@ mod tests {
     #[test]
     fn example_4_4() {
         let p = Program::canonical(vec![
-            Rule::new(l(0), vec![l(1), l(2)]),   // P0 <- P1 & P2
-            Rule::new(l(1), vec![s1(3)]),        // P1 <- P3^1
-            Rule::new(l(2), vec![s1(4)]),        // P2 <- P4^1
-            Rule::new(s1(3), vec![s1(5)]),       // P3^1 <- P5^1
-            Rule::new(s1(4), vec![s1(5), s1(6)]),// P4^1 <- P5^1 & P6^1
-            Rule::new(s1(5), vec![l(7)]),        // P5^1 <- P7
-            Rule::new(s1(6), vec![l(7), l(8)]),  // P6^1 <- P7 & P8
-            Rule::new(l(8), vec![s2(9), s2(10)]),// P8 <- P9^2 & P10^2
-            Rule::new(s2(9), vec![l(11)]),       // P9^2 <- P11
+            Rule::new(l(0), vec![l(1), l(2)]),    // P0 <- P1 & P2
+            Rule::new(l(1), vec![s1(3)]),         // P1 <- P3^1
+            Rule::new(l(2), vec![s1(4)]),         // P2 <- P4^1
+            Rule::new(s1(3), vec![s1(5)]),        // P3^1 <- P5^1
+            Rule::new(s1(4), vec![s1(5), s1(6)]), // P4^1 <- P5^1 & P6^1
+            Rule::new(s1(5), vec![l(7)]),         // P5^1 <- P7
+            Rule::new(s1(6), vec![l(7), l(8)]),   // P6^1 <- P7 & P8
+            Rule::new(l(8), vec![s2(9), s2(10)]), // P8 <- P9^2 & P10^2
+            Rule::new(s2(9), vec![l(11)]),        // P9^2 <- P11
         ]);
         let c = contract(&p);
         let expect = Program::canonical(vec![
@@ -127,11 +127,11 @@ mod tests {
     #[test]
     fn example_4_5_v1() {
         let p = Program::canonical(vec![
-            Rule::new(s1(1), vec![l(0)]), // P2^1 <- P1
-            Rule::new(s1(2), vec![l(1)]), // P3^1 <- P2
-            Rule::new(l(4), vec![s1(3)]), // P5 <- P4^1
-            Rule::new(l(5), vec![s1(4)]), // Q <- P5^1
-            Rule::new(s1(3), vec![s1(2)]),// P4^1 <- P3^1
+            Rule::new(s1(1), vec![l(0)]),  // P2^1 <- P1
+            Rule::new(s1(2), vec![l(1)]),  // P3^1 <- P2
+            Rule::new(l(4), vec![s1(3)]),  // P5 <- P4^1
+            Rule::new(l(5), vec![s1(4)]),  // Q <- P5^1
+            Rule::new(s1(3), vec![s1(2)]), // P4^1 <- P3^1
         ]);
         let c = contract(&p);
         let expect = Program::canonical(vec![Rule::new(l(4), vec![l(1)])]);

@@ -121,9 +121,7 @@ fn propagate(parts: &[&[Rule]], scratch: &mut LturScratch) {
             }
         }
     }
-    scratch
-        .watch_heads
-        .resize(max_atom as usize + 1, NO_RULE);
+    scratch.watch_heads.resize(max_atom as usize + 1, NO_RULE);
 
     // --- phase 1: unit propagation (compute M) ---------------------------
     let rule_at = |ix: u32| -> &Rule {
@@ -182,7 +180,6 @@ fn propagate(parts: &[&[Rule]], scratch: &mut LturScratch) {
             e = scratch.edge_next[e as usize];
         }
     }
-
 }
 
 /// Builds the residual rules from a propagated scratch.

@@ -86,7 +86,9 @@ fn write_events<R: BufRead>(
     loop {
         match parser.next_event().map_err(CreateError::Xml)? {
             XmlEvent::StartTag { name, attrs } => {
-                let l = labels.intern(&name).map_err(|e| CreateError::other(e.to_string()))?;
+                let l = labels
+                    .intern(&name)
+                    .map_err(|e| CreateError::other(e.to_string()))?;
                 out.write_all(&Event::Begin(l).to_bytes())?;
                 open_labels.push(l);
                 elem_nodes += 1;
@@ -367,11 +369,6 @@ mod tests {
     fn empty_document_rejected() {
         let dir = tmpdir();
         let arb = dir.join("t3.arb");
-        assert!(create_from_xml(
-            Cursor::new("".as_bytes()),
-            &XmlConfig::default(),
-            &arb
-        )
-        .is_err());
+        assert!(create_from_xml(Cursor::new("".as_bytes()), &XmlConfig::default(), &arb).is_err());
     }
 }

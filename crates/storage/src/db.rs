@@ -91,7 +91,10 @@ impl ArbDatabase {
 
     /// Opens a forward record scan (top-down traversal input).
     pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
-        Ok(ForwardScan::new(File::open(&self.arb_path)?, self.node_count))
+        Ok(ForwardScan::new(
+            File::open(&self.arb_path)?,
+            self.node_count,
+        ))
     }
 
     /// Opens a backward record scan (bottom-up traversal input).
@@ -168,12 +171,8 @@ mod tests {
     fn create_open_roundtrip() {
         let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
         let arb = tmp("db1.arb");
-        crate::create::create_from_xml(
-            Cursor::new(xml.as_bytes()),
-            &XmlConfig::default(),
-            &arb,
-        )
-        .unwrap();
+        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
+            .unwrap();
         let db = ArbDatabase::open(&arb).unwrap();
         assert_eq!(db.node_count(), 7);
         assert!(db.labels().get("doc").is_some());
@@ -186,10 +185,7 @@ mod tests {
         for v in tree.nodes() {
             assert_eq!(tree.has_first(v), direct.has_first(v));
             assert_eq!(tree.has_second(v), direct.has_second(v));
-            assert_eq!(
-                db.labels().name(tree.label(v)),
-                lt.name(direct.label(v))
-            );
+            assert_eq!(db.labels().name(tree.label(v)), lt.name(direct.label(v)));
         }
     }
 
@@ -197,12 +193,8 @@ mod tests {
     fn validate_accepts_good_and_rejects_corrupt() {
         let xml = "<doc><a>xy</a></doc>";
         let arb = tmp("dbv.arb");
-        crate::create::create_from_xml(
-            Cursor::new(xml.as_bytes()),
-            &XmlConfig::default(),
-            &arb,
-        )
-        .unwrap();
+        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
+            .unwrap();
         let db = ArbDatabase::open(&arb).unwrap();
         let report = db.validate().unwrap();
         assert_eq!(report.nodes, 4);

@@ -30,7 +30,11 @@ pub struct Profile {
 
 impl Profile {
     /// Top `k` tags by count, with names resolved.
-    pub fn top_tags<'a>(&self, db: &'a ArbDatabase, k: usize) -> Vec<(std::borrow::Cow<'a, str>, u64)> {
+    pub fn top_tags<'a>(
+        &self,
+        db: &'a ArbDatabase,
+        k: usize,
+    ) -> Vec<(std::borrow::Cow<'a, str>, u64)> {
         let mut v: Vec<(LabelId, u64)> = self.tag_counts.iter().map(|(&l, &c)| (l, c)).collect();
         v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v.truncate(k);

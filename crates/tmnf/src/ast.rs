@@ -82,9 +82,7 @@ impl Regex {
 
     /// Concatenates a sequence of expressions.
     pub fn seq(parts: impl IntoIterator<Item = Regex>) -> Regex {
-        parts
-            .into_iter()
-            .fold(Regex::Eps, Regex::cat)
+        parts.into_iter().fold(Regex::Eps, Regex::cat)
     }
 
     /// A move symbol.

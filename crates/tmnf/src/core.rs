@@ -228,17 +228,9 @@ impl CoreProgram {
                         CoreRule::And { head, b1, b2 } => {
                             let show = |a: &BodyAtom| match *a {
                                 BodyAtom::Pred(q) => p.pred_name(q).to_string(),
-                                BodyAtom::Edb(e) => {
-                                    p.edb_atom(e).display(self.1).to_string()
-                                }
+                                BodyAtom::Edb(e) => p.edb_atom(e).display(self.1).to_string(),
                             };
-                            writeln!(
-                                f,
-                                "{} :- {}, {};",
-                                p.pred_name(head),
-                                show(&b1),
-                                show(&b2)
-                            )?
+                            writeln!(f, "{} :- {}, {};", p.pred_name(head), show(&b1), show(&b2))?
                         }
                     }
                 }

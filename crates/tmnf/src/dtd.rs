@@ -288,9 +288,7 @@ impl DtdParser<'_> {
             while self.src.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
                 self.pos += 1;
             }
-            if self.src.get(self.pos) == Some(&b'#')
-                && self.src.get(self.pos + 1) != Some(&b'P')
-            {
+            if self.src.get(self.pos) == Some(&b'#') && self.src.get(self.pos + 1) != Some(&b'P') {
                 while self.src.get(self.pos).is_some_and(|&b| b != b'\n') {
                     self.pos += 1;
                 }

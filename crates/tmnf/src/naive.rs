@@ -70,10 +70,10 @@ pub fn evaluate(prog: &CoreProgram, tree: &BinaryTree) -> NaiveResult {
     }
 
     let derive = |extents: &mut Vec<NodeSet>,
-                      worklist: &mut Vec<(PredId, NodeId)>,
-                      derivations: &mut u64,
-                      p: PredId,
-                      v: NodeId| {
+                  worklist: &mut Vec<(PredId, NodeId)>,
+                  derivations: &mut u64,
+                  p: PredId,
+                  v: NodeId| {
         if extents[p as usize].insert(v) {
             *derivations += 1;
             worklist.push((p, v));

@@ -100,11 +100,7 @@ struct Gl {
     last: Vec<usize>,
 }
 
-fn glushkov(
-    r: &Regex,
-    positions: &mut Vec<StepSym>,
-    follow: &mut Vec<Vec<usize>>,
-) -> Gl {
+fn glushkov(r: &Regex, positions: &mut Vec<StepSym>, follow: &mut Vec<Vec<usize>>) -> Gl {
     match r {
         Regex::Eps => Gl {
             nullable: true,

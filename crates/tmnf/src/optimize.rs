@@ -96,9 +96,10 @@ fn copy_propagate(prog: &CoreProgram) -> CoreProgram {
             CoreRule::And { b1, b2, .. } => {
                 let (b1, b2) = (map_atom(b1), map_atom(b2));
                 let (b1, b2) = match (b1, b2) {
-                    (BodyAtom::Edb(e), BodyAtom::Edb(e2)) => {
-                        (BodyAtom::Edb(out.edb(prog.edb_atom(e))), BodyAtom::Edb(out.edb(prog.edb_atom(e2))))
-                    }
+                    (BodyAtom::Edb(e), BodyAtom::Edb(e2)) => (
+                        BodyAtom::Edb(out.edb(prog.edb_atom(e))),
+                        BodyAtom::Edb(out.edb(prog.edb_atom(e2))),
+                    ),
                     (BodyAtom::Edb(e), p) => (BodyAtom::Edb(out.edb(prog.edb_atom(e))), p),
                     (p, BodyAtom::Edb(e)) => (p, BodyAtom::Edb(out.edb(prog.edb_atom(e)))),
                     other => other,
@@ -236,10 +237,7 @@ mod tests {
     fn copy_chains_collapse() {
         let mut lt = LabelTable::new();
         // A <- copy of B <- copy of C.
-        let prog = compile(
-            "C :- Root; B :- C; A :- B; QUERY :- A.FirstChild;",
-            &mut lt,
-        );
+        let prog = compile("C :- Root; B :- C; A :- B; QUERY :- A.FirstChild;", &mut lt);
         let opt = optimize(&prog);
         // B and A vanish; QUERY :- C.FirstChild remains.
         assert!(opt.pred_count() <= 2);

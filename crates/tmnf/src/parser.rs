@@ -38,7 +38,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -141,7 +145,9 @@ impl<'a> Lexer<'a> {
         match self.peek() {
             Some(b'\'') => {
                 self.bump();
-                let c = self.bump().ok_or_else(|| self.err("unterminated character label"))?;
+                let c = self
+                    .bump()
+                    .ok_or_else(|| self.err("unterminated character label"))?;
                 if self.bump() != Some(b'\'') {
                     return Err(self.err("character label must be a single byte in quotes"));
                 }

@@ -40,10 +40,9 @@ impl PropLocal {
         for r in prog.rules() {
             match *r {
                 // (1)  X_i :- R   =>   X_i ← R
-                CoreRule::Edb { head, edb } => pl.local.push(Rule::new(
-                    Atom::local(head),
-                    vec![Atom::edb(edb)],
-                )),
+                CoreRule::Edb { head, edb } => pl
+                    .local
+                    .push(Rule::new(Atom::local(head), vec![Atom::edb(edb)])),
                 // (2)  X_i :- X_j, X_k   =>   X_i ← X_j ∧ X_k
                 // (operands may be EDB atoms, as in Example 4.3's
                 //  P4 ← P3 ∧ Leaf)
@@ -52,10 +51,8 @@ impl PropLocal {
                         BodyAtom::Pred(p) => Atom::local(p),
                         BodyAtom::Edb(e) => Atom::edb(e),
                     };
-                    pl.local.push(Rule::new(
-                        Atom::local(head),
-                        vec![atom(b1), atom(b2)],
-                    ))
+                    pl.local
+                        .push(Rule::new(Atom::local(head), vec![atom(b1), atom(b2)]))
                 }
                 // (3)/(4)  X_i :- X_j.invB   =>   X_i ← X_j^k
                 CoreRule::Up { head, body, k } => {
@@ -118,12 +115,14 @@ mod tests {
         assert!(pl.down2.is_empty());
         assert_eq!(pl.down1.len(), 2);
         assert_eq!(pl.left.len(), 4);
-        assert!(pl
-            .left
-            .contains(&Rule::new(Atom::sup1(id("P2")), vec![Atom::local(id("P1"))])));
-        assert!(pl
-            .left
-            .contains(&Rule::new(Atom::local(id("P5")), vec![Atom::sup1(id("P4"))])));
+        assert!(pl.left.contains(&Rule::new(
+            Atom::sup1(id("P2")),
+            vec![Atom::local(id("P1"))]
+        )));
+        assert!(pl.left.contains(&Rule::new(
+            Atom::local(id("P5")),
+            vec![Atom::sup1(id("P4"))]
+        )));
         assert!(pl
             .left
             .contains(&Rule::new(Atom::local(id("Q")), vec![Atom::sup1(id("P5"))])));

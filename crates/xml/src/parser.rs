@@ -117,9 +117,8 @@ impl<R: BufRead> XmlParser<R> {
     fn read_name(&mut self) -> Result<String, XmlError> {
         let mut name = String::new();
         while let Some(b) = self.peek_byte()? {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if ok {
                 name.push(self.read_byte()?.expect("peeked") as char);
             } else {

@@ -39,11 +39,7 @@ fn escape_attr(s: &str, out: &mut impl Write) -> io::Result<()> {
 }
 
 /// Serializes a binary tree back to XML (no marking).
-pub fn write_tree(
-    tree: &BinaryTree,
-    labels: &LabelTable,
-    out: &mut impl Write,
-) -> io::Result<()> {
+pub fn write_tree(tree: &BinaryTree, labels: &LabelTable, out: &mut impl Write) -> io::Result<()> {
     MarkedWriter::new(labels, None).write(tree, out)
 }
 
@@ -144,7 +140,9 @@ mod tests {
         sel.insert(NodeId(1));
         sel.insert(NodeId(3));
         let mut out = Vec::new();
-        MarkedWriter::new(&lt, Some(&sel)).write(&t, &mut out).unwrap();
+        MarkedWriter::new(&lt, Some(&sel))
+            .write(&t, &mut out)
+            .unwrap();
         assert_eq!(
             String::from_utf8(out).unwrap(),
             "<a><b arb:selected=\"true\">x<arb:selected>y</arb:selected></b></a>"

@@ -50,7 +50,12 @@ impl Ctx<'_> {
 /// node to each axis member.
 pub fn axis_regex(axis: Axis) -> Regex {
     use Move::*;
-    let child = || Regex::cat(Regex::mv(FirstChild), Regex::Star(Box::new(Regex::mv(SecondChild))));
+    let child = || {
+        Regex::cat(
+            Regex::mv(FirstChild),
+            Regex::Star(Box::new(Regex::mv(SecondChild))),
+        )
+    };
     let parent = || {
         Regex::cat(
             Regex::Star(Box::new(Regex::mv(InvSecondChild))),
@@ -132,19 +137,33 @@ fn ex_axis_pos(ctx: &mut Ctx, axis: Axis, d: &str) -> String {
 /// Example 2.2 for the branching axes.
 fn all_axis_neg(ctx: &mut Ctx, axis: Axis, nd: &str) -> String {
     use Move::*;
-    let child_walk = || Regex::cat(Regex::mv(FirstChild), Regex::Star(Box::new(Regex::mv(SecondChild))));
+    let child_walk = || {
+        Regex::cat(
+            Regex::mv(FirstChild),
+            Regex::Star(Box::new(Regex::mv(SecondChild))),
+        )
+    };
     match axis {
         Axis::SelfAxis => nd.to_string(),
         Axis::Child => {
             // NFR(y): y and all its following siblings satisfy N.
             let nfr = ctx.fresh("nfr");
-            ctx.rule(&nfr, vec![Regex::pred(nd), Regex::edb(EdbAtom::LastSibling)]);
+            ctx.rule(
+                &nfr,
+                vec![Regex::pred(nd), Regex::edb(EdbAtom::LastSibling)],
+            );
             let fs = ctx.fresh("fs");
-            ctx.rule(&fs, vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvSecondChild))]);
+            ctx.rule(
+                &fs,
+                vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvSecondChild))],
+            );
             ctx.rule(&nfr, vec![Regex::pred(nd), Regex::pred(&fs)]);
             let out = ctx.fresh("nochild");
             ctx.rule(&out, vec![Regex::edb(EdbAtom::Leaf)]);
-            ctx.rule(&out, vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvFirstChild))]);
+            ctx.rule(
+                &out,
+                vec![Regex::cat(Regex::pred(&nfr), Regex::mv(InvFirstChild))],
+            );
             out
         }
         Axis::Descendant => {
@@ -152,15 +171,27 @@ fn all_axis_neg(ctx: &mut Ctx, axis: Axis, nd: &str) -> String {
             let bn = ctx.fresh("bn");
             let a1 = ctx.fresh("a1");
             ctx.rule(&a1, vec![Regex::edb(EdbAtom::Leaf)]);
-            ctx.rule(&a1, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))]);
+            ctx.rule(
+                &a1,
+                vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))],
+            );
             let a2 = ctx.fresh("a2");
             ctx.rule(&a2, vec![Regex::edb(EdbAtom::LastSibling)]);
-            ctx.rule(&a2, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvSecondChild))]);
-            ctx.rule(&bn, vec![Regex::pred(nd), Regex::pred(&a1), Regex::pred(&a2)]);
+            ctx.rule(
+                &a2,
+                vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvSecondChild))],
+            );
+            ctx.rule(
+                &bn,
+                vec![Regex::pred(nd), Regex::pred(&a1), Regex::pred(&a2)],
+            );
             // Descendants of x = binary subtree of x's first child.
             let out = ctx.fresh("nodesc");
             ctx.rule(&out, vec![Regex::edb(EdbAtom::Leaf)]);
-            ctx.rule(&out, vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))]);
+            ctx.rule(
+                &out,
+                vec![Regex::cat(Regex::pred(&bn), Regex::mv(InvFirstChild))],
+            );
             out
         }
         Axis::DescendantOrSelf => {
@@ -196,7 +227,10 @@ fn all_axis_neg(ctx: &mut Ctx, axis: Axis, nd: &str) -> String {
             ctx.rule(&nr, vec![Regex::edb(EdbAtom::LastSibling)]);
             let g = ctx.fresh("g");
             ctx.rule(&g, vec![Regex::pred(&nr), Regex::pred(nd)]);
-            ctx.rule(&nr, vec![Regex::cat(Regex::pred(&g), Regex::mv(InvSecondChild))]);
+            ctx.rule(
+                &nr,
+                vec![Regex::cat(Regex::pred(&g), Regex::mv(InvSecondChild))],
+            );
             nr
         }
         Axis::PrecedingSibling => {
@@ -211,7 +245,10 @@ fn all_axis_neg(ctx: &mut Ctx, axis: Axis, nd: &str) -> String {
             ctx.rule(&nl, vec![Regex::pred(&firstsib), Regex::pred(&firstsib)]);
             let g = ctx.fresh("g");
             ctx.rule(&g, vec![Regex::pred(&nl), Regex::pred(nd)]);
-            ctx.rule(&nl, vec![Regex::cat(Regex::pred(&g), Regex::mv(SecondChild))]);
+            ctx.rule(
+                &nl,
+                vec![Regex::cat(Regex::pred(&g), Regex::mv(SecondChild))],
+            );
             nl
         }
         Axis::Following => {
@@ -580,7 +617,10 @@ mod tests {
         let prog = compile_path(&path, &mut lt);
         let res = naive::evaluate(&prog, &tree);
         let q = prog.query_pred().unwrap();
-        tree.nodes().filter(|&v| res.holds(q, v)).map(|v| v.0).collect()
+        tree.nodes()
+            .filter(|&v| res.holds(q, v))
+            .map(|v| v.0)
+            .collect()
     }
 
     #[test]

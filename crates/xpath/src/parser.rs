@@ -152,7 +152,9 @@ impl<'a> P<'a> {
         // Attribute abbreviation: `@name` = `child::@name` over the
         // attributes-as-nodes encoding.
         if self.eat("@") {
-            let n = self.name().ok_or_else(|| self.err("expected attribute name"))?;
+            let n = self
+                .name()
+                .ok_or_else(|| self.err("expected attribute name"))?;
             return Ok(Step {
                 axis: Axis::Child,
                 test: NodeTest::Name(format!("@{n}")),

@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if name == "library" {
             println!(
                 "library as a whole: {}",
-                if res.holds(conf, v) { "conforms" } else { "DOES NOT conform" }
+                if res.holds(conf, v) {
+                    "conforms"
+                } else {
+                    "DOES NOT conform"
+                }
             );
         }
     }
@@ -75,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          QUERY :- HasChapter, Label[book];",
     )?;
     let outcome = db.evaluate(&q)?;
-    println!("\nbooks with chapters (plain TMNF): {}", outcome.stats.selected);
+    println!(
+        "\nbooks with chapters (plain TMNF): {}",
+        outcome.stats.selected
+    );
     Ok(())
 }

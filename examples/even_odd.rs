@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  node {}: <{}> => {}",
             v.0,
             name,
-            if outcome.selected.contains(v) { "Even" } else { "Odd" }
+            if outcome.selected.contains(v) {
+                "Even"
+            } else {
+                "Odd"
+            }
         );
     }
     Ok(())

@@ -53,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", outcome.stats.table_row());
     println!(
         "\nselected {} NP phrases; {} + {} lazily computed transitions",
-        outcome.stats.selected,
-        outcome.stats.phase1_transitions,
-        outcome.stats.phase2_transitions
+        outcome.stats.selected, outcome.stats.phase1_transitions, outcome.stats.phase2_transitions
     );
     Ok(())
 }

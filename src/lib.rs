@@ -16,6 +16,33 @@
 //! * [`xpath`] — Core XPath front end
 //! * [`datagen`] — workload generators for the evaluation (§6)
 //! * [`engine`] — the high-level query engine API
+//!
+//! ## Building and testing
+//!
+//! The workspace is fully offline: the four external dependencies
+//! (`rand`, `proptest`, `criterion`, `crossbeam`) are vendored as
+//! API-subset stand-ins under `vendor/` (see `vendor/README.md`).
+//!
+//! ```text
+//! cargo build --release      # all 11 crates + the `arb` CLI binary
+//! cargo test -q              # unit, property and integration suites
+//! cargo bench --no-run       # compile the four criterion benches
+//! cargo bench -p arb-bench   # run them (ltur, storage, twophase, xpath)
+//! ```
+//!
+//! The eight root integration suites are the correctness spine:
+//! `paper_claims`, `theorem_4_1`, `xpath_differential`,
+//! `dtd_differential`, `storage_model`, `twophase_vs_naive`,
+//! `end_to_end` and `section_1_3`. Property suites take an explicit
+//! case-count override for deep runs (`ARB_PROPTEST_CASES=5000 cargo
+//! test`) and a global input seed (`ARB_PROPTEST_SEED`); all datagen
+//! workloads are seeded, so every suite is deterministic end to end.
+//!
+//! Paper-figure reproductions live in `arb-bench` as binaries:
+//! `cargo run --release -p arb-bench --bin fig5` (creation statistics),
+//! `fig6 [treebank|acgt-flat|acgt-infix|all]`, `baseline`, `multiquery`,
+//! `parallel`, and `ablation`. Sizes scale via `ARB_ACGT_LOG2`,
+//! `ARB_TREEBANK_ELEMS` and friends — see the `arb_bench` crate docs.
 
 pub use arb_core as core;
 pub use arb_datagen as datagen;

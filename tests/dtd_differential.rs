@@ -8,6 +8,10 @@ use arb::tmnf::{conformance_program, naive, Dtd};
 use arb::tree::{BinaryTree, LabelTable, TreeBuilder};
 use proptest::prelude::*;
 
+// The case budget below is capped CI-friendly low; the proptest runner
+// honors `ARB_PROPTEST_CASES` (e.g. `ARB_PROPTEST_CASES=5000 cargo test`)
+// for deep runs, overriding every `with_cases` value.
+
 const DTD_SRC: &str = "
     a = (b, c?)*;
     b = (#PCDATA | c)*;

@@ -43,10 +43,9 @@ fn flat_and_infix_select_equally() {
 
     for (i, size) in [3usize, 5, 7].iter().enumerate() {
         let alphabet = ["A", "C", "G", "T"];
-        for (j, q) in
-            RandomPathQuery::batch(4, *size, &alphabet, RegexShape::Chars, 7 + i as u64)
-                .into_iter()
-                .enumerate()
+        for (j, q) in RandomPathQuery::batch(4, *size, &alphabet, RegexShape::Chars, 7 + i as u64)
+            .into_iter()
+            .enumerate()
         {
             let flat_q = flat_db.compile_tmnf(&q.to_program(R_BOTTOM_UP)).unwrap();
             let infix_src = RandomPathQuery {
@@ -128,7 +127,9 @@ fn boolean_queries() {
     let q = disk.compile_xpath("//feed[.//spam]").unwrap();
     assert!(disk.evaluate_boolean(&q).unwrap());
     let q = disk
-        .compile_tmnf("HasSpam :- V.Label[spam].(invFirstChild|invSecondChild)*; QUERY :- HasSpam, Root;")
+        .compile_tmnf(
+            "HasSpam :- V.Label[spam].(invFirstChild|invSecondChild)*; QUERY :- HasSpam, Root;",
+        )
         .unwrap();
     assert!(disk.evaluate_boolean(&q).unwrap());
 }
@@ -153,6 +154,8 @@ fn attribute_queries() {
     let q = db.compile_xpath("//book/@id").unwrap();
     assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
     // Attribute value via contains-text on the attribute node's chars.
-    let q = db.compile_xpath("//book[@lang[contains-text(\"en\")]]").unwrap();
+    let q = db
+        .compile_xpath("//book[@lang[contains-text(\"en\")]]")
+        .unwrap();
     assert_eq!(db.evaluate(&q).unwrap().stats.selected, 1);
 }

@@ -89,7 +89,10 @@ fn first_node_depends_on_last() {
                QUERY :- HasZ, Root;";
     let mut db1 = arb::Database::from_xml_str("<r><m/><m><z/></m></r>").unwrap();
     let q1 = db1.compile_tmnf(src).unwrap();
-    assert_eq!(db1.evaluate(&q1).unwrap().selected.to_vec(), vec![arb::tree::NodeId(0)]);
+    assert_eq!(
+        db1.evaluate(&q1).unwrap().selected.to_vec(),
+        vec![arb::tree::NodeId(0)]
+    );
 
     let mut db2 = arb::Database::from_xml_str("<r><m/><m><y/></m></r>").unwrap();
     let q2 = db2.compile_tmnf(src).unwrap();
@@ -114,6 +117,14 @@ fn state_count_stays_bounded() {
     let prog = arb::tmnf::normalize(&ast);
     let res = arb::core::evaluate_tree(&prog, &tree);
     // Distinct residual programs are far fewer than nodes.
-    assert!(res.stats.bu_states < 200, "bu_states = {}", res.stats.bu_states);
-    assert!(res.stats.td_states < 400, "td_states = {}", res.stats.td_states);
+    assert!(
+        res.stats.bu_states < 200,
+        "bu_states = {}",
+        res.stats.bu_states
+    );
+    assert!(
+        res.stats.td_states < 400,
+        "td_states = {}",
+        res.stats.td_states
+    );
 }

@@ -57,7 +57,7 @@ fn even_pages_matches_direct_count() {
             pages[ix as usize] = own + below;
         }
         for v in tree.nodes() {
-            let expect = tree.label(v) == publication && pages[v.ix()] % 2 == 0;
+            let expect = tree.label(v) == publication && pages[v.ix()].is_multiple_of(2);
             assert_eq!(
                 outcome.selected.contains(v),
                 expect,

@@ -30,7 +30,14 @@ fn edb_pool() -> Vec<EdbAtom> {
 
 /// Strategy: a random strict TMNF program over `n_preds` predicates.
 fn random_program(n_preds: u32, n_rules: usize) -> impl Strategy<Value = CoreProgram> {
-    let rule = (0..5u8, 0..n_preds, 0..n_preds, 0..n_preds, 0..10usize, 1..3u8);
+    let rule = (
+        0..5u8,
+        0..n_preds,
+        0..n_preds,
+        0..n_preds,
+        0..10usize,
+        1..3u8,
+    );
     proptest::collection::vec(rule, 1..=n_rules).prop_map(move |rules| {
         let mut prog = CoreProgram::new();
         for i in 0..n_preds {

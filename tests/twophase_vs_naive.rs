@@ -1,0 +1,83 @@
+//! Two-phase automaton evaluation vs. the naive datalog fixpoint on
+//! *generated documents*: for every TMNF program in a seeded query batch,
+//! both evaluators must select exactly the same node set (Theorem 4.1 on
+//! realistic workload data rather than the small random trees of
+//! `theorem_4_1.rs`).
+
+use arb::core::evaluate_tree;
+use arb::datagen::queries::{RandomPathQuery, R_BOTTOM_UP, R_TOP_DOWN};
+use arb::datagen::{acgt_flat_tree, random_acgt, treebank_tree, RegexShape, TreebankConfig};
+use arb::tmnf::core::CoreProgram;
+use arb::tmnf::{naive, normalize, parse_program};
+use arb::tree::{BinaryTree, LabelTable, NodeId};
+
+fn compile(q: &RandomPathQuery, step: &str, labels: &mut LabelTable) -> CoreProgram {
+    let src = q.to_program(step);
+    let ast = parse_program(&src, labels).expect("generated query parses");
+    let mut prog = normalize(&ast);
+    let qp = prog.pred_id("QUERY").expect("QUERY head");
+    prog.add_query_pred(qp);
+    prog
+}
+
+/// Runs both evaluators and returns the selected node sets, asserting
+/// they agree on every node (not just the selected ones).
+fn selected_by_both(prog: &CoreProgram, tree: &BinaryTree) -> Vec<NodeId> {
+    let q = prog.query_pred().expect("query pred");
+    let fixpoint = naive::evaluate(prog, tree);
+    let two = evaluate_tree(prog, tree);
+    let mut selected = Vec::new();
+    for v in tree.nodes() {
+        let naive_holds = fixpoint.holds(q, v);
+        assert_eq!(
+            two.holds(q, v),
+            naive_holds,
+            "two-phase disagrees with naive fixpoint at node {}",
+            v.0
+        );
+        if naive_holds {
+            selected.push(v);
+        }
+    }
+    selected
+}
+
+#[test]
+fn treebank_top_down_queries_agree() {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 1500,
+            seed: 0xA11CE,
+            filler_tags: 20,
+        },
+        &mut labels,
+    );
+    let queries = RandomPathQuery::batch(12, 6, &["NP", "VP", "PP", "S"], RegexShape::Tags, 7);
+
+    let mut any_selected = 0usize;
+    for q in &queries {
+        let mut lt = labels.clone();
+        let prog = compile(q, R_TOP_DOWN, &mut lt);
+        any_selected += selected_by_both(&prog, &tree).len();
+    }
+    // A seeded dozen of size-6 queries over {NP,VP,PP,S} on a 1500-element
+    // treebank select *something*; if not, the generators drifted.
+    assert!(any_selected > 0, "no query selected any node");
+}
+
+#[test]
+fn acgt_bottom_up_queries_agree() {
+    let mut labels = LabelTable::new();
+    let seq = random_acgt(10, 99); // 1023 symbols
+    let tree = acgt_flat_tree(&seq, &mut labels);
+    let queries = RandomPathQuery::batch(8, 5, &["A", "C", "G", "T"], RegexShape::Chars, 21);
+
+    let mut any_selected = 0usize;
+    for q in &queries {
+        let mut lt = labels.clone();
+        let prog = compile(q, R_BOTTOM_UP, &mut lt);
+        any_selected += selected_by_both(&prog, &tree).len();
+    }
+    assert!(any_selected > 0, "no query selected any node");
+}

@@ -9,6 +9,11 @@ use arb::tree::{BinaryTree, LabelId, LabelTable, TreeBuilder};
 use arb::xpath::{compile_path, parse_xpath, DirectEvaluator};
 use proptest::prelude::*;
 
+// Case budgets below are capped CI-friendly low because every case sweeps
+// the whole query pool with three evaluators. The proptest runner honors
+// `ARB_PROPTEST_CASES` (e.g. `ARB_PROPTEST_CASES=5000 cargo test`) for
+// deep runs, overriding every `with_cases` value.
+
 const QUERIES: &[&str] = &[
     "//a",
     "/r/a",

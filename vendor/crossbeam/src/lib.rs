@@ -1,0 +1,74 @@
+//! Minimal, dependency-free stand-in for the subset of `crossbeam` this
+//! workspace uses: `crossbeam::thread::scope` with `Scope::spawn`, backed
+//! by `std::thread::scope` (stable since Rust 1.63). See `vendor/README.md`
+//! for why crates.io dependencies are vendored.
+
+pub mod thread {
+    /// Scoped-thread handle mirroring `crossbeam::thread::Scope`: spawn
+    /// closures receive `&Scope` so they can spawn nested scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing-from-the-stack threads can
+    /// be spawned; returns once all of them have finished.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined child propagates out of
+    /// `std::thread::scope` directly instead of being returned as `Err`;
+    /// joined-and-unwrapped children (the only pattern in this workspace)
+    /// behave identically.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_sum_over_borrowed_slice() {
+            let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(3)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 36);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let n = super::scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses. The build container has no crates.io access (see
+//! `vendor/README.md`), so this crate reimplements just what the test
+//! suites need:
+//!
+//! * the [`Strategy`] trait with `prop_map`, implemented for integer
+//!   ranges, tuples, and string-literal patterns (a small regex subset:
+//!   one or more `[class]{m,n}` atoms),
+//! * [`collection::vec`] with `Range`/`RangeInclusive`/exact sizes,
+//! * [`any`] for primitive integers and `bool`,
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! **No shrinking**: a failing case reports its case index and the
+//! deterministic per-test seed instead of a minimized input. Case inputs
+//! are a pure function of (test path, case index, `ARB_PROPTEST_SEED`),
+//! so every failure is reproducible by rerunning the test.
+//!
+//! Case-count resolution honors two environment variables:
+//! `ARB_PROPTEST_CASES` (or `PROPTEST_CASES`) overrides the configured
+//! count exactly — raise it for deep overnight runs, lower it for smoke
+//! runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
+            let strategies = ($($strat,)+);
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(test_path, case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (rerun reproduces it; \
+                         ARB_PROPTEST_SEED was {})",
+                        test_path,
+                        case,
+                        cases,
+                        $crate::test_runner::base_seed(),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuple-of-ranges strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds((a, b) in (0..7u8, 3..=5usize)) {
+            prop_assert!(a < 7);
+            prop_assert!((3..=5).contains(&b));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0..10u32, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn string_pattern_shape(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0..5u32).prop_map(|v| v * 10)) {
+            prop_assert!(x % 10 == 0 && x < 50);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0..1000u32, 0..50);
+        let a = Strategy::generate(&strat, &mut TestRng::for_case("t", 3));
+        let b = Strategy::generate(&strat, &mut TestRng::for_case("t", 3));
+        let c = Strategy::generate(&strat, &mut TestRng::for_case("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct cases should give distinct inputs");
+    }
+
+    #[test]
+    fn escaped_class_chars() {
+        let strat = "[ -~\\n]{0,80}";
+        let mut rng = TestRng::for_case("esc", 0);
+        for _ in 0..50 {
+            let s: String = Strategy::generate(&strat, &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+}
