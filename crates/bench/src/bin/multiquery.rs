@@ -2,69 +2,75 @@
 //! (each one defined by one IDB predicate) in one program. It will be
 //! interesting to study how well Arb handles multiple queries."
 //!
-//! This harness merges k random path queries into one program with k
-//! query predicates and compares one combined run against k separate
-//! runs.
+//! This harness batches k random path queries through the engine's
+//! first-class [`QueryBatch`] API — the programs are merged at the IR
+//! level and evaluated with **one** backward and **one** forward scan —
+//! and compares against k separate runs (2k scans). `ARB_MULTIQUERY_MAX_K`
+//! caps the batch sizes (default 16; CI smoke uses 4).
 
 use arb_bench as bench;
 use arb_datagen::queries::{RandomPathQuery, R_TOP_DOWN};
 use arb_datagen::RegexShape;
-use arb_engine::evaluate_disk;
-use arb_tmnf::{normalize, parse_program};
+use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
+use arb_tmnf::CoreProgram;
 use std::time::Instant;
 
 fn main() {
     let db = bench::treebank_db();
+    let max_k = bench::env_usize("ARB_MULTIQUERY_MAX_K", 16);
     println!(
         "multi-query evaluation on treebank ({} nodes)\n",
         db.db.node_count()
     );
     println!(
-        "{:>3} {:>14} {:>14} {:>9} {:>12} {:>12}",
-        "k", "combined(ms)", "separate(ms)", "speedup", "trans(comb)", "trans(sep)"
+        "{:>3} {:>14} {:>14} {:>9} {:>13} {:>12} {:>12}",
+        "k",
+        "combined(ms)",
+        "separate(ms)",
+        "speedup",
+        "per-query(ms)",
+        "trans(comb)",
+        "trans(sep)"
     );
-    for k in [1usize, 2, 4, 8, 16] {
-        let batch = RandomPathQuery::batch(k, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 99);
-        // Combined program: rename QUERY -> QUERY<i>.
-        let mut combined_src = String::new();
-        for (i, q) in batch.iter().enumerate() {
-            combined_src.push_str(&q.to_program(R_TOP_DOWN).replace("QUERY", &format!("Q{i}")));
-            combined_src.push('\n');
-        }
+    for k in [1usize, 2, 4, 8, 16].into_iter().filter(|&k| k <= max_k) {
+        let queries = RandomPathQuery::batch(k, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 99);
+        // All programs compile against one shared label table; the merge
+        // happens on the interned IR, not on source text.
         let mut labels = db.labels.clone();
-        let ast = parse_program(&combined_src, &mut labels).expect("parse");
-        let mut prog = normalize(&ast);
-        for i in 0..k {
-            let p = prog.pred_id(&format!("Q{i}")).expect("query pred");
-            prog.add_query_pred(p);
-        }
+        let progs: Vec<CoreProgram> = queries
+            .iter()
+            .map(|q| bench::compile_query(q, R_TOP_DOWN, &mut labels))
+            .collect();
+        let batch = QueryBatch::from_programs(&progs);
+
         let t = Instant::now();
-        let combined = evaluate_disk(&prog, &db.db).expect("eval");
+        let combined = evaluate_disk_batch(&batch, &db.db).expect("batch eval");
         let t_combined = t.elapsed();
+        assert_eq!(combined.stats.backward_scans, 1, "one shared backward scan");
+        assert_eq!(combined.stats.forward_scans, 1, "one shared forward scan");
 
         let mut t_separate = std::time::Duration::ZERO;
-        let mut sep_counts = Vec::new();
         let mut sep_trans = 0u64;
-        for q in &batch {
-            let mut labels = db.labels.clone();
-            let prog = bench::compile_query(q, R_TOP_DOWN, &mut labels);
+        for (prog, out) in progs.iter().zip(&combined.outcomes) {
             let t = Instant::now();
-            let o = evaluate_disk(&prog, &db.db).expect("eval");
+            let o = evaluate_disk(prog, &db.db).expect("eval");
             t_separate += t.elapsed();
             sep_trans += o.stats.phase1_transitions + o.stats.phase2_transitions;
-            sep_counts.push(o.stats.selected);
+            // Demultiplexed batch results must equal the independent run.
+            assert_eq!(
+                out.selected.to_vec(),
+                o.selected.to_vec(),
+                "combined vs separate selection mismatch"
+            );
+            assert_eq!(out.per_pred_counts, o.per_pred_counts);
         }
-        // Per-predicate counts must agree between the two strategies.
-        assert_eq!(
-            combined.per_pred_counts, sep_counts,
-            "combined vs separate selection mismatch"
-        );
         println!(
-            "{:>3} {:>14.2} {:>14.2} {:>9.2} {:>12} {:>12}",
+            "{:>3} {:>14.2} {:>14.2} {:>9.2} {:>13.2} {:>12} {:>12}",
             k,
             t_combined.as_secs_f64() * 1e3,
             t_separate.as_secs_f64() * 1e3,
             t_separate.as_secs_f64() / t_combined.as_secs_f64(),
+            t_combined.as_secs_f64() * 1e3 / k as f64,
             combined.stats.phase1_transitions + combined.stats.phase2_transitions,
             sep_trans
         );

@@ -10,7 +10,7 @@
 //! arb cat    <db.arb>
 //! ```
 
-use arb_engine::{Database, Query};
+use arb_engine::{Database, Query, QueryBatch};
 use arb_xml::XmlConfig;
 use std::io::Write;
 use std::process::ExitCode;
@@ -28,9 +28,13 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  arb create <input.xml> <output.arb> [--attrs] [--trim]\n  \
-     arb query <db.arb> (--tmnf <program> | --xpath <path> | --file <path>) \
-     [--count | --nodes | --boolean | --explain | --mark [out.xml]] [--stats]\n  \
-     arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>"
+     arb query <db.arb> (--tmnf/-q <program> | --xpath <path> | --file <path>)... \
+     [--batch] [--count | --nodes | --boolean | --explain | --mark [out.xml]] [--stats]\n  \
+     arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>\n\n\
+     Repeating --tmnf/-q/--xpath/--file submits all queries as one batch\n\
+     evaluated with a single shared two-scan pass; --count/--nodes/--boolean\n\
+     print one result per query, --mark writes one document marking the\n\
+     union of the batch (add --stats for per-query rows)."
         .to_string()
 }
 
@@ -65,18 +69,21 @@ fn create(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn compile(db: &mut Database, args: &[String]) -> Result<(Query, Vec<String>), String> {
+/// Compiles every `--tmnf`/`-q`/`--xpath`/`--file` argument (they may
+/// repeat — a multi-query batch), returning the queries in argument
+/// order plus the unconsumed flags.
+fn compile(db: &mut Database, args: &[String]) -> Result<(Vec<Query>, Vec<String>), String> {
     let mut rest = Vec::new();
-    let mut query: Option<Query> = None;
+    let mut queries: Vec<Query> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--tmnf" | "--xpath" | "--file" => {
+            "--tmnf" | "-q" | "--xpath" | "--file" => {
                 let src = args
                     .get(i + 1)
                     .ok_or_else(|| format!("{} needs an argument", args[i]))?;
                 let q = match args[i].as_str() {
-                    "--tmnf" => db.compile_tmnf(src),
+                    "--tmnf" | "-q" => db.compile_tmnf(src),
                     "--xpath" => db.compile_xpath(src),
                     _ => {
                         let text =
@@ -85,7 +92,14 @@ fn compile(db: &mut Database, args: &[String]) -> Result<(Query, Vec<String>), S
                     }
                 }
                 .map_err(|e| e.to_string())?;
-                query = Some(q);
+                if let Some(name) = &q.implicit_query_pred {
+                    eprintln!(
+                        "arb: note: query {} has no QUERY predicate; \
+                         selecting the head of its last rule: {name}",
+                        queries.len()
+                    );
+                }
+                queries.push(q);
                 i += 2;
             }
             other => {
@@ -94,20 +108,21 @@ fn compile(db: &mut Database, args: &[String]) -> Result<(Query, Vec<String>), S
             }
         }
     }
-    Ok((
-        query.ok_or("no query given (use --tmnf/--xpath/--file)")?,
-        rest,
-    ))
+    if queries.is_empty() {
+        return Err("no query given (use --tmnf/-q/--xpath/--file)".to_string());
+    }
+    Ok((queries, rest))
 }
 
 fn query(args: &[String]) -> Result<(), String> {
     let db_path = args.first().ok_or_else(usage)?;
     let mut db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
-    let (q, rest) = compile(&mut db, &args[1..])?;
+    let (queries, rest) = compile(&mut db, &args[1..])?;
 
     let mut mode = "count";
     let mut mark_out: Option<String> = None;
     let mut show_stats = false;
+    let mut force_batch = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -116,6 +131,7 @@ fn query(args: &[String]) -> Result<(), String> {
             "--boolean" => mode = "boolean",
             "--explain" => mode = "explain",
             "--stats" => show_stats = true,
+            "--batch" => force_batch = true,
             "--mark" => {
                 mode = "mark";
                 if let Some(next) = rest.get(i + 1) {
@@ -129,6 +145,11 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
+
+    if queries.len() > 1 || force_batch {
+        return query_batch(&db, queries, mode, mark_out, show_stats);
+    }
+    let q = queries.into_iter().next().expect("one query");
 
     if mode == "explain" {
         println!(
@@ -185,6 +206,91 @@ fn query(args: &[String]) -> Result<(), String> {
     if show_stats {
         println!("{}", arb_core::EvalStats::table_header());
         println!("{}", outcome.stats.table_row());
+    }
+    Ok(())
+}
+
+/// Batched evaluation: all queries share one two-scan pass over the
+/// database; results are printed per query, prefixed `q<i>:`.
+fn query_batch(
+    db: &Database,
+    queries: Vec<Query>,
+    mode: &str,
+    mark_out: Option<String>,
+    show_stats: bool,
+) -> Result<(), String> {
+    let batch = QueryBatch::new(&queries);
+    if mode == "explain" {
+        println!(
+            "# batch of {} queries merged into one TMNF program \
+             ({} predicates, {} rules):",
+            batch.len(),
+            batch.merged_program().pred_count(),
+            batch.merged_program().rule_count()
+        );
+        print!("{}", batch.merged_program().display(db.labels()));
+        return Ok(());
+    }
+    if mode == "boolean" {
+        let verdicts = db
+            .evaluate_boolean_batch(&batch)
+            .map_err(|e| e.to_string())?;
+        for (i, accepted) in verdicts.iter().enumerate() {
+            println!("q{i}: {}", if *accepted { "accept" } else { "reject" });
+        }
+        return Ok(());
+    }
+
+    let out = match mode {
+        "mark" => match &mark_out {
+            Some(path) => {
+                let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+                let mut w = std::io::BufWriter::new(f);
+                let o = db
+                    .evaluate_batch_marked(&batch, &mut w)
+                    .map_err(|e| e.to_string())?;
+                w.flush().map_err(|e| e.to_string())?;
+                o
+            }
+            None => {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                let o = db
+                    .evaluate_batch_marked(&batch, &mut lock)
+                    .map_err(|e| e.to_string())?;
+                writeln!(lock).ok();
+                o
+            }
+        },
+        _ => db.evaluate_batch(&batch).map_err(|e| e.to_string())?,
+    };
+
+    match mode {
+        "count" => {
+            for (i, o) in out.outcomes.iter().enumerate() {
+                println!("q{i}: {} nodes selected", o.stats.selected);
+            }
+        }
+        "nodes" => {
+            for (i, o) in out.outcomes.iter().enumerate() {
+                for v in o.selected.iter() {
+                    println!("q{i}: {}", v.0);
+                }
+            }
+        }
+        _ => {}
+    }
+    if show_stats {
+        println!("{}", arb_core::EvalStats::table_header());
+        for o in &out.outcomes {
+            println!("{}", o.stats.table_row());
+        }
+        println!(
+            "# shared pass: {} backward scan(s), {} forward scan(s) for {} queries",
+            out.stats.backward_scans,
+            out.stats.forward_scans,
+            batch.len()
+        );
     }
     Ok(())
 }

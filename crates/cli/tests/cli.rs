@@ -92,3 +92,96 @@ fn cli_smoke() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+/// Batched multi-query evaluation: repeated query flags submit one batch
+/// evaluated in a single shared pass, with per-query output lines.
+#[test]
+fn cli_batch_queries() {
+    let exe = env!("CARGO_BIN_EXE_arb", "arb CLI binary");
+    let dir = std::env::temp_dir().join(format!("arb-cli-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml_path = dir.join("doc.xml");
+    std::fs::write(&xml_path, "<d><k>v</k><k/><m/></d>").unwrap();
+    let arb_path = dir.join("doc.arb");
+    let arb = arb_path.to_str().unwrap();
+
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("spawn arb");
+        assert!(
+            out.status.success(),
+            "arb {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).unwrap(),
+            String::from_utf8(out.stderr).unwrap(),
+        )
+    };
+
+    run(&["create", xml_path.to_str().unwrap(), arb]);
+
+    // Mixed TMNF + XPath batch, per-query counts.
+    let (out, _) = run(&[
+        "query",
+        arb,
+        "-q",
+        "QUERY :- V.Label[k];",
+        "--xpath",
+        "//m",
+        "--count",
+    ]);
+    assert!(out.contains("q0: 2 nodes selected"), "output: {out}");
+    assert!(out.contains("q1: 1 nodes selected"), "output: {out}");
+
+    // Per-query node listings and the shared-pass stats note.
+    let (out, _) = run(&[
+        "query",
+        arb,
+        "-q",
+        "QUERY :- V.Label[m];",
+        "-q",
+        "QUERY :- Text;",
+        "--nodes",
+        "--stats",
+    ]);
+    assert!(out.contains("q0: 4"), "output: {out}");
+    assert!(out.contains("q1: 2"), "output: {out}");
+    assert!(
+        out.contains("1 backward scan(s), 1 forward scan(s) for 2 queries"),
+        "output: {out}"
+    );
+
+    // Per-query boolean verdicts from one shared backward scan.
+    let (out, _) = run(&[
+        "query",
+        arb,
+        "--xpath",
+        "//d[k]",
+        "--xpath",
+        "//k[m]",
+        "--boolean",
+    ]);
+    assert!(out.contains("q0: accept"), "output: {out}");
+    assert!(out.contains("q1: reject"), "output: {out}");
+
+    // --batch forces batch formatting even for a single query.
+    let (out, _) = run(&["query", arb, "--xpath", "//k", "--batch", "--count"]);
+    assert!(out.contains("q0: 2 nodes selected"), "output: {out}");
+
+    // A query without a QUERY predicate triggers the explicit note.
+    let (out, err) = run(&[
+        "query",
+        arb,
+        "--tmnf",
+        "A :- V.Label[k]; B :- A.FirstChild;",
+        "--count",
+    ]);
+    assert!(out.contains("nodes selected"), "output: {out}");
+    assert!(
+        err.contains("no QUERY predicate") && err.contains("B"),
+        "stderr: {err}"
+    );
+}

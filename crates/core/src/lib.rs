@@ -46,4 +46,4 @@ pub mod twophase;
 
 pub use lazy::QueryAutomata;
 pub use stats::EvalStats;
-pub use twophase::{evaluate_tree, TreeEvalResult};
+pub use twophase::{evaluate_tree, evaluate_tree_batch, BatchTreeEvalResult, TreeEvalResult};

@@ -294,6 +294,8 @@ pub fn evaluate_tree_parallel(
         bu_states: qa.bu_state_count(),
         td_states: qa.td_state_count(),
         nodes: n as u64,
+        backward_scans: 1,
+        forward_scans: 1,
     };
     TreeEvalResult {
         automata: qa,

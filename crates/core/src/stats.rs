@@ -27,6 +27,14 @@ pub struct EvalStats {
     pub td_states: usize,
     /// Number of tree nodes processed.
     pub nodes: u64,
+    /// Backward (phase-1) linear scans / reverse-preorder sweeps
+    /// performed. Proposition 5.1 promises exactly one per evaluation —
+    /// including batched multi-query evaluations, which share it across
+    /// all queries of the batch.
+    pub backward_scans: u64,
+    /// Forward (phase-2) linear scans / preorder sweeps performed.
+    /// Exactly one per evaluation (zero for boolean document filtering).
+    pub forward_scans: u64,
 }
 
 impl EvalStats {

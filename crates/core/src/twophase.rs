@@ -125,6 +125,8 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         bu_states: qa.bu_state_count(),
         td_states: qa.td_state_count(),
         nodes: n as u64,
+        backward_scans: 1,
+        forward_scans: 1,
     };
 
     TreeEvalResult {
@@ -132,6 +134,47 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         rho_a,
         rho_b,
         stats,
+    }
+}
+
+/// Result of a batched in-memory evaluation: the merged-program
+/// evaluation plus the per-input query predicates needed to demultiplex.
+pub struct BatchTreeEvalResult {
+    /// The evaluation of the merged program (one phase-1 sweep, one
+    /// phase-2 sweep for the entire batch).
+    pub result: TreeEvalResult,
+    /// For each input program, the merged ids of its query predicates.
+    pub query_preds: Vec<Vec<PredId>>,
+}
+
+impl BatchTreeEvalResult {
+    /// The set of nodes selected by input query `i` (union over its
+    /// query predicates).
+    pub fn selected(&self, i: usize) -> NodeSet {
+        let mut s = NodeSet::new(self.result.rho_b.len());
+        for (ix, &ps) in self.result.rho_b.iter().enumerate() {
+            let set = self.result.automata.predsets.get(ps);
+            if self.query_preds[i]
+                .iter()
+                .any(|&q| set.contains(Atom::local(q)))
+            {
+                s.insert(NodeId(ix as u32));
+            }
+        }
+        s
+    }
+}
+
+/// Evaluates a batch of strict TMNF programs on an in-memory tree with
+/// **one** shared two-phase run: the programs are merged at the IR level
+/// ([`arb_tmnf::merge_programs`]) and the merged program is evaluated by
+/// [`evaluate_tree`]. The k queries amortize both sweeps.
+pub fn evaluate_tree_batch(progs: &[&CoreProgram], tree: &BinaryTree) -> BatchTreeEvalResult {
+    let merged = arb_tmnf::merge_programs(progs);
+    let result = evaluate_tree(&merged.program, tree);
+    BatchTreeEvalResult {
+        result,
+        query_preds: merged.query_preds,
     }
 }
 

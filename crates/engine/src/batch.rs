@@ -1,0 +1,378 @@
+//! Batched multi-query evaluation (paper §7).
+//!
+//! A [`QueryBatch`] holds k compiled [`Query`] values merged into one
+//! strict TMNF program at the IR level ([`arb_tmnf::merge_programs`]).
+//! Evaluating the batch runs the merged program through the ordinary
+//! two-phase machinery — **one** backward linear scan and **one** forward
+//! linear scan for the whole batch, regardless of k (assert via the
+//! `backward_scans` / `forward_scans` counters of
+//! [`EvalStats`](arb_core::EvalStats)) — and demultiplexes the node
+//! annotations back into one [`QueryOutcome`] per input query.
+
+use crate::diskeval::Phase2Hook;
+use crate::query::{Query, QueryLanguage};
+use crate::QueryOutcome;
+use arb_core::EvalStats;
+use arb_logic::Atom;
+use arb_storage::ArbDatabase;
+use arb_tmnf::{merge_programs, CoreProgram, PredId};
+use arb_tree::NodeSet;
+use std::io;
+
+/// Per-query bookkeeping inside a batch.
+struct BatchEntry {
+    /// The merged-program ids of this query's query predicates.
+    query_preds: Vec<PredId>,
+    /// Source language of the input query (`None` for raw programs).
+    language: Option<QueryLanguage>,
+    /// Original query text (empty for raw programs).
+    source: String,
+    /// `|IDB|` of the *input* program (per-query Figure 6 accounting).
+    idb_count: usize,
+    /// `|P|` of the input program.
+    rule_count: usize,
+}
+
+/// A batch of compiled queries merged into one multi-query program.
+pub struct QueryBatch {
+    merged: CoreProgram,
+    entries: Vec<BatchEntry>,
+}
+
+impl QueryBatch {
+    /// Merges compiled queries into a batch.
+    ///
+    /// **Precondition (unchecked):** all queries must have been compiled
+    /// against the *same* database — label tests are interned as raw
+    /// label ids, so a query compiled against a different label table
+    /// would silently test the wrong tags when the batch is evaluated.
+    pub fn new(queries: &[Query]) -> Self {
+        let progs: Vec<&CoreProgram> = queries.iter().map(|q| &q.prog).collect();
+        let merged = merge_programs(&progs);
+        let entries = queries
+            .iter()
+            .zip(merged.query_preds.iter())
+            .map(|(q, qs)| BatchEntry {
+                query_preds: qs.clone(),
+                language: Some(q.language),
+                source: q.source.clone(),
+                idb_count: q.idb_count(),
+                rule_count: q.rule_count(),
+            })
+            .collect();
+        QueryBatch {
+            merged: merged.program,
+            entries,
+        }
+    }
+
+    /// Merges raw strict TMNF programs (each with its query predicates
+    /// already chosen) into a batch — the entry point for harnesses that
+    /// compile [`CoreProgram`]s directly. The same label-space
+    /// precondition as [`QueryBatch::new`] applies.
+    pub fn from_programs(progs: &[CoreProgram]) -> Self {
+        let refs: Vec<&CoreProgram> = progs.iter().collect();
+        let merged = merge_programs(&refs);
+        let entries = progs
+            .iter()
+            .zip(merged.query_preds.iter())
+            .map(|(p, qs)| BatchEntry {
+                query_preds: qs.clone(),
+                language: None,
+                source: String::new(),
+                idb_count: p.pred_count(),
+                rule_count: p.rule_count(),
+            })
+            .collect();
+        QueryBatch {
+            merged: merged.program,
+            entries,
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The merged multi-query program.
+    pub fn merged_program(&self) -> &CoreProgram {
+        &self.merged
+    }
+
+    /// The merged-program query predicates of query `i`.
+    pub fn query_preds(&self, i: usize) -> &[PredId] {
+        &self.entries[i].query_preds
+    }
+
+    /// The source language of query `i` (`None` for raw programs).
+    pub fn language(&self, i: usize) -> Option<QueryLanguage> {
+        self.entries[i].language
+    }
+
+    /// The source text of query `i` (empty for raw programs).
+    pub fn source(&self, i: usize) -> &str {
+        &self.entries[i].source
+    }
+
+    /// The query atoms of every entry, in batch order.
+    pub(crate) fn query_atoms(&self) -> Vec<Vec<Atom>> {
+        self.entries
+            .iter()
+            .map(|e| e.query_preds.iter().map(|&p| Atom::local(p)).collect())
+            .collect()
+    }
+
+    /// Demultiplexes the merged outcome plus per-query node sets into
+    /// per-query [`QueryOutcome`]s.
+    fn demux(
+        &self,
+        shared: &EvalStats,
+        merged_counts: &[u64],
+        sets: Vec<NodeSet>,
+    ) -> Vec<QueryOutcome> {
+        let mut outcomes = Vec::with_capacity(self.entries.len());
+        let mut offset = 0usize;
+        for (entry, selected) in self.entries.iter().zip(sets) {
+            let per_pred_counts = merged_counts[offset..offset + entry.query_preds.len()].to_vec();
+            offset += entry.query_preds.len();
+            let mut stats = shared.clone();
+            // Per-query |IDB| / |P| reflect the *input* program; times,
+            // transitions and scan counters are those of the shared pass
+            // (the scans are shared, not repeated per query).
+            stats.idb_count = entry.idb_count;
+            stats.rule_count = entry.rule_count;
+            stats.selected = selected.count() as u64;
+            outcomes.push(QueryOutcome {
+                stats,
+                selected,
+                per_pred_counts,
+            });
+        }
+        outcomes
+    }
+}
+
+/// The result of evaluating a [`QueryBatch`]: the statistics of the one
+/// shared two-scan pass over the merged program, plus one demultiplexed
+/// [`QueryOutcome`] per input query.
+pub struct BatchOutcome {
+    /// Statistics of the shared pass (`backward_scans == 1`,
+    /// `forward_scans == 1`, `selected` counts the union).
+    pub stats: EvalStats,
+    /// Per-query outcomes, in batch order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+fn empty_batch_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        "cannot evaluate an empty query batch",
+    )
+}
+
+/// Evaluates a batch over a disk database with one backward and one
+/// forward linear scan shared by all queries. Pass a `hook` to observe
+/// every node's merged predicate set in document order during phase 2
+/// (e.g. to emit marked XML while the batch evaluates).
+pub fn evaluate_disk_batch_with_hook(
+    batch: &QueryBatch,
+    db: &ArbDatabase,
+    hook: Option<Phase2Hook<'_>>,
+) -> io::Result<BatchOutcome> {
+    if batch.is_empty() {
+        return Err(empty_batch_err());
+    }
+    // The grouped kernel tests each query atom once per node and fills
+    // one node set per query directly inside the phase-2 scan.
+    let groups = batch.query_atoms();
+    let (merged_outcome, group_sets) =
+        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook)?;
+    // A single-query batch gets its set back as the union.
+    let group_sets = if group_sets.is_empty() {
+        vec![merged_outcome.selected.clone()]
+    } else {
+        group_sets
+    };
+    let outcomes = batch.demux(
+        &merged_outcome.stats,
+        &merged_outcome.per_pred_counts,
+        group_sets,
+    );
+    Ok(BatchOutcome {
+        stats: merged_outcome.stats,
+        outcomes,
+    })
+}
+
+/// [`evaluate_disk_batch_with_hook`] without a hook.
+pub fn evaluate_disk_batch(batch: &QueryBatch, db: &ArbDatabase) -> io::Result<BatchOutcome> {
+    evaluate_disk_batch_with_hook(batch, db, None)
+}
+
+/// Evaluates a batch over an in-memory tree with one shared two-sweep
+/// pass of the merged program (the memory counterpart of
+/// [`evaluate_disk_batch`]; see also [`arb_core::evaluate_tree_batch`]
+/// for the raw-program variant used by the differential suites).
+pub fn evaluate_tree_batch(
+    batch: &QueryBatch,
+    tree: &arb_tree::BinaryTree,
+) -> io::Result<BatchOutcome> {
+    if batch.is_empty() {
+        return Err(empty_batch_err());
+    }
+    let res = arb_core::evaluate_tree(&batch.merged, tree);
+    let atoms = batch.query_atoms();
+    let mut sets: Vec<NodeSet> = (0..batch.len()).map(|_| NodeSet::new(tree.len())).collect();
+    let mut merged_counts = vec![0u64; atoms.iter().map(Vec::len).sum()];
+    for v in tree.nodes() {
+        let set = res.automata.predsets.get(res.rho_b[v.ix()]);
+        demux_node(set, &atoms, &mut merged_counts, &mut sets, v.0);
+    }
+    let outcomes = batch.demux(&res.stats, &merged_counts, sets);
+    Ok(BatchOutcome {
+        stats: res.stats,
+        outcomes,
+    })
+}
+
+/// Tests every group's atoms against one node's predicate set, bumping
+/// the flattened per-atom counts and inserting the node into each
+/// matching group's set — the per-node demux kernel shared by the disk
+/// phase-2 scan and the in-memory batch path.
+pub(crate) fn demux_node(
+    set: &arb_logic::PredSet,
+    groups: &[Vec<Atom>],
+    counts: &mut [u64],
+    sets: &mut [NodeSet],
+    ix: u32,
+) {
+    let mut offset = 0usize;
+    for (atoms, selected) in groups.iter().zip(sets.iter_mut()) {
+        let mut any = false;
+        for (j, a) in atoms.iter().enumerate() {
+            if set.contains(*a) {
+                counts[offset + j] += 1;
+                any = true;
+            }
+        }
+        if any {
+            selected.insert(arb_tree::NodeId(ix));
+        }
+        offset += atoms.len();
+    }
+}
+
+/// Evaluates a batch of **boolean** (document-filtering) queries with a
+/// single shared backward scan: returns, per query, whether any of its
+/// query predicates holds at the root.
+pub fn evaluate_boolean_batch(batch: &QueryBatch, db: &ArbDatabase) -> io::Result<Vec<bool>> {
+    if batch.is_empty() {
+        return Err(empty_batch_err());
+    }
+    let set = crate::diskeval::root_true_preds(&batch.merged, db)?;
+    Ok(batch
+        .query_atoms()
+        .iter()
+        .map(|entry_atoms| entry_atoms.iter().any(|a| set.contains(*a)))
+        .collect())
+}
+
+/// The in-memory counterpart of [`evaluate_boolean_batch`]: per-query
+/// root verdicts from one shared two-phase run (same error behavior as
+/// the disk path).
+pub(crate) fn evaluate_boolean_batch_tree(
+    batch: &QueryBatch,
+    tree: &arb_tree::BinaryTree,
+) -> io::Result<Vec<bool>> {
+    if batch.is_empty() {
+        return Err(empty_batch_err());
+    }
+    // Only the root's predicate set matters — no per-node demux.
+    let res = arb_core::evaluate_tree(&batch.merged, tree);
+    let root_set = res.automata.predsets.get(res.rho_b[tree.root().ix()]);
+    Ok(batch
+        .query_atoms()
+        .iter()
+        .map(|entry_atoms| entry_atoms.iter().any(|a| root_set.contains(*a)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    fn disk_db(xml: &str, name: &str) -> Database {
+        let dir = std::env::temp_dir().join(format!("arb-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let xml_path = dir.join(format!("{name}.xml"));
+        std::fs::write(&xml_path, xml).unwrap();
+        let (db, _) = Database::create_arb_from_xml(
+            &xml_path,
+            dir.join(format!("{name}.arb")),
+            &arb_xml::XmlConfig::default(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn batch_matches_independent_runs_on_disk() {
+        let mut db = disk_db("<r><a><b/></a><b/><c>t</c></r>", "indep");
+        let sources = [
+            "QUERY :- V.Label[a];",
+            "QUERY :- V.Label[b];",
+            "Q :- V.Label[c];",
+        ];
+        let queries: Vec<Query> = sources
+            .iter()
+            .map(|s| db.compile_tmnf(s).unwrap())
+            .collect();
+        let batch = QueryBatch::new(&queries);
+        let disk = db.as_disk().unwrap();
+        let out = evaluate_disk_batch(&batch, disk).unwrap();
+
+        // Exactly one scan in each direction for the whole batch.
+        assert_eq!(out.stats.backward_scans, 1);
+        assert_eq!(out.stats.forward_scans, 1);
+        assert_eq!(out.outcomes.len(), 3);
+
+        let mut scans = 0;
+        for (q, o) in queries.iter().zip(&out.outcomes) {
+            let indep = crate::evaluate_disk(&q.prog, disk).unwrap();
+            scans += indep.stats.backward_scans + indep.stats.forward_scans;
+            assert_eq!(o.selected.to_vec(), indep.selected.to_vec());
+            assert_eq!(o.per_pred_counts, indep.per_pred_counts);
+            assert_eq!(o.stats.selected, indep.stats.selected);
+            assert_eq!(o.stats.idb_count, q.idb_count());
+        }
+        // The independent runs needed 2k scans; the batch needed 2.
+        assert_eq!(scans, 6);
+    }
+
+    #[test]
+    fn boolean_batch_filters_per_query() {
+        let mut db = disk_db("<r><a/></r>", "bool");
+        let queries = vec![
+            db.compile_tmnf("QUERY :- Root, HasFirstChild;").unwrap(),
+            db.compile_tmnf("QUERY :- Root, Leaf;").unwrap(),
+        ];
+        let batch = QueryBatch::new(&queries);
+        let verdicts = evaluate_boolean_batch(&batch, db.as_disk().unwrap()).unwrap();
+        assert_eq!(verdicts, vec![true, false]);
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        let db = disk_db("<r/>", "empty");
+        let batch = QueryBatch::new(&[]);
+        assert!(evaluate_disk_batch(&batch, db.as_disk().unwrap()).is_err());
+        assert!(evaluate_boolean_batch(&batch, db.as_disk().unwrap()).is_err());
+    }
+}

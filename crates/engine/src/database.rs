@@ -139,17 +139,19 @@ impl Database {
 
     /// Compiles a TMNF (Arb surface syntax) query against this database.
     /// The query predicate is `QUERY` if such a predicate exists, else
-    /// the head of the last rule.
+    /// the head of the last rule — in which case the returned query's
+    /// `implicit_query_pred` names the predicate that was chosen.
     pub fn compile_tmnf(&mut self, src: &str) -> Result<Query, EngineError> {
         let ast = arb_tmnf::parse_program(src, &mut self.labels)
             .map_err(|e| EngineError::Query(e.to_string()))?;
         let mut prog = arb_tmnf::normalize(&ast);
-        choose_query_pred(&mut prog);
+        let implicit_query_pred = choose_query_pred(&mut prog);
         let prog = arb_tmnf::optimize(&prog);
         Ok(Query {
             prog,
             language: QueryLanguage::Tmnf,
             source: src.to_string(),
+            implicit_query_pred,
         })
     }
 
@@ -162,6 +164,7 @@ impl Database {
             prog,
             language: QueryLanguage::XPath,
             source: src.to_string(),
+            implicit_query_pred: None,
         })
     }
 
@@ -212,6 +215,67 @@ impl Database {
         }
     }
 
+    /// Evaluates a [`QueryBatch`](crate::QueryBatch): all queries share
+    /// **one** two-phase pass — one backward and one forward linear scan
+    /// for disk databases (`stats.backward_scans == 1` regardless of the
+    /// batch size), two in-memory sweeps otherwise — and the results are
+    /// demultiplexed into one [`QueryOutcome`] per query. The batch's
+    /// queries must have been compiled against *this* database (see
+    /// [`QueryBatch::new`](crate::QueryBatch::new)).
+    pub fn evaluate_batch(
+        &self,
+        batch: &crate::QueryBatch,
+    ) -> Result<crate::BatchOutcome, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => Ok(crate::batch::evaluate_disk_batch(batch, db)?),
+            Backing::Memory(tree) => Ok(crate::batch::evaluate_tree_batch(batch, tree)?),
+        }
+    }
+
+    /// Evaluates every query of a batch as a **boolean** (document
+    /// filtering) query, sharing a single backward scan: one
+    /// accept/reject verdict per query.
+    pub fn evaluate_boolean_batch(
+        &self,
+        batch: &crate::QueryBatch,
+    ) -> Result<Vec<bool>, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => Ok(crate::batch::evaluate_boolean_batch(batch, db)?),
+            Backing::Memory(tree) => Ok(crate::batch::evaluate_boolean_batch_tree(batch, tree)?),
+        }
+    }
+
+    /// Evaluates a batch and writes the whole document once with nodes
+    /// marked that any query of the batch selected (the demultiplexed
+    /// per-query node sets are in the returned outcome; per-query marked
+    /// output is available through
+    /// [`evaluate_disk_batch_with_hook`](crate::evaluate_disk_batch_with_hook)).
+    pub fn evaluate_batch_marked(
+        &self,
+        batch: &crate::QueryBatch,
+        out: impl Write,
+    ) -> Result<crate::BatchOutcome, EngineError> {
+        match &self.backing {
+            Backing::Disk(db) => {
+                let query_atoms = local_atoms(batch.merged_program().query_preds());
+                marked_disk_eval(&self.labels, &query_atoms, out, |hook| {
+                    crate::batch::evaluate_disk_batch_with_hook(batch, db, Some(hook))
+                })
+            }
+            Backing::Memory(tree) => {
+                let outcome = self.evaluate_batch(batch)?;
+                let mut union = NodeSet::new(tree.len());
+                for o in &outcome.outcomes {
+                    union.union_with(&o.selected);
+                }
+                let mut out = out;
+                let writer = arb_xml::MarkedWriter::new(&self.labels, Some(&union));
+                writer.write(tree, &mut out)?;
+                Ok(outcome)
+            }
+        }
+    }
+
     /// Evaluates a query and writes the whole document with selected
     /// nodes marked (the paper's default output mode), streaming during
     /// phase 2 for disk databases.
@@ -222,26 +286,10 @@ impl Database {
     ) -> Result<QueryOutcome, EngineError> {
         match &self.backing {
             Backing::Disk(db) => {
-                let query_atoms: Vec<arb_logic::Atom> = query
-                    .prog
-                    .query_preds()
-                    .iter()
-                    .map(|&p| arb_logic::Atom::local(p))
-                    .collect();
-                let mut emitter = XmlEmitter::new(&self.labels, out);
-                let mut emit_err: Option<io::Error> = None;
-                let mut hook = |_ix: u32, rec: NodeRecord, set: &arb_logic::PredSet| {
-                    let sel = query_atoms.iter().any(|a| set.contains(*a));
-                    if let Err(e) = emitter.node(rec, sel) {
-                        emit_err.get_or_insert(e);
-                    }
-                };
-                let outcome = evaluate_disk_with_hook(&query.prog, db, Some(&mut hook))?;
-                if let Some(e) = emit_err {
-                    return Err(e.into());
-                }
-                emitter.finish()?;
-                Ok(outcome)
+                let query_atoms = local_atoms(query.prog.query_preds());
+                marked_disk_eval(&self.labels, &query_atoms, out, |hook| {
+                    evaluate_disk_with_hook(&query.prog, db, Some(hook))
+                })
             }
             Backing::Memory(tree) => {
                 let outcome = self.evaluate(query)?;
@@ -252,6 +300,36 @@ impl Database {
             }
         }
     }
+}
+
+/// The query predicates as logic atoms.
+fn local_atoms(preds: &[arb_tmnf::PredId]) -> Vec<arb_logic::Atom> {
+    preds.iter().map(|&p| arb_logic::Atom::local(p)).collect()
+}
+
+/// Shared disk-side marked-output kernel: runs `eval` with a phase-2
+/// hook that streams the document in document order, marking every node
+/// whose predicate set contains any of `query_atoms`.
+fn marked_disk_eval<T>(
+    labels: &LabelTable,
+    query_atoms: &[arb_logic::Atom],
+    out: impl Write,
+    eval: impl FnOnce(crate::diskeval::Phase2Hook<'_>) -> io::Result<T>,
+) -> Result<T, EngineError> {
+    let mut emitter = XmlEmitter::new(labels, out);
+    let mut emit_err: Option<io::Error> = None;
+    let mut hook = |_ix: u32, rec: NodeRecord, set: &arb_logic::PredSet| {
+        let sel = query_atoms.iter().any(|a| set.contains(*a));
+        if let Err(e) = emitter.node(rec, sel) {
+            emit_err.get_or_insert(e);
+        }
+    };
+    let outcome = eval(&mut hook)?;
+    if let Some(e) = emit_err {
+        return Err(e.into());
+    }
+    emitter.finish()?;
+    Ok(outcome)
 }
 
 #[cfg(test)]

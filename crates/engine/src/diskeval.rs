@@ -14,7 +14,7 @@ use arb_logic::{Atom, PredSetId, ProgramId};
 use arb_storage::stafile::{StateFileReader, StateFileWriter};
 use arb_storage::{bottom_up_scan, top_down_scan, ArbDatabase, DownContext};
 use arb_tmnf::CoreProgram;
-use arb_tree::{NodeId, NodeSet};
+use arb_tree::NodeSet;
 use std::io;
 use std::time::Instant;
 
@@ -28,8 +28,28 @@ pub type Phase2Hook<'a> = &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_l
 pub fn evaluate_disk_with_hook(
     prog: &CoreProgram,
     db: &ArbDatabase,
-    mut hook: Option<Phase2Hook<'_>>,
+    hook: Option<Phase2Hook<'_>>,
 ) -> io::Result<QueryOutcome> {
+    let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
+    let (outcome, _sets) = evaluate_disk_grouped(prog, db, &[atoms], hook)?;
+    Ok(outcome)
+}
+
+/// The shared two-scan kernel, generalized over *groups* of query atoms
+/// (one group per query of a batch; a single query is one group): every
+/// atom is tested exactly once per node during the phase-2 scan, feeding
+/// both the flattened `per_pred_counts` and one selected-node set per
+/// group — this is what makes batch demultiplexing free.
+///
+/// With exactly one group, its node set *is* the union: it is moved into
+/// `outcome.selected` and the returned group vector is empty (no
+/// duplicate bitset on the single-query path).
+pub(crate) fn evaluate_disk_grouped(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    groups: &[Vec<Atom>],
+    mut hook: Option<Phase2Hook<'_>>,
+) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
     let mut qa = QueryAutomata::new(prog);
     let n = db.node_count();
     if n == 0 {
@@ -39,10 +59,15 @@ pub fn evaluate_disk_with_hook(
         ));
     }
     let sta_path = db.sta_path();
+    // Scans this evaluation opened, counted at the open sites below so
+    // the Proposition 5.1 claim (one each) is measured, not assumed.
+    let mut backward_scans = 0u64;
+    let mut forward_scans = 0u64;
 
     // --- Phase 1: backward scan, bottom-up automaton, stream states -----
     let t1 = Instant::now();
     let mut scan = db.backward_scan()?;
+    backward_scans += 1;
     let mut sta = StateFileWriter::create(&sta_path, n as u64)?;
     let mut sta_err: Option<io::Error> = None;
     let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
@@ -61,10 +86,13 @@ pub fn evaluate_disk_with_hook(
     // --- Phase 2: forward scan, top-down automaton ----------------------
     let t2 = Instant::now();
     let mut scan = db.forward_scan()?;
+    forward_scans += 1;
     let mut sta = StateFileReader::open(&sta_path)?;
-    let query_atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
-    let mut selected = NodeSet::new(n as usize);
-    let mut per_pred_counts = vec![0u64; query_atoms.len()];
+    let total_atoms: usize = groups.iter().map(Vec::len).sum();
+    let mut per_pred_counts = vec![0u64; total_atoms];
+    let mut group_sets: Vec<NodeSet> = (0..groups.len())
+        .map(|_| NodeSet::new(n as usize))
+        .collect();
     let mut io_err: Option<io::Error> = None;
     let start = qa.start_state(root_state);
     top_down_scan(&mut scan, |ctx, rec, ix| -> PredSetId {
@@ -84,19 +112,9 @@ pub fn evaluate_disk_with_hook(
             DownContext::Child(parent, k) => qa.top_down(parent, rho_a, k),
         };
         let set = qa.predsets.get(state);
-        let mut any = false;
-        for (i, a) in query_atoms.iter().enumerate() {
-            if set.contains(*a) {
-                per_pred_counts[i] += 1;
-                any = true;
-            }
-        }
-        if any {
-            selected.insert(NodeId(ix));
-        }
+        crate::batch::demux_node(set, groups, &mut per_pred_counts, &mut group_sets, ix);
         if let Some(h) = hook.as_mut() {
-            let set = qa.predsets.get(state).clone();
-            h(ix, rec, &set);
+            h(ix, rec, set);
         }
         state
     })?;
@@ -105,6 +123,20 @@ pub fn evaluate_disk_with_hook(
     }
     let phase2_time = t2.elapsed();
 
+    // The union over all groups (== all query predicates). A lone group
+    // is moved rather than copied.
+    let (selected, group_sets) = if group_sets.len() == 1 {
+        (
+            group_sets.into_iter().next().expect("one group"),
+            Vec::new(),
+        )
+    } else {
+        let mut union = NodeSet::new(n as usize);
+        for s in &group_sets {
+            union.union_with(s);
+        }
+        (union, group_sets)
+    };
     let stats = EvalStats {
         idb_count: prog.pred_count(),
         rule_count: prog.rule_count(),
@@ -117,12 +149,17 @@ pub fn evaluate_disk_with_hook(
         bu_states: qa.bu_state_count(),
         td_states: qa.td_state_count(),
         nodes: n as u64,
+        backward_scans,
+        forward_scans,
     };
-    Ok(QueryOutcome {
-        stats,
-        selected,
-        per_pred_counts,
-    })
+    Ok((
+        QueryOutcome {
+            stats,
+            selected,
+            per_pred_counts,
+        },
+        group_sets,
+    ))
 }
 
 /// [`evaluate_disk_with_hook`] without a hook.
@@ -140,9 +177,22 @@ pub fn evaluate_disk(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<QueryOu
 /// membership test on its facts. One backward linear scan, no `.sta`
 /// file.
 pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool> {
+    let set = root_true_preds(prog, db)?;
+    Ok(prog
+        .query_preds()
+        .iter()
+        .any(|&p| set.contains(Atom::local(p))))
+}
+
+/// The set of predicates true at the root, computed with a single
+/// backward scan and no `.sta` file — the shared kernel of boolean
+/// (document-filtering) evaluation, single-query and batched.
+pub(crate) fn root_true_preds(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+) -> io::Result<arb_logic::PredSet> {
     let mut qa = QueryAutomata::new(prog);
-    let n = db.node_count();
-    if n == 0 {
+    if db.node_count() == 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "cannot evaluate a query on an empty database",
@@ -153,11 +203,7 @@ pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool
         qa.bottom_up(s1, s2, rec.info(ix))
     })?;
     let start = qa.start_state(root_state);
-    let set = qa.predsets.get(start);
-    Ok(prog
-        .query_preds()
-        .iter()
-        .any(|&p| set.contains(Atom::local(p))))
+    Ok(qa.predsets.get(start).clone())
 }
 
 #[cfg(test)]

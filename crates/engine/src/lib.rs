@@ -14,12 +14,32 @@
 //! assert_eq!(outcome.stats.selected, 2);
 //! # let _ = Engine::default();
 //! ```
+//!
+//! Several queries evaluate as a batch sharing one two-scan pass
+//! (paper §7 — see [`batch`]):
+//!
+//! ```
+//! use arb_engine::{Database, QueryBatch};
+//!
+//! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>").unwrap();
+//! let q1 = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+//! let q2 = db.compile_xpath("//b").unwrap();
+//! let batch = QueryBatch::new(&[q1, q2]);
+//! let out = db.evaluate_batch(&batch).unwrap();
+//! assert_eq!(out.outcomes[0].stats.selected, 2);
+//! assert_eq!(out.outcomes[1].stats.selected, 1);
+//! ```
 
+pub mod batch;
 pub mod database;
 pub mod diskeval;
 pub mod output;
 pub mod query;
 
+pub use batch::{
+    evaluate_boolean_batch, evaluate_disk_batch, evaluate_disk_batch_with_hook, BatchOutcome,
+    QueryBatch,
+};
 pub use database::{Database, EngineError};
 pub use diskeval::evaluate_disk;
 pub use output::XmlEmitter;

@@ -20,6 +20,11 @@ pub struct Query {
     pub language: QueryLanguage,
     /// Original query text.
     pub source: String,
+    /// Set when the program had no `QUERY` predicate and the compiler
+    /// fell back to the head of the last rule: the name of the predicate
+    /// it chose. Front ends should surface this so the user knows which
+    /// predicate answers the query.
+    pub implicit_query_pred: Option<String>,
 }
 
 impl Query {
@@ -39,17 +44,21 @@ impl Query {
     }
 }
 
-/// Chooses the query predicates for a freshly normalized program:
-/// a predicate named `QUERY` if present, else the head of the last rule.
-pub(crate) fn choose_query_pred(prog: &mut CoreProgram) {
+/// Chooses the query predicates for a freshly normalized program: a
+/// predicate named `QUERY` if present, else the head of the last rule.
+/// In the fallback case, returns the name of the predicate that was
+/// chosen so callers can warn the user instead of silently picking one.
+pub(crate) fn choose_query_pred(prog: &mut CoreProgram) -> Option<String> {
     if let Some(q) = prog.pred_id("QUERY") {
         prog.add_query_pred(q);
-        return;
+        return None;
     }
     if let Some(last) = prog.rules().last() {
         let head = last.head();
         prog.add_query_pred(head);
+        return Some(prog.pred_name(head).to_string());
     }
+    None
 }
 
 #[cfg(test)]
@@ -63,12 +72,13 @@ mod tests {
         let mut lt = LabelTable::new();
         let ast = parse_program("A :- Root; QUERY :- A.FirstChild;", &mut lt).unwrap();
         let mut prog = normalize(&ast);
-        choose_query_pred(&mut prog);
+        assert_eq!(choose_query_pred(&mut prog), None);
         assert_eq!(prog.query_pred(), prog.pred_id("QUERY"));
 
         let ast = parse_program("A :- Root; B :- A.FirstChild;", &mut lt).unwrap();
         let mut prog = normalize(&ast);
-        choose_query_pred(&mut prog);
+        // The fallback reports which predicate it silently chose.
+        assert_eq!(choose_query_pred(&mut prog), Some("B".to_string()));
         assert_eq!(prog.query_pred(), prog.pred_id("B"));
     }
 }

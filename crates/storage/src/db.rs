@@ -8,6 +8,7 @@ use arb_tree::{BinaryTree, LabelId, LabelTable, NONE};
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Summary returned by [`ArbDatabase::validate`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -26,6 +27,12 @@ pub struct ArbDatabase {
     arb_path: PathBuf,
     labels: LabelTable,
     node_count: u32,
+    /// Scans opened on this handle (backward, forward) — the observable
+    /// ground truth behind Proposition 5.1's two-linear-scans claim and
+    /// the `EvalStats` scan counters (batched evaluation shares one scan
+    /// pair across all queries of a batch).
+    backward_scans: AtomicU64,
+    forward_scans: AtomicU64,
 }
 
 impl ArbDatabase {
@@ -53,6 +60,8 @@ impl ArbDatabase {
             arb_path,
             labels,
             node_count,
+            backward_scans: AtomicU64::new(0),
+            forward_scans: AtomicU64::new(0),
         })
     }
 
@@ -91,6 +100,7 @@ impl ArbDatabase {
 
     /// Opens a forward record scan (top-down traversal input).
     pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
+        self.forward_scans.fetch_add(1, Ordering::Relaxed);
         Ok(ForwardScan::new(
             File::open(&self.arb_path)?,
             self.node_count,
@@ -99,7 +109,19 @@ impl ArbDatabase {
 
     /// Opens a backward record scan (bottom-up traversal input).
     pub fn backward_scan(&self) -> io::Result<BackwardScan<File>> {
+        self.backward_scans.fetch_add(1, Ordering::Relaxed);
         BackwardScan::new(File::open(&self.arb_path)?, self.node_count)
+    }
+
+    /// Lifetime totals of `(backward, forward)` scans opened on this
+    /// handle. Evaluators count their own scan opens for `EvalStats`;
+    /// these totals are an independent cross-check (the batch
+    /// differential suite asserts against them).
+    pub fn scan_counts(&self) -> (u64, u64) {
+        (
+            self.backward_scans.load(Ordering::Relaxed),
+            self.forward_scans.load(Ordering::Relaxed),
+        )
     }
 
     /// Validates the database's structural integrity in one backward

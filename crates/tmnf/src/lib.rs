@@ -25,6 +25,8 @@
 //!   expressions* (regular expressions over tree relations, §2.2),
 //! * [`normalize()`] — linear-time compilation of surface programs to strict
 //!   TMNF via Glushkov position automata,
+//! * [`merge_programs()`] — IR-level merging of k compiled programs into one
+//!   multi-query program (paper §7) with collision-free predicate renaming,
 //! * [`proplocal`] — `PropLocal(P)` (Definition 4.2): the propositional
 //!   projection partitioned into local/left/right/downward rule groups,
 //! * [`naive`] — a semi-naive datalog fixpoint evaluator over in-memory
@@ -35,6 +37,7 @@ pub mod ast;
 pub mod core;
 pub mod dtd;
 pub mod edb;
+pub mod merge;
 pub mod naive;
 pub mod normalize;
 pub mod optimize;
@@ -46,6 +49,7 @@ pub use crate::core::{CoreProgram, CoreRule, PredId};
 pub use ast::{BodyItem, Move, Regex, StepSym, SurfaceProgram, SurfaceRule};
 pub use dtd::{conformance_program, ContentModel, Dtd};
 pub use edb::EdbAtom;
+pub use merge::{merge_programs, MergedProgram};
 pub use naive::NaiveResult;
 pub use normalize::normalize;
 pub use optimize::optimize;

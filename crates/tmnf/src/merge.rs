@@ -1,0 +1,224 @@
+//! IR-level merging of strict TMNF programs (paper §7, multi-query
+//! evaluation).
+//!
+//! "TMNF programs can evaluate several queries (each one defined by one
+//! IDB predicate) in one program." A batch of k compiled queries is
+//! merged into a single [`CoreProgram`] whose query predicates are the
+//! concatenation of the inputs' query predicates, so one two-phase run
+//! answers all k queries. Merging happens on interned predicate tables —
+//! predicate ids are remapped with collision-free renaming, never by
+//! source-text surgery — while EDB atoms are shared across the inputs
+//! (the same `Label[l]` test is interned once in the merged program).
+
+use crate::core::{BodyAtom, CoreProgram, CoreRule, PredId};
+
+/// The result of merging a batch of programs: the combined program plus
+/// enough bookkeeping to demultiplex results per input query.
+#[derive(Debug)]
+pub struct MergedProgram {
+    /// The combined program. Its `query_preds()` are the inputs' query
+    /// predicates in batch order (input 0's first, then input 1's, …).
+    pub program: CoreProgram,
+    /// For each input program, the merged ids of *its* query predicates,
+    /// in the input's `query_preds()` order.
+    pub query_preds: Vec<Vec<PredId>>,
+}
+
+impl MergedProgram {
+    /// Number of input programs.
+    pub fn len(&self) -> usize {
+        self.query_preds.len()
+    }
+
+    /// True if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.query_preds.is_empty()
+    }
+}
+
+/// Merges `progs` into one program with remapped predicate tables.
+///
+/// Every input predicate receives a fresh id in the merged program; its
+/// name is kept when still unique, else deterministically renamed to
+/// `name@q<i>` (and `name@q<i>#<n>` if even that collides — e.g. when an
+/// input already uses such a name). Predicates are never unified across
+/// inputs: two queries both defining `QUERY` stay two distinct
+/// predicates. EDB atoms, by contrast, are structural and *are* shared.
+pub fn merge_programs(progs: &[&CoreProgram]) -> MergedProgram {
+    let mut merged = CoreProgram::new();
+    let mut query_preds = Vec::with_capacity(progs.len());
+
+    for (i, prog) in progs.iter().enumerate() {
+        // --- Predicate table: fresh ids, collision-free names ----------
+        let mut map: Vec<PredId> = Vec::with_capacity(prog.pred_count());
+        for p in 0..prog.pred_count() as PredId {
+            let name = prog.pred_name(p);
+            let merged_id = if merged.pred_id(name).is_none() {
+                merged.pred(name)
+            } else {
+                let mut candidate = format!("{name}@q{i}");
+                let mut n = 0u32;
+                while merged.pred_id(&candidate).is_some() {
+                    n += 1;
+                    candidate = format!("{name}@q{i}#{n}");
+                }
+                merged.pred(&candidate)
+            };
+            map.push(merged_id);
+        }
+
+        // --- Rules: remap heads/bodies, re-intern EDB atoms ------------
+        for rule in prog.rules() {
+            let mapped = match *rule {
+                CoreRule::Edb { head, edb } => CoreRule::Edb {
+                    head: map[head as usize],
+                    edb: merged.edb(prog.edb_atom(edb)),
+                },
+                CoreRule::Down { head, body, k } => CoreRule::Down {
+                    head: map[head as usize],
+                    body: map[body as usize],
+                    k,
+                },
+                CoreRule::Up { head, body, k } => CoreRule::Up {
+                    head: map[head as usize],
+                    body: map[body as usize],
+                    k,
+                },
+                CoreRule::And { head, b1, b2 } => {
+                    let map_atom = |a: BodyAtom, merged: &mut CoreProgram| match a {
+                        BodyAtom::Pred(p) => BodyAtom::Pred(map[p as usize]),
+                        BodyAtom::Edb(e) => BodyAtom::Edb(merged.edb(prog.edb_atom(e))),
+                    };
+                    CoreRule::And {
+                        head: map[head as usize],
+                        b1: map_atom(b1, &mut merged),
+                        b2: map_atom(b2, &mut merged),
+                    }
+                }
+            };
+            merged.add_rule(mapped);
+        }
+
+        // --- Query predicates ------------------------------------------
+        let qs: Vec<PredId> = prog
+            .query_preds()
+            .iter()
+            .map(|&q| map[q as usize])
+            .collect();
+        for &q in &qs {
+            merged.add_query_pred(q);
+        }
+        query_preds.push(qs);
+    }
+
+    MergedProgram {
+        program: merged,
+        query_preds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{normalize, parse_program};
+    use arb_tree::LabelTable;
+
+    fn compile(src: &str, lt: &mut LabelTable) -> CoreProgram {
+        let ast = parse_program(src, lt).unwrap();
+        let mut prog = normalize(&ast);
+        let q = prog.pred_id("QUERY").unwrap();
+        prog.add_query_pred(q);
+        prog
+    }
+
+    #[test]
+    fn merge_keeps_queries_distinct() {
+        let mut lt = LabelTable::new();
+        let p1 = compile("QUERY :- V.Label[a];", &mut lt);
+        let p2 = compile("QUERY :- V.Label[b];", &mut lt);
+        let m = merge_programs(&[&p1, &p2]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.program.query_preds().len(), 2);
+        // Both inputs named their query QUERY; the merged program keeps
+        // them as two distinct predicates.
+        let [q1, q2] = m.program.query_preds() else {
+            panic!("two query preds");
+        };
+        assert_ne!(q1, q2);
+        assert_eq!(m.program.pred_name(*q1), "QUERY");
+        assert_eq!(m.program.pred_name(*q2), "QUERY@q1");
+        assert_eq!(m.query_preds[0], vec![*q1]);
+        assert_eq!(m.query_preds[1], vec![*q2]);
+        // Rule count is the sum; predicate count too (no unification).
+        assert_eq!(m.program.rule_count(), p1.rule_count() + p2.rule_count());
+        assert_eq!(m.program.pred_count(), p1.pred_count() + p2.pred_count());
+    }
+
+    #[test]
+    fn merge_shares_edb_atoms() {
+        let mut lt = LabelTable::new();
+        let p1 = compile("QUERY :- V.Label[a];", &mut lt);
+        let p2 = compile("QUERY :- V.Label[a], Leaf;", &mut lt);
+        let m = merge_programs(&[&p1, &p2]);
+        // `Label[a]` appears in both inputs but is interned once.
+        let label_a = p1.edbs()[0];
+        let occurrences = m.program.edbs().iter().filter(|&&e| e == label_a).count();
+        assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn merged_naive_semantics_match_inputs() {
+        let mut lt = LabelTable::new();
+        let p1 = compile("A :- Root; QUERY :- A.FirstChild;", &mut lt);
+        let p2 = compile("A :- Leaf, Leaf; QUERY :- A, A;", &mut lt);
+        let tree = {
+            let a = lt.intern("a").unwrap();
+            let mut b = arb_tree::TreeBuilder::new();
+            b.open(a);
+            b.leaf(a);
+            b.leaf(a);
+            b.close();
+            b.finish().unwrap()
+        };
+        let m = merge_programs(&[&p1, &p2]);
+        let merged_res = crate::naive::evaluate(&m.program, &tree);
+        for (i, prog) in [&p1, &p2].into_iter().enumerate() {
+            let res = crate::naive::evaluate(prog, &tree);
+            let q_in = prog.query_preds()[0];
+            let q_merged = m.query_preds[i][0];
+            for v in tree.nodes() {
+                assert_eq!(
+                    merged_res.holds(q_merged, v),
+                    res.holds(q_in, v),
+                    "input {i}, node {}",
+                    v.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_merges_to_empty_program() {
+        let m = merge_programs(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.program.rule_count(), 0);
+    }
+
+    #[test]
+    fn triple_collision_renames_deterministically() {
+        let mut lt = LabelTable::new();
+        // Input 1 already uses the name the collision scheme would pick
+        // for input 2's QUERY — the #<n> fallback must kick in.
+        let mut p1 = compile("QUERY :- V.Label[a];", &mut lt);
+        let aux = p1.pred("QUERY@q1");
+        let root = p1.edb(crate::EdbAtom::Root);
+        p1.add_rule(CoreRule::Edb {
+            head: aux,
+            edb: root,
+        });
+        let p2 = compile("QUERY :- V.Label[b];", &mut lt);
+        let m = merge_programs(&[&p1, &p2]);
+        let q2 = m.query_preds[1][0];
+        assert_eq!(m.program.pred_name(q2), "QUERY@q1#1");
+    }
+}

@@ -30,10 +30,34 @@
 //! cargo bench -p arb-bench   # run them (ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The eight root integration suites are the correctness spine:
+//! ## Batched multi-query evaluation
+//!
+//! Several queries — TMNF or XPath — evaluate as one [`QueryBatch`]
+//! (paper §7): the compiled programs are merged at the IR level
+//! ([`tmnf::merge_programs`], collision-free predicate renaming, shared
+//! EDB atoms) and the merged program runs through the ordinary two-phase
+//! machinery, so the whole batch costs **one** backward and **one**
+//! forward linear scan regardless of its size (`EvalStats::backward_scans`
+//! / `forward_scans` count them). Results are demultiplexed into one
+//! [`QueryOutcome`] per query. Entry points:
+//!
+//! * [`QueryBatch::new`] / [`Database::evaluate_batch`] (also
+//!   `evaluate_boolean_batch` and `evaluate_batch_marked`),
+//! * [`engine::evaluate_disk_batch`] and
+//!   [`engine::evaluate_disk_batch_with_hook`] over raw [`CoreProgram`]s
+//!   (`QueryBatch::from_programs`),
+//! * [`core::evaluate_tree_batch`] for in-memory trees,
+//! * CLI: repeat `--tmnf`/`-q`/`--xpath`/`--file` under `arb query` (or
+//!   pass `--batch`) to submit a batch; results print per query as
+//!   `q<i>: …`.
+//!
+//! [`CoreProgram`]: tmnf::CoreProgram
+//!
+//! The nine root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `twophase_vs_naive`,
-//! `end_to_end` and `section_1_3`. Property suites take an explicit
+//! `batch_differential`, `end_to_end` and `section_1_3`. Property
+//! suites take an explicit
 //! case-count override for deep runs (`ARB_PROPTEST_CASES=5000 cargo
 //! test`) and a global input seed (`ARB_PROPTEST_SEED`); all datagen
 //! workloads are seeded, so every suite is deterministic end to end.
@@ -54,4 +78,4 @@ pub use arb_tree as tree;
 pub use arb_xml as xml;
 pub use arb_xpath as xpath;
 
-pub use arb_engine::{Database, Engine, Query, QueryOutcome};
+pub use arb_engine::{BatchOutcome, Database, Engine, Query, QueryBatch, QueryOutcome};
