@@ -1,21 +1,24 @@
 //! The paper's §1/§6.3 comparison claim: two linear scans with automata
 //! vs. conventional strategies that revisit nodes — (a) the naive
 //! in-memory datalog fixpoint and (b) a node-at-a-time direct XPath
-//! evaluator (the \[10\]-style engine class).
+//! evaluator (the \[10\]-style engine class). The two-phase side runs
+//! through the engine's prepared [`Session`](arb_engine::Session) API.
 
 use arb_bench as bench;
-use arb_engine::evaluate_disk;
+use arb_engine::{Database, QueryBatch};
 use arb_tmnf::naive;
 use arb_xpath::{compile_path, parse_xpath, DirectEvaluator};
 use std::time::Instant;
 
 fn main() {
-    let db = bench::treebank_db();
+    let treebank = bench::treebank_db();
+    let labels_master = treebank.labels;
+    let db = Database::from_disk(treebank.db);
     println!(
         "baseline comparison on treebank ({} nodes)\n",
-        db.db.node_count()
+        db.node_count()
     );
-    let tree = db.db.to_tree().expect("materialize");
+    let tree = db.to_tree().expect("materialize");
 
     let queries = [
         "//NP//VP",
@@ -30,11 +33,13 @@ fn main() {
     );
     for src in queries {
         let path = parse_xpath(src).expect("parse");
-        let mut labels = db.labels.clone();
+        let mut labels = labels_master.clone();
         let prog = compile_path(&path, &mut labels);
+        let batch = QueryBatch::from_programs(std::slice::from_ref(&prog));
+        let session = db.prepare_batch(&batch);
 
         let t = Instant::now();
-        let outcome = evaluate_disk(&prog, &db.db).expect("disk eval");
+        let outcome = session.run_one().expect("disk eval");
         let two_phase = t.elapsed();
 
         let t = Instant::now();
@@ -44,7 +49,7 @@ fn main() {
         let naive_count = res.extent(q).count() as u64;
 
         let t = Instant::now();
-        let mut direct = DirectEvaluator::new(&tree, &db.labels);
+        let mut direct = DirectEvaluator::new(&tree, &labels_master);
         let dsel = direct.evaluate(&path);
         let direct_t = t.elapsed();
 

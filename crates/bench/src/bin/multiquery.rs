@@ -3,24 +3,27 @@
 //! interesting to study how well Arb handles multiple queries."
 //!
 //! This harness batches k random path queries through the engine's
-//! first-class [`QueryBatch`] API — the programs are merged at the IR
-//! level and evaluated with **one** backward and **one** forward scan —
-//! and compares against k separate runs (2k scans). `ARB_MULTIQUERY_MAX_K`
-//! caps the batch sizes (default 16; CI smoke uses 4).
+//! prepared [`Session`](arb_engine::Session) surface — the programs are
+//! merged at the IR level and the session evaluates with **one** backward
+//! and **one** forward scan — and compares against k prepared single-query
+//! sessions run separately (2k scans). `ARB_MULTIQUERY_MAX_K` caps the
+//! batch sizes (default 16; CI smoke uses 4).
 
 use arb_bench as bench;
 use arb_datagen::queries::{RandomPathQuery, R_TOP_DOWN};
 use arb_datagen::RegexShape;
-use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
+use arb_engine::{Database, QueryBatch};
 use arb_tmnf::CoreProgram;
 use std::time::Instant;
 
 fn main() {
-    let db = bench::treebank_db();
+    let treebank = bench::treebank_db();
+    let labels_master = treebank.labels;
+    let db = Database::from_disk(treebank.db);
     let max_k = bench::env_usize("ARB_MULTIQUERY_MAX_K", 16);
     println!(
         "multi-query evaluation on treebank ({} nodes)\n",
-        db.db.node_count()
+        db.node_count()
     );
     println!(
         "{:>3} {:>14} {:>14} {:>9} {:>13} {:>12} {:>12}",
@@ -36,24 +39,33 @@ fn main() {
         let queries = RandomPathQuery::batch(k, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 99);
         // All programs compile against one shared label table; the merge
         // happens on the interned IR, not on source text.
-        let mut labels = db.labels.clone();
+        let mut labels = labels_master.clone();
         let progs: Vec<CoreProgram> = queries
             .iter()
             .map(|q| bench::compile_query(q, R_TOP_DOWN, &mut labels))
             .collect();
+        // Prepare-once/run-many: merging is session-preparation work and
+        // stays outside the timed region, for the combined batch and the
+        // separate per-query baselines alike.
         let batch = QueryBatch::from_programs(&progs);
+        let session = db.prepare_batch(&batch);
+        let singles: Vec<QueryBatch> = progs
+            .iter()
+            .map(|p| QueryBatch::from_programs(std::slice::from_ref(p)))
+            .collect();
 
         let t = Instant::now();
-        let combined = evaluate_disk_batch(&batch, &db.db).expect("batch eval");
+        let combined = session.run().expect("batch eval");
         let t_combined = t.elapsed();
         assert_eq!(combined.stats.backward_scans, 1, "one shared backward scan");
         assert_eq!(combined.stats.forward_scans, 1, "one shared forward scan");
 
         let mut t_separate = std::time::Duration::ZERO;
         let mut sep_trans = 0u64;
-        for (prog, out) in progs.iter().zip(&combined.outcomes) {
+        for (single, out) in singles.iter().zip(&combined.outcomes) {
+            let separate_session = db.prepare_batch(single);
             let t = Instant::now();
-            let o = evaluate_disk(prog, &db.db).expect("eval");
+            let o = separate_session.run_one().expect("eval");
             t_separate += t.elapsed();
             sep_trans += o.stats.phase1_transitions + o.stats.phase2_transitions;
             // Demultiplexed batch results must equal the independent run.

@@ -1,17 +1,23 @@
 //! The `arb` command-line tool — the Rust counterpart of the paper's Arb
-//! system binary.
+//! system binary, built on the engine's prepared [`Session`] /
+//! [`EvalRequest`] / [`arb_engine::ResultSink`] surface.
 //!
 //! ```text
 //! arb create <input.xml> <output.arb> [--attrs] [--trim]
-//! arb query  <db.arb> (--tmnf <program> | --xpath <path> | --file <prog.arb-q>)
-//!            [--count | --nodes | --mark [out.xml]] [--stats]
+//! arb query  <db.arb> (--tmnf <program> | --xpath <path> | --file <prog.arb-q>)...
+//!            [--output bool|count|nodes|xml] [--mark [out.xml]] [--stats]
+//!            [--memory] [--threads N] [--batch] [--explain]
 //! arb stats  <db.arb>
 //! arb check  <db.arb>
 //! arb cat    <db.arb>
 //! ```
 
-use arb_engine::{Database, Query, QueryBatch};
+use arb_engine::{
+    BooleanSink, CountSink, Database, EvalRequest, NodeSetSink, Query, QueryBatch, Session,
+    XmlMarkSink,
+};
 use arb_xml::XmlConfig;
+use std::collections::HashSet;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -29,12 +35,16 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  arb create <input.xml> <output.arb> [--attrs] [--trim]\n  \
      arb query <db.arb> (--tmnf/-q <program> | --xpath <path> | --file <path>)... \
-     [--batch] [--count | --nodes | --boolean | --explain | --mark [out.xml]] [--stats]\n  \
+     [--output bool|count|nodes|xml] [--mark [out.xml]] [--stats]\n            \
+     [--memory] [--threads N] [--batch] [--explain]\n  \
      arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>\n\n\
-     Repeating --tmnf/-q/--xpath/--file submits all queries as one batch\n\
-     evaluated with a single shared two-scan pass; --count/--nodes/--boolean\n\
-     print one result per query, --mark writes one document marking the\n\
-     union of the batch (add --stats for per-query rows)."
+     Repeating --tmnf/-q/--xpath/--file submits all queries as one prepared\n\
+     session evaluated with a single shared two-scan pass. --output picks the\n\
+     result sink: bool/count/nodes print one line per query, xml writes one\n\
+     document marking the union of the session (--mark [file] is shorthand\n\
+     for --output xml with an output path). --memory materializes the tree\n\
+     first; --threads N parallelizes in-memory evaluation. The legacy\n\
+     --count/--nodes/--boolean flags are aliases for --output."
         .to_string()
 }
 
@@ -70,11 +80,13 @@ fn create(args: &[String]) -> Result<(), String> {
 }
 
 /// Compiles every `--tmnf`/`-q`/`--xpath`/`--file` argument (they may
-/// repeat — a multi-query batch), returning the queries in argument
-/// order plus the unconsumed flags.
+/// repeat — a multi-query session), returning the queries in argument
+/// order plus the unconsumed flags. The implicit-QUERY-predicate note is
+/// printed once per *distinct* program text, not once per occurrence.
 fn compile(db: &mut Database, args: &[String]) -> Result<(Vec<Query>, Vec<String>), String> {
     let mut rest = Vec::new();
     let mut queries: Vec<Query> = Vec::new();
+    let mut warned: HashSet<String> = HashSet::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,11 +105,13 @@ fn compile(db: &mut Database, args: &[String]) -> Result<(Vec<Query>, Vec<String
                 }
                 .map_err(|e| e.to_string())?;
                 if let Some(name) = &q.implicit_query_pred {
-                    eprintln!(
-                        "arb: note: query {} has no QUERY predicate; \
-                         selecting the head of its last rule: {name}",
-                        queries.len()
-                    );
+                    if warned.insert(q.source.clone()) {
+                        eprintln!(
+                            "arb: note: query {} has no QUERY predicate; \
+                             selecting the head of its last rule: {name}",
+                            queries.len()
+                        );
+                    }
                 }
                 queries.push(q);
                 i += 2;
@@ -114,29 +128,73 @@ fn compile(db: &mut Database, args: &[String]) -> Result<(Vec<Query>, Vec<String
     Ok((queries, rest))
 }
 
-fn query(args: &[String]) -> Result<(), String> {
-    let db_path = args.first().ok_or_else(usage)?;
-    let mut db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
-    let (queries, rest) = compile(&mut db, &args[1..])?;
+/// The output shape, mapped onto the engine's provided sinks.
+#[derive(Clone, Copy, PartialEq)]
+enum Output {
+    Bool,
+    Count,
+    Nodes,
+    Xml,
+}
 
-    let mut mode = "count";
-    let mut mark_out: Option<String> = None;
-    let mut show_stats = false;
-    let mut force_batch = false;
+/// Everything `arb query` parsed from its flags.
+struct QueryArgs {
+    output: Output,
+    explain: bool,
+    mark_out: Option<String>,
+    show_stats: bool,
+    force_batch: bool,
+    memory: bool,
+    threads: usize,
+}
+
+fn parse_query_flags(rest: &[String]) -> Result<QueryArgs, String> {
+    let mut parsed = QueryArgs {
+        output: Output::Count,
+        explain: false,
+        mark_out: None,
+        show_stats: false,
+        force_batch: false,
+        memory: false,
+        threads: 1,
+    };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--count" => mode = "count",
-            "--nodes" => mode = "nodes",
-            "--boolean" => mode = "boolean",
-            "--explain" => mode = "explain",
-            "--stats" => show_stats = true,
-            "--batch" => force_batch = true,
+            "--output" => {
+                let mode = rest
+                    .get(i + 1)
+                    .ok_or_else(|| "--output needs bool|count|nodes|xml".to_string())?;
+                parsed.output = match mode.as_str() {
+                    "bool" | "boolean" => Output::Bool,
+                    "count" => Output::Count,
+                    "nodes" => Output::Nodes,
+                    "xml" | "mark" => Output::Xml,
+                    other => return Err(format!("unknown output mode {other:?}")),
+                };
+                i += 1;
+            }
+            // Legacy aliases for --output.
+            "--count" => parsed.output = Output::Count,
+            "--nodes" => parsed.output = Output::Nodes,
+            "--boolean" => parsed.output = Output::Bool,
+            "--explain" => parsed.explain = true,
+            "--stats" => parsed.show_stats = true,
+            "--batch" => parsed.force_batch = true,
+            "--memory" => parsed.memory = true,
+            "--threads" => {
+                let n = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(|| "--threads needs a number".to_string())?;
+                parsed.threads = n.max(1);
+                i += 1;
+            }
             "--mark" => {
-                mode = "mark";
+                parsed.output = Output::Xml;
                 if let Some(next) = rest.get(i + 1) {
                     if !next.starts_with("--") {
-                        mark_out = Some(next.clone());
+                        parsed.mark_out = Some(next.clone());
                         i += 1;
                     }
                 }
@@ -145,13 +203,127 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
+    Ok(parsed)
+}
 
-    if queries.len() > 1 || force_batch {
-        return query_batch(&db, queries, mode, mark_out, show_stats);
+fn query(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let mut db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
+    let (queries, rest) = compile(&mut db, &args[1..])?;
+    let parsed = parse_query_flags(&rest)?;
+
+    // Per-query output lines carry a `q<i>:` prefix for multi-query
+    // sessions (or when --batch forces batch formatting).
+    let prefixed = queries.len() > 1 || parsed.force_batch;
+
+    if parsed.explain {
+        return explain(&db, &queries, prefixed);
     }
-    let q = queries.into_iter().next().expect("one query");
 
-    if mode == "explain" {
+    let batch = QueryBatch::new(&queries);
+    let session = db.prepare_batch(&batch);
+    let req = EvalRequest::new()
+        .prefer_memory(parsed.memory)
+        .parallelism(parsed.threads)
+        .verbose_stats(parsed.show_stats);
+
+    let label = |i: usize| {
+        if prefixed {
+            format!("q{i}: ")
+        } else {
+            String::new()
+        }
+    };
+
+    match parsed.output {
+        Output::Bool => {
+            let mut sink = BooleanSink::default();
+            session.eval(&req, &mut sink).map_err(|e| e.to_string())?;
+            for (i, accepted) in sink.verdicts().iter().enumerate() {
+                println!(
+                    "{}{}",
+                    label(i),
+                    if *accepted { "accept" } else { "reject" }
+                );
+            }
+            Ok(())
+        }
+        Output::Count => {
+            let mut sink = CountSink::default();
+            let report = session.eval(&req, &mut sink).map_err(|e| e.to_string())?;
+            for (i, count) in sink.counts().iter().enumerate() {
+                println!("{}{count} nodes selected", label(i));
+            }
+            print_stats(&session, &report, &req, prefixed);
+            Ok(())
+        }
+        Output::Nodes => {
+            let mut sink = NodeSetSink::default();
+            let report = session.eval(&req, &mut sink).map_err(|e| e.to_string())?;
+            for (i, set) in sink.sets().iter().enumerate() {
+                for v in set.iter() {
+                    println!("{}{}", label(i), v.0);
+                }
+            }
+            print_stats(&session, &report, &req, prefixed);
+            Ok(())
+        }
+        Output::Xml => {
+            let report = match &parsed.mark_out {
+                Some(path) => {
+                    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+                    let mut w = std::io::BufWriter::new(f);
+                    let mut sink = XmlMarkSink::new(db.labels(), &mut w);
+                    let report = session.eval(&req, &mut sink).map_err(|e| e.to_string())?;
+                    w.flush().map_err(|e| e.to_string())?;
+                    report
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    let mut lock = stdout.lock();
+                    let mut sink = XmlMarkSink::new(db.labels(), &mut lock);
+                    let report = session.eval(&req, &mut sink).map_err(|e| e.to_string())?;
+                    writeln!(lock).ok();
+                    report
+                }
+            };
+            print_stats(&session, &report, &req, prefixed);
+            Ok(())
+        }
+    }
+}
+
+/// Prints the Figure-6 statistics rows when the request's
+/// `verbose_stats` option (the CLI's `--stats`) asked for them: one row
+/// per query, plus the shared-pass note in batch formatting.
+fn print_stats(
+    session: &Session<'_>,
+    report: &arb_engine::EvalReport,
+    req: &EvalRequest,
+    prefixed: bool,
+) {
+    if !req.options().verbose_stats {
+        return;
+    }
+    let Some(batch) = &report.batch else { return };
+    println!("{}", arb_core::EvalStats::table_header());
+    for o in &batch.outcomes {
+        println!("{}", o.stats.table_row());
+    }
+    if prefixed {
+        println!(
+            "# shared pass: {} backward scan(s), {} forward scan(s) for {} queries",
+            batch.stats.backward_scans,
+            batch.stats.forward_scans,
+            session.len()
+        );
+    }
+}
+
+/// `--explain`: print the compiled program(s) without evaluating.
+fn explain(db: &Database, queries: &[Query], prefixed: bool) -> Result<(), String> {
+    if !prefixed {
+        let q = &queries[0];
         println!(
             "# {} query compiled to strict TMNF ({} predicates, {} rules):",
             match q.language {
@@ -164,134 +336,15 @@ fn query(args: &[String]) -> Result<(), String> {
         print!("{}", q.program().display(db.labels()));
         return Ok(());
     }
-    if mode == "boolean" {
-        // Document filtering: a single backward scan (no phase 2).
-        let accepted = db.evaluate_boolean(&q).map_err(|e| e.to_string())?;
-        println!("{}", if accepted { "accept" } else { "reject" });
-        return Ok(());
-    }
-    let outcome = match mode {
-        "mark" => {
-            let stdout = std::io::stdout();
-            match &mark_out {
-                Some(path) => {
-                    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
-                    let mut w = std::io::BufWriter::new(f);
-                    let o = db.evaluate_marked(&q, &mut w).map_err(|e| e.to_string())?;
-                    w.flush().map_err(|e| e.to_string())?;
-                    o
-                }
-                None => {
-                    let mut lock = stdout.lock();
-                    let o = db
-                        .evaluate_marked(&q, &mut lock)
-                        .map_err(|e| e.to_string())?;
-                    writeln!(lock).ok();
-                    o
-                }
-            }
-        }
-        _ => db.evaluate(&q).map_err(|e| e.to_string())?,
-    };
-
-    match mode {
-        "count" => println!("{} nodes selected", outcome.stats.selected),
-        "nodes" => {
-            for v in outcome.selected.iter() {
-                println!("{}", v.0);
-            }
-        }
-        _ => {}
-    }
-    if show_stats {
-        println!("{}", arb_core::EvalStats::table_header());
-        println!("{}", outcome.stats.table_row());
-    }
-    Ok(())
-}
-
-/// Batched evaluation: all queries share one two-scan pass over the
-/// database; results are printed per query, prefixed `q<i>:`.
-fn query_batch(
-    db: &Database,
-    queries: Vec<Query>,
-    mode: &str,
-    mark_out: Option<String>,
-    show_stats: bool,
-) -> Result<(), String> {
-    let batch = QueryBatch::new(&queries);
-    if mode == "explain" {
-        println!(
-            "# batch of {} queries merged into one TMNF program \
-             ({} predicates, {} rules):",
-            batch.len(),
-            batch.merged_program().pred_count(),
-            batch.merged_program().rule_count()
-        );
-        print!("{}", batch.merged_program().display(db.labels()));
-        return Ok(());
-    }
-    if mode == "boolean" {
-        let verdicts = db
-            .evaluate_boolean_batch(&batch)
-            .map_err(|e| e.to_string())?;
-        for (i, accepted) in verdicts.iter().enumerate() {
-            println!("q{i}: {}", if *accepted { "accept" } else { "reject" });
-        }
-        return Ok(());
-    }
-
-    let out = match mode {
-        "mark" => match &mark_out {
-            Some(path) => {
-                let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
-                let mut w = std::io::BufWriter::new(f);
-                let o = db
-                    .evaluate_batch_marked(&batch, &mut w)
-                    .map_err(|e| e.to_string())?;
-                w.flush().map_err(|e| e.to_string())?;
-                o
-            }
-            None => {
-                let stdout = std::io::stdout();
-                let mut lock = stdout.lock();
-                let o = db
-                    .evaluate_batch_marked(&batch, &mut lock)
-                    .map_err(|e| e.to_string())?;
-                writeln!(lock).ok();
-                o
-            }
-        },
-        _ => db.evaluate_batch(&batch).map_err(|e| e.to_string())?,
-    };
-
-    match mode {
-        "count" => {
-            for (i, o) in out.outcomes.iter().enumerate() {
-                println!("q{i}: {} nodes selected", o.stats.selected);
-            }
-        }
-        "nodes" => {
-            for (i, o) in out.outcomes.iter().enumerate() {
-                for v in o.selected.iter() {
-                    println!("q{i}: {}", v.0);
-                }
-            }
-        }
-        _ => {}
-    }
-    if show_stats {
-        println!("{}", arb_core::EvalStats::table_header());
-        for o in &out.outcomes {
-            println!("{}", o.stats.table_row());
-        }
-        println!(
-            "# shared pass: {} backward scan(s), {} forward scan(s) for {} queries",
-            out.stats.backward_scans,
-            out.stats.forward_scans,
-            batch.len()
-        );
-    }
+    let batch = QueryBatch::new(queries);
+    println!(
+        "# batch of {} queries merged into one TMNF program \
+         ({} predicates, {} rules):",
+        batch.len(),
+        batch.merged_program().pred_count(),
+        batch.merged_program().rule_count()
+    );
+    print!("{}", batch.merged_program().display(db.labels()));
     Ok(())
 }
 

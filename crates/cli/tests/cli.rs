@@ -184,4 +184,87 @@ fn cli_batch_queries() {
         err.contains("no QUERY predicate") && err.contains("B"),
         "stderr: {err}"
     );
+
+    // The note prints once per *distinct* program, not once per
+    // occurrence: the same program twice warns once, a different
+    // QUERY-less program warns again.
+    let (_, err) = run(&[
+        "query",
+        arb,
+        "--tmnf",
+        "A :- V.Label[k]; B :- A.FirstChild;",
+        "--tmnf",
+        "A :- V.Label[k]; B :- A.FirstChild;",
+        "--tmnf",
+        "C :- V.Label[m];",
+        "--count",
+    ]);
+    assert_eq!(
+        err.matches("no QUERY predicate").count(),
+        2,
+        "stderr: {err}"
+    );
+}
+
+/// The unified `--output` flag maps onto the engine's result sinks; the
+/// `EvalOptions` knobs (`--memory`, `--threads`) ride on the same
+/// prepared session and must not change results.
+#[test]
+fn cli_output_flag_and_options() {
+    let exe = env!("CARGO_BIN_EXE_arb", "arb CLI binary");
+    let dir = std::env::temp_dir().join(format!("arb-cli-out-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml_path = dir.join("doc.xml");
+    std::fs::write(&xml_path, "<d><k>v</k><k/><m/></d>").unwrap();
+    let arb_path = dir.join("doc.arb");
+    let arb = arb_path.to_str().unwrap();
+
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(exe)
+            .args(args)
+            .output()
+            .expect("spawn arb");
+        assert!(
+            out.status.success(),
+            "arb {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    run(&["create", xml_path.to_str().unwrap(), arb]);
+
+    let out = run(&["query", arb, "--xpath", "//k", "--output", "count"]);
+    assert!(out.contains("2 nodes selected"), "output: {out}");
+
+    let out = run(&["query", arb, "--xpath", "//k", "--output", "nodes"]);
+    assert!(out.contains('1') && out.contains('3'), "output: {out}");
+
+    let out = run(&["query", arb, "--xpath", "//d[k]", "--output", "bool"]);
+    assert!(out.contains("accept"), "output: {out}");
+
+    let out = run(&["query", arb, "--xpath", "//m", "--output", "xml"]);
+    assert!(out.contains("<m arb:selected=\"true\">"), "output: {out}");
+
+    // Options: in-memory (materialized) and parallel evaluation give the
+    // same answers through the same session surface.
+    let out = run(&[
+        "query",
+        arb,
+        "--xpath",
+        "//k",
+        "--output",
+        "count",
+        "--memory",
+        "--threads",
+        "4",
+    ]);
+    assert!(out.contains("2 nodes selected"), "output: {out}");
+
+    // Unknown output modes are reported, not panicked.
+    let out = std::process::Command::new(exe)
+        .args(["query", arb, "--xpath", "//k", "--output", "jpeg"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
 }

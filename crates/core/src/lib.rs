@@ -45,5 +45,6 @@ pub mod stats;
 pub mod twophase;
 
 pub use lazy::QueryAutomata;
+pub use parallel::evaluate_tree_parallel;
 pub use stats::EvalStats;
 pub use twophase::{evaluate_tree, evaluate_tree_batch, BatchTreeEvalResult, TreeEvalResult};

@@ -6,7 +6,7 @@
 //! two-phase machinery — **one** backward linear scan and **one** forward
 //! linear scan for the whole batch, regardless of k (assert via the
 //! `backward_scans` / `forward_scans` counters of
-//! [`EvalStats`](arb_core::EvalStats)) — and demultiplexes the node
+//! [`EvalStats`]) — and demultiplexes the node
 //! annotations back into one [`QueryOutcome`] per input query.
 
 use crate::diskeval::Phase2Hook;
@@ -223,16 +223,45 @@ pub fn evaluate_tree_batch(
     batch: &QueryBatch,
     tree: &arb_tree::BinaryTree,
 ) -> io::Result<BatchOutcome> {
+    evaluate_tree_batch_opts(batch, tree, 1, None)
+}
+
+/// [`evaluate_tree_batch`] with knobs: `threads > 1` runs the phase-1/2
+/// sweeps through [`arb_core::evaluate_tree_parallel`] over a subtree
+/// frontier (the Section 6.2 case study), and a `hook` observes every
+/// node in document order with a synthesized record and per-query
+/// selection flags — the in-memory twin of the disk phase-2 hook, so
+/// streaming sinks work identically on both backends.
+pub(crate) fn evaluate_tree_batch_opts(
+    batch: &QueryBatch,
+    tree: &arb_tree::BinaryTree,
+    threads: usize,
+    mut hook: Option<Phase2Hook<'_>>,
+) -> io::Result<BatchOutcome> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
-    let res = arb_core::evaluate_tree(&batch.merged, tree);
+    let res = if threads > 1 {
+        arb_core::evaluate_tree_parallel(&batch.merged, tree, threads)
+    } else {
+        arb_core::evaluate_tree(&batch.merged, tree)
+    };
     let atoms = batch.query_atoms();
     let mut sets: Vec<NodeSet> = (0..batch.len()).map(|_| NodeSet::new(tree.len())).collect();
     let mut merged_counts = vec![0u64; atoms.iter().map(Vec::len).sum()];
+    let mut flags = vec![false; batch.len()];
     for v in tree.nodes() {
         let set = res.automata.predsets.get(res.rho_b[v.ix()]);
-        demux_node(set, &atoms, &mut merged_counts, &mut sets, v.0);
+        demux_node(set, &atoms, &mut merged_counts, &mut sets, v.0, &mut flags);
+        if let Some(h) = hook.as_mut() {
+            let info = tree.info(v);
+            let rec = arb_storage::NodeRecord {
+                label: info.label,
+                has_first: info.has_first,
+                has_second: info.has_second,
+            };
+            h(v.0, rec, set, &flags);
+        }
     }
     let outcomes = batch.demux(&res.stats, &merged_counts, sets);
     Ok(BatchOutcome {
@@ -242,18 +271,20 @@ pub fn evaluate_tree_batch(
 }
 
 /// Tests every group's atoms against one node's predicate set, bumping
-/// the flattened per-atom counts and inserting the node into each
-/// matching group's set — the per-node demux kernel shared by the disk
-/// phase-2 scan and the in-memory batch path.
+/// the flattened per-atom counts, inserting the node into each matching
+/// group's set, and recording one selected-flag per group in `flags` —
+/// the per-node demux kernel shared by the disk phase-2 scan and the
+/// in-memory batch path.
 pub(crate) fn demux_node(
     set: &arb_logic::PredSet,
     groups: &[Vec<Atom>],
     counts: &mut [u64],
     sets: &mut [NodeSet],
     ix: u32,
+    flags: &mut [bool],
 ) {
     let mut offset = 0usize;
-    for (atoms, selected) in groups.iter().zip(sets.iter_mut()) {
+    for (g, (atoms, selected)) in groups.iter().zip(sets.iter_mut()).enumerate() {
         let mut any = false;
         for (j, a) in atoms.iter().enumerate() {
             if set.contains(*a) {
@@ -264,6 +295,7 @@ pub(crate) fn demux_node(
         if any {
             selected.insert(arb_tree::NodeId(ix));
         }
+        flags[g] = any;
         offset += atoms.len();
     }
 }
@@ -285,16 +317,22 @@ pub fn evaluate_boolean_batch(batch: &QueryBatch, db: &ArbDatabase) -> io::Resul
 
 /// The in-memory counterpart of [`evaluate_boolean_batch`]: per-query
 /// root verdicts from one shared two-phase run (same error behavior as
-/// the disk path).
+/// the disk path). `threads > 1` parallelizes over the subtree frontier,
+/// like [`evaluate_tree_batch_opts`].
 pub(crate) fn evaluate_boolean_batch_tree(
     batch: &QueryBatch,
     tree: &arb_tree::BinaryTree,
+    threads: usize,
 ) -> io::Result<Vec<bool>> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
     // Only the root's predicate set matters — no per-node demux.
-    let res = arb_core::evaluate_tree(&batch.merged, tree);
+    let res = if threads > 1 {
+        arb_core::evaluate_tree_parallel(&batch.merged, tree, threads)
+    } else {
+        arb_core::evaluate_tree(&batch.merged, tree)
+    };
     let root_set = res.automata.predsets.get(res.rho_b[tree.root().ix()]);
     Ok(batch
         .query_atoms()

@@ -1,13 +1,16 @@
 //! The `Database` handle: disk or memory, plus query compilation bound to
 //! the database's label space.
+//!
+//! Evaluation happens through prepared [`Session`]s — see
+//! [`Database::prepare`] and the [`session`](crate::session) module. The
+//! legacy `evaluate*` method matrix survives as deprecated one-line shims
+//! over that path.
 
-use crate::diskeval::{evaluate_disk, evaluate_disk_with_hook};
-use crate::output::XmlEmitter;
 use crate::query::{choose_query_pred, Query, QueryLanguage};
+use crate::session::Session;
 use crate::QueryOutcome;
-use arb_core::evaluate_tree;
-use arb_storage::{ArbDatabase, CreationStats, NodeRecord};
-use arb_tree::{BinaryTree, LabelTable, NodeSet};
+use arb_storage::{ArbDatabase, CreationStats};
+use arb_tree::{BinaryTree, LabelTable};
 use arb_xml::XmlConfig;
 use std::fmt;
 use std::io::{self, Write};
@@ -61,11 +64,16 @@ impl Database {
     /// Opens an existing `.arb` database.
     pub fn open_arb(path: impl AsRef<Path>) -> Result<Self, EngineError> {
         let db = ArbDatabase::open(path.as_ref().to_path_buf())?;
+        Ok(Self::from_disk(db))
+    }
+
+    /// Wraps an already-open [`ArbDatabase`] handle.
+    pub fn from_disk(db: ArbDatabase) -> Self {
         let labels = db.labels().clone();
-        Ok(Database {
+        Database {
             backing: Backing::Disk(db),
             labels,
-        })
+        }
     }
 
     /// Creates a `.arb` database from an XML file (the paper's two-pass
@@ -78,14 +86,7 @@ impl Database {
         let (db, stats) =
             ArbDatabase::create_from_xml_file(xml_path.as_ref(), arb_path.as_ref(), config)
                 .map_err(|e| EngineError::Create(e.to_string()))?;
-        let labels = db.labels().clone();
-        Ok((
-            Database {
-                backing: Backing::Disk(db),
-                labels,
-            },
-            stats,
-        ))
+        Ok((Self::from_disk(db), stats))
     }
 
     /// An in-memory database parsed from an XML string.
@@ -125,6 +126,14 @@ impl Database {
         match &self.backing {
             Backing::Disk(db) => Some(db),
             Backing::Memory(_) => None,
+        }
+    }
+
+    /// The in-memory tree, if this is a memory database.
+    pub(crate) fn memory_tree(&self) -> Option<&BinaryTree> {
+        match &self.backing {
+            Backing::Disk(_) => None,
+            Backing::Memory(t) => Some(t),
         }
     }
 
@@ -168,168 +177,91 @@ impl Database {
         })
     }
 
-    /// Evaluates a query as a **boolean** (document-filtering) query:
-    /// true iff a query predicate holds at the root. For disk databases
-    /// this needs only the bottom-up phase — a single backward scan.
-    pub fn evaluate_boolean(&self, query: &Query) -> Result<bool, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => Ok(crate::diskeval::evaluate_boolean(&query.prog, db)?),
-            Backing::Memory(tree) => {
-                let res = evaluate_tree(&query.prog, tree);
-                Ok(query
-                    .prog
-                    .query_preds()
-                    .iter()
-                    .any(|&p| res.holds(p, tree.root())))
-            }
-        }
-    }
-
-    /// Evaluates a query by the two-phase algorithm: two linear scans for
-    /// disk databases, two in-memory sweeps otherwise.
-    pub fn evaluate(&self, query: &Query) -> Result<QueryOutcome, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => Ok(evaluate_disk(&query.prog, db)?),
-            Backing::Memory(tree) => {
-                let res = evaluate_tree(&query.prog, tree);
-                let mut selected = NodeSet::new(tree.len());
-                let mut per_pred_counts = vec![0u64; query.prog.query_preds().len()];
-                for v in tree.nodes() {
-                    let mut any = false;
-                    for (i, &q) in query.prog.query_preds().iter().enumerate() {
-                        if res.holds(q, v) {
-                            per_pred_counts[i] += 1;
-                            any = true;
-                        }
-                    }
-                    if any {
-                        selected.insert(v);
-                    }
-                }
-                Ok(QueryOutcome {
-                    stats: res.stats,
-                    selected,
-                    per_pred_counts,
-                })
-            }
-        }
-    }
-
-    /// Evaluates a [`QueryBatch`](crate::QueryBatch): all queries share
-    /// **one** two-phase pass — one backward and one forward linear scan
-    /// for disk databases (`stats.backward_scans == 1` regardless of the
-    /// batch size), two in-memory sweeps otherwise — and the results are
-    /// demultiplexed into one [`QueryOutcome`] per query. The batch's
-    /// queries must have been compiled against *this* database (see
+    /// Prepares compiled queries for evaluation: merges them into one
+    /// multi-query program (a single query is a batch of one) and binds
+    /// the resulting [`Session`] to this database. The queries must have
+    /// been compiled against *this* database (see
     /// [`QueryBatch::new`](crate::QueryBatch::new)).
-    pub fn evaluate_batch(
-        &self,
-        batch: &crate::QueryBatch,
-    ) -> Result<crate::BatchOutcome, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => Ok(crate::batch::evaluate_disk_batch(batch, db)?),
-            Backing::Memory(tree) => Ok(crate::batch::evaluate_tree_batch(batch, tree)?),
-        }
+    pub fn prepare(&self, queries: &[Query]) -> Session<'_> {
+        Session::new(self, queries)
     }
 
-    /// Evaluates every query of a batch as a **boolean** (document
-    /// filtering) query, sharing a single backward scan: one
-    /// accept/reject verdict per query.
-    pub fn evaluate_boolean_batch(
-        &self,
-        batch: &crate::QueryBatch,
-    ) -> Result<Vec<bool>, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => Ok(crate::batch::evaluate_boolean_batch(batch, db)?),
-            Backing::Memory(tree) => Ok(crate::batch::evaluate_boolean_batch_tree(batch, tree)?),
-        }
+    /// Prepares an existing [`QueryBatch`](crate::QueryBatch) (e.g. one
+    /// built from raw programs with
+    /// [`QueryBatch::from_programs`](crate::QueryBatch::from_programs)).
+    pub fn prepare_batch<'db>(&'db self, batch: &'db crate::QueryBatch) -> Session<'db> {
+        Session::over(self, batch)
+    }
+}
+
+/// The legacy method-per-(cardinality × output-mode) matrix, now one-line
+/// shims over [`Database::prepare`] + [`Session`] with the corresponding
+/// sink. Migration map:
+///
+/// | legacy                   | prepared replacement                              |
+/// |--------------------------|---------------------------------------------------|
+/// | `evaluate`               | `prepare(&[q]).run_one()`                         |
+/// | `evaluate_boolean`       | `prepare(&[q]).run_boolean()` / [`crate::BooleanSink`] |
+/// | `evaluate_marked`        | `prepare(&[q]).run_marked(out)` / [`crate::XmlMarkSink`] |
+/// | `evaluate_batch`         | `prepare_batch(&batch).run()`                     |
+/// | `evaluate_boolean_batch` | `prepare_batch(&batch).run_boolean()`             |
+/// | `evaluate_batch_marked`  | `prepare_batch(&batch).run_marked(out)`           |
+impl Database {
+    /// Evaluates a query by the two-phase algorithm.
+    #[deprecated(note = "prepare a Session: `Database::prepare` + `Session::run_one`")]
+    pub fn evaluate(&self, query: &Query) -> Result<QueryOutcome, EngineError> {
+        self.prepare(std::slice::from_ref(query)).run_one()
     }
 
-    /// Evaluates a batch and writes the whole document once with nodes
-    /// marked that any query of the batch selected (the demultiplexed
-    /// per-query node sets are in the returned outcome; per-query marked
-    /// output is available through
-    /// [`evaluate_disk_batch_with_hook`](crate::evaluate_disk_batch_with_hook)).
-    pub fn evaluate_batch_marked(
-        &self,
-        batch: &crate::QueryBatch,
-        out: impl Write,
-    ) -> Result<crate::BatchOutcome, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => {
-                let query_atoms = local_atoms(batch.merged_program().query_preds());
-                marked_disk_eval(&self.labels, &query_atoms, out, |hook| {
-                    crate::batch::evaluate_disk_batch_with_hook(batch, db, Some(hook))
-                })
-            }
-            Backing::Memory(tree) => {
-                let outcome = self.evaluate_batch(batch)?;
-                let mut union = NodeSet::new(tree.len());
-                for o in &outcome.outcomes {
-                    union.union_with(&o.selected);
-                }
-                let mut out = out;
-                let writer = arb_xml::MarkedWriter::new(&self.labels, Some(&union));
-                writer.write(tree, &mut out)?;
-                Ok(outcome)
-            }
-        }
+    /// Evaluates a query as a **boolean** (document-filtering) query.
+    #[deprecated(note = "prepare a Session: `Session::run_boolean` or a `BooleanSink`")]
+    pub fn evaluate_boolean(&self, query: &Query) -> Result<bool, EngineError> {
+        Ok(self.prepare(std::slice::from_ref(query)).run_boolean()?[0])
     }
 
-    /// Evaluates a query and writes the whole document with selected
-    /// nodes marked (the paper's default output mode), streaming during
-    /// phase 2 for disk databases.
+    /// Evaluates a query and writes the document with selected nodes
+    /// marked.
+    #[deprecated(note = "prepare a Session: `Session::run_marked` or an `XmlMarkSink`")]
     pub fn evaluate_marked(
         &self,
         query: &Query,
         out: impl Write,
     ) -> Result<QueryOutcome, EngineError> {
-        match &self.backing {
-            Backing::Disk(db) => {
-                let query_atoms = local_atoms(query.prog.query_preds());
-                marked_disk_eval(&self.labels, &query_atoms, out, |hook| {
-                    evaluate_disk_with_hook(&query.prog, db, Some(hook))
-                })
-            }
-            Backing::Memory(tree) => {
-                let outcome = self.evaluate(query)?;
-                let mut out = out;
-                let writer = arb_xml::MarkedWriter::new(&self.labels, Some(&outcome.selected));
-                writer.write(tree, &mut out)?;
-                Ok(outcome)
-            }
-        }
+        Ok(self
+            .prepare(std::slice::from_ref(query))
+            .run_marked(out)?
+            .outcomes
+            .remove(0))
     }
-}
 
-/// The query predicates as logic atoms.
-fn local_atoms(preds: &[arb_tmnf::PredId]) -> Vec<arb_logic::Atom> {
-    preds.iter().map(|&p| arb_logic::Atom::local(p)).collect()
-}
-
-/// Shared disk-side marked-output kernel: runs `eval` with a phase-2
-/// hook that streams the document in document order, marking every node
-/// whose predicate set contains any of `query_atoms`.
-fn marked_disk_eval<T>(
-    labels: &LabelTable,
-    query_atoms: &[arb_logic::Atom],
-    out: impl Write,
-    eval: impl FnOnce(crate::diskeval::Phase2Hook<'_>) -> io::Result<T>,
-) -> Result<T, EngineError> {
-    let mut emitter = XmlEmitter::new(labels, out);
-    let mut emit_err: Option<io::Error> = None;
-    let mut hook = |_ix: u32, rec: NodeRecord, set: &arb_logic::PredSet| {
-        let sel = query_atoms.iter().any(|a| set.contains(*a));
-        if let Err(e) = emitter.node(rec, sel) {
-            emit_err.get_or_insert(e);
-        }
-    };
-    let outcome = eval(&mut hook)?;
-    if let Some(e) = emit_err {
-        return Err(e.into());
+    /// Evaluates a [`QueryBatch`](crate::QueryBatch) in one shared pass.
+    #[deprecated(note = "prepare a Session: `Database::prepare_batch` + `Session::run`")]
+    pub fn evaluate_batch(
+        &self,
+        batch: &crate::QueryBatch,
+    ) -> Result<crate::BatchOutcome, EngineError> {
+        self.prepare_batch(batch).run()
     }
-    emitter.finish()?;
-    Ok(outcome)
+
+    /// Evaluates every query of a batch as a boolean query.
+    #[deprecated(note = "prepare a Session: `Database::prepare_batch` + `Session::run_boolean`")]
+    pub fn evaluate_boolean_batch(
+        &self,
+        batch: &crate::QueryBatch,
+    ) -> Result<Vec<bool>, EngineError> {
+        self.prepare_batch(batch).run_boolean()
+    }
+
+    /// Evaluates a batch and writes the document once, marking the union
+    /// of the batch's selections.
+    #[deprecated(note = "prepare a Session: `Database::prepare_batch` + `Session::run_marked`")]
+    pub fn evaluate_batch_marked(
+        &self,
+        batch: &crate::QueryBatch,
+        out: impl Write,
+    ) -> Result<crate::BatchOutcome, EngineError> {
+        self.prepare_batch(batch).run_marked(out)
+    }
 }
 
 #[cfg(test)]
@@ -340,12 +272,13 @@ mod tests {
     fn memory_database_end_to_end() {
         let mut db = Database::from_xml_str("<r><a/><b><a>t</a></b></r>").unwrap();
         let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
-        let outcome = db.evaluate(&q).unwrap();
+        let session = db.prepare(std::slice::from_ref(&q));
+        let outcome = session.run_one().unwrap();
         assert_eq!(outcome.stats.selected, 2);
         assert_eq!(outcome.per_pred_counts, vec![2]);
 
         let mut buf = Vec::new();
-        db.evaluate_marked(&q, &mut buf).unwrap();
+        session.run_marked(&mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert_eq!(
             s,
@@ -369,15 +302,31 @@ mod tests {
         let src = "QUERY :- V.Label[x], HasFirstChild;";
         let qd = disk.compile_tmnf(src).unwrap();
         let qm = mem.compile_tmnf(src).unwrap();
-        let od = disk.evaluate(&qd).unwrap();
-        let om = mem.evaluate(&qm).unwrap();
+        let sd = disk.prepare(std::slice::from_ref(&qd));
+        let sm = mem.prepare(std::slice::from_ref(&qm));
+        let od = sd.run_one().unwrap();
+        let om = sm.run_one().unwrap();
         assert_eq!(od.stats.selected, om.stats.selected);
         assert_eq!(od.selected.to_vec(), om.selected.to_vec());
 
         let mut bd = Vec::new();
         let mut bm = Vec::new();
-        disk.evaluate_marked(&qd, &mut bd).unwrap();
-        mem.evaluate_marked(&qm, &mut bm).unwrap();
+        sd.run_marked(&mut bd).unwrap();
+        sm.run_marked(&mut bm).unwrap();
         assert_eq!(bd, bm);
+    }
+
+    /// The deprecated shims stay behaviorally identical to the prepared
+    /// path they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_delegate() {
+        let mut db = Database::from_xml_str("<r><a/><b><a>t</a></b></r>").unwrap();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
+        assert!(!db.evaluate_boolean(&q).unwrap());
+        let mut buf = Vec::new();
+        db.evaluate_marked(&q, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("arb:selected"));
     }
 }

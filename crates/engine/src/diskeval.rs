@@ -19,8 +19,11 @@ use std::io;
 use std::time::Instant;
 
 /// Per-node hook invoked during phase 2 (document order) with the node's
-/// record and its final true-predicate set — used for marked-XML output.
-pub type Phase2Hook<'a> = &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet);
+/// record, its final true-predicate set, and one selected-flag per query
+/// group (one entry for a single query; one per input query of a batch) —
+/// the seam streaming consumers (e.g. [`crate::XmlMarkSink`]) plug into.
+pub type Phase2Hook<'a> =
+    &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet, &[bool]);
 
 /// Evaluates a TMNF program over a disk database by the two-phase
 /// algorithm. Pass a `hook` to observe every node's predicates in
@@ -93,6 +96,7 @@ pub(crate) fn evaluate_disk_grouped(
     let mut group_sets: Vec<NodeSet> = (0..groups.len())
         .map(|_| NodeSet::new(n as usize))
         .collect();
+    let mut flags = vec![false; groups.len()];
     let mut io_err: Option<io::Error> = None;
     let start = qa.start_state(root_state);
     top_down_scan(&mut scan, |ctx, rec, ix| -> PredSetId {
@@ -112,9 +116,16 @@ pub(crate) fn evaluate_disk_grouped(
             DownContext::Child(parent, k) => qa.top_down(parent, rho_a, k),
         };
         let set = qa.predsets.get(state);
-        crate::batch::demux_node(set, groups, &mut per_pred_counts, &mut group_sets, ix);
+        crate::batch::demux_node(
+            set,
+            groups,
+            &mut per_pred_counts,
+            &mut group_sets,
+            ix,
+            &mut flags,
+        );
         if let Some(h) = hook.as_mut() {
-            h(ix, rec, set);
+            h(ix, rec, set, &flags);
         }
         state
     })?;
@@ -266,9 +277,10 @@ mod tests {
         let mut prog = normalize(&ast);
         prog.add_query_pred(prog.pred_id("QUERY").unwrap());
         let mut seen = Vec::new();
-        let mut hook = |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet| {
-            seen.push(ix);
-        };
+        let mut hook =
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, _f: &[bool]| {
+                seen.push(ix);
+            };
         evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
         assert_eq!(seen, vec![0, 1, 2]);
     }

@@ -2,39 +2,51 @@
 //!
 //! The high-level Arb query engine: databases (on disk in the `.arb`
 //! storage model, or in memory), compiled queries (TMNF or Core XPath),
-//! and two-phase evaluation with optional marked-XML output — the Rust
-//! counterpart of the paper's C++ `Arb` system.
+//! and two-phase evaluation — the Rust counterpart of the paper's C++
+//! `Arb` system.
+//!
+//! There is **one** evaluation entry point, mirroring the paper's one
+//! algorithm: compile queries, [`prepare`](Database::prepare) a
+//! [`Session`] (single-query is a batch of one; k queries share one
+//! two-scan pass, paper §7), describe the run with an [`EvalRequest`],
+//! and plug a [`ResultSink`] to pick the output shape:
 //!
 //! ```
-//! use arb_engine::{Database, Engine};
-//!
-//! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>").unwrap();
-//! let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
-//! let outcome = db.evaluate(&q).unwrap();
-//! assert_eq!(outcome.stats.selected, 2);
-//! # let _ = Engine::default();
-//! ```
-//!
-//! Several queries evaluate as a batch sharing one two-scan pass
-//! (paper §7 — see [`batch`]):
-//!
-//! ```
-//! use arb_engine::{Database, QueryBatch};
+//! use arb_engine::{CountSink, Database, EvalRequest, XmlMarkSink};
 //!
 //! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>").unwrap();
 //! let q1 = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
 //! let q2 = db.compile_xpath("//b").unwrap();
-//! let batch = QueryBatch::new(&[q1, q2]);
-//! let out = db.evaluate_batch(&batch).unwrap();
-//! assert_eq!(out.outcomes[0].stats.selected, 2);
-//! assert_eq!(out.outcomes[1].stats.selected, 1);
+//! let session = db.prepare(&[q1, q2]);
+//!
+//! // Per-query selection counts from one shared pass.
+//! let mut counts = CountSink::default();
+//! session.eval(&EvalRequest::new(), &mut counts).unwrap();
+//! assert_eq!(counts.counts(), &[2, 1]);
+//!
+//! // The same pass can stream the marked document instead (paper §6.3).
+//! let mut mark = XmlMarkSink::new(db.labels(), Vec::new());
+//! session.eval(&EvalRequest::new(), &mut mark).unwrap();
+//! assert!(String::from_utf8(mark.into_inner().unwrap())
+//!     .unwrap()
+//!     .contains("arb:selected"));
 //! ```
+//!
+//! Provided sinks: [`BooleanSink`] (accept/reject per query — one
+//! backward scan on disk), [`CountSink`], [`NodeSetSink`], and
+//! [`XmlMarkSink`] (streams during phase 2). [`EvalOptions`] carries the
+//! engine knobs: `prefer_memory` (materialize a disk database first) and
+//! `parallelism` (frontier-parallel in-memory evaluation, paper §6.2).
+//! Convenience wrappers [`Session::run`], [`Session::run_one`],
+//! [`Session::run_boolean`] and [`Session::run_marked`] cover the common
+//! shapes; the deprecated `Database::evaluate*` matrix forwards to them.
 
 pub mod batch;
 pub mod database;
 pub mod diskeval;
 pub mod output;
 pub mod query;
+pub mod session;
 
 pub use batch::{
     evaluate_boolean_batch, evaluate_disk_batch, evaluate_disk_batch_with_hook, BatchOutcome,
@@ -44,6 +56,10 @@ pub use database::{Database, EngineError};
 pub use diskeval::evaluate_disk;
 pub use output::XmlEmitter;
 pub use query::{Query, QueryLanguage};
+pub use session::{
+    BooleanSink, CountSink, EvalOptions, EvalReport, EvalRequest, NodeSetSink, ResultSink, Session,
+    SinkContext, SinkDemand, XmlMarkSink,
+};
 
 use arb_core::EvalStats;
 use arb_tree::NodeSet;
@@ -58,12 +74,4 @@ pub struct QueryOutcome {
     /// Per-query-predicate selection counts, in the order of
     /// `query_preds()` (multi-query support, paper §7).
     pub per_pred_counts: Vec<u64>,
-}
-
-/// Engine-level knobs.
-#[derive(Debug, Clone, Default)]
-pub struct Engine {
-    /// Force in-memory evaluation even for disk databases (materializes
-    /// the tree first). Off by default.
-    pub prefer_memory: bool,
 }

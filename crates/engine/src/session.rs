@@ -1,0 +1,626 @@
+//! The prepared evaluation surface: [`Session`], [`EvalRequest`] and
+//! pluggable [`ResultSink`]s.
+//!
+//! Koch's Arb system has exactly one evaluation algorithm — compile to
+//! strict TMNF, run two linear scans — so the engine exposes exactly one
+//! evaluation entry point: prepare a [`Session`] over compiled queries
+//! (single-query is a batch of one), describe the run with an
+//! [`EvalRequest`], and plug a [`ResultSink`] to choose the output shape.
+//! Boolean verdicts, selection counts, node sets and marked-XML are sink
+//! choices, not separate engine methods; custom sinks can stream the
+//! phase-2 scan (document order) without materializing node sets.
+//!
+//! ```
+//! use arb_engine::{CountSink, Database, EvalRequest};
+//!
+//! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>").unwrap();
+//! let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+//! let session = db.prepare(&[q]);
+//! let mut sink = CountSink::default();
+//! session.eval(&EvalRequest::new(), &mut sink).unwrap();
+//! assert_eq!(sink.counts(), &[2]);
+//! ```
+
+use crate::batch::{BatchOutcome, QueryBatch};
+use crate::database::{Database, EngineError};
+use crate::diskeval::Phase2Hook;
+use crate::output::XmlEmitter;
+use crate::query::Query;
+use crate::QueryOutcome;
+use arb_storage::NodeRecord;
+use arb_tree::{BinaryTree, LabelTable, NodeId, NodeSet};
+use std::io::{self, Write};
+
+/// Evaluation knobs, absorbing the engine-level options that used to
+/// live in the (now removed) `Engine` struct.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// Force in-memory evaluation even for disk databases (materializes
+    /// the tree first). Off by default.
+    pub prefer_memory: bool,
+    /// Worker threads for the in-memory backend: `> 1` evaluates through
+    /// [`arb_core::evaluate_tree_parallel`] over a subtree frontier
+    /// (paper §6.2). Ignored by the disk backend unless `prefer_memory`
+    /// is set. `0` and `1` mean sequential.
+    pub parallelism: usize,
+    /// Ask front ends and sinks for per-query statistics output on top
+    /// of the results (the CLI's `--stats`); the engine always collects
+    /// [`arb_core::EvalStats`] either way.
+    pub verbose_stats: bool,
+}
+
+/// A builder describing one evaluation run of a [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalRequest {
+    options: EvalOptions,
+}
+
+impl EvalRequest {
+    /// A request with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request from pre-built options.
+    pub fn with_options(options: EvalOptions) -> Self {
+        EvalRequest { options }
+    }
+
+    /// Sets [`EvalOptions::prefer_memory`].
+    pub fn prefer_memory(mut self, yes: bool) -> Self {
+        self.options.prefer_memory = yes;
+        self
+    }
+
+    /// Sets [`EvalOptions::parallelism`].
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.options.parallelism = threads;
+        self
+    }
+
+    /// Sets [`EvalOptions::verbose_stats`].
+    pub fn verbose_stats(mut self, yes: bool) -> Self {
+        self.options.verbose_stats = yes;
+        self
+    }
+
+    /// The assembled options.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+}
+
+/// How much of the two-phase pass a [`ResultSink`] needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkDemand {
+    /// Only per-query root verdicts (document filtering, paper §1): the
+    /// disk backend answers with a single backward scan and no `.sta`
+    /// file.
+    Verdicts,
+    /// Full per-query outcomes — node sets, counts, statistics.
+    Outcomes,
+    /// Outcomes plus a per-node stream in document order during phase 2
+    /// (marked-XML output, paper §6.3, without materializing node sets
+    /// beyond what the engine computes anyway).
+    Stream,
+}
+
+/// Context handed to [`ResultSink::begin`] before the pass starts.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkContext<'a> {
+    /// Number of queries in the session.
+    pub queries: usize,
+    /// Number of nodes in the database.
+    pub nodes: u64,
+    /// The options of the driving [`EvalRequest`].
+    pub options: &'a EvalOptions,
+}
+
+/// Where evaluation results go.
+///
+/// A sink declares its [`SinkDemand`], then receives `begin`, the
+/// per-node `node` stream (only for [`SinkDemand::Stream`]), `verdicts`
+/// (always), `outcomes` (unless the demand was
+/// [`Verdicts`](SinkDemand::Verdicts)), and `finish` — in that order,
+/// each at most once except `node`.
+pub trait ResultSink {
+    /// What this sink needs from the pass.
+    fn demand(&self) -> SinkDemand {
+        SinkDemand::Outcomes
+    }
+
+    /// Called once before evaluation.
+    fn begin(&mut self, _ctx: &SinkContext<'_>) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Streamed for every node in document order during phase 2 with the
+    /// node's record and one selected-flag per query ([`SinkDemand::Stream`]
+    /// only).
+    fn node(&mut self, _ix: u32, _rec: NodeRecord, _selected_by: &[bool]) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Per-query root verdicts (document filtering): `verdicts[i]` is
+    /// true iff a query predicate of query `i` holds at the root.
+    fn verdicts(&mut self, _verdicts: &[bool]) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// The demultiplexed per-query outcomes of the shared pass.
+    fn outcomes(&mut self, _outcome: &BatchOutcome) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called once after the pass completes.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects per-query boolean (accept/reject) verdicts; on disk
+/// databases the whole run is a single backward scan.
+#[derive(Debug, Default)]
+pub struct BooleanSink {
+    verdicts: Vec<bool>,
+}
+
+impl BooleanSink {
+    /// Per-query verdicts, in session order.
+    pub fn verdicts(&self) -> &[bool] {
+        &self.verdicts
+    }
+
+    /// Consumes the sink into its verdicts.
+    pub fn into_verdicts(self) -> Vec<bool> {
+        self.verdicts
+    }
+}
+
+impl ResultSink for BooleanSink {
+    fn demand(&self) -> SinkDemand {
+        SinkDemand::Verdicts
+    }
+
+    fn verdicts(&mut self, verdicts: &[bool]) -> io::Result<()> {
+        self.verdicts = verdicts.to_vec();
+        Ok(())
+    }
+}
+
+/// Collects per-query selected-node counts.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    counts: Vec<u64>,
+}
+
+impl CountSink {
+    /// Per-query selected-node counts, in session order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the sink into its counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+impl ResultSink for CountSink {
+    fn outcomes(&mut self, outcome: &BatchOutcome) -> io::Result<()> {
+        self.counts = outcome.outcomes.iter().map(|o| o.stats.selected).collect();
+        Ok(())
+    }
+}
+
+/// Collects per-query selected-node sets (preorder indexes).
+#[derive(Debug, Default)]
+pub struct NodeSetSink {
+    sets: Vec<NodeSet>,
+}
+
+impl NodeSetSink {
+    /// Per-query node sets, in session order.
+    pub fn sets(&self) -> &[NodeSet] {
+        &self.sets
+    }
+
+    /// Consumes the sink into its node sets.
+    pub fn into_sets(self) -> Vec<NodeSet> {
+        self.sets
+    }
+}
+
+impl ResultSink for NodeSetSink {
+    fn outcomes(&mut self, outcome: &BatchOutcome) -> io::Result<()> {
+        self.sets = outcome
+            .outcomes
+            .iter()
+            .map(|o| o.selected.clone())
+            .collect();
+        Ok(())
+    }
+}
+
+/// Streams the whole document during phase 2 with nodes marked that any
+/// query of the session selected (the paper's §6.3 default output mode),
+/// wrapping [`XmlEmitter`]. Identical output on both backends.
+pub struct XmlMarkSink<'l, W: Write> {
+    emitter: Option<XmlEmitter<'l, W>>,
+    out: Option<W>,
+    started: bool,
+}
+
+impl<'l, W: Write> XmlMarkSink<'l, W> {
+    /// A sink writing the marked document to `out`, resolving labels
+    /// against the database's table (see [`Database::labels`]).
+    pub fn new(labels: &'l LabelTable, out: W) -> Self {
+        XmlMarkSink {
+            emitter: Some(XmlEmitter::new(labels, out)),
+            out: None,
+            started: false,
+        }
+    }
+
+    /// Recovers the writer after a completed run.
+    pub fn into_inner(self) -> Option<W> {
+        self.out
+    }
+}
+
+impl<W: Write> ResultSink for XmlMarkSink<'_, W> {
+    fn demand(&self) -> SinkDemand {
+        SinkDemand::Stream
+    }
+
+    fn begin(&mut self, _ctx: &SinkContext<'_>) -> io::Result<()> {
+        // One sink writes one document: a second run — even after a
+        // failed first one — would append to a consumed or partially
+        // written stream, so reject it up front.
+        if self.started {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "XmlMarkSink already used by a run; create a new sink per run",
+            ));
+        }
+        self.started = true;
+        Ok(())
+    }
+
+    fn node(&mut self, _ix: u32, rec: NodeRecord, selected_by: &[bool]) -> io::Result<()> {
+        let emitter = self.emitter.as_mut().expect("begin rejected reuse");
+        emitter.node(rec, selected_by.iter().any(|&b| b))
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(emitter) = self.emitter.take() {
+            self.out = Some(emitter.finish()?);
+        }
+        Ok(())
+    }
+}
+
+/// The result of one [`Session::eval`] run.
+pub struct EvalReport {
+    /// Per-query root verdicts (always computed; for
+    /// [`SinkDemand::Verdicts`] sinks this is all the pass produces).
+    pub verdicts: Vec<bool>,
+    /// Shared-pass statistics and demultiplexed per-query outcomes;
+    /// `None` when the sink demanded only verdicts and the pass could
+    /// skip phase 2.
+    pub batch: Option<BatchOutcome>,
+}
+
+enum BatchStore<'a> {
+    Owned(Box<QueryBatch>),
+    Borrowed(&'a QueryBatch),
+}
+
+/// A prepared evaluation session: compiled queries merged into one
+/// multi-query TMNF program ([`QueryBatch`]), bound to the database they
+/// were compiled against. Compile once, run many times — every run is
+/// one shared two-phase pass (one backward and one forward linear scan
+/// on disk) regardless of the query count.
+///
+/// Create with [`Database::prepare`] (from compiled [`Query`]s) or
+/// [`Database::prepare_batch`] (from an existing [`QueryBatch`]).
+pub struct Session<'db> {
+    db: &'db Database,
+    batch: BatchStore<'db>,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(db: &'db Database, queries: &[Query]) -> Self {
+        Session {
+            db,
+            batch: BatchStore::Owned(Box::new(QueryBatch::new(queries))),
+        }
+    }
+
+    pub(crate) fn over(db: &'db Database, batch: &'db QueryBatch) -> Self {
+        Session {
+            db,
+            batch: BatchStore::Borrowed(batch),
+        }
+    }
+
+    /// The merged batch this session evaluates.
+    pub fn batch(&self) -> &QueryBatch {
+        match &self.batch {
+            BatchStore::Owned(b) => b,
+            BatchStore::Borrowed(b) => b,
+        }
+    }
+
+    /// Number of queries in the session.
+    pub fn len(&self) -> usize {
+        self.batch().len()
+    }
+
+    /// True if the session holds no queries (evaluation errors).
+    pub fn is_empty(&self) -> bool {
+        self.batch().is_empty()
+    }
+
+    /// The database this session evaluates against.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// The tree backing the in-memory evaluation path: borrowed for
+    /// memory databases, materialized for disk databases under
+    /// [`EvalOptions::prefer_memory`].
+    fn materialized(&self) -> Result<std::borrow::Cow<'db, BinaryTree>, EngineError> {
+        Ok(match self.db.memory_tree() {
+            Some(t) => std::borrow::Cow::Borrowed(t),
+            None => std::borrow::Cow::Owned(self.db.to_tree()?),
+        })
+    }
+
+    /// **The canonical evaluation entry point.** Runs the session's one
+    /// shared two-phase pass as described by `req` and feeds `sink`.
+    ///
+    /// Backend choice: disk databases evaluate by two linear scans
+    /// unless [`EvalOptions::prefer_memory`] materializes the tree
+    /// first; in-memory evaluation parallelizes over a subtree frontier
+    /// when [`EvalOptions::parallelism`] exceeds 1. Sinks demanding only
+    /// [`SinkDemand::Verdicts`] reduce the disk pass to a single
+    /// backward scan.
+    pub fn eval(
+        &self,
+        req: &EvalRequest,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EvalReport, EngineError> {
+        let batch = self.batch();
+        let opts = req.options();
+        sink.begin(&SinkContext {
+            queries: batch.len(),
+            nodes: self.db.node_count(),
+            options: opts,
+        })?;
+        let disk = if opts.prefer_memory {
+            None
+        } else {
+            self.db.as_disk()
+        };
+        let report = match sink.demand() {
+            SinkDemand::Verdicts => {
+                let verdicts = match disk {
+                    Some(d) => crate::batch::evaluate_boolean_batch(batch, d)?,
+                    None => crate::batch::evaluate_boolean_batch_tree(
+                        batch,
+                        self.materialized()?.as_ref(),
+                        opts.parallelism,
+                    )?,
+                };
+                sink.verdicts(&verdicts)?;
+                EvalReport {
+                    verdicts,
+                    batch: None,
+                }
+            }
+            demand => {
+                let mut sink_err: Option<io::Error> = None;
+                let outcome = {
+                    let mut hook_fn;
+                    let hook: Option<Phase2Hook<'_>> = if demand == SinkDemand::Stream {
+                        hook_fn = |ix: u32,
+                                   rec: NodeRecord,
+                                   _set: &arb_logic::PredSet,
+                                   flags: &[bool]| {
+                            if sink_err.is_none() {
+                                if let Err(e) = sink.node(ix, rec, flags) {
+                                    sink_err = Some(e);
+                                }
+                            }
+                        };
+                        Some(&mut hook_fn)
+                    } else {
+                        None
+                    };
+                    match disk {
+                        Some(d) => crate::batch::evaluate_disk_batch_with_hook(batch, d, hook)?,
+                        None => crate::batch::evaluate_tree_batch_opts(
+                            batch,
+                            self.materialized()?.as_ref(),
+                            opts.parallelism,
+                            hook,
+                        )?,
+                    }
+                };
+                if let Some(e) = sink_err {
+                    return Err(e.into());
+                }
+                // The root is preorder node 0, so the per-query verdict
+                // is a membership test on the demultiplexed sets.
+                let verdicts: Vec<bool> = outcome
+                    .outcomes
+                    .iter()
+                    .map(|o| o.selected.contains(NodeId(0)))
+                    .collect();
+                sink.verdicts(&verdicts)?;
+                sink.outcomes(&outcome)?;
+                EvalReport {
+                    verdicts,
+                    batch: Some(outcome),
+                }
+            }
+        };
+        sink.finish()?;
+        Ok(report)
+    }
+
+    /// Evaluates with `req` and returns the per-query outcomes
+    /// (convenience over [`eval`](Session::eval) with an outcome-only
+    /// sink).
+    pub fn run_with(&self, req: &EvalRequest) -> Result<BatchOutcome, EngineError> {
+        struct Discard;
+        impl ResultSink for Discard {}
+        let report = self.eval(req, &mut Discard)?;
+        Ok(report.batch.expect("outcome demand produces a batch"))
+    }
+
+    /// [`run_with`](Session::run_with) under default options.
+    pub fn run(&self) -> Result<BatchOutcome, EngineError> {
+        self.run_with(&EvalRequest::new())
+    }
+
+    /// Runs a single-query session and returns its one outcome; errors
+    /// (before evaluating anything) if the session holds a different
+    /// number of queries.
+    pub fn run_one(&self) -> Result<QueryOutcome, EngineError> {
+        if self.len() != 1 {
+            return Err(EngineError::Query(format!(
+                "run_one on a session of {} queries",
+                self.len()
+            )));
+        }
+        Ok(self.run()?.outcomes.remove(0))
+    }
+
+    /// Per-query boolean (document-filtering) verdicts: one shared
+    /// backward scan on disk databases.
+    pub fn run_boolean(&self) -> Result<Vec<bool>, EngineError> {
+        let mut sink = BooleanSink::default();
+        self.eval(&EvalRequest::new(), &mut sink)?;
+        Ok(sink.into_verdicts())
+    }
+
+    /// Evaluates and writes the whole document once to `out`, marking
+    /// every node any query of the session selected (streamed during
+    /// phase 2 on disk databases).
+    pub fn run_marked(&self, out: impl Write) -> Result<BatchOutcome, EngineError> {
+        let mut sink = XmlMarkSink::new(self.db.labels(), out);
+        let report = self.eval(&EvalRequest::new(), &mut sink)?;
+        Ok(report.batch.expect("stream demand produces a batch"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::from_xml_str("<r><a/><b><a>t</a></b></r>").unwrap()
+    }
+
+    #[test]
+    fn sinks_over_one_session() {
+        let mut db = db();
+        let qs = [
+            db.compile_tmnf("QUERY :- V.Label[a];").unwrap(),
+            db.compile_xpath("//b").unwrap(),
+        ];
+        let session = db.prepare(&qs);
+        assert_eq!(session.len(), 2);
+
+        let mut counts = CountSink::default();
+        let report = session.eval(&EvalRequest::new(), &mut counts).unwrap();
+        assert_eq!(counts.counts(), &[2, 1]);
+        assert_eq!(report.verdicts, vec![false, false]);
+        assert_eq!(report.batch.unwrap().stats.backward_scans, 1);
+
+        let mut sets = NodeSetSink::default();
+        session.eval(&EvalRequest::new(), &mut sets).unwrap();
+        assert_eq!(sets.sets()[0].to_vec().len(), 2);
+
+        let mut bools = BooleanSink::default();
+        let report = session.eval(&EvalRequest::new(), &mut bools).unwrap();
+        assert!(report.batch.is_none(), "verdict sinks skip phase 2");
+        assert_eq!(bools.verdicts(), &[false, false]);
+    }
+
+    #[test]
+    fn xml_mark_sink_streams_the_document() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let session = db.prepare(&[q]);
+        let mut sink = XmlMarkSink::new(db.labels(), Vec::new());
+        session.eval(&EvalRequest::new(), &mut sink).unwrap();
+        let xml = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert_eq!(
+            xml,
+            "<r><a arb:selected=\"true\"></a><b><a arb:selected=\"true\">t</a></b></r>"
+        );
+    }
+
+    #[test]
+    fn xml_mark_sink_rejects_reuse() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let session = db.prepare(&[q]);
+        let mut sink = XmlMarkSink::new(db.labels(), Vec::new());
+        session.eval(&EvalRequest::new(), &mut sink).unwrap();
+        // A second run on the consumed sink is an error, not a panic.
+        assert!(session.eval(&EvalRequest::new(), &mut sink).is_err());
+    }
+
+    #[test]
+    fn boolean_sink_honors_parallelism() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- Root, HasFirstChild;").unwrap();
+        let session = db.prepare(&[q]);
+        let mut seq = BooleanSink::default();
+        session.eval(&EvalRequest::new(), &mut seq).unwrap();
+        let mut par = BooleanSink::default();
+        session
+            .eval(&EvalRequest::new().parallelism(4), &mut par)
+            .unwrap();
+        assert_eq!(seq.verdicts(), &[true]);
+        assert_eq!(seq.verdicts(), par.verdicts());
+    }
+
+    #[test]
+    fn parallel_option_matches_sequential() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let session = db.prepare(&[q]);
+        let seq = session.run().unwrap();
+        let par = session
+            .run_with(&EvalRequest::new().parallelism(4))
+            .unwrap();
+        assert_eq!(
+            seq.outcomes[0].selected.to_vec(),
+            par.outcomes[0].selected.to_vec()
+        );
+    }
+
+    #[test]
+    fn empty_session_is_an_error() {
+        let db = db();
+        let session = db.prepare(&[]);
+        assert!(session.is_empty());
+        assert!(session.run().is_err());
+        assert!(session.run_boolean().is_err());
+    }
+
+    #[test]
+    fn run_one_rejects_multi_query_sessions() {
+        let mut db = db();
+        let qs = [
+            db.compile_tmnf("QUERY :- V.Label[a];").unwrap(),
+            db.compile_xpath("//b").unwrap(),
+        ];
+        assert!(db.prepare(&qs).run_one().is_err());
+    }
+}

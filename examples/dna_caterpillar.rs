@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           .NextSibling.Label['A'].NextSibling.Label['T'].NextSibling.Label['T'])*"
     );
     let q = db.compile_tmnf(&program)?;
-    let outcome = db.evaluate(&q)?;
+    let outcome = db.prepare(&[q]).run_one()?;
     println!(
         "genes whose sequence matches ACCGT(GA(C|G)ATT)*: {}",
         outcome.stats.selected
@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // selected node is the C of each CG bigram.
     let src = format!("QUERY :- V.Label[G].{INFIX_PREVIOUS}.Label[C];");
     let q = db.compile_tmnf(&src)?;
-    let outcome = db.evaluate(&q)?;
+    let outcome = db.prepare(&[q]).run_one()?;
     // Count CG bigrams in the raw sequence to double-check.
     let chars: Vec<u8> = seq.iter().map(|l| l.text_byte().expect("char")).collect();
     let expected = chars.windows(2).filter(|w| w == b"CG").count() as u64;

@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          HasChapter :- V.Label[chapter].invNextSibling*.invFirstChild;\n\
          QUERY :- HasChapter, Label[book];",
     )?;
-    let outcome = db.evaluate(&q)?;
+    let outcome = db.prepare(&[q]).run_one()?;
     println!(
         "\nbooks with chapters (plain TMNF): {}",
         outcome.stats.selected

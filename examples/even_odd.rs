@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The program computes both Even and Odd; select Even nodes.
     let src = format!("{EVEN_ODD}\nQUERY :- Even, Even;");
     let q = db.compile_tmnf(&src)?;
-    let outcome: QueryOutcome = db.evaluate(&q)?;
+    let outcome: QueryOutcome = db.prepare(&[q]).run_one()?;
 
     println!("nodes with an EVEN number of 'a'-leaves in their subtree:");
     for v in outcome.selected.iter() {

@@ -1,11 +1,12 @@
-//! Quickstart: create a database, run a TMNF and an XPath query, and
-//! print the document with selected nodes marked.
+//! Quickstart: create a database, prepare a session over a TMNF and an
+//! XPath query, and read the results through pluggable sinks.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use arb::{Database, Query};
+use arb::engine::{CountSink, EvalRequest, XmlMarkSink};
+use arb::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Any XML document; text becomes one character node per byte
@@ -14,10 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                <book><title>VLDB03</title></book></library>";
     let mut db = Database::from_xml_str(xml)?;
 
-    // --- TMNF (the Arb surface syntax, paper Section 2.2) --------------
+    // --- Compile: TMNF (the Arb surface syntax, paper Section 2.2) -----
     // Select books that are NOT loaned: a universal condition, expressed
     // with a sibling scan over the children list.
-    let tmnf = "
+    let tmnf = db.compile_tmnf(
+        "
         # NotLoanedFromRight(y): y and all following siblings are not 'loaned'.
         NFR :- -Label[loaned], LastSibling;
         FS :- NFR.invNextSibling;
@@ -25,23 +27,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NoLoanedChild :- Leaf;
         NoLoanedChild :- NFR.invFirstChild;
         QUERY :- NoLoanedChild, Label[book];
-    ";
-    let q: Query = db.compile_tmnf(tmnf)?;
-    let outcome = db.evaluate(&q)?;
-    println!("TMNF: {} book(s) not loaned", outcome.stats.selected);
+    ",
+    )?;
+    // --- ... and XPath (compiled to TMNF, then the same automata) ------
+    let xpath = db.compile_xpath("//book[not(loaned)]")?;
 
-    // --- XPath (compiled to TMNF, then the same automata) --------------
-    let q = db.compile_xpath("//book[not(loaned)]")?;
-    let outcome = db.evaluate(&q)?;
-    println!("XPath: {} book(s) not loaned", outcome.stats.selected);
+    // --- Prepare once, evaluate in ONE shared two-scan pass ------------
+    let session = db.prepare(&[tmnf, xpath]);
+    let mut counts = CountSink::default();
+    session.eval(&EvalRequest::new(), &mut counts)?;
+    println!("TMNF:  {} book(s) not loaned", counts.counts()[0]);
+    println!("XPath: {} book(s) not loaned", counts.counts()[1]);
 
     // --- Marked output (the engine's default mode, paper §6.3) ---------
-    let mut out = Vec::new();
-    db.evaluate_marked(&q, &mut out)?;
+    // The same session streams the document during phase 2, marking the
+    // union of what the queries selected.
+    let mut mark = XmlMarkSink::new(db.labels(), Vec::new());
+    session.eval(&EvalRequest::new(), &mut mark)?;
+    let out = mark.into_inner().expect("run completed");
     println!("marked: {}", String::from_utf8(out)?);
 
     // --- Evaluation statistics (paper Figure 6 columns) ----------------
+    let outcome = session.run()?;
     println!("\n{}", arb::core::EvalStats::table_header());
-    println!("{}", outcome.stats.table_row());
+    for o in &outcome.outcomes {
+        println!("{}", o.stats.table_row());
+    }
     Ok(())
 }

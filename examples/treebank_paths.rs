@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Two linear scans: backward (bottom-up automaton, states streamed
     //    to the .sta file) and forward (top-down automaton).
-    let outcome = db.evaluate(&q)?;
+    let outcome = db.prepare(&[q]).run_one()?;
     println!("{}", arb::core::EvalStats::table_header());
     println!("{}", outcome.stats.table_row());
     println!(

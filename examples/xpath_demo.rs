@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for src in queries {
         match db.compile_xpath(src) {
             Ok(q) => {
-                let outcome = db.evaluate(&q)?;
+                let outcome = db.prepare(&[q]).run_one()?;
                 let nodes: Vec<u32> = outcome.selected.iter().map(|v| v.0).collect();
                 println!("{src:<45} -> {} node(s) {nodes:?}", outcome.stats.selected);
             }
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Marked output for one query.
     let q = db.compile_xpath("//chapter[not(p)]")?;
     let mut out = Vec::new();
-    db.evaluate_marked(&q, &mut out)?;
+    db.prepare(&[q]).run_marked(&mut out)?;
     println!("\nmarked //chapter[not(p)]:\n{}", String::from_utf8(out)?);
     Ok(())
 }

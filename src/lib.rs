@@ -17,6 +17,55 @@
 //! * [`datagen`] — workload generators for the evaluation (§6)
 //! * [`engine`] — the high-level query engine API
 //!
+//! ## Quick start: one evaluation surface
+//!
+//! The paper has one evaluation algorithm — compile to strict TMNF, run
+//! two linear scans — and the engine mirrors that with **one** entry
+//! point: compile queries against a [`Database`], prepare a [`Session`]
+//! (a single query is a batch of one; k queries share the same two-scan
+//! pass, §7), describe the run with an [`EvalRequest`], and plug a
+//! [`ResultSink`] to choose the output shape:
+//!
+//! ```
+//! use arb::engine::{CountSink, EvalRequest, XmlMarkSink};
+//! use arb::Database;
+//!
+//! let mut db = Database::from_xml_str("<r><a/><b><a/></b></r>")?;
+//! let q1 = db.compile_tmnf("QUERY :- V.Label[a];")?;
+//! let q2 = db.compile_xpath("//b")?;
+//! let session = db.prepare(&[q1, q2]);
+//!
+//! // Per-query counts from one shared backward + forward scan.
+//! let mut counts = CountSink::default();
+//! session.eval(&EvalRequest::new(), &mut counts)?;
+//! assert_eq!(counts.counts(), &[2, 1]);
+//!
+//! // The same prepared session streams marked XML during phase 2.
+//! let mut mark = XmlMarkSink::new(db.labels(), Vec::new());
+//! session.eval(&EvalRequest::new(), &mut mark)?;
+//! assert!(String::from_utf8(mark.into_inner().unwrap())?.contains("arb:selected"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Provided sinks: [`engine::BooleanSink`] (accept/reject per query —
+//! a single backward scan on disk databases), [`engine::CountSink`],
+//! [`engine::NodeSetSink`], and [`engine::XmlMarkSink`] (streams during
+//! phase 2 without materializing extra node sets). [`EvalOptions`]
+//! carries the knobs: `prefer_memory` materializes a disk database
+//! first, `parallelism` runs the in-memory backend over a subtree
+//! frontier with worker threads (§6.2,
+//! [`core::evaluate_tree_parallel`]). Shorthand wrappers
+//! [`Session::run`], [`Session::run_one`], [`Session::run_boolean`] and
+//! [`Session::run_marked`] cover the common shapes. The legacy
+//! `Database::evaluate*` matrix is deprecated and forwards to this path;
+//! see the migration table on [`Database`].
+//!
+//! Raw-program entry points for harnesses that bypass `Query`
+//! compilation: [`QueryBatch::from_programs`] +
+//! [`Database::prepare_batch`] (or the kernels
+//! [`engine::evaluate_disk`] / [`engine::evaluate_disk_batch`] /
+//! [`core::evaluate_tree_batch`] directly).
+//!
 //! ## Building and testing
 //!
 //! The workspace is fully offline: the four external dependencies
@@ -30,37 +79,14 @@
 //! cargo bench -p arb-bench   # run them (ltur, storage, twophase, xpath)
 //! ```
 //!
-//! ## Batched multi-query evaluation
-//!
-//! Several queries — TMNF or XPath — evaluate as one [`QueryBatch`]
-//! (paper §7): the compiled programs are merged at the IR level
-//! ([`tmnf::merge_programs`], collision-free predicate renaming, shared
-//! EDB atoms) and the merged program runs through the ordinary two-phase
-//! machinery, so the whole batch costs **one** backward and **one**
-//! forward linear scan regardless of its size (`EvalStats::backward_scans`
-//! / `forward_scans` count them). Results are demultiplexed into one
-//! [`QueryOutcome`] per query. Entry points:
-//!
-//! * [`QueryBatch::new`] / [`Database::evaluate_batch`] (also
-//!   `evaluate_boolean_batch` and `evaluate_batch_marked`),
-//! * [`engine::evaluate_disk_batch`] and
-//!   [`engine::evaluate_disk_batch_with_hook`] over raw [`CoreProgram`]s
-//!   (`QueryBatch::from_programs`),
-//! * [`core::evaluate_tree_batch`] for in-memory trees,
-//! * CLI: repeat `--tmnf`/`-q`/`--xpath`/`--file` under `arb query` (or
-//!   pass `--batch`) to submit a batch; results print per query as
-//!   `q<i>: …`.
-//!
-//! [`CoreProgram`]: tmnf::CoreProgram
-//!
-//! The nine root integration suites are the correctness spine:
+//! The ten root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `twophase_vs_naive`,
-//! `batch_differential`, `end_to_end` and `section_1_3`. Property
-//! suites take an explicit
-//! case-count override for deep runs (`ARB_PROPTEST_CASES=5000 cargo
-//! test`) and a global input seed (`ARB_PROPTEST_SEED`); all datagen
-//! workloads are seeded, so every suite is deterministic end to end.
+//! `batch_differential`, `session_api`, `end_to_end` and `section_1_3`.
+//! Property suites take an explicit case-count override for deep runs
+//! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
+//! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
+//! suite is deterministic end to end.
 //!
 //! Paper-figure reproductions live in `arb-bench` as binaries:
 //! `cargo run --release -p arb-bench --bin fig5` (creation statistics),
@@ -78,4 +104,7 @@ pub use arb_tree as tree;
 pub use arb_xml as xml;
 pub use arb_xpath as xpath;
 
-pub use arb_engine::{BatchOutcome, Database, Engine, Query, QueryBatch, QueryOutcome};
+pub use arb_engine::{
+    BatchOutcome, Database, EvalOptions, EvalReport, EvalRequest, Query, QueryBatch, QueryOutcome,
+    ResultSink, Session, SinkDemand,
+};

@@ -14,8 +14,8 @@ fn marked_output_reparses() {
     let mut db = Database::from_xml_str(xml).unwrap();
     let q = db.compile_xpath("//x").unwrap();
     let mut buf = Vec::new();
-    let outcome = db.evaluate_marked(&q, &mut buf).unwrap();
-    assert_eq!(outcome.stats.selected, 2);
+    let outcome = db.prepare(&[q]).run_marked(&mut buf).unwrap();
+    assert_eq!(outcome.outcomes[0].stats.selected, 2);
     let out = String::from_utf8(buf).unwrap();
     assert_eq!(out.matches("arb:selected=\"true\"").count(), 2);
     // Strip marks; document must reparse to the same shape.
@@ -54,8 +54,13 @@ fn flat_and_infix_select_equally() {
             }
             .to_program(R_INFIX);
             let infix_q = infix_db.compile_tmnf(&infix_src).unwrap();
-            let cf = flat_db.evaluate(&flat_q).unwrap().stats.selected;
-            let ci = infix_db.evaluate(&infix_q).unwrap().stats.selected;
+            let cf = flat_db.prepare(&[flat_q]).run_one().unwrap().stats.selected;
+            let ci = infix_db
+                .prepare(&[infix_q])
+                .run_one()
+                .unwrap()
+                .stats
+                .selected;
             assert_eq!(cf, ci, "query {j} of size {size}: {}", q.display());
         }
     }
@@ -98,9 +103,19 @@ fn parallel_equivalence_on_infix() {
     let src = q.to_program(R_INFIX);
     let mut db = Database::from_tree(tree.clone(), labels);
     let query = db.compile_tmnf(&src).unwrap();
-    let seq_out = db.evaluate(&query).unwrap();
+    let session = db.prepare(std::slice::from_ref(&query));
+    let seq_out = session.run_one().unwrap();
     let par = arb::core::parallel::evaluate_tree_parallel(query.program(), &tree, 4);
     assert_eq!(par.stats.selected, seq_out.stats.selected);
+    // The same parallelism is reachable through the prepared surface.
+    let par_opt = session
+        .run_with(&arb::engine::EvalRequest::new().parallelism(4))
+        .unwrap();
+    assert_eq!(par_opt.outcomes[0].stats.selected, seq_out.stats.selected);
+    assert_eq!(
+        par_opt.outcomes[0].selected.to_vec(),
+        seq_out.selected.to_vec()
+    );
 }
 
 /// Boolean (document-filtering) queries: accept/reject by one scan.
@@ -110,9 +125,9 @@ fn boolean_queries() {
     // In memory.
     let mut db = Database::from_xml_str(xml).unwrap();
     let q = db.compile_xpath("//feed[.//spam]").unwrap();
-    assert!(db.evaluate_boolean(&q).unwrap());
+    assert!(db.prepare(&[q]).run_boolean().unwrap()[0]);
     let q = db.compile_xpath("//feed[not(.//spam)]").unwrap();
-    assert!(!db.evaluate_boolean(&q).unwrap());
+    assert!(!db.prepare(&[q]).run_boolean().unwrap()[0]);
     // On disk (single backward scan, no .sta file).
     let dir = std::env::temp_dir().join(format!("arb-bool-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -125,13 +140,13 @@ fn boolean_queries() {
     )
     .unwrap();
     let q = disk.compile_xpath("//feed[.//spam]").unwrap();
-    assert!(disk.evaluate_boolean(&q).unwrap());
+    assert!(disk.prepare(&[q]).run_boolean().unwrap()[0]);
     let q = disk
         .compile_tmnf(
             "HasSpam :- V.Label[spam].(invFirstChild|invSecondChild)*; QUERY :- HasSpam, Root;",
         )
         .unwrap();
-    assert!(disk.evaluate_boolean(&q).unwrap());
+    assert!(disk.prepare(&[q]).run_boolean().unwrap()[0]);
 }
 
 /// Attribute queries over an attributes-as-nodes database: `@name` steps
@@ -148,14 +163,14 @@ fn attribute_queries() {
     let mut db = Database::from_tree(tree, labels);
 
     let q = db.compile_xpath("//book[@lang]").unwrap();
-    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 1);
+    assert_eq!(db.prepare(&[q]).run_one().unwrap().stats.selected, 1);
     let q = db.compile_xpath("//book[@id]").unwrap();
-    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
+    assert_eq!(db.prepare(&[q]).run_one().unwrap().stats.selected, 2);
     let q = db.compile_xpath("//book/@id").unwrap();
-    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
+    assert_eq!(db.prepare(&[q]).run_one().unwrap().stats.selected, 2);
     // Attribute value via contains-text on the attribute node's chars.
     let q = db
         .compile_xpath("//book[@lang[contains-text(\"en\")]]")
         .unwrap();
-    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 1);
+    assert_eq!(db.prepare(&[q]).run_one().unwrap().stats.selected, 1);
 }

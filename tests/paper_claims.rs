@@ -90,13 +90,13 @@ fn first_node_depends_on_last() {
     let mut db1 = arb::Database::from_xml_str("<r><m/><m><z/></m></r>").unwrap();
     let q1 = db1.compile_tmnf(src).unwrap();
     assert_eq!(
-        db1.evaluate(&q1).unwrap().selected.to_vec(),
+        db1.prepare(&[q1]).run_one().unwrap().selected.to_vec(),
         vec![arb::tree::NodeId(0)]
     );
 
     let mut db2 = arb::Database::from_xml_str("<r><m/><m><y/></m></r>").unwrap();
     let q2 = db2.compile_tmnf(src).unwrap();
-    assert!(db2.evaluate(&q2).unwrap().selected.is_empty());
+    assert!(db2.prepare(&[q2]).run_one().unwrap().selected.is_empty());
 }
 
 /// Fixed automata, growing data: evaluation time is linear in n. We

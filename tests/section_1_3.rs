@@ -38,7 +38,7 @@ fn even_pages_matches_direct_count() {
 
         let mut db = Database::from_tree(tree.clone(), lt.clone());
         let q = db.compile_tmnf(arb::tmnf::programs::EVEN_PAGES).unwrap();
-        let outcome = db.evaluate(&q).unwrap();
+        let outcome = db.prepare(&[q]).run_one().unwrap();
 
         // Direct count: pages in each node's unranked subtree.
         let page = lt.get("page").unwrap();
@@ -83,12 +83,12 @@ fn gene_sequence_substring() {
     let q = db
         .compile_xpath("//gene[sequence[contains-text(\"ACCGT\")]]")
         .unwrap();
-    let outcome = db.evaluate(&q).unwrap();
+    let outcome = db.prepare(&[q]).run_one().unwrap();
     assert_eq!(outcome.stats.selected, 1);
     let q = db
         .compile_xpath("//gene[not(sequence[contains-text(\"ACCGT\")])]")
         .unwrap();
-    assert_eq!(db.evaluate(&q).unwrap().stats.selected, 2);
+    assert_eq!(db.prepare(&[q]).run_one().unwrap().stats.selected, 2);
 }
 
 /// §1.3 example 1: upward and sideways axes with boolean conditions —
@@ -101,7 +101,7 @@ fn upward_sideways_boolean() {
     let q = db
         .compile_xpath("//np[parent::vp[pp] and following-sibling::node()]")
         .unwrap();
-    let outcome = db.evaluate(&q).unwrap();
+    let outcome = db.prepare(&[q]).run_one().unwrap();
     assert_eq!(outcome.selected.to_vec(), vec![NodeId(3)]);
 }
 

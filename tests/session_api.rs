@@ -1,0 +1,210 @@
+//! Sink equivalence for the prepared `Session`/`EvalRequest` surface:
+//! on generated treebank and ACGT documents, every provided sink must
+//! agree with (a) the corresponding legacy `Database::evaluate*` method
+//! (now a shim — this pins the shim wiring) and (b) the raw un-merged
+//! evaluation kernels (`arb_engine::evaluate_disk` on disk,
+//! `arb::core::evaluate_tree` + `MarkedWriter` on memory — independent
+//! oracles that never see the merged batch IR). Checked for memory and
+//! disk backends, single-query and batched sessions, sequential and
+//! frontier-parallel evaluation.
+
+#![allow(deprecated)] // comparing against the legacy matrix is the point
+
+use arb::datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
+use arb::datagen::{acgt_infix_tree, random_acgt, treebank_tree, RegexShape, TreebankConfig};
+use arb::engine::{BooleanSink, CountSink, EvalRequest, NodeSetSink, XmlMarkSink};
+use arb::tree::{BinaryTree, LabelTable, NodeId, NodeSet};
+use arb::Database;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A small seeded treebank document (a few hundred nodes).
+fn small_treebank(seed: u64) -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 200,
+            seed,
+            filler_tags: 8,
+        },
+        &mut labels,
+    );
+    (tree, labels)
+}
+
+/// A small ACGT-infix document (balanced; exercises the parallel
+/// frontier even at this size).
+fn small_acgt(seed: u64) -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let seq = random_acgt(8, seed);
+    let tree = acgt_infix_tree(&seq, &mut labels);
+    (tree, labels)
+}
+
+/// Both backends over the same document: in-memory, and on-disk `.arb`.
+fn both_backends(tree: &BinaryTree, labels: &LabelTable) -> Vec<Database> {
+    let dir = std::env::temp_dir().join(format!("arb-session-api-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("case-{}.arb", CASE.fetch_add(1, Ordering::Relaxed)));
+    arb::storage::create_from_tree(tree, labels, &path).expect("create database");
+    vec![
+        Database::from_tree(tree.clone(), labels.clone()),
+        Database::open_arb(&path).expect("open database"),
+    ]
+}
+
+/// The full equivalence matrix for one database and a set of query
+/// sources: sinks vs. legacy shims vs. raw un-merged kernels.
+fn check_sink_equivalence(db: &mut Database, sources: &[String]) {
+    let queries: Vec<arb::Query> = sources
+        .iter()
+        .map(|s| db.compile_tmnf(s).expect("generated query compiles"))
+        .collect();
+    let k = queries.len();
+
+    // --- Independent oracles: per-query, on the un-merged program ------
+    let tree = db.to_tree().expect("materialize");
+    let mut oracle_sets: Vec<NodeSet> = Vec::new();
+    for q in &queries {
+        let set = match db.as_disk() {
+            Some(disk) => {
+                arb::engine::evaluate_disk(q.program(), disk)
+                    .expect("raw disk eval")
+                    .selected
+            }
+            None => {
+                let res = arb::core::evaluate_tree(q.program(), &tree);
+                let mut set = NodeSet::new(tree.len());
+                for v in tree.nodes() {
+                    if q.program().query_preds().iter().any(|&p| res.holds(p, v)) {
+                        set.insert(v);
+                    }
+                }
+                set
+            }
+        };
+        oracle_sets.push(set);
+    }
+    let mut oracle_union = NodeSet::new(tree.len());
+    for s in &oracle_sets {
+        oracle_union.union_with(s);
+    }
+    let mut oracle_marked = Vec::new();
+    arb::xml::MarkedWriter::new(db.labels(), Some(&oracle_union))
+        .write(&tree, &mut oracle_marked)
+        .expect("oracle marked output");
+
+    let session = db.prepare(&queries);
+
+    // --- NodeSetSink == oracle sets == legacy evaluate -----------------
+    let mut sets = NodeSetSink::default();
+    let report = session.eval(&EvalRequest::new(), &mut sets).unwrap();
+    prop_assert_eq!(sets.sets().len(), k);
+    for (i, (q, oracle)) in queries.iter().zip(&oracle_sets).enumerate() {
+        prop_assert_eq!(sets.sets()[i].to_vec(), oracle.to_vec(), "query {}", i);
+        let legacy = db.evaluate(q).unwrap();
+        prop_assert_eq!(sets.sets()[i].to_vec(), legacy.selected.to_vec());
+        prop_assert_eq!(
+            report.batch.as_ref().unwrap().outcomes[i]
+                .per_pred_counts
+                .clone(),
+            legacy.per_pred_counts
+        );
+    }
+
+    // --- CountSink == legacy evaluate counts ---------------------------
+    let mut counts = CountSink::default();
+    session.eval(&EvalRequest::new(), &mut counts).unwrap();
+    for (i, oracle) in oracle_sets.iter().enumerate() {
+        prop_assert_eq!(counts.counts()[i], oracle.count() as u64);
+    }
+
+    // --- BooleanSink == oracle root membership == legacy boolean -------
+    let mut bools = BooleanSink::default();
+    let report = session.eval(&EvalRequest::new(), &mut bools).unwrap();
+    prop_assert!(report.batch.is_none(), "verdict demand skips phase 2");
+    for (i, (q, oracle)) in queries.iter().zip(&oracle_sets).enumerate() {
+        prop_assert_eq!(
+            bools.verdicts()[i],
+            oracle.contains(NodeId(0)),
+            "query {}",
+            i
+        );
+        prop_assert_eq!(bools.verdicts()[i], db.evaluate_boolean(q).unwrap());
+    }
+
+    // --- XmlMarkSink == MarkedWriter oracle == legacy marked -----------
+    let mut mark = XmlMarkSink::new(db.labels(), Vec::new());
+    session.eval(&EvalRequest::new(), &mut mark).unwrap();
+    let marked = mark.into_inner().expect("run completed");
+    prop_assert_eq!(&marked, &oracle_marked);
+    let mut legacy_marked = Vec::new();
+    if k == 1 {
+        db.evaluate_marked(&queries[0], &mut legacy_marked).unwrap();
+    } else {
+        let batch = arb::QueryBatch::new(&queries);
+        db.evaluate_batch_marked(&batch, &mut legacy_marked)
+            .unwrap();
+    }
+    prop_assert_eq!(&marked, &legacy_marked);
+
+    // --- Options: frontier-parallel (+ prefer_memory on disk) ----------
+    let par = session
+        .run_with(
+            &EvalRequest::new()
+                .prefer_memory(db.as_disk().is_some())
+                .parallelism(3),
+        )
+        .unwrap();
+    for (i, oracle) in oracle_sets.iter().enumerate() {
+        prop_assert_eq!(par.outcomes[i].selected.to_vec(), oracle.to_vec());
+    }
+
+    // --- Legacy batch shims still demux identically --------------------
+    let batch = arb::QueryBatch::new(&queries);
+    let legacy_batch = db.evaluate_batch(&batch).unwrap();
+    prop_assert_eq!(legacy_batch.stats.backward_scans, 1);
+    for (i, oracle) in oracle_sets.iter().enumerate() {
+        prop_assert_eq!(legacy_batch.outcomes[i].selected.to_vec(), oracle.to_vec());
+    }
+    let legacy_bools = db.evaluate_boolean_batch(&batch).unwrap();
+    prop_assert_eq!(legacy_bools, bools.verdicts().to_vec());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Treebank documents, top-down path queries, k = 1 (single) .. 4.
+    #[test]
+    fn sinks_agree_on_treebank((k, tree_seed, query_seed) in
+        (1usize..=4, any::<u64>(), any::<u64>()))
+    {
+        let (tree, labels) = small_treebank(tree_seed);
+        let sources: Vec<String> =
+            RandomPathQuery::batch(k, 5, &["NP", "VP", "PP", "S"], RegexShape::Tags, query_seed)
+                .iter()
+                .map(|q| q.to_program(R_TOP_DOWN))
+                .collect();
+        for mut db in both_backends(&tree, &labels) {
+            check_sink_equivalence(&mut db, &sources);
+        }
+    }
+
+    /// Balanced ACGT-infix documents, sideways caterpillar queries.
+    #[test]
+    fn sinks_agree_on_acgt((k, tree_seed, query_seed) in
+        (1usize..=3, any::<u64>(), any::<u64>()))
+    {
+        let (tree, labels) = small_acgt(tree_seed);
+        let sources: Vec<String> =
+            RandomPathQuery::batch(k, 4, &["A", "C", "G", "T"], RegexShape::Tags, query_seed)
+                .iter()
+                .map(|q| q.to_program(R_INFIX))
+                .collect();
+        for mut db in both_backends(&tree, &labels) {
+            check_sink_equivalence(&mut db, &sources);
+        }
+    }
+}

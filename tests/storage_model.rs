@@ -142,6 +142,6 @@ fn deep_nesting_is_iterative() {
     // And a query runs over it.
     let mut database = arb::Database::open_arb(&path).unwrap();
     let q = database.compile_tmnf("QUERY :- Leaf;").unwrap();
-    let outcome = database.evaluate(&q).unwrap();
+    let outcome = database.prepare(&[q]).run_one().unwrap();
     assert_eq!(outcome.stats.selected, 1);
 }

@@ -1,4 +1,4 @@
-//! Collection strategies: currently just [`vec`].
+//! Collection strategies: currently just [`vec()`].
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;

@@ -3,13 +3,13 @@
 //! `vendor/README.md`), so this crate reimplements just what the test
 //! suites need:
 //!
-//! * the [`Strategy`] trait with `prop_map`, implemented for integer
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for integer
 //!   ranges, tuples, and string-literal patterns (a small regex subset:
 //!   one or more `[class]{m,n}` atoms),
 //! * [`collection::vec`] with `Range`/`RangeInclusive`/exact sizes,
-//! * [`any`] for primitive integers and `bool`,
+//! * [`strategy::any`] for primitive integers and `bool`,
 //! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros,
-//! * [`ProptestConfig::with_cases`].
+//! * [`test_runner::ProptestConfig::with_cases`].
 //!
 //! **No shrinking**: a failing case reports its case index and the
 //! deterministic per-test seed instead of a minimized input. Case inputs
