@@ -1,0 +1,102 @@
+//! Sharded **disk** two-phase evaluation (the §6.2 parallelism case
+//! study taken to secondary storage): per-thread scaling of
+//! `evaluate_disk_parallel` on the treebank database, against the
+//! sequential disk path as baseline.
+//!
+//! Every run asserts result equality with the sequential pass before
+//! reporting, so this doubles as an end-to-end smoke of the sharded
+//! kernel (CI executes it on a tiny treebank with `--threads 1,2`).
+//!
+//! Knobs: `ARB_TREEBANK_ELEMS` scales the database (default 100_000 →
+//! the 424k-node treebank of the earlier benches); `ARB_THREADS` (or
+//! `--threads`) is a comma-separated worker-count list, default
+//! `1,2,4,8`; `ARB_RUNS` averages each configuration (default 3).
+
+use arb_bench as bench;
+use arb_datagen::queries::{RandomPathQuery, R_TOP_DOWN};
+use arb_datagen::RegexShape;
+use arb_engine::{evaluate_disk, evaluate_disk_parallel};
+use std::time::Instant;
+
+fn thread_list() -> Vec<usize> {
+    let from_args = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let spec = from_args
+        .or_else(|| std::env::var("ARB_THREADS").ok())
+        .unwrap_or_else(|| "1,2,4,8".to_string());
+    spec.split(',')
+        .filter_map(|p| p.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .collect()
+}
+
+fn main() {
+    let db = bench::treebank_db();
+    let runs = bench::env_usize("ARB_RUNS", 3);
+    let threads = thread_list();
+    println!(
+        "sharded disk evaluation on {} ({} nodes, on disk), {} run(s) per row\n",
+        db.name,
+        db.db.node_count(),
+        runs
+    );
+
+    let q = RandomPathQuery::batch(1, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 0x5A)
+        .pop()
+        .expect("one query");
+    let mut labels = db.labels.clone();
+    let prog = bench::compile_query(&q, R_TOP_DOWN, &mut labels);
+
+    // Sequential baseline (also the correctness oracle).
+    let mut t_seq = 0.0f64;
+    let mut t1_seq = 0.0f64;
+    let seq = evaluate_disk(&prog, &db.db).expect("sequential evaluation");
+    for _ in 0..runs {
+        let t = Instant::now();
+        let out = evaluate_disk(&prog, &db.db).expect("sequential evaluation");
+        t_seq += t.elapsed().as_secs_f64();
+        t1_seq += out.stats.phase1_time.as_secs_f64();
+    }
+    t_seq /= runs as f64;
+    t1_seq /= runs as f64;
+    println!(
+        "sequential: {:>8.2} ms total, {:>8.2} ms phase 1  (selected {})",
+        t_seq * 1e3,
+        t1_seq * 1e3,
+        seq.stats.selected
+    );
+
+    for &t in &threads {
+        let mut total = 0.0f64;
+        let mut phase1 = 0.0f64;
+        let mut scans = 0u64;
+        for _ in 0..runs {
+            let clock = Instant::now();
+            let out = evaluate_disk_parallel(&prog, &db.db, t).expect("sharded evaluation");
+            total += clock.elapsed().as_secs_f64();
+            phase1 += out.stats.phase1_time.as_secs_f64();
+            scans = out.stats.backward_scans;
+            assert_eq!(
+                out.selected.to_vec(),
+                seq.selected.to_vec(),
+                "sharded result diverged at {t} threads"
+            );
+            assert_eq!(out.per_pred_counts, seq.per_pred_counts);
+        }
+        total /= runs as f64;
+        phase1 /= runs as f64;
+        println!(
+            "threads {:>2}: {:>8.2} ms total ({:>5.2}x), {:>8.2} ms phase 1 ({:>5.2}x), {} backward scan(s)",
+            t,
+            total * 1e3,
+            t_seq / total,
+            phase1 * 1e3,
+            t1_seq / phase1,
+            scans,
+        );
+    }
+}

@@ -42,8 +42,9 @@ fn usage() -> String {
      session evaluated with a single shared two-scan pass. --output picks the\n\
      result sink: bool/count/nodes print one line per query, xml writes one\n\
      document marking the union of the session (--mark [file] is shorthand\n\
-     for --output xml with an output path). --memory materializes the tree\n\
-     first; --threads N parallelizes in-memory evaluation. The legacy\n\
+     for --output xml with an output path). --threads N shards the pass over\n\
+     N workers on either backend (disjoint subtree range scans on disk, no\n\
+     --memory needed); --memory materializes the tree first. The legacy\n\
      --count/--nodes/--boolean flags are aliases for --output."
         .to_string()
 }

@@ -261,6 +261,32 @@ fn cli_output_flag_and_options() {
     ]);
     assert!(out.contains("2 nodes selected"), "output: {out}");
 
+    // --threads no longer requires --memory: the disk path shards (or,
+    // for documents this tiny, falls back to the sequential kernel) and
+    // answers identically.
+    let out = run(&[
+        "query",
+        arb,
+        "--xpath",
+        "//k",
+        "--output",
+        "count",
+        "--threads",
+        "4",
+    ]);
+    assert!(out.contains("2 nodes selected"), "output: {out}");
+    let out = run(&[
+        "query",
+        arb,
+        "--xpath",
+        "//d[k]",
+        "--output",
+        "bool",
+        "--threads",
+        "2",
+    ]);
+    assert!(out.contains("accept"), "output: {out}");
+
     // Unknown output modes are reported, not panicked.
     let out = std::process::Command::new(exe)
         .args(["query", arb, "--xpath", "//k", "--output", "jpeg"])

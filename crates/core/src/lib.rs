@@ -31,12 +31,16 @@
 //!   (`ComputeReachableStates` / `ComputeTruePreds`) with interned states
 //!   and transition hash tables,
 //! * [`twophase`] — Algorithm 4.6 over in-memory trees,
+//! * [`frontier`] — subtree extents and frontier picking, the split
+//!   planning shared by every parallel evaluator (in-memory and the
+//!   engine's sharded disk path),
 //! * [`parallel`] — parallel bottom-up evaluation over balanced trees
 //!   (the Section 6.2 parallelism case study),
 //! * [`stats`] — transition counts, state counts and memory accounting
 //!   (the paper's Figure 6 columns).
 
 pub mod automata;
+pub mod frontier;
 pub mod lazy;
 pub mod ops;
 pub mod parallel;
@@ -44,6 +48,7 @@ pub mod sta;
 pub mod stats;
 pub mod twophase;
 
+pub use frontier::SubtreeIndex;
 pub use lazy::QueryAutomata;
 pub use parallel::evaluate_tree_parallel;
 pub use stats::EvalStats;

@@ -15,6 +15,7 @@
 //! degenerate right-deep trees (ACGT-flat) no useful frontier exists and
 //! evaluation falls back to sequential.
 
+use crate::frontier::SubtreeIndex;
 use crate::lazy::QueryAutomata;
 use crate::stats::EvalStats;
 use crate::twophase::TreeEvalResult;
@@ -22,55 +23,6 @@ use arb_logic::{Atom, PredSetId, Program, ProgramId};
 use arb_tmnf::CoreProgram;
 use arb_tree::{BinaryTree, NodeId};
 use std::time::Instant;
-
-/// Preorder end of each node's subtree: subtree(v) = nodes `v..end[v]`.
-fn subtree_ends(tree: &BinaryTree) -> Vec<u32> {
-    let n = tree.len();
-    let mut end = vec![0u32; n];
-    for ix in (0..n as u32).rev() {
-        let v = NodeId(ix);
-        end[ix as usize] = if let Some(c) = tree.second_child(v) {
-            end[c.ix()]
-        } else if let Some(c) = tree.first_child(v) {
-            end[c.ix()]
-        } else {
-            ix + 1
-        };
-    }
-    end
-}
-
-/// Picks a frontier of disjoint subtree roots covering most of the tree,
-/// by repeatedly splitting the largest region until `target` pieces exist
-/// or pieces become too small.
-fn frontier(tree: &BinaryTree, ends: &[u32], target: usize) -> Vec<NodeId> {
-    let n = tree.len() as u32;
-    let size = |v: NodeId| ends[v.ix()] - v.0;
-    let mut pieces: Vec<NodeId> = vec![tree.root()];
-    let min_piece = (n / (target as u32 * 4)).max(512);
-    while pieces.len() < target {
-        // Split the largest piece into its children.
-        let (i, &v) = match pieces.iter().enumerate().max_by_key(|(_, &v)| size(v)) {
-            Some(x) => x,
-            None => break,
-        };
-        if size(v) < min_piece * 2 {
-            break;
-        }
-        let kids: Vec<NodeId> = [tree.first_child(v), tree.second_child(v)]
-            .into_iter()
-            .flatten()
-            .collect();
-        if kids.is_empty() {
-            break;
-        }
-        pieces.swap_remove(i);
-        pieces.extend(kids);
-        // Note: the split node v itself moves to the sequential spine.
-    }
-    pieces.sort_unstable();
-    pieces
-}
 
 /// Evaluates a program with the phase-1 bottom-up run parallelized over
 /// `threads` workers. Produces the same [`TreeEvalResult`] as
@@ -83,17 +35,21 @@ pub fn evaluate_tree_parallel(
 ) -> TreeEvalResult {
     let n = tree.len();
     assert!(n > 0, "cannot evaluate a query on an empty tree");
-    let threads = threads.max(1);
-    let ends = subtree_ends(tree);
-    let roots = frontier(tree, &ends, threads * 4);
+    // The upper clamp keeps absurd requests from allocating per-worker
+    // state for millions of threads (or overflowing `threads * 4`).
+    let threads = threads.clamp(1, 1024);
+    let idx = SubtreeIndex::from_tree(tree);
+    let roots: Vec<NodeId> = idx.frontier(threads * 4).into_iter().map(NodeId).collect();
 
     let t1 = Instant::now();
     let mut qa = QueryAutomata::new(prog);
     let mut rho_a: Vec<ProgramId> = vec![ProgramId(u32::MAX); n];
     let mut worker_transitions = 0u64;
 
-    // Worker result: per-node local state ids plus the local state table.
-    type WorkerOut = (NodeId, Vec<u32>, Vec<Program>, u64);
+    // Worker result: per-node local state ids plus the local state table,
+    // one entry per subtree, plus the worker's total transition count.
+    type SubtreeOut = (NodeId, Vec<u32>, Vec<Program>);
+    type WorkerOut = (Vec<SubtreeOut>, u64);
 
     let results: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
         let chunks: Vec<Vec<NodeId>> = {
@@ -107,13 +63,13 @@ pub fn evaluate_tree_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|mine| {
-                let ends = &ends;
+                let idx = &idx;
                 scope.spawn(move |_| {
-                    let mut out: Vec<WorkerOut> = Vec::new();
+                    let mut out: Vec<SubtreeOut> = Vec::new();
                     let mut wqa = QueryAutomata::new(prog);
                     for root in mine {
                         let lo = root.0;
-                        let hi = ends[root.ix()];
+                        let hi = idx.end(root.0);
                         let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
                         for ix in (lo..hi).rev() {
                             let v = NodeId(ix);
@@ -131,33 +87,39 @@ pub fn evaluate_tree_parallel(
                         let table: Vec<Program> = (0..wqa.programs.len() as u32)
                             .map(|i| wqa.programs.get(ProgramId(i)).clone())
                             .collect();
-                        out.push((root, local, table, wqa.bu_transitions));
+                        out.push((root, local, table));
                     }
-                    out
+                    (out, wqa.bu_transitions)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
     .expect("thread scope failed");
 
-    // Merge worker states into the master interner.
-    for (root, local, table, transitions) in results {
-        worker_transitions = worker_transitions.max(transitions);
-        let remap: Vec<ProgramId> = table.into_iter().map(|p| qa.programs.intern(p)).collect();
-        let lo = root.0;
-        for (off, lid) in local.into_iter().enumerate() {
-            rho_a[lo as usize + off] = remap[lid as usize];
+    // Merge worker states into the master interner. Transitions are
+    // *summed* over the workers: each worker's lazy tables are computed
+    // independently, so the run's total work is the sum of all of them
+    // (a `max` here made `EvalStats::phase1_transitions` undercount
+    // parallel runs).
+    for (subtrees, transitions) in results {
+        worker_transitions += transitions;
+        for (root, local, table) in subtrees {
+            let remap: Vec<ProgramId> = table.into_iter().map(|p| qa.programs.intern(p)).collect();
+            let lo = root.0;
+            for (off, lid) in local.into_iter().enumerate() {
+                rho_a[lo as usize + off] = remap[lid as usize];
+            }
         }
     }
 
     // Sequential spine: everything not inside a frontier subtree.
     let mut covered = vec![false; n];
     for &r in &roots {
-        for ix in r.0..ends[r.ix()] {
+        for ix in r.0..idx.end(r.0) {
             covered[ix as usize] = true;
         }
     }
@@ -199,7 +161,8 @@ pub fn evaluate_tree_parallel(
     // A frontier root may itself be the tree root (tiny trees): handled
     // since rho_b[0] is set. Workers descend each frontier subtree with
     // their own caches, re-interning against the master tables afterward.
-    type Phase2Out = (NodeId, Vec<u32>, Vec<arb_logic::PredSet>, u64);
+    type Phase2SubtreeOut = (NodeId, Vec<u32>, Vec<arb_logic::PredSet>);
+    type Phase2Out = (Vec<Phase2SubtreeOut>, u64);
     let master_programs = &qa.programs;
     let master_predsets = &qa.predsets;
     let rho_b_snapshot: Vec<PredSetId> = rho_b.clone();
@@ -214,17 +177,17 @@ pub fn evaluate_tree_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|mine| {
-                let ends = &ends;
+                let idx = &idx;
                 let rho_a = &rho_a;
                 let rho_b_snapshot = &rho_b_snapshot;
                 scope.spawn(move |_| {
-                    let mut out: Vec<Phase2Out> = Vec::new();
+                    let mut out: Vec<Phase2SubtreeOut> = Vec::new();
                     let mut wqa = QueryAutomata::new(prog);
                     // Master phase-1 states re-interned into the worker.
                     let mut a_map: Vec<u32> = vec![u32::MAX; master_programs.len()];
                     for root in mine {
                         let lo = root.0;
-                        let hi = ends[root.ix()];
+                        let hi = idx.end(root.0);
                         let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
                         // The root's predicate set comes from the master.
                         let root_set = master_predsets.get(rho_b_snapshot[root.ix()]).clone();
@@ -248,25 +211,28 @@ pub fn evaluate_tree_parallel(
                         let table: Vec<arb_logic::PredSet> = (0..wqa.predsets.len() as u32)
                             .map(|i| wqa.predsets.get(PredSetId(i)).clone())
                             .collect();
-                        out.push((root, local, table, wqa.td_transitions));
+                        out.push((root, local, table));
                     }
-                    out
+                    (out, wqa.td_transitions)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
     .expect("thread scope failed");
+    // Like phase 1: sum the workers' transition counts, don't take a max.
     let mut worker_td = 0u64;
-    for (root, local, table, transitions) in results2 {
-        worker_td = worker_td.max(transitions);
-        let remap: Vec<PredSetId> = table.into_iter().map(|s| qa.predsets.intern(s)).collect();
-        let lo = root.0;
-        for (off, lid) in local.into_iter().enumerate() {
-            rho_b[lo as usize + off] = remap[lid as usize];
+    for (subtrees, transitions) in results2 {
+        worker_td += transitions;
+        for (root, local, table) in subtrees {
+            let remap: Vec<PredSetId> = table.into_iter().map(|s| qa.predsets.intern(s)).collect();
+            let lo = root.0;
+            for (off, lid) in local.into_iter().enumerate() {
+                rho_b[lo as usize + off] = remap[lid as usize];
+            }
         }
     }
     debug_assert!(rho_b.iter().all(|s| s.0 != u32::MAX));
@@ -296,6 +262,7 @@ pub fn evaluate_tree_parallel(
         nodes: n as u64,
         backward_scans: 1,
         forward_scans: 1,
+        sta_bytes: 0,
     };
     TreeEvalResult {
         automata: qa,
@@ -311,21 +278,6 @@ mod tests {
     use crate::twophase::evaluate_tree;
     use arb_tmnf::{normalize, parse_program};
     use arb_tree::{infix::infix_tree, LabelId, LabelTable};
-
-    #[test]
-    fn subtree_ends_are_consistent() {
-        let mut lt = LabelTable::new();
-        let root = lt.intern("r").unwrap();
-        let seq: Vec<LabelId> = (0..31).map(|i| LabelId((i % 4) as u16)).collect();
-        let t = infix_tree(root, &seq);
-        let ends = subtree_ends(&t);
-        assert_eq!(ends[0], t.len() as u32);
-        for v in t.nodes() {
-            for c in [t.first_child(v), t.second_child(v)].into_iter().flatten() {
-                assert!(c.0 > v.0 && ends[c.ix()] <= ends[v.ix()]);
-            }
-        }
-    }
 
     #[test]
     fn parallel_matches_sequential() {
@@ -349,6 +301,35 @@ mod tests {
         for v in tree.nodes() {
             assert_eq!(seq_res.preds_at(v), par_res.preds_at(v), "node {}", v.0);
         }
+
+        // Stats compatibility: workers recompute transitions the
+        // sequential run memoizes once, so the parallel totals can only
+        // be at least the sequential ones — but they must stay within
+        // the (workers + master) × sequential envelope, and the
+        // structural columns must agree exactly. A `max`-merge of worker
+        // counts violated the lower bound.
+        for (seq_t, par_t) in [
+            (
+                seq_res.stats.phase1_transitions,
+                par_res.stats.phase1_transitions,
+            ),
+            (
+                seq_res.stats.phase2_transitions,
+                par_res.stats.phase2_transitions,
+            ),
+        ] {
+            assert!(
+                par_t >= seq_t,
+                "parallel transitions undercounted: {par_t} < sequential {seq_t}"
+            );
+            assert!(
+                par_t <= seq_t * 6,
+                "parallel transitions beyond the worker envelope: {par_t} vs {seq_t}"
+            );
+        }
+        assert_eq!(seq_res.stats.nodes, par_res.stats.nodes);
+        assert_eq!(seq_res.stats.idb_count, par_res.stats.idb_count);
+        assert_eq!(seq_res.stats.rule_count, par_res.stats.rule_count);
     }
 
     #[test]

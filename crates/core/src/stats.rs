@@ -35,6 +35,12 @@ pub struct EvalStats {
     /// Forward (phase-2) linear scans / preorder sweeps performed.
     /// Exactly one per evaluation (zero for boolean document filtering).
     pub forward_scans: u64,
+    /// Bytes of temporary `.sta` state-file space the run used — 4 bytes
+    /// per node on the disk path (paper footnote 12), 0 for in-memory
+    /// evaluation and boolean document filtering. Reported here because
+    /// the uniquely named scratch file itself is deleted when the run
+    /// finishes.
+    pub sta_bytes: u64,
 }
 
 impl EvalStats {

@@ -127,6 +127,7 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         nodes: n as u64,
         backward_scans: 1,
         forward_scans: 1,
+        sta_bytes: 0,
     };
 
     TreeEvalResult {

@@ -185,14 +185,32 @@ pub fn evaluate_disk_batch_with_hook(
     db: &ArbDatabase,
     hook: Option<Phase2Hook<'_>>,
 ) -> io::Result<BatchOutcome> {
+    evaluate_disk_batch_opts(batch, db, 1, hook)
+}
+
+/// [`evaluate_disk_batch_with_hook`] with a thread count: `threads > 1`
+/// shards the two-phase pass over a frontier of disjoint subtree record
+/// windows (paper §6.2 on disk — see
+/// [`diskeval`](crate::diskeval#sharded-evaluation)). Results are
+/// identical to the sequential pass; degenerate documents fall back to
+/// it automatically.
+pub fn evaluate_disk_batch_opts(
+    batch: &QueryBatch,
+    db: &ArbDatabase,
+    threads: usize,
+    hook: Option<Phase2Hook<'_>>,
+) -> io::Result<BatchOutcome> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
     // The grouped kernel tests each query atom once per node and fills
     // one node set per query directly inside the phase-2 scan.
     let groups = batch.query_atoms();
-    let (merged_outcome, group_sets) =
-        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook)?;
+    let (merged_outcome, group_sets) = if threads > 1 {
+        crate::diskeval::evaluate_disk_grouped_parallel(&batch.merged, db, &groups, hook, threads)?
+    } else {
+        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook)?
+    };
     // A single-query batch gets its set back as the union.
     let group_sets = if group_sets.is_empty() {
         vec![merged_outcome.selected.clone()]
@@ -304,10 +322,25 @@ pub(crate) fn demux_node(
 /// single shared backward scan: returns, per query, whether any of its
 /// query predicates holds at the root.
 pub fn evaluate_boolean_batch(batch: &QueryBatch, db: &ArbDatabase) -> io::Result<Vec<bool>> {
+    evaluate_boolean_batch_opts(batch, db, 1)
+}
+
+/// [`evaluate_boolean_batch`] with a thread count: `threads > 1` shards
+/// the single backward pass over a subtree frontier (still no `.sta`
+/// file — only the root's facts matter).
+pub fn evaluate_boolean_batch_opts(
+    batch: &QueryBatch,
+    db: &ArbDatabase,
+    threads: usize,
+) -> io::Result<Vec<bool>> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
-    let set = crate::diskeval::root_true_preds(&batch.merged, db)?;
+    let set = if threads > 1 {
+        crate::diskeval::root_true_preds_parallel(&batch.merged, db, threads)?
+    } else {
+        crate::diskeval::root_true_preds(&batch.merged, db)?
+    };
     Ok(batch
         .query_atoms()
         .iter()

@@ -2,21 +2,52 @@
 //!
 //! Phase 1 runs the bottom-up automaton over one **backward linear scan**
 //! of the `.arb` file, streaming the per-node state ids (4 bytes/node) to
-//! the temporary `.sta` file. Phase 2 runs the top-down automaton over
-//! one **forward linear scan**, reading the `.sta` file forward in
-//! lockstep. Main memory holds only the two automata (lazily grown hash
-//! tables) and a stack bounded by the XML depth — the paper's three
-//! desiderata of Section 1.1.
+//! a uniquely named temporary `.sta` file (deleted when the run ends).
+//! Phase 2 runs the top-down automaton over one **forward linear scan**,
+//! reading the `.sta` file forward in lockstep. Main memory holds only
+//! the two automata (lazily grown hash tables) and a stack bounded by the
+//! XML depth — the paper's three desiderata of Section 1.1.
+//!
+//! # Sharded evaluation
+//!
+//! "Tree automata (working on binary trees) naturally admit parallel
+//! processing" (paper §6.2): distinct subtrees are independent, and on
+//! disk a subtree is a contiguous preorder record window. The sharded
+//! evaluator ([`evaluate_disk_parallel`], also behind
+//! `EvalOptions::parallelism` on the `Session` surface) plans a frontier
+//! of disjoint subtree windows from the database's cached subtree
+//! extents (one backward metadata scan on first use;
+//! `arb_storage::ArbDatabase::subtree_extents` +
+//! [`arb_core::SubtreeIndex`]), then:
+//!
+//! * **phase 1** — N workers run the bottom-up automaton backwards over
+//!   their windows in parallel, each with its own lazy
+//!   [`QueryAutomata`], streaming *worker-local* state ids into disjoint
+//!   segments of one shared `.sta` file; the spine (the handful of split
+//!   ancestors) finishes sequentially on the master automata after the
+//!   workers' states are re-interned;
+//! * **phase 2** — the spine is annotated top-down first, then the same
+//!   workers descend their subtrees with forward range scans, reading
+//!   back their own `.sta` segments (their local ids are still
+//!   meaningful to them) and demultiplexing matches locally. When a
+//!   [`Phase2Hook`] needs the document order (marked-XML streaming),
+//!   phase 2 instead runs as one sequential forward scan that remaps
+//!   each segment's local ids through the master interner — phase 1
+//!   stays parallel.
+//!
+//! Results are identical to the sequential path; `EvalStats` scan
+//! counters report the real number of (range) scans opened.
 
 use crate::QueryOutcome;
-use arb_core::{EvalStats, QueryAutomata};
-use arb_logic::{Atom, PredSetId, ProgramId};
-use arb_storage::stafile::{StateFileReader, StateFileWriter};
-use arb_storage::{bottom_up_scan, top_down_scan, ArbDatabase, DownContext};
+use arb_core::{EvalStats, QueryAutomata, SubtreeIndex};
+use arb_logic::{Atom, PredSet, PredSetId, ProgramId};
+use arb_storage::stafile::{StateFilePatcher, StateFileReader, StateFileWriter};
+use arb_storage::{bottom_up_scan, top_down_scan, ArbDatabase, DownContext, ScratchPath};
 use arb_tmnf::CoreProgram;
 use arb_tree::NodeSet;
+use std::collections::HashMap;
 use std::io;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-node hook invoked during phase 2 (document order) with the node's
 /// record, its final true-predicate set, and one selected-flag per query
@@ -24,6 +55,13 @@ use std::time::Instant;
 /// the seam streaming consumers (e.g. [`crate::XmlMarkSink`]) plug into.
 pub type Phase2Hook<'a> =
     &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet, &[bool]);
+
+fn empty_db_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        "cannot evaluate a query on an empty database",
+    )
+}
 
 /// Evaluates a TMNF program over a disk database by the two-phase
 /// algorithm. Pass a `hook` to observe every node's predicates in
@@ -38,59 +76,44 @@ pub fn evaluate_disk_with_hook(
     Ok(outcome)
 }
 
-/// The shared two-scan kernel, generalized over *groups* of query atoms
-/// (one group per query of a batch; a single query is one group): every
-/// atom is tested exactly once per node during the phase-2 scan, feeding
-/// both the flattened `per_pred_counts` and one selected-node set per
-/// group — this is what makes batch demultiplexing free.
-///
-/// With exactly one group, its node set *is* the union: it is moved into
-/// `outcome.selected` and the returned group vector is empty (no
-/// duplicate bitset on the single-query path).
-pub(crate) fn evaluate_disk_grouped(
+/// [`evaluate_disk_with_hook`] without a hook.
+pub fn evaluate_disk(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<QueryOutcome> {
+    evaluate_disk_with_hook(prog, db, None)
+}
+
+/// [`evaluate_disk`] sharded over `threads` workers (see the module docs
+/// for the algorithm). Identical results; falls back to the sequential
+/// path when `threads <= 1` or the tree admits no useful frontier
+/// (tiny or degenerate right-deep documents).
+pub fn evaluate_disk_parallel(
     prog: &CoreProgram,
     db: &ArbDatabase,
+    threads: usize,
+) -> io::Result<QueryOutcome> {
+    let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
+    let (outcome, _sets) = evaluate_disk_grouped_parallel(prog, db, &[atoms], None, threads)?;
+    Ok(outcome)
+}
+
+/// The sequential phase-2 pass: one forward record scan in lockstep with
+/// a per-node state stream (`next_state`, called exactly once per node in
+/// preorder), demultiplexing into per-group node sets and flattened
+/// per-atom counts, feeding `hook` in document order.
+///
+/// Once a state read fails, the pass stops feeding the automaton, the
+/// demux and the hook entirely — a fabricated `PredSetId(0)` annotation
+/// must never reach sinks (the original code kept streaming such records
+/// into `Phase2Hook` consumers until EOF after an I/O error).
+fn phase2_sequential(
+    qa: &mut QueryAutomata,
+    db: &ArbDatabase,
+    root_state: ProgramId,
     groups: &[Vec<Atom>],
-    mut hook: Option<Phase2Hook<'_>>,
-) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
-    let mut qa = QueryAutomata::new(prog);
+    mut next_state: impl FnMut(u32) -> io::Result<u32>,
+    hook: &mut Option<Phase2Hook<'_>>,
+) -> io::Result<(Vec<u64>, Vec<NodeSet>)> {
     let n = db.node_count();
-    if n == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "cannot evaluate a query on an empty database",
-        ));
-    }
-    let sta_path = db.sta_path();
-    // Scans this evaluation opened, counted at the open sites below so
-    // the Proposition 5.1 claim (one each) is measured, not assumed.
-    let mut backward_scans = 0u64;
-    let mut forward_scans = 0u64;
-
-    // --- Phase 1: backward scan, bottom-up automaton, stream states -----
-    let t1 = Instant::now();
-    let mut scan = db.backward_scan()?;
-    backward_scans += 1;
-    let mut sta = StateFileWriter::create(&sta_path, n as u64)?;
-    let mut sta_err: Option<io::Error> = None;
-    let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
-        let s = qa.bottom_up(s1, s2, rec.info(ix));
-        if let Err(e) = sta.write_state(s.0) {
-            sta_err.get_or_insert(e);
-        }
-        s
-    })?;
-    if let Some(e) = sta_err {
-        return Err(e);
-    }
-    sta.finish()?;
-    let phase1_time = t1.elapsed();
-
-    // --- Phase 2: forward scan, top-down automaton ----------------------
-    let t2 = Instant::now();
     let mut scan = db.forward_scan()?;
-    forward_scans += 1;
-    let mut sta = StateFileReader::open(&sta_path)?;
     let total_atoms: usize = groups.iter().map(Vec::len).sum();
     let mut per_pred_counts = vec![0u64; total_atoms];
     let mut group_sets: Vec<NodeSet> = (0..groups.len())
@@ -100,8 +123,13 @@ pub(crate) fn evaluate_disk_grouped(
     let mut io_err: Option<io::Error> = None;
     let start = qa.start_state(root_state);
     top_down_scan(&mut scan, |ctx, rec, ix| -> PredSetId {
+        if io_err.is_some() {
+            // A state read already failed: the fold value below is
+            // fabricated, so nothing downstream may consume it.
+            return PredSetId(0);
+        }
         // The child's phase-1 state, in preorder lockstep with the scan.
-        let rho_a = match sta.read_state() {
+        let rho_a = match next_state(ix) {
             Ok(s) => ProgramId(s),
             Err(e) => {
                 io_err.get_or_insert(e);
@@ -132,11 +160,14 @@ pub(crate) fn evaluate_disk_grouped(
     if let Some(e) = io_err {
         return Err(e);
     }
-    let phase2_time = t2.elapsed();
+    Ok((per_pred_counts, group_sets))
+}
 
-    // The union over all groups (== all query predicates). A lone group
-    // is moved rather than copied.
-    let (selected, group_sets) = if group_sets.len() == 1 {
+/// Collapses per-group node sets into the union `selected` set; a lone
+/// group is moved rather than copied (its set *is* the union) and the
+/// returned group vector is empty.
+fn union_groups(group_sets: Vec<NodeSet>, n: u32) -> (NodeSet, Vec<NodeSet>) {
+    if group_sets.len() == 1 {
         (
             group_sets.into_iter().next().expect("one group"),
             Vec::new(),
@@ -147,7 +178,71 @@ pub(crate) fn evaluate_disk_grouped(
             union.union_with(s);
         }
         (union, group_sets)
-    };
+    }
+}
+
+/// The shared two-scan kernel, generalized over *groups* of query atoms
+/// (one group per query of a batch; a single query is one group): every
+/// atom is tested exactly once per node during the phase-2 scan, feeding
+/// both the flattened `per_pred_counts` and one selected-node set per
+/// group — this is what makes batch demultiplexing free.
+///
+/// With exactly one group, its node set *is* the union: it is moved into
+/// `outcome.selected` and the returned group vector is empty (no
+/// duplicate bitset on the single-query path).
+pub(crate) fn evaluate_disk_grouped(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    groups: &[Vec<Atom>],
+    mut hook: Option<Phase2Hook<'_>>,
+) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
+    let mut qa = QueryAutomata::new(prog);
+    let n = db.node_count();
+    if n == 0 {
+        return Err(empty_db_err());
+    }
+    // One uniquely named scratch stream per run: concurrent evaluations
+    // of the same database must never share a `.sta` path.
+    let sta = db.scratch_sta();
+    // Scans this evaluation opened, counted at the open sites below so
+    // the Proposition 5.1 claim (one each) is measured, not assumed.
+    let mut backward_scans = 0u64;
+    let mut forward_scans = 0u64;
+
+    // --- Phase 1: backward scan, bottom-up automaton, stream states -----
+    let t1 = Instant::now();
+    let mut scan = db.backward_scan()?;
+    backward_scans += 1;
+    let mut sta_w = StateFileWriter::create(sta.path(), n as u64)?;
+    let mut sta_err: Option<io::Error> = None;
+    let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
+        let s = qa.bottom_up(s1, s2, rec.info(ix));
+        if let Err(e) = sta_w.write_state(s.0) {
+            sta_err.get_or_insert(e);
+        }
+        s
+    })?;
+    if let Some(e) = sta_err {
+        return Err(e);
+    }
+    sta_w.finish()?;
+    let phase1_time = t1.elapsed();
+
+    // --- Phase 2: forward scan, top-down automaton ----------------------
+    let t2 = Instant::now();
+    let mut sta_r = StateFileReader::open(sta.path())?;
+    let (per_pred_counts, group_sets) = phase2_sequential(
+        &mut qa,
+        db,
+        root_state,
+        groups,
+        |_| sta_r.read_state(),
+        &mut hook,
+    )?;
+    forward_scans += 1;
+    let phase2_time = t2.elapsed();
+
+    let (selected, group_sets) = union_groups(group_sets, n);
     let stats = EvalStats {
         idb_count: prog.pred_count(),
         rule_count: prog.rule_count(),
@@ -162,6 +257,7 @@ pub(crate) fn evaluate_disk_grouped(
         nodes: n as u64,
         backward_scans,
         forward_scans,
+        sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
     };
     Ok((
         QueryOutcome {
@@ -173,9 +269,434 @@ pub(crate) fn evaluate_disk_grouped(
     ))
 }
 
-/// [`evaluate_disk_with_hook`] without a hook.
-pub fn evaluate_disk(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<QueryOutcome> {
-    evaluate_disk_with_hook(prog, db, None)
+/// One phase-1 worker's output, carried across to phase 2: its lazy
+/// automata (whose program table gives the worker's `.sta` segments
+/// their meaning) and, per assigned frontier root, the worker-local
+/// state id the subtree folded to.
+struct ShardWorker {
+    wqa: QueryAutomata,
+    /// `(root, worker-local root state)` per assigned subtree.
+    roots: Vec<(u32, u32)>,
+}
+
+/// Everything the sharded phase 1 produces.
+struct ShardedPhase1<'d> {
+    /// Master automata: workers' states re-interned, spine evaluated.
+    qa: QueryAutomata,
+    workers: Vec<ShardWorker>,
+    /// Per worker: local program id → master program id.
+    remaps: Vec<Vec<ProgramId>>,
+    idx: SubtreeIndex<'d>,
+    /// Spine nodes (everything outside the frontier subtrees), preorder.
+    spine: Vec<u32>,
+    /// Master phase-1 states of spine nodes.
+    spine_a: HashMap<u32, ProgramId>,
+    /// Master phase-1 states of the frontier roots.
+    root_a: HashMap<u32, ProgramId>,
+    /// The document root's phase-1 state.
+    root_state: ProgramId,
+    backward_scans: u64,
+    phase1_time: Duration,
+    /// Σ workers' lazily computed bottom-up transitions.
+    worker_bu: u64,
+}
+
+/// Runs the sharded phase 1: plans the frontier with one backward
+/// metadata scan, fans the bottom-up pass out over `threads` workers on
+/// disjoint subtree record windows (streaming worker-local state ids
+/// into disjoint segments of `sta`, when given), finishes the spine
+/// sequentially on the master automata. Returns `None` when `threads`
+/// or the tree shape make sharding pointless — callers fall back to the
+/// sequential path.
+fn sharded_phase1<'d>(
+    prog: &CoreProgram,
+    db: &'d ArbDatabase,
+    threads: usize,
+    sta: Option<&ScratchPath>,
+) -> io::Result<Option<ShardedPhase1<'d>>> {
+    let n = db.node_count();
+    if n == 0 {
+        return Err(empty_db_err());
+    }
+    if threads <= 1 {
+        return Ok(None);
+    }
+    // The upper clamp keeps absurd requests from allocating per-worker
+    // state for millions of threads (or overflowing `threads * 4`).
+    let threads = threads.min(1024);
+    let t1 = Instant::now();
+    let mut backward_scans = 0u64;
+
+    // Plan: the frontier windows, from the database's cached subtree
+    // extents (one metadata scan — no automata work — on the handle's
+    // first sharded run; free afterwards).
+    let idx = {
+        let cached = db.extents_cached();
+        let (ends, kinds) = db.subtree_extents()?;
+        if !cached {
+            backward_scans += 1;
+        }
+        SubtreeIndex::from_parts(ends, kinds)
+    };
+    let roots = idx.frontier(threads * 4);
+    if roots.len() <= 1 {
+        // No useful frontier (tiny or degenerate tree).
+        return Ok(None);
+    }
+    if let Some(sta) = sta {
+        arb_storage::stafile::allocate(sta.path(), n as u64)?;
+    }
+
+    // Round-robin the frontier subtrees over the workers.
+    let chunks: Vec<Vec<u32>> = {
+        let workers = threads.min(roots.len());
+        let mut cs: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        for (i, &r) in roots.iter().enumerate() {
+            cs[i % workers].push(r);
+        }
+        cs
+    };
+
+    let results: Vec<io::Result<ShardWorker>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|mine| {
+                let idx = &idx;
+                scope.spawn(move |_| -> io::Result<ShardWorker> {
+                    let mut wqa = QueryAutomata::new(prog);
+                    let mut out = Vec::with_capacity(mine.len());
+                    for &r in mine {
+                        let hi = idx.end(r);
+                        let mut scan = db.backward_scan_range(r, hi)?;
+                        let mut seg = match sta {
+                            Some(s) => {
+                                Some(StateFileWriter::segment(s.path(), r as u64, hi as u64)?)
+                            }
+                            None => None,
+                        };
+                        let mut werr: Option<io::Error> = None;
+                        let root_state =
+                            bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
+                                let s = wqa.bottom_up(s1, s2, rec.info(ix));
+                                if let Some(seg) = seg.as_mut() {
+                                    if let Err(e) = seg.write_state(s.0) {
+                                        werr.get_or_insert(e);
+                                    }
+                                }
+                                s
+                            })?;
+                        if let Some(e) = werr {
+                            return Err(e);
+                        }
+                        if let Some(seg) = seg {
+                            seg.finish()?;
+                        }
+                        out.push((r, root_state.0));
+                    }
+                    Ok(ShardWorker { wqa, roots: out })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("phase-1 worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+    let workers: Vec<ShardWorker> = results.into_iter().collect::<io::Result<_>>()?;
+    backward_scans += roots.len() as u64;
+
+    // Re-intern the workers' states into the master automata.
+    let mut qa = QueryAutomata::new(prog);
+    let remaps: Vec<Vec<ProgramId>> = workers
+        .iter()
+        .map(|w| {
+            (0..w.wqa.programs.len() as u32)
+                .map(|i| qa.programs.intern(w.wqa.programs.get(ProgramId(i)).clone()))
+                .collect()
+        })
+        .collect();
+    let mut root_a: HashMap<u32, ProgramId> = HashMap::new();
+    for (wi, w) in workers.iter().enumerate() {
+        for &(r, local) in &w.roots {
+            root_a.insert(r, remaps[wi][local as usize]);
+        }
+    }
+    let worker_bu: u64 = workers.iter().map(|w| w.wqa.bu_transitions).sum();
+
+    // Sequential spine (≤ frontier-target nodes): children of spine
+    // nodes are spine nodes or frontier roots, so reverse preorder has
+    // every child state at hand. Spine states are written to the shared
+    // state file as *master* ids.
+    let spine = idx.spine(&roots);
+    debug_assert!(spine.contains(&0), "the document root is a split node");
+    let mut patch = match sta {
+        Some(s) => Some(StateFilePatcher::open(s.path())?),
+        None => None,
+    };
+    let mut spine_a: HashMap<u32, ProgramId> = HashMap::new();
+    for &v in spine.iter().rev() {
+        let rec = db.record_at(v)?;
+        let state_of =
+            |c: u32| -> ProgramId { spine_a.get(&c).copied().unwrap_or_else(|| root_a[&c]) };
+        let s1 = idx.first_child(v).map(state_of);
+        let s2 = idx.second_child(v).map(state_of);
+        let s = qa.bottom_up(s1, s2, rec.info(v));
+        spine_a.insert(v, s);
+        if let Some(p) = patch.as_mut() {
+            p.write_state_at(v as u64, s.0)?;
+        }
+    }
+    let root_state = spine_a[&0];
+    Ok(Some(ShardedPhase1 {
+        qa,
+        workers,
+        remaps,
+        idx,
+        spine,
+        spine_a,
+        root_a,
+        root_state,
+        backward_scans,
+        phase1_time: t1.elapsed(),
+        worker_bu,
+    }))
+}
+
+/// [`evaluate_disk_grouped`] sharded over `threads` workers. Phase 1
+/// always shards; phase 2 shards too unless a `hook` needs the document
+/// order, in which case it runs as one sequential forward scan over the
+/// (sharded-written) state file. Falls back to the sequential kernel
+/// when no useful frontier exists. Results are identical either way.
+pub(crate) fn evaluate_disk_grouped_parallel(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    groups: &[Vec<Atom>],
+    mut hook: Option<Phase2Hook<'_>>,
+    threads: usize,
+) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
+    let n = db.node_count();
+    let sta = db.scratch_sta();
+    let p1 = match sharded_phase1(prog, db, threads, Some(&sta))? {
+        Some(p1) => p1,
+        None => return evaluate_disk_grouped(prog, db, groups, hook),
+    };
+    let ShardedPhase1 {
+        mut qa,
+        workers,
+        remaps,
+        idx,
+        spine,
+        spine_a,
+        root_a,
+        root_state,
+        backward_scans,
+        phase1_time,
+        worker_bu,
+    } = p1;
+    let mut forward_scans = 0u64;
+    let total_atoms: usize = groups.iter().map(Vec::len).sum();
+
+    let t2 = Instant::now();
+    let (per_pred_counts, group_sets, worker_td, worker_mem) = if hook.is_some() {
+        // Streaming consumers need preorder: sequential phase 2 over the
+        // whole file, remapping each segment's worker-local ids through
+        // the master interner (spine slots already hold master ids).
+        let mut ranges: Vec<(u32, u32, usize)> = Vec::new();
+        for (wi, w) in workers.iter().enumerate() {
+            for &(r, _) in &w.roots {
+                ranges.push((r, idx.end(r), wi));
+            }
+        }
+        ranges.sort_unstable();
+        let worker_mem: usize = workers.iter().map(|w| w.wqa.memory_bytes()).sum();
+        let mut sta_r = StateFileReader::open(sta.path())?;
+        let mut cursor = 0usize;
+        let (counts, sets) = phase2_sequential(
+            &mut qa,
+            db,
+            root_state,
+            groups,
+            |ix| {
+                let raw = sta_r.read_state()?;
+                while cursor < ranges.len() && ix >= ranges[cursor].1 {
+                    cursor += 1;
+                }
+                Ok(match ranges.get(cursor) {
+                    Some(&(lo, _, wi)) if ix >= lo => remaps[wi][raw as usize].0,
+                    _ => raw, // spine slot: already a master id
+                })
+            },
+            &mut hook,
+        )?;
+        forward_scans += 1;
+        (counts, sets, 0u64, worker_mem)
+    } else {
+        // Sharded phase 2: spine first (it hands each frontier root its
+        // predicate set), then the same workers descend their subtrees
+        // reading back their own `.sta` segments.
+        let start = qa.start_state(root_state);
+        let mut spine_b: HashMap<u32, PredSetId> = HashMap::new();
+        let mut root_b: HashMap<u32, PredSetId> = HashMap::new();
+        spine_b.insert(0, start);
+        for &v in &spine {
+            let q = spine_b[&v];
+            for (k, c) in [(1u8, idx.first_child(v)), (2, idx.second_child(v))] {
+                let Some(c) = c else { continue };
+                let a = spine_a.get(&c).copied().unwrap_or_else(|| root_a[&c]);
+                let ps = qa.top_down(q, a, k);
+                if spine_a.contains_key(&c) {
+                    spine_b.insert(c, ps);
+                } else {
+                    root_b.insert(c, ps);
+                }
+            }
+        }
+
+        // Demux the spine nodes on the master.
+        let mut per_pred_counts = vec![0u64; total_atoms];
+        let mut group_sets: Vec<NodeSet> = (0..groups.len())
+            .map(|_| NodeSet::new(n as usize))
+            .collect();
+        let mut flags = vec![false; groups.len()];
+        for &v in &spine {
+            let set = qa.predsets.get(spine_b[&v]);
+            crate::batch::demux_node(
+                set,
+                groups,
+                &mut per_pred_counts,
+                &mut group_sets,
+                v,
+                &mut flags,
+            );
+        }
+
+        // Workers: per-subtree forward range scan + segment read. Their
+        // phase-1 program tables give the raw segment ids meaning, so no
+        // remap is needed inside a worker. Selections are collected in
+        // *window-sized* bitsets indexed relative to the subtree root —
+        // the windows are disjoint, so all workers together hold at most
+        // one document's worth of bits per group (a full-document set
+        // per worker would multiply result memory by the worker count).
+        type WindowSets = (u32, Vec<NodeSet>);
+        type P2Out = (Vec<u64>, Vec<WindowSets>, u64, usize);
+        let master_predsets = &qa.predsets;
+        let root_b = &root_b;
+        let subtree_count: u64 = workers.iter().map(|w| w.roots.len() as u64).sum();
+        let results: Vec<io::Result<P2Out>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .map(|w| {
+                    let idx = &idx;
+                    let sta_path = sta.path();
+                    scope.spawn(move |_| -> io::Result<P2Out> {
+                        let ShardWorker { mut wqa, roots } = w;
+                        let mut counts = vec![0u64; total_atoms];
+                        let mut windows: Vec<WindowSets> = Vec::with_capacity(roots.len());
+                        let mut flags = vec![false; groups.len()];
+                        for &(r, local_root) in &roots {
+                            let hi = idx.end(r);
+                            let mut sets: Vec<NodeSet> = (0..groups.len())
+                                .map(|_| NodeSet::new((hi - r) as usize))
+                                .collect();
+                            let mut scan = db.forward_scan_range(r, hi)?;
+                            let mut sta_r = StateFileReader::open_at(sta_path, r as u64)?;
+                            // The root's predicate set comes from the master.
+                            let q0 = wqa.predsets.intern(master_predsets.get(root_b[&r]).clone());
+                            let mut io_err: Option<io::Error> = None;
+                            top_down_scan(&mut scan, |ctx, _rec, ix| -> PredSetId {
+                                if io_err.is_some() {
+                                    return PredSetId(0);
+                                }
+                                let rho = match sta_r.read_state() {
+                                    Ok(raw) => ProgramId(raw),
+                                    Err(e) => {
+                                        io_err.get_or_insert(e);
+                                        return PredSetId(0);
+                                    }
+                                };
+                                let state = match ctx {
+                                    DownContext::Root => {
+                                        debug_assert_eq!(rho.0, local_root, "segment misaligned");
+                                        q0
+                                    }
+                                    DownContext::Child(parent, k) => wqa.top_down(parent, rho, k),
+                                };
+                                let set = wqa.predsets.get(state);
+                                crate::batch::demux_node(
+                                    set,
+                                    groups,
+                                    &mut counts,
+                                    &mut sets,
+                                    ix - r, // window-relative
+                                    &mut flags,
+                                );
+                                state
+                            })?;
+                            if let Some(e) = io_err {
+                                return Err(e);
+                            }
+                            windows.push((r, sets));
+                        }
+                        Ok((counts, windows, wqa.td_transitions, wqa.memory_bytes()))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase-2 worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+        forward_scans += subtree_count;
+
+        let mut worker_td = 0u64;
+        let mut worker_mem = 0usize;
+        for res in results {
+            let (counts, windows, td, mem) = res?;
+            for (acc, c) in per_pred_counts.iter_mut().zip(counts) {
+                *acc += c;
+            }
+            for (r, sets) in windows {
+                for (acc, s) in group_sets.iter_mut().zip(&sets) {
+                    for v in s.iter() {
+                        acc.insert(arb_tree::NodeId(r + v.0));
+                    }
+                }
+            }
+            worker_td += td;
+            worker_mem += mem;
+        }
+        (per_pred_counts, group_sets, worker_td, worker_mem)
+    };
+    let phase2_time = t2.elapsed();
+
+    let (selected, group_sets) = union_groups(group_sets, n);
+    let stats = EvalStats {
+        idb_count: prog.pred_count(),
+        rule_count: prog.rule_count(),
+        phase1_time,
+        phase1_transitions: qa.bu_transitions + worker_bu,
+        phase2_time,
+        phase2_transitions: qa.td_transitions + worker_td,
+        selected: selected.count() as u64,
+        // Peak automata memory across master and workers.
+        memory_bytes: qa.memory_bytes() + worker_mem,
+        bu_states: qa.bu_state_count(),
+        td_states: qa.td_state_count(),
+        nodes: n as u64,
+        backward_scans,
+        forward_scans,
+        sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
+    };
+    Ok((
+        QueryOutcome {
+            stats,
+            selected,
+            per_pred_counts,
+        },
+        group_sets,
+    ))
 }
 
 /// Evaluates a **boolean** query — "accept or reject an entire XML
@@ -198,16 +719,10 @@ pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool
 /// The set of predicates true at the root, computed with a single
 /// backward scan and no `.sta` file — the shared kernel of boolean
 /// (document-filtering) evaluation, single-query and batched.
-pub(crate) fn root_true_preds(
-    prog: &CoreProgram,
-    db: &ArbDatabase,
-) -> io::Result<arb_logic::PredSet> {
+pub(crate) fn root_true_preds(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<PredSet> {
     let mut qa = QueryAutomata::new(prog);
     if db.node_count() == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "cannot evaluate a query on an empty database",
-        ));
+        return Err(empty_db_err());
     }
     let mut scan = db.backward_scan()?;
     let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
@@ -215,6 +730,23 @@ pub(crate) fn root_true_preds(
     })?;
     let start = qa.start_state(root_state);
     Ok(qa.predsets.get(start).clone())
+}
+
+/// [`root_true_preds`] with the backward pass sharded over `threads`
+/// workers — the boolean (document-filtering) fast path of sharded
+/// evaluation: still no `.sta` file, since only the root's facts matter.
+pub(crate) fn root_true_preds_parallel(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    threads: usize,
+) -> io::Result<PredSet> {
+    match sharded_phase1(prog, db, threads, None)? {
+        None => root_true_preds(prog, db),
+        Some(mut p1) => {
+            let start = p1.qa.start_state(p1.root_state);
+            Ok(p1.qa.predsets.get(start).clone())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +799,7 @@ mod tests {
         // character child of a sec is 'c' ('a','b' sit inside a p).
         assert_eq!(outcome.stats.selected, 1);
         assert_eq!(outcome.per_pred_counts, vec![1]);
+        assert_eq!(outcome.stats.sta_bytes, outcome.stats.nodes * 4);
     }
 
     #[test]
@@ -283,5 +816,179 @@ mod tests {
             };
         evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    /// A generated document big enough to admit a frontier (the frontier
+    /// planner requires pieces of ≥ 512 nodes).
+    fn balanced_db(name: &str) -> ArbDatabase {
+        use std::fmt::Write;
+        let mut xml = String::from("<r>");
+        for i in 0..direct_children() {
+            write!(xml, "<g{}>", i % 7).unwrap();
+            for j in 0..40 {
+                match (i + j) % 3 {
+                    0 => write!(xml, "<a>t</a>").unwrap(),
+                    1 => xml.push_str("<b/>"),
+                    _ => write!(xml, "<c><a/></c>").unwrap(),
+                }
+            }
+            xml.push_str(&format!("</g{}>", i % 7));
+        }
+        xml.push_str("</r>");
+        mkdb(&xml, name)
+    }
+
+    fn direct_children() -> usize {
+        100
+    }
+
+    /// The sharded evaluator is a drop-in replacement: identical
+    /// selected sets, counts, and verdict-relevant state, with the
+    /// transition totals within the worker envelope.
+    #[test]
+    fn sharded_matches_sequential() {
+        let db = balanced_db("shard1.arb");
+        assert!(db.node_count() > 4096, "document must admit a frontier");
+        let mut labels = db.labels().clone();
+        let src = "InG :- V.Label[g0].FirstChild.NextSibling*;\n\
+                   QUERY :- V.Label[a], Leaf;\n\
+                   QUERY :- InG, Text;";
+        let ast = parse_program(src, &mut labels).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+
+        let seq = evaluate_disk(&prog, &db).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = evaluate_disk_parallel(&prog, &db, threads).unwrap();
+            assert_eq!(
+                par.selected.to_vec(),
+                seq.selected.to_vec(),
+                "threads {threads}"
+            );
+            assert_eq!(par.per_pred_counts, seq.per_pred_counts);
+            assert_eq!(par.stats.selected, seq.stats.selected);
+            assert_eq!(par.stats.nodes, seq.stats.nodes);
+            assert!(par.stats.phase1_transitions >= seq.stats.phase1_transitions);
+            assert!(par.stats.backward_scans > 1, "range scans are counted");
+            assert_eq!(par.stats.sta_bytes, seq.stats.sta_bytes);
+        }
+        // threads = 1 falls back to the sequential kernel (one scan each).
+        let fb = evaluate_disk_parallel(&prog, &db, 1).unwrap();
+        assert_eq!(fb.stats.backward_scans, 1);
+        assert_eq!(fb.selected.to_vec(), seq.selected.to_vec());
+
+        // An absurd thread count is clamped, not a panic / OOM.
+        let huge = evaluate_disk_parallel(&prog, &db, usize::MAX / 8).unwrap();
+        assert_eq!(huge.selected.to_vec(), seq.selected.to_vec());
+    }
+
+    /// The sharded evaluator with a streaming hook still delivers every
+    /// node exactly once in document order (phase 2 degrades to one
+    /// sequential scan; phase 1 stays sharded).
+    #[test]
+    fn sharded_hook_preserves_document_order() {
+        let db = balanced_db("shard2.arb");
+        let mut labels = db.labels().clone();
+        let ast = parse_program("QUERY :- V.Label[a];", &mut labels).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+
+        let mut seq_flags = Vec::new();
+        let mut hook =
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, f: &[bool]| {
+                seq_flags.push((ix, f[0]));
+            };
+        evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
+
+        let mut par_flags = Vec::new();
+        let mut hook =
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, f: &[bool]| {
+                par_flags.push((ix, f[0]));
+            };
+        let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
+        let (par, _) =
+            evaluate_disk_grouped_parallel(&prog, &db, &[atoms], Some(&mut hook), 4).unwrap();
+        assert_eq!(par_flags, seq_flags);
+        assert_eq!(par.stats.forward_scans, 1, "hook mode scans forward once");
+    }
+
+    /// The boolean fast path shards phase 1 and agrees with the
+    /// sequential verdict.
+    #[test]
+    fn sharded_boolean_matches_sequential() {
+        let db = balanced_db("shard3.arb");
+        let mut labels = db.labels().clone();
+        for src in [
+            "QUERY :- Root, HasFirstChild;",
+            "Deep :- V.Label[a].invFirstChild.invNextSibling*.invFirstChild;\nQUERY :- Root, Deep;",
+            "QUERY :- Root, Leaf;",
+        ] {
+            let ast = parse_program(src, &mut labels).unwrap();
+            let mut prog = normalize(&ast);
+            let q = prog.pred_id("QUERY").unwrap();
+            prog.add_query_pred(q);
+            let seq = evaluate_boolean(&prog, &db).unwrap();
+            let par_set = root_true_preds_parallel(&prog, &db, 4).unwrap();
+            let par = prog
+                .query_preds()
+                .iter()
+                .any(|&p| par_set.contains(Atom::local(p)));
+            assert_eq!(seq, par, "program: {src}");
+        }
+    }
+
+    /// Satellite regression: once a phase-2 state read fails, neither
+    /// the demux nor the hook may see another (fabricated) record.
+    #[test]
+    fn phase2_stops_feeding_hook_after_state_read_error() {
+        let db = mkdb("<a><b/><c/><d/><e/></a>", "m3.arb");
+        let mut labels = db.labels().clone();
+        let ast = parse_program("QUERY :- V.Label[b];", &mut labels).unwrap();
+        let mut prog = normalize(&ast);
+        prog.add_query_pred(prog.pred_id("QUERY").unwrap());
+        let groups = vec![vec![Atom::local(prog.pred_id("QUERY").unwrap())]];
+
+        // Run phase 1 by hand so phase 2 can be driven with a state
+        // source that fails once mid-stream and then "recovers" —
+        // exactly the shape under which the old code resumed streaming
+        // fabricated PredSetId(0) annotations into the hook.
+        let mut qa = QueryAutomata::new(&prog);
+        let n = db.node_count();
+        let mut states = vec![0u32; n as usize];
+        let mut scan = db.backward_scan().unwrap();
+        let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
+            let s = qa.bottom_up(s1, s2, rec.info(ix));
+            states[ix as usize] = s.0;
+            s
+        })
+        .unwrap();
+
+        let fail_at = 2u32;
+        let mut calls = Vec::new();
+        let mut hook =
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, _f: &[bool]| {
+                calls.push(ix);
+            };
+        let mut hook_opt: Option<Phase2Hook<'_>> = Some(&mut hook);
+        let res = phase2_sequential(
+            &mut qa,
+            &db,
+            root_state,
+            &groups,
+            |ix| {
+                if ix == fail_at {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "injected"))
+                } else {
+                    Ok(states[ix as usize])
+                }
+            },
+            &mut hook_opt,
+        );
+        assert!(res.is_err(), "the injected error must surface");
+        assert_eq!(
+            calls,
+            vec![0, 1],
+            "no fabricated records may reach the hook after the error"
+        );
     }
 }

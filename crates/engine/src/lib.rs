@@ -36,8 +36,12 @@
 //! backward scan on disk), [`CountSink`], [`NodeSetSink`], and
 //! [`XmlMarkSink`] (streams during phase 2). [`EvalOptions`] carries the
 //! engine knobs: `prefer_memory` (materialize a disk database first) and
-//! `parallelism` (frontier-parallel in-memory evaluation, paper §6.2).
-//! Convenience wrappers [`Session::run`], [`Session::run_one`],
+//! `parallelism` (frontier-parallel evaluation, paper §6.2, on **both**
+//! backends — on disk the pass is sharded over disjoint subtree record
+//! windows with per-worker range scans and `.sta` segments; see the
+//! [`diskeval`] module docs). Every evaluation gets its own uniquely
+//! named `.sta` scratch file, so concurrent sessions over one database
+//! are safe. Convenience wrappers [`Session::run`], [`Session::run_one`],
 //! [`Session::run_boolean`] and [`Session::run_marked`] cover the common
 //! shapes; the deprecated `Database::evaluate*` matrix forwards to them.
 
@@ -49,11 +53,11 @@ pub mod query;
 pub mod session;
 
 pub use batch::{
-    evaluate_boolean_batch, evaluate_disk_batch, evaluate_disk_batch_with_hook, BatchOutcome,
-    QueryBatch,
+    evaluate_boolean_batch, evaluate_boolean_batch_opts, evaluate_disk_batch,
+    evaluate_disk_batch_opts, evaluate_disk_batch_with_hook, BatchOutcome, QueryBatch,
 };
 pub use database::{Database, EngineError};
-pub use diskeval::evaluate_disk;
+pub use diskeval::{evaluate_disk, evaluate_disk_parallel};
 pub use output::XmlEmitter;
 pub use query::{Query, QueryLanguage};
 pub use session::{

@@ -38,10 +38,17 @@ pub struct EvalOptions {
     /// Force in-memory evaluation even for disk databases (materializes
     /// the tree first). Off by default.
     pub prefer_memory: bool,
-    /// Worker threads for the in-memory backend: `> 1` evaluates through
-    /// [`arb_core::evaluate_tree_parallel`] over a subtree frontier
-    /// (paper §6.2). Ignored by the disk backend unless `prefer_memory`
-    /// is set. `0` and `1` mean sequential.
+    /// Worker threads for the two-phase pass; `0` and `1` mean
+    /// sequential. `> 1` splits the work over a frontier of disjoint
+    /// subtrees (paper §6.2) on **both** backends: in memory through
+    /// [`arb_core::evaluate_tree_parallel`], on disk through the sharded
+    /// kernel of [`crate::diskeval`] — workers run backward/forward
+    /// *range scans* over their subtrees' record windows and read/write
+    /// disjoint segments of the run's (uniquely named) `.sta` scratch
+    /// file; verdict-only sinks shard the single backward pass the same
+    /// way. Results are identical to sequential evaluation; documents
+    /// with no useful frontier (tiny or degenerate) fall back
+    /// automatically.
     pub parallelism: usize,
     /// Ask front ends and sinks for per-query statistics output on top
     /// of the results (the CLI's `--stats`); the engine always collects
@@ -382,10 +389,11 @@ impl<'db> Session<'db> {
     ///
     /// Backend choice: disk databases evaluate by two linear scans
     /// unless [`EvalOptions::prefer_memory`] materializes the tree
-    /// first; in-memory evaluation parallelizes over a subtree frontier
-    /// when [`EvalOptions::parallelism`] exceeds 1. Sinks demanding only
-    /// [`SinkDemand::Verdicts`] reduce the disk pass to a single
-    /// backward scan.
+    /// first; when [`EvalOptions::parallelism`] exceeds 1 the pass is
+    /// split over a subtree frontier on either backend (sharded range
+    /// scans on disk). Sinks demanding only [`SinkDemand::Verdicts`]
+    /// reduce the disk pass to a single backward pass (sharded too under
+    /// parallelism).
     pub fn eval(
         &self,
         req: &EvalRequest,
@@ -406,7 +414,9 @@ impl<'db> Session<'db> {
         let report = match sink.demand() {
             SinkDemand::Verdicts => {
                 let verdicts = match disk {
-                    Some(d) => crate::batch::evaluate_boolean_batch(batch, d)?,
+                    Some(d) => {
+                        crate::batch::evaluate_boolean_batch_opts(batch, d, opts.parallelism)?
+                    }
                     None => crate::batch::evaluate_boolean_batch_tree(
                         batch,
                         self.materialized()?.as_ref(),
@@ -439,7 +449,12 @@ impl<'db> Session<'db> {
                         None
                     };
                     match disk {
-                        Some(d) => crate::batch::evaluate_disk_batch_with_hook(batch, d, hook)?,
+                        Some(d) => crate::batch::evaluate_disk_batch_opts(
+                            batch,
+                            d,
+                            opts.parallelism,
+                            hook,
+                        )?,
                         None => crate::batch::evaluate_tree_batch_opts(
                             batch,
                             self.materialized()?.as_ref(),

@@ -1,14 +1,19 @@
 //! `ArbDatabase` — an opened `.arb`/`.lab` pair.
 
 use crate::create::{sibling, CreationStats};
-use crate::format::RECORD_BYTES;
+use crate::format::{NodeRecord, RECORD_BYTES};
 use crate::scan::{BackwardScan, ForwardScan};
+use crate::stafile::ScratchPath;
 use crate::traversal::bottom_up_scan;
 use arb_tree::{BinaryTree, LabelId, LabelTable, NONE};
 use std::fs::File;
-use std::io;
+use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide sequence number making scratch paths unique per
+/// evaluation (see [`ArbDatabase::scratch_sta`]).
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Summary returned by [`ArbDatabase::validate`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -33,6 +38,11 @@ pub struct ArbDatabase {
     /// pair across all queries of a batch).
     backward_scans: AtomicU64,
     forward_scans: AtomicU64,
+    /// Lazily computed subtree extents + child flags (see
+    /// [`ArbDatabase::subtree_extents`]): a property of the document
+    /// alone, so one metadata scan serves every sharded evaluation of
+    /// this handle.
+    extents: std::sync::OnceLock<(Vec<u32>, Vec<u8>)>,
 }
 
 impl ArbDatabase {
@@ -62,6 +72,7 @@ impl ArbDatabase {
             node_count,
             backward_scans: AtomicU64::new(0),
             forward_scans: AtomicU64::new(0),
+            extents: std::sync::OnceLock::new(),
         })
     }
 
@@ -93,24 +104,100 @@ impl ArbDatabase {
         &self.arb_path
     }
 
-    /// Path for the temporary `.sta` state file of a query run.
-    pub fn sta_path(&self) -> PathBuf {
-        sibling(&self.arb_path, "sta")
+    /// A fresh, uniquely named path for the temporary `.sta` state file
+    /// of **one** query run, deleted when the returned guard drops.
+    ///
+    /// The name carries the pid and a process-wide counter: a fixed
+    /// sibling path (the original design) meant two concurrent
+    /// evaluations of one database clobbered each other's phase-1 state
+    /// stream and silently corrupted both results.
+    pub fn scratch_sta(&self) -> ScratchPath {
+        let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id();
+        ScratchPath::new(sibling(&self.arb_path, &format!("p{pid}-{seq}.sta")))
     }
 
     /// Opens a forward record scan (top-down traversal input).
     pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
+        self.forward_scan_range(0, self.node_count)
+    }
+
+    /// Opens a forward record scan over the preorder window `[lo, hi)` —
+    /// a sharded phase-2 worker's view of one frontier subtree.
+    pub fn forward_scan_range(&self, lo: u32, hi: u32) -> io::Result<ForwardScan<File>> {
+        self.check_range(lo, hi)?;
         self.forward_scans.fetch_add(1, Ordering::Relaxed);
-        Ok(ForwardScan::new(
-            File::open(&self.arb_path)?,
-            self.node_count,
-        ))
+        ForwardScan::range(File::open(&self.arb_path)?, lo, hi)
     }
 
     /// Opens a backward record scan (bottom-up traversal input).
     pub fn backward_scan(&self) -> io::Result<BackwardScan<File>> {
+        self.backward_scan_range(0, self.node_count)
+    }
+
+    /// Opens a backward record scan over the preorder window `[lo, hi)` —
+    /// a sharded phase-1 worker's view of one frontier subtree.
+    pub fn backward_scan_range(&self, lo: u32, hi: u32) -> io::Result<BackwardScan<File>> {
+        self.check_range(lo, hi)?;
         self.backward_scans.fetch_add(1, Ordering::Relaxed);
-        BackwardScan::new(File::open(&self.arb_path)?, self.node_count)
+        BackwardScan::range(File::open(&self.arb_path)?, lo, hi)
+    }
+
+    fn check_range(&self, lo: u32, hi: u32) -> io::Result<()> {
+        if lo > hi || hi > self.node_count {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "scan range [{lo}, {hi}) outside the {}-record database",
+                    self.node_count
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Preorder subtree extents and child flags of every node (see
+    /// [`crate::traversal::subtree_extents`]), computed with one backward
+    /// metadata scan on first use and cached on the handle — the
+    /// frontier plan of sharded evaluation depends only on the document,
+    /// so repeated runs (prepared sessions are built to run many times)
+    /// don't repeat the scan.
+    pub fn subtree_extents(&self) -> io::Result<(&[u32], &[u8])> {
+        if self.extents.get().is_none() {
+            let mut scan = self.backward_scan()?;
+            let parts = crate::traversal::subtree_extents(&mut scan, self.node_count)?;
+            // A concurrent initializer computed the same value; either
+            // stick is fine.
+            let _ = self.extents.set(parts);
+        }
+        let (ends, kinds) = self.extents.get().expect("initialized above");
+        Ok((ends.as_slice(), kinds.as_slice()))
+    }
+
+    /// True once [`ArbDatabase::subtree_extents`] has been computed (so
+    /// callers can account the metadata scan honestly).
+    pub fn extents_cached(&self) -> bool {
+        self.extents.get().is_some()
+    }
+
+    /// Reads a single record by preorder index — the sequential-spine
+    /// nodes of a sharded run are a handful of scattered indexes, fetched
+    /// directly instead of through a scan.
+    pub fn record_at(&self, ix: u32) -> io::Result<NodeRecord> {
+        if ix >= self.node_count {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record {ix} outside the {}-record database",
+                    self.node_count
+                ),
+            ));
+        }
+        let mut f = File::open(&self.arb_path)?;
+        f.seek(SeekFrom::Start(ix as u64 * RECORD_BYTES as u64))?;
+        let mut buf = [0u8; RECORD_BYTES];
+        f.read_exact(&mut buf)?;
+        Ok(NodeRecord::from_bytes(buf))
     }
 
     /// Lifetime totals of `(backward, forward)` scans opened on this
@@ -252,10 +339,47 @@ mod tests {
     }
 
     #[test]
-    fn sta_path_is_sibling() {
+    fn scratch_sta_paths_are_unique_siblings_and_cleaned_up() {
         let arb = tmp("db2.arb");
         std::fs::write(&arb, [0, 0]).unwrap();
         let db = ArbDatabase::open(&arb).unwrap();
-        assert!(db.sta_path().to_string_lossy().ends_with("db2.sta"));
+        let a = db.scratch_sta();
+        let b = db.scratch_sta();
+        assert_ne!(a.path(), b.path(), "two runs must never share a path");
+        assert!(a.path().to_string_lossy().ends_with(".sta"));
+        assert_eq!(a.path().parent(), arb.parent());
+        crate::stafile::allocate(a.path(), 4).unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "scratch file must vanish with its guard");
+    }
+
+    #[test]
+    fn record_at_and_range_scans_agree_with_full_scans() {
+        let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
+        let arb = tmp("db3.arb");
+        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
+            .unwrap();
+        let db = ArbDatabase::open(&arb).unwrap();
+        let mut all = Vec::new();
+        let mut scan = db.forward_scan().unwrap();
+        while let Some((ix, rec)) = scan.next_record().unwrap() {
+            assert_eq!(db.record_at(ix).unwrap(), rec);
+            all.push(rec);
+        }
+        let mut range = db.forward_scan_range(2, 5).unwrap();
+        while let Some((ix, rec)) = range.next_record().unwrap() {
+            assert_eq!(rec, all[ix as usize]);
+        }
+        let mut range = db.backward_scan_range(2, 5).unwrap();
+        let mut seen = Vec::new();
+        while let Some((ix, rec)) = range.next_record().unwrap() {
+            assert_eq!(rec, all[ix as usize]);
+            seen.push(ix);
+        }
+        assert_eq!(seen, vec![4, 3, 2]);
+        assert!(db.forward_scan_range(5, 2).is_err());
+        assert!(db.backward_scan_range(0, 99).is_err());
+        assert!(db.record_at(99).is_err());
     }
 }

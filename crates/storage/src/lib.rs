@@ -33,5 +33,6 @@ pub use create::{create_from_tree, create_from_xml, CreationStats};
 pub use db::ArbDatabase;
 pub use format::NodeRecord;
 pub use scan::{BackwardScan, ForwardScan};
+pub use stafile::ScratchPath;
 pub use stats::{profile, Profile};
-pub use traversal::{bottom_up_scan, top_down_scan, DownContext};
+pub use traversal::{bottom_up_scan, subtree_extents, top_down_scan, DownContext};

@@ -11,20 +11,32 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 const CHUNK: usize = 64 * 1024;
 
 /// Writes fixed-size records back-to-front: the first record written
-/// lands at the end of the file, the last at offset 0.
+/// lands at the end of the window, the last at its start.
 pub struct RevWriter<W: Write + Seek> {
     inner: W,
     /// Next byte position to write *before*.
     pos: u64,
+    /// First byte of the window — writing stops (exactly) here.
+    lo: u64,
     buf: Vec<u8>,
 }
 
 impl<W: Write + Seek> RevWriter<W> {
     /// A writer that will fill exactly `total_bytes`, writing backwards.
     pub fn new(inner: W, total_bytes: u64) -> Self {
+        Self::for_range(inner, 0, total_bytes)
+    }
+
+    /// A writer that will fill exactly the byte window `[lo, hi)` of an
+    /// existing file, writing backwards from `hi` — the seam sharded
+    /// evaluation uses to let workers fill disjoint slices of one shared
+    /// scratch file.
+    pub fn for_range(inner: W, lo: u64, hi: u64) -> Self {
+        debug_assert!(lo <= hi);
         RevWriter {
             inner,
-            pos: total_bytes,
+            pos: hi,
+            lo,
             buf: Vec::with_capacity(CHUNK),
         }
     }
@@ -48,10 +60,10 @@ impl<W: Write + Seek> RevWriter<W> {
             return Ok(());
         }
         let len = self.buf.len() as u64;
-        if len > self.pos {
+        if len > self.pos - self.lo {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "RevWriter overflow: more records than total_bytes",
+                "RevWriter overflow: more records than the window holds",
             ));
         }
         self.pos -= len;
@@ -66,10 +78,13 @@ impl<W: Write + Seek> RevWriter<W> {
     /// filled exactly (record count mismatch).
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_buf()?;
-        if self.pos != 0 {
+        if self.pos != self.lo {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("RevWriter underflow: {} bytes unwritten", self.pos),
+                format!(
+                    "RevWriter underflow: {} bytes unwritten",
+                    self.pos - self.lo
+                ),
             ));
         }
         self.inner.flush()?;
@@ -82,6 +97,8 @@ pub struct RevReader<R: Read + Seek> {
     inner: R,
     /// Position of the first byte of the unread region.
     pos: u64,
+    /// First byte of the window — reading stops here.
+    lo: u64,
     buf: Vec<u8>,
     /// Bytes of `buf` already consumed (from the end).
     consumed: usize,
@@ -91,16 +108,27 @@ pub struct RevReader<R: Read + Seek> {
 impl<R: Read + Seek> RevReader<R> {
     /// A reader over `total_bytes` of `record_bytes`-sized records.
     pub fn new(inner: R, total_bytes: u64, record_bytes: usize) -> io::Result<Self> {
+        Self::for_range(inner, 0, total_bytes, record_bytes)
+    }
+
+    /// A reader over the byte window `[lo, hi)` of `record_bytes`-sized
+    /// records, read backwards from `hi` — the input of per-worker range
+    /// scans in sharded evaluation.
+    pub fn for_range(inner: R, lo: u64, hi: u64, record_bytes: usize) -> io::Result<Self> {
         assert!(record_bytes > 0 && CHUNK.is_multiple_of(record_bytes));
-        if !total_bytes.is_multiple_of(record_bytes as u64) {
+        if lo > hi
+            || !(hi - lo).is_multiple_of(record_bytes as u64)
+            || !lo.is_multiple_of(record_bytes as u64)
+        {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "file size is not a multiple of the record size",
+                "window is not aligned to the record size",
             ));
         }
         Ok(RevReader {
             inner,
-            pos: total_bytes,
+            pos: hi,
+            lo,
             buf: Vec::new(),
             consumed: 0,
             record_bytes,
@@ -108,14 +136,14 @@ impl<R: Read + Seek> RevReader<R> {
     }
 
     /// Reads the previous record (bytes in normal order), or `None` at
-    /// the beginning of the file.
+    /// the beginning of the window.
     pub fn read_record(&mut self, out: &mut [u8]) -> io::Result<Option<()>> {
         debug_assert_eq!(out.len(), self.record_bytes);
         if self.consumed == self.buf.len() {
-            if self.pos == 0 {
+            if self.pos == self.lo {
                 return Ok(None);
             }
-            let take = CHUNK.min(self.pos as usize);
+            let take = CHUNK.min((self.pos - self.lo) as usize);
             self.pos -= take as u64;
             self.buf.resize(take, 0);
             self.inner.seek(SeekFrom::Start(self.pos))?;
@@ -197,6 +225,45 @@ mod tests {
     #[test]
     fn rev_reader_rejects_ragged_file() {
         assert!(RevReader::new(Cursor::new(vec![0u8; 3]), 3, 2).is_err());
+    }
+
+    #[test]
+    fn rev_reader_range_stops_at_window_start() {
+        let data: Vec<u8> = (0..12u8).collect(); // six 2-byte records
+                                                 // Window: records 2..=4, i.e. bytes [4, 10).
+        let mut r = RevReader::for_range(Cursor::new(data), 4, 10, 2).unwrap();
+        let mut rec = [0u8; 2];
+        let mut seen = Vec::new();
+        while r.read_record(&mut rec).unwrap().is_some() {
+            seen.push(rec);
+        }
+        assert_eq!(seen, vec![[8, 9], [6, 7], [4, 5]]);
+        assert!(RevReader::for_range(Cursor::new(vec![0u8; 8]), 1, 5, 2).is_err());
+    }
+
+    #[test]
+    fn rev_writer_range_fills_only_its_window() {
+        let file = Cursor::new(vec![0xFFu8; 12]);
+        let mut w = RevWriter::for_range(file, 4, 10);
+        for i in (2..5u16).rev() {
+            w.write_record(&i.to_le_bytes()).unwrap();
+        }
+        let out = w.finish().unwrap().into_inner();
+        let vals: Vec<u16> = out
+            .chunks(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        assert_eq!(vals, vec![0xFFFF, 0xFFFF, 2, 3, 4, 0xFFFF]);
+
+        // Underflow and overflow are detected relative to the window.
+        let mut w = RevWriter::for_range(Cursor::new(vec![0u8; 8]), 2, 6);
+        w.write_record(&[1, 2]).unwrap();
+        assert!(w.finish().is_err());
+        let mut w = RevWriter::for_range(Cursor::new(vec![0u8; 8]), 2, 6);
+        w.write_record(&[1, 2]).unwrap();
+        w.write_record(&[3, 4]).unwrap();
+        w.write_record(&[5, 6]).unwrap();
+        assert!(w.finish().is_err());
     }
 }
 

@@ -2,14 +2,15 @@
 
 use crate::format::{NodeRecord, RECORD_BYTES};
 use crate::rev::RevReader;
-use std::io::{self, BufReader, Read, Seek};
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 
 /// Forward (left-to-right) record scan — the top-down traversal's input
 /// (paper Prop. 5.1). Yields `(preorder index, record)`.
 pub struct ForwardScan<R: Read> {
     inner: BufReader<R>,
     next_ix: u32,
-    n: u32,
+    /// One past the last record of the window.
+    hi: u32,
 }
 
 impl<R: Read> ForwardScan<R> {
@@ -18,13 +19,29 @@ impl<R: Read> ForwardScan<R> {
         ForwardScan {
             inner: BufReader::with_capacity(64 * 1024, inner),
             next_ix: 0,
-            n,
+            hi: n,
         }
+    }
+
+    /// A scan over the record window `[lo, hi)`, seeking to `lo` first —
+    /// yielded indexes stay absolute preorder indexes. Sharded phase-2
+    /// workers descend disjoint frontier subtrees with these.
+    pub fn range(mut inner: R, lo: u32, hi: u32) -> io::Result<Self>
+    where
+        R: Seek,
+    {
+        debug_assert!(lo <= hi);
+        inner.seek(SeekFrom::Start(lo as u64 * RECORD_BYTES as u64))?;
+        Ok(ForwardScan {
+            inner: BufReader::with_capacity(64 * 1024, inner),
+            next_ix: lo,
+            hi,
+        })
     }
 
     /// Reads the next record, or `None` after the last.
     pub fn next_record(&mut self) -> io::Result<Option<(u32, NodeRecord)>> {
-        if self.next_ix >= self.n {
+        if self.next_ix >= self.hi {
             return Ok(None);
         }
         let mut buf = [0u8; RECORD_BYTES];
@@ -36,20 +53,40 @@ impl<R: Read> ForwardScan<R> {
 }
 
 /// Backward (right-to-left) record scan — the bottom-up traversal's input
-/// (paper Prop. 5.1). Yields `(preorder index, record)` from `n−1` down
-/// to `0`.
+/// (paper Prop. 5.1). Yields `(preorder index, record)` from `hi−1` down
+/// to `lo` (the whole file with [`BackwardScan::new`]).
 pub struct BackwardScan<R: Read + Seek> {
     inner: RevReader<R>,
     next_ix: u32,
+    /// First record of the window (where the scan ends).
+    lo: u32,
 }
 
 impl<R: Read + Seek> BackwardScan<R> {
     /// A scan over `n` records.
     pub fn new(inner: R, n: u32) -> io::Result<Self> {
+        Self::range(inner, 0, n)
+    }
+
+    /// A scan over the record window `[lo, hi)`, read backwards from
+    /// `hi−1` — the input of per-worker phase-1 subtree runs in sharded
+    /// evaluation.
+    pub fn range(inner: R, lo: u32, hi: u32) -> io::Result<Self> {
         Ok(BackwardScan {
-            inner: RevReader::new(inner, n as u64 * RECORD_BYTES as u64, RECORD_BYTES)?,
-            next_ix: n,
+            inner: RevReader::for_range(
+                inner,
+                lo as u64 * RECORD_BYTES as u64,
+                hi as u64 * RECORD_BYTES as u64,
+                RECORD_BYTES,
+            )?,
+            next_ix: hi,
+            lo,
         })
+    }
+
+    /// The first record index of the window (0 for a whole-file scan).
+    pub fn start_ix(&self) -> u32 {
+        self.lo
     }
 
     /// Reads the previous record, or `None` before the first.
@@ -95,6 +132,29 @@ mod tests {
             seen.push(r);
         }
         assert_eq!(seen, recs);
+    }
+
+    #[test]
+    fn range_scans_yield_the_window_with_absolute_indexes() {
+        let recs = records();
+        let bytes = file_of(&recs);
+
+        let mut scan = ForwardScan::range(Cursor::new(bytes.clone()), 1, 4).unwrap();
+        let mut seen = Vec::new();
+        while let Some((ix, r)) = scan.next_record().unwrap() {
+            assert_eq!(r, recs[ix as usize]);
+            seen.push(ix);
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+
+        let mut scan = BackwardScan::range(Cursor::new(bytes), 1, 4).unwrap();
+        assert_eq!(scan.start_ix(), 1);
+        let mut seen = Vec::new();
+        while let Some((ix, r)) = scan.next_record().unwrap() {
+            assert_eq!(r, recs[ix as usize]);
+            seen.push(ix);
+        }
+        assert_eq!(seen, vec![3, 2, 1]);
     }
 
     #[test]

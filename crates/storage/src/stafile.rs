@@ -12,12 +12,50 @@
 //! scan.
 
 use crate::rev::RevWriter;
-use std::fs::File;
-use std::io::{self, BufReader, Read, Seek, Write};
-use std::path::Path;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Bytes per state entry.
 pub const STATE_BYTES: usize = 4;
+
+/// A uniquely named scratch-file path that deletes the file when
+/// dropped. Evaluations obtain one via
+/// [`ArbDatabase::scratch_sta`](crate::ArbDatabase::scratch_sta) so that
+/// concurrent runs over the same database never share a `.sta` stream.
+#[derive(Debug)]
+pub struct ScratchPath {
+    path: PathBuf,
+}
+
+impl ScratchPath {
+    /// Wraps a path in a delete-on-drop guard.
+    pub fn new(path: PathBuf) -> Self {
+        ScratchPath { path }
+    }
+
+    /// The scratch path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchPath {
+    fn drop(&mut self) {
+        // Best effort: the file may never have been created (boolean
+        // verdicts skip the `.sta` stream entirely).
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Pre-sizes a state file for `n` nodes without writing any states —
+/// the coordinator of a sharded run calls this once before workers open
+/// their disjoint [`StateFileWriter::segment`]s of it.
+pub fn allocate(path: &Path, n: u64) -> io::Result<()> {
+    let f = File::create(path)?;
+    f.set_len(n * STATE_BYTES as u64)?;
+    Ok(())
+}
 
 /// Writes state ids during the backward phase-1 scan.
 pub struct StateFileWriter {
@@ -27,10 +65,21 @@ pub struct StateFileWriter {
 impl StateFileWriter {
     /// Creates a state file for `n` nodes.
     pub fn create(path: &Path, n: u64) -> io::Result<Self> {
-        let f = File::create(path)?;
-        f.set_len(n * STATE_BYTES as u64)?;
+        allocate(path, n)?;
+        let f = OpenOptions::new().write(true).open(path)?;
         Ok(StateFileWriter {
             inner: RevWriter::new(f, n * STATE_BYTES as u64),
+        })
+    }
+
+    /// Opens the node window `[lo, hi)` of an existing state file (see
+    /// [`allocate`]) for backward writing: the worker assigned the
+    /// frontier subtree `[lo, hi)` streams exactly `hi − lo` states into
+    /// its slice, without touching (or truncating) the rest of the file.
+    pub fn segment(path: &Path, lo: u64, hi: u64) -> io::Result<Self> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        Ok(StateFileWriter {
+            inner: RevWriter::for_range(f, lo * STATE_BYTES as u64, hi * STATE_BYTES as u64),
         })
     }
 
@@ -54,8 +103,17 @@ pub struct StateFileReader {
 impl StateFileReader {
     /// Opens a state file.
     pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_at(path, 0)
+    }
+
+    /// Opens a state file positioned on node `lo`'s state — phase-2
+    /// workers read their subtree's slice in lockstep with a forward
+    /// record range scan.
+    pub fn open_at(path: &Path, lo: u64) -> io::Result<Self> {
+        let mut f = File::open(path)?;
+        f.seek(SeekFrom::Start(lo * STATE_BYTES as u64))?;
         Ok(StateFileReader {
-            inner: BufReader::with_capacity(64 * 1024, File::open(path)?),
+            inner: BufReader::with_capacity(64 * 1024, f),
         })
     }
 
@@ -64,6 +122,28 @@ impl StateFileReader {
         let mut buf = [0u8; STATE_BYTES];
         self.inner.read_exact(&mut buf)?;
         Ok(u32::from_le_bytes(buf))
+    }
+}
+
+/// Random-access state writes — the sequential spine of a sharded run is
+/// a handful of scattered nodes, patched individually into the shared
+/// state file after the workers fill their segments.
+pub struct StateFilePatcher {
+    f: File,
+}
+
+impl StateFilePatcher {
+    /// Opens an existing state file (see [`allocate`]) for patching.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Ok(StateFilePatcher {
+            f: OpenOptions::new().write(true).open(path)?,
+        })
+    }
+
+    /// Writes node `ix`'s state at its slot.
+    pub fn write_state_at(&mut self, ix: u64, state: u32) -> io::Result<()> {
+        self.f.seek(SeekFrom::Start(ix * STATE_BYTES as u64))?;
+        self.f.write_all(&state.to_le_bytes())
     }
 }
 
@@ -144,5 +224,56 @@ mod tests {
         let mut m = MemStates::new(4);
         m.set(2, 99);
         assert_eq!(m.get(2), 99);
+    }
+
+    #[test]
+    fn segments_and_patches_compose_into_one_state_stream() {
+        let dir = std::env::temp_dir().join(format!("arb-sta3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.sta");
+        let n = 100u64;
+        allocate(&path, n).unwrap();
+
+        // Two "workers" fill [10, 40) and [40, 100) backwards; the
+        // "spine" nodes [0, 10) are patched individually.
+        for (lo, hi) in [(10u64, 40u64), (40, 100)] {
+            let mut w = StateFileWriter::segment(&path, lo, hi).unwrap();
+            for ix in (lo..hi).rev() {
+                w.write_state(ix as u32 * 7).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let mut p = StateFilePatcher::open(&path).unwrap();
+        for ix in 0..10u64 {
+            p.write_state_at(ix, ix as u32 * 7).unwrap();
+        }
+
+        // A plain forward read sees one coherent stream.
+        let mut r = StateFileReader::open(&path).unwrap();
+        for ix in 0..n {
+            assert_eq!(r.read_state().unwrap(), ix as u32 * 7);
+        }
+        // A positioned read starts mid-stream.
+        let mut r = StateFileReader::open_at(&path, 40).unwrap();
+        assert_eq!(r.read_state().unwrap(), 280);
+
+        // A segment must fill exactly its window.
+        let mut w = StateFileWriter::segment(&path, 0, 3).unwrap();
+        w.write_state(1).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn scratch_path_deletes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("arb-sta4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scratch.sta");
+        let guard = ScratchPath::new(path.clone());
+        allocate(guard.path(), 8).unwrap();
+        assert!(path.exists());
+        drop(guard);
+        assert!(!path.exists());
+        // Dropping a guard whose file was never created is fine.
+        drop(ScratchPath::new(dir.join("never-created.sta")));
     }
 }

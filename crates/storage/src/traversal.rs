@@ -17,6 +17,11 @@ use std::io::{self, Read, Seek};
 /// child, `None` for missing children — the pseudo-state ⊥). Returns the
 /// root's value.
 ///
+/// The scan may be a range scan over one complete subtree
+/// ([`BackwardScan::range`] on a preorder extent): the fold then returns
+/// the subtree root's value. A window that is not a whole subtree is
+/// rejected as corrupt, exactly like an inconsistent record stream.
+///
 /// The internal stack holds one value per completed-but-unconsumed
 /// subtree, which is bounded by the unranked depth of the document.
 pub fn bottom_up_scan<R, S>(
@@ -45,10 +50,34 @@ where
         stack.push(step(s1, s2, rec, ix));
         last_ix = Some(ix);
     }
-    if last_ix != Some(0) || stack.len() != 1 {
+    if last_ix != Some(scan.start_ix()) || stack.len() != 1 {
         return Err(corrupt());
     }
     Ok(stack.pop().expect("checked length"))
+}
+
+/// Preorder subtree extents and child flags, computed from one backward
+/// metadata scan (the `subtree_ends` recurrence of the in-memory
+/// frontier, run against the record stream instead of a materialized
+/// tree): `ends[v]` is one past the last node of `v`'s subtree, so
+/// subtree(v) is the record window `[v, ends[v])`; `kinds[v]` has bit 0
+/// set iff `v` has a first child and bit 1 iff it has a second — enough
+/// for frontier picking without touching labels or building a
+/// [`arb_tree::BinaryTree`].
+pub fn subtree_extents<R>(scan: &mut BackwardScan<R>, n: u32) -> io::Result<(Vec<u32>, Vec<u8>)>
+where
+    R: Read + Seek,
+{
+    let mut ends = vec![0u32; n as usize];
+    let mut kinds = vec![0u8; n as usize];
+    bottom_up_scan(scan, |s1: Option<u32>, s2, rec, ix| {
+        // end(v) = end(second child) else end(first child) else v + 1.
+        let end = s2.or(s1).unwrap_or(ix + 1);
+        ends[ix as usize] = end;
+        kinds[ix as usize] = rec.has_first as u8 | (rec.has_second as u8) << 1;
+        end
+    })?;
+    Ok((ends, kinds))
 }
 
 fn corrupt() -> io::Error {
@@ -243,6 +272,45 @@ mod tests {
         })
         .unwrap();
         assert!(pending_max <= 2, "pending grew to {pending_max}");
+    }
+
+    /// Subtree extents from the metadata scan match the tree structure,
+    /// and a range bottom-up fold over one extent sees exactly that
+    /// subtree.
+    #[test]
+    fn subtree_extents_describe_preorder_windows() {
+        let tree = sample_tree();
+        let bytes = encode(&tree);
+        let n = tree.len() as u32;
+        let mut scan = BackwardScan::new(Cursor::new(bytes.clone()), n).unwrap();
+        let (ends, kinds) = subtree_extents(&mut scan, n).unwrap();
+
+        assert_eq!(ends[0], n);
+        for v in tree.nodes() {
+            assert_eq!(kinds[v.ix()] & 1 != 0, tree.has_first(v));
+            assert_eq!(kinds[v.ix()] & 2 != 0, tree.has_second(v));
+            for c in [tree.first_child(v), tree.second_child(v)]
+                .into_iter()
+                .flatten()
+            {
+                assert!(c.0 > v.0 && ends[c.ix()] <= ends[v.ix()]);
+            }
+            // The window [v, ends[v]) folds bottom-up on its own.
+            let mut sub =
+                BackwardScan::range(Cursor::new(bytes.clone()), v.0, ends[v.ix()]).unwrap();
+            let mut count = 0u32;
+            let root_ix = bottom_up_scan(&mut sub, |_: Option<u32>, _, _, ix| {
+                count += 1;
+                ix
+            })
+            .unwrap();
+            assert_eq!(root_ix, v.0);
+            assert_eq!(count, ends[v.ix()] - v.0);
+        }
+
+        // A window that is not a whole subtree is rejected.
+        let mut bad = BackwardScan::range(Cursor::new(bytes), 0, 2).unwrap();
+        assert!(bottom_up_scan(&mut bad, |_: Option<u32>, _, _, ix| ix).is_err());
     }
 
     #[test]

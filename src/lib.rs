@@ -52,9 +52,13 @@
 //! [`engine::NodeSetSink`], and [`engine::XmlMarkSink`] (streams during
 //! phase 2 without materializing extra node sets). [`EvalOptions`]
 //! carries the knobs: `prefer_memory` materializes a disk database
-//! first, `parallelism` runs the in-memory backend over a subtree
-//! frontier with worker threads (§6.2,
-//! [`core::evaluate_tree_parallel`]). Shorthand wrappers
+//! first, `parallelism` splits the pass over a subtree frontier with
+//! worker threads on either backend (§6.2 —
+//! [`core::evaluate_tree_parallel`] in memory; on disk, sharded
+//! backward/forward *range scans* over disjoint subtree record windows
+//! with segmented `.sta` I/O, see the [`engine::diskeval`] module docs).
+//! Every run gets its own uniquely named `.sta` scratch file, so
+//! concurrent sessions over one database are safe. Shorthand wrappers
 //! [`Session::run`], [`Session::run_one`], [`Session::run_boolean`] and
 //! [`Session::run_marked`] cover the common shapes. The legacy
 //! `Database::evaluate*` matrix is deprecated and forwards to this path;
@@ -91,7 +95,8 @@
 //! Paper-figure reproductions live in `arb-bench` as binaries:
 //! `cargo run --release -p arb-bench --bin fig5` (creation statistics),
 //! `fig6 [treebank|acgt-flat|acgt-infix|all]`, `baseline`, `multiquery`,
-//! `parallel`, and `ablation`. Sizes scale via `ARB_ACGT_LOG2`,
+//! `parallel`, `sharded` (per-thread scaling of the sharded disk path),
+//! and `ablation`. Sizes scale via `ARB_ACGT_LOG2`,
 //! `ARB_TREEBANK_ELEMS` and friends — see the `arb_bench` crate docs.
 
 pub use arb_core as core;

@@ -33,7 +33,10 @@ fn run_at_scale(log2: u32) -> (u64, u64, usize, u64) {
     let mut prog = arb::tmnf::normalize(&ast);
     prog.add_query_pred(prog.pred_id("QUERY").unwrap());
     let outcome = evaluate_disk(&prog, &db).unwrap();
-    let sta_bytes = std::fs::metadata(db.sta_path()).unwrap().len();
+    // Scratch files are uniquely named and deleted when the run ends,
+    // so the temporary-space claim is checked via the stats instead of
+    // stat(2) on a (now gone) fixed sibling path.
+    let sta_bytes = outcome.stats.sta_bytes;
     (
         outcome.stats.nodes,
         outcome.stats.phase1_transitions + outcome.stats.phase2_transitions,
