@@ -1,0 +1,159 @@
+//! State-table pressure of the automata interning hot path (ROADMAP
+//! "hot-path profiling" item): the per-node cost of the four hash tables
+//! on the two workload families of paper Figure 6.
+//!
+//! * `phase1/*` — the full in-memory bottom-up sweep: in steady state
+//!   one fused δ_A probe per node (treebank: few states, hundreds of
+//!   labels collapsed by the schema abstraction; acgt-infix: many
+//!   states, heavy interning).
+//! * `phase2/*` — the top-down sweep over precomputed phase-1 states
+//!   (δ_B probes + predicate-set interning).
+//! * `intern/*` — the interners in isolation, replaying the state
+//!   tables a real run produces (re-intern pressure of the parallel
+//!   remap paths).
+//!
+//! Sizes follow the usual env knobs (`ARB_TREEBANK_ELEMS`,
+//! `ARB_ACGT_LOG2`) so CI's bench-smoke can run this on tiny inputs.
+
+use arb_bench::env_usize;
+use arb_core::QueryAutomata;
+use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
+use arb_datagen::{acgt, treebank_tree, RegexShape, TreebankConfig};
+use arb_logic::{PredSetId, PredSetInterner, ProgramId, ProgramInterner};
+use arb_tmnf::{normalize, parse_program, CoreProgram};
+use arb_tree::{BinaryTree, LabelTable, NodeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn compile(src: &str, labels: &mut LabelTable) -> CoreProgram {
+    let ast = parse_program(src, labels).unwrap();
+    let mut prog = normalize(&ast);
+    if let Some(q) = prog.pred_id("QUERY") {
+        prog.add_query_pred(q);
+    }
+    prog
+}
+
+fn treebank_workload() -> (BinaryTree, CoreProgram) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: env_usize("ARB_TREEBANK_ELEMS", 20_000),
+            seed: 3,
+            filler_tags: 50,
+        },
+        &mut labels,
+    );
+    let q = RandomPathQuery::batch(1, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 1)
+        .pop()
+        .unwrap();
+    let prog = compile(&q.to_program(R_TOP_DOWN), &mut labels);
+    (tree, prog)
+}
+
+fn acgt_workload() -> (BinaryTree, CoreProgram) {
+    let log2 = env_usize("ARB_ACGT_LOG2", 14) as u32;
+    let seq = acgt::random_acgt(log2, 0xD2A);
+    let mut labels = LabelTable::new();
+    let tree = acgt::acgt_infix_tree(&seq, &mut labels);
+    let q = RandomPathQuery::batch(1, 7, &["A", "C", "G", "T"], RegexShape::Tags, 5)
+        .pop()
+        .unwrap();
+    let prog = compile(&q.to_program(R_INFIX), &mut labels);
+    (tree, prog)
+}
+
+/// One phase-1 sweep (the interning hot path: one fused probe per node
+/// in steady state). Returns the automata and the per-node states.
+fn phase1_sweep(prog: &CoreProgram, tree: &BinaryTree) -> (QueryAutomata, Vec<ProgramId>) {
+    let mut qa = QueryAutomata::new(prog);
+    let mut states = vec![ProgramId(0); tree.len()];
+    for ix in (0..tree.len() as u32).rev() {
+        let v = NodeId(ix);
+        let s1 = tree.first_child(v).map(|c| states[c.ix()]);
+        let s2 = tree.second_child(v).map(|c| states[c.ix()]);
+        states[v.ix()] = qa.bottom_up(s1, s2, tree.info(v));
+    }
+    (qa, states)
+}
+
+/// One top-down sweep over precomputed phase-1 states (δ_B probes +
+/// predicate-set interning — the phase-2 share of the hot path).
+fn phase2_sweep(qa: &mut QueryAutomata, rho_a: &[ProgramId], tree: &BinaryTree) -> Vec<PredSetId> {
+    let mut rho_b = vec![PredSetId(0); tree.len()];
+    rho_b[0] = qa.start_state(rho_a[0]);
+    for ix in 0..tree.len() as u32 {
+        let v = NodeId(ix);
+        let q = rho_b[v.ix()];
+        if let Some(ch) = tree.first_child(v) {
+            rho_b[ch.ix()] = qa.top_down(q, rho_a[ch.ix()], 1);
+        }
+        if let Some(ch) = tree.second_child(v) {
+            rho_b[ch.ix()] = qa.top_down(q, rho_a[ch.ix()], 2);
+        }
+    }
+    rho_b
+}
+
+fn bench_interning(c: &mut Criterion) {
+    for (name, tree, prog) in [
+        ("treebank", treebank_workload()),
+        ("acgt-infix", acgt_workload()),
+    ]
+    .map(|(n, (t, p))| (n, t, p))
+    {
+        // Phase-1 sweep: δ_A + program interning pressure.
+        let mut g = c.benchmark_group("phase1");
+        g.throughput(Throughput::Elements(tree.len() as u64));
+        g.sample_size(15);
+        g.bench_function(name, |b| b.iter(|| black_box(phase1_sweep(&prog, &tree))));
+        g.finish();
+
+        // Phase-2 sweep on warm tables: only the top-down pass is inside
+        // the timer (phase 1 runs once, outside; an explicit warm-up pass
+        // populates δ_B so the measured iterations are steady-state
+        // probes).
+        let (mut qa, rho_a) = phase1_sweep(&prog, &tree);
+        phase2_sweep(&mut qa, &rho_a, &tree);
+        let mut g = c.benchmark_group("phase2");
+        g.throughput(Throughput::Elements(tree.len() as u64));
+        g.sample_size(15);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(phase2_sweep(&mut qa, &rho_a, &tree)))
+        });
+        g.finish();
+
+        // Interners in isolation: replay the run's state tables — the
+        // master-side work of the parallel remap paths.
+        let programs: Vec<_> = (0..qa.programs.len() as u32)
+            .map(|i| qa.programs.get(ProgramId(i)).clone())
+            .collect();
+        let predsets: Vec<_> = (0..qa.predsets.len() as u32)
+            .map(|i| qa.predsets.get(PredSetId(i)).to_owned())
+            .collect();
+        let mut g = c.benchmark_group("intern");
+        g.throughput(Throughput::Elements(
+            (programs.len() + predsets.len()) as u64,
+        ));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pi = ProgramInterner::new();
+                let mut si = PredSetInterner::new();
+                // Two passes: the second is all hits (the steady state of
+                // worker→master re-interning).
+                for _ in 0..2 {
+                    for p in &programs {
+                        black_box(pi.intern_ref(p));
+                    }
+                    for s in &predsets {
+                        black_box(si.intern_sorted(s.atoms()));
+                    }
+                }
+                (pi.len(), si.len())
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_interning);
+criterion_main!(benches);

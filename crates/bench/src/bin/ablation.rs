@@ -63,7 +63,16 @@ fn main() {
         let mut labels = db.labels.clone();
         let prog = bench::compile_query(&q, r, &mut labels);
         let (t_c, tr_c, qa) = run_once(&prog, &tree, true);
-        let (t_u, tr_u, _) = run_once(&prog, &tree, false);
+        let (t_u, tr_u, qa_u) = run_once(&prog, &tree, false);
+        // The "no hash tables" configuration must not secretly pay for
+        // hash tables: with memoization off the δ tables stay empty and
+        // every node recomputes its transition (the measurement this
+        // ablation exists to make).
+        let off = qa_u.intern_stats();
+        assert_eq!(off.bu_entries, 0, "δ_A table not empty with cache off");
+        assert_eq!(off.td_entries, 0, "δ_B table not empty with cache off");
+        assert_eq!(tr_u, tree.len() as u64, "one recompute per node");
+        assert!(tr_u >= tr_c);
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>12} {:>12} {:>8.1}x",
             name,

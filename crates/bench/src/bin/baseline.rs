@@ -28,9 +28,11 @@ fn main() {
         "//S//NP[not(.//PP)]",
     ];
     println!(
-        "{:<32} {:>12} {:>12} {:>12} {:>10}",
-        "XPath query", "2-phase(ms)", "naive(ms)", "direct(ms)", "selected"
+        "{:<32} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "XPath query", "2-phase(ms)", "phase1(ms)", "naive(ms)", "direct(ms)", "selected"
     );
+    let mut phase1_total = 0.0f64;
+    let mut nodes_total = 0u64;
     for src in queries {
         let path = parse_xpath(src).expect("parse");
         let mut labels = labels_master.clone();
@@ -62,15 +64,24 @@ fn main() {
             dsel.count() as u64,
             "{src}: direct mismatch"
         );
+        phase1_total += outcome.stats.phase1_time.as_secs_f64();
+        nodes_total += outcome.stats.nodes;
         println!(
-            "{:<32} {:>12.2} {:>12.2} {:>12.2} {:>10}",
+            "{:<32} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>10}",
             src,
             two_phase.as_secs_f64() * 1e3,
+            outcome.stats.phase1_time.as_secs_f64() * 1e3,
             naive_t.as_secs_f64() * 1e3,
             direct_t.as_secs_f64() * 1e3,
             outcome.stats.selected
         );
     }
+    println!(
+        "\nphase-1 throughput: {:.1} knodes/s over {} queries ({:.2} ms total)",
+        nodes_total as f64 / phase1_total / 1e3,
+        queries.len(),
+        phase1_total * 1e3
+    );
     println!(
         "\nnote: the two-phase engine reads the tree from disk twice; the\n\
          baselines operate on a fully materialized in-memory tree and are\n\

@@ -1,0 +1,302 @@
+//! Benchmark regression tracking against committed baselines (ROADMAP
+//! "CI hardening": criterion regression tracking).
+//!
+//! Re-runs the measurement kernels of the `baseline`, `multiquery` and
+//! `interning` benches on **pinned** workloads (fixed sizes and seeds —
+//! the env knobs of the interactive benches are deliberately ignored)
+//! and compares the results against `crates/bench/baselines/regress.txt`:
+//!
+//! * **count metrics** (transitions, states, scans, selected nodes,
+//!   interner entries/bytes) are deterministic and must match the
+//!   baseline **exactly** — any drift is a behavior change that needs a
+//!   deliberate baseline update;
+//! * **time metrics** (`*_ms`) are compared with a generous 3× budget so
+//!   CI-machine variance never fails the build, while a genuine
+//!   order-of-magnitude regression does.
+//!
+//! Usage: `regress --check` (default) fails with a diff summary on any
+//! mismatch; `regress --write` regenerates the baseline file after an
+//! intentional change (commit the result).
+
+use arb_core::evaluate_tree;
+use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
+use arb_datagen::{acgt, treebank_tree, RegexShape, TreebankConfig};
+use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
+use arb_storage::{create_from_tree, ArbDatabase};
+use arb_tmnf::{normalize, parse_program, CoreProgram};
+use arb_tree::{BinaryTree, LabelTable};
+use arb_xpath::{compile_path, parse_xpath};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One recorded metric: deterministic count or lenient wall time.
+enum Metric {
+    Count(u64),
+    TimeMs(f64),
+}
+
+/// Time metrics may regress up to this factor before the check fails.
+const TIME_BUDGET: f64 = 3.0;
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/regress.txt")
+}
+
+fn pinned_treebank() -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 20_000,
+            seed: 0x7133,
+            filler_tags: 246,
+        },
+        &mut labels,
+    );
+    (tree, labels)
+}
+
+fn compile_tmnf(src: &str, labels: &mut LabelTable) -> CoreProgram {
+    let ast = parse_program(src, labels).expect("program parses");
+    let mut prog = normalize(&ast);
+    let qp = prog.pred_id("QUERY").expect("QUERY head");
+    prog.add_query_pred(qp);
+    prog
+}
+
+fn disk_db(tree: &BinaryTree, labels: &LabelTable, name: &str) -> ArbDatabase {
+    let dir = std::env::temp_dir().join(format!("arb-regress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create dir");
+    let path = dir.join(name);
+    create_from_tree(tree, labels, &path).expect("create database");
+    ArbDatabase::open(&path).expect("open database")
+}
+
+/// Collects every tracked metric, in stable order.
+fn collect() -> Vec<(String, Metric)> {
+    let mut out: Vec<(String, Metric)> = Vec::new();
+    let count = |o: &mut Vec<(String, Metric)>, k: String, v: u64| o.push((k, Metric::Count(v)));
+
+    let (tree, labels) = pinned_treebank();
+    let db = disk_db(&tree, &labels, "treebank.arb");
+
+    // --- baseline: the 5 XPath queries of the `baseline` bench ---------
+    let queries = [
+        "//NP//VP",
+        "//S[NP and VP]",
+        "//NP[not(PP)]/VP",
+        "//VP/following-sibling::NP",
+        "//S//NP[not(.//PP)]",
+    ];
+    let mut phase1_ms = 0.0;
+    for (i, src) in queries.iter().enumerate() {
+        let path = parse_xpath(src).expect("xpath parses");
+        let mut ql = labels.clone();
+        let prog = compile_path(&path, &mut ql);
+        let o = evaluate_disk(&prog, &db).expect("evaluation");
+        phase1_ms += o.stats.phase1_time.as_secs_f64() * 1e3;
+        count(
+            &mut out,
+            format!("baseline.q{i}.selected"),
+            o.stats.selected,
+        );
+        count(
+            &mut out,
+            format!("baseline.q{i}.trans1"),
+            o.stats.phase1_transitions,
+        );
+        count(
+            &mut out,
+            format!("baseline.q{i}.trans2"),
+            o.stats.phase2_transitions,
+        );
+    }
+    out.push(("baseline.phase1_ms".into(), Metric::TimeMs(phase1_ms)));
+
+    // --- multiquery: a seeded k=4 batch, one shared scan pair ----------
+    let mut ml = labels.clone();
+    let progs: Vec<CoreProgram> =
+        RandomPathQuery::batch(4, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 11)
+            .iter()
+            .map(|q| compile_tmnf(&q.to_program(R_TOP_DOWN), &mut ml))
+            .collect();
+    let batch = QueryBatch::from_programs(&progs);
+    let t = Instant::now();
+    let combined = evaluate_disk_batch(&batch, &db).expect("batch eval");
+    let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+    count(
+        &mut out,
+        "multiquery.backward_scans".into(),
+        combined.stats.backward_scans,
+    );
+    count(
+        &mut out,
+        "multiquery.forward_scans".into(),
+        combined.stats.forward_scans,
+    );
+    count(
+        &mut out,
+        "multiquery.union_selected".into(),
+        combined.stats.selected,
+    );
+    for (i, o) in combined.outcomes.iter().enumerate() {
+        count(
+            &mut out,
+            format!("multiquery.q{i}.selected"),
+            o.stats.selected,
+        );
+    }
+    out.push(("multiquery.batch_ms".into(), Metric::TimeMs(batch_ms)));
+
+    // --- interning: state-table pressure, treebank + acgt-infix --------
+    let acgt_seq = acgt::random_acgt(14, 0xD2A);
+    let mut al = LabelTable::new();
+    let acgt_tree = acgt::acgt_infix_tree(&acgt_seq, &mut al);
+    let mut aq = al.clone();
+    let acgt_prog = compile_tmnf(
+        &RandomPathQuery::batch(1, 7, &["A", "C", "G", "T"], RegexShape::Tags, 5)
+            .pop()
+            .unwrap()
+            .to_program(R_INFIX),
+        &mut aq,
+    );
+    let mut tq = labels.clone();
+    let tb_prog = compile_tmnf(
+        &RandomPathQuery::batch(1, 7, &["NP", "VP", "PP", "S"], RegexShape::Tags, 1)
+            .pop()
+            .unwrap()
+            .to_program(R_TOP_DOWN),
+        &mut tq,
+    );
+    for (name, tree, prog) in [
+        ("treebank", &tree, &tb_prog),
+        ("acgt-infix", &acgt_tree, &acgt_prog),
+    ] {
+        let t = Instant::now();
+        let res = evaluate_tree(prog, tree);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let i = &res.stats.interning;
+        count(
+            &mut out,
+            format!("interning.{name}.bu_states"),
+            res.stats.bu_states as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.td_states"),
+            res.stats.td_states as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.alphabet_symbols"),
+            i.alphabet_symbols as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.bu_entries"),
+            i.bu_entries as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.td_entries"),
+            i.td_entries as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.arena_bytes"),
+            i.arena_bytes as u64,
+        );
+        count(
+            &mut out,
+            format!("interning.{name}.max_probe"),
+            i.max_probe as u64,
+        );
+        out.push((format!("interning.{name}.twophase_ms"), Metric::TimeMs(ms)));
+    }
+    out
+}
+
+fn render(metrics: &[(String, Metric)]) -> String {
+    let mut s = String::from(
+        "# Committed benchmark baselines (see `regress --help` in\n\
+         # crates/bench/src/bin/regress.rs). Counts must match exactly;\n\
+         # *_ms keys have a 3x budget. Regenerate with `regress --write`.\n",
+    );
+    for (k, v) in metrics {
+        match v {
+            Metric::Count(n) => writeln!(s, "{k} = {n}").unwrap(),
+            Metric::TimeMs(ms) => writeln!(s, "{k} = {ms:.3}").unwrap(),
+        }
+    }
+    s
+}
+
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let (k, v) = l.split_once('=')?;
+            Some((k.trim().to_string(), v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "--check".into());
+    let path = baseline_path();
+    let metrics = collect();
+    match mode.as_str() {
+        "--write" => {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("baselines dir");
+            std::fs::write(&path, render(&metrics)).expect("write baseline");
+            println!("wrote {} metrics to {}", metrics.len(), path.display());
+        }
+        "--check" => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("no baseline at {}: {e}", path.display()));
+            let baseline = parse_baseline(&text);
+            let mut failures = Vec::new();
+            for (k, v) in &metrics {
+                let Some((_, base)) = baseline.iter().find(|(bk, _)| bk == k) else {
+                    failures.push(format!("{k}: missing from baseline (run --write)"));
+                    continue;
+                };
+                match v {
+                    Metric::Count(n) => {
+                        if *n as f64 != *base {
+                            failures.push(format!("{k}: {n} != baseline {base}"));
+                        } else {
+                            println!("ok    {k} = {n}");
+                        }
+                    }
+                    Metric::TimeMs(ms) => {
+                        if *ms > base * TIME_BUDGET {
+                            failures.push(format!(
+                                "{k}: {ms:.3} ms exceeds {TIME_BUDGET}x baseline {base:.3} ms"
+                            ));
+                        } else {
+                            println!("ok    {k} = {ms:.3} ms (baseline {base:.3})");
+                        }
+                    }
+                }
+            }
+            for (bk, _) in &baseline {
+                if !metrics.iter().any(|(k, _)| k == bk) {
+                    failures.push(format!("{bk}: in baseline but no longer measured"));
+                }
+            }
+            if !failures.is_empty() {
+                eprintln!("\nbenchmark regression check FAILED:");
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            println!("\nall {} metrics within baseline", metrics.len());
+        }
+        other => {
+            eprintln!("usage: regress [--check|--write]  (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}

@@ -12,7 +12,18 @@
 //! * `sharded` — per-thread scaling of the sharded **disk** path
 //!   (`ARB_THREADS`/`--threads` picks the worker counts; every run
 //!   asserts equality with the sequential pass),
-//! * `ablation` — memoization and residual-program-size ablations.
+//! * `ablation` — memoization and residual-program-size ablations (also
+//!   asserts the "no hash tables" configuration keeps the δ tables
+//!   empty),
+//! * `regress` — regression tracking against the committed baselines in
+//!   `crates/bench/baselines/regress.txt` (`--check` in nightly CI;
+//!   `--write` after an intentional behavior change). Pinned workloads,
+//!   exact comparison for deterministic counters, 3x budget for times.
+//!
+//! The criterion benches (`cargo bench -p arb-bench --bench <name>`):
+//! `interning` (state-table pressure of the automata hot path: phase
+//! sweeps + isolated interner replay on treebank/ACGT), `ltur`,
+//! `storage`, `twophase`, `xpath`.
 //!
 //! Scaling: the paper's databases are large (up to 300M nodes). The
 //! harness defaults to laptop/CI-friendly sizes and scales up via

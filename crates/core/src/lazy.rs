@@ -8,21 +8,89 @@
 //! we use four hash tables to store and quickly access the states and
 //! transitions of the two automata", and its remedy for the potentially
 //! exponential automaton sizes ("they are best computed lazily").
+//!
+//! Because these tables are consulted once or twice per tree node, their
+//! layout bounds phase-1 throughput on every worker. The hot path is
+//! allocation-free end to end:
+//!
+//! * schema symbols are dense [`AlphabetId`]s behind a packed-`NodeInfo`
+//!   memo ([`AlphabetInterner`]), so the δ_A key is 12 bytes and programs
+//!   of any EDB width (merged batches included) evaluate correctly;
+//! * δ_A / δ_B are raw open-addressing [`FxCache`]s, the state interners
+//!   arena-backed open-addressing tables (see `arb_logic::intern`);
+//! * transition *misses* assemble their LTUR input in reusable scratch
+//!   buffers (`AutomataScratch`) instead of allocating fresh vectors
+//!   per miss.
 
+use crate::alphabet::{AlphabetId, AlphabetInterner};
 use arb_logic::{
-    contract_rules, ltur, ltur_facts, ltur_residual, Atom, FxHashMap, LturScratch, PredSet,
-    PredSetId, PredSetInterner, Program, ProgramId, ProgramInterner, Rule,
+    contract_rules, ltur, ltur_facts, ltur_residual, Atom, FxCache, LturScratch, PredSetId,
+    PredSetInterner, ProgramId, ProgramInterner, Rule,
 };
 use arb_tmnf::{CoreProgram, PropLocal};
 use arb_tree::NodeInfo;
 
-// (The raw `NodeInfo::symbol_key` is label-resolved; the automata use
-// the coarser schema abstraction below instead.)
+/// Interning pressure of one [`QueryAutomata`] — the footprint and probe
+/// behavior of the four hash tables plus the alphabet memo (surfaced
+/// through `EvalStats::interning`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Payload bytes of the interned states (program rules + predicate
+    /// set atoms — the arenas themselves).
+    pub arena_bytes: usize,
+    /// Index bytes: slot arrays, stored hashes, transition key/value
+    /// vectors, the alphabet memo.
+    pub table_bytes: usize,
+    /// Longest probe sequence any table walked (clustering indicator).
+    pub max_probe: u32,
+    /// Distinct schema symbols seen (`|Σ_A|` reached — paper §4 argues
+    /// this stays tiny under the schema abstraction).
+    pub alphabet_symbols: usize,
+    /// Memoized δ_A transitions.
+    pub bu_entries: usize,
+    /// Memoized δ_B transitions.
+    pub td_entries: usize,
+}
+
+impl InternStats {
+    /// Accumulates another automata's pressure (parallel runs report the
+    /// master and all workers combined).
+    pub fn absorb(&mut self, other: &InternStats) {
+        self.arena_bytes += other.arena_bytes;
+        self.table_bytes += other.table_bytes;
+        self.max_probe = self.max_probe.max(other.max_probe);
+        self.alphabet_symbols = self.alphabet_symbols.max(other.alphabet_symbols);
+        self.bu_entries += other.bu_entries;
+        self.td_entries += other.td_entries;
+    }
+}
+
+/// Reusable per-transition scratch buffers: every vector the miss paths
+/// of `bottom_up` / `top_down` would otherwise allocate fresh (the same
+/// role [`LturScratch`] plays inside LTUR).
+#[derive(Default)]
+struct AutomataScratch {
+    /// `PushDown₁(P¹res)` of the current bottom-up miss.
+    down1: Vec<Rule>,
+    /// `PushDown₂(P²res)` of the current bottom-up miss.
+    down2: Vec<Rule>,
+    /// Raw (pre-contraction) LTUR residual.
+    raw: Vec<Rule>,
+    /// `PredsAsRules(parent_preds)` of the current top-down miss.
+    facts: Vec<Rule>,
+    /// `PushDown_k(P_res)` of the current top-down miss.
+    pushed: Vec<Rule>,
+    /// Atoms derived by `ltur_facts`.
+    derived: Vec<Atom>,
+    /// The assembled predicate set, sorted for interning.
+    set: Vec<Atom>,
+}
 
 /// The lazy automata pair for one TMNF program: everything that persists
 /// across the two phases of Algorithm 4.6. Holds the four hash tables
 /// (two state interners + two transition tables) plus the partitioned
-/// `PropLocal(P)` clause groups and LTUR scratch space.
+/// `PropLocal(P)` clause groups, the schema-symbol interner and the
+/// scratch space.
 pub struct QueryAutomata {
     /// The compiled propositional clause groups (Definition 4.2).
     pl: PropLocal,
@@ -32,13 +100,24 @@ pub struct QueryAutomata {
     pub programs: ProgramInterner,
     /// Interner for true-predicate sets — the states `Q_B`.
     pub predsets: PredSetInterner,
-    /// δ_A: `(s1+1|0, s2+1|0, schema symbol) → state` (0 encodes ⊥).
-    bu_cache: FxHashMap<(u32, u32, u128), ProgramId>,
-    /// δ_B: `(parent predset, child program state, k) → predset`.
-    td_cache: FxHashMap<(u32, u32, u8), PredSetId>,
-    /// `local_rules` specialized per schema symbol (EDB truth vector).
-    local_by_sym: FxHashMap<u128, Vec<Rule>>,
+    /// Dense schema symbols (the input alphabet `Σ_A`).
+    alphabet: AlphabetInterner,
+    /// δ_A: `(s1+1|0 ‖ s2+1|0, symbol) → state id` (child states packed
+    /// into one word so a probe hashes two words, not three).
+    bu_cache: FxCache<(u64, u32)>,
+    /// Fused per-node front of δ_A: `(s1+1|0 ‖ s2+1|0, packed NodeInfo)
+    /// → state id`. The transition is a function of the node's *symbol*,
+    /// and the symbol a function of its packed `NodeInfo`, so this memo
+    /// answers the steady-state per-node lookup with a single probe
+    /// (symbol memo + δ_A probe otherwise). δ_A stays authoritative:
+    /// `bu_transitions` counts its misses only.
+    bu_fast: FxCache<(u64, u32)>,
+    /// δ_B: `(parent predset ‖ child program state, k) → predset id`.
+    td_cache: FxCache<(u64, u8)>,
+    /// `local_rules` specialized per schema symbol, dense by symbol id.
+    local_by_sym: Vec<Option<Box<[Rule]>>>,
     scratch: LturScratch,
+    buf: AutomataScratch,
     /// Memoization switch (true in production; the `ablation` benchmark
     /// disables it to quantify the paper's lazy-hash-table design).
     cache_enabled: bool,
@@ -56,35 +135,28 @@ impl QueryAutomata {
             edbs: prog.edbs().to_vec(),
             programs: ProgramInterner::new(),
             predsets: PredSetInterner::new(),
-            bu_cache: FxHashMap::default(),
-            td_cache: FxHashMap::default(),
-            local_by_sym: FxHashMap::default(),
+            alphabet: AlphabetInterner::new(prog.edbs().len()),
+            bu_cache: FxCache::new(),
+            bu_fast: FxCache::new(),
+            td_cache: FxCache::new(),
+            local_by_sym: Vec::new(),
             scratch: LturScratch::new(),
+            buf: AutomataScratch::default(),
             cache_enabled: true,
             bu_transitions: 0,
             td_transitions: 0,
         }
     }
 
-    /// The automaton input symbol of a node: the truth vector of the
-    /// program's EDB schema σ at that node (the alphabet Σ_A = 2^σ of
+    /// The automaton input symbol of a node: the interned truth vector of
+    /// the program's EDB schema σ at that node (the alphabet Σ_A = 2^σ of
     /// paper Section 4). Nodes that agree on every EDB atom *mentioned by
-    /// the query* are indistinguishable — this is what keeps the number
-    /// of lazily computed transitions tiny even on databases with
-    /// hundreds of distinct labels (paper Figure 6, Treebank).
+    /// the query* share a symbol — this is what keeps the number of
+    /// lazily computed transitions tiny even on databases with hundreds
+    /// of distinct labels (paper Figure 6, Treebank).
     #[inline]
-    pub fn schema_symbol(&self, info: &NodeInfo) -> u128 {
-        debug_assert!(
-            self.edbs.len() <= 128,
-            "schema abstraction supports up to 128 EDB atoms per query"
-        );
-        let mut mask = 0u128;
-        for (i, atom) in self.edbs.iter().enumerate() {
-            if atom.eval(info) {
-                mask |= 1 << i;
-            }
-        }
-        mask
+    pub fn schema_symbol(&mut self, info: &NodeInfo) -> AlphabetId {
+        self.alphabet.symbol(&self.edbs, info)
     }
 
     /// Specializes `local_rules ∪ PredsAsRules(labels)` for a schema
@@ -92,25 +164,29 @@ impl QueryAutomata {
     /// *true* EDB atoms are stripped. Equivalent to inserting the label
     /// facts and letting LTUR prune (paper Figure 2), but computed once
     /// per distinct symbol.
-    fn local_rules_for(&mut self, key: u128) -> &[Rule] {
-        if !self.local_by_sym.contains_key(&key) {
-            let mut out: Vec<Rule> = Vec::with_capacity(self.pl.local.len());
-            'rules: for r in &self.pl.local {
-                let mut body: Vec<Atom> = Vec::with_capacity(r.body.len());
-                for &a in r.body.iter() {
-                    if a.is_edb() {
-                        if key & (1 << a.pred()) != 0 {
-                            continue; // true EDB atom: strip
-                        }
-                        continue 'rules; // false EDB atom: drop rule
-                    }
-                    body.push(a);
-                }
-                out.push(Rule::new(r.head, body));
-            }
-            self.local_by_sym.insert(key, out);
+    fn ensure_local_rules(&mut self, sym: AlphabetId) {
+        let ix = sym.0 as usize;
+        if self.local_by_sym.len() <= ix {
+            self.local_by_sym.resize_with(ix + 1, || None);
         }
-        self.local_by_sym.get(&key).expect("just inserted")
+        if self.local_by_sym[ix].is_some() {
+            return;
+        }
+        let mut out: Vec<Rule> = Vec::with_capacity(self.pl.local.len());
+        'rules: for r in &self.pl.local {
+            let mut body: Vec<Atom> = Vec::with_capacity(r.body.len());
+            for &a in r.body.iter() {
+                if a.is_edb() {
+                    if self.alphabet.bit(sym, a.pred()) {
+                        continue; // true EDB atom: strip
+                    }
+                    continue 'rules; // false EDB atom: drop rule
+                }
+                body.push(a);
+            }
+            out.push(Rule::new(r.head, body));
+        }
+        self.local_by_sym[ix] = Some(out.into_boxed_slice());
     }
 
     /// `ComputeReachableStates` (paper Figure 2), memoized: the transition
@@ -122,49 +198,77 @@ impl QueryAutomata {
         s2: Option<ProgramId>,
         info: NodeInfo,
     ) -> ProgramId {
-        let key = (
-            s1.map_or(0, |s| s.0 + 1),
-            s2.map_or(0, |s| s.0 + 1),
-            self.schema_symbol(&info),
-        );
+        let children = (s1.map_or(0, |s| s.0 as u64 + 1)) << 32 | s2.map_or(0, |s| s.0 as u64 + 1);
+        let fast_key = (children, crate::alphabet::pack(&info));
         if self.cache_enabled {
-            if let Some(&id) = self.bu_cache.get(&key) {
-                return id;
+            if let Some(id) = self.bu_fast.get(&fast_key) {
+                return ProgramId(id);
+            }
+        }
+        let sym = self.alphabet.symbol(&self.edbs, &info);
+        let key = (children, sym.0);
+        if self.cache_enabled {
+            if let Some(id) = self.bu_cache.get(&key) {
+                self.bu_fast.insert(fast_key, id);
+                return ProgramId(id);
             }
         }
         self.bu_transitions += 1;
+        self.ensure_local_rules(sym);
 
+        let Self {
+            pl,
+            programs,
+            local_by_sym,
+            scratch,
+            buf,
+            bu_cache,
+            bu_fast,
+            cache_enabled,
+            ..
+        } = self;
         // P := local_rules ∪ PredsAsRules(labels)  [pre-specialized]
-        self.local_rules_for(key.2);
-        let local = self.local_by_sym.get(&key.2).expect("specialized");
+        let local: &[Rule] = local_by_sym[sym.0 as usize]
+            .as_deref()
+            .expect("specialized");
 
         // if (P^1_res ≠ ⊥) then P := P ∪ left_rules ∪ PushDown₁(P¹res)
-        let down1: Vec<Rule>;
-        let down2: Vec<Rule>;
-        let mut parts: Vec<&[Rule]> = vec![local.as_slice()];
+        let mut parts: [&[Rule]; 5] = [&[]; 5];
+        let mut np = 0;
+        parts[np] = local;
+        np += 1;
+        buf.down1.clear();
+        buf.down2.clear();
         if let Some(s1) = s1 {
-            parts.push(&self.pl.left);
-            down1 = self.programs.get(s1).push_down(1);
-            parts.push(&down1);
+            parts[np] = &pl.left;
+            np += 1;
+            programs.get(s1).push_down_into(1, &mut buf.down1);
+            parts[np] = &buf.down1;
+            np += 1;
         }
         if let Some(s2) = s2 {
-            parts.push(&self.pl.right);
-            down2 = self.programs.get(s2).push_down(2);
-            parts.push(&down2);
+            parts[np] = &pl.right;
+            np += 1;
+            programs.get(s2).push_down_into(2, &mut buf.down2);
+            parts[np] = &buf.down2;
+            np += 1;
         }
 
         // P := LTUR(P); contract if any child exists. The two steps are
         // fused: the large pre-contraction residual is never
         // canonicalized (only the contracted result is interned).
         let res = if s1.is_some() || s2.is_some() {
-            let mut raw = Vec::new();
-            ltur_residual(&parts, &mut self.scratch, &mut raw);
-            contract_rules(&raw)
+            buf.raw.clear();
+            ltur_residual(&parts[..np], scratch, &mut buf.raw);
+            contract_rules(&buf.raw)
         } else {
-            ltur(&parts, &mut self.scratch)
+            ltur(&parts[..np], scratch)
         };
-        let id = self.programs.intern(res);
-        self.bu_cache.insert(key, id);
+        let id = programs.intern(res);
+        if *cache_enabled {
+            bu_cache.insert(key, id.0);
+            bu_fast.insert(fast_key, id.0);
+        }
         id
     }
 
@@ -172,8 +276,17 @@ impl QueryAutomata {
     /// predicates true in all reachable states at the root, i.e. the facts
     /// of the root's residual program (`TruePreds`).
     pub fn start_state(&mut self, root: ProgramId) -> PredSetId {
-        let set: PredSet = self.programs.get(root).true_preds().collect();
-        self.predsets.intern(set)
+        let Self {
+            programs,
+            predsets,
+            buf,
+            ..
+        } = self;
+        buf.set.clear();
+        buf.set.extend(programs.get(root).true_preds());
+        buf.set.sort_unstable();
+        buf.set.dedup();
+        predsets.intern_sorted(&buf.set)
     }
 
     /// `ComputeTruePreds` (paper Figure 3), memoized: the transition
@@ -182,38 +295,53 @@ impl QueryAutomata {
     /// child's true predicates.
     pub fn top_down(&mut self, parent: PredSetId, child: ProgramId, k: u8) -> PredSetId {
         debug_assert!(k == 1 || k == 2);
-        let key = (parent.0, child.0, k);
+        let key = ((parent.0 as u64) << 32 | child.0 as u64, k);
         if self.cache_enabled {
-            if let Some(&id) = self.td_cache.get(&key) {
-                return id;
+            if let Some(id) = self.td_cache.get(&key) {
+                return PredSetId(id);
             }
         }
         self.td_transitions += 1;
 
+        let Self {
+            pl,
+            programs,
+            predsets,
+            scratch,
+            buf,
+            td_cache,
+            cache_enabled,
+            ..
+        } = self;
         // P := downward_rules_k ∪ PredsAsRules(parent_preds) ∪ PushDown_k(P_res)
-        let downward: &[Rule] = if k == 1 {
-            &self.pl.down1
-        } else {
-            &self.pl.down2
-        };
-        let parent_facts =
-            Program::preds_as_rules(self.predsets.get(parent).atoms().iter().copied());
-        let pushed = self.programs.get(child).push_down(k);
+        let downward: &[Rule] = if k == 1 { &pl.down1 } else { &pl.down2 };
+        buf.facts.clear();
+        buf.facts
+            .extend(predsets.get(parent).atoms().iter().map(|&a| Rule::fact(a)));
+        buf.pushed.clear();
+        programs.get(child).push_down_into(k, &mut buf.pushed);
         // S := TruePreds(LTUR(P)); return PushUpFrom_k(Preds_k(S)).
         // Only the derived facts are needed — the residual is discarded.
-        let mut facts = Vec::new();
+        buf.derived.clear();
         ltur_facts(
-            &[downward, &parent_facts, &pushed],
-            &mut self.scratch,
-            &mut facts,
+            &[downward, &buf.facts, &buf.pushed],
+            scratch,
+            &mut buf.derived,
         );
-        let set: PredSet = facts
-            .into_iter()
-            .filter(|a| a.sup_k() == Some(k))
-            .map(Atom::push_up)
-            .collect();
-        let id = self.predsets.intern(set);
-        self.td_cache.insert(key, id);
+        buf.set.clear();
+        buf.set.extend(
+            buf.derived
+                .iter()
+                .copied()
+                .filter(|a| a.sup_k() == Some(k))
+                .map(Atom::push_up),
+        );
+        buf.set.sort_unstable();
+        buf.set.dedup();
+        let id = predsets.intern_sorted(&buf.set);
+        if *cache_enabled {
+            td_cache.insert(key, id.0);
+        }
         id
     }
 
@@ -225,21 +353,47 @@ impl QueryAutomata {
     /// Approximate main-memory footprint of the automata (interned states
     /// plus transition tables), in bytes — the paper's `mem` column.
     pub fn memory_bytes(&self) -> usize {
-        let key_bytes = |n: usize, k: usize| n * (k + 8); // entries + overhead
-        self.programs.byte_size()
-            + self.predsets.byte_size()
-            + key_bytes(self.bu_cache.len(), 16)
-            + key_bytes(self.td_cache.len(), 12)
+        let s = self.intern_stats();
+        s.arena_bytes
+            + s.table_bytes
             + self
                 .local_by_sym
-                .values()
+                .iter()
+                .flatten()
                 .map(|v| v.iter().map(Rule::byte_size).sum::<usize>())
                 .sum::<usize>()
     }
 
+    /// Interning pressure of the four hash tables + alphabet memo.
+    pub fn intern_stats(&self) -> InternStats {
+        InternStats {
+            arena_bytes: self.programs.byte_size() + self.predsets.byte_size(),
+            table_bytes: self.programs.table_bytes()
+                + self.predsets.table_bytes()
+                + self.bu_cache.byte_size()
+                + self.bu_fast.byte_size()
+                + self.td_cache.byte_size()
+                + self.alphabet.byte_size(),
+            max_probe: self
+                .programs
+                .max_probe()
+                .max(self.predsets.max_probe())
+                .max(self.bu_cache.max_probe())
+                .max(self.bu_fast.max_probe())
+                .max(self.td_cache.max_probe())
+                .max(self.alphabet.max_probe()),
+            alphabet_symbols: self.alphabet.len(),
+            bu_entries: self.bu_cache.len(),
+            td_entries: self.td_cache.len(),
+        }
+    }
+
     /// Disables (or re-enables) transition memoization. With memoization
-    /// off, every node recomputes its transition from scratch — the
-    /// configuration the paper's lazy hash tables avoid.
+    /// off, every node recomputes its transition from scratch **and the
+    /// δ tables stay empty** — the configuration the paper's lazy hash
+    /// tables avoid, measured by the `ablation` benchmark. (State
+    /// interning and the schema-symbol memo stay on: dense ids are what
+    /// give states and symbols their identity.)
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
     }
@@ -258,6 +412,7 @@ impl QueryAutomata {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arb_logic::Program;
     use arb_tmnf::{normalize, parse_program};
     use arb_tree::LabelTable;
 
@@ -349,5 +504,49 @@ mod tests {
         assert_eq!(qa.bu_transitions, 3);
         assert_eq!(qa.td_transitions, 2);
         assert!(qa.memory_bytes() > 0);
+
+        // The interning-pressure report matches the tables.
+        let s = qa.intern_stats();
+        assert_eq!(s.bu_entries, 3);
+        assert_eq!(s.td_entries, 2);
+        assert_eq!(s.alphabet_symbols, 3, "leaf, mid, root symbols");
+        assert!(s.arena_bytes > 0 && s.table_bytes > 0);
+    }
+
+    /// Satellite regression: with memoization disabled the δ tables must
+    /// stay *empty* — the old code skipped only the lookup, so the
+    /// "no hash tables" ablation still paid insert cost and memo memory.
+    #[test]
+    fn disabled_cache_inserts_nothing() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(arb_tmnf::programs::EXAMPLE_4_3, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let mut qa = QueryAutomata::new(&prog);
+        qa.set_cache_enabled(false);
+        let a = lt.intern("a").unwrap();
+        let leaf = NodeInfo {
+            label: a,
+            has_first: false,
+            has_second: false,
+            is_root: false,
+        };
+        let s = qa.bottom_up(None, None, leaf);
+        let s2 = qa.bottom_up(None, None, leaf);
+        assert_eq!(s, s2, "states are still interned deterministically");
+        assert_eq!(qa.bu_transitions, 2, "every call recomputes");
+        let b = qa.start_state(s);
+        qa.top_down(b, s, 1);
+        qa.top_down(b, s, 1);
+        assert_eq!(qa.td_transitions, 2);
+        let st = qa.intern_stats();
+        assert_eq!(st.bu_entries, 0, "δ_A table stays empty when disabled");
+        assert_eq!(st.td_entries, 0, "δ_B table stays empty when disabled");
+
+        // Re-enabling resumes memoization.
+        qa.set_cache_enabled(true);
+        qa.bottom_up(None, None, leaf);
+        qa.bottom_up(None, None, leaf);
+        assert_eq!(qa.bu_transitions, 3, "one miss after re-enable");
+        assert_eq!(qa.intern_stats().bu_entries, 1);
     }
 }

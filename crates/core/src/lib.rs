@@ -27,6 +27,8 @@
 //!   emptiness (the \[4\] toolbox),
 //! * [`sta`] — selecting tree automata (Definition 3.2), run enumeration,
 //!   and the TMNF→STA translation for small programs,
+//! * [`alphabet`] — dense interning of schema symbols (the automaton
+//!   input alphabet `Σ_A = 2^σ`, arbitrary EDB width),
 //! * [`lazy`] — the lazily-computed deterministic automata `A` and `B`
 //!   (`ComputeReachableStates` / `ComputeTruePreds`) with interned states
 //!   and transition hash tables,
@@ -39,6 +41,7 @@
 //! * [`stats`] — transition counts, state counts and memory accounting
 //!   (the paper's Figure 6 columns).
 
+pub mod alphabet;
 pub mod automata;
 pub mod frontier;
 pub mod lazy;
@@ -48,8 +51,9 @@ pub mod sta;
 pub mod stats;
 pub mod twophase;
 
+pub use alphabet::{AlphabetId, AlphabetInterner};
 pub use frontier::SubtreeIndex;
-pub use lazy::QueryAutomata;
+pub use lazy::{InternStats, QueryAutomata};
 pub use parallel::evaluate_tree_parallel;
 pub use stats::EvalStats;
 pub use twophase::{evaluate_tree, evaluate_tree_batch, BatchTreeEvalResult, TreeEvalResult};

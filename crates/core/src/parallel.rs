@@ -16,10 +16,10 @@
 //! evaluation falls back to sequential.
 
 use crate::frontier::SubtreeIndex;
-use crate::lazy::QueryAutomata;
+use crate::lazy::{InternStats, QueryAutomata};
 use crate::stats::EvalStats;
 use crate::twophase::TreeEvalResult;
-use arb_logic::{Atom, PredSetId, Program, ProgramId};
+use arb_logic::{Atom, PredSetId, ProgramId};
 use arb_tmnf::CoreProgram;
 use arb_tree::{BinaryTree, NodeId};
 use std::time::Instant;
@@ -45,11 +45,13 @@ pub fn evaluate_tree_parallel(
     let mut qa = QueryAutomata::new(prog);
     let mut rho_a: Vec<ProgramId> = vec![ProgramId(u32::MAX); n];
     let mut worker_transitions = 0u64;
+    let mut worker_intern = InternStats::default();
 
-    // Worker result: per-node local state ids plus the local state table,
-    // one entry per subtree, plus the worker's total transition count.
-    type SubtreeOut = (NodeId, Vec<u32>, Vec<Program>);
-    type WorkerOut = (Vec<SubtreeOut>, u64);
+    // Worker result: per-subtree local state ids plus the worker's whole
+    // automata — the master remaps through the worker's program table
+    // directly, so nothing is cloned per subtree.
+    type SubtreeOut = (NodeId, Vec<u32>);
+    type WorkerOut = (Vec<SubtreeOut>, QueryAutomata);
 
     let results: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
         let chunks: Vec<Vec<NodeId>> = {
@@ -81,15 +83,9 @@ pub fn evaluate_tree_parallel(
                                 .map(|c| ProgramId(local[(c.0 - lo) as usize]));
                             local[(ix - lo) as usize] = wqa.bottom_up(s1, s2, tree.info(v)).0;
                         }
-                        // Export only this subtree's ids; the table is
-                        // shared across the worker's subtrees, export once
-                        // per subtree for simplicity (tables are tiny).
-                        let table: Vec<Program> = (0..wqa.programs.len() as u32)
-                            .map(|i| wqa.programs.get(ProgramId(i)).clone())
-                            .collect();
-                        out.push((root, local, table));
+                        out.push((root, local));
                     }
-                    (out, wqa.bu_transitions)
+                    (out, wqa)
                 })
             })
             .collect();
@@ -100,15 +96,19 @@ pub fn evaluate_tree_parallel(
     })
     .expect("thread scope failed");
 
-    // Merge worker states into the master interner. Transitions are
-    // *summed* over the workers: each worker's lazy tables are computed
-    // independently, so the run's total work is the sum of all of them
-    // (a `max` here made `EvalStats::phase1_transitions` undercount
-    // parallel runs).
-    for (subtrees, transitions) in results {
-        worker_transitions += transitions;
-        for (root, local, table) in subtrees {
-            let remap: Vec<ProgramId> = table.into_iter().map(|p| qa.programs.intern(p)).collect();
+    // Merge worker states into the master interner — by reference, so a
+    // state the master already knows costs one probe and zero clones.
+    // Transitions are *summed* over the workers: each worker's lazy
+    // tables are computed independently, so the run's total work is the
+    // sum of all of them (a `max` here made
+    // `EvalStats::phase1_transitions` undercount parallel runs).
+    for (subtrees, wqa) in results {
+        worker_transitions += wqa.bu_transitions;
+        worker_intern.absorb(&wqa.intern_stats());
+        let remap: Vec<ProgramId> = (0..wqa.programs.len() as u32)
+            .map(|i| qa.programs.intern_ref(wqa.programs.get(ProgramId(i))))
+            .collect();
+        for (root, local) in subtrees {
             let lo = root.0;
             for (off, lid) in local.into_iter().enumerate() {
                 rho_a[lo as usize + off] = remap[lid as usize];
@@ -161,8 +161,8 @@ pub fn evaluate_tree_parallel(
     // A frontier root may itself be the tree root (tiny trees): handled
     // since rho_b[0] is set. Workers descend each frontier subtree with
     // their own caches, re-interning against the master tables afterward.
-    type Phase2SubtreeOut = (NodeId, Vec<u32>, Vec<arb_logic::PredSet>);
-    type Phase2Out = (Vec<Phase2SubtreeOut>, u64);
+    type Phase2SubtreeOut = (NodeId, Vec<u32>);
+    type Phase2Out = (Vec<Phase2SubtreeOut>, QueryAutomata);
     let master_programs = &qa.programs;
     let master_predsets = &qa.predsets;
     let rho_b_snapshot: Vec<PredSetId> = rho_b.clone();
@@ -190,8 +190,8 @@ pub fn evaluate_tree_parallel(
                         let hi = idx.end(root.0);
                         let mut local: Vec<u32> = vec![u32::MAX; (hi - lo) as usize];
                         // The root's predicate set comes from the master.
-                        let root_set = master_predsets.get(rho_b_snapshot[root.ix()]).clone();
-                        local[0] = wqa.predsets.intern(root_set).0;
+                        let root_set = master_predsets.get(rho_b_snapshot[root.ix()]);
+                        local[0] = wqa.predsets.intern_sorted(root_set.atoms()).0;
                         for ix in lo..hi {
                             let v = NodeId(ix);
                             let q = PredSetId(local[(ix - lo) as usize]);
@@ -201,19 +201,16 @@ pub fn evaluate_tree_parallel(
                                 if a_map[m] == u32::MAX {
                                     a_map[m] = wqa
                                         .programs
-                                        .intern(master_programs.get(ProgramId(m as u32)).clone())
+                                        .intern_ref(master_programs.get(ProgramId(m as u32)))
                                         .0;
                                 }
                                 local[(c.0 - lo) as usize] =
                                     wqa.top_down(q, ProgramId(a_map[m]), k).0;
                             }
                         }
-                        let table: Vec<arb_logic::PredSet> = (0..wqa.predsets.len() as u32)
-                            .map(|i| wqa.predsets.get(PredSetId(i)).clone())
-                            .collect();
-                        out.push((root, local, table));
+                        out.push((root, local));
                     }
-                    (out, wqa.td_transitions)
+                    (out, wqa)
                 })
             })
             .collect();
@@ -225,10 +222,16 @@ pub fn evaluate_tree_parallel(
     .expect("thread scope failed");
     // Like phase 1: sum the workers' transition counts, don't take a max.
     let mut worker_td = 0u64;
-    for (subtrees, transitions) in results2 {
-        worker_td += transitions;
-        for (root, local, table) in subtrees {
-            let remap: Vec<PredSetId> = table.into_iter().map(|s| qa.predsets.intern(s)).collect();
+    for (subtrees, wqa) in results2 {
+        worker_td += wqa.td_transitions;
+        worker_intern.absorb(&wqa.intern_stats());
+        let remap: Vec<PredSetId> = (0..wqa.predsets.len() as u32)
+            .map(|i| {
+                qa.predsets
+                    .intern_sorted(wqa.predsets.get(PredSetId(i)).atoms())
+            })
+            .collect();
+        for (root, local) in subtrees {
             let lo = root.0;
             for (off, lid) in local.into_iter().enumerate() {
                 rho_b[lo as usize + off] = remap[lid as usize];
@@ -263,6 +266,11 @@ pub fn evaluate_tree_parallel(
         backward_scans: 1,
         forward_scans: 1,
         sta_bytes: 0,
+        interning: {
+            let mut i = qa.intern_stats();
+            i.absorb(&worker_intern);
+            i
+        },
     };
     TreeEvalResult {
         automata: qa,

@@ -1,5 +1,7 @@
-//! Evaluation statistics — the columns of the paper's Figure 6.
+//! Evaluation statistics — the columns of the paper's Figure 6, plus
+//! interning-pressure reporting for the automata hash tables.
 
+use crate::lazy::InternStats;
 use std::time::Duration;
 
 /// Statistics collected by a two-phase evaluation run.
@@ -41,6 +43,11 @@ pub struct EvalStats {
     /// the uniquely named scratch file itself is deleted when the run
     /// finishes.
     pub sta_bytes: u64,
+    /// Interning pressure of the automata hash tables: arena payload
+    /// bytes, index bytes, probe lengths, distinct schema symbols and
+    /// memoized δ entries. Parallel runs report master + workers
+    /// combined (see [`InternStats::absorb`]).
+    pub interning: InternStats,
 }
 
 impl EvalStats {

@@ -294,7 +294,7 @@ pub(crate) fn evaluate_tree_batch_opts(
 /// the per-node demux kernel shared by the disk phase-2 scan and the
 /// in-memory batch path.
 pub(crate) fn demux_node(
-    set: &arb_logic::PredSet,
+    set: arb_logic::PredSetView<'_>,
     groups: &[Vec<Atom>],
     counts: &mut [u64],
     sets: &mut [NodeSet],

@@ -39,8 +39,8 @@
 //! counters report the real number of (range) scans opened.
 
 use crate::QueryOutcome;
-use arb_core::{EvalStats, QueryAutomata, SubtreeIndex};
-use arb_logic::{Atom, PredSet, PredSetId, ProgramId};
+use arb_core::{EvalStats, InternStats, QueryAutomata, SubtreeIndex};
+use arb_logic::{Atom, PredSet, PredSetId, PredSetView, ProgramId};
 use arb_storage::stafile::{StateFilePatcher, StateFileReader, StateFileWriter};
 use arb_storage::{bottom_up_scan, top_down_scan, ArbDatabase, DownContext, ScratchPath};
 use arb_tmnf::CoreProgram;
@@ -50,11 +50,11 @@ use std::io;
 use std::time::{Duration, Instant};
 
 /// Per-node hook invoked during phase 2 (document order) with the node's
-/// record, its final true-predicate set, and one selected-flag per query
-/// group (one entry for a single query; one per input query of a batch) —
-/// the seam streaming consumers (e.g. [`crate::XmlMarkSink`]) plug into.
-pub type Phase2Hook<'a> =
-    &'a mut dyn FnMut(u32, arb_storage::NodeRecord, &arb_logic::PredSet, &[bool]);
+/// record, its final true-predicate set (a borrowed view into the
+/// automata's arena), and one selected-flag per query group (one entry
+/// for a single query; one per input query of a batch) — the seam
+/// streaming consumers (e.g. [`crate::XmlMarkSink`]) plug into.
+pub type Phase2Hook<'a> = &'a mut dyn FnMut(u32, arb_storage::NodeRecord, PredSetView<'_>, &[bool]);
 
 fn empty_db_err() -> io::Error {
     io::Error::new(
@@ -258,6 +258,7 @@ pub(crate) fn evaluate_disk_grouped(
         backward_scans,
         forward_scans,
         sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
+        interning: qa.intern_stats(),
     };
     Ok((
         QueryOutcome {
@@ -406,13 +407,15 @@ fn sharded_phase1<'d>(
     let workers: Vec<ShardWorker> = results.into_iter().collect::<io::Result<_>>()?;
     backward_scans += roots.len() as u64;
 
-    // Re-intern the workers' states into the master automata.
+    // Re-intern the workers' states into the master automata — by
+    // reference, so states several workers discovered independently are
+    // cloned at most once.
     let mut qa = QueryAutomata::new(prog);
     let remaps: Vec<Vec<ProgramId>> = workers
         .iter()
         .map(|w| {
             (0..w.wqa.programs.len() as u32)
-                .map(|i| qa.programs.intern(w.wqa.programs.get(ProgramId(i)).clone()))
+                .map(|i| qa.programs.intern_ref(w.wqa.programs.get(ProgramId(i))))
                 .collect()
         })
         .collect();
@@ -498,7 +501,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
     let total_atoms: usize = groups.iter().map(Vec::len).sum();
 
     let t2 = Instant::now();
-    let (per_pred_counts, group_sets, worker_td, worker_mem) = if hook.is_some() {
+    let (per_pred_counts, group_sets, worker_td, worker_mem, worker_intern) = if hook.is_some() {
         // Streaming consumers need preorder: sequential phase 2 over the
         // whole file, remapping each segment's worker-local ids through
         // the master interner (spine slots already hold master ids).
@@ -510,6 +513,10 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         }
         ranges.sort_unstable();
         let worker_mem: usize = workers.iter().map(|w| w.wqa.memory_bytes()).sum();
+        let mut worker_intern = InternStats::default();
+        for w in &workers {
+            worker_intern.absorb(&w.wqa.intern_stats());
+        }
         let mut sta_r = StateFileReader::open(sta.path())?;
         let mut cursor = 0usize;
         let (counts, sets) = phase2_sequential(
@@ -530,7 +537,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             &mut hook,
         )?;
         forward_scans += 1;
-        (counts, sets, 0u64, worker_mem)
+        (counts, sets, 0u64, worker_mem, worker_intern)
     } else {
         // Sharded phase 2: spine first (it hands each frontier root its
         // predicate set), then the same workers descend their subtrees
@@ -579,7 +586,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         // one document's worth of bits per group (a full-document set
         // per worker would multiply result memory by the worker count).
         type WindowSets = (u32, Vec<NodeSet>);
-        type P2Out = (Vec<u64>, Vec<WindowSets>, u64, usize);
+        type P2Out = (Vec<u64>, Vec<WindowSets>, u64, usize, InternStats);
         let master_predsets = &qa.predsets;
         let root_b = &root_b;
         let subtree_count: u64 = workers.iter().map(|w| w.roots.len() as u64).sum();
@@ -602,7 +609,9 @@ pub(crate) fn evaluate_disk_grouped_parallel(
                             let mut scan = db.forward_scan_range(r, hi)?;
                             let mut sta_r = StateFileReader::open_at(sta_path, r as u64)?;
                             // The root's predicate set comes from the master.
-                            let q0 = wqa.predsets.intern(master_predsets.get(root_b[&r]).clone());
+                            let q0 = wqa
+                                .predsets
+                                .intern_sorted(master_predsets.get(root_b[&r]).atoms());
                             let mut io_err: Option<io::Error> = None;
                             top_down_scan(&mut scan, |ctx, _rec, ix| -> PredSetId {
                                 if io_err.is_some() {
@@ -638,7 +647,14 @@ pub(crate) fn evaluate_disk_grouped_parallel(
                             }
                             windows.push((r, sets));
                         }
-                        Ok((counts, windows, wqa.td_transitions, wqa.memory_bytes()))
+                        let pressure = wqa.intern_stats();
+                        Ok((
+                            counts,
+                            windows,
+                            wqa.td_transitions,
+                            wqa.memory_bytes(),
+                            pressure,
+                        ))
                     })
                 })
                 .collect();
@@ -652,8 +668,9 @@ pub(crate) fn evaluate_disk_grouped_parallel(
 
         let mut worker_td = 0u64;
         let mut worker_mem = 0usize;
+        let mut worker_intern = InternStats::default();
         for res in results {
-            let (counts, windows, td, mem) = res?;
+            let (counts, windows, td, mem, pressure) = res?;
             for (acc, c) in per_pred_counts.iter_mut().zip(counts) {
                 *acc += c;
             }
@@ -666,8 +683,15 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             }
             worker_td += td;
             worker_mem += mem;
+            worker_intern.absorb(&pressure);
         }
-        (per_pred_counts, group_sets, worker_td, worker_mem)
+        (
+            per_pred_counts,
+            group_sets,
+            worker_td,
+            worker_mem,
+            worker_intern,
+        )
     };
     let phase2_time = t2.elapsed();
 
@@ -688,6 +712,11 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         backward_scans,
         forward_scans,
         sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
+        interning: {
+            let mut i = qa.intern_stats();
+            i.absorb(&worker_intern);
+            i
+        },
     };
     Ok((
         QueryOutcome {
@@ -729,7 +758,7 @@ pub(crate) fn root_true_preds(prog: &CoreProgram, db: &ArbDatabase) -> io::Resul
         qa.bottom_up(s1, s2, rec.info(ix))
     })?;
     let start = qa.start_state(root_state);
-    Ok(qa.predsets.get(start).clone())
+    Ok(qa.predsets.get(start).to_owned())
 }
 
 /// [`root_true_preds`] with the backward pass sharded over `threads`
@@ -744,7 +773,7 @@ pub(crate) fn root_true_preds_parallel(
         None => root_true_preds(prog, db),
         Some(mut p1) => {
             let start = p1.qa.start_state(p1.root_state);
-            Ok(p1.qa.predsets.get(start).clone())
+            Ok(p1.qa.predsets.get(start).to_owned())
         }
     }
 }
@@ -810,10 +839,12 @@ mod tests {
         let mut prog = normalize(&ast);
         prog.add_query_pred(prog.pred_id("QUERY").unwrap());
         let mut seen = Vec::new();
-        let mut hook =
-            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, _f: &[bool]| {
-                seen.push(ix);
-            };
+        let mut hook = |ix: u32,
+                        _rec: arb_storage::NodeRecord,
+                        _s: arb_logic::PredSetView<'_>,
+                        _f: &[bool]| {
+            seen.push(ix);
+        };
         evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
         assert_eq!(seen, vec![0, 1, 2]);
     }
@@ -895,14 +926,14 @@ mod tests {
 
         let mut seq_flags = Vec::new();
         let mut hook =
-            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, f: &[bool]| {
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: arb_logic::PredSetView<'_>, f: &[bool]| {
                 seq_flags.push((ix, f[0]));
             };
         evaluate_disk_with_hook(&prog, &db, Some(&mut hook)).unwrap();
 
         let mut par_flags = Vec::new();
         let mut hook =
-            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, f: &[bool]| {
+            |ix: u32, _rec: arb_storage::NodeRecord, _s: arb_logic::PredSetView<'_>, f: &[bool]| {
                 par_flags.push((ix, f[0]));
             };
         let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
@@ -965,10 +996,12 @@ mod tests {
 
         let fail_at = 2u32;
         let mut calls = Vec::new();
-        let mut hook =
-            |ix: u32, _rec: arb_storage::NodeRecord, _s: &arb_logic::PredSet, _f: &[bool]| {
-                calls.push(ix);
-            };
+        let mut hook = |ix: u32,
+                        _rec: arb_storage::NodeRecord,
+                        _s: arb_logic::PredSetView<'_>,
+                        _f: &[bool]| {
+            calls.push(ix);
+        };
         let mut hook_opt: Option<Phase2Hook<'_>> = Some(&mut hook);
         let res = phase2_sequential(
             &mut qa,

@@ -436,7 +436,7 @@ impl<'db> Session<'db> {
                     let hook: Option<Phase2Hook<'_>> = if demand == SinkDemand::Stream {
                         hook_fn = |ix: u32,
                                    rec: NodeRecord,
-                                   _set: &arb_logic::PredSet,
+                                   _set: arb_logic::PredSetView<'_>,
                                    flags: &[bool]| {
                             if sink_err.is_none() {
                                 if let Err(e) = sink.node(ix, rec, flags) {

@@ -1,4 +1,5 @@
-//! Hash-consing of residual programs and predicate sets.
+//! Hash-consing of residual programs and predicate sets on arena-backed
+//! open-addressing tables.
 //!
 //! The deterministic bottom-up automaton `A` has states `Q_A ⊆ 2^{2^IDB}`
 //! represented as residual programs, and the top-down automaton `B` has
@@ -7,11 +8,26 @@
 //! lets the evaluator stream 4-byte state ids to disk between the two
 //! phases (paper footnote 12: "we write the pointer to the internal data
 //! structure of the residual program ρA(v) for each node").
+//!
+//! Interning sits on the hot path — every lazily computed transition ends
+//! in an intern, and every parallel worker re-interns its states into the
+//! master tables — so the layout avoids the two costs of the original
+//! map-based design:
+//!
+//! * **no per-entry `Arc`**: programs live contiguously in a `Vec`
+//!   arena, predicate sets as spans of one flat `Atom` arena (no
+//!   per-set allocation at all);
+//! * **no double lookup**: a [`RawTable`] keyed by stored hashes probes
+//!   once per intern — the failed lookup *is* the insertion slot walk,
+//!   and the candidate's hash is computed exactly once.
+//!
+//! [`PredSetInterner::get`] hands out borrowed [`PredSetView`]s into the
+//! arena; the owned [`PredSet`] remains as the build/transfer format
+//! (e.g. for moving states across worker interners).
 
 use crate::atom::Atom;
-use crate::fxhash::FxHashMap;
+use crate::oatable::{fx_hash, RawTable};
 use crate::program::Program;
-use std::sync::Arc;
 
 /// Identifier of an interned [`Program`] (a state of automaton `A`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -20,8 +36,12 @@ pub struct ProgramId(pub u32);
 /// Interner for canonical residual programs.
 #[derive(Default)]
 pub struct ProgramInterner {
-    items: Vec<Arc<Program>>,
-    map: FxHashMap<Arc<Program>, u32>,
+    /// Arena of interned programs, indexed by id.
+    items: Vec<Program>,
+    /// Fx hash of each interned program (id-parallel; pre-filters
+    /// equality and re-places entries when the table grows).
+    hashes: Vec<u64>,
+    table: RawTable,
     bytes: usize,
 }
 
@@ -31,23 +51,50 @@ impl ProgramInterner {
         Self::default()
     }
 
+    #[inline]
+    fn find(&self, hash: u64, p: &Program) -> Option<u32> {
+        let items = &self.items;
+        let hashes = &self.hashes;
+        self.table.find(hash, |id| {
+            hashes[id as usize] == hash && items[id as usize] == *p
+        })
+    }
+
+    fn insert(&mut self, hash: u64, p: Program) -> u32 {
+        let id = self.items.len() as u32;
+        self.bytes += p.byte_size();
+        self.items.push(p);
+        self.hashes.push(hash);
+        let hashes = &self.hashes;
+        self.table.insert(hash, id, |i| hashes[i as usize]);
+        id
+    }
+
     /// Interns a program, returning its id (allocating one if new).
     pub fn intern(&mut self, p: Program) -> ProgramId {
-        if let Some(&id) = self.map.get(&p) {
-            return ProgramId(id);
+        let hash = fx_hash(&p);
+        match self.find(hash, &p) {
+            Some(id) => ProgramId(id),
+            None => ProgramId(self.insert(hash, p)),
         }
-        let id = self.items.len() as u32;
-        let arc = Arc::new(p);
-        self.bytes += arc.byte_size();
-        self.items.push(arc.clone());
-        self.map.insert(arc, id);
-        ProgramId(id)
+    }
+
+    /// Interns by reference, cloning only on a miss — the remap pattern
+    /// of parallel evaluation (worker states are usually already in the
+    /// master tables).
+    pub fn intern_ref(&mut self, p: &Program) -> ProgramId {
+        let hash = fx_hash(p);
+        match self.find(hash, p) {
+            Some(id) => ProgramId(id),
+            None => ProgramId(self.insert(hash, p.clone())),
+        }
     }
 
     /// Looks up a program by id.
     ///
     /// # Panics
     /// Panics on an id not produced by this interner.
+    #[inline]
     pub fn get(&self, id: ProgramId) -> &Program {
         &self.items[id.0 as usize]
     }
@@ -66,6 +113,23 @@ impl ProgramInterner {
     pub fn byte_size(&self) -> usize {
         self.bytes
     }
+
+    /// Heap footprint of the index structures (slot array + stored
+    /// hashes + arena slack), in bytes — reported separately so the
+    /// `mem` statistics can split payload from table pressure. The
+    /// occupied arena slots are already counted by
+    /// [`byte_size`](ProgramInterner::byte_size) (each program's
+    /// `byte_size` includes its inline struct).
+    pub fn table_bytes(&self) -> usize {
+        self.table.byte_size()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + (self.items.capacity() - self.items.len()) * std::mem::size_of::<Program>()
+    }
+
+    /// Longest probe sequence any intern has walked.
+    pub fn max_probe(&self) -> u32 {
+        self.table.max_probe()
+    }
 }
 
 /// Identifier of an interned [`PredSet`] (a state of automaton `B`).
@@ -74,6 +138,9 @@ pub struct PredSetId(pub u32);
 
 /// A sorted set of local IDB atoms — a state of the top-down automaton
 /// `B = 2^IDB` (the set of predicates true at a node).
+///
+/// This is the owned build/transfer form; interned sets live in the
+/// [`PredSetInterner`] arena and are read through [`PredSetView`].
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct PredSet {
     atoms: Box<[Atom]>,
@@ -99,6 +166,11 @@ impl PredSet {
     /// Sorted member atoms.
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
+    }
+
+    /// A borrowed view of this set (the interface interned sets share).
+    pub fn view(&self) -> PredSetView<'_> {
+        PredSetView { atoms: &self.atoms }
     }
 
     /// Membership test.
@@ -128,12 +200,59 @@ impl FromIterator<Atom> for PredSet {
     }
 }
 
-/// Interner for predicate sets.
+/// A borrowed predicate set: a sorted atom span inside a
+/// [`PredSetInterner`] arena (or of an owned [`PredSet`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredSetView<'a> {
+    atoms: &'a [Atom],
+}
+
+impl<'a> PredSetView<'a> {
+    /// Sorted member atoms.
+    #[inline]
+    pub fn atoms(self) -> &'a [Atom] {
+        self.atoms
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, a: Atom) -> bool {
+        self.atoms.binary_search(&a).is_ok()
+    }
+
+    /// Number of predicates in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Copies the span out into an owned [`PredSet`] (for transfer across
+    /// interners / threads).
+    pub fn to_owned(self) -> PredSet {
+        PredSet {
+            atoms: self.atoms.into(),
+        }
+    }
+}
+
+/// Interner for predicate sets: all member atoms live concatenated in one
+/// flat arena; a set is a span `[ends[id-1], ends[id])` of it. Interning
+/// a set that is already present allocates nothing.
 #[derive(Default)]
 pub struct PredSetInterner {
-    items: Vec<Arc<PredSet>>,
-    map: FxHashMap<Arc<PredSet>, u32>,
-    bytes: usize,
+    /// Flat arena of every interned set's atoms, in id order.
+    atoms: Vec<Atom>,
+    /// `ends[id]` = exclusive end offset of set `id` in `atoms`.
+    ends: Vec<u32>,
+    /// Fx hash of each interned set (id-parallel).
+    hashes: Vec<u64>,
+    table: RawTable,
 }
 
 impl PredSetInterner {
@@ -142,37 +261,83 @@ impl PredSetInterner {
         Self::default()
     }
 
-    /// Interns a predicate set, returning its id.
-    pub fn intern(&mut self, s: PredSet) -> PredSetId {
-        if let Some(&id) = self.map.get(&s) {
+    #[inline]
+    fn span(&self, id: u32) -> &[Atom] {
+        let end = self.ends[id as usize] as usize;
+        let start = match id.checked_sub(1) {
+            Some(prev) => self.ends[prev as usize] as usize,
+            None => 0,
+        };
+        &self.atoms[start..end]
+    }
+
+    /// Interns a **sorted, deduplicated** atom slice, returning its id.
+    /// This is the zero-allocation hot path: on a hit nothing is copied.
+    pub fn intern_sorted(&mut self, atoms: &[Atom]) -> PredSetId {
+        debug_assert!(atoms.windows(2).all(|w| w[0] < w[1]), "unsorted pred set");
+        let hash = fx_hash(atoms);
+        let found = {
+            let hashes = &self.hashes;
+            self.table.find(hash, |id| {
+                hashes[id as usize] == hash && self.span(id) == atoms
+            })
+        };
+        if let Some(id) = found {
             return PredSetId(id);
         }
-        let id = self.items.len() as u32;
-        let arc = Arc::new(s);
-        self.bytes += arc.byte_size();
-        self.items.push(arc.clone());
-        self.map.insert(arc, id);
+        let id = self.ends.len() as u32;
+        self.atoms.extend_from_slice(atoms);
+        self.ends.push(self.atoms.len() as u32);
+        self.hashes.push(hash);
+        let hashes = &self.hashes;
+        self.table.insert(hash, id, |i| hashes[i as usize]);
         PredSetId(id)
     }
 
+    /// Interns a predicate set, returning its id.
+    pub fn intern(&mut self, s: PredSet) -> PredSetId {
+        self.intern_sorted(s.atoms())
+    }
+
     /// Looks up a set by id.
-    pub fn get(&self, id: PredSetId) -> &PredSet {
-        &self.items[id.0 as usize]
+    ///
+    /// # Panics
+    /// Panics on an id not produced by this interner.
+    #[inline]
+    pub fn get(&self, id: PredSetId) -> PredSetView<'_> {
+        PredSetView {
+            atoms: self.span(id.0),
+        }
     }
 
     /// Number of distinct sets interned.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.ends.len()
     }
 
     /// True if nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.ends.is_empty()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint of the interned sets themselves
+    /// (the atom arena plus per-set span bookkeeping), in bytes.
     pub fn byte_size(&self) -> usize {
-        self.bytes
+        self.atoms.len() * std::mem::size_of::<Atom>()
+            + self.ends.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Heap footprint of the index structures (slot array + stored
+    /// hashes + arena slack), in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.byte_size()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + (self.atoms.capacity() - self.atoms.len()) * std::mem::size_of::<Atom>()
+    }
+
+    /// Longest probe sequence any intern has walked.
+    pub fn max_probe(&self) -> u32 {
+        self.table.max_probe()
     }
 }
 
@@ -197,11 +362,23 @@ mod tests {
     }
 
     #[test]
+    fn program_intern_ref_clones_only_on_miss() {
+        let mut i = ProgramInterner::new();
+        let p = Program::canonical(vec![Rule::fact(Atom::local(4))]);
+        let a = i.intern_ref(&p);
+        let b = i.intern_ref(&p);
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.get(a), &p);
+    }
+
+    #[test]
     fn predset_sorted_dedup() {
         let s = PredSet::new(vec![Atom::local(3), Atom::local(1), Atom::local(3)]);
         assert_eq!(s.atoms(), &[Atom::local(1), Atom::local(3)]);
         assert!(s.contains(Atom::local(1)));
         assert!(!s.contains(Atom::local(2)));
+        assert_eq!(s.view().atoms(), s.atoms());
     }
 
     #[test]
@@ -214,5 +391,24 @@ mod tests {
         let c = i.intern(PredSet::empty());
         assert_ne!(a, c);
         assert!(i.get(c).is_empty());
+        // Views read the arena spans back verbatim.
+        assert_eq!(i.get(a).atoms(), &[Atom::local(0), Atom::local(1)]);
+        assert!(i.get(a).contains(Atom::local(1)));
+        assert_eq!(i.get(a).to_owned().atoms(), i.get(a).atoms());
+    }
+
+    #[test]
+    fn predset_spans_do_not_alias() {
+        // Prefix/suffix-sharing sets must intern distinctly even though
+        // they sit adjacent in the flat arena.
+        let mut i = PredSetInterner::new();
+        let ab = i.intern_sorted(&[Atom::local(0), Atom::local(1)]);
+        let b = i.intern_sorted(&[Atom::local(1)]);
+        let bc = i.intern_sorted(&[Atom::local(1), Atom::local(2)]);
+        assert_ne!(ab, b);
+        assert_ne!(b, bc);
+        assert_eq!(i.get(b).atoms(), &[Atom::local(1)]);
+        assert_eq!(i.get(bc).atoms(), &[Atom::local(1), Atom::local(2)]);
+        assert_eq!(i.intern_sorted(&[Atom::local(1)]), b);
     }
 }

@@ -19,18 +19,22 @@
 //! * [`intern`] — hash-consing of programs and predicate sets into dense
 //!   `u32` state identifiers (the automaton state spaces `Q_A ⊆ 2^{2^IDB}`
 //!   and `Q_B = 2^IDB`),
-//! * [`fxhash`] — a small fast hasher for the transition hash tables.
+//! * [`fxhash`] — a small fast hasher for the transition hash tables,
+//! * [`oatable`] — raw open-addressing id tables (fx hash, quadratic
+//!   probing) backing the interners and transition caches.
 
 pub mod atom;
 pub mod contract;
 pub mod fxhash;
 pub mod intern;
 pub mod ltur;
+pub mod oatable;
 pub mod program;
 
 pub use atom::{Atom, Tag};
 pub use contract::{contract, contract_rules};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
-pub use intern::{PredSet, PredSetId, PredSetInterner, ProgramId, ProgramInterner};
+pub use intern::{PredSet, PredSetId, PredSetInterner, PredSetView, ProgramId, ProgramInterner};
 pub use ltur::{ltur, ltur_facts, ltur_once, ltur_residual, LturScratch};
+pub use oatable::{fx_hash, FxCache, RawTable};
 pub use program::{Program, Rule};

@@ -1,0 +1,282 @@
+//! Raw open-addressing tables for the automata hot path.
+//!
+//! The paper's "four hash tables" are hit once (or twice) per tree node,
+//! so their constant factors bound phase-1 throughput on every worker.
+//! `std::collections::HashMap` pays for generality the automata never
+//! use: tombstone-capable control bytes, per-entry key storage even when
+//! the keys already live in an arena, and a double lookup on the
+//! miss-then-insert pattern of interning. The two building blocks here
+//! strip all of that:
+//!
+//! * [`RawTable`] — a bare id index: power-of-two slot array holding
+//!   `u32` entry ids, [`FxHasher`] hashing, triangular
+//!   (quadratic) probing, no deletions. Keys live elsewhere (an interner
+//!   arena, a key vector); equality is a caller closure. One probe
+//!   sequence serves both lookup and insertion, so interning an item
+//!   hashes it exactly once.
+//! * [`FxCache`] — a `Copy`-key memo table (`K → u32`) built on
+//!   [`RawTable`]: keys and values in parallel vectors, ids in the slot
+//!   array. This is the shape of the transition tables δ_A and δ_B and
+//!   of the per-node schema-symbol memo.
+//!
+//! Both report probe-length statistics so evaluation runs can expose
+//! interning pressure (see `EvalStats` in `arb-core`).
+
+use crate::fxhash::FxHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hashes a value with [`FxHasher`] (the shared hash of every table in
+/// this module — mixing for slot indexing happens inside the tables).
+#[inline]
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+const EMPTY: u32 = u32::MAX;
+/// Grow when occupancy would exceed 3/4 — short probes beat the extra
+/// 4 bytes/slot these tables cost at lower load.
+const MAX_LOAD_NUM: usize = 3;
+const MAX_LOAD_DEN: usize = 4;
+
+/// Folds the high hash bits into the slot index. Fx multiplies last, so
+/// its low bits are weak for small integer keys; the xor-shift spreads
+/// the well-mixed high half over the masked range.
+#[inline]
+fn slot_of(hash: u64, mask: usize) -> usize {
+    (hash ^ (hash >> 32)) as usize & mask
+}
+
+/// A bare open-addressing id index over externally stored keys.
+///
+/// Entries are dense `u32` ids (`0..len`, assigned by the caller);
+/// deletion is unsupported — automaton state spaces and transition
+/// tables only ever grow within a run.
+#[derive(Default)]
+pub struct RawTable {
+    /// Power-of-two slot array of entry ids; `EMPTY` marks a free slot.
+    slots: Box<[u32]>,
+    len: usize,
+    max_probe: u32,
+}
+
+impl RawTable {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Heap footprint of the slot array, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Longest probe sequence any lookup or insert has walked (a load /
+    /// clustering indicator; 0 or 1 on a healthy table).
+    pub fn max_probe(&self) -> u32 {
+        self.max_probe
+    }
+
+    /// Looks up the entry with this `hash` for which `eq` holds.
+    ///
+    /// `eq` receives candidate entry ids (same-hash or colliding slots)
+    /// and must compare the caller-stored key.
+    #[inline]
+    pub fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut pos = slot_of(hash, mask);
+        let mut step = 0usize;
+        loop {
+            match self.slots[pos] {
+                EMPTY => return None,
+                id if eq(id) => return Some(id),
+                _ => {}
+            }
+            // Triangular probing: offsets 1, 3, 6, … visit every slot of
+            // a power-of-two table exactly once.
+            step += 1;
+            debug_assert!(step <= mask, "open-addressing table overfull");
+            pos = (pos + step) & mask;
+        }
+    }
+
+    /// Inserts entry `id` under `hash`. The entry must be absent (pair a
+    /// failed [`find`](RawTable::find) with this call). `rehash` maps an
+    /// existing entry id back to its hash when the table grows.
+    pub fn insert(&mut self, hash: u64, id: u32, mut rehash: impl FnMut(u32) -> u64) {
+        if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
+            self.grow(&mut rehash);
+        }
+        let probe = Self::place(&mut self.slots, hash, id);
+        self.max_probe = self.max_probe.max(probe);
+        self.len += 1;
+    }
+
+    /// Probes for the first empty slot and writes `id`; returns the
+    /// probe length.
+    fn place(slots: &mut [u32], hash: u64, id: u32) -> u32 {
+        let mask = slots.len() - 1;
+        let mut pos = slot_of(hash, mask);
+        let mut step = 0usize;
+        while slots[pos] != EMPTY {
+            step += 1;
+            debug_assert!(step <= mask, "open-addressing table overfull");
+            pos = (pos + step) & mask;
+        }
+        slots[pos] = id;
+        step as u32
+    }
+
+    fn grow(&mut self, rehash: &mut impl FnMut(u32) -> u64) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let mut slots = vec![EMPTY; new_cap].into_boxed_slice();
+        for &id in self.slots.iter().filter(|&&id| id != EMPTY) {
+            let probe = Self::place(&mut slots, rehash(id), id);
+            self.max_probe = self.max_probe.max(probe);
+        }
+        self.slots = slots;
+    }
+}
+
+/// A `K → u32` memo table with inline `Copy` keys — the transition-table
+/// shape (δ_A, δ_B, schema-symbol memo).
+#[derive(Default)]
+pub struct FxCache<K> {
+    keys: Vec<K>,
+    vals: Vec<u32>,
+    table: RawTable,
+}
+
+impl<K: Copy + Eq + Hash> FxCache<K> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FxCache {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            table: RawTable::new(),
+        }
+    }
+
+    /// The memoized value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<u32> {
+        let keys = &self.keys;
+        self.table
+            .find(fx_hash(key), |id| keys[id as usize] == *key)
+            .map(|id| self.vals[id as usize])
+    }
+
+    /// Memoizes `key → val`. The key must be absent (the automata always
+    /// probe before computing a transition).
+    pub fn insert(&mut self, key: K, val: u32) {
+        debug_assert!(self.get(&key).is_none(), "FxCache key inserted twice");
+        let id = self.keys.len() as u32;
+        let hash = fx_hash(&key);
+        self.keys.push(key);
+        self.vals.push(val);
+        let keys = &self.keys;
+        self.table.insert(hash, id, |i| fx_hash(&keys[i as usize]));
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Heap footprint (keys, values, slot array), in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<K>()
+            + self.vals.capacity() * std::mem::size_of::<u32>()
+            + self.table.byte_size()
+    }
+
+    /// Longest probe sequence observed (see [`RawTable::max_probe`]).
+    pub fn max_probe(&self) -> u32 {
+        self.table.max_probe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_table_find_insert_roundtrip() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7 + 1).collect();
+        let mut t = RawTable::new();
+        for (id, &k) in keys.iter().enumerate() {
+            assert_eq!(t.find(fx_hash(&k), |i| keys[i as usize] == k), None);
+            t.insert(fx_hash(&k), id as u32, |i| fx_hash(&keys[i as usize]));
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.capacity().is_power_of_two());
+        for (id, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                t.find(fx_hash(&k), |i| keys[i as usize] == k),
+                Some(id as u32),
+                "key {k}"
+            );
+        }
+        // Absent keys miss even under heavy load.
+        for k in (5000u64..5100).map(|i| i * 13) {
+            assert_eq!(t.find(fx_hash(&k), |i| keys[i as usize] == k), None);
+        }
+        assert!(t.byte_size() >= t.capacity() * 4);
+    }
+
+    #[test]
+    fn cache_transition_key_shape() {
+        let mut c: FxCache<(u32, u32, u32)> = FxCache::new();
+        for s1 in 0..20u32 {
+            for s2 in 0..20u32 {
+                assert_eq!(c.get(&(s1, s2, 7)), None);
+                c.insert((s1, s2, 7), s1 * 100 + s2);
+            }
+        }
+        assert_eq!(c.len(), 400);
+        for s1 in 0..20u32 {
+            for s2 in 0..20u32 {
+                assert_eq!(c.get(&(s1, s2, 7)), Some(s1 * 100 + s2));
+                assert_eq!(c.get(&(s1, s2, 8)), None);
+            }
+        }
+        assert!(c.byte_size() > 0);
+        // 3/4 max load keeps clustering — and therefore probes — short.
+        assert!(c.max_probe() < 32, "max probe {}", c.max_probe());
+    }
+
+    #[test]
+    fn sequential_ids_do_not_cluster() {
+        // The automata's keys are dense sequential ids — the worst case
+        // for a multiply-only hash indexed by its low bits.
+        let mut c: FxCache<u32> = FxCache::new();
+        for k in 0..10_000u32 {
+            c.insert(k, k);
+        }
+        assert!(c.max_probe() < 64, "max probe {}", c.max_probe());
+    }
+}

@@ -167,13 +167,20 @@ impl Program {
     /// `PushDown_k` (paper §4.1): adds superscript `k` to every atom. All
     /// atoms must be local.
     pub fn push_down(&self, k: u8) -> Vec<Rule> {
-        self.rules
-            .iter()
-            .map(|r| Rule {
-                head: r.head.push_down(k),
-                body: r.body.iter().map(|a| a.push_down(k)).collect(),
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.push_down_into(k, &mut out);
+        out
+    }
+
+    /// [`push_down`](Program::push_down) appending into a caller-owned
+    /// buffer — the lazy automata call this once per transition miss, so
+    /// reusing the vector keeps allocation off the hot path.
+    pub fn push_down_into(&self, k: u8, out: &mut Vec<Rule>) {
+        out.reserve(self.rules.len());
+        out.extend(self.rules.iter().map(|r| Rule {
+            head: r.head.push_down(k),
+            body: r.body.iter().map(|a| a.push_down(k)).collect(),
+        }));
     }
 
     /// Approximate heap footprint in bytes.

@@ -70,6 +70,25 @@
 //! [`engine::evaluate_disk`] / [`engine::evaluate_disk_batch`] /
 //! [`core::evaluate_tree_batch`] directly).
 //!
+//! ## Evaluation statistics
+//!
+//! Every run reports [`core::EvalStats`] — the paper's Figure 6 columns
+//! (per-phase wall time, lazily computed δ_A/δ_B transitions, state and
+//! node counts, `memory_bytes`, scan counters, `.sta` bytes) plus
+//! [`core::InternStats`] under `stats.interning`: the pressure of the
+//! automata's hash tables, which bound phase-1 throughput on every
+//! worker. Its fields: `arena_bytes` (payload of the interned residual
+//! programs and predicate sets), `table_bytes` (open-addressing slot
+//! arrays, stored hashes and transition key/value vectors),
+//! `max_probe` (longest probe sequence any table walked — a clustering
+//! indicator; low tens is normal on healthy runs, since grow-time
+//! re-placement counts toward the maximum), `alphabet_symbols`
+//! (distinct schema symbols `|Σ_A|` seen; the schema abstraction keeps
+//! this tiny and, since the dense-alphabet rework, a merged batch may
+//! mention **any** number of EDB atoms — the old 128 ceiling is gone),
+//! and `bu_entries`/`td_entries` (memoized δ transitions). Parallel
+//! runs report master and workers combined.
+//!
 //! ## Building and testing
 //!
 //! The workspace is fully offline: the four external dependencies
@@ -79,14 +98,16 @@
 //! ```text
 //! cargo build --release      # all 11 crates + the `arb` CLI binary
 //! cargo test -q              # unit, property and integration suites
-//! cargo bench --no-run       # compile the four criterion benches
-//! cargo bench -p arb-bench   # run them (ltur, storage, twophase, xpath)
+//! cargo bench --no-run       # compile the five criterion benches
+//! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The ten root integration suites are the correctness spine:
+//! The twelve root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `twophase_vs_naive`,
-//! `batch_differential`, `session_api`, `end_to_end` and `section_1_3`.
+//! `batch_differential`, `session_api`, `end_to_end`, `section_1_3`,
+//! `intern_differential` (arena interners vs. a map-based model) and
+//! `wide_alphabet` (merged batches past 128 EDB atoms).
 //! Property suites take an explicit case-count override for deep runs
 //! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
 //! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
@@ -96,8 +117,10 @@
 //! `cargo run --release -p arb-bench --bin fig5` (creation statistics),
 //! `fig6 [treebank|acgt-flat|acgt-infix|all]`, `baseline`, `multiquery`,
 //! `parallel`, `sharded` (per-thread scaling of the sharded disk path),
-//! and `ablation`. Sizes scale via `ARB_ACGT_LOG2`,
-//! `ARB_TREEBANK_ELEMS` and friends — see the `arb_bench` crate docs.
+//! `ablation`, and `regress` (benchmark regression tracking against the
+//! committed baselines in `crates/bench/baselines/`). Sizes scale via
+//! `ARB_ACGT_LOG2`, `ARB_TREEBANK_ELEMS` and friends — see the
+//! `arb_bench` crate docs.
 
 pub use arb_core as core;
 pub use arb_datagen as datagen;

@@ -1,0 +1,172 @@
+//! Differential properties pinning the arena-backed open-addressing
+//! interners (`arb_logic::intern`) against a trivial map-based model:
+//! the same intern-order id assignment, deduplication, view round-trips,
+//! and monotone `byte_size` accounting the old `Arc` + `HashMap` design
+//! provided.
+
+use arb::logic::{Atom, PredSet, PredSetInterner, Program, ProgramId, ProgramInterner, Rule};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a small canonical program from `(head, body)` rule seeds.
+fn mk_program(rules: &[(u8, Vec<u8>)]) -> Program {
+    Program::canonical(
+        rules
+            .iter()
+            .map(|(h, body)| {
+                Rule::new(
+                    Atom::local(*h as u32 % 8),
+                    body.iter().map(|&b| Atom::local(b as u32 % 8)).collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ProgramInterner vs. a Vec+HashMap model: identical ids for an
+    /// identical intern sequence, `get` round-trips, dedup, and
+    /// `byte_size` growing exactly on (and only on) fresh entries.
+    #[test]
+    fn program_interner_matches_map_model(
+        seeds in proptest::collection::vec(
+            (proptest::collection::vec((0u8..8, proptest::collection::vec(0u8..8, 0..3)), 0..4),
+             any::<bool>()),
+            1..40)
+    ) {
+        let mut interner = ProgramInterner::new();
+        let mut model: Vec<Program> = Vec::new();
+        let mut model_ids: HashMap<Program, u32> = HashMap::new();
+        let mut last_bytes = 0usize;
+
+        for (rule_seeds, by_ref) in &seeds {
+            let p = mk_program(rule_seeds);
+            // Model id: first-seen order.
+            let model_id = *model_ids.entry(p.clone()).or_insert_with(|| {
+                model.push(p.clone());
+                (model.len() - 1) as u32
+            });
+            let fresh = model.len() > interner.len();
+
+            let id = if *by_ref {
+                interner.intern_ref(&p)
+            } else {
+                interner.intern(p.clone())
+            };
+            prop_assert_eq!(id, ProgramId(model_id), "intern-order ids");
+            prop_assert_eq!(interner.get(id), &p, "get round-trips");
+            prop_assert_eq!(interner.len(), model.len(), "dedup");
+
+            // byte_size is monotone and moves only on fresh interns.
+            let bytes = interner.byte_size();
+            prop_assert!(bytes >= last_bytes, "byte_size monotone");
+            if fresh {
+                prop_assert_eq!(bytes, last_bytes + p.byte_size());
+            } else {
+                prop_assert_eq!(bytes, last_bytes, "hits allocate nothing");
+            }
+            last_bytes = bytes;
+        }
+
+        // Every model entry is still retrievable by its id.
+        for (ix, p) in model.iter().enumerate() {
+            prop_assert_eq!(interner.get(ProgramId(ix as u32)), p);
+        }
+    }
+
+    /// PredSetInterner (flat atom arena) vs. the model: same ids, spans
+    /// equal to the owned sets, dedup across build paths
+    /// (`intern` / `intern_sorted`), and monotone accounting.
+    #[test]
+    fn predset_interner_matches_map_model(
+        seeds in proptest::collection::vec(
+            (proptest::collection::vec(0u8..12, 0..6), any::<bool>()),
+            1..60)
+    ) {
+        let mut interner = PredSetInterner::new();
+        let mut model: Vec<PredSet> = Vec::new();
+        let mut model_ids: HashMap<PredSet, u32> = HashMap::new();
+        let mut last_bytes = 0usize;
+
+        for (atoms, sorted_path) in &seeds {
+            let set = PredSet::new(atoms.iter().map(|&a| Atom::local(a as u32)).collect());
+            let model_id = *model_ids.entry(set.clone()).or_insert_with(|| {
+                model.push(set.clone());
+                (model.len() - 1) as u32
+            });
+            let fresh = model.len() > interner.len();
+
+            let id = if *sorted_path {
+                interner.intern_sorted(set.atoms())
+            } else {
+                interner.intern(set.clone())
+            };
+            prop_assert_eq!(id.0, model_id, "intern-order ids");
+            prop_assert_eq!(interner.get(id).atoms(), set.atoms(), "span round-trips");
+            prop_assert!(interner.get(id).to_owned() == set, "to_owned round-trips");
+            prop_assert_eq!(interner.len(), model.len(), "dedup");
+
+            // byte_size is monotone: fresh interns extend the arena,
+            // hits leave it untouched.
+            let bytes = interner.byte_size();
+            if fresh {
+                prop_assert!(bytes > last_bytes, "fresh intern grows the arena");
+            } else {
+                prop_assert_eq!(bytes, last_bytes, "hits allocate nothing");
+            }
+            last_bytes = bytes;
+        }
+
+        // Adjacent arena spans must not bleed into each other.
+        for (ix, set) in model.iter().enumerate() {
+            let view = interner.get(arb::logic::PredSetId(ix as u32));
+            prop_assert_eq!(view.atoms(), set.atoms());
+            for a in 0..12u32 {
+                prop_assert_eq!(view.contains(Atom::local(a)), set.contains(Atom::local(a)));
+            }
+        }
+    }
+}
+
+/// `memory_bytes` accounting: the automata's reported footprint covers
+/// the new tables and grows as states/transitions accumulate.
+#[test]
+fn memory_accounting_tracks_tables() {
+    use arb::core::QueryAutomata;
+    use arb::tmnf::{normalize, parse_program};
+    use arb::tree::{LabelTable, TreeBuilder};
+
+    let mut lt = LabelTable::new();
+    let ast = parse_program("A :- V.Label[a]; QUERY :- A.FirstChild;", &mut lt).unwrap();
+    let prog = normalize(&ast);
+    let a = lt.get("a").unwrap();
+    let b = lt.intern("b").unwrap();
+    let mut tb = TreeBuilder::new();
+    tb.open(a);
+    for i in 0..20 {
+        tb.leaf(if i % 2 == 0 { a } else { b });
+    }
+    tb.close();
+    let tree = tb.finish().unwrap();
+
+    let mut qa = QueryAutomata::new(&prog);
+    let empty = qa.memory_bytes();
+    let mut states = vec![arb::logic::ProgramId(0); tree.len()];
+    for ix in (0..tree.len() as u32).rev() {
+        let v = arb::tree::NodeId(ix);
+        let s1 = tree.first_child(v).map(|c| states[c.ix()]);
+        let s2 = tree.second_child(v).map(|c| states[c.ix()]);
+        states[v.ix()] = qa.bottom_up(s1, s2, tree.info(v));
+    }
+    let after = qa.memory_bytes();
+    assert!(after > empty, "tables grew: {empty} -> {after}");
+
+    let stats = qa.intern_stats();
+    assert!(stats.arena_bytes > 0);
+    assert!(stats.table_bytes > 0);
+    assert_eq!(stats.bu_entries as u64, qa.bu_transitions);
+    assert!(stats.alphabet_symbols >= 2, "a-leaf and b-leaf symbols");
+    assert!(after >= stats.arena_bytes + stats.table_bytes);
+}
