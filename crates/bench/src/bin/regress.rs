@@ -22,7 +22,7 @@ use arb_core::evaluate_tree;
 use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
 use arb_datagen::{acgt, treebank_tree, RegexShape, TreebankConfig};
 use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
-use arb_storage::{create_from_tree, ArbDatabase};
+use arb_storage::{create_from_tree_with, ArbDatabase, FormatVersion};
 use arb_tmnf::{normalize, parse_program, CoreProgram};
 use arb_tree::{BinaryTree, LabelTable};
 use arb_xpath::{compile_path, parse_xpath};
@@ -64,11 +64,16 @@ fn compile_tmnf(src: &str, labels: &mut LabelTable) -> CoreProgram {
     prog
 }
 
-fn disk_db(tree: &BinaryTree, labels: &LabelTable, name: &str) -> ArbDatabase {
+fn disk_db(
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    name: &str,
+    format: FormatVersion,
+) -> ArbDatabase {
     let dir = std::env::temp_dir().join(format!("arb-regress-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create dir");
     let path = dir.join(name);
-    create_from_tree(tree, labels, &path).expect("create database");
+    create_from_tree_with(tree, labels, &path, format).expect("create database");
     ArbDatabase::open(&path).expect("open database")
 }
 
@@ -78,7 +83,83 @@ fn collect() -> Vec<(String, Metric)> {
     let count = |o: &mut Vec<(String, Metric)>, k: String, v: u64| o.push((k, Metric::Count(v)));
 
     let (tree, labels) = pinned_treebank();
-    let db = disk_db(&tree, &labels, "treebank.arb");
+    let db = disk_db(&tree, &labels, "treebank.arb", FormatVersion::default());
+
+    // --- storage: v1 vs v2 on-disk formats (size + decode throughput) --
+    // Pinned to the 424k-node treebank: the 20k tree above fits in L2,
+    // where v1's trivial 2-byte decode is unrealistically favored; the
+    // larger tree measures the regime the format targets.
+    let (stree, slabels) = {
+        let mut l = LabelTable::new();
+        let t = treebank_tree(
+            &TreebankConfig {
+                target_elems: 100_000,
+                seed: 0x7133,
+                filler_tags: 246,
+            },
+            &mut l,
+        );
+        (t, l)
+    };
+    const SCAN_RUNS: u32 = 3;
+    count(&mut out, "storage.nodes".into(), stree.len() as u64);
+    for format in [FormatVersion::V1, FormatVersion::V2] {
+        let fdb = disk_db(&stree, &slabels, &format!("treebank-{format}.arb"), format);
+        count(
+            &mut out,
+            format!("storage.{format}.file_bytes"),
+            fdb.file_bytes(),
+        );
+        // The backward direction is phase 1's scan — record it separately
+        // so decode-throughput regressions on the hot direction show up.
+        let mut bwd_ms = 0.0;
+        let mut fwd_ms = 0.0;
+        for _ in 0..SCAN_RUNS {
+            let t = Instant::now();
+            let mut bwd = fdb.backward_scan().expect("backward scan");
+            while bwd.next_record().expect("backward read").is_some() {}
+            bwd_ms += t.elapsed().as_secs_f64() * 1e3;
+            let t = Instant::now();
+            let mut fwd = fdb.forward_scan().expect("forward scan");
+            while fwd.next_record().expect("forward read").is_some() {}
+            fwd_ms += t.elapsed().as_secs_f64() * 1e3;
+        }
+        bwd_ms /= SCAN_RUNS as f64;
+        fwd_ms /= SCAN_RUNS as f64;
+
+        // End-to-end phase 1 (backward scan + automata + `.sta` write)
+        // per format — the number the v2 decode path must not regress.
+        let mut ql = slabels.clone();
+        let path = parse_xpath("//NP//VP").expect("xpath parses");
+        let prog = compile_path(&path, &mut ql);
+        let mut phase1_ms = 0.0;
+        let mut selected = 0;
+        for _ in 0..SCAN_RUNS {
+            let o = evaluate_disk(&prog, &fdb).expect("evaluation");
+            phase1_ms += o.stats.phase1_time.as_secs_f64() * 1e3;
+            selected = o.stats.selected;
+        }
+        count(&mut out, format!("storage.{format}.selected"), selected);
+        if format == FormatVersion::V2 {
+            count(
+                &mut out,
+                "storage.v2.blocks_decoded".into(),
+                fdb.blocks_decoded(),
+            );
+        }
+        out.push((
+            format!("storage.{format}.bwd_scan_ms"),
+            Metric::TimeMs(bwd_ms),
+        ));
+        out.push((
+            format!("storage.{format}.fwd_scan_ms"),
+            Metric::TimeMs(fwd_ms),
+        ));
+        out.push((
+            format!("storage.{format}.phase1_ms"),
+            Metric::TimeMs(phase1_ms / SCAN_RUNS as f64),
+        ));
+    }
 
     // --- baseline: the 5 XPath queries of the `baseline` bench ---------
     let queries = [

@@ -1,0 +1,155 @@
+//! Storage-format bench: v1 (bare records) vs v2 (block-compressed,
+//! checksummed) on the treebank database — creation time, file size, and
+//! cold/warm full-scan decode throughput in both directions. The decode
+//! rate of these scans is the phase-1 ceiling of disk evaluation; the
+//! per-format end-to-end phase-1 numbers live in the `regress` metrics
+//! (`storage.{v1,v2}.phase1_ms`).
+//!
+//! ```text
+//! cargo run --release -p arb-bench --bin storagefmt -- [--format v1|v2|both] [--cold]
+//! ```
+//!
+//! `--cold` asks the kernel to drop the page cache before each timed
+//! scan (needs root; silently skipped otherwise, with a notice). When
+//! both formats run, the two record streams are asserted identical —
+//! the bench doubles as an end-to-end differential smoke.
+//!
+//! Knobs: `ARB_TREEBANK_ELEMS` scales the database, `ARB_RUNS` averages
+//! the timed scans (default 3).
+
+use arb_bench as bench;
+use arb_datagen::treebank;
+use arb_storage::{ArbDatabase, FormatVersion, NodeRecord};
+use arb_tree::LabelTable;
+use std::time::Instant;
+
+fn drop_page_cache() -> bool {
+    std::fs::write("/proc/sys/vm/drop_caches", "3").is_ok()
+}
+
+/// Times one full scan in each direction, returning
+/// `(backward_s, forward_s, records)` with the forward stream collected
+/// for cross-format comparison.
+fn timed_scans(db: &ArbDatabase) -> (f64, f64, Vec<NodeRecord>) {
+    let t = Instant::now();
+    let mut scan = db.backward_scan().expect("backward scan");
+    let mut count = 0u64;
+    while scan.next_record().expect("backward read").is_some() {
+        count += 1;
+    }
+    assert_eq!(count, db.node_count() as u64);
+    let backward = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut scan = db.forward_scan().expect("forward scan");
+    let mut records = Vec::with_capacity(db.node_count() as usize);
+    while let Some((_, rec)) = scan.next_record().expect("forward read") {
+        records.push(rec);
+    }
+    let forward = t.elapsed().as_secs_f64();
+    (backward, forward, records)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cold = args.iter().any(|a| a == "--cold");
+    let formats: Vec<FormatVersion> = match args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("both") => vec![FormatVersion::V1, FormatVersion::V2],
+        Some("v1") | Some("1") => vec![FormatVersion::V1],
+        Some("v2") | Some("2") => vec![FormatVersion::V2],
+        Some(other) => {
+            eprintln!("storagefmt: unknown format {other:?} (use v1, v2 or both)");
+            std::process::exit(2);
+        }
+    };
+    let runs = bench::env_usize("ARB_RUNS", 3);
+
+    let elems = bench::env_usize("ARB_TREEBANK_ELEMS", 100_000);
+    let mut labels = LabelTable::new();
+    let tree = treebank::treebank_tree(
+        &treebank::TreebankConfig {
+            target_elems: elems,
+            seed: 0x7133,
+            filler_tags: 246,
+        },
+        &mut labels,
+    );
+    let n = tree.len();
+    println!("storage formats on treebank-{elems} ({n} nodes), {runs} run(s) per scan");
+    let can_cold = cold && drop_page_cache();
+    if cold && !can_cold {
+        println!("note: cannot drop the page cache (needs root) — cold pass skipped");
+    }
+
+    let mut streams: Vec<(FormatVersion, Vec<NodeRecord>)> = Vec::new();
+    let mut v1_bytes = None;
+    for &format in &formats {
+        let path = bench::data_dir().join(format!("storagefmt-{elems}-{format}.arb"));
+        // Recreate every run: creation time is part of the comparison.
+        let _ = std::fs::remove_file(&path);
+        let t = Instant::now();
+        arb_storage::create_from_tree_with(&tree, &labels, &path, format).expect("create database");
+        let create_s = t.elapsed().as_secs_f64();
+        let db = ArbDatabase::open(&path).expect("open database");
+        let ratio = match (format, v1_bytes) {
+            (FormatVersion::V1, _) => {
+                v1_bytes = Some(db.file_bytes());
+                String::new()
+            }
+            (FormatVersion::V2, Some(b1)) => {
+                format!(" ({:.2}x of v1)", db.file_bytes() as f64 / b1 as f64)
+            }
+            (FormatVersion::V2, None) => String::new(),
+        };
+        println!(
+            "\n{format}: create {:>8.2} ms, {} file bytes{ratio}",
+            create_s * 1e3,
+            db.file_bytes()
+        );
+
+        let passes: &[&str] = if can_cold {
+            &["cold", "warm"]
+        } else {
+            &["warm"]
+        };
+        let mut stream = Vec::new();
+        for &pass in passes {
+            let mut bwd = 0.0f64;
+            let mut fwd = 0.0f64;
+            let pass_runs = if pass == "cold" { 1 } else { runs };
+            for _ in 0..pass_runs {
+                if pass == "cold" {
+                    drop_page_cache();
+                }
+                let (b, f, recs) = timed_scans(&db);
+                bwd += b;
+                fwd += f;
+                stream = recs;
+            }
+            bwd /= pass_runs as f64;
+            fwd /= pass_runs as f64;
+            println!(
+                "{format} {pass}: backward {:>8.2} ms ({:>6.1} M nodes/s), \
+                 forward {:>8.2} ms ({:>6.1} M nodes/s)",
+                bwd * 1e3,
+                n as f64 / bwd / 1e6,
+                fwd * 1e3,
+                n as f64 / fwd / 1e6,
+            );
+        }
+        if format == FormatVersion::V2 {
+            println!("v2: {} blocks decoded over all scans", db.blocks_decoded());
+        }
+        streams.push((format, stream));
+    }
+
+    if let [(_, a), (_, b)] = streams.as_slice() {
+        assert_eq!(a, b, "v1 and v2 record streams must be identical");
+        println!("\nv1 and v2 record streams identical ({n} records)");
+    }
+}

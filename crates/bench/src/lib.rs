@@ -39,7 +39,7 @@
 
 use arb_datagen::{acgt, queries::RandomPathQuery, swissprot, treebank};
 use arb_engine::evaluate_disk;
-use arb_storage::{create_from_tree, ArbDatabase, CreationStats};
+use arb_storage::{ArbDatabase, CreationStats};
 use arb_tmnf::{normalize, parse_program, CoreProgram};
 use arb_tree::{BinaryTree, LabelTable};
 use std::path::PathBuf;
@@ -86,16 +86,42 @@ pub struct BenchDb {
 }
 
 fn materialize(name: &str, tree: &BinaryTree, labels: &LabelTable) -> BenchDb {
-    let path = data_dir().join(format!("{name}.arb"));
-    let expected = (tree.len() * arb_storage::format::RECORD_BYTES) as u64;
-    let fresh = std::fs::metadata(&path).map(|m| m.len()).ok() != Some(expected);
+    materialize_as(name, tree, labels, arb_storage::FormatVersion::default())
+}
+
+/// Like the private `materialize` but pinning the on-disk format (the storage
+/// format benches compare v1 against v2 on identical trees). A stale or
+/// corrupt cached file (v2 is variable-size, so a length check can't
+/// decide freshness) is detected by opening it and comparing node count
+/// and format; mismatch or open failure triggers recreation.
+pub fn materialize_as(
+    name: &str,
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    format: arb_storage::FormatVersion,
+) -> BenchDb {
+    let path = data_dir().join(format!("{name}-{format}.arb"));
+    let fresh = match ArbDatabase::open(&path) {
+        Ok(db) => {
+            db.node_count() as usize != tree.len()
+                || db.format_version() != expected_version(format)
+        }
+        Err(_) => true,
+    };
     if fresh {
-        create_from_tree(tree, labels, &path).expect("create database");
+        arb_storage::create_from_tree_with(tree, labels, &path, format).expect("create database");
     }
     BenchDb {
         db: ArbDatabase::open(&path).expect("open database"),
         labels: labels.clone(),
         name: name.to_string(),
+    }
+}
+
+fn expected_version(format: arb_storage::FormatVersion) -> u8 {
+    match format {
+        arb_storage::FormatVersion::V1 => 1,
+        arb_storage::FormatVersion::V2 => 2,
     }
 }
 

@@ -3,7 +3,7 @@
 //! [`EvalRequest`] / [`arb_engine::ResultSink`] surface.
 //!
 //! ```text
-//! arb create <input.xml> <output.arb> [--attrs] [--trim]
+//! arb create <input.xml> <output.arb> [--attrs] [--trim] [--format v1|v2]
 //! arb query  <db.arb> (--tmnf <program> | --xpath <path> | --file <prog.arb-q>)...
 //!            [--output bool|count|nodes|xml] [--mark [out.xml]] [--stats]
 //!            [--memory] [--threads N] [--batch] [--explain]
@@ -33,7 +33,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  arb create <input.xml> <output.arb> [--attrs] [--trim]\n  \
+    "usage:\n  arb create <input.xml> <output.arb> [--attrs] [--trim] [--format v1|v2]\n  \
      arb query <db.arb> (--tmnf/-q <program> | --xpath <path> | --file <path>)... \
      [--output bool|count|nodes|xml] [--mark [out.xml]] [--stats]\n            \
      [--memory] [--threads N] [--batch] [--explain]\n  \
@@ -63,18 +63,30 @@ fn run(args: &[String]) -> Result<(), String> {
 fn create(args: &[String]) -> Result<(), String> {
     let mut paths = Vec::new();
     let mut config = XmlConfig::default();
-    for a in args {
-        match a.as_str() {
+    let mut format = arb_storage::FormatVersion::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--attrs" => config.attributes_as_nodes = true,
             "--trim" => config.trim_whitespace_text = true,
+            "--format" => {
+                let v = args.get(i + 1).ok_or("--format needs an argument")?;
+                format = match v.as_str() {
+                    "v1" | "1" => arb_storage::FormatVersion::V1,
+                    "v2" | "2" => arb_storage::FormatVersion::V2,
+                    other => return Err(format!("unknown format {other:?} (use v1 or v2)")),
+                };
+                i += 1;
+            }
             other => paths.push(other.to_string()),
         }
+        i += 1;
     }
     let [xml, arb] = paths.as_slice() else {
         return Err(usage());
     };
     let (_db, stats) =
-        Database::create_arb_from_xml(xml, arb, &config).map_err(|e| e.to_string())?;
+        Database::create_arb_from_xml_with(xml, arb, &config, format).map_err(|e| e.to_string())?;
     println!("{}", arb_storage::CreationStats::table_header());
     println!("{}", stats.table_row(arb));
     Ok(())
@@ -354,10 +366,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     let db = Database::open_arb(db_path).map_err(|e| e.to_string())?;
     println!("nodes:  {}", db.node_count());
     println!("tags:   {}", db.labels().tag_count());
-    println!(
-        "bytes:  {}",
-        db.node_count() * arb_storage::format::RECORD_BYTES as u64
-    );
+    if let Some(disk) = db.as_disk() {
+        println!("format: v{}", disk.format_version());
+        println!("bytes:  {}", disk.file_bytes());
+    }
     if args.iter().any(|a| a == "--full") {
         let disk = db.as_disk().ok_or("not a disk database")?;
         let p = arb_storage::profile(disk).map_err(|e| e.to_string())?;

@@ -266,6 +266,8 @@ pub fn evaluate_tree_parallel(
         backward_scans: 1,
         forward_scans: 1,
         sta_bytes: 0,
+        db_format: 0,
+        blocks_decoded: 0,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);

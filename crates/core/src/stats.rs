@@ -43,6 +43,15 @@ pub struct EvalStats {
     /// the uniquely named scratch file itself is deleted when the run
     /// finishes.
     pub sta_bytes: u64,
+    /// On-disk format version of the database the run scanned (1 or 2),
+    /// or 0 for in-memory evaluation.
+    pub db_format: u8,
+    /// v2 blocks decoded (and checksum-verified) by this run's scans and
+    /// point reads — 0 on v1 databases and in memory. Together with the
+    /// scan counters this makes the blocked read path observable: a full
+    /// pass over an n-node v2 database decodes `ceil(n / 32768)` blocks
+    /// per scan direction.
+    pub blocks_decoded: u64,
     /// Interning pressure of the automata hash tables: arena payload
     /// bytes, index bytes, probe lengths, distinct schema symbols and
     /// memoized δ entries. Parallel runs report master + workers

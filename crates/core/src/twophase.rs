@@ -128,6 +128,8 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         backward_scans: 1,
         forward_scans: 1,
         sta_bytes: 0,
+        db_format: 0,
+        blocks_decoded: 0,
         interning: qa.intern_stats(),
     };
 

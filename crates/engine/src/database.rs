@@ -9,7 +9,7 @@
 use crate::query::{choose_query_pred, Query, QueryLanguage};
 use crate::session::Session;
 use crate::QueryOutcome;
-use arb_storage::{ArbDatabase, CreationStats};
+use arb_storage::{ArbDatabase, CreationStats, FormatVersion};
 use arb_tree::{BinaryTree, LabelTable};
 use arb_xml::XmlConfig;
 use std::fmt;
@@ -77,15 +77,32 @@ impl Database {
     }
 
     /// Creates a `.arb` database from an XML file (the paper's two-pass
-    /// creation), then opens it. Returns the Figure-5 statistics too.
+    /// creation) in the default on-disk format
+    /// ([`FormatVersion::V2`]), then opens it. Returns the Figure-5
+    /// statistics too.
     pub fn create_arb_from_xml(
         xml_path: impl AsRef<Path>,
         arb_path: impl AsRef<Path>,
         config: &XmlConfig,
     ) -> Result<(Self, CreationStats), EngineError> {
-        let (db, stats) =
-            ArbDatabase::create_from_xml_file(xml_path.as_ref(), arb_path.as_ref(), config)
-                .map_err(|e| EngineError::Create(e.to_string()))?;
+        Self::create_arb_from_xml_with(xml_path, arb_path, config, FormatVersion::default())
+    }
+
+    /// Creates a `.arb` database from an XML file in an explicit on-disk
+    /// format, then opens it.
+    pub fn create_arb_from_xml_with(
+        xml_path: impl AsRef<Path>,
+        arb_path: impl AsRef<Path>,
+        config: &XmlConfig,
+        format: FormatVersion,
+    ) -> Result<(Self, CreationStats), EngineError> {
+        let (db, stats) = ArbDatabase::create_from_xml_file_with(
+            xml_path.as_ref(),
+            arb_path.as_ref(),
+            config,
+            format,
+        )
+        .map_err(|e| EngineError::Create(e.to_string()))?;
         Ok((Self::from_disk(db), stats))
     }
 

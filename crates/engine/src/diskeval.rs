@@ -208,6 +208,7 @@ pub(crate) fn evaluate_disk_grouped(
     // the Proposition 5.1 claim (one each) is measured, not assumed.
     let mut backward_scans = 0u64;
     let mut forward_scans = 0u64;
+    let blocks0 = db.blocks_decoded();
 
     // --- Phase 1: backward scan, bottom-up automaton, stream states -----
     let t1 = Instant::now();
@@ -258,6 +259,8 @@ pub(crate) fn evaluate_disk_grouped(
         backward_scans,
         forward_scans,
         sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
+        db_format: db.format_version(),
+        blocks_decoded: db.blocks_decoded() - blocks0,
         interning: qa.intern_stats(),
     };
     Ok((
@@ -480,6 +483,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
 ) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
     let n = db.node_count();
     let sta = db.scratch_sta();
+    let blocks0 = db.blocks_decoded();
     let p1 = match sharded_phase1(prog, db, threads, Some(&sta))? {
         Some(p1) => p1,
         None => return evaluate_disk_grouped(prog, db, groups, hook),
@@ -712,6 +716,8 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         backward_scans,
         forward_scans,
         sta_bytes: n as u64 * arb_storage::stafile::STATE_BYTES as u64,
+        db_format: db.format_version(),
+        blocks_decoded: db.blocks_decoded() - blocks0,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);

@@ -7,16 +7,53 @@
 //! reading our SAX events file backward. In this single backward pass, we
 //! can transform the document into a binary tree [...] and only require a
 //! stack of memory proportional to the depth of the XML tree."
+//!
+//! Creation writes [`FormatVersion::V2`] by default (see [`crate::v2`]
+//! for the layout); `*_with` variants pin a version explicitly. The v2
+//! XML path keeps the paper's two passes and adds a third over a raw
+//! temporary record file: events → `.evt` → raw records → (extent
+//! metadata scan, then block-compressed re-encode). The temporary file
+//! is deleted afterwards; the `.evt` file is kept as in v1 (its size is
+//! a Figure 5 column). On **any** error, every partial output
+//! (`.arb`/`.evt`/`.lab`/`.tmp`) is removed — a failed creation leaves
+//! nothing behind that could later open as a truncated database.
 
 use crate::evt::{Event, EVENT_BYTES};
 use crate::format::{NodeRecord, RECORD_BYTES};
 use crate::rev::{RevReader, RevWriter};
+use crate::scan::{BackwardScan, ForwardScan};
+use crate::v2::V2Writer;
 use arb_tree::{BinaryTree, LabelId, LabelTable};
 use arb_xml::{XmlConfig, XmlEvent, XmlParser};
 use std::fs::File;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// On-disk `.arb` format version to write at creation time.
+///
+/// [`crate::db::ArbDatabase::open`] sniffs the version from the file
+/// itself, so readers never need this; it only selects what creation
+/// writes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// The paper's bare record array: 2 bytes per node, no header, no
+    /// checksums.
+    V1,
+    /// Versioned, block-compressed, checksummed records with an on-disk
+    /// extent index (see [`crate::v2`]).
+    #[default]
+    V2,
+}
+
+impl std::fmt::Display for FormatVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatVersion::V1 => write!(f, "v1"),
+            FormatVersion::V2 => write!(f, "v2"),
+        }
+    }
+}
 
 /// Statistics of a database creation run — the columns of paper Figure 5.
 #[derive(Clone, Debug, Default)]
@@ -29,12 +66,15 @@ pub struct CreationStats {
     pub tags: u64,
     /// Total creation time (column 4).
     pub time: Duration,
-    /// `.arb` file size in bytes (column 5) — always `2 * (1) + (2)` ...
-    /// precisely `((1)+(2)) * 2`.
+    /// `.arb` file size in bytes (column 5). For [`FormatVersion::V1`]
+    /// this is exactly `((1)+(2)) * 2` as in the paper; for v2 it is the
+    /// actual size of the block-compressed file (typically smaller,
+    /// despite carrying the extent index).
     pub arb_bytes: u64,
     /// `.lab` file size in bytes (column 6).
     pub lab_bytes: u64,
-    /// Temporary `.evt` file size in bytes (column 7) — twice `.arb`.
+    /// Temporary `.evt` file size in bytes (column 7) — twice the v1
+    /// `.arb` size (two events of two bytes per node).
     pub evt_bytes: u64,
 }
 
@@ -128,7 +168,7 @@ fn write_events<R: BufRead>(
     Ok((elem_nodes, char_nodes))
 }
 
-/// Pass 2: read the `.evt` file backwards and write the `.arb` file
+/// Pass 2: read the `.evt` file backwards and write the raw record file
 /// backwards. The stack is bounded by the XML depth.
 fn events_to_arb(evt_path: &Path, arb_path: &Path, n: u64) -> Result<(), CreateError> {
     let evt_file = File::open(evt_path)?;
@@ -191,6 +231,21 @@ fn events_to_arb(evt_path: &Path, arb_path: &Path, n: u64) -> Result<(), CreateE
     Ok(())
 }
 
+/// Re-encodes a raw (v1-layout) record file as v2: one backward metadata
+/// scan for the extent section, then one forward pass feeding the block
+/// writer.
+fn raw_to_v2(raw_path: &Path, arb_path: &Path, n: u32, tag_count: u32) -> Result<(), CreateError> {
+    let mut back = BackwardScan::new(File::open(raw_path)?, n)?;
+    let (ends, kinds) = crate::traversal::subtree_extents(&mut back, n)?;
+    let mut fwd = ForwardScan::new(File::open(raw_path)?, n);
+    let mut w = V2Writer::new(File::create(arb_path)?, n, tag_count)?;
+    while let Some((_, rec)) = fwd.next_record()? {
+        w.push(rec)?;
+    }
+    w.finish(&ends, &kinds)?;
+    Ok(())
+}
+
 /// Errors raised during database creation.
 #[derive(Debug)]
 pub enum CreateError {
@@ -226,15 +281,52 @@ impl From<io::Error> for CreateError {
     }
 }
 
-/// Creates a `.arb` database (plus `.lab`) from an XML stream, exactly as
-/// the paper prescribes: forward SAX pass to `.evt`, backward pass to
-/// `.arb`. `arb_path` should end in `.arb`; the `.lab` and `.evt` files
-/// are placed alongside. The `.evt` file is kept (the paper reports its
-/// size in Figure 5); callers may delete it.
+/// Removes every output a creation run may have started writing. Failed
+/// creations call this so a crash-adjacent partial `.arb` can never be
+/// opened later as a silently truncated database (the orphan-file bug).
+fn remove_partial_outputs(arb_path: &Path) {
+    for ext in ["arb", "evt", "lab", "tmp"] {
+        let _ = std::fs::remove_file(sibling(arb_path, ext));
+    }
+}
+
+/// Creates a `.arb` database (plus `.lab`) from an XML stream in the
+/// default format ([`FormatVersion::V2`]). See
+/// [`create_from_xml_with`].
 pub fn create_from_xml<R: BufRead>(
     reader: R,
     config: &XmlConfig,
     arb_path: &Path,
+) -> Result<(CreationStats, LabelTable), CreateError> {
+    create_from_xml_with(reader, config, arb_path, FormatVersion::default())
+}
+
+/// Creates a `.arb` database (plus `.lab`) from an XML stream, exactly as
+/// the paper prescribes: forward SAX pass to `.evt`, backward pass to the
+/// record file (for v2, a raw temporary re-encoded into blocks — transient
+/// creation memory is O(n) for the extent vectors, 5 bytes per node).
+/// `arb_path` should end in `.arb`; the `.lab` and `.evt` files are
+/// placed alongside. The `.evt` file is kept (the paper reports its size
+/// in Figure 5); callers may delete it. On error, all partial outputs
+/// are removed.
+pub fn create_from_xml_with<R: BufRead>(
+    reader: R,
+    config: &XmlConfig,
+    arb_path: &Path,
+    format: FormatVersion,
+) -> Result<(CreationStats, LabelTable), CreateError> {
+    let result = create_from_xml_inner(reader, config, arb_path, format);
+    if result.is_err() {
+        remove_partial_outputs(arb_path);
+    }
+    result
+}
+
+fn create_from_xml_inner<R: BufRead>(
+    reader: R,
+    config: &XmlConfig,
+    arb_path: &Path,
+    format: FormatVersion,
 ) -> Result<(CreationStats, LabelTable), CreateError> {
     let start = Instant::now();
     let evt_path = sibling(arb_path, "evt");
@@ -245,7 +337,16 @@ pub fn create_from_xml<R: BufRead>(
     if n == 0 {
         return Err(CreateError::other("empty document"));
     }
-    events_to_arb(&evt_path, arb_path, n)?;
+    let n32 = u32::try_from(n).map_err(|_| CreateError::other("database exceeds 2^32 nodes"))?;
+    match format {
+        FormatVersion::V1 => events_to_arb(&evt_path, arb_path, n)?,
+        FormatVersion::V2 => {
+            let tmp_path = sibling(arb_path, "tmp");
+            events_to_arb(&evt_path, &tmp_path, n)?;
+            raw_to_v2(&tmp_path, arb_path, n32, labels.tag_count() as u32)?;
+            std::fs::remove_file(&tmp_path)?;
+        }
+    }
     std::fs::write(&lab_path, labels.to_lab_string())?;
     let stats = CreationStats {
         elem_nodes,
@@ -259,33 +360,99 @@ pub fn create_from_xml<R: BufRead>(
     Ok((stats, labels))
 }
 
-/// Creates a `.arb` database directly from an in-memory tree (used by the
-/// synthetic data generators; a single forward pass suffices because the
-/// whole structure is already known).
+/// Creates a `.arb` database directly from an in-memory tree in the
+/// default format ([`FormatVersion::V2`]). See
+/// [`create_from_tree_with`].
 pub fn create_from_tree(
     tree: &BinaryTree,
     labels: &LabelTable,
     arb_path: &Path,
 ) -> Result<CreationStats, CreateError> {
+    create_from_tree_with(tree, labels, arb_path, FormatVersion::default())
+}
+
+/// Creates a `.arb` database directly from an in-memory tree (used by the
+/// synthetic data generators; a single forward pass suffices because the
+/// whole structure is already known). Labels are range-checked: an
+/// out-of-range `LabelId` is an error, never a silent truncation. On
+/// error, all partial outputs are removed.
+pub fn create_from_tree_with(
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    arb_path: &Path,
+    format: FormatVersion,
+) -> Result<CreationStats, CreateError> {
+    let result = create_from_tree_inner(tree, labels, arb_path, format);
+    if result.is_err() {
+        remove_partial_outputs(arb_path);
+    }
+    result
+}
+
+fn create_from_tree_inner(
+    tree: &BinaryTree,
+    labels: &LabelTable,
+    arb_path: &Path,
+    format: FormatVersion,
+) -> Result<CreationStats, CreateError> {
     let start = Instant::now();
-    let mut out = BufWriter::with_capacity(64 * 1024, File::create(arb_path)?);
+    let n = tree.len();
+    let n32 = u32::try_from(n).map_err(|_| CreateError::other("database exceeds 2^32 nodes"))?;
     let mut elem_nodes = 0u64;
     let mut char_nodes = 0u64;
-    for v in tree.nodes() {
-        let label = tree.label(v);
+    let mut count = |label: LabelId| {
         if label.is_text() {
             char_nodes += 1;
         } else {
             elem_nodes += 1;
         }
-        let rec = NodeRecord {
-            label,
-            has_first: tree.has_first(v),
-            has_second: tree.has_second(v),
-        };
-        out.write_all(&rec.to_bytes())?;
+    };
+    match format {
+        FormatVersion::V1 => {
+            let mut out = BufWriter::with_capacity(64 * 1024, File::create(arb_path)?);
+            for v in tree.nodes() {
+                let label = tree.label(v);
+                count(label);
+                let rec = NodeRecord {
+                    label,
+                    has_first: tree.has_first(v),
+                    has_second: tree.has_second(v),
+                };
+                out.write_all(&rec.checked_bytes()?)?;
+            }
+            out.flush()?;
+        }
+        FormatVersion::V2 => {
+            // The structure is in memory, so the extent recurrence runs
+            // directly over it: end(v) = end(second child) else
+            // end(first child) else v + 1 (children have higher preorder
+            // indexes, so a reverse loop sees them first).
+            let mut ends = vec![0u32; n];
+            let mut kinds = vec![0u8; n];
+            for v in (0..n32).rev().map(arb_tree::NodeId) {
+                let end = if let Some(c) = tree.second_child(v) {
+                    ends[c.ix()]
+                } else if let Some(c) = tree.first_child(v) {
+                    ends[c.ix()]
+                } else {
+                    v.0 + 1
+                };
+                ends[v.ix()] = end;
+                kinds[v.ix()] = tree.has_first(v) as u8 | (tree.has_second(v) as u8) << 1;
+            }
+            let mut w = V2Writer::new(File::create(arb_path)?, n32, labels.tag_count() as u32)?;
+            for v in tree.nodes() {
+                let label = tree.label(v);
+                count(label);
+                w.push(NodeRecord {
+                    label,
+                    has_first: tree.has_first(v),
+                    has_second: tree.has_second(v),
+                })?;
+            }
+            w.finish(&ends, &kinds)?;
+        }
     }
-    out.flush()?;
     let lab_path = sibling(arb_path, "lab");
     std::fs::write(&lab_path, labels.to_lab_string())?;
     Ok(CreationStats {
@@ -320,12 +487,17 @@ mod tests {
         let xml = "<a><b>hi</b><c/>x</a>";
         let dir = tmpdir();
         let arb = dir.join("t1.arb");
-        let (stats, labels) =
-            create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb).unwrap();
+        let (stats, labels) = create_from_xml_with(
+            Cursor::new(xml.as_bytes()),
+            &XmlConfig::default(),
+            &arb,
+            FormatVersion::V1,
+        )
+        .unwrap();
         assert_eq!(stats.elem_nodes, 3);
         assert_eq!(stats.char_nodes, 3);
         assert_eq!(stats.nodes(), 6);
-        assert_eq!(stats.arb_bytes, 12);
+        assert_eq!(stats.arb_bytes, 12, "v1 keeps the paper's 2n bytes");
         assert_eq!(stats.evt_bytes, 24); // two events * two bytes per node
 
         // Compare against the in-memory tree encoding.
@@ -350,19 +522,86 @@ mod tests {
     }
 
     #[test]
-    fn from_tree_equals_from_xml() {
+    fn from_tree_equals_from_xml_in_both_formats() {
         let xml = "<r><x>ab</x><y><z/></y></r>";
         let dir = tmpdir();
-        let via_xml = dir.join("t2a.arb");
-        create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &via_xml).unwrap();
         let mut lt = LabelTable::new();
         let tree = arb_xml::str_to_tree(xml, &mut lt).unwrap();
-        let via_tree = dir.join("t2b.arb");
-        create_from_tree(&tree, &lt, &via_tree).unwrap();
-        assert_eq!(
-            std::fs::read(&via_xml).unwrap(),
-            std::fs::read(&via_tree).unwrap()
-        );
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let via_xml = dir.join(format!("t2a-{format}.arb"));
+            create_from_xml_with(
+                Cursor::new(xml.as_bytes()),
+                &XmlConfig::default(),
+                &via_xml,
+                format,
+            )
+            .unwrap();
+            let via_tree = dir.join(format!("t2b-{format}.arb"));
+            create_from_tree_with(&tree, &lt, &via_tree, format).unwrap();
+            assert_eq!(
+                std::fs::read(&via_xml).unwrap(),
+                std::fs::read(&via_tree).unwrap(),
+                "{format} files must be byte-identical from either source"
+            );
+        }
+    }
+
+    #[test]
+    fn default_format_is_v2_and_cleans_its_temporary() {
+        let xml = "<a><b/>cd</a>";
+        let dir = tmpdir();
+        let arb = dir.join("t4.arb");
+        let (stats, _) =
+            create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb).unwrap();
+        let bytes = std::fs::read(&arb).unwrap();
+        assert_eq!(&bytes[..8], &crate::v2::MAGIC);
+        assert_eq!(stats.arb_bytes, bytes.len() as u64);
+        assert!(!sibling(&arb, "tmp").exists(), "raw temporary must be gone");
+        assert!(sibling(&arb, "evt").exists(), ".evt is kept as in v1");
+    }
+
+    #[test]
+    fn failed_creation_leaves_no_partial_outputs() {
+        let dir = tmpdir();
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let arb = dir.join(format!("t5-{format}.arb"));
+            // Unbalanced XML fails in pass 1, after the .evt file exists.
+            let err = create_from_xml_with(
+                Cursor::new("<a><b></a>".as_bytes()),
+                &XmlConfig::default(),
+                &arb,
+                format,
+            );
+            assert!(err.is_err());
+            for ext in ["arb", "evt", "lab", "tmp"] {
+                assert!(
+                    !sibling(&arb, ext).exists(),
+                    "orphan .{ext} left behind by failed {format} creation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_tree_rejects_out_of_range_labels() {
+        // A tree whose label never went through the LabelTable (which
+        // caps at 16384): encoding must fail, not truncate.
+        let lt = LabelTable::new();
+        let tree = BinaryTree::from_parts(
+            vec![LabelId(1 << 14)],
+            vec![arb_tree::NONE],
+            vec![arb_tree::NONE],
+        )
+        .unwrap();
+        let dir = tmpdir();
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let arb = dir.join(format!("t6-{format}.arb"));
+            assert!(
+                create_from_tree_with(&tree, &lt, &arb, format).is_err(),
+                "{format} must reject a 15-bit label"
+            );
+            assert!(!arb.exists(), "partial {format} output left behind");
+        }
     }
 
     #[test]

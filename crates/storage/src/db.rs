@@ -1,15 +1,24 @@
 //! `ArbDatabase` — an opened `.arb`/`.lab` pair.
+//!
+//! [`ArbDatabase::open`] sniffs the on-disk format from the file itself:
+//! a file starting with the v2 magic is parsed and structurally
+//! validated as [`crate::v2`] (header + block index checksums verified
+//! at open); anything else is served as the paper's bare v1 record
+//! array. Every scan, range scan and point read works identically on
+//! both formats.
 
 use crate::create::{sibling, CreationStats};
 use crate::format::{NodeRecord, RECORD_BYTES};
 use crate::scan::{BackwardScan, ForwardScan};
 use crate::stafile::ScratchPath;
 use crate::traversal::bottom_up_scan;
+use crate::v2::{self, BlockMap};
 use arb_tree::{BinaryTree, LabelId, LabelTable, NONE};
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Process-wide sequence number making scratch paths unique per
 /// evaluation (see [`ArbDatabase::scratch_sta`]).
@@ -26,65 +35,199 @@ pub struct ValidationReport {
     pub char_nodes: u64,
 }
 
+/// On-disk layout of an opened database.
+enum Format {
+    /// Bare record array (the paper's layout).
+    V1,
+    /// Block-compressed v2 (see [`crate::v2`]).
+    V2 {
+        /// Validated block layout, shared with every blocked scan.
+        map: Arc<BlockMap>,
+        /// File offset of the extent section.
+        extent_offset: u64,
+    },
+}
+
+/// The cached point-read handle behind [`ArbDatabase::record_at`]: one
+/// `File` for the lifetime of the database (the sequential spine of a
+/// sharded run fetches a handful of scattered records and used to pay an
+/// `open()` each), plus — on v2 — the most recently decoded block, since
+/// spine indexes cluster.
+struct CachedReader {
+    file: File,
+    /// Block currently decoded in `buf` (`u32::MAX` = none; v2 only).
+    block: u32,
+    buf: Vec<NodeRecord>,
+    scratch: Vec<u8>,
+}
+
 /// A tree database in the Arb storage model: the `.arb` record file plus
 /// its `.lab` label table.
 pub struct ArbDatabase {
     arb_path: PathBuf,
     labels: LabelTable,
     node_count: u32,
+    format: Format,
+    file_len: u64,
     /// Scans opened on this handle (backward, forward) — the observable
     /// ground truth behind Proposition 5.1's two-linear-scans claim and
     /// the `EvalStats` scan counters (batched evaluation shares one scan
     /// pair across all queries of a batch).
     backward_scans: AtomicU64,
     forward_scans: AtomicU64,
-    /// Lazily computed subtree extents + child flags (see
+    /// Lifetime count of v2 blocks decoded (and checksum-verified) by
+    /// scans and point reads on this handle — always 0 on v1.
+    blocks_decoded: Arc<AtomicU64>,
+    reader: Mutex<CachedReader>,
+    /// Lazily loaded subtree extents + child flags (see
     /// [`ArbDatabase::subtree_extents`]): a property of the document
-    /// alone, so one metadata scan serves every sharded evaluation of
-    /// this handle.
+    /// alone, so one load serves every sharded evaluation of this
+    /// handle.
     extents: std::sync::OnceLock<(Vec<u32>, Vec<u8>)>,
 }
 
 impl ArbDatabase {
-    /// Opens an existing database.
+    /// Opens an existing database, sniffing the format version from the
+    /// file. v2 files have their header and block index fully validated
+    /// here — truncation, bit flips and crashed creations fail at open.
     pub fn open(arb_path: impl Into<PathBuf>) -> io::Result<Self> {
         let arb_path = arb_path.into();
-        let len = std::fs::metadata(&arb_path)?.len();
-        if len % RECORD_BYTES as u64 != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "size of .arb file is not a multiple of the record size",
-            ));
-        }
-        let node_count = u32::try_from(len / RECORD_BYTES as u64).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, "database exceeds 2^32 nodes")
-        })?;
+        let mut file = File::open(&arb_path)?;
+        let file_len = file.metadata()?.len();
+        let mut magic = [0u8; 8];
+        let is_v2 = file_len >= 8 && {
+            file.read_exact(&mut magic)?;
+            magic == v2::MAGIC
+        };
         let lab_path = sibling(&arb_path, "lab");
-        let labels = match std::fs::read_to_string(&lab_path) {
-            Ok(s) => LabelTable::from_lab_str(&s)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => LabelTable::new(),
+        let lab_text = match std::fs::read_to_string(&lab_path) {
+            Ok(s) => Some(s),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
             Err(e) => return Err(e),
+        };
+        let parse_lab = |s: &str| {
+            LabelTable::from_lab_str(s)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        };
+
+        let (node_count, format, labels) = if is_v2 {
+            let meta = v2::read_meta(&mut file, file_len)?;
+            let labels = match &lab_text {
+                Some(s) => parse_lab(s)?,
+                None if meta.header.tag_count == 0 => LabelTable::new(),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "missing .lab file: the database declares {} tags \
+                             (without the label table every tag query would \
+                             silently match nothing)",
+                            meta.header.tag_count
+                        ),
+                    ));
+                }
+            };
+            if labels.tag_count() as u32 != meta.header.tag_count {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        ".lab file resolves {} tags but the database declares {}",
+                        labels.tag_count(),
+                        meta.header.tag_count
+                    ),
+                ));
+            }
+            (
+                meta.header.node_count,
+                Format::V2 {
+                    map: meta.map,
+                    extent_offset: meta.header.extent_offset,
+                },
+                labels,
+            )
+        } else {
+            if file_len % RECORD_BYTES as u64 != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "size of .arb file is not a multiple of the record size",
+                ));
+            }
+            let node_count = u32::try_from(file_len / RECORD_BYTES as u64).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "database exceeds 2^32 nodes")
+            })?;
+            let labels = match &lab_text {
+                Some(s) => parse_lab(s)?,
+                // v1 has no header to declare a tag count, so fall back
+                // to scanning the records: any element node means tag
+                // queries would need the missing table.
+                None => {
+                    file.seek(SeekFrom::Start(0))?;
+                    let mut scan = ForwardScan::new(&mut file, node_count);
+                    while let Some((ix, rec)) = scan.next_record()? {
+                        if !rec.label.is_text() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "missing .lab file: node {ix} is an element \
+                                     (without the label table every tag query \
+                                     would silently match nothing)"
+                                ),
+                            ));
+                        }
+                    }
+                    LabelTable::new()
+                }
+            };
+            (node_count, Format::V1, labels)
+        };
+
+        let reader = CachedReader {
+            file: File::open(&arb_path)?,
+            block: u32::MAX,
+            buf: Vec::new(),
+            scratch: Vec::new(),
         };
         Ok(ArbDatabase {
             arb_path,
             labels,
             node_count,
+            format,
+            file_len,
             backward_scans: AtomicU64::new(0),
             forward_scans: AtomicU64::new(0),
+            blocks_decoded: Arc::new(AtomicU64::new(0)),
+            reader: Mutex::new(reader),
             extents: std::sync::OnceLock::new(),
         })
     }
 
-    /// Creates a database from an XML file on disk, then opens it.
+    /// Creates a database from an XML file on disk (in the default
+    /// format, v2), then opens it.
     pub fn create_from_xml_file(
         xml_path: &Path,
         arb_path: impl Into<PathBuf>,
         config: &arb_xml::XmlConfig,
     ) -> Result<(Self, CreationStats), crate::create::CreateError> {
+        Self::create_from_xml_file_with(
+            xml_path,
+            arb_path,
+            config,
+            crate::create::FormatVersion::default(),
+        )
+    }
+
+    /// Creates a database from an XML file on disk in an explicit format,
+    /// then opens it.
+    pub fn create_from_xml_file_with(
+        xml_path: &Path,
+        arb_path: impl Into<PathBuf>,
+        config: &arb_xml::XmlConfig,
+        format: crate::create::FormatVersion,
+    ) -> Result<(Self, CreationStats), crate::create::CreateError> {
         let arb_path = arb_path.into();
         let reader = io::BufReader::with_capacity(64 * 1024, File::open(xml_path)?);
-        let (stats, _labels) = crate::create::create_from_xml(reader, config, &arb_path)?;
+        let (stats, _labels) =
+            crate::create::create_from_xml_with(reader, config, &arb_path, format)?;
         let db = ArbDatabase::open(&arb_path)?;
         Ok((db, stats))
     }
@@ -102,6 +245,26 @@ impl ArbDatabase {
     /// Path of the `.arb` file.
     pub fn path(&self) -> &Path {
         &self.arb_path
+    }
+
+    /// The on-disk format version (1 or 2).
+    pub fn format_version(&self) -> u8 {
+        match self.format {
+            Format::V1 => 1,
+            Format::V2 { .. } => 2,
+        }
+    }
+
+    /// Actual size of the `.arb` file in bytes (for v2 this is the
+    /// compressed size, not `node_count * RECORD_BYTES`).
+    pub fn file_bytes(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Lifetime count of v2 blocks decoded (and checksum-verified) by
+    /// this handle's scans and point reads. Always 0 on v1 databases.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_decoded.load(Ordering::Relaxed)
     }
 
     /// A fresh, uniquely named path for the temporary `.sta` state file
@@ -127,7 +290,17 @@ impl ArbDatabase {
     pub fn forward_scan_range(&self, lo: u32, hi: u32) -> io::Result<ForwardScan<File>> {
         self.check_range(lo, hi)?;
         self.forward_scans.fetch_add(1, Ordering::Relaxed);
-        ForwardScan::range(File::open(&self.arb_path)?, lo, hi)
+        let file = File::open(&self.arb_path)?;
+        match &self.format {
+            Format::V1 => ForwardScan::range(file, lo, hi),
+            Format::V2 { map, .. } => Ok(ForwardScan::blocked(
+                file,
+                map.clone(),
+                Some(self.blocks_decoded.clone()),
+                lo,
+                hi,
+            )),
+        }
     }
 
     /// Opens a backward record scan (bottom-up traversal input).
@@ -140,7 +313,17 @@ impl ArbDatabase {
     pub fn backward_scan_range(&self, lo: u32, hi: u32) -> io::Result<BackwardScan<File>> {
         self.check_range(lo, hi)?;
         self.backward_scans.fetch_add(1, Ordering::Relaxed);
-        BackwardScan::range(File::open(&self.arb_path)?, lo, hi)
+        let file = File::open(&self.arb_path)?;
+        match &self.format {
+            Format::V1 => BackwardScan::range(file, lo, hi),
+            Format::V2 { map, .. } => Ok(BackwardScan::blocked(
+                file,
+                map.clone(),
+                Some(self.blocks_decoded.clone()),
+                lo,
+                hi,
+            )),
+        }
     }
 
     fn check_range(&self, lo: u32, hi: u32) -> io::Result<()> {
@@ -157,15 +340,34 @@ impl ArbDatabase {
     }
 
     /// Preorder subtree extents and child flags of every node (see
-    /// [`crate::traversal::subtree_extents`]), computed with one backward
-    /// metadata scan on first use and cached on the handle — the
-    /// frontier plan of sharded evaluation depends only on the document,
-    /// so repeated runs (prepared sessions are built to run many times)
-    /// don't repeat the scan.
+    /// [`crate::traversal::subtree_extents`]), cached on the handle —
+    /// the frontier plan of sharded evaluation depends only on the
+    /// document, so repeated runs (prepared sessions are built to run
+    /// many times) don't repeat the work. On v2 the extents were
+    /// materialized at creation time and are **loaded** (checksum-
+    /// verified, window by window) instead of recomputed with a
+    /// metadata scan; on v1 the backward metadata scan runs on first
+    /// use.
     pub fn subtree_extents(&self) -> io::Result<(&[u32], &[u8])> {
         if self.extents.get().is_none() {
-            let mut scan = self.backward_scan()?;
-            let parts = crate::traversal::subtree_extents(&mut scan, self.node_count)?;
+            let parts = match &self.format {
+                Format::V1 => {
+                    let mut scan = self.backward_scan()?;
+                    crate::traversal::subtree_extents(&mut scan, self.node_count)?
+                }
+                Format::V2 { extent_offset, .. } => {
+                    let mut ends = Vec::with_capacity(self.node_count as usize);
+                    let mut kinds = Vec::with_capacity(self.node_count as usize);
+                    let mut f = File::open(&self.arb_path)?;
+                    for w in 0..v2::extent_windows(self.node_count) {
+                        let (e, k) =
+                            v2::read_extent_window(&mut f, *extent_offset, self.node_count, w)?;
+                        ends.extend_from_slice(&e);
+                        kinds.extend_from_slice(&k);
+                    }
+                    (ends, kinds)
+                }
+            };
             // A concurrent initializer computed the same value; either
             // stick is fine.
             let _ = self.extents.set(parts);
@@ -180,9 +382,37 @@ impl ArbDatabase {
         self.extents.get().is_some()
     }
 
+    /// Number of on-disk extent windows (0 for v1, which has no extent
+    /// section).
+    pub fn extent_windows(&self) -> u32 {
+        match self.format {
+            Format::V1 => 0,
+            Format::V2 { .. } => v2::extent_windows(self.node_count),
+        }
+    }
+
+    /// Reads one extent window `(ends, kinds)` for the node range
+    /// `[w·W, min((w+1)·W, n))` directly from the v2 extent section,
+    /// without materializing the whole index — the building block for
+    /// windowed frontier planning at any database size. Errors on v1.
+    pub fn extent_window(&self, w: u32) -> io::Result<(Vec<u32>, Vec<u8>)> {
+        match &self.format {
+            Format::V1 => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "v1 databases have no on-disk extent section",
+            )),
+            Format::V2 { extent_offset, .. } => {
+                let mut f = File::open(&self.arb_path)?;
+                v2::read_extent_window(&mut f, *extent_offset, self.node_count, w)
+            }
+        }
+    }
+
     /// Reads a single record by preorder index — the sequential-spine
     /// nodes of a sharded run are a handful of scattered indexes, fetched
-    /// directly instead of through a scan.
+    /// through a cached handle instead of an `open()` per call. On v2
+    /// the most recently decoded block is kept, since spine indexes
+    /// cluster.
     pub fn record_at(&self, ix: u32) -> io::Result<NodeRecord> {
         if ix >= self.node_count {
             return Err(io::Error::new(
@@ -193,11 +423,37 @@ impl ArbDatabase {
                 ),
             ));
         }
-        let mut f = File::open(&self.arb_path)?;
-        f.seek(SeekFrom::Start(ix as u64 * RECORD_BYTES as u64))?;
-        let mut buf = [0u8; RECORD_BYTES];
-        f.read_exact(&mut buf)?;
-        Ok(NodeRecord::from_bytes(buf))
+        let mut r = self.reader.lock().expect("reader mutex poisoned");
+        match &self.format {
+            Format::V1 => {
+                r.file
+                    .seek(SeekFrom::Start(ix as u64 * RECORD_BYTES as u64))?;
+                let mut buf = [0u8; RECORD_BYTES];
+                r.file.read_exact(&mut buf)?;
+                Ok(NodeRecord::from_bytes(buf))
+            }
+            Format::V2 { map, .. } => {
+                let b = map.block_of(ix);
+                if r.block != b {
+                    let CachedReader {
+                        file,
+                        buf,
+                        scratch,
+                        block,
+                    } = &mut *r;
+                    v2::read_block(
+                        file,
+                        map.offsets[b as usize],
+                        map.records_in(b),
+                        scratch,
+                        buf,
+                    )?;
+                    *block = b;
+                    self.blocks_decoded.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(r.buf[(ix - b * map.block_records) as usize])
+            }
+        }
     }
 
     /// Lifetime totals of `(backward, forward)` scans opened on this
@@ -213,7 +469,8 @@ impl ArbDatabase {
 
     /// Validates the database's structural integrity in one backward
     /// scan: the child flags must describe a single well-formed tree and
-    /// every label must resolve (character range or `.lab` entry).
+    /// every label must resolve (character range or `.lab` entry). On v2
+    /// the scan also verifies every block checksum as a side effect.
     /// Returns a summary report.
     pub fn validate(&self) -> io::Result<ValidationReport> {
         let mut report = ValidationReport::default();
@@ -267,6 +524,7 @@ impl ArbDatabase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::create::FormatVersion;
     use arb_xml::XmlConfig;
     use std::io::Cursor;
 
@@ -276,34 +534,56 @@ mod tests {
         d.join(name)
     }
 
-    #[test]
-    fn create_open_roundtrip() {
-        let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
-        let arb = tmp("db1.arb");
-        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
-            .unwrap();
-        let db = ArbDatabase::open(&arb).unwrap();
-        assert_eq!(db.node_count(), 7);
-        assert!(db.labels().get("doc").is_some());
+    fn create(xml: &str, name: &str, format: FormatVersion) -> PathBuf {
+        let arb = tmp(name);
+        crate::create::create_from_xml_with(
+            Cursor::new(xml.as_bytes()),
+            &XmlConfig::default(),
+            &arb,
+            format,
+        )
+        .unwrap();
+        arb
+    }
 
-        // Reconstruct and compare with direct parsing.
-        let tree = db.to_tree().unwrap();
-        let mut lt = LabelTable::new();
-        let direct = arb_xml::str_to_tree(xml, &mut lt).unwrap();
-        assert_eq!(tree.len(), direct.len());
-        for v in tree.nodes() {
-            assert_eq!(tree.has_first(v), direct.has_first(v));
-            assert_eq!(tree.has_second(v), direct.has_second(v));
-            assert_eq!(db.labels().name(tree.label(v)), lt.name(direct.label(v)));
+    #[test]
+    fn create_open_roundtrip_both_formats() {
+        let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let arb = create(xml, &format!("db1-{format}.arb"), format);
+            let db = ArbDatabase::open(&arb).unwrap();
+            assert_eq!(db.node_count(), 7);
+            assert!(db.labels().get("doc").is_some());
+            assert_eq!(
+                db.format_version(),
+                if format == FormatVersion::V1 { 1 } else { 2 }
+            );
+            assert_eq!(
+                db.file_bytes(),
+                std::fs::metadata(&arb).unwrap().len(),
+                "file_bytes must report the actual on-disk size"
+            );
+
+            // Reconstruct and compare with direct parsing.
+            let tree = db.to_tree().unwrap();
+            let mut lt = LabelTable::new();
+            let direct = arb_xml::str_to_tree(xml, &mut lt).unwrap();
+            assert_eq!(tree.len(), direct.len());
+            for v in tree.nodes() {
+                assert_eq!(tree.has_first(v), direct.has_first(v));
+                assert_eq!(tree.has_second(v), direct.has_second(v));
+                assert_eq!(db.labels().name(tree.label(v)), lt.name(direct.label(v)));
+            }
+            assert_eq!(
+                db.blocks_decoded(),
+                if format == FormatVersion::V1 { 0 } else { 1 }
+            );
         }
     }
 
     #[test]
     fn validate_accepts_good_and_rejects_corrupt() {
-        let xml = "<doc><a>xy</a></doc>";
-        let arb = tmp("dbv.arb");
-        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
-            .unwrap();
+        let arb = create("<doc><a>xy</a></doc>", "dbv.arb", FormatVersion::V1);
         let db = ArbDatabase::open(&arb).unwrap();
         let report = db.validate().unwrap();
         assert_eq!(report.nodes, 4);
@@ -339,6 +619,31 @@ mod tests {
     }
 
     #[test]
+    fn missing_lab_is_an_error_when_elements_exist() {
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let arb = create("<doc><a>xy</a></doc>", &format!("dbl-{format}.arb"), format);
+            std::fs::remove_file(sibling(&arb, "lab")).unwrap();
+            let err = ArbDatabase::open(&arb).err().expect("must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{format}");
+            assert!(err.to_string().contains(".lab"), "{format}: {err}");
+        }
+        // A v2 database with a stale .lab (wrong tag count) is rejected.
+        let arb = create("<doc><a>x</a></doc>", "dbl-stale.arb", FormatVersion::V2);
+        std::fs::write(sibling(&arb, "lab"), "doc\n").unwrap();
+        assert!(ArbDatabase::open(&arb).is_err());
+        // All-text v1 content opens fine without a .lab.
+        let text_arb = tmp("dbl-text.arb");
+        let rec = NodeRecord {
+            label: LabelId(b'x' as u16),
+            has_first: false,
+            has_second: false,
+        };
+        std::fs::write(&text_arb, rec.to_bytes()).unwrap();
+        std::fs::remove_file(sibling(&text_arb, "lab")).ok();
+        assert_eq!(ArbDatabase::open(&text_arb).unwrap().node_count(), 1);
+    }
+
+    #[test]
     fn scratch_sta_paths_are_unique_siblings_and_cleaned_up() {
         let arb = tmp("db2.arb");
         std::fs::write(&arb, [0, 0]).unwrap();
@@ -357,29 +662,50 @@ mod tests {
     #[test]
     fn record_at_and_range_scans_agree_with_full_scans() {
         let xml = "<doc><sec>ab</sec><sec><p/>c</sec></doc>";
-        let arb = tmp("db3.arb");
-        crate::create::create_from_xml(Cursor::new(xml.as_bytes()), &XmlConfig::default(), &arb)
-            .unwrap();
-        let db = ArbDatabase::open(&arb).unwrap();
-        let mut all = Vec::new();
-        let mut scan = db.forward_scan().unwrap();
-        while let Some((ix, rec)) = scan.next_record().unwrap() {
-            assert_eq!(db.record_at(ix).unwrap(), rec);
-            all.push(rec);
+        for format in [FormatVersion::V1, FormatVersion::V2] {
+            let arb = create(xml, &format!("db3-{format}.arb"), format);
+            let db = ArbDatabase::open(&arb).unwrap();
+            let mut all = Vec::new();
+            let mut scan = db.forward_scan().unwrap();
+            while let Some((ix, rec)) = scan.next_record().unwrap() {
+                assert_eq!(db.record_at(ix).unwrap(), rec);
+                all.push(rec);
+            }
+            let mut range = db.forward_scan_range(2, 5).unwrap();
+            while let Some((ix, rec)) = range.next_record().unwrap() {
+                assert_eq!(rec, all[ix as usize]);
+            }
+            let mut range = db.backward_scan_range(2, 5).unwrap();
+            let mut seen = Vec::new();
+            while let Some((ix, rec)) = range.next_record().unwrap() {
+                assert_eq!(rec, all[ix as usize]);
+                seen.push(ix);
+            }
+            assert_eq!(seen, vec![4, 3, 2]);
+            assert!(db.forward_scan_range(5, 2).is_err());
+            assert!(db.backward_scan_range(0, 99).is_err());
+            assert!(db.record_at(99).is_err());
         }
-        let mut range = db.forward_scan_range(2, 5).unwrap();
-        while let Some((ix, rec)) = range.next_record().unwrap() {
-            assert_eq!(rec, all[ix as usize]);
-        }
-        let mut range = db.backward_scan_range(2, 5).unwrap();
-        let mut seen = Vec::new();
-        while let Some((ix, rec)) = range.next_record().unwrap() {
-            assert_eq!(rec, all[ix as usize]);
-            seen.push(ix);
-        }
-        assert_eq!(seen, vec![4, 3, 2]);
-        assert!(db.forward_scan_range(5, 2).is_err());
-        assert!(db.backward_scan_range(0, 99).is_err());
-        assert!(db.record_at(99).is_err());
+    }
+
+    #[test]
+    fn v2_extents_match_v1_metadata_scan() {
+        let xml = "<doc><sec>ab</sec><sec><p/>c</sec><tail/></doc>";
+        let v1 = create(xml, "dbe-v1.arb", FormatVersion::V1);
+        let v2f = create(xml, "dbe-v2.arb", FormatVersion::V2);
+        let db1 = ArbDatabase::open(&v1).unwrap();
+        let db2 = ArbDatabase::open(&v2f).unwrap();
+        let (e1, k1) = db1.subtree_extents().unwrap();
+        let (e2, k2) = db2.subtree_extents().unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(k1, k2);
+        assert!(db1.extents_cached() && db2.extents_cached());
+        assert_eq!(db1.extent_windows(), 0);
+        assert_eq!(db2.extent_windows(), 1);
+        let (we, wk) = db2.extent_window(0).unwrap();
+        assert_eq!(we.as_slice(), e2);
+        assert_eq!(wk.as_slice(), k2);
+        assert!(db1.extent_window(0).is_err());
+        assert!(db2.extent_window(9).is_err());
     }
 }

@@ -31,13 +31,32 @@ pub struct NodeRecord {
 }
 
 impl NodeRecord {
-    /// Encodes to the on-disk `u16`.
+    /// Encodes to the on-disk `u16`. The label must already be in the
+    /// 14-bit label space — writers that accept caller-supplied labels
+    /// go through [`NodeRecord::checked_bytes`] instead, which turns an
+    /// out-of-range label into an error rather than wrapping it.
     #[inline]
     pub fn encode(self) -> u16 {
         debug_assert!(self.label.0 <= LABEL_MASK);
         (self.label.0 & LABEL_MASK)
             | if self.has_first { HAS_FIRST } else { 0 }
             | if self.has_second { HAS_SECOND } else { 0 }
+    }
+
+    /// Checked encoding: errors on a label outside the 14-bit space.
+    /// `create_from_tree` accepts arbitrary `LabelId`s from callers, so
+    /// the unchecked [`NodeRecord::encode`] (a `debug_assert!` plus a
+    /// mask) used to truncate such labels silently in release builds —
+    /// writing a *different* label to disk with no diagnostic.
+    #[inline]
+    pub fn checked_bytes(self) -> std::io::Result<[u8; RECORD_BYTES]> {
+        if self.label.0 > LABEL_MASK {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("label #{} outside the 14-bit label space", self.label.0),
+            ));
+        }
+        Ok(self.to_bytes())
     }
 
     /// Decodes from the on-disk `u16`.
@@ -110,6 +129,23 @@ mod tests {
             has_second: false,
         };
         assert_eq!(r.encode(), LABEL_MASK);
+    }
+
+    #[test]
+    fn checked_encoding_rejects_out_of_range_labels() {
+        let bad = NodeRecord {
+            label: LabelId(1 << 14),
+            has_first: false,
+            has_second: false,
+        };
+        let err = bad.checked_bytes().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let good = NodeRecord {
+            label: LabelId((1 << 14) - 1),
+            has_first: true,
+            has_second: false,
+        };
+        assert_eq!(good.checked_bytes().unwrap(), good.to_bytes());
     }
 
     #[test]

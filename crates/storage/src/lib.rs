@@ -2,12 +2,12 @@
 //!
 //! The Arb storage model for binary trees on disk (paper Section 5).
 //!
-//! Each node is a fixed-size 2-byte record: the two highest bits say
+//! Each node is a 2-byte logical record: the two highest bits say
 //! whether the node has a first and/or second child, the remaining 14
 //! bits hold the label index. Records are stored in **preorder**. Label
 //! names live in a separate `.lab` file; database creation streams SAX
 //! events to a temporary `.evt` file (forward pass) and then writes the
-//! `.arb` file **backwards** while reading the events backwards — the
+//! record file **backwards** while reading the events backwards — the
 //! trick that bounds memory by the *XML* (unranked) depth rather than the
 //! (potentially huge) sibling-chain depth of the binary tree.
 //!
@@ -18,6 +18,28 @@
 //! each with a stack of size `O(depth(XML tree))`. [`traversal`]
 //! implements both as generic drivers; [`crate::db::ArbDatabase`] ties
 //! everything together.
+//!
+//! ## On-disk format versions
+//!
+//! Two `.arb` layouts exist behind the same scan API; `ArbDatabase::open`
+//! sniffs which one a file uses, and creation takes a
+//! [`FormatVersion`] (default [`FormatVersion::V2`]):
+//!
+//! * **v1** — the paper's layout verbatim: a bare array of `n` 2-byte
+//!   records, nothing else. No magic, no version, no checksums: a
+//!   crashed creation or truncated copy is indistinguishable from a
+//!   valid database and used to open (and answer queries) silently.
+//!   See [`mod@format`].
+//! * **v2** — a 64-byte checksummed header (magic, version, node and
+//!   tag counts, section offsets), the records delta/varint-encoded in
+//!   blocks of 32 Ki records — each block framed with a record count,
+//!   body length and CRC32 — followed by a windowed **extent section**
+//!   (per-node subtree ends + child flags, materialized at creation
+//!   time, CRC32 per 16 Ki-node window) and a checksummed **block
+//!   index** that lets `[lo, hi)` range scans seek straight to the
+//!   right block. Truncation, bit flips, checksum damage and crashed
+//!   creations are all rejected at open or scan time with
+//!   `InvalidData`. See [`v2`] for the exact byte layout.
 
 pub mod create;
 pub mod db;
@@ -28,8 +50,12 @@ pub mod scan;
 pub mod stafile;
 pub mod stats;
 pub mod traversal;
+pub mod v2;
 
-pub use create::{create_from_tree, create_from_xml, CreationStats};
+pub use create::{
+    create_from_tree, create_from_tree_with, create_from_xml, create_from_xml_with, CreationStats,
+    FormatVersion,
+};
 pub use db::ArbDatabase;
 pub use format::NodeRecord;
 pub use scan::{BackwardScan, ForwardScan};

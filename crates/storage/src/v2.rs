@@ -1,0 +1,733 @@
+//! `.arb` format **v2**: versioned, block-compressed, checksummed records.
+//!
+//! Format v1 (the paper's layout) is a bare array of 2-byte records — no
+//! magic, no version, no checksum. A crash during its backward creation
+//! pass leaves a full-size zero-prefixed file that opens silently and
+//! returns wrong answers, and its per-record 2-byte reads bound phase-1
+//! decode throughput. v2 keeps the logical record stream (and with it
+//! Proposition 5.1's two-linear-scans property) but reframes the bytes:
+//!
+//! ```text
+//! ┌──────────────────────── header (64 bytes) ─────────────────────────┐
+//! │  0..8   magic  "ArbDBv2\0"                                         │
+//! │  8..10  format version (u16 LE) = 2                                │
+//! │ 10..12  label width in bits (u16 LE) = 14                          │
+//! │ 12..16  node count n (u32 LE)                                      │
+//! │ 16..20  tag count of the companion .lab file (u32 LE)              │
+//! │ 20..24  block count (u32 LE) = ceil(n / records-per-block)         │
+//! │ 24..28  records per block (u32 LE), last block short               │
+//! │ 28..36  extent-section offset (u64 LE)                             │
+//! │ 36..44  block-index offset (u64 LE)                                │
+//! │ 44..60  reserved (zero)                                            │
+//! │ 60..64  CRC32 of bytes 0..60                                       │
+//! ├──────────────────────────── blocks ────────────────────────────────┤
+//! │ per block: n_records (u32 LE) · body_len (u32 LE) · body CRC32 ·   │
+//! │            body — one LEB128 varint per record encoding            │
+//! │            (zigzag(label − prev_label) << 2) | (has_second << 1)   │
+//! │            | has_first, with prev_label reset to 0 per block       │
+//! ├─────────────────────── extent section ─────────────────────────────┤
+//! │ per window of 16384 nodes: CRC32 of the body · body — 5 bytes per  │
+//! │ node: subtree end (u32 LE, one past the last record of the node's  │
+//! │ subtree) then child-kind flags (bit 0 first, bit 1 second). Only   │
+//! │ the last window is short, so window offsets are computable.        │
+//! ├──────────────────────── block index ───────────────────────────────┤
+//! │ block_count file offsets (u64 LE each) · CRC32 of those bytes.     │
+//! │ Block b holds records [b·R, min((b+1)·R, n)), so range scans seek  │
+//! │ straight to `offsets[lo / R]`.                                     │
+//! └────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Crash safety: creation writes a **placeholder** header first — the
+//! real magic with an invalid version field — and patches the real
+//! header only after every block, the extent section and the index are
+//! on disk. A crashed creation therefore still sniffs as v2 and is
+//! rejected at open; it can never fall back to a silent v1
+//! interpretation.
+
+use crate::format::NodeRecord;
+use arb_tree::LabelId;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+
+/// v2 file magic (first 8 bytes).
+pub const MAGIC: [u8; 8] = *b"ArbDBv2\0";
+/// Current format version stored in the header.
+pub const VERSION: u16 = 2;
+/// Header size in bytes.
+pub const HEADER_BYTES: usize = 64;
+/// Label width recorded in the header (the paper's 14-bit labels).
+pub const LABEL_BITS: u16 = 14;
+/// Records per block (64 KiB of v1-equivalent payload per block).
+pub const BLOCK_RECORDS: u32 = 32 * 1024;
+/// Nodes per extent-section window.
+pub const EXTENT_WINDOW: u32 = 16 * 1024;
+/// Bytes per node in the extent section (u32 end + u8 kind flags).
+pub const EXTENT_ENTRY_BYTES: u64 = 5;
+/// Per-block frame: record count, body length, body CRC32.
+const BLOCK_FRAME_BYTES: usize = 12;
+/// Upper bound on a block body — anything larger is corruption, not data
+/// (the worst-case varint stream for a full block is 3 bytes/record).
+const MAX_BLOCK_BODY: u32 = 4 * BLOCK_RECORDS;
+/// 14-bit label mask, mirrored from the record format.
+const LABEL_MASK: u16 = (1 << 14) - 1;
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant), hand-rolled —
+/// the workspace is fully offline, so no checksum crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[inline]
+fn zigzag(v: i32) -> u32 {
+    ((v << 1) ^ (v >> 31)) as u32
+}
+
+#[inline]
+fn unzigzag(u: u32) -> i32 {
+    ((u >> 1) as i32) ^ -((u & 1) as i32)
+}
+
+#[inline]
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(body: &[u8], pos: &mut usize) -> io::Result<u32> {
+    let mut v = 0u32;
+    for shift in [0u32, 7, 14, 21, 28] {
+        let b = *body
+            .get(*pos)
+            .ok_or_else(|| invalid("block body truncated inside a varint"))?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(invalid("varint longer than 5 bytes in block body"))
+}
+
+/// Encodes a run of records as one block body (delta/varint stream).
+pub fn encode_block(records: &[NodeRecord], out: &mut Vec<u8>) {
+    out.clear();
+    let mut prev = 0i32;
+    for r in records {
+        let delta = r.label.0 as i32 - prev;
+        prev = r.label.0 as i32;
+        let v = (zigzag(delta) << 2) | ((r.has_second as u32) << 1) | r.has_first as u32;
+        push_varint(out, v);
+    }
+}
+
+/// Decodes one block body into `out` (cleared first). Every decoded
+/// label is range-checked; record-count and length mismatches are
+/// `InvalidData`.
+pub fn decode_block(body: &[u8], n_records: u32, out: &mut Vec<NodeRecord>) -> io::Result<()> {
+    out.clear();
+    out.reserve(n_records as usize);
+    let mut prev = 0i32;
+    let mut pos = 0usize;
+    for _ in 0..n_records {
+        let v = read_varint(body, &mut pos)?;
+        let label = prev + unzigzag(v >> 2);
+        if !(0..=LABEL_MASK as i32).contains(&label) {
+            return Err(invalid("decoded label outside the 14-bit label space"));
+        }
+        prev = label;
+        out.push(NodeRecord {
+            label: LabelId(label as u16),
+            has_first: v & 1 != 0,
+            has_second: v & 2 != 0,
+        });
+    }
+    if pos != body.len() {
+        return Err(invalid("block body longer than its record count"));
+    }
+    Ok(())
+}
+
+/// The parsed, validated v2 header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Total node (record) count.
+    pub node_count: u32,
+    /// Tag count the companion `.lab` file must resolve.
+    pub tag_count: u32,
+    /// Number of record blocks.
+    pub block_count: u32,
+    /// Records per block (last block short).
+    pub block_records: u32,
+    /// File offset of the extent section.
+    pub extent_offset: u64,
+    /// File offset of the block index.
+    pub index_offset: u64,
+}
+
+impl Header {
+    /// Serializes with a valid CRC.
+    pub fn to_bytes(self) -> [u8; HEADER_BYTES] {
+        let mut b = [0u8; HEADER_BYTES];
+        b[0..8].copy_from_slice(&MAGIC);
+        b[8..10].copy_from_slice(&VERSION.to_le_bytes());
+        b[10..12].copy_from_slice(&LABEL_BITS.to_le_bytes());
+        b[12..16].copy_from_slice(&self.node_count.to_le_bytes());
+        b[16..20].copy_from_slice(&self.tag_count.to_le_bytes());
+        b[20..24].copy_from_slice(&self.block_count.to_le_bytes());
+        b[24..28].copy_from_slice(&self.block_records.to_le_bytes());
+        b[28..36].copy_from_slice(&self.extent_offset.to_le_bytes());
+        b[36..44].copy_from_slice(&self.index_offset.to_le_bytes());
+        let crc = crc32(&b[..60]);
+        b[60..64].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Parses and validates the fixed header fields.
+    pub fn parse(b: &[u8; HEADER_BYTES]) -> io::Result<Self> {
+        if b[0..8] != MAGIC {
+            return Err(invalid("not a v2 .arb file (bad magic)"));
+        }
+        let crc = u32::from_le_bytes(b[60..64].try_into().expect("4 bytes"));
+        if crc32(&b[..60]) != crc {
+            return Err(invalid(
+                "v2 header checksum mismatch (crashed creation or corruption)",
+            ));
+        }
+        let le16 = |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().expect("2 bytes"));
+        let le32 = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("4 bytes"));
+        let le64 = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        if le16(8) != VERSION {
+            return Err(invalid(format!(
+                "unsupported .arb format version {} (crashed creation leaves 65535)",
+                le16(8)
+            )));
+        }
+        if le16(10) != LABEL_BITS {
+            return Err(invalid(format!(
+                "unsupported label width {} bits",
+                le16(10)
+            )));
+        }
+        let h = Header {
+            node_count: le32(12),
+            tag_count: le32(16),
+            block_count: le32(20),
+            block_records: le32(24),
+            extent_offset: le64(28),
+            index_offset: le64(36),
+        };
+        if h.block_records == 0 {
+            return Err(invalid("v2 header: zero records per block"));
+        }
+        let expect_blocks = (h.node_count as u64).div_ceil(h.block_records as u64);
+        if h.block_count as u64 != expect_blocks {
+            return Err(invalid(
+                "v2 header: block count inconsistent with node count",
+            ));
+        }
+        Ok(h)
+    }
+}
+
+/// Block layout shared between the database handle and its scans: where
+/// each block lives and how records map onto blocks.
+#[derive(Debug)]
+pub struct BlockMap {
+    /// Total record count.
+    pub node_count: u32,
+    /// Records per block (last block short).
+    pub block_records: u32,
+    /// File offset of each block's frame.
+    pub offsets: Vec<u64>,
+}
+
+impl BlockMap {
+    /// Number of records in block `b`.
+    pub fn records_in(&self, b: u32) -> u32 {
+        let lo = b as u64 * self.block_records as u64;
+        (self.node_count as u64 - lo).min(self.block_records as u64) as u32
+    }
+
+    /// The block holding record `ix`.
+    #[inline]
+    pub fn block_of(&self, ix: u32) -> u32 {
+        ix / self.block_records
+    }
+}
+
+/// Everything `ArbDatabase::open` learns from a v2 file.
+pub struct V2Meta {
+    /// The validated header.
+    pub header: Header,
+    /// Block layout (offsets verified against the index checksum).
+    pub map: Arc<BlockMap>,
+    /// Total file length.
+    pub file_len: u64,
+}
+
+/// Number of extent windows for `n` nodes.
+pub fn extent_windows(n: u32) -> u32 {
+    (n as u64).div_ceil(EXTENT_WINDOW as u64) as u32
+}
+
+/// On-disk size of the extent section for `n` nodes.
+fn extent_section_bytes(n: u32) -> u64 {
+    extent_windows(n) as u64 * 4 + n as u64 * EXTENT_ENTRY_BYTES
+}
+
+/// File offset of extent window `w` (all windows but the last are full).
+pub fn extent_window_offset(extent_offset: u64, w: u32) -> u64 {
+    extent_offset + w as u64 * (4 + EXTENT_WINDOW as u64 * EXTENT_ENTRY_BYTES)
+}
+
+/// Reads and cross-validates the header and block index of a v2 file.
+/// Every structural claim the header makes (section offsets, index size,
+/// extent size, block offset monotonicity) is checked here, so a
+/// truncated or bit-flipped file fails at open rather than mid-query.
+pub fn read_meta<R: Read + Seek>(f: &mut R, file_len: u64) -> io::Result<V2Meta> {
+    if file_len < HEADER_BYTES as u64 {
+        return Err(invalid("v2 .arb file shorter than its header"));
+    }
+    f.seek(SeekFrom::Start(0))?;
+    let mut hb = [0u8; HEADER_BYTES];
+    f.read_exact(&mut hb)?;
+    let header = Header::parse(&hb)?;
+    let n = header.node_count;
+    let bc = header.block_count as u64;
+    let index_bytes = bc * 8 + 4;
+    if header.index_offset + index_bytes != file_len {
+        return Err(invalid("v2 .arb file truncated (index does not reach EOF)"));
+    }
+    if header.extent_offset.checked_add(extent_section_bytes(n)) != Some(header.index_offset) {
+        return Err(invalid(
+            "v2 header: extent section inconsistent with node count",
+        ));
+    }
+    if header.extent_offset < HEADER_BYTES as u64 {
+        return Err(invalid("v2 header: sections overlap the header"));
+    }
+    f.seek(SeekFrom::Start(header.index_offset))?;
+    let mut raw = vec![0u8; index_bytes as usize];
+    f.read_exact(&mut raw)?;
+    let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != crc {
+        return Err(invalid("v2 block index checksum mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(header.block_count as usize);
+    let mut prev = 0u64;
+    for c in body.chunks_exact(8) {
+        let off = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        if off <= prev && !offsets.is_empty() {
+            return Err(invalid("v2 block index: offsets not increasing"));
+        }
+        if off < HEADER_BYTES as u64 || off >= header.extent_offset {
+            return Err(invalid("v2 block index: offset outside the block area"));
+        }
+        prev = off;
+        offsets.push(off);
+    }
+    if offsets.first().is_some_and(|&o| o != HEADER_BYTES as u64) {
+        return Err(invalid("v2 block index: first block not after the header"));
+    }
+    Ok(V2Meta {
+        header,
+        map: Arc::new(BlockMap {
+            node_count: n,
+            block_records: header.block_records,
+            offsets,
+        }),
+        file_len,
+    })
+}
+
+/// Reads, checksum-verifies and decodes one block into `out`. `expected`
+/// is the record count the block map says this block must hold.
+pub fn read_block<R: Read + Seek>(
+    r: &mut R,
+    offset: u64,
+    expected: u32,
+    scratch: &mut Vec<u8>,
+    out: &mut Vec<NodeRecord>,
+) -> io::Result<()> {
+    r.seek(SeekFrom::Start(offset))?;
+    let mut frame = [0u8; BLOCK_FRAME_BYTES];
+    r.read_exact(&mut frame)?;
+    let n_records = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+    let body_len = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+    if n_records != expected {
+        return Err(invalid("v2 block record count disagrees with the header"));
+    }
+    if body_len > MAX_BLOCK_BODY {
+        return Err(invalid("v2 block body length implausibly large"));
+    }
+    scratch.resize(body_len as usize, 0);
+    r.read_exact(scratch)?;
+    if crc32(scratch) != crc {
+        return Err(invalid("v2 block checksum mismatch"));
+    }
+    decode_block(scratch, n_records, out)
+}
+
+/// Reads and checksum-verifies one extent window: `(ends, kinds)` for
+/// the node range `[w·W, min((w+1)·W, n))`.
+pub fn read_extent_window<R: Read + Seek>(
+    r: &mut R,
+    extent_offset: u64,
+    node_count: u32,
+    w: u32,
+) -> io::Result<(Vec<u32>, Vec<u8>)> {
+    let lo = w as u64 * EXTENT_WINDOW as u64;
+    if lo >= node_count as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("extent window {w} outside the database"),
+        ));
+    }
+    let len = (node_count as u64 - lo).min(EXTENT_WINDOW as u64) as usize;
+    r.seek(SeekFrom::Start(extent_window_offset(extent_offset, w)))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let mut body = vec![0u8; len * EXTENT_ENTRY_BYTES as usize];
+    r.read_exact(&mut body)?;
+    if crc32(&body) != u32::from_le_bytes(crc_bytes) {
+        return Err(invalid("v2 extent window checksum mismatch"));
+    }
+    let mut ends = Vec::with_capacity(len);
+    let mut kinds = Vec::with_capacity(len);
+    for e in body.chunks_exact(EXTENT_ENTRY_BYTES as usize) {
+        ends.push(u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")));
+        kinds.push(e[4]);
+    }
+    Ok((ends, kinds))
+}
+
+/// Streaming v2 writer: header placeholder first, then blocks as records
+/// arrive, then the extent section and block index, then the real header.
+pub struct V2Writer<W: Write + Seek> {
+    out: io::BufWriter<W>,
+    pos: u64,
+    node_count: u32,
+    tag_count: u32,
+    offsets: Vec<u64>,
+    cur: Vec<NodeRecord>,
+    body: Vec<u8>,
+    written: u64,
+}
+
+impl<W: Write + Seek> V2Writer<W> {
+    /// Starts a v2 file that will hold exactly `node_count` records.
+    pub fn new(inner: W, node_count: u32, tag_count: u32) -> io::Result<Self> {
+        let mut out = io::BufWriter::with_capacity(256 * 1024, inner);
+        // Placeholder header: the real magic with an invalid version, so
+        // a crash between here and `finish` is sniffed as v2 and
+        // rejected — never misread as a v1 record array.
+        let mut ph = [0u8; HEADER_BYTES];
+        ph[0..8].copy_from_slice(&MAGIC);
+        ph[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+        out.write_all(&ph)?;
+        Ok(V2Writer {
+            out,
+            pos: HEADER_BYTES as u64,
+            node_count,
+            tag_count,
+            offsets: Vec::new(),
+            cur: Vec::with_capacity(BLOCK_RECORDS as usize),
+            body: Vec::new(),
+            written: 0,
+        })
+    }
+
+    /// Appends one record. Labels are range-checked here — an
+    /// out-of-range `LabelId` is an error, never a silent truncation.
+    pub fn push(&mut self, rec: NodeRecord) -> io::Result<()> {
+        if rec.label.0 > LABEL_MASK {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("label #{} outside the 14-bit label space", rec.label.0),
+            ));
+        }
+        if self.written == self.node_count as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "more records than the declared node count",
+            ));
+        }
+        self.written += 1;
+        self.cur.push(rec);
+        if self.cur.len() == BLOCK_RECORDS as usize {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.cur.is_empty() {
+            return Ok(());
+        }
+        encode_block(&self.cur, &mut self.body);
+        self.offsets.push(self.pos);
+        self.out.write_all(&(self.cur.len() as u32).to_le_bytes())?;
+        self.out
+            .write_all(&(self.body.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(&self.body).to_le_bytes())?;
+        self.out.write_all(&self.body)?;
+        self.pos += (BLOCK_FRAME_BYTES + self.body.len()) as u64;
+        self.cur.clear();
+        Ok(())
+    }
+
+    /// Writes the extent section and block index, patches the real
+    /// header and returns the final file length. `ends`/`kinds` are the
+    /// per-node subtree extents and child flags (see
+    /// [`crate::traversal::subtree_extents`]).
+    pub fn finish(mut self, ends: &[u32], kinds: &[u8]) -> io::Result<u64> {
+        if self.written != self.node_count as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record underflow: {} of {} records written",
+                    self.written, self.node_count
+                ),
+            ));
+        }
+        if ends.len() != self.node_count as usize || kinds.len() != self.node_count as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "extent vectors do not match the node count",
+            ));
+        }
+        self.flush_block()?;
+        let extent_offset = self.pos;
+        let mut body: Vec<u8> =
+            Vec::with_capacity(EXTENT_WINDOW as usize * EXTENT_ENTRY_BYTES as usize);
+        for win in 0..extent_windows(self.node_count) {
+            let lo = win as usize * EXTENT_WINDOW as usize;
+            let hi = (lo + EXTENT_WINDOW as usize).min(self.node_count as usize);
+            body.clear();
+            for v in lo..hi {
+                body.extend_from_slice(&ends[v].to_le_bytes());
+                body.push(kinds[v]);
+            }
+            self.out.write_all(&crc32(&body).to_le_bytes())?;
+            self.out.write_all(&body)?;
+            self.pos += 4 + body.len() as u64;
+        }
+        let index_offset = self.pos;
+        let mut index = Vec::with_capacity(self.offsets.len() * 8);
+        for &o in &self.offsets {
+            index.extend_from_slice(&o.to_le_bytes());
+        }
+        self.out.write_all(&index)?;
+        self.out.write_all(&crc32(&index).to_le_bytes())?;
+        self.pos += index.len() as u64 + 4;
+
+        let header = Header {
+            node_count: self.node_count,
+            tag_count: self.tag_count,
+            block_count: self.offsets.len() as u32,
+            block_records: BLOCK_RECORDS,
+            extent_offset,
+            index_offset,
+        };
+        self.out.flush()?;
+        let mut inner = self
+            .out
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        inner.seek(SeekFrom::Start(0))?;
+        inner.write_all(&header.to_bytes())?;
+        inner.flush()?;
+        Ok(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        for v in [0i32, 1, -1, 63, -64, 300, -300, 16383, -16383] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = Vec::new();
+        for v in [0u32, 1, 127, 128, 16384, u32::MAX] {
+            buf.clear();
+            push_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn block_codec_roundtrip() {
+        let records: Vec<NodeRecord> = (0..1000u16)
+            .map(|i| NodeRecord {
+                label: LabelId((i * 7) % (1 << 14)),
+                has_first: i % 2 == 0,
+                has_second: i % 3 == 0,
+            })
+            .collect();
+        let mut body = Vec::new();
+        encode_block(&records, &mut body);
+        let mut out = Vec::new();
+        decode_block(&body, records.len() as u32, &mut out).unwrap();
+        assert_eq!(out, records);
+        // A truncated body is detected.
+        assert!(decode_block(&body[..body.len() - 1], records.len() as u32, &mut out).is_err());
+        // A record-count mismatch is detected.
+        assert!(decode_block(&body, records.len() as u32 - 1, &mut out).is_err());
+    }
+
+    #[test]
+    fn header_roundtrip_and_corruption() {
+        let h = Header {
+            node_count: 100_000,
+            tag_count: 7,
+            block_count: 4,
+            block_records: BLOCK_RECORDS,
+            extent_offset: 1234,
+            index_offset: 5678,
+        };
+        let bytes = h.to_bytes();
+        assert_eq!(Header::parse(&bytes).unwrap(), h);
+        let mut bad = bytes;
+        bad[13] ^= 0x10; // flip a node-count bit
+        assert!(Header::parse(&bad).is_err());
+        let mut nomagic = bytes;
+        nomagic[0] = b'X';
+        assert!(Header::parse(&nomagic).is_err());
+    }
+
+    #[test]
+    fn placeholder_header_is_rejected() {
+        let mut ph = [0u8; HEADER_BYTES];
+        ph[0..8].copy_from_slice(&MAGIC);
+        ph[8..10].copy_from_slice(&u16::MAX.to_le_bytes());
+        let err = Header::parse(&ph).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_with_meta() {
+        let n = (BLOCK_RECORDS + 17) as usize; // two blocks, last short
+        let records: Vec<NodeRecord> = (0..n)
+            .map(|i| NodeRecord {
+                label: LabelId((i % 500) as u16 + 256),
+                has_first: i % 2 == 0,
+                has_second: i % 5 == 0,
+            })
+            .collect();
+        // Extents don't need to be structurally meaningful for the codec.
+        let ends: Vec<u32> = (0..n as u32).map(|v| v + 1).collect();
+        let kinds: Vec<u8> = vec![0; n];
+        let dir = std::env::temp_dir().join(format!("arb-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.arbv2");
+        let mut w = V2Writer::new(std::fs::File::create(&path).unwrap(), n as u32, 3).unwrap();
+        for &r in &records {
+            w.push(r).unwrap();
+        }
+        let file_len = w.finish(&ends, &kinds).unwrap();
+        assert_eq!(file_len, std::fs::metadata(&path).unwrap().len());
+        let mut f = std::fs::File::open(&path).unwrap();
+        let meta = read_meta(&mut f, file_len).unwrap();
+        assert_eq!(meta.header.node_count, n as u32);
+        assert_eq!(meta.header.tag_count, 3);
+        assert_eq!(meta.header.block_count, 2);
+        assert_eq!(meta.map.records_in(0), BLOCK_RECORDS);
+        assert_eq!(meta.map.records_in(1), 17);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        let mut all = Vec::new();
+        for (b, &off) in meta.map.offsets.iter().enumerate() {
+            read_block(
+                &mut f,
+                off,
+                meta.map.records_in(b as u32),
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            all.extend_from_slice(&out);
+        }
+        assert_eq!(all, records);
+        // Extent windows read back verbatim.
+        let (e0, k0) = read_extent_window(&mut f, meta.header.extent_offset, n as u32, 0).unwrap();
+        assert_eq!(e0.len(), EXTENT_WINDOW as usize);
+        assert_eq!(&e0[..], &ends[..EXTENT_WINDOW as usize]);
+        assert_eq!(&k0[..], &kinds[..EXTENT_WINDOW as usize]);
+        let last = extent_windows(n as u32) - 1;
+        let (el, _) =
+            read_extent_window(&mut f, meta.header.extent_offset, n as u32, last).unwrap();
+        assert_eq!(el.len(), n - last as usize * EXTENT_WINDOW as usize);
+    }
+
+    #[test]
+    fn writer_rejects_out_of_range_labels_and_count_mismatch() {
+        let mut w = V2Writer::new(Cursor::new(Vec::new()), 1, 0).unwrap();
+        let bad = NodeRecord {
+            label: LabelId(1 << 14),
+            has_first: false,
+            has_second: false,
+        };
+        assert!(w.push(bad).is_err());
+        let good = NodeRecord {
+            label: LabelId(42),
+            has_first: false,
+            has_second: false,
+        };
+        w.push(good).unwrap();
+        assert!(w.push(good).is_err(), "overflow past node count");
+
+        let w = V2Writer::new(Cursor::new(Vec::new()), 2, 0).unwrap();
+        assert!(w.finish(&[1, 2], &[0, 0]).is_err(), "underflow");
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`logic`] — propositional Horn programs, LTUR, residual programs (§4.1)
 //! * [`tmnf`] — the TMNF query language and caterpillar expressions (§2.2)
 //! * [`core`] — tree automata, STAs and two-phase evaluation (§3–4)
-//! * [`storage`] — the `.arb` secondary-storage model (§5)
+//! * [`storage`] — the `.arb` secondary-storage model (§5), with two
+//!   on-disk formats: v1 (the paper's bare 2-byte records) and v2
+//!   (versioned, block-compressed, checksummed — the creation default)
 //! * [`xpath`] — Core XPath front end
 //! * [`datagen`] — workload generators for the evaluation (§6)
 //! * [`engine`] — the high-level query engine API
@@ -87,7 +89,24 @@
 //! this tiny and, since the dense-alphabet rework, a merged batch may
 //! mention **any** number of EDB atoms — the old 128 ceiling is gone),
 //! and `bu_entries`/`td_entries` (memoized δ transitions). Parallel
-//! runs report master and workers combined.
+//! runs report master and workers combined. Disk runs additionally
+//! report the storage format they read (`db_format`) and, on v2
+//! databases, how many compressed blocks the scans decoded
+//! (`blocks_decoded`).
+//!
+//! ## On-disk storage formats
+//!
+//! [`Database::create_arb_from_xml`] (and the `arb create` CLI verb)
+//! write format **v2** by default: a 64-byte checksummed header,
+//! delta/varint block-compressed records framed with per-block CRC32s,
+//! a materialized subtree-extent section, and a block index that lets
+//! range scans seek straight to the first needed block. Pass
+//! [`engine::FormatVersion::V1`] (CLI: `--format v1`) for the paper's
+//! bare-record layout; [`storage::ArbDatabase::open`] sniffs the
+//! version, so both formats are served through the same scan API and
+//! corrupt or truncated files of either format are rejected with
+//! `InvalidData` instead of silently returning wrong answers (see the
+//! `arb_storage` crate docs for the byte-level layout).
 //!
 //! ## Building and testing
 //!
@@ -102,9 +121,10 @@
 //! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The twelve root integration suites are the correctness spine:
+//! The thirteen root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
-//! `dtd_differential`, `storage_model`, `twophase_vs_naive`,
+//! `dtd_differential`, `storage_model`, `format_v2` (corrupt-file
+//! rejection plus a v1-vs-v2 differential property), `twophase_vs_naive`,
 //! `batch_differential`, `session_api`, `end_to_end`, `section_1_3`,
 //! `intern_differential` (arena interners vs. a map-based model) and
 //! `wide_alphabet` (merged batches past 128 EDB atoms).
@@ -117,8 +137,11 @@
 //! `cargo run --release -p arb-bench --bin fig5` (creation statistics),
 //! `fig6 [treebank|acgt-flat|acgt-infix|all]`, `baseline`, `multiquery`,
 //! `parallel`, `sharded` (per-thread scaling of the sharded disk path),
-//! `ablation`, and `regress` (benchmark regression tracking against the
-//! committed baselines in `crates/bench/baselines/`). Sizes scale via
+//! `ablation`, `storagefmt` (v1 vs. v2 creation, file size and cold/warm
+//! scan throughput), and `regress` (benchmark regression tracking
+//! against the committed baselines in `crates/bench/baselines/`, now
+//! including storage file-size and decode-throughput metrics). Sizes
+//! scale via
 //! `ARB_ACGT_LOG2`, `ARB_TREEBANK_ELEMS` and friends — see the
 //! `arb_bench` crate docs.
 

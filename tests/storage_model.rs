@@ -75,7 +75,28 @@ proptest! {
                 lt.name(direct.label(v)).into_owned()
             );
         }
-        // Paper file-size invariants: .arb = 2 bytes/node, .evt = 2×.
+        // Creation defaults to format v2: the `.evt` event file keeps the
+        // paper's 4 bytes/node, while `.arb` is the block-compressed file
+        // (64-byte header + checksummed frames, so never empty).
+        prop_assert_eq!(stats.evt_bytes, stats.nodes() * 4);
+        prop_assert!(stats.arb_bytes > 64);
+        prop_assert_eq!(stats.arb_bytes, db.file_bytes());
+    }
+
+    /// With format v1 pinned, the paper's exact file-size invariants
+    /// hold: `.arb` = 2 bytes/node, `.evt` = 2×.
+    #[test]
+    fn v1_creation_keeps_paper_sizes(xml in random_xml()) {
+        let path = tmp("c1.arb");
+        let (stats, _labels) = arb::storage::create_from_xml_with(
+            Cursor::new(xml.as_bytes()),
+            &XmlConfig::default(),
+            &path,
+            arb::storage::FormatVersion::V1,
+        )
+        .expect("create");
+        let db = ArbDatabase::open(&path).expect("open");
+        prop_assert_eq!(db.format_version(), 1);
         prop_assert_eq!(stats.arb_bytes, stats.nodes() * 2);
         prop_assert_eq!(stats.evt_bytes, stats.arb_bytes * 2);
     }
