@@ -16,7 +16,14 @@
 //!
 //! Usage: `regress --check` (default) fails with a diff summary on any
 //! mismatch; `regress --write` regenerates the baseline file after an
-//! intentional change (commit the result).
+//! intentional change (commit the result). `regress --write <path>`
+//! writes the fresh metrics to `<path>` instead of the committed
+//! baseline — CI uses this to publish the current numbers as a workflow
+//! artifact without dirtying the checkout.
+//!
+//! Independent of the mode, collection hard-asserts the `.sta`
+//! compression guarantee: every baseline query must encode its state
+//! stream in under the paper's 4 bytes per node.
 
 use arb_core::evaluate_tree;
 use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
@@ -134,12 +141,25 @@ fn collect() -> Vec<(String, Metric)> {
         let prog = compile_path(&path, &mut ql);
         let mut phase1_ms = 0.0;
         let mut selected = 0;
+        let mut sta_encoded = 0;
         for _ in 0..SCAN_RUNS {
             let o = evaluate_disk(&prog, &fdb).expect("evaluation");
             phase1_ms += o.stats.phase1_time.as_secs_f64() * 1e3;
             selected = o.stats.selected;
+            sta_encoded = o.stats.sta_encoded_bytes;
         }
         count(&mut out, format!("storage.{format}.selected"), selected);
+        count(
+            &mut out,
+            format!("storage.{format}.sta_encoded_bytes"),
+            sta_encoded,
+        );
+        assert!(
+            sta_encoded < stree.len() as u64 * 4,
+            "storage.{format}: .sta stream must encode under 4 B/node \
+             ({sta_encoded} bytes for {} nodes)",
+            stree.len()
+        );
         if format == FormatVersion::V2 {
             count(
                 &mut out,
@@ -190,6 +210,20 @@ fn collect() -> Vec<(String, Metric)> {
             &mut out,
             format!("baseline.q{i}.trans2"),
             o.stats.phase2_transitions,
+        );
+        count(
+            &mut out,
+            format!("baseline.q{i}.sta_encoded_bytes"),
+            o.stats.sta_encoded_bytes,
+        );
+        // The ISSUE-7 acceptance gate: the compressed state stream beats
+        // the paper's 4 B/node on every baseline query, unconditionally.
+        assert!(
+            o.stats.sta_encoded_bytes < o.stats.nodes * 4,
+            "baseline.q{i}: .sta stream must encode under 4 B/node \
+             ({} bytes for {} nodes)",
+            o.stats.sta_encoded_bytes,
+            o.stats.nodes
         );
     }
     out.push(("baseline.phase1_ms".into(), Metric::TimeMs(phase1_ms)));
@@ -328,7 +362,12 @@ fn main() {
     let metrics = collect();
     match mode.as_str() {
         "--write" => {
-            std::fs::create_dir_all(path.parent().unwrap()).expect("baselines dir");
+            // An optional output path diverts the fresh metrics (the CI
+            // artifact); without one the committed baseline is rewritten.
+            let path = std::env::args().nth(2).map(PathBuf::from).unwrap_or(path);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("baselines dir");
+            }
             std::fs::write(&path, render(&metrics)).expect("write baseline");
             println!("wrote {} metrics to {}", metrics.len(), path.display());
         }
@@ -376,7 +415,7 @@ fn main() {
             println!("\nall {} metrics within baseline", metrics.len());
         }
         other => {
-            eprintln!("usage: regress [--check|--write]  (got {other:?})");
+            eprintln!("usage: regress [--check|--write [out-path]]  (got {other:?})");
             std::process::exit(2);
         }
     }

@@ -331,6 +331,14 @@ fn print_stats(
             session.len()
         );
     }
+    if batch.stats.sta_encoded_bytes > 0 {
+        println!(
+            "# .sta stream: {} bytes encoded for {} bytes of states read back ({:.2} B/node)",
+            batch.stats.sta_encoded_bytes,
+            batch.stats.sta_decoded_bytes,
+            batch.stats.sta_encoded_bytes as f64 / batch.stats.nodes.max(1) as f64,
+        );
+    }
 }
 
 /// `--explain`: print the compiled program(s) without evaluating.

@@ -265,7 +265,8 @@ pub fn evaluate_tree_parallel(
         nodes: n as u64,
         backward_scans: 1,
         forward_scans: 1,
-        sta_bytes: 0,
+        sta_encoded_bytes: 0,
+        sta_decoded_bytes: 0,
         db_format: 0,
         blocks_decoded: 0,
         interning: {

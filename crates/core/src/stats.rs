@@ -37,12 +37,20 @@ pub struct EvalStats {
     /// Forward (phase-2) linear scans / preorder sweeps performed.
     /// Exactly one per evaluation (zero for boolean document filtering).
     pub forward_scans: u64,
-    /// Bytes of temporary `.sta` state-file space the run used — 4 bytes
-    /// per node on the disk path (paper footnote 12), 0 for in-memory
-    /// evaluation and boolean document filtering. Reported here because
-    /// the uniquely named scratch file itself is deleted when the run
-    /// finishes.
-    pub sta_bytes: u64,
+    /// Bytes of temporary `.sta` state-stream data the run put on disk.
+    /// The paper's flat layout (footnote 12) costs exactly 4 bytes per
+    /// node; the default block-compressed layout typically lands well
+    /// under that (delta/varint + run-length + skip-default encoding).
+    /// 0 for in-memory evaluation and boolean document filtering.
+    /// Reported here because the uniquely named scratch file itself is
+    /// deleted when the run finishes.
+    pub sta_encoded_bytes: u64,
+    /// Bytes of state data phase 2 consumed from the `.sta` stream — 4
+    /// per state served, i.e. the flat-equivalent volume the encoded
+    /// bytes above stand in for. Sharded non-streaming runs read fewer
+    /// states than sequential runs (spine states stay in memory), so
+    /// this also exposes how much of the stream each strategy touched.
+    pub sta_decoded_bytes: u64,
     /// On-disk format version of the database the run scanned (1 or 2),
     /// or 0 for in-memory evaluation.
     pub db_format: u8,

@@ -200,6 +200,19 @@ pub fn evaluate_disk_batch_opts(
     threads: usize,
     hook: Option<Phase2Hook<'_>>,
 ) -> io::Result<BatchOutcome> {
+    evaluate_disk_batch_opts_sta(batch, db, threads, hook, arb_storage::StaFormat::from_env())
+}
+
+/// [`evaluate_disk_batch_opts`] with an explicit `.sta` stream format —
+/// the session surface resolves `EvalOptions::sta_format` (falling back
+/// to `ARB_STA_FORMAT`) and passes it down here.
+pub(crate) fn evaluate_disk_batch_opts_sta(
+    batch: &QueryBatch,
+    db: &ArbDatabase,
+    threads: usize,
+    hook: Option<Phase2Hook<'_>>,
+    format: arb_storage::StaFormat,
+) -> io::Result<BatchOutcome> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
@@ -207,9 +220,16 @@ pub fn evaluate_disk_batch_opts(
     // one node set per query directly inside the phase-2 scan.
     let groups = batch.query_atoms();
     let (merged_outcome, group_sets) = if threads > 1 {
-        crate::diskeval::evaluate_disk_grouped_parallel(&batch.merged, db, &groups, hook, threads)?
+        crate::diskeval::evaluate_disk_grouped_parallel(
+            &batch.merged,
+            db,
+            &groups,
+            hook,
+            threads,
+            format,
+        )?
     } else {
-        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook)?
+        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook, format)?
     };
     // A single-query batch gets its set back as the union.
     let group_sets = if group_sets.is_empty() {

@@ -52,7 +52,7 @@ pub mod output;
 pub mod query;
 pub mod session;
 
-pub use arb_storage::FormatVersion;
+pub use arb_storage::{FormatVersion, StaFormat};
 pub use batch::{
     evaluate_boolean_batch, evaluate_boolean_batch_opts, evaluate_disk_batch,
     evaluate_disk_batch_opts, evaluate_disk_batch_with_hook, BatchOutcome, QueryBatch,

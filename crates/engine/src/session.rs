@@ -54,6 +54,11 @@ pub struct EvalOptions {
     /// of the results (the CLI's `--stats`); the engine always collects
     /// [`arb_core::EvalStats`] either way.
     pub verbose_stats: bool,
+    /// The on-disk layout of the run's `.sta` state stream (see
+    /// [`arb_storage::StaFormat`]): `None` (the default) defers to the
+    /// `ARB_STA_FORMAT` environment variable, which itself defaults to
+    /// the block-compressed layout. Only the disk backend consults it.
+    pub sta_format: Option<arb_storage::StaFormat>,
 }
 
 /// A builder describing one evaluation run of a [`Session`].
@@ -88,6 +93,12 @@ impl EvalRequest {
     /// Sets [`EvalOptions::verbose_stats`].
     pub fn verbose_stats(mut self, yes: bool) -> Self {
         self.options.verbose_stats = yes;
+        self
+    }
+
+    /// Sets [`EvalOptions::sta_format`] (the `.sta` stream layout).
+    pub fn sta_format(mut self, format: arb_storage::StaFormat) -> Self {
+        self.options.sta_format = Some(format);
         self
     }
 
@@ -449,11 +460,13 @@ impl<'db> Session<'db> {
                         None
                     };
                     match disk {
-                        Some(d) => crate::batch::evaluate_disk_batch_opts(
+                        Some(d) => crate::batch::evaluate_disk_batch_opts_sta(
                             batch,
                             d,
                             opts.parallelism,
                             hook,
+                            opts.sta_format
+                                .unwrap_or_else(arb_storage::StaFormat::from_env),
                         )?,
                         None => crate::batch::evaluate_tree_batch_opts(
                             batch,

@@ -653,7 +653,7 @@ mod tests {
         assert_ne!(a.path(), b.path(), "two runs must never share a path");
         assert!(a.path().to_string_lossy().ends_with(".sta"));
         assert_eq!(a.path().parent(), arb.parent());
-        crate::stafile::allocate(a.path(), 4).unwrap();
+        crate::stafile::allocate(a.path(), 4, crate::stafile::StaFormat::Flat).unwrap();
         let kept = a.path().to_path_buf();
         drop(a);
         assert!(!kept.exists(), "scratch file must vanish with its guard");

@@ -40,6 +40,21 @@
 //!   right block. Truncation, bit flips, checksum damage and crashed
 //!   creations are all rejected at open or scan time with
 //!   `InvalidData`. See [`v2`] for the exact byte layout.
+//!
+//! ## The `.sta` state stream
+//!
+//! Two-phase evaluation writes one state id per node to a temporary
+//! `.sta` stream during the backward phase-1 scan and reads it back in
+//! lockstep with the forward phase-2 scan. Like `.arb` records it has
+//! two layouts behind one API ([`StaFormat`], default blocked,
+//! `ARB_STA_FORMAT=flat` for the paper's bare 4-bytes-per-node array):
+//! the blocked layout groups states into fixed-record-count blocks, each
+//! framed `{n_records, body_len, crc32}` like a v2 record block, with a
+//! body of LEB128 varint tokens — delta-coded literals, run-length runs,
+//! and a **skip-default** run token eliding nodes whose state equals the
+//! block's most frequent state. Sharded runs compose out of per-worker
+//! segment side files plus a spine patch file; see [`stafile`] for the
+//! exact byte layout and the sharding story.
 
 pub mod create;
 pub mod db;
@@ -59,6 +74,6 @@ pub use create::{
 pub use db::ArbDatabase;
 pub use format::NodeRecord;
 pub use scan::{BackwardScan, ForwardScan};
-pub use stafile::ScratchPath;
+pub use stafile::{ScratchPath, StaFormat};
 pub use stats::{profile, Profile};
 pub use traversal::{bottom_up_scan, subtree_extents, top_down_scan, DownContext};

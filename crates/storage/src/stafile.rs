@@ -1,4 +1,4 @@
-//! The temporary `.sta` state file connecting the two phases.
+//! The temporary `.sta` state stream connecting the two phases.
 //!
 //! "Since the run of A may be very large and B needs to process it, we
 //! write it to the disk. In our implementation, we write the pointer to
@@ -6,21 +6,145 @@
 //! node v, in the order we visit the nodes. Our temporary file thus
 //! consumes four bytes per node." (paper footnote 12)
 //!
-//! Phase 1 visits nodes backwards, so state ids are written through a
-//! [`RevWriter`] and land at offset `4·ix` for preorder index `ix`;
-//! phase 2 then reads the file forward, aligned with its forward `.arb`
-//! scan.
+//! Two layouts implement that contract behind one API, selected by
+//! [`StaFormat`] (default [`StaFormat::Blocked`], overridable with
+//! `ARB_STA_FORMAT=flat`):
+//!
+//! * **flat** — the paper's layout verbatim: a bare array of `n`
+//!   little-endian `u32` state ids. Phase 1 visits nodes backwards, so
+//!   ids are written through a [`RevWriter`] and land at offset `4·ix`
+//!   for preorder index `ix`; sharded runs pre-[`allocate`] the file and
+//!   write disjoint byte windows concurrently.
+//!
+//! * **blocked** — a block-framed compressed stream mirroring the v2
+//!   record design (see [`crate::v2`]). States are grouped into
+//!   fixed-record-count blocks ([`DEFAULT_BLOCK_RECORDS`], overridable
+//!   with `ARB_STA_BLOCK_RECORDS` for boundary tests); each block body
+//!   opens with the block's **default state** (its most frequent
+//!   run value — the role the schema default plays in skip-default
+//!   encodings) and then a token stream of LEB128 varints `v` with
+//!   `v & 3` as the tag:
+//!
+//!   | tag | meaning |
+//!   |-----|---------|
+//!   | 0 | literal: `state = prev + unzigzag(v >> 2)`, updates `prev` |
+//!   | 1 | a run of `v >> 2` nodes whose state **is the default** (the skip-default elision — such nodes cost amortized well under a byte) |
+//!   | 2 | a run of `v >> 2` repeats of `prev` (run-length encoding) |
+//!   | 3 | reserved — rejected as `InvalidData` |
+//!
+//!   `prev` starts at the default state per block. Each block is framed
+//!   `{n_records: u32, body_len: u32, crc32(body): u32}` and decodes
+//!   into a reusable buffer, so phase 2 serves states from a decoded
+//!   block with a bounds check instead of one buffered 4-byte file read
+//!   per node.
+//!
+//! Because compressed blocks have variable length, a backward writer
+//! cannot drop them at their final offsets the way the flat layout can.
+//! A blocked **segment** `[lo, hi)` is therefore its own append-only
+//! side file (`<path>.seg-<lo>`): the writer buffers one block of
+//! states, and every time the backward pass crosses a block's lower
+//! boundary it reverses the buffer, encodes, and appends the finished
+//! frame — blocks land in reverse block order and a checksummed footer
+//! (per-block file offsets, forward order) plus an 8-byte trailer
+//! (footer offset) make them seekable again. Sharded runs compose
+//! exactly as in the flat layout: the coordinator's [`allocate`] writes
+//! a small manifest at `<path>`, each worker appends its own segment
+//! file concurrently, and the spine patcher writes `(ix, state)` pairs
+//! to `<path>.patch`. A sequential run writes one segment `[0, n)`
+//! directly at `<path>`. [`StateFileReader`] stitches segments and
+//! patches back into one preorder stream; coverage gaps, truncated
+//! frames, checksum damage and reserved tags all surface as
+//! `InvalidData` with context — never a bare `UnexpectedEof`.
 
 use crate::rev::RevWriter;
+use crate::v2::crc32;
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Bytes per state entry.
+/// Bytes per state entry in the flat layout (and per *decoded* state).
 pub const STATE_BYTES: usize = 4;
 
-/// A uniquely named scratch-file path that deletes the file when
-/// dropped. Evaluations obtain one via
+/// Magic of a blocked segment file.
+pub const SEG_MAGIC: [u8; 8] = *b"ArbSTA1\0";
+/// Magic of a blocked multi-segment manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"ArbSTAm\0";
+/// Magic of a blocked patch (spine) file.
+pub const PATCH_MAGIC: [u8; 8] = *b"ArbSTAp\0";
+
+/// Records per blocked-stream block (128 KiB of flat-equivalent payload).
+pub const DEFAULT_BLOCK_RECORDS: u32 = 32 * 1024;
+
+/// Segment header: magic, lo, hi, block_records.
+const SEG_HEADER_BYTES: u64 = 8 + 8 + 8 + 4;
+/// Per-block frame: record count, body length, body CRC32.
+const BLOCK_FRAME_BYTES: usize = 12;
+/// Manifest: magic, node count, block_records, CRC32 of the first 20.
+const MANIFEST_BYTES: u64 = 8 + 8 + 4 + 4;
+/// Patch entry: node index (u64) + state (u32).
+const PATCH_ENTRY_BYTES: u64 = 12;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The on-disk layout of the `.sta` stream (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaFormat {
+    /// Block-framed compressed stream (delta/varint + run-length +
+    /// skip-default). The default.
+    #[default]
+    Blocked,
+    /// The paper's bare 4-bytes-per-node layout (footnote 12), kept
+    /// selectable (`ARB_STA_FORMAT=flat`) for differential suites and
+    /// ablation benchmarks.
+    Flat,
+}
+
+impl StaFormat {
+    /// Parses a format name (`"blocked"`/`"flat"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<StaFormat> {
+        match s.to_ascii_lowercase().as_str() {
+            "blocked" | "block" => Some(StaFormat::Blocked),
+            "flat" | "raw" => Some(StaFormat::Flat),
+            _ => None,
+        }
+    }
+
+    /// The format selected by `ARB_STA_FORMAT`, defaulting to
+    /// [`StaFormat::Blocked`] (unknown values fall back to the default).
+    pub fn from_env() -> StaFormat {
+        std::env::var("ARB_STA_FORMAT")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+}
+
+impl std::fmt::Display for StaFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StaFormat::Blocked => "blocked",
+            StaFormat::Flat => "flat",
+        })
+    }
+}
+
+/// Records per block, honoring the `ARB_STA_BLOCK_RECORDS` override
+/// (clamped to `[16, 1Mi]`; the tiny end exists so differential tests
+/// can straddle many block boundaries on small documents).
+pub fn block_records_from_env() -> u32 {
+    std::env::var("ARB_STA_BLOCK_RECORDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|v| v.clamp(16, 1 << 20))
+        .unwrap_or(DEFAULT_BLOCK_RECORDS)
+}
+
+/// A uniquely named scratch-file path that deletes the file **and every
+/// sibling side file** (`<path>.seg-*`, `<path>.patch`) when dropped.
+/// Evaluations obtain one via
 /// [`ArbDatabase::scratch_sta`](crate::ArbDatabase::scratch_sta) so that
 /// concurrent runs over the same database never share a `.sta` stream.
 #[derive(Debug)]
@@ -42,108 +166,763 @@ impl ScratchPath {
 
 impl Drop for ScratchPath {
     fn drop(&mut self) {
-        // Best effort: the file may never have been created (boolean
-        // verdicts skip the `.sta` stream entirely).
+        // Best effort: the files may never have been created (boolean
+        // verdicts skip the `.sta` stream entirely). The scratch name is
+        // unique (pid + counter), so the `<name>.` prefix match cannot
+        // hit another run's files.
         let _ = std::fs::remove_file(&self.path);
+        let (Some(dir), Some(name)) = (
+            self.path.parent(),
+            self.path.file_name().and_then(|n| n.to_str()),
+        ) else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let f = e.file_name();
+            if let Some(f) = f.to_str() {
+                if f.len() > name.len() && f.starts_with(name) && f.as_bytes()[name.len()] == b'.' {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
     }
 }
 
-/// Pre-sizes a state file for `n` nodes without writing any states —
-/// the coordinator of a sharded run calls this once before workers open
-/// their disjoint [`StateFileWriter::segment`]s of it.
-pub fn allocate(path: &Path, n: u64) -> io::Result<()> {
-    let f = File::create(path)?;
-    f.set_len(n * STATE_BYTES as u64)?;
+fn seg_path(base: &Path, lo: u64) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".seg-{lo}"));
+    PathBuf::from(os)
+}
+
+fn patch_path(base: &Path) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".patch");
+    PathBuf::from(os)
+}
+
+/// Prepares a shared state stream for `n` nodes without writing any
+/// states — the coordinator of a sharded run calls this once before
+/// workers open their disjoint [`StateFileWriter::segment`]s. Flat:
+/// pre-sizes the file (workers write disjoint byte windows of it).
+/// Blocked: writes a manifest recording `n` (workers append their own
+/// side files). Returns the encoded bytes this step itself produced.
+pub fn allocate(path: &Path, n: u64, format: StaFormat) -> io::Result<u64> {
+    match format {
+        StaFormat::Flat => {
+            let f = File::create(path)?;
+            f.set_len(n * STATE_BYTES as u64)?;
+            Ok(0) // the n·4 payload is accounted to the segment writers
+        }
+        StaFormat::Blocked => {
+            let mut bytes = Vec::with_capacity(MANIFEST_BYTES as usize);
+            bytes.extend_from_slice(&MANIFEST_MAGIC);
+            bytes.extend_from_slice(&n.to_le_bytes());
+            bytes.extend_from_slice(&block_records_from_env().to_le_bytes());
+            let crc = crc32(&bytes);
+            bytes.extend_from_slice(&crc.to_le_bytes());
+            let mut f = File::create(path)?;
+            f.write_all(&bytes)?;
+            f.flush()?;
+            Ok(bytes.len() as u64)
+        }
+    }
+}
+
+// --- blocked codec ----------------------------------------------------
+
+#[inline]
+fn zigzag64(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag64(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+#[inline]
+fn push_varint64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint64(body: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    for shift in 0..10u32 {
+        let b = *body
+            .get(*pos)
+            .ok_or_else(|| invalid(".sta block body truncated inside a varint"))?;
+        *pos += 1;
+        v |= ((b & 0x7F) as u64) << (7 * shift);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(invalid("varint longer than 10 bytes in .sta block body"))
+}
+
+/// Encodes one block of states (forward preorder) as a token stream,
+/// reusing `runs` as scratch. See the module docs for the token grammar.
+fn encode_sta_block(states: &[u32], runs: &mut Vec<(u32, u32)>, out: &mut Vec<u8>) {
+    out.clear();
+    runs.clear();
+    for &s in states {
+        match runs.last_mut() {
+            Some((v, len)) if *v == s => *len += 1,
+            _ => runs.push((s, 1)),
+        }
+    }
+    // The block's default state: the run value covering the most nodes.
+    let mut totals: HashMap<u32, u64> = HashMap::new();
+    for &(v, len) in runs.iter() {
+        *totals.entry(v).or_insert(0) += len as u64;
+    }
+    let default = totals
+        .into_iter()
+        .max_by_key(|&(v, total)| (total, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+        .unwrap_or(0);
+    push_varint64(out, default as u64);
+    let mut prev = default;
+    for &(v, len) in runs.iter() {
+        if v == default {
+            push_varint64(out, ((len as u64) << 2) | 1);
+        } else {
+            // Tag 0 (literal) is the two low zero bits of the shift.
+            push_varint64(out, zigzag64(v as i64 - prev as i64) << 2);
+            prev = v;
+            if len > 1 {
+                push_varint64(out, (((len - 1) as u64) << 2) | 2);
+            }
+        }
+    }
+}
+
+/// Decodes one block body into `out` (cleared first). Length and count
+/// mismatches, reserved tags, and out-of-range states are `InvalidData`.
+fn decode_sta_block(body: &[u8], n_records: u32, out: &mut Vec<u32>) -> io::Result<()> {
+    out.clear();
+    out.reserve(n_records as usize);
+    let n = n_records as usize;
+    let mut pos = 0usize;
+    let default = read_varint64(body, &mut pos)?;
+    if default > u32::MAX as u64 {
+        return Err(invalid(".sta block default state out of range"));
+    }
+    let default = default as u32;
+    let mut prev = default;
+    while out.len() < n {
+        let v = read_varint64(body, &mut pos)?;
+        match v & 3 {
+            0 => {
+                let s = prev as i64 + unzigzag64(v >> 2);
+                if !(0..=u32::MAX as i64).contains(&s) {
+                    return Err(invalid(".sta literal state out of the u32 range"));
+                }
+                prev = s as u32;
+                out.push(prev);
+            }
+            tag @ (1 | 2) => {
+                let count = v >> 2;
+                if count == 0 || count > (n - out.len()) as u64 {
+                    return Err(invalid(".sta run overruns its block"));
+                }
+                let fill = if tag == 1 { default } else { prev };
+                for _ in 0..count {
+                    out.push(fill);
+                }
+            }
+            _ => return Err(invalid("reserved token tag 3 in .sta block")),
+        }
+    }
+    if pos != body.len() {
+        return Err(invalid(".sta block body longer than its record count"));
+    }
     Ok(())
+}
+
+/// The append-only writer of one blocked segment file covering `[lo, hi)`
+/// (see the module docs for why blocks land in reverse completion order).
+struct BlockedSegWriter {
+    out: BufWriter<File>,
+    lo: u64,
+    hi: u64,
+    block_records: u32,
+    /// Next index to receive a state is `pos − 1`; counts down to `lo`.
+    pos: u64,
+    /// States of the block being filled, in reverse (visit) order.
+    cur: Vec<u32>,
+    /// Per block (forward order), the file offset of its frame.
+    offsets: Vec<u64>,
+    file_pos: u64,
+    body: Vec<u8>,
+    runs: Vec<(u32, u32)>,
+}
+
+fn sta_block_count(lo: u64, hi: u64, block_records: u32) -> u64 {
+    (hi - lo).div_ceil(block_records as u64)
+}
+
+impl BlockedSegWriter {
+    fn create(path: &Path, lo: u64, hi: u64, block_records: u32) -> io::Result<Self> {
+        debug_assert!(lo <= hi && block_records >= 1);
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&SEG_MAGIC)?;
+        out.write_all(&lo.to_le_bytes())?;
+        out.write_all(&hi.to_le_bytes())?;
+        out.write_all(&block_records.to_le_bytes())?;
+        let blocks = sta_block_count(lo, hi, block_records) as usize;
+        Ok(BlockedSegWriter {
+            out,
+            lo,
+            hi,
+            block_records,
+            pos: hi,
+            cur: Vec::with_capacity(block_records.min(1 << 16) as usize),
+            offsets: vec![u64::MAX; blocks],
+            file_pos: SEG_HEADER_BYTES,
+            body: Vec::new(),
+            runs: Vec::new(),
+        })
+    }
+
+    fn write_state(&mut self, state: u32) -> io::Result<()> {
+        if self.pos == self.lo {
+            return Err(invalid(format!(
+                "segment [{}, {}) received more states than it holds",
+                self.lo, self.hi
+            )));
+        }
+        self.cur.push(state);
+        self.pos -= 1;
+        if self.pos == self.lo || (self.pos - self.lo).is_multiple_of(self.block_records as u64) {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Appends the finished block `[self.pos, self.pos + cur.len())`.
+    fn flush_block(&mut self) -> io::Result<()> {
+        self.cur.reverse();
+        encode_sta_block(&self.cur, &mut self.runs, &mut self.body);
+        let j = ((self.pos - self.lo) / self.block_records as u64) as usize;
+        self.offsets[j] = self.file_pos;
+        self.out.write_all(&(self.cur.len() as u32).to_le_bytes())?;
+        self.out
+            .write_all(&(self.body.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(&self.body).to_le_bytes())?;
+        self.out.write_all(&self.body)?;
+        self.file_pos += (BLOCK_FRAME_BYTES + self.body.len()) as u64;
+        self.cur.clear();
+        Ok(())
+    }
+
+    /// Writes footer + trailer; errors unless exactly `hi − lo` states
+    /// arrived. Returns the segment file's total size in bytes.
+    fn finish(mut self) -> io::Result<u64> {
+        if self.pos != self.lo {
+            return Err(invalid(format!(
+                "segment [{}, {}) finished with {} states missing",
+                self.lo,
+                self.hi,
+                self.pos - self.lo
+            )));
+        }
+        debug_assert!(self.cur.is_empty());
+        let footer_offset = self.file_pos;
+        let mut footer = Vec::with_capacity(self.offsets.len() * 8 + 4);
+        for &off in &self.offsets {
+            debug_assert_ne!(off, u64::MAX, "every block must have been flushed");
+            footer.extend_from_slice(&off.to_le_bytes());
+        }
+        let crc = crc32(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        self.out.write_all(&footer)?;
+        self.out.write_all(&footer_offset.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(footer_offset + footer.len() as u64 + 8)
+    }
+}
+
+/// One opened blocked segment: validated header + footer index, blocks
+/// loaded on demand.
+struct BlockedSegment {
+    f: File,
+    lo: u64,
+    hi: u64,
+    block_records: u32,
+    offsets: Vec<u64>,
+}
+
+impl BlockedSegment {
+    fn open(path: &Path) -> io::Result<Self> {
+        let mut f = File::open(path)?;
+        let len = f.metadata()?.len();
+        let mut header = [0u8; SEG_HEADER_BYTES as usize];
+        read_exact_ctx(&mut f, &mut header, "segment header")?;
+        if header[..8] != SEG_MAGIC {
+            return Err(invalid(format!(
+                "{}: not a blocked .sta segment (bad magic)",
+                path.display()
+            )));
+        }
+        let lo = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let hi = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let block_records = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        if lo > hi || !(1..=1 << 22).contains(&block_records) {
+            return Err(invalid("implausible .sta segment header"));
+        }
+        let blocks = sta_block_count(lo, hi, block_records);
+        let footer_len = blocks * 8 + 4;
+        if len < SEG_HEADER_BYTES + footer_len + 8 {
+            return Err(invalid("state segment truncated (no footer)"));
+        }
+        f.seek(SeekFrom::Start(len - 8))?;
+        let mut tr = [0u8; 8];
+        read_exact_ctx(&mut f, &mut tr, "segment trailer")?;
+        let footer_offset = u64::from_le_bytes(tr);
+        if footer_offset < SEG_HEADER_BYTES || footer_offset + footer_len + 8 != len {
+            return Err(invalid("state segment truncated (bad footer offset)"));
+        }
+        f.seek(SeekFrom::Start(footer_offset))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        read_exact_ctx(&mut f, &mut footer, "segment footer")?;
+        let (body, crc_bytes) = footer.split_at(footer.len() - 4);
+        if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+            return Err(invalid("state segment footer checksum mismatch"));
+        }
+        let offsets: Vec<u64> = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for &off in &offsets {
+            if off < SEG_HEADER_BYTES || off >= footer_offset {
+                return Err(invalid("state segment block offset out of range"));
+            }
+        }
+        Ok(BlockedSegment {
+            f,
+            lo,
+            hi,
+            block_records,
+            offsets,
+        })
+    }
+
+    /// Record count of block `j` (the last block is short).
+    fn block_len(&self, j: usize) -> u32 {
+        let start = self.lo + j as u64 * self.block_records as u64;
+        (self.hi - start).min(self.block_records as u64) as u32
+    }
+
+    /// Decodes block `j` into `out`.
+    fn load_block(&mut self, j: usize, out: &mut Vec<u32>, body: &mut Vec<u8>) -> io::Result<()> {
+        let expect = self.block_len(j);
+        self.f.seek(SeekFrom::Start(self.offsets[j]))?;
+        let mut frame = [0u8; BLOCK_FRAME_BYTES];
+        read_exact_ctx(&mut self.f, &mut frame, "block frame")?;
+        let n_records = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+        let body_len = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let crc = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+        if n_records != expect {
+            return Err(invalid(format!(
+                ".sta block {j} holds {n_records} records, expected {expect}"
+            )));
+        }
+        // Worst-case body: one 10-byte varint per record plus the default.
+        if body_len as u64 > 10 * (n_records as u64 + 1) {
+            return Err(invalid(".sta block body length implausibly large"));
+        }
+        body.clear();
+        body.resize(body_len as usize, 0);
+        read_exact_ctx(&mut self.f, body, "block body")?;
+        if crc32(body) != crc {
+            return Err(invalid(".sta block checksum mismatch"));
+        }
+        decode_sta_block(body, n_records, out)
+    }
+}
+
+/// Turns a short read anywhere inside the blocked layout into
+/// `InvalidData` with context (the reader contract: truncation is
+/// corruption, not EOF).
+fn read_exact_ctx(f: &mut impl Read, buf: &mut [u8], what: &str) -> io::Result<()> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("state file truncated reading the {what}"))
+        } else {
+            e
+        }
+    })
+}
+
+/// Reads the `<path>.patch` spine file into a map (absent file = empty).
+fn load_patch(base: &Path) -> io::Result<HashMap<u64, u32>> {
+    let p = patch_path(base);
+    let bytes = match std::fs::read(&p) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 8 || bytes[..8] != PATCH_MAGIC || (bytes.len() - 8) % 12 != 0 {
+        return Err(invalid("state patch file truncated or malformed"));
+    }
+    let mut map = HashMap::with_capacity((bytes.len() - 8) / 12);
+    for entry in bytes[8..].chunks_exact(12) {
+        let ix = u64::from_le_bytes(entry[0..8].try_into().unwrap());
+        let state = u32::from_le_bytes(entry[8..12].try_into().unwrap());
+        map.insert(ix, state);
+    }
+    Ok(map)
+}
+
+// --- the public writer/reader/patcher facade --------------------------
+
+enum WriterInner {
+    Flat(RevWriter<File>, u64),
+    Blocked(BlockedSegWriter),
 }
 
 /// Writes state ids during the backward phase-1 scan.
 pub struct StateFileWriter {
-    inner: RevWriter<File>,
+    inner: WriterInner,
 }
 
 impl StateFileWriter {
-    /// Creates a state file for `n` nodes.
-    pub fn create(path: &Path, n: u64) -> io::Result<Self> {
-        allocate(path, n)?;
-        let f = OpenOptions::new().write(true).open(path)?;
-        Ok(StateFileWriter {
-            inner: RevWriter::new(f, n * STATE_BYTES as u64),
-        })
+    /// Creates a state stream for `n` nodes (a sequential run's single
+    /// segment `[0, n)`).
+    pub fn create(path: &Path, n: u64, format: StaFormat) -> io::Result<Self> {
+        match format {
+            StaFormat::Flat => {
+                allocate(path, n, StaFormat::Flat)?;
+                let f = OpenOptions::new().write(true).open(path)?;
+                Ok(StateFileWriter {
+                    inner: WriterInner::Flat(RevWriter::new(f, n * STATE_BYTES as u64), n),
+                })
+            }
+            StaFormat::Blocked => Ok(StateFileWriter {
+                inner: WriterInner::Blocked(BlockedSegWriter::create(
+                    path,
+                    0,
+                    n,
+                    block_records_from_env(),
+                )?),
+            }),
+        }
     }
 
-    /// Opens the node window `[lo, hi)` of an existing state file (see
+    /// Opens the node window `[lo, hi)` of a shared state stream (see
     /// [`allocate`]) for backward writing: the worker assigned the
     /// frontier subtree `[lo, hi)` streams exactly `hi − lo` states into
-    /// its slice, without touching (or truncating) the rest of the file.
-    pub fn segment(path: &Path, lo: u64, hi: u64) -> io::Result<Self> {
-        let f = OpenOptions::new().write(true).open(path)?;
-        Ok(StateFileWriter {
-            inner: RevWriter::for_range(f, lo * STATE_BYTES as u64, hi * STATE_BYTES as u64),
-        })
+    /// its slice — a byte window of the flat file, an own side file in
+    /// the blocked layout — without touching the other workers' slices.
+    pub fn segment(path: &Path, lo: u64, hi: u64, format: StaFormat) -> io::Result<Self> {
+        match format {
+            StaFormat::Flat => {
+                let f = OpenOptions::new().write(true).open(path)?;
+                Ok(StateFileWriter {
+                    inner: WriterInner::Flat(
+                        RevWriter::for_range(f, lo * STATE_BYTES as u64, hi * STATE_BYTES as u64),
+                        hi - lo,
+                    ),
+                })
+            }
+            StaFormat::Blocked => Ok(StateFileWriter {
+                inner: WriterInner::Blocked(BlockedSegWriter::create(
+                    &seg_path(path, lo),
+                    lo,
+                    hi,
+                    block_records_from_env(),
+                )?),
+            }),
+        }
     }
 
-    /// Writes the state of the next node (phase 1 visits `n−1 .. 0`).
+    /// Writes the state of the next node (phase 1 visits `hi−1 .. lo`).
     pub fn write_state(&mut self, state: u32) -> io::Result<()> {
-        self.inner.write_record(&state.to_le_bytes())
+        match &mut self.inner {
+            WriterInner::Flat(w, _) => w.write_record(&state.to_le_bytes()),
+            WriterInner::Blocked(w) => w.write_state(state),
+        }
     }
 
-    /// Finishes; errors if fewer or more than `n` states were written.
-    pub fn finish(self) -> io::Result<()> {
-        self.inner.finish()?;
-        Ok(())
+    /// Finishes; errors if fewer or more than `hi − lo` states were
+    /// written. Returns the encoded bytes this writer put on disk.
+    pub fn finish(self) -> io::Result<u64> {
+        match self.inner {
+            WriterInner::Flat(w, n) => {
+                w.finish()?;
+                Ok(n * STATE_BYTES as u64)
+            }
+            WriterInner::Blocked(w) => w.finish(),
+        }
     }
 }
 
-/// Reads state ids in preorder during the forward phase-2 scan.
+enum ReaderInner {
+    Flat(BufReader<File>),
+    Blocked {
+        /// Non-overlapping segments, sorted by `lo`.
+        segments: Vec<BlockedSegment>,
+        /// Spine patches (node → state) covering the gaps.
+        patch: HashMap<u64, u32>,
+        /// Logical stream length in nodes.
+        n: u64,
+        /// Cursor into `segments`.
+        seg_idx: usize,
+        /// Decoded states of the current block.
+        buf: Vec<u32>,
+        buf_pos: usize,
+        body: Vec<u8>,
+    },
+}
+
+/// Reads state ids in preorder during the forward phase-2 scan. In the
+/// blocked layout each `read_state` serves from the current decoded
+/// block — whole-block decode, then a bounds check per node.
 pub struct StateFileReader {
-    inner: BufReader<File>,
+    inner: ReaderInner,
+    /// Next preorder index to serve (also the truncation-error context).
+    ix: u64,
+    /// States served so far (`× 4` = decoded bytes).
+    served: u64,
 }
 
 impl StateFileReader {
-    /// Opens a state file.
-    pub fn open(path: &Path) -> io::Result<Self> {
-        Self::open_at(path, 0)
+    /// Opens a state stream from node 0.
+    pub fn open(path: &Path, format: StaFormat) -> io::Result<Self> {
+        Self::open_at(path, 0, format)
     }
 
-    /// Opens a state file positioned on node `lo`'s state — phase-2
-    /// workers read their subtree's slice in lockstep with a forward
-    /// record range scan.
-    pub fn open_at(path: &Path, lo: u64) -> io::Result<Self> {
-        let mut f = File::open(path)?;
-        f.seek(SeekFrom::Start(lo * STATE_BYTES as u64))?;
+    /// Opens a state stream positioned on node `lo` — phase-2 workers
+    /// read their subtree's slice in lockstep with a forward record
+    /// range scan.
+    pub fn open_at(path: &Path, lo: u64, format: StaFormat) -> io::Result<Self> {
+        let inner = match format {
+            StaFormat::Flat => {
+                let mut f = File::open(path)?;
+                f.seek(SeekFrom::Start(lo * STATE_BYTES as u64))?;
+                ReaderInner::Flat(BufReader::with_capacity(64 * 1024, f))
+            }
+            StaFormat::Blocked => {
+                let mut head = [0u8; 8];
+                {
+                    let mut f = File::open(path)?;
+                    read_exact_ctx(&mut f, &mut head, "stream magic")?;
+                }
+                let (mut segments, n) = if head == SEG_MAGIC {
+                    let seg = BlockedSegment::open(path)?;
+                    let n = seg.hi;
+                    (vec![seg], n)
+                } else if head == MANIFEST_MAGIC {
+                    let bytes = std::fs::read(path)?;
+                    if bytes.len() != MANIFEST_BYTES as usize
+                        || crc32(&bytes[..20])
+                            != u32::from_le_bytes(bytes[20..24].try_into().unwrap())
+                    {
+                        return Err(invalid("state manifest truncated or corrupt"));
+                    }
+                    let n = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+                    let mut segments = Vec::new();
+                    let (Some(dir), Some(name)) =
+                        (path.parent(), path.file_name().and_then(|s| s.to_str()))
+                    else {
+                        return Err(invalid("state manifest path has no parent directory"));
+                    };
+                    let prefix = format!("{name}.seg-");
+                    for e in std::fs::read_dir(dir)? {
+                        let e = e?;
+                        if e.file_name()
+                            .to_str()
+                            .is_some_and(|f| f.starts_with(&prefix))
+                        {
+                            segments.push(BlockedSegment::open(&e.path())?);
+                        }
+                    }
+                    (segments, n)
+                } else {
+                    return Err(invalid(format!(
+                        "{}: not a blocked .sta stream (bad magic)",
+                        path.display()
+                    )));
+                };
+                segments.sort_by_key(|s| s.lo);
+                for w in segments.windows(2) {
+                    if w[1].lo < w[0].hi {
+                        return Err(invalid("overlapping .sta segments"));
+                    }
+                }
+                ReaderInner::Blocked {
+                    segments,
+                    patch: load_patch(path)?,
+                    n,
+                    seg_idx: 0,
+                    buf: Vec::new(),
+                    buf_pos: 0,
+                    body: Vec::new(),
+                }
+            }
+        };
         Ok(StateFileReader {
-            inner: BufReader::with_capacity(64 * 1024, f),
+            inner,
+            ix: lo,
+            served: 0,
         })
     }
 
-    /// Reads the next state id.
+    /// Reads the next state id. A stream ending early (truncated flat
+    /// file, missing segment coverage, damaged block) is `InvalidData`
+    /// with the failing node index — never a bare `UnexpectedEof`.
+    #[inline]
     pub fn read_state(&mut self) -> io::Result<u32> {
-        let mut buf = [0u8; STATE_BYTES];
-        self.inner.read_exact(&mut buf)?;
-        Ok(u32::from_le_bytes(buf))
+        if let ReaderInner::Blocked { buf, buf_pos, .. } = &mut self.inner {
+            if *buf_pos < buf.len() {
+                let s = buf[*buf_pos];
+                *buf_pos += 1;
+                self.ix += 1;
+                self.served += 1;
+                return Ok(s);
+            }
+        }
+        self.read_state_slow()
     }
+
+    fn read_state_slow(&mut self) -> io::Result<u32> {
+        let ix = self.ix;
+        let s = match &mut self.inner {
+            ReaderInner::Flat(r) => {
+                let mut b = [0u8; STATE_BYTES];
+                r.read_exact(&mut b).map_err(|e| {
+                    if e.kind() == io::ErrorKind::UnexpectedEof {
+                        invalid(format!("state file truncated: no state for node {ix}"))
+                    } else {
+                        e
+                    }
+                })?;
+                u32::from_le_bytes(b)
+            }
+            ReaderInner::Blocked {
+                segments,
+                patch,
+                n,
+                seg_idx,
+                buf,
+                buf_pos,
+                body,
+            } => {
+                if ix >= *n {
+                    return Err(invalid(format!(
+                        "read past the end of the state stream (node {ix} of {n})"
+                    )));
+                }
+                while *seg_idx < segments.len() && ix >= segments[*seg_idx].hi {
+                    *seg_idx += 1;
+                }
+                match segments.get_mut(*seg_idx) {
+                    Some(seg) if ix >= seg.lo => {
+                        let j = ((ix - seg.lo) / seg.block_records as u64) as usize;
+                        seg.load_block(j, buf, body)?;
+                        *buf_pos = ((ix - seg.lo) % seg.block_records as u64) as usize;
+                        let s = buf[*buf_pos];
+                        *buf_pos += 1;
+                        s
+                    }
+                    _ => match patch.get(&ix) {
+                        Some(&s) => {
+                            // A spine node between segments; keep the
+                            // block buffer empty so the fast path skips.
+                            buf.clear();
+                            *buf_pos = 0;
+                            s
+                        }
+                        None => {
+                            return Err(invalid(format!(
+                                "state stream truncated: no segment or patch covers node {ix}"
+                            )))
+                        }
+                    },
+                }
+            }
+        };
+        self.ix += 1;
+        self.served += 1;
+        Ok(s)
+    }
+
+    /// Bytes of state data this reader delivered so far (4 per state —
+    /// the *decoded* side of the stats split).
+    pub fn decoded_bytes(&self) -> u64 {
+        self.served * STATE_BYTES as u64
+    }
+}
+
+enum PatcherInner {
+    Flat(File),
+    Blocked { out: BufWriter<File>, entries: u64 },
 }
 
 /// Random-access state writes — the sequential spine of a sharded run is
 /// a handful of scattered nodes, patched individually into the shared
-/// state file after the workers fill their segments.
+/// state stream after the workers fill their segments. Flat: in-place
+/// 4-byte writes at `4·ix`. Blocked: `(ix, state)` pairs appended to the
+/// `<path>.patch` side file, merged by the reader.
 pub struct StateFilePatcher {
-    f: File,
+    inner: PatcherInner,
 }
 
 impl StateFilePatcher {
-    /// Opens an existing state file (see [`allocate`]) for patching.
-    pub fn open(path: &Path) -> io::Result<Self> {
-        Ok(StateFilePatcher {
-            f: OpenOptions::new().write(true).open(path)?,
-        })
+    /// Opens a shared state stream (see [`allocate`]) for patching.
+    pub fn open(path: &Path, format: StaFormat) -> io::Result<Self> {
+        let inner = match format {
+            StaFormat::Flat => PatcherInner::Flat(OpenOptions::new().write(true).open(path)?),
+            StaFormat::Blocked => {
+                let mut out = BufWriter::new(File::create(patch_path(path))?);
+                out.write_all(&PATCH_MAGIC)?;
+                PatcherInner::Blocked { out, entries: 0 }
+            }
+        };
+        Ok(StateFilePatcher { inner })
     }
 
     /// Writes node `ix`'s state at its slot.
     pub fn write_state_at(&mut self, ix: u64, state: u32) -> io::Result<()> {
-        self.f.seek(SeekFrom::Start(ix * STATE_BYTES as u64))?;
-        self.f.write_all(&state.to_le_bytes())
+        match &mut self.inner {
+            PatcherInner::Flat(f) => {
+                f.seek(SeekFrom::Start(ix * STATE_BYTES as u64))?;
+                f.write_all(&state.to_le_bytes())
+            }
+            PatcherInner::Blocked { out, entries } => {
+                out.write_all(&ix.to_le_bytes())?;
+                out.write_all(&state.to_le_bytes())?;
+                *entries += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Flushes; returns the encoded bytes the patches put on disk.
+    pub fn finish(self) -> io::Result<u64> {
+        match self.inner {
+            PatcherInner::Flat(f) => {
+                f.sync_data().ok();
+                Ok(0) // flat patches overwrite pre-allocated slots
+            }
+            PatcherInner::Blocked { mut out, entries } => {
+                out.flush()?;
+                Ok(8 + entries * PATCH_ENTRY_BYTES)
+            }
+        }
     }
 }
 
@@ -191,32 +970,97 @@ pub fn write_all(path: &Path, bytes: &[u8]) -> io::Result<()> {
 mod tests {
     use super::*;
 
+    const BOTH: [StaFormat; 2] = [StaFormat::Blocked, StaFormat::Flat];
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arb-sta-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn backward_write_forward_read() {
-        let dir = std::env::temp_dir().join(format!("arb-sta-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("x.sta");
-        let n = 1000u32;
-        let mut w = StateFileWriter::create(&path, n as u64).unwrap();
-        // Phase-1 order: node n-1 first.
-        for ix in (0..n).rev() {
-            w.write_state(ix * 3).unwrap();
-        }
-        w.finish().unwrap();
-        let mut r = StateFileReader::open(&path).unwrap();
-        for ix in 0..n {
-            assert_eq!(r.read_state().unwrap(), ix * 3);
+        for format in BOTH {
+            let path = tmp_dir("rt").join(format!("x-{format}.sta"));
+            let n = 1000u32;
+            let mut w = StateFileWriter::create(&path, n as u64, format).unwrap();
+            // Phase-1 order: node n-1 first.
+            for ix in (0..n).rev() {
+                w.write_state(ix * 3).unwrap();
+            }
+            let encoded = w.finish().unwrap();
+            assert!(encoded > 0);
+            let mut r = StateFileReader::open(&path, format).unwrap();
+            for ix in 0..n {
+                assert_eq!(r.read_state().unwrap(), ix * 3, "{format}");
+            }
+            assert_eq!(r.decoded_bytes(), n as u64 * 4);
+            // Reading past the end is an InvalidData error, not EOF.
+            let err = r.read_state().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{format}");
         }
     }
 
     #[test]
+    fn repetitive_streams_encode_below_four_bytes_per_node() {
+        let path = tmp_dir("rle").join("rle.sta");
+        let n = 10_000u64;
+        let mut w = StateFileWriter::create(&path, n, StaFormat::Blocked).unwrap();
+        for ix in (0..n).rev() {
+            // Long default runs with occasional literals.
+            w.write_state(if ix % 97 == 0 { (ix % 7) as u32 } else { 42 })
+                .unwrap();
+        }
+        let encoded = w.finish().unwrap();
+        assert!(
+            encoded < n * STATE_BYTES as u64 / 4,
+            "RLE + skip-default should crush a repetitive stream, got {encoded} bytes"
+        );
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
+        for ix in 0..n {
+            let want = if ix % 97 == 0 { (ix % 7) as u32 } else { 42 };
+            assert_eq!(r.read_state().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_hostile_blocks() {
+        let mut runs = Vec::new();
+        let mut body = Vec::new();
+        let mut out = Vec::new();
+        let cases: Vec<Vec<u32>> = vec![
+            vec![7],
+            vec![0; 5],
+            vec![u32::MAX, 0, u32::MAX, u32::MAX, 1, 1, 1],
+            (0..1000u32).collect(),
+            (0..1000u32).map(|i| i / 100).collect(),
+            vec![5, 5, 9, 9, 9, 5, 5, 5, 2],
+        ];
+        for states in cases {
+            encode_sta_block(&states, &mut runs, &mut body);
+            decode_sta_block(&body, states.len() as u32, &mut out).unwrap();
+            assert_eq!(out, states);
+        }
+        // Reserved tag 3 is rejected.
+        let mut bad = Vec::new();
+        push_varint64(&mut bad, 0); // default
+        push_varint64(&mut bad, 3); // tag 3
+        assert!(decode_sta_block(&bad, 1, &mut out).is_err());
+        // A run overrunning its block is rejected.
+        let mut bad = Vec::new();
+        push_varint64(&mut bad, 0);
+        push_varint64(&mut bad, (9 << 2) | 1);
+        assert!(decode_sta_block(&bad, 2, &mut out).is_err());
+    }
+
+    #[test]
     fn finish_detects_missing_states() {
-        let dir = std::env::temp_dir().join(format!("arb-sta2-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("y.sta");
-        let mut w = StateFileWriter::create(&path, 3).unwrap();
-        w.write_state(1).unwrap();
-        assert!(w.finish().is_err());
+        for format in BOTH {
+            let path = tmp_dir("miss").join(format!("y-{format}.sta"));
+            let mut w = StateFileWriter::create(&path, 3, format).unwrap();
+            w.write_state(1).unwrap();
+            assert!(w.finish().is_err(), "{format}");
+        }
     }
 
     #[test]
@@ -228,52 +1072,173 @@ mod tests {
 
     #[test]
     fn segments_and_patches_compose_into_one_state_stream() {
-        let dir = std::env::temp_dir().join(format!("arb-sta3-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("seg.sta");
-        let n = 100u64;
-        allocate(&path, n).unwrap();
+        for format in BOTH {
+            let dir = tmp_dir("seg");
+            let path = dir.join(format!("seg-{format}.sta"));
+            let n = 100u64;
+            allocate(&path, n, format).unwrap();
 
-        // Two "workers" fill [10, 40) and [40, 100) backwards; the
-        // "spine" nodes [0, 10) are patched individually.
-        for (lo, hi) in [(10u64, 40u64), (40, 100)] {
-            let mut w = StateFileWriter::segment(&path, lo, hi).unwrap();
+            // Two "workers" fill [10, 40) and [40, 100) backwards; the
+            // "spine" nodes [0, 10) are patched individually.
+            for (lo, hi) in [(10u64, 40u64), (40, 100)] {
+                let mut w = StateFileWriter::segment(&path, lo, hi, format).unwrap();
+                for ix in (lo..hi).rev() {
+                    w.write_state(ix as u32 * 7).unwrap();
+                }
+                w.finish().unwrap();
+            }
+            let mut p = StateFilePatcher::open(&path, format).unwrap();
+            for ix in 0..10u64 {
+                p.write_state_at(ix, ix as u32 * 7).unwrap();
+            }
+            p.finish().unwrap();
+
+            // A plain forward read sees one coherent stream.
+            let mut r = StateFileReader::open(&path, format).unwrap();
+            for ix in 0..n {
+                assert_eq!(r.read_state().unwrap(), ix as u32 * 7, "{format}");
+            }
+            // A positioned read starts mid-stream (even mid-segment).
+            for lo in [40u64, 57] {
+                let mut r = StateFileReader::open_at(&path, lo, format).unwrap();
+                assert_eq!(r.read_state().unwrap(), lo as u32 * 7, "{format}");
+            }
+
+            // A segment must fill exactly its window.
+            let mut w = StateFileWriter::segment(&path, 0, 3, format).unwrap();
+            w.write_state(1).unwrap();
+            assert!(w.finish().is_err(), "{format}");
+        }
+    }
+
+    /// Segment boundaries that do not land on block boundaries: with
+    /// tiny blocks the segment windows straddle many frames.
+    #[test]
+    fn segments_straddle_block_frames() {
+        let dir = tmp_dir("straddle");
+        let path = dir.join("straddle.sta");
+        let n = 500u64;
+        std::env::set_var("ARB_STA_BLOCK_RECORDS", "16");
+        allocate(&path, n, StaFormat::Blocked).unwrap();
+        for (lo, hi) in [(3u64, 130u64), (130, 257), (257, 500)] {
+            let mut w = StateFileWriter::segment(&path, lo, hi, StaFormat::Blocked).unwrap();
             for ix in (lo..hi).rev() {
-                w.write_state(ix as u32 * 7).unwrap();
+                w.write_state((ix % 5) as u32).unwrap();
             }
             w.finish().unwrap();
         }
-        let mut p = StateFilePatcher::open(&path).unwrap();
-        for ix in 0..10u64 {
-            p.write_state_at(ix, ix as u32 * 7).unwrap();
+        let mut p = StateFilePatcher::open(&path, StaFormat::Blocked).unwrap();
+        for ix in 0..3u64 {
+            p.write_state_at(ix, (ix % 5) as u32).unwrap();
         }
-
-        // A plain forward read sees one coherent stream.
-        let mut r = StateFileReader::open(&path).unwrap();
+        p.finish().unwrap();
+        std::env::remove_var("ARB_STA_BLOCK_RECORDS");
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
         for ix in 0..n {
-            assert_eq!(r.read_state().unwrap(), ix as u32 * 7);
+            assert_eq!(r.read_state().unwrap(), (ix % 5) as u32, "node {ix}");
         }
-        // A positioned read starts mid-stream.
-        let mut r = StateFileReader::open_at(&path, 40).unwrap();
-        assert_eq!(r.read_state().unwrap(), 280);
-
-        // A segment must fill exactly its window.
-        let mut w = StateFileWriter::segment(&path, 0, 3).unwrap();
-        w.write_state(1).unwrap();
-        assert!(w.finish().is_err());
     }
 
     #[test]
-    fn scratch_path_deletes_on_drop() {
-        let dir = std::env::temp_dir().join(format!("arb-sta4-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn truncation_is_invalid_data_with_context() {
+        for format in BOTH {
+            let path = tmp_dir("trunc").join(format!("t-{format}.sta"));
+            let n = 64u64;
+            let mut w = StateFileWriter::create(&path, n, format).unwrap();
+            for ix in (0..n).rev() {
+                w.write_state(ix as u32).unwrap();
+            }
+            w.finish().unwrap();
+            // Chop the tail off the file.
+            let len = std::fs::metadata(&path).unwrap().len();
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(len / 2).unwrap();
+            let res = StateFileReader::open(&path, format).and_then(|mut r| {
+                for _ in 0..n {
+                    r.read_state()?;
+                }
+                Ok(())
+            });
+            let err = res.expect_err("truncated stream must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{format}: {err}");
+            assert!(
+                err.to_string().contains("truncated") || err.to_string().contains("state"),
+                "{format}: error must carry context, got {err}"
+            );
+        }
+        // A missing segment of a sharded blocked stream is also caught.
+        let dir = tmp_dir("trunc2");
+        let path = dir.join("gap.sta");
+        allocate(&path, 20, StaFormat::Blocked).unwrap();
+        let mut w = StateFileWriter::segment(&path, 0, 10, StaFormat::Blocked).unwrap();
+        for ix in (0..10u64).rev() {
+            w.write_state(ix as u32).unwrap();
+        }
+        w.finish().unwrap();
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
+        for _ in 0..10 {
+            r.read_state().unwrap();
+        }
+        let err = r.read_state().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("node 10"), "{err}");
+    }
+
+    #[test]
+    fn blocked_corruption_is_rejected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("c.sta");
+        let n = 64u64;
+        let mut w = StateFileWriter::create(&path, n, StaFormat::Blocked).unwrap();
+        for ix in (0..n).rev() {
+            w.write_state(ix as u32 * 3).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a byte inside the first block body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = SEG_HEADER_BYTES as usize + BLOCK_FRAME_BYTES + 2;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let res = StateFileReader::open(&path, StaFormat::Blocked)
+            .and_then(|mut r| r.read_state().map(|_| ()));
+        let err = res.expect_err("bit flip must be caught");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn scratch_path_deletes_side_files_on_drop() {
+        let dir = tmp_dir("drop");
         let path = dir.join("scratch.sta");
         let guard = ScratchPath::new(path.clone());
-        allocate(guard.path(), 8).unwrap();
-        assert!(path.exists());
+        allocate(guard.path(), 80, StaFormat::Blocked).unwrap();
+        let mut w = StateFileWriter::segment(guard.path(), 8, 80, StaFormat::Blocked).unwrap();
+        for ix in (8..80u64).rev() {
+            w.write_state(ix as u32).unwrap();
+        }
+        w.finish().unwrap();
+        let mut p = StateFilePatcher::open(guard.path(), StaFormat::Blocked).unwrap();
+        p.write_state_at(0, 1).unwrap();
+        p.finish().unwrap();
+        let seg = seg_path(&path, 8);
+        let patch = patch_path(&path);
+        assert!(path.exists() && seg.exists() && patch.exists());
         drop(guard);
-        assert!(!path.exists());
-        // Dropping a guard whose file was never created is fine.
+        assert!(!path.exists(), "manifest must vanish with its guard");
+        assert!(!seg.exists(), "segment side files must vanish too");
+        assert!(!patch.exists(), "the patch side file must vanish too");
+        // Dropping a guard whose files were never created is fine.
         drop(ScratchPath::new(dir.join("never-created.sta")));
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(StaFormat::parse("flat"), Some(StaFormat::Flat));
+        assert_eq!(StaFormat::parse("FLAT"), Some(StaFormat::Flat));
+        assert_eq!(StaFormat::parse("blocked"), Some(StaFormat::Blocked));
+        assert_eq!(StaFormat::parse("bogus"), None);
+        assert_eq!(StaFormat::default(), StaFormat::Blocked);
+        assert_eq!(StaFormat::Blocked.to_string(), "blocked");
+        assert_eq!(StaFormat::Flat.to_string(), "flat");
     }
 }

@@ -90,9 +90,12 @@
 //! mention **any** number of EDB atoms — the old 128 ceiling is gone),
 //! and `bu_entries`/`td_entries` (memoized δ transitions). Parallel
 //! runs report master and workers combined. Disk runs additionally
-//! report the storage format they read (`db_format`) and, on v2
-//! databases, how many compressed blocks the scans decoded
-//! (`blocks_decoded`).
+//! report the storage format they read (`db_format`), on v2 databases
+//! how many compressed blocks the scans decoded (`blocks_decoded`), and
+//! the `.sta` scratch-stream traffic as two counters:
+//! `sta_encoded_bytes` (what phase 1 put on disk — under 4 B/node with
+//! the default compressed layout) and `sta_decoded_bytes` (the 4 B/state
+//! volume phase 2 read back).
 //!
 //! ## On-disk storage formats
 //!
@@ -108,6 +111,20 @@
 //! `InvalidData` instead of silently returning wrong answers (see the
 //! `arb_storage` crate docs for the byte-level layout).
 //!
+//! The temporary `.sta` state stream connecting the two evaluation
+//! phases follows the same pattern ([`storage::StaFormat`]): by default
+//! phase 1 writes block-framed compressed state runs — delta/varint
+//! literals, run-length tokens, and a skip-default token eliding nodes
+//! whose state equals the block's most frequent one, each block framed
+//! `{n_records, body_len, crc32}` — and phase 2 decodes whole blocks
+//! into a reusable buffer instead of issuing one 4-byte read per node.
+//! Sharded runs keep their per-worker segment/patch composition (§6.2)
+//! as side files of the scratch path. `ARB_STA_FORMAT=flat` (or
+//! [`EvalOptions::sta_format`]) selects the paper's bare 4-bytes-per-node
+//! layout (footnote 12); a truncated or damaged stream of either layout
+//! surfaces as `InvalidData` mid-evaluation, never as silent wrong
+//! answers. See [`storage::stafile`] for the byte-level layout.
+//!
 //! ## Building and testing
 //!
 //! The workspace is fully offline: the four external dependencies
@@ -121,13 +138,15 @@
 //! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The thirteen root integration suites are the correctness spine:
+//! The fourteen root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `format_v2` (corrupt-file
 //! rejection plus a v1-vs-v2 differential property), `twophase_vs_naive`,
 //! `batch_differential`, `session_api`, `end_to_end`, `section_1_3`,
-//! `intern_differential` (arena interners vs. a map-based model) and
-//! `wide_alphabet` (merged batches past 128 EDB atoms).
+//! `intern_differential` (arena interners vs. a map-based model),
+//! `wide_alphabet` (merged batches past 128 EDB atoms) and
+//! `sta_differential` (blocked vs. flat `.sta` streams vs. in-memory
+//! states, sequential and sharded).
 //! Property suites take an explicit case-count override for deep runs
 //! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
 //! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
@@ -157,5 +176,5 @@ pub use arb_xpath as xpath;
 
 pub use arb_engine::{
     BatchOutcome, Database, EvalOptions, EvalReport, EvalRequest, Query, QueryBatch, QueryOutcome,
-    ResultSink, Session, SinkDemand,
+    ResultSink, Session, SinkDemand, StaFormat,
 };

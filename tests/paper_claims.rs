@@ -5,7 +5,10 @@
 //! 2. main-memory requirements "in principle independent of the size of
 //!    the data" — automata memory stays flat as `n` grows;
 //! 3. each node is visited exactly twice (once per phase);
-//! 4. temporary disk space is linear: 4 bytes per node (`.sta`).
+//! 4. temporary disk space is linear: the paper's layout costs 4 bytes
+//!    per node (`.sta`, footnote 12); the default block-compressed
+//!    layout stays *under* that while phase 2 still consumes exactly one
+//!    4-byte state per node.
 
 use arb::datagen::queries::{RandomPathQuery, R_BOTTOM_UP};
 use arb::datagen::{acgt_flat_tree, random_acgt, RegexShape};
@@ -14,8 +17,9 @@ use arb::storage::{create_from_tree, ArbDatabase};
 use arb::tree::LabelTable;
 
 /// Builds the ACGT-flat database at the given scale and evaluates one
-/// fixed query, returning (nodes, transitions, memory, sta bytes).
-fn run_at_scale(log2: u32) -> (u64, u64, usize, u64) {
+/// fixed query, returning (nodes, transitions, memory, sta encoded
+/// bytes, sta decoded bytes).
+fn run_at_scale(log2: u32) -> (u64, u64, usize, u64, u64) {
     let seq = random_acgt(log2, 99);
     let mut labels = LabelTable::new();
     let tree = acgt_flat_tree(&seq, &mut labels);
@@ -36,20 +40,21 @@ fn run_at_scale(log2: u32) -> (u64, u64, usize, u64) {
     // Scratch files are uniquely named and deleted when the run ends,
     // so the temporary-space claim is checked via the stats instead of
     // stat(2) on a (now gone) fixed sibling path.
-    let sta_bytes = outcome.stats.sta_bytes;
     (
         outcome.stats.nodes,
         outcome.stats.phase1_transitions + outcome.stats.phase2_transitions,
         outcome.stats.memory_bytes,
-        sta_bytes,
+        outcome.stats.sta_encoded_bytes,
+        outcome.stats.sta_decoded_bytes,
     )
 }
 
-/// Claims 1, 2 and 4: transitions and memory flat in n; .sta = 4n bytes.
+/// Claims 1, 2 and 4: transitions and memory flat in n; the `.sta`
+/// stream stays within (and, compressed, under) 4 bytes per node.
 #[test]
 fn transitions_and_memory_independent_of_data_size() {
-    let (n_small, m_small, mem_small, sta_small) = run_at_scale(10);
-    let (n_large, m_large, mem_large, sta_large) = run_at_scale(14);
+    let (n_small, m_small, mem_small, enc_small, dec_small) = run_at_scale(10);
+    let (n_large, m_large, mem_large, enc_large, dec_large) = run_at_scale(14);
     assert!(n_large > n_small * 10);
     // m part: allow slack for extra symbol combinations discovered on the
     // larger database, but nothing resembling growth with n.
@@ -62,9 +67,18 @@ fn transitions_and_memory_independent_of_data_size() {
         mem_large <= mem_small * 2,
         "memory grew with data: {mem_small} -> {mem_large}"
     );
-    // Temporary state file: exactly 4 bytes per node (paper footnote 12).
-    assert_eq!(sta_small, n_small * 4);
-    assert_eq!(sta_large, n_large * 4);
+    // Temporary state stream: phase 2 consumes exactly one 4-byte state
+    // per node (paper footnote 12's volume), while the default blocked
+    // layout encodes it in strictly fewer bytes on disk at scale —
+    // linear with a constant under the paper's 4.
+    assert_eq!(dec_small, n_small * 4);
+    assert_eq!(dec_large, n_large * 4);
+    assert!(enc_small > 0 && enc_large > 0);
+    assert!(
+        enc_large < n_large * 4,
+        "blocked encoding must beat 4 B/node at scale: {enc_large} vs {}",
+        n_large * 4
+    );
 }
 
 /// Claim 3: each node is touched exactly once per phase. Instrumented via
@@ -108,7 +122,7 @@ fn first_node_depends_on_last() {
 /// shared CI machines.
 #[test]
 fn state_count_stays_bounded() {
-    let (_, _, _, _) = run_at_scale(12);
+    let (_, _, _, _, _) = run_at_scale(12);
     let seq = random_acgt(12, 99);
     let mut labels = LabelTable::new();
     let tree = acgt_flat_tree(&seq, &mut labels);

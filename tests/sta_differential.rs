@@ -1,0 +1,143 @@
+//! Differential property for the `.sta` state-stream codec: the default
+//! block-compressed stream, the paper's flat 4-bytes-per-node stream,
+//! and the in-memory evaluation path must produce identical results —
+//! node sets, counts, boolean verdicts, and streamed marked XML — for
+//! random query batches over generated documents, sequentially and
+//! sharded over 1, 2 and 4 workers.
+//!
+//! The whole suite pins `ARB_STA_BLOCK_RECORDS=64` (via the
+//! `EvalOptions`-independent env knob, set once before any evaluation),
+//! so the few-hundred-node documents span many blocks and the sharded
+//! runs' segment windows straddle block frames — the frontier planner
+//! splits on subtree boundaries, which almost never coincide with a
+//! 64-record frame.
+
+use arb::datagen::queries::{RandomPathQuery, R_TOP_DOWN};
+use arb::datagen::{treebank_tree, RegexShape, TreebankConfig};
+use arb::engine::{BooleanSink, CountSink, EvalRequest, NodeSetSink, XmlMarkSink};
+use arb::tree::{BinaryTree, LabelTable};
+use arb::{Database, StaFormat};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+static TINY_BLOCKS: Once = Once::new();
+
+/// Pins tiny `.sta` blocks for the whole test process (all tests of this
+/// binary want the same value, so the write is race-free by idempotence).
+fn pin_tiny_blocks() {
+    TINY_BLOCKS.call_once(|| std::env::set_var("ARB_STA_BLOCK_RECORDS", "64"));
+}
+
+/// A small seeded treebank document (a few hundred nodes — dozens of
+/// 64-record blocks).
+fn small_treebank(seed: u64) -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 250,
+            seed,
+            filler_tags: 8,
+        },
+        &mut labels,
+    );
+    (tree, labels)
+}
+
+/// Generates k random query sources against the treebank tag set.
+fn query_sources(k: usize, seed: u64) -> Vec<String> {
+    RandomPathQuery::batch(k, 5, &["NP", "VP", "PP", "S"], RegexShape::Tags, seed)
+        .iter()
+        .map(|q| q.to_program(R_TOP_DOWN))
+        .collect()
+}
+
+/// Memory backend + disk backend over the same document.
+fn both_backends(tree: &BinaryTree, labels: &LabelTable) -> (Database, Database) {
+    let dir = std::env::temp_dir().join(format!("arb-stadiff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("case-{}.arb", CASE.fetch_add(1, Ordering::Relaxed)));
+    arb::storage::create_from_tree(tree, labels, &path).expect("create database");
+    (
+        Database::from_tree(tree.clone(), labels.clone()),
+        Database::open_arb(&path).expect("open database"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// blocked == flat == in-memory, across sequential/sharded × sinks.
+    #[test]
+    fn blocked_equals_flat_equals_memory((k, tree_seed, query_seed) in
+        (1usize..=3, any::<u64>(), any::<u64>()))
+    {
+        pin_tiny_blocks();
+        let (tree, labels) = small_treebank(tree_seed);
+        let sources = query_sources(k, query_seed);
+        let (mut mem, mut disk) = both_backends(&tree, &labels);
+
+        // In-memory oracle: no `.sta` stream at all.
+        let mem_queries: Vec<arb::Query> = sources
+            .iter()
+            .map(|s| mem.compile_tmnf(s).expect("query compiles"))
+            .collect();
+        let mut mem_sets = NodeSetSink::default();
+        let mut mem_bools = BooleanSink::default();
+        let mut mem_mark = XmlMarkSink::new(mem.labels(), Vec::new());
+        {
+            let session = mem.prepare(&mem_queries);
+            session.eval(&EvalRequest::new(), &mut mem_sets).expect("memory sets");
+            session.eval(&EvalRequest::new(), &mut mem_bools).expect("memory bools");
+            session.eval(&EvalRequest::new(), &mut mem_mark).expect("memory mark");
+        }
+        let mem_marked = mem_mark.into_inner().expect("marked bytes");
+
+        let disk_queries: Vec<arb::Query> = sources
+            .iter()
+            .map(|s| disk.compile_tmnf(s).expect("query compiles"))
+            .collect();
+        let session = disk.prepare(&disk_queries);
+        for format in [StaFormat::Blocked, StaFormat::Flat] {
+            for threads in [1usize, 2, 4] {
+                let req = EvalRequest::new().parallelism(threads).sta_format(format);
+
+                let mut sets = NodeSetSink::default();
+                session.eval(&req, &mut sets).expect("disk sets");
+                prop_assert_eq!(sets.sets().len(), k);
+                for (i, (s, m)) in sets.sets().iter().zip(mem_sets.sets()).enumerate() {
+                    prop_assert_eq!(
+                        s.to_vec(), m.to_vec(),
+                        "sets: query {} {} threads {}", i, format, threads
+                    );
+                }
+
+                let mut counts = CountSink::default();
+                session.eval(&req, &mut counts).expect("disk counts");
+                for (i, c) in counts.counts().iter().enumerate() {
+                    prop_assert_eq!(
+                        *c, mem_sets.sets()[i].count() as u64,
+                        "counts: query {} {} threads {}", i, format, threads
+                    );
+                }
+
+                let mut bools = BooleanSink::default();
+                session.eval(&req, &mut bools).expect("disk bools");
+                prop_assert_eq!(
+                    bools.verdicts(), mem_bools.verdicts(),
+                    "verdicts: {} threads {}", format, threads
+                );
+
+                // The streamed (hook) path reads the whole stream in
+                // document order — sharded runs remap worker segments.
+                let mut mark = XmlMarkSink::new(disk.labels(), Vec::new());
+                session.eval(&req, &mut mark).expect("disk mark");
+                prop_assert_eq!(
+                    mark.into_inner().expect("marked bytes"), mem_marked.clone(),
+                    "marked XML: {} threads {}", format, threads
+                );
+            }
+        }
+    }
+}
