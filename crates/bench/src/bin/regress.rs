@@ -29,6 +29,8 @@ use arb_core::evaluate_tree;
 use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
 use arb_datagen::{acgt, treebank_tree, RegexShape, TreebankConfig};
 use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
+use arb_server::protocol::{OutputKind, QueryResult, WireLanguage};
+use arb_server::{Client, Server, ServerConfig};
 use arb_storage::{create_from_tree_with, ArbDatabase, FormatVersion};
 use arb_tmnf::{normalize, parse_program, CoreProgram};
 use arb_tree::{BinaryTree, LabelTable};
@@ -262,6 +264,73 @@ fn collect() -> Vec<(String, Metric)> {
         );
     }
     out.push(("multiquery.batch_ms".into(), Metric::TimeMs(batch_ms)));
+
+    // --- server: admission-window scan sharing over the wire -----------
+    // Deterministic by construction: max_batch == 4 with a long window
+    // means each round of 4 concurrent clients dispatches exactly when
+    // its 4th request is admitted — never on a timer — so request,
+    // batch, scan and cache counters are all exact.
+    {
+        let db_path = std::env::temp_dir()
+            .join(format!("arb-regress-{}", std::process::id()))
+            .join("treebank.arb");
+        let handle = Server::start(
+            ServerConfig {
+                batch_window: std::time::Duration::from_secs(5),
+                max_batch: 4,
+                ..ServerConfig::default()
+            },
+            &[&db_path],
+        )
+        .expect("start server");
+        let addr = handle.local_addr();
+        const ROUNDS: usize = 3;
+        let server_queries = &queries[..4];
+        let mut selected = [0u64; 4];
+        let t = Instant::now();
+        for _ in 0..ROUNDS {
+            let threads: Vec<_> = server_queries
+                .iter()
+                .map(|q| {
+                    let q = q.to_string();
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(addr).expect("connect");
+                        c.query("treebank", WireLanguage::XPath, OutputKind::Count, &q)
+                            .expect("server query")
+                    })
+                })
+                .collect();
+            for (i, th) in threads.into_iter().enumerate() {
+                let reply = th.join().expect("client thread");
+                assert_eq!(reply.stats.batch_size, 4, "full window shares one pass");
+                let QueryResult::Count(n) = reply.result else {
+                    panic!("count result expected");
+                };
+                selected[i] = n;
+            }
+        }
+        let server_ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut c = Client::connect(addr).expect("connect");
+        let s = c.server_stats().expect("server stats");
+        handle.shutdown();
+        count(&mut out, "server.requests".into(), s.requests);
+        count(&mut out, "server.batches".into(), s.batches);
+        count(&mut out, "server.backward_scans".into(), s.backward_scans);
+        count(&mut out, "server.forward_scans".into(), s.forward_scans);
+        count(&mut out, "server.cache_hits".into(), s.cache_hits);
+        count(&mut out, "server.cache_misses".into(), s.cache_misses);
+        for (i, n) in selected.iter().enumerate() {
+            count(&mut out, format!("server.q{i}.selected"), *n);
+        }
+        out.push(("server.batch_ms".into(), Metric::TimeMs(server_ms)));
+        // The resident-service acceptance gate: at k == 4 the shared
+        // pass must put scans-per-query well under 1 (here 6/12 = 0.5).
+        let spq = (s.backward_scans + s.forward_scans) as f64 / s.requests as f64;
+        assert!(
+            spq < 1.0,
+            "server: scans per query must drop below 1 at k=4, got {spq:.3}"
+        );
+    }
 
     // --- interning: state-table pressure, treebank + acgt-infix --------
     let acgt_seq = acgt::random_acgt(14, 0xD2A);

@@ -83,6 +83,9 @@ pub struct BenchDb {
     pub labels: LabelTable,
     /// Human-readable name.
     pub name: String,
+    /// Where the `.arb` file lives (the resident-server benches re-open
+    /// it by path).
+    pub path: PathBuf,
 }
 
 fn materialize(name: &str, tree: &BinaryTree, labels: &LabelTable) -> BenchDb {
@@ -115,6 +118,7 @@ pub fn materialize_as(
         db: ArbDatabase::open(&path).expect("open database"),
         labels: labels.clone(),
         name: name.to_string(),
+        path,
     }
 }
 

@@ -10,12 +10,23 @@
 //! arb stats  <db.arb>
 //! arb check  <db.arb>
 //! arb cat    <db.arb>
+//! arb serve  --listen <addr> [--batch-window MS] [--max-batch N] [--queue-cap N]
+//!            [--cache-budget BYTES] [--no-sweep] <db.arb>...
+//! arb client <addr> [<db> (--tmnf <program> | --xpath <path>)
+//!            [--output bool|count|nodes|xml] [--stats]] [--server-stats]
+//!            [--ping] [--shutdown]
 //! ```
+//!
+//! `serve` keeps databases hot in a resident process; concurrent
+//! `client` queries landing in one admission window share a single
+//! two-scan pass (see the `arb_server` crate docs for the protocol).
 
 use arb_engine::{
     BooleanSink, CountSink, Database, EvalRequest, NodeSetSink, Query, QueryBatch, Session,
     XmlMarkSink,
 };
+use arb_server::protocol::{OutputKind, QueryResult, WireLanguage};
+use arb_server::{Client, Server, ServerConfig};
 use arb_xml::XmlConfig;
 use std::collections::HashSet;
 use std::io::Write;
@@ -37,7 +48,11 @@ fn usage() -> String {
      arb query <db.arb> (--tmnf/-q <program> | --xpath <path> | --file <path>)... \
      [--output bool|count|nodes|xml] [--mark [out.xml]] [--stats]\n            \
      [--memory] [--threads N] [--batch] [--explain]\n  \
-     arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>\n\n\
+     arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>\n  \
+     arb serve --listen <addr> [--batch-window MS] [--max-batch N] [--queue-cap N]\n            \
+     [--cache-budget BYTES] [--no-sweep] <db.arb>...\n  \
+     arb client <addr> [<db> (--tmnf <program> | --xpath <path>)\n            \
+     [--output bool|count|nodes|xml] [--stats]] [--server-stats] [--ping] [--shutdown]\n\n\
      Repeating --tmnf/-q/--xpath/--file submits all queries as one prepared\n\
      session evaluated with a single shared two-scan pass. --output picks the\n\
      result sink: bool/count/nodes print one line per query, xml writes one\n\
@@ -56,6 +71,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("cat") => cat(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -406,6 +423,168 @@ fn check(args: &[String]) -> Result<(), String> {
         report.char_nodes,
         db.labels().tag_count()
     );
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut dbs: Vec<String> = Vec::new();
+    let mut i = 0;
+    let num = |args: &[String], i: usize, flag: &str| -> Result<u64, String> {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("{flag} needs a number"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                config.listen = args.get(i + 1).ok_or("--listen needs an address")?.clone();
+                i += 1;
+            }
+            "--batch-window" => {
+                config.batch_window =
+                    std::time::Duration::from_millis(num(args, i, "--batch-window")?);
+                i += 1;
+            }
+            "--max-batch" => {
+                config.max_batch = num(args, i, "--max-batch")?.max(1) as usize;
+                i += 1;
+            }
+            "--queue-cap" => {
+                config.queue_cap = num(args, i, "--queue-cap")?.max(1) as usize;
+                i += 1;
+            }
+            "--cache-budget" => {
+                config.cache_budget = num(args, i, "--cache-budget")? as usize;
+                i += 1;
+            }
+            "--no-sweep" => config.sweep_scratch = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
+            db => dbs.push(db.to_string()),
+        }
+        i += 1;
+    }
+    if dbs.is_empty() {
+        return Err("serve needs at least one <db.arb>".to_string());
+    }
+    let handle = Server::start(config, &dbs).map_err(|e| e.to_string())?;
+    println!("arb-server listening on {}", handle.local_addr());
+    for db in &dbs {
+        let stem = std::path::Path::new(db)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(db);
+        println!("  serving {stem} ({db})");
+    }
+    handle.wait();
+    println!("arb-server: shut down");
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or_else(usage)?;
+    let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let rest = &args[1..];
+    if rest.iter().any(|a| a == "--ping") {
+        c.ping().map_err(|e| e.to_string())?;
+        println!("pong");
+        return Ok(());
+    }
+    if rest.iter().any(|a| a == "--server-stats") {
+        let s = c.server_stats().map_err(|e| e.to_string())?;
+        println!("requests:        {}", s.requests);
+        println!("batches:         {}", s.batches);
+        println!("max batch:       {}", s.max_batch);
+        println!("backward scans:  {}", s.backward_scans);
+        println!("forward scans:   {}", s.forward_scans);
+        println!("overloaded:      {}", s.overloaded);
+        println!("cache hits:      {}", s.cache_hits);
+        println!("cache misses:    {}", s.cache_misses);
+        println!("cache evictions: {}", s.cache_evictions);
+        println!("cache bytes:     {}", s.cache_bytes);
+        println!("open databases:  {}", s.open_databases);
+        return Ok(());
+    }
+    if rest.iter().any(|a| a == "--shutdown") {
+        c.shutdown().map_err(|e| e.to_string())?;
+        println!("server shutting down");
+        return Ok(());
+    }
+    // A query round trip: arb client <addr> <db> --tmnf/--xpath <src>.
+    let db = rest.first().ok_or_else(usage)?;
+    let mut language = None;
+    let mut source = None;
+    let mut output = OutputKind::Count;
+    let mut show_stats = false;
+    let mut i = 1;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--tmnf" | "-q" | "--xpath" => {
+                language = Some(if rest[i] == "--xpath" {
+                    WireLanguage::XPath
+                } else {
+                    WireLanguage::Tmnf
+                });
+                source = Some(
+                    rest.get(i + 1)
+                        .ok_or_else(|| format!("{} needs an argument", rest[i]))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--output" => {
+                let mode = rest
+                    .get(i + 1)
+                    .ok_or_else(|| "--output needs bool|count|nodes|xml".to_string())?;
+                output = match mode.as_str() {
+                    "bool" | "boolean" => OutputKind::Bool,
+                    "count" => OutputKind::Count,
+                    "nodes" => OutputKind::Nodes,
+                    "xml" | "mark" => OutputKind::Xml,
+                    other => return Err(format!("unknown output mode {other:?}")),
+                };
+                i += 1;
+            }
+            "--stats" => show_stats = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    let (language, source) = language
+        .zip(source)
+        .ok_or("no query given (use --tmnf/-q/--xpath)")?;
+    let reply = c
+        .query(db, language, output, &source)
+        .map_err(|e| e.to_string())?;
+    match reply.result {
+        QueryResult::Bool(v) => println!("{}", if v { "accept" } else { "reject" }),
+        QueryResult::Count(n) => println!("{n} nodes selected"),
+        QueryResult::Nodes(nodes) => {
+            for v in nodes {
+                println!("{v}");
+            }
+        }
+        QueryResult::Xml(bytes) => {
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| e.to_string())?;
+            println!();
+        }
+    }
+    if show_stats {
+        let s = reply.stats;
+        println!(
+            "# shared pass: batch of {} (queue wait {} us), {} backward + {} forward scan(s), \
+             {} selected of {} nodes, cache {}",
+            s.batch_size,
+            s.queue_wait_us,
+            s.backward_scans,
+            s.forward_scans,
+            s.selected,
+            s.nodes,
+            if s.cache_hit { "hit" } else { "miss" }
+        );
+    }
     Ok(())
 }
 

@@ -22,7 +22,7 @@ use crate::twophase::TreeEvalResult;
 use arb_logic::{Atom, PredSetId, ProgramId};
 use arb_tmnf::CoreProgram;
 use arb_tree::{BinaryTree, NodeId};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Evaluates a program with the phase-1 bottom-up run parallelized over
 /// `threads` workers. Produces the same [`TreeEvalResult`] as
@@ -269,6 +269,8 @@ pub fn evaluate_tree_parallel(
         sta_decoded_bytes: 0,
         db_format: 0,
         blocks_decoded: 0,
+        batch_size: 0,
+        queue_wait: Duration::ZERO,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);

@@ -60,6 +60,15 @@ pub struct EvalStats {
     /// pass over an n-node v2 database decodes `ceil(n / 32768)` blocks
     /// per scan direction.
     pub blocks_decoded: u64,
+    /// Queries that shared this run's scan pair: the batch width of the
+    /// session surface (1 for a single-query session), the admission
+    /// window's width when the run was dispatched by the resident query
+    /// service. 0 when the run bypassed the batch surface (raw kernels).
+    pub batch_size: u64,
+    /// How long this query waited in an admission queue before the
+    /// shared pass started. Zero outside the resident query service,
+    /// which stamps it per request before reporting stats on the wire.
+    pub queue_wait: Duration,
     /// Interning pressure of the automata hash tables: arena payload
     /// bytes, index bytes, probe lengths, distinct schema symbols and
     /// memoized δ entries. Parallel runs report master + workers

@@ -17,7 +17,7 @@ use crate::stats::EvalStats;
 use arb_logic::{Atom, PredSetId, ProgramId};
 use arb_tmnf::{CoreProgram, PredId};
 use arb_tree::{BinaryTree, NodeId, NodeSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Result of a two-phase evaluation on an in-memory tree: the full
 /// predicate annotation of every node (as interned predicate-set ids)
@@ -131,6 +131,8 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         sta_decoded_bytes: 0,
         db_format: 0,
         blocks_decoded: 0,
+        batch_size: 0,
+        queue_wait: Duration::ZERO,
         interning: qa.intern_stats(),
     };
 

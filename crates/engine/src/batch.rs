@@ -47,6 +47,16 @@ impl QueryBatch {
     /// label ids, so a query compiled against a different label table
     /// would silently test the wrong tags when the batch is evaluated.
     pub fn new(queries: &[Query]) -> Self {
+        let refs: Vec<&Query> = queries.iter().collect();
+        Self::from_query_refs(&refs)
+    }
+
+    /// [`QueryBatch::new`] over borrowed queries — the entry point for
+    /// callers (e.g. the resident query service's prepared-program
+    /// cache) that share compiled [`Query`] values behind `Arc`s and
+    /// merge a different subset per admission window. The same
+    /// label-space precondition applies.
+    pub fn from_query_refs(queries: &[&Query]) -> Self {
         let progs: Vec<&CoreProgram> = queries.iter().map(|q| &q.prog).collect();
         let merged = merge_programs(&progs);
         let entries = queries
@@ -219,7 +229,7 @@ pub(crate) fn evaluate_disk_batch_opts_sta(
     // The grouped kernel tests each query atom once per node and fills
     // one node set per query directly inside the phase-2 scan.
     let groups = batch.query_atoms();
-    let (merged_outcome, group_sets) = if threads > 1 {
+    let (mut merged_outcome, group_sets) = if threads > 1 {
         crate::diskeval::evaluate_disk_grouped_parallel(
             &batch.merged,
             db,
@@ -231,6 +241,7 @@ pub(crate) fn evaluate_disk_batch_opts_sta(
     } else {
         crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook, format)?
     };
+    merged_outcome.stats.batch_size = batch.len() as u64;
     // A single-query batch gets its set back as the union.
     let group_sets = if group_sets.is_empty() {
         vec![merged_outcome.selected.clone()]
@@ -279,11 +290,12 @@ pub(crate) fn evaluate_tree_batch_opts(
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
-    let res = if threads > 1 {
+    let mut res = if threads > 1 {
         arb_core::evaluate_tree_parallel(&batch.merged, tree, threads)
     } else {
         arb_core::evaluate_tree(&batch.merged, tree)
     };
+    res.stats.batch_size = batch.len() as u64;
     let atoms = batch.query_atoms();
     let mut sets: Vec<NodeSet> = (0..batch.len()).map(|_| NodeSet::new(tree.len())).collect();
     let mut merged_counts = vec![0u64; atoms.iter().map(Vec::len).sum()];

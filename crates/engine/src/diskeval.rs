@@ -276,6 +276,8 @@ pub(crate) fn evaluate_disk_grouped(
         sta_decoded_bytes,
         db_format: db.format_version(),
         blocks_decoded: db.blocks_decoded() - blocks0,
+        batch_size: 0,
+        queue_wait: Duration::ZERO,
         interning: qa.intern_stats(),
     };
     Ok((
@@ -769,6 +771,8 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         sta_decoded_bytes,
         db_format: db.format_version(),
         blocks_decoded: db.blocks_decoded() - blocks0,
+        batch_size: 0,
+        queue_wait: Duration::ZERO,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);

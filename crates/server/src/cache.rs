@@ -1,0 +1,293 @@
+//! The prepared-program cache: compiled queries interned across
+//! requests, so a repeat query skips parsing, normalization,
+//! optimization **and** the single-query merge entirely and goes
+//! straight to the shared scan pair.
+//!
+//! Keyed on `(database, language, source text)` — the compiled program
+//! is label-bound, so the same source against a different database is a
+//! different entry. Byte-size-bounded with least-recently-used
+//! eviction; hit/miss/eviction counters surface on the wire through
+//! `ServerStats`.
+
+use crate::protocol::WireLanguage;
+use arb_engine::{Query, QueryBatch};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: a query is reusable only against the database whose label
+/// space it was compiled into.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registered database name.
+    pub db: String,
+    /// Source language.
+    pub language: WireLanguage,
+    /// Verbatim query text.
+    pub source: String,
+}
+
+/// A compiled query plus its prepared single-query batch (the merged
+/// batch-of-one the session surface evaluates), built once on a cache
+/// miss and shared by every later hit.
+pub struct PreparedProgram {
+    /// The compiled query.
+    pub query: Query,
+    /// The singleton [`QueryBatch`] over `query`, so a one-query
+    /// admission window skips `merge_programs` too.
+    pub singleton: QueryBatch,
+}
+
+impl PreparedProgram {
+    /// Prepares a freshly compiled query for caching.
+    pub fn new(query: Query) -> Self {
+        let singleton = QueryBatch::new(std::slice::from_ref(&query));
+        PreparedProgram { query, singleton }
+    }
+}
+
+/// Deterministic byte cost of one cache entry: key text plus a fixed
+/// model of the compiled and merged program sizes. Deterministic (no
+/// allocator introspection) so eviction order is testable.
+fn entry_cost(key: &CacheKey, p: &PreparedProgram) -> usize {
+    const ENTRY_OVERHEAD: usize = 256;
+    const PER_RULE: usize = 96;
+    const PER_PRED: usize = 32;
+    let prog = p.query.program();
+    let merged = p.singleton.merged_program();
+    ENTRY_OVERHEAD
+        + key.db.len()
+        + 2 * key.source.len() // the key's copy plus `Query::source`
+        + (prog.rule_count() + merged.rule_count()) * PER_RULE
+        + (prog.pred_count() + merged.pred_count()) * PER_PRED
+}
+
+struct Slot {
+    prepared: Arc<PreparedProgram>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Slot>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Counters and occupancy of a [`ProgramCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a prepared program.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller compiles and inserts).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Modeled bytes currently cached.
+    pub bytes: u64,
+    /// The byte budget.
+    pub budget: u64,
+}
+
+/// A byte-bounded LRU cache of [`PreparedProgram`]s.
+pub struct ProgramCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl ProgramCache {
+    /// A cache evicting least-recently-used entries past `budget` bytes
+    /// (modeled bytes, see the module docs).
+    pub fn new(budget: usize) -> Self {
+        ProgramCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            budget,
+        }
+    }
+
+    /// Looks up a prepared program, counting a hit or a miss and
+    /// freshening the entry's recency on a hit.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<PreparedProgram>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let p = Arc::clone(&slot.prepared);
+                inner.hits += 1;
+                Some(p)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly compiled program, evicting least-recently-used
+    /// entries until it fits. Returns `false` (and caches nothing) when
+    /// the entry alone exceeds the whole budget. Re-inserting an
+    /// existing key replaces the entry.
+    pub fn insert(&self, key: CacheKey, prepared: Arc<PreparedProgram>) -> bool {
+        let cost = entry_cost(&key, &prepared);
+        if cost > self.budget {
+            return false;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + cost > self.budget {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&victim).expect("victim exists");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += cost;
+        inner.map.insert(
+            key,
+            Slot {
+                prepared,
+                bytes: cost,
+                last_used: tick,
+            },
+        );
+        true
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes as u64,
+            budget: self.budget as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arb_engine::{CountSink, Database, EvalRequest};
+
+    fn key(db: &str, src: &str) -> CacheKey {
+        CacheKey {
+            db: db.into(),
+            language: WireLanguage::Tmnf,
+            source: src.into(),
+        }
+    }
+
+    fn compile(db: &mut Database, src: &str) -> Arc<PreparedProgram> {
+        Arc::new(PreparedProgram::new(db.compile_tmnf(src).unwrap()))
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut db = Database::from_xml_str("<r><a/></r>").unwrap();
+        let cache = ProgramCache::new(1 << 20);
+        let k = key("d", "QUERY :- V.Label[a];");
+        assert!(cache.lookup(&k).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        let p = compile(&mut db, &k.source);
+        assert!(cache.insert(k.clone(), p));
+        assert!(cache.lookup(&k).is_some());
+        assert!(cache.lookup(&k).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+        assert!(s.bytes > 0 && s.bytes <= s.budget);
+    }
+
+    #[test]
+    fn lru_eviction_under_tight_budget() {
+        let mut db = Database::from_xml_str("<r><a/><b/><c/></r>").unwrap();
+        let (ka, kb, kc) = (
+            key("d", "QUERY :- V.Label[a];"),
+            key("d", "QUERY :- V.Label[b];"),
+            key("d", "QUERY :- V.Label[c];"),
+        );
+        let (pa, pb, pc) = (
+            compile(&mut db, &ka.source),
+            compile(&mut db, &kb.source),
+            compile(&mut db, &kc.source),
+        );
+        // A budget that holds exactly two of these (near-identical)
+        // entries: inserting a third must evict the least recently used.
+        let one = entry_cost(&ka, &pa);
+        let cache = ProgramCache::new(2 * one + one / 2);
+        assert!(cache.insert(ka.clone(), pa));
+        assert!(cache.insert(kb.clone(), pb));
+        // Freshen `a`, making `b` the LRU victim.
+        assert!(cache.lookup(&ka).is_some());
+        assert!(cache.insert(kc.clone(), pc));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert!(cache.lookup(&ka).is_some(), "freshened entry survives");
+        assert!(cache.lookup(&kc).is_some(), "new entry cached");
+        assert!(cache.lookup(&kb).is_none(), "LRU entry evicted");
+        assert!(s.bytes <= s.budget, "budget respected after eviction");
+    }
+
+    #[test]
+    fn oversize_entries_are_not_cached() {
+        let mut db = Database::from_xml_str("<r><a/></r>").unwrap();
+        let k = key("d", "QUERY :- V.Label[a];");
+        let p = compile(&mut db, &k.source);
+        let cache = ProgramCache::new(8); // smaller than any entry
+        assert!(!cache.insert(k.clone(), p));
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.lookup(&k).is_none());
+    }
+
+    #[test]
+    fn cached_and_uncached_results_are_identical() {
+        let xml = "<r><a/><b><a>t</a></b></r>";
+        let src = "QUERY :- V.Label[a];";
+        let mut db = Database::from_xml_str(xml).unwrap();
+        let cache = ProgramCache::new(1 << 20);
+        let k = key("d", src);
+        cache.insert(k.clone(), compile(&mut db, src));
+        let cached = cache.lookup(&k).unwrap();
+
+        // Cached prepared batch vs a fresh compile of the same source.
+        let mut fresh_counts = CountSink::default();
+        let fresh_q = db.compile_tmnf(src).unwrap();
+        db.prepare(std::slice::from_ref(&fresh_q))
+            .eval(&EvalRequest::new(), &mut fresh_counts)
+            .unwrap();
+        let mut cached_counts = CountSink::default();
+        db.prepare_batch(&cached.singleton)
+            .eval(&EvalRequest::new(), &mut cached_counts)
+            .unwrap();
+        assert_eq!(cached_counts.counts(), fresh_counts.counts());
+        assert_eq!(cached_counts.counts(), &[2]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Blocking client for the resident query service.
+//!
+//! One [`Client`] owns one TCP connection and speaks the
+//! length-prefixed protocol defined in [`crate::protocol`]. Requests
+//! are strictly sequential per connection (send a frame, read a frame);
+//! open several clients for concurrency — the server batches them into
+//! shared passes on its side.
+
+use crate::protocol::{
+    self, ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
+    WireStats,
+};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connection refused, reset, malformed frame).
+    Io(io::Error),
+    /// The server answered with an error response.
+    Server {
+        /// The wire error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful query evaluation: the result plus the per-query share
+/// of the server-side pass statistics.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// The requested output.
+    pub result: QueryResult,
+    /// Per-query statistics — `batch_size` tells how many concurrent
+    /// queries shared the scan pair, `queue_wait_us` how long this one
+    /// sat in the admission window.
+    pub stats: WireStats,
+}
+
+/// A blocking connection to a running `arb serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.writer, &req.encode()?)?;
+        let payload = protocol::read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            ))
+        })?;
+        match Response::decode(&payload, req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Evaluates `source` (in `language`) against the registered
+    /// database `db`, returning the output shape picked by `output`.
+    pub fn query(
+        &mut self,
+        db: &str,
+        language: WireLanguage,
+        output: OutputKind,
+        source: &str,
+    ) -> Result<QueryReply, ClientError> {
+        let req = Request::Query {
+            db: db.to_string(),
+            language,
+            output,
+            source: source.to_string(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Query { result, stats } => Ok(QueryReply { result, stats }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's aggregate counters (batching effectiveness,
+    /// cache hit rate, shed requests).
+    pub fn server_stats(&mut self) -> Result<ServerStatsReply, ClientError> {
+        match self.roundtrip(&Request::ServerStats)? {
+            Response::ServerStats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (drain queued batches,
+    /// then exit).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ClientError {
+    ClientError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("response shape does not match the request: {resp:?}"),
+    ))
+}

@@ -1,0 +1,94 @@
+//! # arb-server
+//!
+//! The resident query service: keep `.arb` databases hot in one
+//! long-lived process and share two-phase scan pairs across concurrent
+//! clients (paper §7's multi-query batching, applied at admission time
+//! instead of compile time).
+//!
+//! A one-shot `arb query` pays the full cost per invocation: process
+//! start, database open, query compilation, one backward + one forward
+//! scan. The server amortizes all four. A **database registry** holds
+//! open [`arb_engine::Database`] handles across requests; a
+//! **prepared-program cache** ([`cache::ProgramCache`]) skips
+//! parse/normalize/optimize for repeated query text; and the **admission
+//! batcher** ([`server`]) merges every request that arrives within a
+//! small window (default 2 ms, cap 64) against the same database into
+//! one [`arb_engine::QueryBatch`] — k concurrent clients cost **one**
+//! shared backward + forward scan pair, not k. Each client gets its own
+//! result and its own share of the statistics: `batch_size` says how
+//! many queries rode the pass, `queue_wait_us` what admission cost.
+//! A bounded admission queue sheds excess load with a fast
+//! [`protocol::ErrorCode::Overloaded`] reply, and shutdown drains
+//! queued requests through their shared passes before exiting.
+//!
+//! ## Wire protocol
+//!
+//! Hand-rolled, length-prefixed, no external dependencies. Every frame
+//! is a little-endian `u32` payload length (cap 64 MiB) followed by the
+//! payload; each connection is a strict request/response lockstep.
+//! Integers are little-endian fixed width; strings and byte blobs are
+//! `u32` length + bytes. See [`protocol`] for the field-level layout.
+//!
+//! Requests (first payload byte is the opcode):
+//!
+//! | opcode | request | payload |
+//! |-------:|---------|---------|
+//! | `0x01` | `Query` | db name, language (`0` TMNF / `1` XPath), output kind (`0` bool / `1` count / `2` nodes / `3` marked XML), query source |
+//! | `0x02` | `Ping` | — |
+//! | `0x03` | `ServerStats` | — |
+//! | `0x04` | `Shutdown` | — |
+//!
+//! Responses lead with a status byte: `0x00` success (shape follows the
+//! request), `0xFF` error (code byte + message). Error codes:
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | `1` | `BadRequest` — malformed frame or unknown opcode |
+//! | `2` | `UnknownDatabase` — name not in the registry |
+//! | `3` | `Query` — compilation failed (message carries the diagnostic) |
+//! | `4` | `Overloaded` — admission queue full, retry later |
+//! | `5` | `Internal` — evaluation failed server-side |
+//! | `6` | `ShuttingDown` — server is draining |
+//!
+//! ## Example
+//!
+//! ```
+//! use arb_server::client::Client;
+//! use arb_server::protocol::{OutputKind, QueryResult, WireLanguage};
+//! use arb_server::server::{Server, ServerConfig};
+//! use std::io::Cursor;
+//!
+//! // A tiny .arb database to serve.
+//! let dir = std::env::temp_dir().join(format!("arb-srv-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let db = dir.join("docs.arb");
+//! arb_storage::create_from_xml(
+//!     Cursor::new("<r><a/><b><a/></b></r>".as_bytes()),
+//!     &arb_xml::XmlConfig::default(),
+//!     &db,
+//! )
+//! .unwrap();
+//!
+//! let handle = Server::start(ServerConfig::default(), &[&db]).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! let reply = client
+//!     .query("docs", WireLanguage::XPath, OutputKind::Count, "//a")
+//!     .unwrap();
+//! assert_eq!(reply.result, QueryResult::Count(2));
+//! assert!(reply.stats.batch_size >= 1);
+//! client.shutdown().unwrap();
+//! handle.wait();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, ProgramCache};
+pub use client::{Client, ClientError, QueryReply};
+pub use protocol::{
+    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
+    WireStats,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

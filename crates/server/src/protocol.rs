@@ -1,0 +1,740 @@
+//! The wire protocol of the resident query service.
+//!
+//! Every message — request or response — travels as one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | len: u32 LE    | payload (len bytes) |
+//! +----------------+---------------------+
+//! ```
+//!
+//! `len` counts the payload only and must not exceed
+//! [`MAX_FRAME_BYTES`]; oversized or short frames are protocol errors.
+//! All integers are little-endian. Strings are UTF-8, length-prefixed
+//! (`u16` for names, `u32` for query/message bodies).
+//!
+//! # Request payloads
+//!
+//! The first payload byte is the opcode:
+//!
+//! | opcode | request     | body                                           |
+//! |--------|-------------|------------------------------------------------|
+//! | `0x01` | Query       | `db: str16, lang: u8, output: u8, source: str32` |
+//! | `0x02` | Ping        | —                                              |
+//! | `0x03` | ServerStats | —                                              |
+//! | `0x04` | Shutdown    | —                                              |
+//!
+//! `lang`: `0` = TMNF, `1` = Core XPath. `output`: `0` = bool, `1` =
+//! count, `2` = nodes, `3` = marked XML.
+//!
+//! # Response payloads
+//!
+//! The first payload byte is the status: `0x00` for success, else an
+//! error code (see [`ErrorCode`]). Error responses carry a `str32`
+//! message after the code. Success bodies:
+//!
+//! * **Query** — `output: u8`, then the result (`bool`: `u8`; `count`:
+//!   `u64`; `nodes`: `u32` count + that many `u32` preorder indexes;
+//!   `xml`: `u32` length + bytes), then the [`WireStats`] block.
+//! * **Ping** / **Shutdown** — empty.
+//! * **ServerStats** — the [`ServerStatsReply`] block.
+//!
+//! # Error codes
+//!
+//! | code | meaning                                                     |
+//! |------|-------------------------------------------------------------|
+//! | `1`  | [`ErrorCode::BadRequest`] — malformed frame or unknown opcode |
+//! | `2`  | [`ErrorCode::UnknownDatabase`] — no database under that name |
+//! | `3`  | [`ErrorCode::Query`] — the query failed to compile          |
+//! | `4`  | [`ErrorCode::Overloaded`] — admission queue full, retry later |
+//! | `5`  | [`ErrorCode::Internal`] — evaluation / I/O failure           |
+//! | `6`  | [`ErrorCode::ShuttingDown`] — server is draining             |
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload size (requests *and* responses).
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// The query language of a wire request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireLanguage {
+    /// The Arb surface syntax (TMNF with caterpillar expressions).
+    Tmnf,
+    /// Core XPath.
+    XPath,
+}
+
+impl WireLanguage {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireLanguage::Tmnf => 0,
+            WireLanguage::XPath => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        match v {
+            0 => Ok(WireLanguage::Tmnf),
+            1 => Ok(WireLanguage::XPath),
+            other => Err(bad(format!("unknown language byte {other}"))),
+        }
+    }
+}
+
+/// The requested result shape of a wire query (the sink choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputKind {
+    /// Accept/reject verdict (document filtering).
+    Bool,
+    /// Selected-node count.
+    Count,
+    /// Selected preorder indexes.
+    Nodes,
+    /// The document with this query's selected nodes marked.
+    Xml,
+}
+
+impl OutputKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            OutputKind::Bool => 0,
+            OutputKind::Count => 1,
+            OutputKind::Nodes => 2,
+            OutputKind::Xml => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        match v {
+            0 => Ok(OutputKind::Bool),
+            1 => Ok(OutputKind::Count),
+            2 => Ok(OutputKind::Nodes),
+            3 => Ok(OutputKind::Xml),
+            other => Err(bad(format!("unknown output byte {other}"))),
+        }
+    }
+}
+
+/// Wire error codes (the nonzero response status bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame, unknown opcode, or out-of-spec field.
+    BadRequest,
+    /// The named database is not registered with the server.
+    UnknownDatabase,
+    /// The query failed to compile.
+    Query,
+    /// The admission queue is full; the client should back off and retry.
+    Overloaded,
+    /// Evaluation or I/O failed server-side.
+    Internal,
+    /// The server is draining in-flight batches and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::UnknownDatabase => 2,
+            ErrorCode::Query => 3,
+            ErrorCode::Overloaded => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::ShuttingDown => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> io::Result<Self> {
+        match v {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::UnknownDatabase),
+            3 => Ok(ErrorCode::Query),
+            4 => Ok(ErrorCode::Overloaded),
+            5 => Ok(ErrorCode::Internal),
+            6 => Ok(ErrorCode::ShuttingDown),
+            other => Err(bad(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::UnknownDatabase => "unknown database",
+            ErrorCode::Query => "query error",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal error",
+            ErrorCode::ShuttingDown => "shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A request frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate one query against a registered database.
+    Query {
+        /// Registered database name (the `.arb` file stem).
+        db: String,
+        /// Query language of `source`.
+        language: WireLanguage,
+        /// Requested result shape.
+        output: OutputKind,
+        /// Query text.
+        source: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Server-wide counters (batching, cache, load shedding).
+    ServerStats,
+    /// Graceful shutdown: drain in-flight batches, then stop.
+    Shutdown,
+}
+
+/// The per-query statistics block of a successful query response — the
+/// amortization story on the wire: `batch_size` queries shared
+/// `backward_scans + forward_scans` linear scans, and this request
+/// waited `queue_wait_us` in the admission window before the shared
+/// pass started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Queries merged into the shared pass that served this request.
+    pub batch_size: u32,
+    /// Microseconds between admission and the start of the shared pass.
+    pub queue_wait_us: u64,
+    /// Backward linear scans of the shared pass (1, shared by the batch).
+    pub backward_scans: u64,
+    /// Forward linear scans of the shared pass (1, or 0 for all-boolean
+    /// batches, which need no phase 2).
+    pub forward_scans: u64,
+    /// Nodes this query selected.
+    pub selected: u64,
+    /// Nodes in the database.
+    pub nodes: u64,
+    /// Phase-1 wall time of the shared pass, microseconds.
+    pub phase1_us: u64,
+    /// Phase-2 wall time of the shared pass, microseconds.
+    pub phase2_us: u64,
+    /// True when the compiled program came from the prepared-program
+    /// cache (compile + single-query merge skipped).
+    pub cache_hit: bool,
+    /// On-disk format of the database (0 for in-memory).
+    pub db_format: u8,
+}
+
+/// One query's result payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Accept/reject verdict.
+    Bool(bool),
+    /// Selected-node count.
+    Count(u64),
+    /// Selected preorder indexes.
+    Nodes(Vec<u32>),
+    /// The marked document.
+    Xml(Vec<u8>),
+}
+
+/// Server-wide counters returned by [`Request::ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsReply {
+    /// Query requests admitted (excludes shed / failed ones).
+    pub requests: u64,
+    /// Shared passes executed (each serves a whole admission window).
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Total backward scans across all batches.
+    pub backward_scans: u64,
+    /// Total forward scans across all batches.
+    pub forward_scans: u64,
+    /// Requests shed with [`ErrorCode::Overloaded`].
+    pub overloaded: u64,
+    /// Prepared-program cache hits.
+    pub cache_hits: u64,
+    /// Prepared-program cache misses (compiles).
+    pub cache_misses: u64,
+    /// Prepared-program cache evictions.
+    pub cache_evictions: u64,
+    /// Bytes currently held by the prepared-program cache.
+    pub cache_bytes: u64,
+    /// Databases kept open by the registry.
+    pub open_databases: u64,
+}
+
+/// A response frame, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Successful query evaluation.
+    Query {
+        /// The result, shaped per the request's [`OutputKind`].
+        result: QueryResult,
+        /// Shared-pass statistics, demultiplexed for this query.
+        stats: WireStats,
+    },
+    /// Ping or shutdown acknowledged.
+    Ok,
+    /// Server-wide counters.
+    ServerStats(ServerStatsReply),
+    /// Request failed.
+    Error {
+        /// Why.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            bad(format!(
+                "frame payload of {} bytes too large",
+                payload.len()
+            ))
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. Returns `None` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let m = r.read(&mut len_buf[n..])?;
+                if m == 0 {
+                    return Err(bad("truncated frame length".into()));
+                }
+                n += m;
+            }
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(bad(format!(
+            "frame of {len} bytes exceeds the protocol cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// -------------------------------------------------------- field helpers
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated payload".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in str16".into()))
+    }
+
+    fn str32(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid UTF-8 in str32".into()))
+    }
+
+    fn bytes32(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) -> io::Result<()> {
+    let len = u16::try_from(s.len()).map_err(|_| bad("name longer than 64 KiB".into()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_str32(out: &mut Vec<u8>, s: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(s.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| bad("body longer than the frame cap".into()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s);
+    Ok(())
+}
+
+// ------------------------------------------------------ request codecs
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query {
+                db,
+                language,
+                output,
+                source,
+            } => {
+                out.push(0x01);
+                put_str16(&mut out, db)?;
+                out.push(language.to_u8());
+                out.push(output.to_u8());
+                put_str32(&mut out, source.as_bytes())?;
+            }
+            Request::Ping => out.push(0x02),
+            Request::ServerStats => out.push(0x03),
+            Request::Shutdown => out.push(0x04),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            0x01 => Request::Query {
+                db: c.str16()?,
+                language: WireLanguage::from_u8(c.u8()?)?,
+                output: OutputKind::from_u8(c.u8()?)?,
+                source: c.str32()?,
+            },
+            0x02 => Request::Ping,
+            0x03 => Request::ServerStats,
+            0x04 => Request::Shutdown,
+            other => return Err(bad(format!("unknown opcode {other:#04x}"))),
+        };
+        c.done()?;
+        Ok(req)
+    }
+}
+
+// ----------------------------------------------------- response codecs
+
+impl WireStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.batch_size.to_le_bytes());
+        out.extend_from_slice(&self.queue_wait_us.to_le_bytes());
+        out.extend_from_slice(&self.backward_scans.to_le_bytes());
+        out.extend_from_slice(&self.forward_scans.to_le_bytes());
+        out.extend_from_slice(&self.selected.to_le_bytes());
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&self.phase1_us.to_le_bytes());
+        out.extend_from_slice(&self.phase2_us.to_le_bytes());
+        out.push(self.cache_hit as u8);
+        out.push(self.db_format);
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> io::Result<Self> {
+        Ok(WireStats {
+            batch_size: c.u32()?,
+            queue_wait_us: c.u64()?,
+            backward_scans: c.u64()?,
+            forward_scans: c.u64()?,
+            selected: c.u64()?,
+            nodes: c.u64()?,
+            phase1_us: c.u64()?,
+            phase2_us: c.u64()?,
+            cache_hit: c.u8()? != 0,
+            db_format: c.u8()?,
+        })
+    }
+}
+
+impl ServerStatsReply {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.requests,
+            self.batches,
+            self.max_batch,
+            self.backward_scans,
+            self.forward_scans,
+            self.overloaded,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_bytes,
+            self.open_databases,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> io::Result<Self> {
+        Ok(ServerStatsReply {
+            requests: c.u64()?,
+            batches: c.u64()?,
+            max_batch: c.u64()?,
+            backward_scans: c.u64()?,
+            forward_scans: c.u64()?,
+            overloaded: c.u64()?,
+            cache_hits: c.u64()?,
+            cache_misses: c.u64()?,
+            cache_evictions: c.u64()?,
+            cache_bytes: c.u64()?,
+            open_databases: c.u64()?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        match self {
+            Response::Query { result, stats } => {
+                out.push(0x00);
+                match result {
+                    QueryResult::Bool(b) => {
+                        out.push(OutputKind::Bool.to_u8());
+                        out.push(*b as u8);
+                    }
+                    QueryResult::Count(n) => {
+                        out.push(OutputKind::Count.to_u8());
+                        out.extend_from_slice(&n.to_le_bytes());
+                    }
+                    QueryResult::Nodes(ixs) => {
+                        out.push(OutputKind::Nodes.to_u8());
+                        let len = u32::try_from(ixs.len())
+                            .map_err(|_| bad("node set too large for the wire".into()))?;
+                        out.extend_from_slice(&len.to_le_bytes());
+                        for ix in ixs {
+                            out.extend_from_slice(&ix.to_le_bytes());
+                        }
+                    }
+                    QueryResult::Xml(bytes) => {
+                        out.push(OutputKind::Xml.to_u8());
+                        put_str32(&mut out, bytes)?;
+                    }
+                }
+                stats.encode(&mut out);
+            }
+            Response::Ok => out.push(0x00),
+            Response::ServerStats(s) => {
+                out.push(0x00);
+                s.encode(&mut out);
+            }
+            Response::Error { code, message } => {
+                out.push(code.to_u8());
+                put_str32(&mut out, message.as_bytes())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a frame payload into a response; the decode shape depends
+    /// on which request this response answers.
+    pub fn decode(payload: &[u8], for_request: &Request) -> io::Result<Response> {
+        let mut c = Cursor::new(payload);
+        let status = c.u8()?;
+        if status != 0 {
+            let resp = Response::Error {
+                code: ErrorCode::from_u8(status)?,
+                message: c.str32()?,
+            };
+            c.done()?;
+            return Ok(resp);
+        }
+        let resp = match for_request {
+            Request::Query { .. } => {
+                let result = match OutputKind::from_u8(c.u8()?)? {
+                    OutputKind::Bool => QueryResult::Bool(c.u8()? != 0),
+                    OutputKind::Count => QueryResult::Count(c.u64()?),
+                    OutputKind::Nodes => {
+                        let n = c.u32()? as usize;
+                        let mut ixs = Vec::with_capacity(n.min(1 << 20));
+                        for _ in 0..n {
+                            ixs.push(c.u32()?);
+                        }
+                        QueryResult::Nodes(ixs)
+                    }
+                    OutputKind::Xml => QueryResult::Xml(c.bytes32()?),
+                };
+                Response::Query {
+                    result,
+                    stats: WireStats::decode(&mut c)?,
+                }
+            }
+            Request::Ping | Request::Shutdown => Response::Ok,
+            Request::ServerStats => Response::ServerStats(ServerStatsReply::decode(&mut c)?),
+        };
+        c.done()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let enc = req.encode().unwrap();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response, for_request: &Request) {
+        let enc = resp.encode().unwrap();
+        assert_eq!(Response::decode(&enc, for_request).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::ServerStats);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Query {
+            db: "treebank".into(),
+            language: WireLanguage::XPath,
+            output: OutputKind::Nodes,
+            source: "//NP//VP".into(),
+        });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let q = Request::Query {
+            db: "d".into(),
+            language: WireLanguage::Tmnf,
+            output: OutputKind::Count,
+            source: "QUERY :- Root;".into(),
+        };
+        let stats = WireStats {
+            batch_size: 8,
+            queue_wait_us: 1500,
+            backward_scans: 1,
+            forward_scans: 1,
+            selected: 42,
+            nodes: 1000,
+            phase1_us: 12,
+            phase2_us: 34,
+            cache_hit: true,
+            db_format: 2,
+        };
+        for result in [
+            QueryResult::Bool(true),
+            QueryResult::Count(42),
+            QueryResult::Nodes(vec![0, 7, 12]),
+            QueryResult::Xml(b"<r/>".to_vec()),
+        ] {
+            roundtrip_response(Response::Query { result, stats }, &q);
+        }
+        roundtrip_response(Response::Ok, &Request::Ping);
+        roundtrip_response(
+            Response::ServerStats(ServerStatsReply {
+                requests: 12,
+                batches: 3,
+                max_batch: 4,
+                backward_scans: 3,
+                forward_scans: 3,
+                overloaded: 1,
+                cache_hits: 8,
+                cache_misses: 4,
+                cache_evictions: 0,
+                cache_bytes: 4096,
+                open_databases: 2,
+            }),
+            &Request::ServerStats,
+        );
+        roundtrip_response(
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+            &q,
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // An adversarial length prefix is rejected without allocating.
+        let huge = (MAX_FRAME_BYTES + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // A truncated length prefix is an error, not a clean EOF.
+        assert!(read_frame(&mut &buf[..2]).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x99]).is_err());
+        // Trailing garbage after a valid request is an error.
+        assert!(Request::decode(&[0x02, 0xFF]).is_err());
+        // Truncated query body.
+        let mut enc = Request::Query {
+            db: "d".into(),
+            language: WireLanguage::Tmnf,
+            output: OutputKind::Bool,
+            source: "QUERY :- Root;".into(),
+        }
+        .encode()
+        .unwrap();
+        enc.truncate(enc.len() - 3);
+        assert!(Request::decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,636 @@
+//! The resident query service: database registry, admission batcher,
+//! thread-per-connection TCP front end.
+//!
+//! The heart is the **admission batcher**: one dispatcher thread per
+//! registered database collects query requests that arrive within a
+//! configurable window ([`ServerConfig::batch_window`], capped at
+//! [`ServerConfig::max_batch`] queries), merges their cached compiled
+//! programs into one [`QueryBatch`], and runs a single shared
+//! backward + forward scan pair through the ordinary
+//! [`Session::eval`](arb_engine::Session::eval) surface — then
+//! demultiplexes results and per-query statistics back to each waiting
+//! connection. k concurrent clients cost one scan pair, not k.
+
+use crate::cache::{CacheKey, PreparedProgram, ProgramCache};
+use crate::protocol::{
+    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
+    WireStats,
+};
+use arb_engine::{
+    BooleanSink, Database, EvalRequest, Query, QueryBatch, ResultSink, SinkDemand, XmlEmitter,
+};
+use arb_storage::NodeRecord;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// The admission window: the first request against a database opens
+    /// a window, and every request arriving before it closes joins the
+    /// same shared scan pair.
+    pub batch_window: Duration,
+    /// Hard cap on queries per shared pass; a full window dispatches
+    /// immediately without waiting out the rest of `batch_window`.
+    pub max_batch: usize,
+    /// Bound on queued (admitted, not yet dispatched) requests per
+    /// database. Requests beyond it are shed with
+    /// [`ErrorCode::Overloaded`] instead of buffering without bound.
+    pub queue_cap: usize,
+    /// Byte budget of the prepared-program cache.
+    pub cache_budget: usize,
+    /// Sweep stale scratch `.sta` streams left by dead processes when
+    /// opening each database (see
+    /// [`arb_storage::sweep_stale_scratch`]).
+    pub sweep_scratch: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            batch_window: Duration::from_millis(2),
+            max_batch: 64,
+            queue_cap: 256,
+            cache_budget: 16 << 20,
+            sweep_scratch: true,
+        }
+    }
+}
+
+/// One admitted query waiting for (or riding in) a shared pass.
+struct Pending {
+    prepared: Arc<PreparedProgram>,
+    output: OutputKind,
+    cache_hit: bool,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: Vec<Pending>,
+    draining: bool,
+}
+
+/// A registered database: the open handle plus its admission queue.
+struct DbEntry {
+    db: RwLock<Database>,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    backward_scans: AtomicU64,
+    forward_scans: AtomicU64,
+    overloaded: AtomicU64,
+}
+
+struct ServerShared {
+    config: ServerConfig,
+    dbs: HashMap<String, Arc<DbEntry>>,
+    cache: ProgramCache,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// A running resident query service. Obtain with [`Server::start`];
+/// stop with [`ServerHandle::shutdown`] (drains in-flight batches) or
+/// by sending the wire `Shutdown` request.
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens every database (registered under its file stem), binds the
+    /// listen address, and starts the accept loop plus one admission
+    /// batcher per database.
+    pub fn start(config: ServerConfig, db_paths: &[impl AsRef<Path>]) -> io::Result<ServerHandle> {
+        if db_paths.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a server needs at least one database",
+            ));
+        }
+        let mut dbs = HashMap::new();
+        for path in db_paths {
+            let path = path.as_ref();
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("cannot derive a database name from {}", path.display()),
+                    )
+                })?
+                .to_string();
+            let db = Database::open_arb(path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if config.sweep_scratch {
+                if let Some(disk) = db.as_disk() {
+                    disk.sweep_stale_scratch()?;
+                }
+            }
+            if dbs
+                .insert(
+                    name.clone(),
+                    Arc::new(DbEntry {
+                        db: RwLock::new(db),
+                        state: Mutex::new(QueueState::default()),
+                        cv: Condvar::new(),
+                    }),
+                )
+                .is_some()
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate database name {name:?}"),
+                ));
+            }
+        }
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let cache = ProgramCache::new(config.cache_budget);
+        let shared = Arc::new(ServerShared {
+            config,
+            dbs,
+            cache,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let batchers: Vec<JoinHandle<()>> = shared
+            .dbs
+            .values()
+            .map(|entry| {
+                let shared = Arc::clone(&shared);
+                let entry = Arc::clone(entry);
+                thread::spawn(move || batcher_loop(&shared, &entry))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&shared, listener, batchers))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown — new queries are refused with
+    /// `ShuttingDown`, queued ones are drained through their shared
+    /// passes — and waits for the server threads to finish.
+    pub fn shutdown(mut self) {
+        begin_shutdown(&self.shared);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (a wire `Shutdown` request or
+    /// another thread's [`ServerHandle::shutdown`]).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn begin_shutdown(shared: &ServerShared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for entry in shared.dbs.values() {
+        let mut st = entry.state.lock().unwrap();
+        st.draining = true;
+        entry.cv.notify_all();
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener, batchers: Vec<JoinHandle<()>>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    let _ = handle_connection(&shared, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    // Shutdown: the batchers drain their queues, then exit.
+    for h in batchers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Poll between frames so idle connections notice a shutdown.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(150)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match crate::protocol::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // peer closed
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => process(shared, req),
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        crate::protocol::write_frame(&mut writer, &response.encode()?)?;
+    }
+}
+
+fn process(shared: &Arc<ServerShared>, req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Ok,
+        Request::Shutdown => {
+            begin_shutdown(shared);
+            Response::Ok
+        }
+        Request::ServerStats => Response::ServerStats(gather_stats(shared)),
+        Request::Query {
+            db,
+            language,
+            output,
+            source,
+        } => process_query(shared, db, language, output, source),
+    }
+}
+
+fn gather_stats(shared: &ServerShared) -> ServerStatsReply {
+    let c = &shared.counters;
+    let cache = shared.cache.stats();
+    ServerStatsReply {
+        requests: c.requests.load(Ordering::Relaxed),
+        batches: c.batches.load(Ordering::Relaxed),
+        max_batch: c.max_batch.load(Ordering::Relaxed),
+        backward_scans: c.backward_scans.load(Ordering::Relaxed),
+        forward_scans: c.forward_scans.load(Ordering::Relaxed),
+        overloaded: c.overloaded.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_evictions: cache.evictions,
+        cache_bytes: cache.bytes,
+        open_databases: shared.dbs.len() as u64,
+    }
+}
+
+fn process_query(
+    shared: &Arc<ServerShared>,
+    db: String,
+    language: WireLanguage,
+    output: OutputKind,
+    source: String,
+) -> Response {
+    let Some(entry) = shared.dbs.get(&db) else {
+        return Response::Error {
+            code: ErrorCode::UnknownDatabase,
+            message: format!("no database registered as {db:?}"),
+        };
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        };
+    }
+    // Prepared-program cache: a hit skips parse/normalize/optimize and
+    // the single-query merge; a miss compiles under the database's
+    // write lock (compilation interns labels) and populates the cache.
+    let key = CacheKey {
+        db,
+        language,
+        source,
+    };
+    let (prepared, cache_hit) = match shared.cache.lookup(&key) {
+        Some(p) => (p, true),
+        None => {
+            let compiled = {
+                let mut db = entry.db.write().unwrap();
+                match key.language {
+                    WireLanguage::Tmnf => db.compile_tmnf(&key.source),
+                    WireLanguage::XPath => db.compile_xpath(&key.source),
+                }
+            };
+            let query = match compiled {
+                Ok(q) => q,
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Query,
+                        message: e.to_string(),
+                    }
+                }
+            };
+            let prepared = Arc::new(PreparedProgram::new(query));
+            shared.cache.insert(key, Arc::clone(&prepared));
+            (prepared, false)
+        }
+    };
+    // Admission: join the database's current window, shedding when the
+    // queue is full.
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut st = entry.state.lock().unwrap();
+        if st.draining {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+            };
+        }
+        if st.items.len() >= shared.config.queue_cap {
+            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!(
+                    "admission queue full ({} pending); retry later",
+                    st.items.len()
+                ),
+            };
+        }
+        st.items.push(Pending {
+            prepared,
+            output,
+            cache_hit,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        entry.cv.notify_all();
+    }
+    rx.recv().unwrap_or_else(|_| Response::Error {
+        code: ErrorCode::Internal,
+        message: "batcher terminated before replying".into(),
+    })
+}
+
+/// The per-database dispatcher: waits for a window to fill or expire,
+/// drains up to `max_batch` admitted queries, and runs them through one
+/// shared pass.
+fn batcher_loop(shared: &ServerShared, entry: &DbEntry) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut st = entry.state.lock().unwrap();
+            loop {
+                if st.items.is_empty() {
+                    if st.draining {
+                        return;
+                    }
+                    st = entry.cv.wait(st).unwrap();
+                    continue;
+                }
+                // The window opened when its first request was admitted.
+                let deadline = st.items[0].enqueued + shared.config.batch_window;
+                let now = Instant::now();
+                if st.draining || st.items.len() >= shared.config.max_batch || now >= deadline {
+                    let take = st.items.len().min(shared.config.max_batch);
+                    break st.items.drain(..take).collect();
+                }
+                let (guard, _) = entry.cv.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        };
+        run_batch(shared, entry, batch);
+    }
+}
+
+/// Holds whichever batch the window resolved to: the cached singleton
+/// (one-query window, merge skipped) or a fresh merge of the window's
+/// cached programs.
+enum WindowBatch {
+    Single(Arc<PreparedProgram>),
+    Merged(Box<QueryBatch>),
+}
+
+impl WindowBatch {
+    fn batch(&self) -> &QueryBatch {
+        match self {
+            WindowBatch::Single(p) => &p.singleton,
+            WindowBatch::Merged(b) => b,
+        }
+    }
+}
+
+/// Streams phase 2 into one [`XmlEmitter`] per marked-XML client, each
+/// marking **its own** query's selections only (unlike
+/// [`arb_engine::XmlMarkSink`], which marks the session union).
+struct MarkDemuxSink<'l> {
+    emitters: Vec<Option<XmlEmitter<'l, Vec<u8>>>>,
+    outputs: Vec<Option<Vec<u8>>>,
+}
+
+impl ResultSink for MarkDemuxSink<'_> {
+    fn demand(&self) -> SinkDemand {
+        SinkDemand::Stream
+    }
+
+    fn node(&mut self, _ix: u32, rec: NodeRecord, selected_by: &[bool]) -> io::Result<()> {
+        for (e, &sel) in self.emitters.iter_mut().zip(selected_by) {
+            if let Some(e) = e {
+                e.node(rec, sel)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        for (e, out) in self.emitters.iter_mut().zip(self.outputs.iter_mut()) {
+            if let Some(e) = e.take() {
+                *out = Some(e.finish()?);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn internal_error(message: String) -> Response {
+    Response::Error {
+        code: ErrorCode::Internal,
+        message,
+    }
+}
+
+fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
+    let eval_start = Instant::now();
+    let window = if items.len() == 1 {
+        WindowBatch::Single(Arc::clone(&items[0].prepared))
+    } else {
+        let refs: Vec<&Query> = items.iter().map(|p| &p.prepared.query).collect();
+        WindowBatch::Merged(Box::new(QueryBatch::from_query_refs(&refs)))
+    };
+    let db = entry.db.read().unwrap();
+    let session = db.prepare_batch(window.batch());
+    let req = EvalRequest::new();
+    let all_bool = items.iter().all(|p| p.output == OutputKind::Bool);
+    let any_xml = items.iter().any(|p| p.output == OutputKind::Xml);
+    let queue_wait =
+        |p: &Pending| eval_start.saturating_duration_since(p.enqueued).as_micros() as u64;
+
+    let responses: Vec<Response> = if all_bool {
+        // Verdict-only batches skip phase 2 entirely — on disk the whole
+        // window is one shared backward scan and no `.sta` stream.
+        let mut sink = BooleanSink::default();
+        match session.eval(&req, &mut sink) {
+            Ok(report) => {
+                record_scans(shared, items.len(), 1, 0);
+                let stats = WireStats {
+                    batch_size: items.len() as u32,
+                    backward_scans: 1,
+                    forward_scans: 0,
+                    nodes: db.node_count(),
+                    db_format: db.as_disk().map_or(0, |d| d.format_version()),
+                    ..WireStats::default()
+                };
+                report
+                    .verdicts
+                    .iter()
+                    .zip(&items)
+                    .map(|(&v, p)| Response::Query {
+                        result: QueryResult::Bool(v),
+                        stats: WireStats {
+                            queue_wait_us: queue_wait(p),
+                            cache_hit: p.cache_hit,
+                            ..stats
+                        },
+                    })
+                    .collect()
+            }
+            Err(e) => items
+                .iter()
+                .map(|_| internal_error(e.to_string()))
+                .collect(),
+        }
+    } else {
+        let mut sink = MarkDemuxSink {
+            emitters: items
+                .iter()
+                .map(|p| {
+                    (p.output == OutputKind::Xml).then(|| XmlEmitter::new(db.labels(), Vec::new()))
+                })
+                .collect(),
+            outputs: items.iter().map(|_| None).collect(),
+        };
+        // Without an XML client there is nothing to stream; an
+        // outcome-only discard sink lets verdict/count/nodes clients
+        // share the plain two-scan pass.
+        struct OutcomesOnly;
+        impl ResultSink for OutcomesOnly {}
+        let mut discard = OutcomesOnly;
+        let active: &mut dyn ResultSink = if any_xml { &mut sink } else { &mut discard };
+        match session.eval(&req, active) {
+            Ok(report) => {
+                let batch = report
+                    .batch
+                    .as_ref()
+                    .expect("outcome demand yields a batch");
+                record_scans(
+                    shared,
+                    items.len(),
+                    batch.stats.backward_scans,
+                    batch.stats.forward_scans,
+                );
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let o = &batch.outcomes[i];
+                        let mut stats = WireStats {
+                            batch_size: o.stats.batch_size as u32,
+                            queue_wait_us: queue_wait(p),
+                            backward_scans: o.stats.backward_scans,
+                            forward_scans: o.stats.forward_scans,
+                            selected: o.stats.selected,
+                            nodes: o.stats.nodes,
+                            phase1_us: o.stats.phase1_time.as_micros() as u64,
+                            phase2_us: o.stats.phase2_time.as_micros() as u64,
+                            cache_hit: p.cache_hit,
+                            db_format: o.stats.db_format,
+                        };
+                        if stats.nodes == 0 {
+                            stats.nodes = db.node_count();
+                        }
+                        let result = match p.output {
+                            OutputKind::Bool => QueryResult::Bool(report.verdicts[i]),
+                            OutputKind::Count => QueryResult::Count(o.stats.selected),
+                            OutputKind::Nodes => {
+                                QueryResult::Nodes(o.selected.iter().map(|v| v.0).collect())
+                            }
+                            OutputKind::Xml => match sink.outputs[i].take() {
+                                Some(xml) => QueryResult::Xml(xml),
+                                None => {
+                                    return internal_error(
+                                        "marked-XML stream missing for this query".into(),
+                                    )
+                                }
+                            },
+                        };
+                        Response::Query { result, stats }
+                    })
+                    .collect()
+            }
+            Err(e) => items
+                .iter()
+                .map(|_| internal_error(e.to_string()))
+                .collect(),
+        }
+    };
+    drop(db);
+    for (p, resp) in items.iter().zip(responses) {
+        // A send error means the client hung up; the batch ran anyway.
+        let _ = p.reply.send(resp);
+    }
+}
+
+fn record_scans(shared: &ServerShared, batch_len: usize, backward: u64, forward: u64) {
+    let c = &shared.counters;
+    c.requests.fetch_add(batch_len as u64, Ordering::Relaxed);
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.max_batch.fetch_max(batch_len as u64, Ordering::Relaxed);
+    c.backward_scans.fetch_add(backward, Ordering::Relaxed);
+    c.forward_scans.fetch_add(forward, Ordering::Relaxed);
+}

@@ -280,6 +280,16 @@ impl ArbDatabase {
         ScratchPath::new(sibling(&self.arb_path, &format!("p{pid}-{seq}.sta")))
     }
 
+    /// Removes scratch `.sta` streams (and their side files) that a
+    /// **dead** process left next to this database — the delete-on-drop
+    /// guard of [`scratch_sta`](ArbDatabase::scratch_sta) cannot run
+    /// when its process is killed. Long-lived servers call this when
+    /// they open a database. Returns the swept paths; see
+    /// [`crate::stafile::sweep_stale_scratch`].
+    pub fn sweep_stale_scratch(&self) -> io::Result<Vec<PathBuf>> {
+        crate::stafile::sweep_stale_scratch(&self.arb_path)
+    }
+
     /// Opens a forward record scan (top-down traversal input).
     pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
         self.forward_scan_range(0, self.node_count)

@@ -74,6 +74,6 @@ pub use create::{
 pub use db::ArbDatabase;
 pub use format::NodeRecord;
 pub use scan::{BackwardScan, ForwardScan};
-pub use stafile::{ScratchPath, StaFormat};
+pub use stafile::{sweep_stale_scratch, ScratchPath, StaFormat};
 pub use stats::{profile, Profile};
 pub use traversal::{bottom_up_scan, subtree_extents, top_down_scan, DownContext};

@@ -191,6 +191,70 @@ impl Drop for ScratchPath {
     }
 }
 
+/// Deletes stale scratch streams a **dead** process left next to a
+/// database: `ScratchPath`'s delete-on-drop cannot run when the process
+/// is killed (Ctrl-C, SIGKILL, OOM), so a long-lived server sweeps at
+/// startup instead. The scratch name embeds the owning pid
+/// (`<stem>.p<pid>-<seq>.sta` plus `.seg-*`/`.patch` side files); a
+/// file is removed only when its pid is not the current process and is
+/// provably not running (`/proc/<pid>` absent). On platforms without
+/// `/proc`, liveness cannot be checked and nothing is removed. Returns
+/// the paths that were swept.
+pub fn sweep_stale_scratch(db_path: &Path) -> io::Result<Vec<PathBuf>> {
+    let Some(dir) = db_path.parent().filter(|d| !d.as_os_str().is_empty()) else {
+        return Ok(Vec::new());
+    };
+    let Some(stem) = db_path.file_stem().and_then(|s| s.to_str()) else {
+        return Ok(Vec::new());
+    };
+    let prefix = format!("{stem}.p");
+    let mut swept = Vec::new();
+    for e in std::fs::read_dir(dir)?.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = scratch_owner_pid(name, &prefix) else {
+            continue;
+        };
+        if pid == std::process::id() || pid_alive(pid) {
+            continue;
+        }
+        let path = e.path();
+        if std::fs::remove_file(&path).is_ok() {
+            swept.push(path);
+        }
+    }
+    Ok(swept)
+}
+
+/// Parses the owning pid out of a scratch-file name of the shape
+/// `<prefix><pid>-<seq>.sta[.<side>]`; `None` for anything else.
+fn scratch_owner_pid(name: &str, prefix: &str) -> Option<u32> {
+    let rest = name.strip_prefix(prefix)?;
+    let (pid_digits, rest) = rest.split_once('-')?;
+    let pid: u32 = pid_digits.parse().ok()?;
+    let (seq_digits, rest) = rest.split_once(".sta")?;
+    if seq_digits.is_empty() || !seq_digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    // The base stream (`…​.sta`) or one of its side files (`….sta.seg-8`,
+    // `….sta.patch`) — never an unrelated longer extension.
+    if rest.is_empty() || rest.starts_with('.') {
+        Some(pid)
+    } else {
+        None
+    }
+}
+
+/// True when `pid` is verifiably running; errs on the side of "alive"
+/// where liveness cannot be checked (no `/proc`).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
 fn seg_path(base: &Path, lo: u64) -> PathBuf {
     let mut os = base.as_os_str().to_os_string();
     os.push(format!(".seg-{lo}"));
@@ -1229,6 +1293,58 @@ mod tests {
         assert!(!patch.exists(), "the patch side file must vanish too");
         // Dropping a guard whose files were never created is fine.
         drop(ScratchPath::new(dir.join("never-created.sta")));
+    }
+
+    #[test]
+    fn sweep_removes_only_dead_owners_scratch() {
+        let dir = tmp_dir("sweep");
+        let db_path = dir.join("x.arb");
+        std::fs::write(&db_path, [0, 0]).unwrap();
+        // A pid far above any kernel's pid_max: provably not running.
+        let dead = 4_000_000_000u32;
+        let me = std::process::id();
+        let stale = [
+            dir.join(format!("x.p{dead}-0.sta")),
+            dir.join(format!("x.p{dead}-0.sta.seg-5")),
+            dir.join(format!("x.p{dead}-1.sta.patch")),
+        ];
+        let kept = [
+            dir.join(format!("x.p{me}-0.sta")),     // our own live run
+            dir.join("x.pabc-0.sta"),               // malformed pid
+            dir.join(format!("x.p{dead}-0.stale")), // not a .sta stream
+            dir.join(format!("y.p{dead}-0.sta")),   // different database
+        ];
+        for p in stale.iter().chain(&kept) {
+            std::fs::write(p, b"junk").unwrap();
+        }
+        let mut swept = sweep_stale_scratch(&db_path).unwrap();
+        swept.sort();
+        let mut expected: Vec<_> = stale.to_vec();
+        expected.sort();
+        if cfg!(target_os = "linux") {
+            assert_eq!(swept, expected);
+            for p in &stale {
+                assert!(!p.exists(), "{} must be swept", p.display());
+            }
+        } else {
+            // Liveness cannot be checked: nothing may be deleted.
+            assert!(swept.is_empty());
+        }
+        for p in &kept {
+            assert!(p.exists(), "{} must survive the sweep", p.display());
+        }
+    }
+
+    #[test]
+    fn scratch_owner_pid_parsing() {
+        assert_eq!(scratch_owner_pid("x.p123-0.sta", "x.p"), Some(123));
+        assert_eq!(scratch_owner_pid("x.p123-17.sta.seg-40", "x.p"), Some(123));
+        assert_eq!(scratch_owner_pid("x.p123-2.sta.patch", "x.p"), Some(123));
+        assert_eq!(scratch_owner_pid("x.p123-0.sta", "y.p"), None);
+        assert_eq!(scratch_owner_pid("x.pabc-0.sta", "x.p"), None);
+        assert_eq!(scratch_owner_pid("x.p123-x.sta", "x.p"), None);
+        assert_eq!(scratch_owner_pid("x.p123-0.stale", "x.p"), None);
+        assert_eq!(scratch_owner_pid("x.p123.sta", "x.p"), None);
     }
 
     #[test]

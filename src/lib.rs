@@ -18,6 +18,8 @@
 //! * [`xpath`] — Core XPath front end
 //! * [`datagen`] — workload generators for the evaluation (§6)
 //! * [`engine`] — the high-level query engine API
+//! * [`server`] — the resident query service (admission-window scan
+//!   sharing over a hand-rolled TCP protocol)
 //!
 //! ## Quick start: one evaluation surface
 //!
@@ -125,6 +127,37 @@
 //! surfaces as `InvalidData` mid-evaluation, never as silent wrong
 //! answers. See [`storage::stafile`] for the byte-level layout.
 //!
+//! ## Serving: amortizing the pass across clients
+//!
+//! One-shot `arb query` invocations pay database open, query
+//! compilation and a private two-scan pass every time. The resident
+//! query service (`arb serve`, crate [`server`]) amortizes all three:
+//! open databases stay registered across requests, compiled programs
+//! are cached in a byte-bounded LRU keyed by query text, and — the key
+//! move — concurrent requests that land within one **admission window**
+//! (default 2 ms, cap 64 queries) are merged with the engine's §7
+//! multi-query batching into a *single* shared backward + forward scan
+//! pair. Eight clients asking in the same window cost one scan pair,
+//! not eight; each gets its own result plus wire statistics saying how
+//! many queries rode its pass (`batch_size`) and how long admission
+//! held it (`queue_wait_us`). A bounded queue sheds overload with a
+//! fast `Overloaded` reply instead of buffering without bound.
+//!
+//! ```text
+//! arb serve --listen 127.0.0.1:7333 --batch-window 2 --max-batch 64 docs.arb
+//! arb client 127.0.0.1:7333 docs --xpath //a --output count --stats
+//! #   2 nodes selected
+//! #   # shared pass: batch of 8 (queue wait 1312 us), 1 backward + 1 forward
+//! #   # scan(s), 2 selected of 20000 nodes, cache hit
+//! ```
+//!
+//! Programmatic access goes through [`server::Client`], or
+//! [`server::Server::start`] to embed the service; the length-prefixed
+//! frame layout, request/response schema and error codes are specified
+//! in the [`server::protocol`] module docs. The `servebench` binary in
+//! `arb-bench` drives a server at a fixed offered QPS and reports
+//! p50/p99 latency and scans-per-query.
+//!
 //! ## Building and testing
 //!
 //! The workspace is fully offline: the four external dependencies
@@ -132,21 +165,23 @@
 //! API-subset stand-ins under `vendor/` (see `vendor/README.md`).
 //!
 //! ```text
-//! cargo build --release      # all 11 crates + the `arb` CLI binary
+//! cargo build --release      # all 12 crates + the `arb` CLI binary
 //! cargo test -q              # unit, property and integration suites
 //! cargo bench --no-run       # compile the five criterion benches
 //! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The fourteen root integration suites are the correctness spine:
+//! The fifteen root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `format_v2` (corrupt-file
 //! rejection plus a v1-vs-v2 differential property), `twophase_vs_naive`,
 //! `batch_differential`, `session_api`, `end_to_end`, `section_1_3`,
 //! `intern_differential` (arena interners vs. a map-based model),
-//! `wide_alphabet` (merged batches past 128 EDB atoms) and
+//! `wide_alphabet` (merged batches past 128 EDB atoms),
 //! `sta_differential` (blocked vs. flat `.sta` streams vs. in-memory
-//! states, sequential and sharded).
+//! states, sequential and sharded) and `server_differential`
+//! (concurrent clients vs. one-shot sessions, wire-asserted scan
+//! sharing, overload shedding).
 //! Property suites take an explicit case-count override for deep runs
 //! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
 //! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
@@ -157,9 +192,11 @@
 //! `fig6 [treebank|acgt-flat|acgt-infix|all]`, `baseline`, `multiquery`,
 //! `parallel`, `sharded` (per-thread scaling of the sharded disk path),
 //! `ablation`, `storagefmt` (v1 vs. v2 creation, file size and cold/warm
-//! scan throughput), and `regress` (benchmark regression tracking
-//! against the committed baselines in `crates/bench/baselines/`, now
-//! including storage file-size and decode-throughput metrics). Sizes
+//! scan throughput), `servebench` (open-loop load against a resident
+//! server: p50/p99 latency, scans-per-query, cache hit rate), and
+//! `regress` (benchmark regression tracking against the committed
+//! baselines in `crates/bench/baselines/`, now including storage
+//! file-size, decode-throughput and server scan-sharing metrics). Sizes
 //! scale via
 //! `ARB_ACGT_LOG2`, `ARB_TREEBANK_ELEMS` and friends — see the
 //! `arb_bench` crate docs.
@@ -168,6 +205,7 @@ pub use arb_core as core;
 pub use arb_datagen as datagen;
 pub use arb_engine as engine;
 pub use arb_logic as logic;
+pub use arb_server as server;
 pub use arb_storage as storage;
 pub use arb_tmnf as tmnf;
 pub use arb_tree as tree;

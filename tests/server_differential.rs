@@ -1,0 +1,371 @@
+//! Differential and behavioral tests for the resident query service:
+//! concurrent clients against `arb_server` must agree exactly with
+//! one-shot [`Session::eval`] runs, and the admission batcher's scan
+//! sharing, cache eviction, load shedding and graceful drain must be
+//! observable on the wire.
+
+use arb::engine::{CountSink, Database, EvalRequest, NodeSetSink, XmlMarkSink};
+use arb::server::protocol::{ErrorCode, OutputKind, QueryResult, WireLanguage};
+use arb::server::{Client, ClientError, Server, ServerConfig, ServerHandle};
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A small but non-trivial document: nested sections with repeated tags
+/// so the queries select interesting subsets.
+fn test_xml() -> String {
+    let mut xml = String::from("<corpus>");
+    for i in 0..40 {
+        xml.push_str("<doc>");
+        xml.push_str(&format!("<title>t{i}</title>"));
+        for j in 0..(i % 5) {
+            xml.push_str(&format!("<sec><p>x{j}</p><note/></sec>"));
+        }
+        if i % 3 == 0 {
+            xml.push_str("<flag/>");
+        }
+        xml.push_str("</doc>");
+    }
+    xml.push_str("</corpus>");
+    xml
+}
+
+fn make_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("arb-servdiff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    arb::storage::create_from_xml(
+        Cursor::new(test_xml().into_bytes()),
+        &arb::xml::XmlConfig::default(),
+        &path,
+    )
+    .unwrap();
+    path
+}
+
+fn start(name: &str, config: ServerConfig) -> (ServerHandle, PathBuf) {
+    let db = make_db(name);
+    let handle = Server::start(config, &[&db]).unwrap();
+    (handle, db)
+}
+
+const QUERIES: &[&str] = &[
+    "//sec/p",
+    "//flag",
+    "//title",
+    "//note",
+    "//doc//p",
+    "/corpus/doc",
+];
+
+/// N concurrent clients with mixed sinks must match one-shot engine
+/// runs bit for bit — verdicts, counts, node sets and marked XML.
+#[test]
+fn concurrent_clients_match_one_shot_sessions() {
+    let (handle, db_path) = start(
+        "diff.arb",
+        ServerConfig {
+            batch_window: Duration::from_millis(20),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let stem = "diff";
+
+    // One-shot reference results straight from the engine.
+    let mut db = Database::open_arb(&db_path).unwrap();
+    let queries: Vec<_> = QUERIES
+        .iter()
+        .map(|q| db.compile_xpath(q).unwrap())
+        .collect();
+    let session = db.prepare(&queries);
+    let mut counts = CountSink::default();
+    let report = session.eval(&EvalRequest::new(), &mut counts).unwrap();
+    let ref_verdicts = report.verdicts.clone();
+    let ref_counts = counts.counts().to_vec();
+    let mut nodes = NodeSetSink::default();
+    session.eval(&EvalRequest::new(), &mut nodes).unwrap();
+    let ref_nodes: Vec<Vec<u32>> = nodes
+        .sets()
+        .iter()
+        .map(|s| s.iter().map(|v| v.0).collect())
+        .collect();
+    // Per-query marked XML needs a single-query session per query (the
+    // server marks each client's own selection, not the union).
+    let ref_xml: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            let s = db.prepare(std::slice::from_ref(q));
+            let mut sink = XmlMarkSink::new(db.labels(), Vec::new());
+            s.eval(&EvalRequest::new(), &mut sink).unwrap();
+            sink.into_inner().unwrap()
+        })
+        .collect();
+
+    // Concurrent clients, four output shapes per query.
+    let outputs = [
+        OutputKind::Bool,
+        OutputKind::Count,
+        OutputKind::Nodes,
+        OutputKind::Xml,
+    ];
+    let mut threads = Vec::new();
+    for (qi, q) in QUERIES.iter().enumerate() {
+        for output in outputs {
+            let q = q.to_string();
+            threads.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let reply = c
+                    .query(stem, WireLanguage::XPath, output, &q)
+                    .unwrap_or_else(|e| panic!("query {q:?} ({output:?}): {e}"));
+                (qi, output, reply)
+            }));
+        }
+    }
+    for t in threads {
+        let (qi, output, reply) = t.join().unwrap();
+        match (output, reply.result) {
+            (OutputKind::Bool, QueryResult::Bool(v)) => assert_eq!(v, ref_verdicts[qi]),
+            (OutputKind::Count, QueryResult::Count(n)) => assert_eq!(n, ref_counts[qi]),
+            (OutputKind::Nodes, QueryResult::Nodes(ns)) => assert_eq!(ns, ref_nodes[qi]),
+            (OutputKind::Xml, QueryResult::Xml(xml)) => assert_eq!(xml, ref_xml[qi]),
+            (o, r) => panic!("result shape {r:?} does not match requested {o:?}"),
+        }
+        assert!(reply.stats.batch_size >= 1);
+    }
+    handle.shutdown();
+}
+
+/// The acceptance scenario: 8 clients land in one admission window and
+/// the wire statistics prove the whole window was served by exactly one
+/// backward and one forward scan shared by all 8.
+#[test]
+fn full_window_shares_one_scan_pair() {
+    // A long window plus max_batch == 8 makes dispatch deterministic:
+    // the batcher fires on the 8th admission, not on a timer.
+    let (handle, _db) = start(
+        "window.arb",
+        ServerConfig {
+            batch_window: Duration::from_secs(5),
+            max_batch: 8,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut threads = Vec::new();
+    for i in 0..8 {
+        // Distinct query texts so the pass is a real 8-way merge.
+        let q = QUERIES[i % QUERIES.len()].to_string();
+        let q = if i < QUERIES.len() {
+            q
+        } else {
+            format!("{q}/..")
+        };
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("window", WireLanguage::XPath, OutputKind::Count, &q)
+                .unwrap()
+        }));
+    }
+    for t in threads {
+        let reply = t.join().unwrap();
+        assert_eq!(reply.stats.batch_size, 8, "all 8 queries share one pass");
+        assert_eq!(reply.stats.backward_scans, 1);
+        assert_eq!(reply.stats.forward_scans, 1);
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let s = c.server_stats().unwrap();
+    assert_eq!(s.requests, 8);
+    assert_eq!(s.batches, 1, "one dispatch served the whole window");
+    assert_eq!(s.backward_scans, 1);
+    assert_eq!(s.forward_scans, 1);
+    assert_eq!(s.max_batch, 8);
+    handle.shutdown();
+}
+
+/// Verdict-only windows skip phase 2 entirely: one backward scan, zero
+/// forward scans, on the wire and in the server counters.
+#[test]
+fn boolean_window_skips_phase_two() {
+    let (handle, _db) = start(
+        "boolwin.arb",
+        ServerConfig {
+            batch_window: Duration::from_secs(5),
+            max_batch: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut threads = Vec::new();
+    for q in QUERIES.iter().take(4) {
+        let q = q.to_string();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("boolwin", WireLanguage::XPath, OutputKind::Bool, &q)
+                .unwrap()
+        }));
+    }
+    for t in threads {
+        let reply = t.join().unwrap();
+        assert_eq!(reply.stats.batch_size, 4);
+        assert_eq!(reply.stats.backward_scans, 1);
+        assert_eq!(reply.stats.forward_scans, 0, "no phase 2 for verdicts");
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let s = c.server_stats().unwrap();
+    assert_eq!((s.backward_scans, s.forward_scans), (1, 0));
+    handle.shutdown();
+}
+
+/// A tiny cache budget forces evictions, visible in the server
+/// counters; evicted programs recompile and still answer correctly.
+#[test]
+fn cache_eviction_under_tight_budget() {
+    let (handle, _db) = start(
+        "evict.arb",
+        ServerConfig {
+            cache_budget: 3000, // fits roughly one cached program, not two
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    // Alternate two queries: each lookup misses because the other
+    // evicted it.
+    for _ in 0..3 {
+        for q in ["//flag", "//title"] {
+            let reply = c
+                .query("evict", WireLanguage::XPath, OutputKind::Count, q)
+                .unwrap();
+            assert!(!reply.stats.cache_hit, "budget fits only one program");
+        }
+    }
+    let s = c.server_stats().unwrap();
+    assert_eq!(s.cache_hits, 0);
+    assert_eq!(s.cache_misses, 6);
+    assert!(
+        s.cache_evictions >= 5,
+        "alternating misses evict each other"
+    );
+    // Same query twice in a roomy cache does hit.
+    let r1 = c
+        .query("evict", WireLanguage::XPath, OutputKind::Count, "//flag")
+        .unwrap();
+    let r2 = c
+        .query("evict", WireLanguage::XPath, OutputKind::Count, "//flag")
+        .unwrap();
+    assert_eq!(r1.result, r2.result);
+    handle.shutdown();
+}
+
+/// With the batcher effectively parked (long window, high max_batch)
+/// a saturated admission queue sheds further requests with a fast
+/// `Overloaded` reply instead of queuing them.
+#[test]
+fn saturated_queue_sheds_load() {
+    let (handle, _db) = start(
+        "shed.arb",
+        ServerConfig {
+            batch_window: Duration::from_millis(700),
+            max_batch: 64,
+            queue_cap: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    let mut threads = Vec::new();
+    for q in QUERIES.iter().take(5) {
+        let q = q.to_string();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("shed", WireLanguage::XPath, OutputKind::Count, &q)
+        }));
+    }
+    let mut served = 0u32;
+    let mut shed = 0u32;
+    for t in threads {
+        match t.join().unwrap() {
+            Ok(reply) => {
+                served += 1;
+                assert!(reply.stats.batch_size <= 2);
+            }
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    // Exact split depends on timing (a dispatch may free the queue),
+    // but the cap guarantees at least one request was shed and at
+    // least queue_cap were served.
+    assert!(served >= 2, "served {served}");
+    assert!(shed >= 1, "shed {shed}");
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.server_stats().unwrap().overloaded, u64::from(shed));
+    handle.shutdown();
+}
+
+/// Unknown databases and bad query text come back as typed errors, and
+/// the connection stays usable afterwards.
+#[test]
+fn typed_errors_keep_the_connection_alive() {
+    let (handle, _db) = start("errs.arb", ServerConfig::default());
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    match c.query("nope", WireLanguage::XPath, OutputKind::Count, "//a") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownDatabase),
+        other => panic!("expected UnknownDatabase, got {other:?}"),
+    }
+    match c.query("errs", WireLanguage::XPath, OutputKind::Count, "//a[") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Query),
+        other => panic!("expected Query error, got {other:?}"),
+    }
+    let reply = c
+        .query(
+            "errs",
+            WireLanguage::Tmnf,
+            OutputKind::Count,
+            "QUERY :- V.Label[flag];",
+        )
+        .unwrap();
+    assert_eq!(reply.result, QueryResult::Count(14));
+    handle.shutdown();
+}
+
+/// Graceful shutdown: a queued window is drained (clients get answers),
+/// while requests admitted after the drain began are refused.
+#[test]
+fn shutdown_drains_inflight_batches() {
+    let (handle, _db) = start(
+        "drain.arb",
+        ServerConfig {
+            batch_window: Duration::from_millis(600),
+            max_batch: 64,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    // Two clients park a window in the admission queue...
+    let mut threads = Vec::new();
+    for q in ["//flag", "//title"] {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.query("drain", WireLanguage::XPath, OutputKind::Count, q)
+        }));
+    }
+    // ...then shutdown arrives mid-window.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    for t in threads {
+        let reply = t.join().unwrap().expect("queued queries drain to answers");
+        assert_eq!(reply.stats.batch_size, 2, "drained as one shared pass");
+    }
+    // New queries are refused while (or after) draining.
+    match c.query("drain", WireLanguage::XPath, OutputKind::Count, "//flag") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        Err(ClientError::Io(_)) => {} // server already gone
+        Ok(r) => panic!("expected refusal, got {:?}", r.result),
+    }
+    handle.wait();
+}
