@@ -256,6 +256,13 @@ fn collect() -> Vec<(String, Metric)> {
         "multiquery.union_selected".into(),
         combined.stats.selected,
     );
+    // One-shot batch evaluation builds the merged automata exactly once
+    // (the build-once / eval-many lifecycle stamps per-run counters).
+    count(
+        &mut out,
+        "multiquery.automata_builds".into(),
+        combined.stats.automata_builds,
+    );
     for (i, o) in combined.outcomes.iter().enumerate() {
         count(
             &mut out,
@@ -319,6 +326,10 @@ fn collect() -> Vec<(String, Metric)> {
         count(&mut out, "server.forward_scans".into(), s.forward_scans);
         count(&mut out, "server.cache_hits".into(), s.cache_hits);
         count(&mut out, "server.cache_misses".into(), s.cache_misses);
+        // Window-shape cache: the first 4-query window builds the merged
+        // automata once; the two later identical windows reuse them.
+        count(&mut out, "server.automata_builds".into(), s.automata_builds);
+        count(&mut out, "server.automata_reused".into(), s.automata_reused);
         for (i, n) in selected.iter().enumerate() {
             count(&mut out, format!("server.q{i}.selected"), *n);
         }

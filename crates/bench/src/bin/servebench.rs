@@ -179,6 +179,20 @@ fn main() {
             after.cache_hits - before.cache_hits,
         );
     }
+    // The build-once / eval-many automata lifecycle: window-shape and
+    // program caches keep compiled QueryAutomata warm, so builds should
+    // flatline while reuse tracks the dispatch count.
+    let builds = after.automata_builds - before.automata_builds;
+    let reused = after.automata_reused - before.automata_reused;
+    let takes = builds + reused;
+    if takes > 0 {
+        println!(
+            "automata reuse:  {:.1}% ({reused} reused / {takes} takes, {builds} builds, \
+             {:.2} ms total build time)",
+            100.0 * reused as f64 / takes as f64,
+            (after.automata_build_us - before.automata_build_us) as f64 / 1e3,
+        );
+    }
     println!("shed (overload): {}", after.overloaded - before.overloaded);
 
     // The amortization guarantee this bench exists to watch: with a

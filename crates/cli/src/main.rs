@@ -11,7 +11,7 @@
 //! arb check  <db.arb>
 //! arb cat    <db.arb>
 //! arb serve  --listen <addr> [--batch-window MS] [--max-batch N] [--queue-cap N]
-//!            [--cache-budget BYTES] [--no-sweep] <db.arb>...
+//!            [--cache-budget BYTES] [--workers N] [--no-sweep] <db.arb>...
 //! arb client <addr> [<db> (--tmnf <program> | --xpath <path>)
 //!            [--output bool|count|nodes|xml] [--stats]] [--server-stats]
 //!            [--ping] [--shutdown]
@@ -50,7 +50,7 @@ fn usage() -> String {
      [--memory] [--threads N] [--batch] [--explain]\n  \
      arb stats <db.arb>\n  arb check <db.arb>\n  arb cat <db.arb>\n  \
      arb serve --listen <addr> [--batch-window MS] [--max-batch N] [--queue-cap N]\n            \
-     [--cache-budget BYTES] [--no-sweep] <db.arb>...\n  \
+     [--cache-budget BYTES] [--workers N] [--no-sweep] <db.arb>...\n  \
      arb client <addr> [<db> (--tmnf <program> | --xpath <path>)\n            \
      [--output bool|count|nodes|xml] [--stats]] [--server-stats] [--ping] [--shutdown]\n\n\
      Repeating --tmnf/-q/--xpath/--file submits all queries as one prepared\n\
@@ -60,7 +60,9 @@ fn usage() -> String {
      for --output xml with an output path). --threads N shards the pass over\n\
      N workers on either backend (disjoint subtree range scans on disk, no\n\
      --memory needed); --memory materializes the tree first. The legacy\n\
-     --count/--nodes/--boolean flags are aliases for --output."
+     --count/--nodes/--boolean flags are aliases for --output.\n\
+     arb serve --workers N applies the same sharding to every dispatched\n\
+     admission window."
         .to_string()
 }
 
@@ -458,6 +460,10 @@ fn serve(args: &[String]) -> Result<(), String> {
                 config.cache_budget = num(args, i, "--cache-budget")? as usize;
                 i += 1;
             }
+            "--workers" => {
+                config.workers = num(args, i, "--workers")?.max(1) as usize;
+                i += 1;
+            }
             "--no-sweep" => config.sweep_scratch = false,
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag:?}")),
             db => dbs.push(db.to_string()),
@@ -503,6 +509,9 @@ fn client(args: &[String]) -> Result<(), String> {
         println!("cache evictions: {}", s.cache_evictions);
         println!("cache bytes:     {}", s.cache_bytes);
         println!("open databases:  {}", s.open_databases);
+        println!("automata builds: {}", s.automata_builds);
+        println!("automata reused: {}", s.automata_reused);
+        println!("automata build time: {} us", s.automata_build_us);
         return Ok(());
     }
     if rest.iter().any(|a| a == "--shutdown") {
@@ -575,14 +584,16 @@ fn client(args: &[String]) -> Result<(), String> {
         let s = reply.stats;
         println!(
             "# shared pass: batch of {} (queue wait {} us), {} backward + {} forward scan(s), \
-             {} selected of {} nodes, cache {}",
+             {} selected of {} nodes, cache {}, automata {} built / {} reused",
             s.batch_size,
             s.queue_wait_us,
             s.backward_scans,
             s.forward_scans,
             s.selected,
             s.nodes,
-            if s.cache_hit { "hit" } else { "miss" }
+            if s.cache_hit { "hit" } else { "miss" },
+            s.automata_builds,
+            s.automata_reused
         );
     }
     Ok(())

@@ -29,6 +29,9 @@ use arb_logic::{
 };
 use arb_tmnf::{CoreProgram, PropLocal};
 use arb_tree::NodeInfo;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Interning pressure of one [`QueryAutomata`] — the footprint and probe
 /// behavior of the four hash tables plus the alphabet memo (surfaced
@@ -407,6 +410,103 @@ impl QueryAutomata {
     pub fn td_state_count(&self) -> usize {
         self.predsets.len()
     }
+
+    /// Clears **per-run** state while keeping everything that is a pure
+    /// function of the program warm: the state interners, the memoized
+    /// δ_A/δ_B tables, the specialized local-rule groups and the alphabet
+    /// memo all survive, so a reset automata steps the next evaluation at
+    /// full memoization from its first node. Only the two per-run
+    /// transition counters (paper Fig. 6 columns 5 and 7) are zeroed —
+    /// a warm rerun over the same tree legitimately reports ~0 lazily
+    /// computed transitions.
+    pub fn reset(&mut self) {
+        self.bu_transitions = 0;
+        self.td_transitions = 0;
+    }
+}
+
+/// Upper bound on idle automata an [`AutomataPool`] keeps warm; returns
+/// beyond this are dropped (bounds memory after a wide sharded run).
+const POOL_IDLE_CAP: usize = 32;
+
+/// A shared pool of warm [`QueryAutomata`] **for one compiled program**.
+///
+/// Construction of a `QueryAutomata` is cheap, but its value compounds:
+/// every evaluation it survives keeps the interned states, δ tables and
+/// specialized rule groups of the previous runs, so repeated evaluations
+/// skip straight to memoized transitions. The pool makes that reuse safe
+/// across threads (sharded workers [`take`](AutomataPool::take) and
+/// [`put`](AutomataPool::put) concurrently) and across evaluations (a
+/// `Session` or a server window keeps one pool alive between runs).
+///
+/// The pool does **not** hold the program. Like
+/// `QueryBatch::new`, the caller guarantees that every `take(prog)` of
+/// one pool passes the same program the pooled automata were built for —
+/// mixing programs in one pool yields wrong answers, not a panic.
+///
+/// The `builds` / `reused` counters are cumulative over the pool's
+/// lifetime; callers snapshot them around a run to attribute per-run
+/// `EvalStats::{automata_builds, automata_reused}`.
+#[derive(Default)]
+pub struct AutomataPool {
+    idle: Mutex<Vec<QueryAutomata>>,
+    builds: AtomicU64,
+    reused: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+impl AutomataPool {
+    /// An empty pool. Automata are built lazily by the first `take`.
+    pub fn new() -> Self {
+        AutomataPool::default()
+    }
+
+    /// Hands out a warm automata (reset, memos intact) if one is idle,
+    /// else builds a fresh one for `prog`. The caller must return it
+    /// with [`put`](AutomataPool::put) to keep the warmth for the next
+    /// evaluation.
+    pub fn take(&self, prog: &CoreProgram) -> QueryAutomata {
+        if let Some(mut qa) = self.idle.lock().expect("automata pool poisoned").pop() {
+            qa.reset();
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return qa;
+        }
+        let t = Instant::now();
+        let qa = QueryAutomata::new(prog);
+        self.build_nanos
+            .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        qa
+    }
+
+    /// Returns an automata to the pool, keeping its interned tables warm
+    /// for the next `take`.
+    pub fn put(&self, qa: QueryAutomata) {
+        let mut idle = self.idle.lock().expect("automata pool poisoned");
+        if idle.len() < POOL_IDLE_CAP {
+            idle.push(qa);
+        }
+    }
+
+    /// Automata built from scratch over the pool's lifetime.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Warm automata handed back out over the pool's lifetime.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall time spent constructing automata from scratch.
+    pub fn build_time(&self) -> Duration {
+        Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Currently idle (warm) automata.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().expect("automata pool poisoned").len()
+    }
 }
 
 #[cfg(test)]
@@ -548,5 +648,43 @@ mod tests {
         qa.bottom_up(None, None, leaf);
         assert_eq!(qa.bu_transitions, 3, "one miss after re-enable");
         assert_eq!(qa.intern_stats().bu_entries, 1);
+    }
+
+    /// `reset` zeroes the per-run counters but keeps every memo warm: a
+    /// rerun over the same inputs reports zero lazily computed
+    /// transitions, and the pool accounts builds vs. reuses.
+    #[test]
+    fn reset_keeps_memos_warm_and_pool_counts() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(arb_tmnf::programs::EXAMPLE_4_3, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let a = lt.intern("a").unwrap();
+        let leaf = NodeInfo {
+            label: a,
+            has_first: false,
+            has_second: false,
+            is_root: true,
+        };
+
+        let pool = AutomataPool::new();
+        let mut qa = pool.take(&prog);
+        assert_eq!((pool.builds(), pool.reused()), (1, 0));
+        let s = qa.bottom_up(None, None, leaf);
+        let b = qa.start_state(s);
+        qa.top_down(b, s, 1);
+        assert_eq!(qa.bu_transitions, 1);
+        let entries = qa.intern_stats();
+        pool.put(qa);
+
+        let mut qa = pool.take(&prog);
+        assert_eq!((pool.builds(), pool.reused()), (1, 1));
+        assert_eq!(qa.bu_transitions, 0, "per-run counter cleared");
+        assert_eq!(qa.td_transitions, 0);
+        assert_eq!(qa.intern_stats(), entries, "memos survive the reset");
+        let s2 = qa.bottom_up(None, None, leaf);
+        assert_eq!(s2, s, "warm table answers without recomputing");
+        assert_eq!(qa.bu_transitions, 0, "pure cache hit on the warm run");
+        pool.put(qa);
+        assert_eq!(pool.idle_len(), 1);
     }
 }

@@ -53,7 +53,10 @@ pub mod twophase;
 
 pub use alphabet::{AlphabetId, AlphabetInterner};
 pub use frontier::SubtreeIndex;
-pub use lazy::{InternStats, QueryAutomata};
-pub use parallel::evaluate_tree_parallel;
+pub use lazy::{AutomataPool, InternStats, QueryAutomata};
+pub use parallel::{evaluate_tree_parallel, evaluate_tree_parallel_with};
 pub use stats::EvalStats;
-pub use twophase::{evaluate_tree, evaluate_tree_batch, BatchTreeEvalResult, TreeEvalResult};
+pub use twophase::{
+    evaluate_tree, evaluate_tree_batch, evaluate_tree_with, BatchTreeEvalResult, TreeEvalResult,
+    TreeEvalRun,
+};

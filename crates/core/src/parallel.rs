@@ -16,23 +16,54 @@
 //! evaluation falls back to sequential.
 
 use crate::frontier::SubtreeIndex;
-use crate::lazy::{InternStats, QueryAutomata};
+use crate::lazy::{AutomataPool, InternStats, QueryAutomata};
 use crate::stats::EvalStats;
-use crate::twophase::TreeEvalResult;
+use crate::twophase::{TreeEvalResult, TreeEvalRun};
 use arb_logic::{Atom, PredSetId, ProgramId};
 use arb_tmnf::CoreProgram;
 use arb_tree::{BinaryTree, NodeId};
 use std::time::{Duration, Instant};
 
 /// Evaluates a program with the phase-1 bottom-up run parallelized over
-/// `threads` workers. Produces the same [`TreeEvalResult`] as
-/// [`crate::twophase::evaluate_tree`] (states re-interned into the master
-/// automata). Both phases parallelize over the same frontier.
+/// `threads` workers, building a fresh master automata and per-worker
+/// automata for the run. One-shot convenience over
+/// [`evaluate_tree_parallel_with`]; callers that evaluate repeatedly
+/// should keep an [`AutomataPool`] alive across runs instead.
 pub fn evaluate_tree_parallel(
     prog: &CoreProgram,
     tree: &BinaryTree,
     threads: usize,
 ) -> TreeEvalResult {
+    let pool = AutomataPool::new();
+    let mut qa = pool.take(prog);
+    let run = evaluate_tree_parallel_with(prog, tree, threads, &mut qa, &pool);
+    let mut stats = run.stats;
+    stats.automata_builds = pool.builds();
+    stats.automata_reused = pool.reused();
+    stats.automata_build_time = pool.build_time();
+    TreeEvalResult {
+        automata: qa,
+        rho_a: run.rho_a,
+        rho_b: run.rho_b,
+        stats,
+    }
+}
+
+/// Evaluates a program with both phases parallelized over a subtree
+/// frontier, **stepping a caller-provided master automata** and drawing
+/// per-worker automata from `pool` (returned warm when the run ends).
+/// Produces the same state assignments as
+/// [`crate::twophase::evaluate_tree_with`] (worker states re-interned
+/// into the master). `qa` and every automata in `pool` must have been
+/// built for *this* `prog`; `stats.automata_builds`/`automata_reused`
+/// are left 0 for the lifecycle owner to fill from pool counter deltas.
+pub fn evaluate_tree_parallel_with(
+    prog: &CoreProgram,
+    tree: &BinaryTree,
+    threads: usize,
+    qa: &mut QueryAutomata,
+    pool: &AutomataPool,
+) -> TreeEvalRun {
     let n = tree.len();
     assert!(n > 0, "cannot evaluate a query on an empty tree");
     // The upper clamp keeps absurd requests from allocating per-worker
@@ -42,7 +73,7 @@ pub fn evaluate_tree_parallel(
     let roots: Vec<NodeId> = idx.frontier(threads * 4).into_iter().map(NodeId).collect();
 
     let t1 = Instant::now();
-    let mut qa = QueryAutomata::new(prog);
+    let (bu0, td0) = (qa.bu_transitions, qa.td_transitions);
     let mut rho_a: Vec<ProgramId> = vec![ProgramId(u32::MAX); n];
     let mut worker_transitions = 0u64;
     let mut worker_intern = InternStats::default();
@@ -68,7 +99,7 @@ pub fn evaluate_tree_parallel(
                 let idx = &idx;
                 scope.spawn(move |_| {
                     let mut out: Vec<SubtreeOut> = Vec::new();
-                    let mut wqa = QueryAutomata::new(prog);
+                    let mut wqa = pool.take(prog);
                     for root in mine {
                         let lo = root.0;
                         let hi = idx.end(root.0);
@@ -101,7 +132,11 @@ pub fn evaluate_tree_parallel(
     // Transitions are *summed* over the workers: each worker's lazy
     // tables are computed independently, so the run's total work is the
     // sum of all of them (a `max` here made
-    // `EvalStats::phase1_transitions` undercount parallel runs).
+    // `EvalStats::phase1_transitions` undercount parallel runs). The
+    // worker automata go back to the pool once remapped — their memoized
+    // tables make the next run's workers start warm. A warm worker may
+    // have interned states this run never touched; remapping covers the
+    // whole table, which only costs probes against the master.
     for (subtrees, wqa) in results {
         worker_transitions += wqa.bu_transitions;
         worker_intern.absorb(&wqa.intern_stats());
@@ -114,6 +149,7 @@ pub fn evaluate_tree_parallel(
                 rho_a[lo as usize + off] = remap[lid as usize];
             }
         }
+        pool.put(wqa);
     }
 
     // Sequential spine: everything not inside a frontier subtree.
@@ -182,7 +218,7 @@ pub fn evaluate_tree_parallel(
                 let rho_b_snapshot = &rho_b_snapshot;
                 scope.spawn(move |_| {
                     let mut out: Vec<Phase2SubtreeOut> = Vec::new();
-                    let mut wqa = QueryAutomata::new(prog);
+                    let mut wqa = pool.take(prog);
                     // Master phase-1 states re-interned into the worker.
                     let mut a_map: Vec<u32> = vec![u32::MAX; master_programs.len()];
                     for root in mine {
@@ -220,7 +256,8 @@ pub fn evaluate_tree_parallel(
             .collect()
     })
     .expect("thread scope failed");
-    // Like phase 1: sum the workers' transition counts, don't take a max.
+    // Like phase 1: sum the workers' transition counts, don't take a max,
+    // and return the workers to the pool once their states are re-interned.
     let mut worker_td = 0u64;
     for (subtrees, wqa) in results2 {
         worker_td += wqa.td_transitions;
@@ -237,6 +274,7 @@ pub fn evaluate_tree_parallel(
                 rho_b[lo as usize + off] = remap[lid as usize];
             }
         }
+        pool.put(wqa);
     }
     debug_assert!(rho_b.iter().all(|s| s.0 != u32::MAX));
     let phase2_time = t2.elapsed();
@@ -255,9 +293,9 @@ pub fn evaluate_tree_parallel(
         idb_count: prog.pred_count(),
         rule_count: prog.rule_count(),
         phase1_time,
-        phase1_transitions: qa.bu_transitions + worker_transitions,
+        phase1_transitions: (qa.bu_transitions - bu0) + worker_transitions,
         phase2_time,
-        phase2_transitions: qa.td_transitions + worker_td,
+        phase2_transitions: (qa.td_transitions - td0) + worker_td,
         selected,
         memory_bytes: qa.memory_bytes(),
         bu_states: qa.bu_state_count(),
@@ -271,14 +309,16 @@ pub fn evaluate_tree_parallel(
         blocks_decoded: 0,
         batch_size: 0,
         queue_wait: Duration::ZERO,
+        automata_builds: 0,
+        automata_reused: 0,
+        automata_build_time: Duration::ZERO,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);
             i
         },
     };
-    TreeEvalResult {
-        automata: qa,
+    TreeEvalRun {
         rho_a,
         rho_b,
         stats,

@@ -69,6 +69,20 @@ pub struct EvalStats {
     /// shared pass started. Zero outside the resident query service,
     /// which stamps it per request before reporting stats on the wire.
     pub queue_wait: Duration,
+    /// `QueryAutomata` this run constructed from scratch (master plus
+    /// every parallel worker). A fresh one-shot evaluation reports its
+    /// true construction count; a warm `Session` (or a server window
+    /// whose shape is cached) reports 0 here and the reuse count below —
+    /// the observable proof that the build-once/eval-many lifecycle
+    /// engaged.
+    pub automata_builds: u64,
+    /// Warm `QueryAutomata` this run took from its session/window pool
+    /// instead of building (their interned δ tables arrive pre-memoized
+    /// from earlier evaluations).
+    pub automata_reused: u64,
+    /// Wall time this run spent constructing automata from scratch
+    /// (zero once a session is warm).
+    pub automata_build_time: Duration,
     /// Interning pressure of the automata hash tables: arena payload
     /// bytes, index bytes, probe lengths, distinct schema symbols and
     /// memoized δ entries. Parallel runs report master + workers

@@ -65,15 +65,41 @@ impl TreeEvalResult {
     }
 }
 
-/// Evaluates a strict TMNF program on an in-memory tree by Algorithm 4.6.
+/// The borrowed-automata form of a two-phase run: both per-node state
+/// assignments plus statistics, **without** owning the automata that
+/// interned them. The state ids are only meaningful against the
+/// `QueryAutomata` the run stepped (see [`evaluate_tree_with`]).
+pub struct TreeEvalRun {
+    /// ρ_A: phase-1 state (residual program id) per node, preorder.
+    pub rho_a: Vec<ProgramId>,
+    /// ρ_B: phase-2 state (true-predicate set id) per node, preorder.
+    pub rho_b: Vec<PredSetId>,
+    /// Statistics (times, transitions, memory). `automata_builds` /
+    /// `automata_reused` are left 0 — the caller that managed the
+    /// automata's lifecycle fills them in.
+    pub stats: EvalStats,
+}
+
+/// Evaluates a strict TMNF program on an in-memory tree by Algorithm 4.6,
+/// **stepping a caller-provided automata** instead of constructing one.
 ///
-/// The phase-1 sweep runs in reverse preorder (children are visited
-/// before parents — the in-memory equivalent of the backward linear scan
-/// of Proposition 5.1); phase 2 runs in preorder (the forward scan).
-pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
-    let mut qa = QueryAutomata::new(prog);
+/// This is the reusable-lifecycle kernel: `qa` must have been built (via
+/// [`QueryAutomata::new`] or an [`AutomataPool`](crate::AutomataPool))
+/// for *this* `prog`, and may arrive warm from earlier evaluations — its
+/// memoized δ tables are consulted as-is, so a warm rerun reports ~0
+/// lazily computed transitions. The phase-1 sweep runs in reverse
+/// preorder (children before parents — the in-memory equivalent of the
+/// backward linear scan of Proposition 5.1); phase 2 runs in preorder
+/// (the forward scan). Transition counts in the returned stats are this
+/// run's deltas, regardless of what the automata counted before.
+pub fn evaluate_tree_with(
+    prog: &CoreProgram,
+    tree: &BinaryTree,
+    qa: &mut QueryAutomata,
+) -> TreeEvalRun {
     let n = tree.len();
     assert!(n > 0, "cannot evaluate a query on an empty tree");
+    let (bu0, td0) = (qa.bu_transitions, qa.td_transitions);
 
     // --- Phase 1: bottom-up run of A -------------------------------------
     let t1 = Instant::now();
@@ -117,9 +143,9 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         idb_count: prog.pred_count(),
         rule_count: prog.rule_count(),
         phase1_time,
-        phase1_transitions: qa.bu_transitions,
+        phase1_transitions: qa.bu_transitions - bu0,
         phase2_time,
-        phase2_transitions: qa.td_transitions,
+        phase2_transitions: qa.td_transitions - td0,
         selected,
         memory_bytes: qa.memory_bytes(),
         bu_states: qa.bu_state_count(),
@@ -133,13 +159,35 @@ pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
         blocks_decoded: 0,
         batch_size: 0,
         queue_wait: Duration::ZERO,
+        automata_builds: 0,
+        automata_reused: 0,
+        automata_build_time: Duration::ZERO,
         interning: qa.intern_stats(),
     };
 
-    TreeEvalResult {
-        automata: qa,
+    TreeEvalRun {
         rho_a,
         rho_b,
+        stats,
+    }
+}
+
+/// Evaluates a strict TMNF program on an in-memory tree by Algorithm 4.6,
+/// building a fresh automata pair for the run. One-shot convenience over
+/// [`evaluate_tree_with`]; callers that evaluate repeatedly should keep
+/// the automata (or a pool) alive and use the `_with` kernel.
+pub fn evaluate_tree(prog: &CoreProgram, tree: &BinaryTree) -> TreeEvalResult {
+    let t = Instant::now();
+    let mut qa = QueryAutomata::new(prog);
+    let build_time = t.elapsed();
+    let run = evaluate_tree_with(prog, tree, &mut qa);
+    let mut stats = run.stats;
+    stats.automata_builds = 1;
+    stats.automata_build_time = build_time;
+    TreeEvalResult {
+        automata: qa,
+        rho_a: run.rho_a,
+        rho_b: run.rho_b,
         stats,
     }
 }
@@ -271,6 +319,42 @@ mod tests {
                 tb.finish().unwrap()
             },
         );
+    }
+
+    /// A warm automata (reset between runs) must reproduce the fresh
+    /// run's state assignments exactly, at zero lazily computed
+    /// transitions the second time.
+    #[test]
+    fn warm_automata_rerun_is_identical() {
+        let mut lt = LabelTable::new();
+        let ast = parse_program(programs::EVEN_ODD, &mut lt).unwrap();
+        let prog = normalize(&ast);
+        let a = lt.get("a").unwrap_or_else(|| lt.intern("a").unwrap());
+        let b = lt.intern("b").unwrap();
+        let mut tb = TreeBuilder::new();
+        tb.open(b);
+        tb.leaf(a);
+        tb.open(b);
+        tb.leaf(a);
+        tb.leaf(b);
+        tb.close();
+        tb.close();
+        let tree = tb.finish().unwrap();
+
+        let pool = crate::AutomataPool::new();
+        let mut qa = pool.take(&prog);
+        let cold = evaluate_tree_with(&prog, &tree, &mut qa);
+        pool.put(qa);
+        assert!(cold.stats.phase1_transitions > 0);
+
+        let mut qa = pool.take(&prog);
+        let warm = evaluate_tree_with(&prog, &tree, &mut qa);
+        assert_eq!(warm.rho_a, cold.rho_a);
+        assert_eq!(warm.rho_b, cold.rho_b);
+        assert_eq!(warm.stats.selected, cold.stats.selected);
+        assert_eq!(warm.stats.phase1_transitions, 0, "fully memoized rerun");
+        assert_eq!(warm.stats.phase2_transitions, 0);
+        assert_eq!((pool.builds(), pool.reused()), (1, 1));
     }
 
     #[test]

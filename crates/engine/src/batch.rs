@@ -12,7 +12,7 @@
 use crate::diskeval::Phase2Hook;
 use crate::query::{Query, QueryLanguage};
 use crate::QueryOutcome;
-use arb_core::EvalStats;
+use arb_core::{AutomataPool, EvalStats};
 use arb_logic::Atom;
 use arb_storage::ArbDatabase;
 use arb_tmnf::{merge_programs, CoreProgram, PredId};
@@ -198,6 +198,33 @@ pub fn evaluate_disk_batch_with_hook(
     evaluate_disk_batch_opts(batch, db, 1, hook)
 }
 
+/// Snapshot of an [`AutomataPool`]'s lifetime counters, used to stamp
+/// one run's build/reuse deltas into its [`EvalStats`] — a session (or a
+/// cached server window) shares one pool across many runs, so per-run
+/// stats must be differences, not lifetime totals.
+struct PoolMark {
+    builds: u64,
+    reused: u64,
+    build_time: std::time::Duration,
+}
+
+impl PoolMark {
+    fn take(pool: &AutomataPool) -> Self {
+        PoolMark {
+            builds: pool.builds(),
+            reused: pool.reused(),
+            build_time: pool.build_time(),
+        }
+    }
+
+    /// Stamps the delta since the mark into `stats`.
+    fn stamp(&self, pool: &AutomataPool, stats: &mut EvalStats) {
+        stats.automata_builds = pool.builds() - self.builds;
+        stats.automata_reused = pool.reused() - self.reused;
+        stats.automata_build_time = pool.build_time().saturating_sub(self.build_time);
+    }
+}
+
 /// [`evaluate_disk_batch_with_hook`] with a thread count: `threads > 1`
 /// shards the two-phase pass over a frontier of disjoint subtree record
 /// windows (paper §6.2 on disk — see
@@ -210,22 +237,34 @@ pub fn evaluate_disk_batch_opts(
     threads: usize,
     hook: Option<Phase2Hook<'_>>,
 ) -> io::Result<BatchOutcome> {
-    evaluate_disk_batch_opts_sta(batch, db, threads, hook, arb_storage::StaFormat::from_env())
+    evaluate_disk_batch_opts_sta(
+        batch,
+        db,
+        threads,
+        hook,
+        arb_storage::StaFormat::from_env(),
+        &AutomataPool::new(),
+    )
 }
 
-/// [`evaluate_disk_batch_opts`] with an explicit `.sta` stream format —
-/// the session surface resolves `EvalOptions::sta_format` (falling back
-/// to `ARB_STA_FORMAT`) and passes it down here.
+/// [`evaluate_disk_batch_opts`] with an explicit `.sta` stream format
+/// and a caller-owned [`AutomataPool`] — the session surface resolves
+/// `EvalOptions::sta_format` (falling back to `ARB_STA_FORMAT`) and
+/// hands down its own pool so repeated runs reuse warm automata. The
+/// run's build/reuse deltas against the pool are stamped into the
+/// returned stats (shared and per-query).
 pub(crate) fn evaluate_disk_batch_opts_sta(
     batch: &QueryBatch,
     db: &ArbDatabase,
     threads: usize,
     hook: Option<Phase2Hook<'_>>,
     format: arb_storage::StaFormat,
+    pool: &AutomataPool,
 ) -> io::Result<BatchOutcome> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
+    let mark = PoolMark::take(pool);
     // The grouped kernel tests each query atom once per node and fills
     // one node set per query directly inside the phase-2 scan.
     let groups = batch.query_atoms();
@@ -237,11 +276,13 @@ pub(crate) fn evaluate_disk_batch_opts_sta(
             hook,
             threads,
             format,
+            pool,
         )?
     } else {
-        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook, format)?
+        crate::diskeval::evaluate_disk_grouped(&batch.merged, db, &groups, hook, format, pool)?
     };
     merged_outcome.stats.batch_size = batch.len() as u64;
+    mark.stamp(pool, &mut merged_outcome.stats);
     // A single-query batch gets its set back as the union.
     let group_sets = if group_sets.is_empty() {
         vec![merged_outcome.selected.clone()]
@@ -272,36 +313,42 @@ pub fn evaluate_tree_batch(
     batch: &QueryBatch,
     tree: &arb_tree::BinaryTree,
 ) -> io::Result<BatchOutcome> {
-    evaluate_tree_batch_opts(batch, tree, 1, None)
+    evaluate_tree_batch_opts(batch, tree, 1, None, &AutomataPool::new())
 }
 
 /// [`evaluate_tree_batch`] with knobs: `threads > 1` runs the phase-1/2
-/// sweeps through [`arb_core::evaluate_tree_parallel`] over a subtree
-/// frontier (the Section 6.2 case study), and a `hook` observes every
-/// node in document order with a synthesized record and per-query
+/// sweeps through [`arb_core::evaluate_tree_parallel_with`] over a
+/// subtree frontier (the Section 6.2 case study), and a `hook` observes
+/// every node in document order with a synthesized record and per-query
 /// selection flags — the in-memory twin of the disk phase-2 hook, so
-/// streaming sinks work identically on both backends.
+/// streaming sinks work identically on both backends. The master
+/// automata and every worker's come from (and return to) `pool`, so a
+/// session-owned pool keeps the interned δ tables warm across runs.
 pub(crate) fn evaluate_tree_batch_opts(
     batch: &QueryBatch,
     tree: &arb_tree::BinaryTree,
     threads: usize,
     mut hook: Option<Phase2Hook<'_>>,
+    pool: &AutomataPool,
 ) -> io::Result<BatchOutcome> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
-    let mut res = if threads > 1 {
-        arb_core::evaluate_tree_parallel(&batch.merged, tree, threads)
+    let mark = PoolMark::take(pool);
+    let mut qa = pool.take(&batch.merged);
+    let mut run = if threads > 1 {
+        arb_core::evaluate_tree_parallel_with(&batch.merged, tree, threads, &mut qa, pool)
     } else {
-        arb_core::evaluate_tree(&batch.merged, tree)
+        arb_core::evaluate_tree_with(&batch.merged, tree, &mut qa)
     };
-    res.stats.batch_size = batch.len() as u64;
+    run.stats.batch_size = batch.len() as u64;
+    mark.stamp(pool, &mut run.stats);
     let atoms = batch.query_atoms();
     let mut sets: Vec<NodeSet> = (0..batch.len()).map(|_| NodeSet::new(tree.len())).collect();
     let mut merged_counts = vec![0u64; atoms.iter().map(Vec::len).sum()];
     let mut flags = vec![false; batch.len()];
     for v in tree.nodes() {
-        let set = res.automata.predsets.get(res.rho_b[v.ix()]);
+        let set = qa.predsets.get(run.rho_b[v.ix()]);
         demux_node(set, &atoms, &mut merged_counts, &mut sets, v.0, &mut flags);
         if let Some(h) = hook.as_mut() {
             let info = tree.info(v);
@@ -313,9 +360,10 @@ pub(crate) fn evaluate_tree_batch_opts(
             h(v.0, rec, set, &flags);
         }
     }
-    let outcomes = batch.demux(&res.stats, &merged_counts, sets);
+    let outcomes = batch.demux(&run.stats, &merged_counts, sets);
+    pool.put(qa);
     Ok(BatchOutcome {
-        stats: res.stats,
+        stats: run.stats,
         outcomes,
     })
 }
@@ -365,13 +413,25 @@ pub fn evaluate_boolean_batch_opts(
     db: &ArbDatabase,
     threads: usize,
 ) -> io::Result<Vec<bool>> {
+    evaluate_boolean_batch_pooled(batch, db, threads, &AutomataPool::new())
+}
+
+/// [`evaluate_boolean_batch_opts`] with a caller-owned [`AutomataPool`]
+/// — the session surface passes its pool so warm sessions answer
+/// repeated verdict runs without rebuilding automata.
+pub(crate) fn evaluate_boolean_batch_pooled(
+    batch: &QueryBatch,
+    db: &ArbDatabase,
+    threads: usize,
+    pool: &AutomataPool,
+) -> io::Result<Vec<bool>> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
     let set = if threads > 1 {
-        crate::diskeval::root_true_preds_parallel(&batch.merged, db, threads)?
+        crate::diskeval::root_true_preds_parallel(&batch.merged, db, threads, pool)?
     } else {
-        crate::diskeval::root_true_preds(&batch.merged, db)?
+        crate::diskeval::root_true_preds(&batch.merged, db, pool)?
     };
     Ok(batch
         .query_atoms()
@@ -383,27 +443,31 @@ pub fn evaluate_boolean_batch_opts(
 /// The in-memory counterpart of [`evaluate_boolean_batch`]: per-query
 /// root verdicts from one shared two-phase run (same error behavior as
 /// the disk path). `threads > 1` parallelizes over the subtree frontier,
-/// like [`evaluate_tree_batch_opts`].
+/// like [`evaluate_tree_batch_opts`]; automata come from `pool`.
 pub(crate) fn evaluate_boolean_batch_tree(
     batch: &QueryBatch,
     tree: &arb_tree::BinaryTree,
     threads: usize,
+    pool: &AutomataPool,
 ) -> io::Result<Vec<bool>> {
     if batch.is_empty() {
         return Err(empty_batch_err());
     }
     // Only the root's predicate set matters — no per-node demux.
-    let res = if threads > 1 {
-        arb_core::evaluate_tree_parallel(&batch.merged, tree, threads)
+    let mut qa = pool.take(&batch.merged);
+    let run = if threads > 1 {
+        arb_core::evaluate_tree_parallel_with(&batch.merged, tree, threads, &mut qa, pool)
     } else {
-        arb_core::evaluate_tree(&batch.merged, tree)
+        arb_core::evaluate_tree_with(&batch.merged, tree, &mut qa)
     };
-    let root_set = res.automata.predsets.get(res.rho_b[tree.root().ix()]);
-    Ok(batch
+    let root_set = qa.predsets.get(run.rho_b[tree.root().ix()]);
+    let verdicts = batch
         .query_atoms()
         .iter()
         .map(|entry_atoms| entry_atoms.iter().any(|a| root_set.contains(*a)))
-        .collect())
+        .collect();
+    pool.put(qa);
+    Ok(verdicts)
 }
 
 #[cfg(test)]

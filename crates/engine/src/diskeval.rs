@@ -48,7 +48,7 @@
 //! counters report the real number of (range) scans opened.
 
 use crate::QueryOutcome;
-use arb_core::{EvalStats, InternStats, QueryAutomata, SubtreeIndex};
+use arb_core::{AutomataPool, EvalStats, InternStats, QueryAutomata, SubtreeIndex};
 use arb_logic::{Atom, PredSet, PredSetId, PredSetView, ProgramId};
 use arb_storage::stafile::{StateFilePatcher, StateFileReader, StateFileWriter};
 use arb_storage::{
@@ -83,7 +83,10 @@ pub fn evaluate_disk_with_hook(
     hook: Option<Phase2Hook<'_>>,
 ) -> io::Result<QueryOutcome> {
     let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
-    let (outcome, _sets) = evaluate_disk_grouped(prog, db, &[atoms], hook, StaFormat::from_env())?;
+    let pool = AutomataPool::new();
+    let (mut outcome, _sets) =
+        evaluate_disk_grouped(prog, db, &[atoms], hook, StaFormat::from_env(), &pool)?;
+    stamp_pool(&mut outcome.stats, &pool);
     Ok(outcome)
 }
 
@@ -102,9 +105,28 @@ pub fn evaluate_disk_parallel(
     threads: usize,
 ) -> io::Result<QueryOutcome> {
     let atoms: Vec<Atom> = prog.query_preds().iter().map(|&p| Atom::local(p)).collect();
-    let (outcome, _sets) =
-        evaluate_disk_grouped_parallel(prog, db, &[atoms], None, threads, StaFormat::from_env())?;
+    let pool = AutomataPool::new();
+    let (mut outcome, _sets) = evaluate_disk_grouped_parallel(
+        prog,
+        db,
+        &[atoms],
+        None,
+        threads,
+        StaFormat::from_env(),
+        &pool,
+    )?;
+    stamp_pool(&mut outcome.stats, &pool);
     Ok(outcome)
+}
+
+/// Fills the automata-lifecycle columns of `stats` from a pool's
+/// lifetime counters — correct for the one-shot wrappers above, whose
+/// pool is born with the run. Callers that keep a pool across runs
+/// (the `Session` surface) stamp per-run counter *deltas* instead.
+fn stamp_pool(stats: &mut EvalStats, pool: &AutomataPool) {
+    stats.automata_builds = pool.builds();
+    stats.automata_reused = pool.reused();
+    stats.automata_build_time = pool.build_time();
 }
 
 /// The sequential phase-2 pass: one forward record scan in lockstep with
@@ -208,12 +230,13 @@ pub(crate) fn evaluate_disk_grouped(
     groups: &[Vec<Atom>],
     mut hook: Option<Phase2Hook<'_>>,
     format: StaFormat,
+    pool: &AutomataPool,
 ) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
-    let mut qa = QueryAutomata::new(prog);
     let n = db.node_count();
     if n == 0 {
         return Err(empty_db_err());
     }
+    let mut qa = pool.take(prog);
     // One uniquely named scratch stream per run: concurrent evaluations
     // of the same database must never share a `.sta` path.
     let sta = db.scratch_sta();
@@ -278,8 +301,12 @@ pub(crate) fn evaluate_disk_grouped(
         blocks_decoded: db.blocks_decoded() - blocks0,
         batch_size: 0,
         queue_wait: Duration::ZERO,
+        automata_builds: 0,
+        automata_reused: 0,
+        automata_build_time: Duration::ZERO,
         interning: qa.intern_stats(),
     };
+    pool.put(qa);
     Ok((
         QueryOutcome {
             stats,
@@ -339,6 +366,7 @@ fn sharded_phase1<'d>(
     db: &'d ArbDatabase,
     threads: usize,
     sta: Option<(&ScratchPath, StaFormat)>,
+    pool: &AutomataPool,
 ) -> io::Result<Option<ShardedPhase1<'d>>> {
     let n = db.node_count();
     if n == 0 {
@@ -390,7 +418,7 @@ fn sharded_phase1<'d>(
             .map(|mine| {
                 let idx = &idx;
                 scope.spawn(move |_| -> io::Result<ShardWorker> {
-                    let mut wqa = QueryAutomata::new(prog);
+                    let mut wqa = pool.take(prog);
                     let mut out = Vec::with_capacity(mine.len());
                     let mut sta_encoded = 0u64;
                     for &r in mine {
@@ -444,8 +472,9 @@ fn sharded_phase1<'d>(
 
     // Re-intern the workers' states into the master automata — by
     // reference, so states several workers discovered independently are
-    // cloned at most once.
-    let mut qa = QueryAutomata::new(prog);
+    // cloned at most once. Master and workers all come from the pool,
+    // so a repeated run starts with every table warm.
+    let mut qa = pool.take(prog);
     let remaps: Vec<Vec<ProgramId>> = workers
         .iter()
         .map(|w| {
@@ -517,13 +546,14 @@ pub(crate) fn evaluate_disk_grouped_parallel(
     mut hook: Option<Phase2Hook<'_>>,
     threads: usize,
     format: StaFormat,
+    pool: &AutomataPool,
 ) -> io::Result<(QueryOutcome, Vec<NodeSet>)> {
     let n = db.node_count();
     let sta = db.scratch_sta();
     let blocks0 = db.blocks_decoded();
-    let p1 = match sharded_phase1(prog, db, threads, Some((&sta, format)))? {
+    let p1 = match sharded_phase1(prog, db, threads, Some((&sta, format)), pool)? {
         Some(p1) => p1,
-        None => return evaluate_disk_grouped(prog, db, groups, hook, format),
+        None => return evaluate_disk_grouped(prog, db, groups, hook, format, pool),
     };
     let ShardedPhase1 {
         mut qa,
@@ -581,6 +611,11 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             )?;
             forward_scans += 1;
             let decoded = sta_r.decoded_bytes();
+            // Phase 2 never stepped the workers here, but their warm
+            // phase-1 tables are still worth keeping for the next run.
+            for w in workers {
+                pool.put(w.wqa);
+            }
             (counts, sets, 0u64, worker_mem, worker_intern, decoded)
         } else {
             // Sharded phase 2: spine first (it hands each frontier root its
@@ -630,7 +665,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             // one document's worth of bits per group (a full-document set
             // per worker would multiply result memory by the worker count).
             type WindowSets = (u32, Vec<NodeSet>);
-            type P2Out = (Vec<u64>, Vec<WindowSets>, u64, usize, InternStats, u64);
+            type P2Out = (Vec<u64>, Vec<WindowSets>, u64, QueryAutomata);
             let master_predsets = &qa.predsets;
             let root_b = &root_b;
             let subtree_count: u64 = workers.iter().map(|w| w.roots.len() as u64).sum();
@@ -699,15 +734,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
                                 decoded += sta_r.decoded_bytes();
                                 windows.push((r, sets));
                             }
-                            let pressure = wqa.intern_stats();
-                            Ok((
-                                counts,
-                                windows,
-                                wqa.td_transitions,
-                                wqa.memory_bytes(),
-                                pressure,
-                                decoded,
-                            ))
+                            Ok((counts, windows, decoded, wqa))
                         })
                     })
                     .collect();
@@ -724,7 +751,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             let mut worker_intern = InternStats::default();
             let mut decoded = 0u64;
             for res in results {
-                let (counts, windows, td, mem, pressure, dec) = res?;
+                let (counts, windows, dec, wqa) = res?;
                 for (acc, c) in per_pred_counts.iter_mut().zip(counts) {
                     *acc += c;
                 }
@@ -735,10 +762,13 @@ pub(crate) fn evaluate_disk_grouped_parallel(
                         }
                     }
                 }
-                worker_td += td;
-                worker_mem += mem;
-                worker_intern.absorb(&pressure);
+                worker_td += wqa.td_transitions;
+                worker_mem += wqa.memory_bytes();
+                worker_intern.absorb(&wqa.intern_stats());
                 decoded += dec;
+                // Back to the pool: the next run's phase-1 workers
+                // inherit both phases' memoized tables.
+                pool.put(wqa);
             }
             (
                 per_pred_counts,
@@ -773,12 +803,16 @@ pub(crate) fn evaluate_disk_grouped_parallel(
         blocks_decoded: db.blocks_decoded() - blocks0,
         batch_size: 0,
         queue_wait: Duration::ZERO,
+        automata_builds: 0,
+        automata_reused: 0,
+        automata_build_time: Duration::ZERO,
         interning: {
             let mut i = qa.intern_stats();
             i.absorb(&worker_intern);
             i
         },
     };
+    pool.put(qa);
     Ok((
         QueryOutcome {
             stats,
@@ -799,7 +833,7 @@ pub(crate) fn evaluate_disk_grouped_parallel(
 /// membership test on its facts. One backward linear scan, no `.sta`
 /// file.
 pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool> {
-    let set = root_true_preds(prog, db)?;
+    let set = root_true_preds(prog, db, &AutomataPool::new())?;
     Ok(prog
         .query_preds()
         .iter()
@@ -809,17 +843,23 @@ pub fn evaluate_boolean(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<bool
 /// The set of predicates true at the root, computed with a single
 /// backward scan and no `.sta` file — the shared kernel of boolean
 /// (document-filtering) evaluation, single-query and batched.
-pub(crate) fn root_true_preds(prog: &CoreProgram, db: &ArbDatabase) -> io::Result<PredSet> {
-    let mut qa = QueryAutomata::new(prog);
+pub(crate) fn root_true_preds(
+    prog: &CoreProgram,
+    db: &ArbDatabase,
+    pool: &AutomataPool,
+) -> io::Result<PredSet> {
     if db.node_count() == 0 {
         return Err(empty_db_err());
     }
+    let mut qa = pool.take(prog);
     let mut scan = db.backward_scan()?;
     let root_state = bottom_up_scan(&mut scan, |s1: Option<ProgramId>, s2, rec, ix| {
         qa.bottom_up(s1, s2, rec.info(ix))
     })?;
     let start = qa.start_state(root_state);
-    Ok(qa.predsets.get(start).to_owned())
+    let set = qa.predsets.get(start).to_owned();
+    pool.put(qa);
+    Ok(set)
 }
 
 /// [`root_true_preds`] with the backward pass sharded over `threads`
@@ -829,12 +869,18 @@ pub(crate) fn root_true_preds_parallel(
     prog: &CoreProgram,
     db: &ArbDatabase,
     threads: usize,
+    pool: &AutomataPool,
 ) -> io::Result<PredSet> {
-    match sharded_phase1(prog, db, threads, None)? {
-        None => root_true_preds(prog, db),
+    match sharded_phase1(prog, db, threads, None, pool)? {
+        None => root_true_preds(prog, db, pool),
         Some(mut p1) => {
             let start = p1.qa.start_state(p1.root_state);
-            Ok(p1.qa.predsets.get(start).to_owned())
+            let set = p1.qa.predsets.get(start).to_owned();
+            pool.put(p1.qa);
+            for w in p1.workers {
+                pool.put(w.wqa);
+            }
+            Ok(set)
         }
     }
 }
@@ -1015,6 +1061,7 @@ mod tests {
             Some(&mut hook),
             4,
             StaFormat::from_env(),
+            &AutomataPool::new(),
         )
         .unwrap();
         assert_eq!(par_flags, seq_flags);
@@ -1037,7 +1084,7 @@ mod tests {
             let q = prog.pred_id("QUERY").unwrap();
             prog.add_query_pred(q);
             let seq = evaluate_boolean(&prog, &db).unwrap();
-            let par_set = root_true_preds_parallel(&prog, &db, 4).unwrap();
+            let par_set = root_true_preds_parallel(&prog, &db, 4, &AutomataPool::new()).unwrap();
             let par = prog
                 .query_preds()
                 .iter()

@@ -44,6 +44,19 @@
 //! are safe. Convenience wrappers [`Session::run`], [`Session::run_one`],
 //! [`Session::run_boolean`] and [`Session::run_marked`] cover the common
 //! shapes; the deprecated `Database::evaluate*` matrix forwards to them.
+//!
+//! ## Build once, eval many
+//!
+//! A [`Session`] owns an [`AutomataPool`]: the compiled `QueryAutomata`
+//! (symbol/predicate interners and memoized δ tables) are built on the
+//! first run and reused — warm — by every later run of the session,
+//! across sinks, backends and thread counts. The per-run
+//! [`arb_core::EvalStats`] counters `automata_builds` /
+//! `automata_reused` / `automata_build_time` make the lifecycle
+//! observable; hosts that outlive individual sessions can share a pool
+//! between sessions over the same merged program with
+//! [`Session::with_pool`] (the resident query service does this for
+//! repeated admission-window shapes).
 
 pub mod batch;
 pub mod database;
@@ -52,6 +65,7 @@ pub mod output;
 pub mod query;
 pub mod session;
 
+pub use arb_core::AutomataPool;
 pub use arb_storage::{FormatVersion, StaFormat};
 pub use batch::{
     evaluate_boolean_batch, evaluate_boolean_batch_opts, evaluate_disk_batch,

@@ -27,9 +27,11 @@ use crate::diskeval::Phase2Hook;
 use crate::output::XmlEmitter;
 use crate::query::Query;
 use crate::QueryOutcome;
+use arb_core::AutomataPool;
 use arb_storage::NodeRecord;
 use arb_tree::{BinaryTree, LabelTable, NodeId, NodeSet};
 use std::io::{self, Write};
+use std::sync::Arc;
 
 /// Evaluation knobs, absorbing the engine-level options that used to
 /// live in the (now removed) `Engine` struct.
@@ -340,11 +342,28 @@ enum BatchStore<'a> {
 /// one shared two-phase pass (one backward and one forward linear scan
 /// on disk) regardless of the query count.
 ///
+/// # Build-once / eval-many automata lifecycle
+///
+/// The session owns an [`AutomataPool`]: the first [`eval`](Session::eval)
+/// builds the merged program's `QueryAutomata` (interners, memoized δ
+/// tables) and parks them in the pool; every later run — any sink, any
+/// backend, sequential or sharded — takes warm automata back out, so
+/// repeated evaluations pay zero construction cost and keep their
+/// memoized transitions. Sharded runs draw per-worker automata from the
+/// same pool and return them, so even worker tables stay warm across
+/// runs. The per-run `automata_builds` / `automata_reused` counters on
+/// [`arb_core::EvalStats`] prove the lifecycle engaged: a warm session
+/// reports `automata_builds == 0`.
+///
 /// Create with [`Database::prepare`] (from compiled [`Query`]s) or
-/// [`Database::prepare_batch`] (from an existing [`QueryBatch`]).
+/// [`Database::prepare_batch`] (from an existing [`QueryBatch`]). Hosts
+/// that cache prepared state across session objects (e.g. the resident
+/// query service's window cache) can share one pool between sessions
+/// over the same merged program via [`Session::with_pool`].
 pub struct Session<'db> {
     db: &'db Database,
     batch: BatchStore<'db>,
+    pool: Arc<AutomataPool>,
 }
 
 impl<'db> Session<'db> {
@@ -352,6 +371,7 @@ impl<'db> Session<'db> {
         Session {
             db,
             batch: BatchStore::Owned(Box::new(QueryBatch::new(queries))),
+            pool: Arc::new(AutomataPool::new()),
         }
     }
 
@@ -359,7 +379,27 @@ impl<'db> Session<'db> {
         Session {
             db,
             batch: BatchStore::Borrowed(batch),
+            pool: Arc::new(AutomataPool::new()),
         }
+    }
+
+    /// Replaces the session's [`AutomataPool`] with a shared one.
+    ///
+    /// **Precondition (unchecked):** the pool must only ever serve
+    /// sessions over the *same* merged program — pooled automata resume
+    /// with their interned tables intact, so a pool shared across
+    /// different programs would step through the wrong δ tables. This is
+    /// the same caller contract as [`QueryBatch::new`]'s label-space
+    /// precondition.
+    pub fn with_pool(mut self, pool: Arc<AutomataPool>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The session's automata pool (shared with the server's window
+    /// cache when the session came from a cached shape).
+    pub fn automata_pool(&self) -> &Arc<AutomataPool> {
+        &self.pool
     }
 
     /// The merged batch this session evaluates.
@@ -425,13 +465,17 @@ impl<'db> Session<'db> {
         let report = match sink.demand() {
             SinkDemand::Verdicts => {
                 let verdicts = match disk {
-                    Some(d) => {
-                        crate::batch::evaluate_boolean_batch_opts(batch, d, opts.parallelism)?
-                    }
+                    Some(d) => crate::batch::evaluate_boolean_batch_pooled(
+                        batch,
+                        d,
+                        opts.parallelism,
+                        &self.pool,
+                    )?,
                     None => crate::batch::evaluate_boolean_batch_tree(
                         batch,
                         self.materialized()?.as_ref(),
                         opts.parallelism,
+                        &self.pool,
                     )?,
                 };
                 sink.verdicts(&verdicts)?;
@@ -467,12 +511,14 @@ impl<'db> Session<'db> {
                             hook,
                             opts.sta_format
                                 .unwrap_or_else(arb_storage::StaFormat::from_env),
+                            &self.pool,
                         )?,
                         None => crate::batch::evaluate_tree_batch_opts(
                             batch,
                             self.materialized()?.as_ref(),
                             opts.parallelism,
                             hook,
+                            &self.pool,
                         )?,
                     }
                 };
@@ -631,6 +677,46 @@ mod tests {
             seq.outcomes[0].selected.to_vec(),
             par.outcomes[0].selected.to_vec()
         );
+    }
+
+    #[test]
+    fn session_reuses_automata_across_runs() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let session = db.prepare(&[q]);
+        let first = session.run().unwrap();
+        assert_eq!(first.stats.automata_builds, 1);
+        assert_eq!(first.stats.automata_reused, 0);
+        let second = session.run().unwrap();
+        assert_eq!(
+            (second.stats.automata_builds, second.stats.automata_reused),
+            (0, 1),
+            "a warm session must not rebuild its automata"
+        );
+        assert_eq!(second.stats.automata_build_time, std::time::Duration::ZERO);
+        // Per-query outcomes carry the same lifecycle counters.
+        assert_eq!(second.outcomes[0].stats.automata_builds, 0);
+        assert_eq!(
+            first.outcomes[0].selected.to_vec(),
+            second.outcomes[0].selected.to_vec()
+        );
+    }
+
+    #[test]
+    fn shared_pool_spans_sessions() {
+        let mut db = db();
+        let q = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let pool = std::sync::Arc::new(arb_core::AutomataPool::new());
+        let qs = [q];
+        let warmup = db.prepare(&qs).with_pool(pool.clone());
+        warmup.run().unwrap();
+        drop(warmup);
+        // A second session over the same program and pool starts warm.
+        let warm = db.prepare(&qs).with_pool(pool.clone());
+        let out = warm.run().unwrap();
+        assert_eq!(out.stats.automata_builds, 0);
+        assert_eq!(out.stats.automata_reused, 1);
+        assert_eq!(pool.builds(), 1);
     }
 
     #[test]

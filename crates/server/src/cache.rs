@@ -1,16 +1,28 @@
-//! The prepared-program cache: compiled queries interned across
-//! requests, so a repeat query skips parsing, normalization,
-//! optimization **and** the single-query merge entirely and goes
-//! straight to the shared scan pair.
+//! The prepared-program and prepared-window caches: compiled queries
+//! interned across requests, so a repeat query skips parsing,
+//! normalization, optimization **and** the single-query merge entirely
+//! and goes straight to the shared scan pair — and repeated admission
+//! *window shapes* skip the multi-query merge and the automata build
+//! too ([`WindowCache`]).
 //!
-//! Keyed on `(database, language, source text)` — the compiled program
-//! is label-bound, so the same source against a different database is a
-//! different entry. Byte-size-bounded with least-recently-used
-//! eviction; hit/miss/eviction counters surface on the wire through
+//! The program cache is keyed on `(database, language, source text)` —
+//! the compiled program is label-bound, so the same source against a
+//! different database is a different entry. The window cache is keyed
+//! on the **sorted** multiset of the window's query specs (arrival
+//! order inside an admission window is nondeterministic under
+//! concurrency, so the shape is canonicalized before lookup). Both are
+//! byte-size-bounded with least-recently-used eviction;
+//! hit/miss/eviction counters surface on the wire through
 //! `ServerStats`.
+//!
+//! Every cached entry — single-query or merged window — carries an
+//! [`AutomataPool`], so a hot shape's `QueryAutomata` (interners and
+//! memoized δ tables) survive from one dispatched window to the next:
+//! the session layer's build-once/eval-many lifecycle, extended across
+//! server batches.
 
 use crate::protocol::WireLanguage;
-use arb_engine::{Query, QueryBatch};
+use arb_engine::{AutomataPool, Query, QueryBatch};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -35,13 +47,21 @@ pub struct PreparedProgram {
     /// The singleton [`QueryBatch`] over `query`, so a one-query
     /// admission window skips `merge_programs` too.
     pub singleton: QueryBatch,
+    /// The automata pool for one-query windows over `singleton`: the
+    /// first dispatch builds the `QueryAutomata`, every later one-query
+    /// window over this program reuses them warm.
+    pub pool: Arc<AutomataPool>,
 }
 
 impl PreparedProgram {
     /// Prepares a freshly compiled query for caching.
     pub fn new(query: Query) -> Self {
         let singleton = QueryBatch::new(std::slice::from_ref(&query));
-        PreparedProgram { query, singleton }
+        PreparedProgram {
+            query,
+            singleton,
+            pool: Arc::new(AutomataPool::new()),
+        }
     }
 }
 
@@ -190,6 +210,167 @@ impl ProgramCache {
     }
 }
 
+// ------------------------------------------------------- window shapes
+
+/// Key of a cached admission-window shape: the window's query specs in
+/// **canonical (sorted) order**. Concurrent clients race into the
+/// admission window, so the same logical window arrives in a different
+/// order every round; sorting makes the shape stable. Duplicates are
+/// kept — a window of two identical queries is a different shape than
+/// one of them alone. Scoped per database (each `DbEntry` owns its own
+/// [`WindowCache`]), so the database name is not part of the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WindowKey {
+    /// `(language, source)` specs, sorted.
+    pub specs: Vec<(WireLanguage, String)>,
+}
+
+impl WindowKey {
+    /// Canonicalizes a window's specs (sorts them).
+    pub fn new(mut specs: Vec<(WireLanguage, String)>) -> Self {
+        specs.sort();
+        WindowKey { specs }
+    }
+}
+
+/// A prepared multi-query window: the merged [`QueryBatch`] (entries in
+/// the key's canonical order) plus the [`AutomataPool`] that keeps the
+/// merged program's automata warm from one dispatch of this shape to
+/// the next.
+pub struct PreparedWindow {
+    /// The merged batch; entry `i` evaluates the key's `specs[i]`.
+    pub batch: QueryBatch,
+    /// Warm automata for `batch`'s merged program.
+    pub pool: Arc<AutomataPool>,
+}
+
+/// Deterministic byte cost of one window entry — the key text plus the
+/// same fixed program-size model as [`entry_cost`].
+fn window_cost(key: &WindowKey, w: &PreparedWindow) -> usize {
+    const ENTRY_OVERHEAD: usize = 256;
+    const PER_RULE: usize = 96;
+    const PER_PRED: usize = 32;
+    let merged = w.batch.merged_program();
+    ENTRY_OVERHEAD
+        + key.specs.iter().map(|(_, s)| s.len()).sum::<usize>()
+        + merged.rule_count() * PER_RULE
+        + merged.pred_count() * PER_PRED
+}
+
+struct WindowSlot {
+    prepared: Arc<PreparedWindow>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct WindowInner {
+    map: HashMap<WindowKey, WindowSlot>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A byte-bounded LRU cache of [`PreparedWindow`]s — one per database.
+/// A hit means the dispatched window skips `merge_programs` *and* finds
+/// warm automata in the entry's pool; the per-run
+/// `automata_builds == 0` wire counter is the observable consequence.
+pub struct WindowCache {
+    inner: Mutex<WindowInner>,
+    budget: usize,
+}
+
+impl WindowCache {
+    /// A cache evicting least-recently-used window shapes past `budget`
+    /// modeled bytes.
+    pub fn new(budget: usize) -> Self {
+        WindowCache {
+            inner: Mutex::new(WindowInner {
+                map: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            budget,
+        }
+    }
+
+    /// Looks up a prepared window shape, counting a hit or a miss and
+    /// freshening the entry's recency on a hit.
+    pub fn lookup(&self, key: &WindowKey) -> Option<Arc<PreparedWindow>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                let w = Arc::clone(&slot.prepared);
+                inner.hits += 1;
+                Some(w)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly merged window, evicting least-recently-used
+    /// shapes until it fits; returns `false` (caching nothing) when the
+    /// entry alone exceeds the budget.
+    pub fn insert(&self, key: WindowKey, prepared: Arc<PreparedWindow>) -> bool {
+        let cost = window_cost(&key, &prepared);
+        if cost > self.budget {
+            return false;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + cost > self.budget {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&victim).expect("victim exists");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.bytes += cost;
+        inner.map.insert(
+            key,
+            WindowSlot {
+                prepared,
+                bytes: cost,
+                last_used: tick,
+            },
+        );
+        true
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes as u64,
+            budget: self.budget as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +446,43 @@ mod tests {
         assert!(!cache.insert(k.clone(), p));
         assert_eq!(cache.stats().entries, 0);
         assert!(cache.lookup(&k).is_none());
+    }
+
+    #[test]
+    fn window_key_is_arrival_order_independent() {
+        let a = (WireLanguage::Tmnf, "QUERY :- V.Label[a];".to_string());
+        let b = (WireLanguage::XPath, "//b".to_string());
+        assert_eq!(
+            WindowKey::new(vec![a.clone(), b.clone()]),
+            WindowKey::new(vec![b.clone(), a.clone()])
+        );
+        // Duplicates are part of the shape.
+        assert_ne!(
+            WindowKey::new(vec![a.clone(), a.clone()]),
+            WindowKey::new(vec![a])
+        );
+    }
+
+    #[test]
+    fn window_cache_hits_share_the_pool() {
+        let mut db = Database::from_xml_str("<r><a/><b/></r>").unwrap();
+        let qa = db.compile_tmnf("QUERY :- V.Label[a];").unwrap();
+        let qb = db.compile_tmnf("QUERY :- V.Label[b];").unwrap();
+        let key = WindowKey::new(vec![
+            (WireLanguage::Tmnf, qa.source.clone()),
+            (WireLanguage::Tmnf, qb.source.clone()),
+        ]);
+        let cache = WindowCache::new(1 << 20);
+        assert!(cache.lookup(&key).is_none());
+        let prepared = Arc::new(PreparedWindow {
+            batch: QueryBatch::new(&[qa, qb]),
+            pool: Arc::new(arb_engine::AutomataPool::new()),
+        });
+        assert!(cache.insert(key.clone(), Arc::clone(&prepared)));
+        let hit = cache.lookup(&key).unwrap();
+        assert!(Arc::ptr_eq(&hit.pool, &prepared.pool));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]

@@ -21,6 +21,28 @@
 //! [`protocol::ErrorCode::Overloaded`] reply, and shutdown drains
 //! queued requests through their shared passes before exiting.
 //!
+//! ## Prepared-session lifecycle
+//!
+//! Compiled tree automata follow the engine's build-once / eval-many
+//! lifecycle all the way to the wire. Each cached program carries its
+//! own [`arb_engine::AutomataPool`], and multi-query windows go through
+//! a **window-shape cache** ([`cache::WindowCache`]): the merged
+//! [`arb_engine::QueryBatch`] and its pool are keyed by the *sorted*
+//! query texts of the window, so the same k queries landing together
+//! again — in any arrival order — skip both the batch merge and the
+//! automata build. Dispatch prepares a session over the cached batch
+//! with [`arb_engine::Session::with_pool`], so warm automata survive
+//! session churn; a permutation maps the canonical batch order back to
+//! each client's reply. The reuse is observable: per-reply
+//! [`protocol::WireStats`] carries `automata_builds` / `automata_reused`
+//! for the run that served the window, and the
+//! [`protocol::ServerStatsReply`] aggregates add total builds, reuses
+//! and build time. Repeated identical windows therefore report
+//! `automata_builds == 1` for the lifetime of the cache entry (pinned
+//! by the `server_differential` suite and the `regress` baseline).
+//! [`ServerConfig::workers`] (CLI: `arb serve --workers N`) sets the
+//! sharded parallelism each dispatched window is evaluated with.
+//!
 //! ## Wire protocol
 //!
 //! Hand-rolled, length-prefixed, no external dependencies. Every frame
@@ -85,7 +107,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{CacheStats, ProgramCache};
+pub use cache::{CacheStats, ProgramCache, WindowCache, WindowKey};
 pub use client::{Client, ClientError, QueryReply};
 pub use protocol::{
     ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,

@@ -56,7 +56,7 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
 /// The query language of a wire request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WireLanguage {
     /// The Arb surface syntax (TMNF with caterpillar expressions).
     Tmnf,
@@ -222,6 +222,13 @@ pub struct WireStats {
     pub cache_hit: bool,
     /// On-disk format of the database (0 for in-memory).
     pub db_format: u8,
+    /// `QueryAutomata` the shared pass built from scratch. 0 once the
+    /// window's shape is warm — the wire-visible proof that the
+    /// build-once/eval-many automata lifecycle engaged for this request.
+    pub automata_builds: u64,
+    /// Warm `QueryAutomata` the shared pass took from its window pool
+    /// instead of building.
+    pub automata_reused: u64,
 }
 
 /// One query's result payload.
@@ -262,6 +269,16 @@ pub struct ServerStatsReply {
     pub cache_bytes: u64,
     /// Databases kept open by the registry.
     pub open_databases: u64,
+    /// `QueryAutomata` built from scratch across all shared passes. A
+    /// steady-state server serving repeated window shapes stops
+    /// incrementing this: hot shapes draw warm automata from their
+    /// cached window pools.
+    pub automata_builds: u64,
+    /// Warm `QueryAutomata` reused from window pools across all shared
+    /// passes.
+    pub automata_reused: u64,
+    /// Total wall time spent constructing automata, microseconds.
+    pub automata_build_us: u64,
 }
 
 /// A response frame, decoded.
@@ -481,6 +498,8 @@ impl WireStats {
         out.extend_from_slice(&self.phase2_us.to_le_bytes());
         out.push(self.cache_hit as u8);
         out.push(self.db_format);
+        out.extend_from_slice(&self.automata_builds.to_le_bytes());
+        out.extend_from_slice(&self.automata_reused.to_le_bytes());
     }
 
     fn decode(c: &mut Cursor<'_>) -> io::Result<Self> {
@@ -495,6 +514,8 @@ impl WireStats {
             phase2_us: c.u64()?,
             cache_hit: c.u8()? != 0,
             db_format: c.u8()?,
+            automata_builds: c.u64()?,
+            automata_reused: c.u64()?,
         })
     }
 }
@@ -513,6 +534,9 @@ impl ServerStatsReply {
             self.cache_evictions,
             self.cache_bytes,
             self.open_databases,
+            self.automata_builds,
+            self.automata_reused,
+            self.automata_build_us,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -531,6 +555,9 @@ impl ServerStatsReply {
             cache_evictions: c.u64()?,
             cache_bytes: c.u64()?,
             open_databases: c.u64()?,
+            automata_builds: c.u64()?,
+            automata_reused: c.u64()?,
+            automata_build_us: c.u64()?,
         })
     }
 }
@@ -667,6 +694,8 @@ mod tests {
             phase2_us: 34,
             cache_hit: true,
             db_format: 2,
+            automata_builds: 1,
+            automata_reused: 9,
         };
         for result in [
             QueryResult::Bool(true),
@@ -690,6 +719,9 @@ mod tests {
                 cache_evictions: 0,
                 cache_bytes: 4096,
                 open_databases: 2,
+                automata_builds: 3,
+                automata_reused: 21,
+                automata_build_us: 77,
             }),
             &Request::ServerStats,
         );

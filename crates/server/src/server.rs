@@ -11,13 +11,16 @@
 //! demultiplexes results and per-query statistics back to each waiting
 //! connection. k concurrent clients cost one scan pair, not k.
 
-use crate::cache::{CacheKey, PreparedProgram, ProgramCache};
+use crate::cache::{
+    CacheKey, PreparedProgram, PreparedWindow, ProgramCache, WindowCache, WindowKey,
+};
 use crate::protocol::{
     ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
     WireStats,
 };
 use arb_engine::{
-    BooleanSink, Database, EvalRequest, Query, QueryBatch, ResultSink, SinkDemand, XmlEmitter,
+    AutomataPool, BooleanSink, Database, EvalRequest, Query, QueryBatch, ResultSink, SinkDemand,
+    XmlEmitter,
 };
 use arb_storage::NodeRecord;
 use std::collections::HashMap;
@@ -45,8 +48,15 @@ pub struct ServerConfig {
     /// database. Requests beyond it are shed with
     /// [`ErrorCode::Overloaded`] instead of buffering without bound.
     pub queue_cap: usize,
-    /// Byte budget of the prepared-program cache.
+    /// Byte budget of the prepared-program cache (each database's
+    /// prepared-window cache gets the same budget).
     pub cache_budget: usize,
+    /// Worker threads for each dispatched shared pass (threaded into
+    /// [`arb_engine::EvalOptions::parallelism`]): `0` and `1` evaluate
+    /// sequentially; `> 1` shards the window's scans over a subtree
+    /// frontier (per-worker range scans on disk). The CLI exposes this
+    /// as `arb serve --workers N`.
+    pub workers: usize,
     /// Sweep stale scratch `.sta` streams left by dead processes when
     /// opening each database (see
     /// [`arb_storage::sweep_stale_scratch`]).
@@ -61,6 +71,7 @@ impl Default for ServerConfig {
             max_batch: 64,
             queue_cap: 256,
             cache_budget: 16 << 20,
+            workers: 1,
             sweep_scratch: true,
         }
     }
@@ -69,6 +80,7 @@ impl Default for ServerConfig {
 /// One admitted query waiting for (or riding in) a shared pass.
 struct Pending {
     prepared: Arc<PreparedProgram>,
+    language: WireLanguage,
     output: OutputKind,
     cache_hit: bool,
     enqueued: Instant,
@@ -81,11 +93,14 @@ struct QueueState {
     draining: bool,
 }
 
-/// A registered database: the open handle plus its admission queue.
+/// A registered database: the open handle, its admission queue, and its
+/// prepared-window cache (merged batch + warm automata per window
+/// shape).
 struct DbEntry {
     db: RwLock<Database>,
     state: Mutex<QueueState>,
     cv: Condvar,
+    windows: WindowCache,
 }
 
 #[derive(Default)]
@@ -96,6 +111,9 @@ struct Counters {
     backward_scans: AtomicU64,
     forward_scans: AtomicU64,
     overloaded: AtomicU64,
+    automata_builds: AtomicU64,
+    automata_reused: AtomicU64,
+    automata_build_ns: AtomicU64,
 }
 
 struct ServerShared {
@@ -157,6 +175,7 @@ impl Server {
                         db: RwLock::new(db),
                         state: Mutex::new(QueueState::default()),
                         cv: Condvar::new(),
+                        windows: WindowCache::new(config.cache_budget),
                     }),
                 )
                 .is_some()
@@ -319,6 +338,9 @@ fn gather_stats(shared: &ServerShared) -> ServerStatsReply {
         cache_evictions: cache.evictions,
         cache_bytes: cache.bytes,
         open_databases: shared.dbs.len() as u64,
+        automata_builds: c.automata_builds.load(Ordering::Relaxed),
+        automata_reused: c.automata_reused.load(Ordering::Relaxed),
+        automata_build_us: c.automata_build_ns.load(Ordering::Relaxed) / 1_000,
     }
 }
 
@@ -396,6 +418,7 @@ fn process_query(
         }
         st.items.push(Pending {
             prepared,
+            language,
             output,
             cache_hit,
             enqueued: Instant::now(),
@@ -439,29 +462,82 @@ fn batcher_loop(shared: &ServerShared, entry: &DbEntry) {
     }
 }
 
-/// Holds whichever batch the window resolved to: the cached singleton
-/// (one-query window, merge skipped) or a fresh merge of the window's
-/// cached programs.
+/// Holds whichever prepared batch the window resolved to: the cached
+/// singleton (one-query window, merge skipped) or a cached/freshly
+/// merged multi-query window. Either way the entry carries the
+/// [`AutomataPool`] that keeps the merged program's automata warm
+/// across dispatches of the same shape.
 enum WindowBatch {
     Single(Arc<PreparedProgram>),
-    Merged(Box<QueryBatch>),
+    Window(Arc<PreparedWindow>),
 }
 
 impl WindowBatch {
     fn batch(&self) -> &QueryBatch {
         match self {
             WindowBatch::Single(p) => &p.singleton,
-            WindowBatch::Merged(b) => b,
+            WindowBatch::Window(w) => &w.batch,
         }
     }
+
+    fn pool(&self) -> &Arc<AutomataPool> {
+        match self {
+            WindowBatch::Single(p) => &p.pool,
+            WindowBatch::Window(w) => &w.pool,
+        }
+    }
+}
+
+/// Resolves a drained admission window to its prepared batch plus the
+/// permutation mapping each item to its batch entry (`perm[i]` is item
+/// `i`'s entry index — multi-query windows are merged in the canonical
+/// sorted order of [`WindowKey`], not arrival order, so repeated shapes
+/// hit one cache entry no matter how the clients raced in).
+fn resolve_window(entry: &DbEntry, items: &[Pending]) -> (WindowBatch, Vec<usize>) {
+    if items.len() == 1 {
+        return (WindowBatch::Single(Arc::clone(&items[0].prepared)), vec![0]);
+    }
+    fn spec(p: &Pending) -> (WireLanguage, &str) {
+        (p.language, p.prepared.query.source.as_str())
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| spec(&items[a]).cmp(&spec(&items[b])));
+    let mut perm = vec![0usize; items.len()];
+    for (entry_ix, &item_ix) in order.iter().enumerate() {
+        perm[item_ix] = entry_ix;
+    }
+    let key = WindowKey {
+        specs: order
+            .iter()
+            .map(|&i| (items[i].language, items[i].prepared.query.source.clone()))
+            .collect(),
+    };
+    let prepared = match entry.windows.lookup(&key) {
+        Some(w) => w,
+        None => {
+            let refs: Vec<&Query> = order.iter().map(|&i| &items[i].prepared.query).collect();
+            let w = Arc::new(PreparedWindow {
+                batch: QueryBatch::from_query_refs(&refs),
+                pool: Arc::new(AutomataPool::new()),
+            });
+            // Budget overflows just skip caching; the window still runs.
+            entry.windows.insert(key, Arc::clone(&w));
+            w
+        }
+    };
+    (WindowBatch::Window(prepared), perm)
 }
 
 /// Streams phase 2 into one [`XmlEmitter`] per marked-XML client, each
 /// marking **its own** query's selections only (unlike
 /// [`arb_engine::XmlMarkSink`], which marks the session union).
+/// `emitters`/`outputs` are in item (arrival) order; the per-node
+/// selection flags arrive in batch-entry (canonical) order, so `perm`
+/// translates between them.
 struct MarkDemuxSink<'l> {
     emitters: Vec<Option<XmlEmitter<'l, Vec<u8>>>>,
     outputs: Vec<Option<Vec<u8>>>,
+    perm: Vec<usize>,
 }
 
 impl ResultSink for MarkDemuxSink<'_> {
@@ -470,9 +546,9 @@ impl ResultSink for MarkDemuxSink<'_> {
     }
 
     fn node(&mut self, _ix: u32, rec: NodeRecord, selected_by: &[bool]) -> io::Result<()> {
-        for (e, &sel) in self.emitters.iter_mut().zip(selected_by) {
+        for (i, e) in self.emitters.iter_mut().enumerate() {
             if let Some(e) = e {
-                e.node(rec, sel)?;
+                e.node(rec, selected_by[self.perm[i]])?;
             }
         }
         Ok(())
@@ -497,19 +573,20 @@ fn internal_error(message: String) -> Response {
 
 fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
     let eval_start = Instant::now();
-    let window = if items.len() == 1 {
-        WindowBatch::Single(Arc::clone(&items[0].prepared))
-    } else {
-        let refs: Vec<&Query> = items.iter().map(|p| &p.prepared.query).collect();
-        WindowBatch::Merged(Box::new(QueryBatch::from_query_refs(&refs)))
-    };
+    let (window, perm) = resolve_window(entry, &items);
     let db = entry.db.read().unwrap();
-    let session = db.prepare_batch(window.batch());
-    let req = EvalRequest::new();
+    let pool = Arc::clone(window.pool());
+    let session = db
+        .prepare_batch(window.batch())
+        .with_pool(Arc::clone(&pool));
+    let req = EvalRequest::new().parallelism(shared.config.workers);
     let all_bool = items.iter().all(|p| p.output == OutputKind::Bool);
     let any_xml = items.iter().any(|p| p.output == OutputKind::Xml);
     let queue_wait =
         |p: &Pending| eval_start.saturating_duration_since(p.enqueued).as_micros() as u64;
+    // Pool counters are lifetime totals shared with past dispatches of
+    // this shape; snapshot them so this pass reports its own deltas.
+    let (builds0, reused0, build_t0) = (pool.builds(), pool.reused(), pool.build_time());
 
     let responses: Vec<Response> = if all_bool {
         // Verdict-only batches skip phase 2 entirely — on disk the whole
@@ -517,21 +594,29 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
         let mut sink = BooleanSink::default();
         match session.eval(&req, &mut sink) {
             Ok(report) => {
-                record_scans(shared, items.len(), 1, 0);
+                record_scans(
+                    shared,
+                    &pool,
+                    (builds0, reused0, build_t0),
+                    items.len(),
+                    1,
+                    0,
+                );
                 let stats = WireStats {
                     batch_size: items.len() as u32,
                     backward_scans: 1,
                     forward_scans: 0,
                     nodes: db.node_count(),
                     db_format: db.as_disk().map_or(0, |d| d.format_version()),
+                    automata_builds: pool.builds() - builds0,
+                    automata_reused: pool.reused() - reused0,
                     ..WireStats::default()
                 };
-                report
-                    .verdicts
+                items
                     .iter()
-                    .zip(&items)
-                    .map(|(&v, p)| Response::Query {
-                        result: QueryResult::Bool(v),
+                    .enumerate()
+                    .map(|(i, p)| Response::Query {
+                        result: QueryResult::Bool(report.verdicts[perm[i]]),
                         stats: WireStats {
                             queue_wait_us: queue_wait(p),
                             cache_hit: p.cache_hit,
@@ -554,6 +639,7 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
                 })
                 .collect(),
             outputs: items.iter().map(|_| None).collect(),
+            perm: perm.clone(),
         };
         // Without an XML client there is nothing to stream; an
         // outcome-only discard sink lets verdict/count/nodes clients
@@ -570,6 +656,8 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
                     .expect("outcome demand yields a batch");
                 record_scans(
                     shared,
+                    &pool,
+                    (builds0, reused0, build_t0),
                     items.len(),
                     batch.stats.backward_scans,
                     batch.stats.forward_scans,
@@ -578,7 +666,7 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
                     .iter()
                     .enumerate()
                     .map(|(i, p)| {
-                        let o = &batch.outcomes[i];
+                        let o = &batch.outcomes[perm[i]];
                         let mut stats = WireStats {
                             batch_size: o.stats.batch_size as u32,
                             queue_wait_us: queue_wait(p),
@@ -590,12 +678,14 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
                             phase2_us: o.stats.phase2_time.as_micros() as u64,
                             cache_hit: p.cache_hit,
                             db_format: o.stats.db_format,
+                            automata_builds: o.stats.automata_builds,
+                            automata_reused: o.stats.automata_reused,
                         };
                         if stats.nodes == 0 {
                             stats.nodes = db.node_count();
                         }
                         let result = match p.output {
-                            OutputKind::Bool => QueryResult::Bool(report.verdicts[i]),
+                            OutputKind::Bool => QueryResult::Bool(report.verdicts[perm[i]]),
                             OutputKind::Count => QueryResult::Count(o.stats.selected),
                             OutputKind::Nodes => {
                                 QueryResult::Nodes(o.selected.iter().map(|v| v.0).collect())
@@ -626,11 +716,26 @@ fn run_batch(shared: &ServerShared, entry: &DbEntry, items: Vec<Pending>) {
     }
 }
 
-fn record_scans(shared: &ServerShared, batch_len: usize, backward: u64, forward: u64) {
+fn record_scans(
+    shared: &ServerShared,
+    pool: &AutomataPool,
+    (builds0, reused0, build_t0): (u64, u64, Duration),
+    batch_len: usize,
+    backward: u64,
+    forward: u64,
+) {
     let c = &shared.counters;
     c.requests.fetch_add(batch_len as u64, Ordering::Relaxed);
     c.batches.fetch_add(1, Ordering::Relaxed);
     c.max_batch.fetch_max(batch_len as u64, Ordering::Relaxed);
     c.backward_scans.fetch_add(backward, Ordering::Relaxed);
     c.forward_scans.fetch_add(forward, Ordering::Relaxed);
+    c.automata_builds
+        .fetch_add(pool.builds() - builds0, Ordering::Relaxed);
+    c.automata_reused
+        .fetch_add(pool.reused() - reused0, Ordering::Relaxed);
+    c.automata_build_ns.fetch_add(
+        pool.build_time().saturating_sub(build_t0).as_nanos() as u64,
+        Ordering::Relaxed,
+    );
 }

@@ -48,16 +48,24 @@ enum Format {
     },
 }
 
+/// How many decoded v2 blocks [`CachedReader`] keeps. Spine reads of a
+/// sharded run cluster, but interleaved spines (several shards probing
+/// through one handle) ping-pong between a few blocks — a single slot
+/// would re-decode on every alternation.
+const POINT_READ_LRU_BLOCKS: usize = 4;
+
 /// The cached point-read handle behind [`ArbDatabase::record_at`]: one
 /// `File` for the lifetime of the database (the sequential spine of a
 /// sharded run fetches a handful of scattered records and used to pay an
-/// `open()` each), plus — on v2 — the most recently decoded block, since
-/// spine indexes cluster.
+/// `open()` each), plus — on v2 — a small LRU of decoded blocks, since
+/// spine indexes cluster but interleaved shards alternate between a few
+/// of them.
 struct CachedReader {
     file: File,
-    /// Block currently decoded in `buf` (`u32::MAX` = none; v2 only).
-    block: u32,
-    buf: Vec<NodeRecord>,
+    /// Decoded v2 blocks, most recently used first; at most
+    /// [`POINT_READ_LRU_BLOCKS`] entries, evicted allocations are
+    /// reused for the incoming block. Always empty on v1.
+    blocks: Vec<(u32, Vec<NodeRecord>)>,
     scratch: Vec<u8>,
 }
 
@@ -183,8 +191,7 @@ impl ArbDatabase {
 
         let reader = CachedReader {
             file: File::open(&arb_path)?,
-            block: u32::MAX,
-            buf: Vec::new(),
+            blocks: Vec::new(),
             scratch: Vec::new(),
         };
         Ok(ArbDatabase {
@@ -420,9 +427,10 @@ impl ArbDatabase {
 
     /// Reads a single record by preorder index — the sequential-spine
     /// nodes of a sharded run are a handful of scattered indexes, fetched
-    /// through a cached handle instead of an `open()` per call. On v2
-    /// the most recently decoded block is kept, since spine indexes
-    /// cluster.
+    /// through a cached handle instead of an `open()` per call. On v2 a
+    /// small LRU of decoded blocks (`POINT_READ_LRU_BLOCKS`) is kept:
+    /// spine indexes cluster, and interleaved shards alternate between a
+    /// few blocks that a single-slot cache would keep re-decoding.
     pub fn record_at(&self, ix: u32) -> io::Result<NodeRecord> {
         if ix >= self.node_count {
             return Err(io::Error::new(
@@ -444,24 +452,31 @@ impl ArbDatabase {
             }
             Format::V2 { map, .. } => {
                 let b = map.block_of(ix);
-                if r.block != b {
-                    let CachedReader {
-                        file,
-                        buf,
-                        scratch,
-                        block,
-                    } = &mut *r;
+                if let Some(pos) = r.blocks.iter().position(|(blk, _)| *blk == b) {
+                    // Hit: freshen recency (move-to-front).
+                    if pos != 0 {
+                        let hit = r.blocks.remove(pos);
+                        r.blocks.insert(0, hit);
+                    }
+                } else {
+                    // Miss: decode into the evicted slot's allocation.
+                    let mut buf = if r.blocks.len() >= POINT_READ_LRU_BLOCKS {
+                        r.blocks.pop().expect("LRU at capacity is non-empty").1
+                    } else {
+                        Vec::new()
+                    };
+                    let CachedReader { file, scratch, .. } = &mut *r;
                     v2::read_block(
                         file,
                         map.offsets[b as usize],
                         map.records_in(b),
                         scratch,
-                        buf,
+                        &mut buf,
                     )?;
-                    *block = b;
                     self.blocks_decoded.fetch_add(1, Ordering::Relaxed);
+                    r.blocks.insert(0, (b, buf));
                 }
-                Ok(r.buf[(ix - b * map.block_records) as usize])
+                Ok(r.blocks[0].1[(ix - b * map.block_records) as usize])
             }
         }
     }
@@ -696,6 +711,35 @@ mod tests {
             assert!(db.backward_scan_range(0, 99).is_err());
             assert!(db.record_at(99).is_err());
         }
+    }
+
+    #[test]
+    fn record_at_lru_decodes_alternating_blocks_once() {
+        // Two v2 blocks: BLOCK_RECORDS nodes of <a/> inside <doc> push the
+        // tail records into block 1.
+        let inner = "<a/>".repeat(crate::v2::BLOCK_RECORDS as usize);
+        let xml = format!("<doc>{inner}</doc>");
+        let arb = create(&xml, "db-lru.arb", FormatVersion::V2);
+        let db = ArbDatabase::open(&arb).unwrap();
+        assert!(db.node_count() > crate::v2::BLOCK_RECORDS);
+
+        let lo = 1u32; // block 0
+        let hi = db.node_count() - 1; // block 1
+        let first_lo = db.record_at(lo).unwrap();
+        let first_hi = db.record_at(hi).unwrap();
+        assert_eq!(db.blocks_decoded(), 2);
+
+        // Ping-ponging between the two blocks stays within the LRU: no
+        // re-decode, same records.
+        for _ in 0..8 {
+            assert_eq!(db.record_at(lo).unwrap(), first_lo);
+            assert_eq!(db.record_at(hi).unwrap(), first_hi);
+        }
+        assert_eq!(
+            db.blocks_decoded(),
+            2,
+            "alternating point reads across cached blocks must not re-decode"
+        );
     }
 
     #[test]

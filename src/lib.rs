@@ -74,6 +74,23 @@
 //! [`engine::evaluate_disk`] / [`engine::evaluate_disk_batch`] /
 //! [`core::evaluate_tree_batch`] directly).
 //!
+//! ## Build once, eval many
+//!
+//! Compiled tree automata ([`core::QueryAutomata`]) are a *session*
+//! resource, not a per-run one: every [`Session`] owns an
+//! [`engine::AutomataPool`], each `eval` takes a pooled automaton
+//! (resetting only its per-run node state — the interned transition
+//! tables stay warm) and returns it afterwards, so the second and every
+//! later evaluation of a prepared session skips the automata build
+//! entirely. Sharded runs draw one pooled automaton per worker.
+//! [`Session::with_pool`] shares one pool between sessions prepared
+//! over the *same* merged program (the server's window cache uses this
+//! to keep repeated batch shapes warm across session churn). Every run's
+//! [`core::EvalStats`] reports `automata_builds` / `automata_reused` /
+//! `automata_build_time`, so reuse is observable — the `session_reuse`
+//! integration suite pins that warm runs report zero builds while
+//! staying bit-for-bit identical to fresh sessions.
+//!
 //! ## Evaluation statistics
 //!
 //! Every run reports [`core::EvalStats`] — the paper's Figure 6 columns
@@ -143,6 +160,15 @@
 //! held it (`queue_wait_us`). A bounded queue sheds overload with a
 //! fast `Overloaded` reply instead of buffering without bound.
 //!
+//! Window *shapes* are cached too: the merged batch and its automata
+//! pool are keyed by the sorted query texts of the window, so a hot
+//! shape (the same k queries landing together again) skips both the
+//! merge and the automata build and reuses warm pooled automata —
+//! `automata_builds` stays at one no matter how often the window
+//! repeats, visible per reply (`automata builds/reused` in `--stats`)
+//! and in the `server-stats` aggregates. `arb serve --workers N` sets
+//! the sharded parallelism every dispatched window is evaluated with.
+//!
 //! ```text
 //! arb serve --listen 127.0.0.1:7333 --batch-window 2 --max-batch 64 docs.arb
 //! arb client 127.0.0.1:7333 docs --xpath //a --output count --stats
@@ -171,17 +197,19 @@
 //! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The fifteen root integration suites are the correctness spine:
+//! The sixteen root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `format_v2` (corrupt-file
 //! rejection plus a v1-vs-v2 differential property), `twophase_vs_naive`,
-//! `batch_differential`, `session_api`, `end_to_end`, `section_1_3`,
+//! `batch_differential`, `session_api`, `session_reuse` (a reused
+//! session is bit-for-bit a fresh one, and warm runs never rebuild
+//! automata), `end_to_end`, `section_1_3`,
 //! `intern_differential` (arena interners vs. a map-based model),
 //! `wide_alphabet` (merged batches past 128 EDB atoms),
 //! `sta_differential` (blocked vs. flat `.sta` streams vs. in-memory
 //! states, sequential and sharded) and `server_differential`
 //! (concurrent clients vs. one-shot sessions, wire-asserted scan
-//! sharing, overload shedding).
+//! sharing, window-shape automata reuse, overload shedding).
 //! Property suites take an explicit case-count override for deep runs
 //! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
 //! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
@@ -193,10 +221,12 @@
 //! `parallel`, `sharded` (per-thread scaling of the sharded disk path),
 //! `ablation`, `storagefmt` (v1 vs. v2 creation, file size and cold/warm
 //! scan throughput), `servebench` (open-loop load against a resident
-//! server: p50/p99 latency, scans-per-query, cache hit rate), and
+//! server: p50/p99 latency, scans-per-query, cache hit and automata
+//! reuse rates), and
 //! `regress` (benchmark regression tracking against the committed
 //! baselines in `crates/bench/baselines/`, now including storage
-//! file-size, decode-throughput and server scan-sharing metrics). Sizes
+//! file-size, decode-throughput, server scan-sharing and exact automata
+//! build/reuse metrics). Sizes
 //! scale via
 //! `ARB_ACGT_LOG2`, `ARB_TREEBANK_ELEMS` and friends — see the
 //! `arb_bench` crate docs.

@@ -183,6 +183,54 @@ fn full_window_shares_one_scan_pair() {
     handle.shutdown();
 }
 
+/// Repeated identical windows hit the window-shape cache: the first
+/// dispatch builds the merged automata exactly once, and every later
+/// identical window reuses them — pinned on the wire (per-reply
+/// `automata_builds`/`automata_reused`) and in the server counters.
+#[test]
+fn repeated_windows_build_automata_once() {
+    let (handle, _db) = start(
+        "winreuse.arb",
+        ServerConfig {
+            batch_window: Duration::from_secs(5),
+            max_batch: 4,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.local_addr();
+    for round in 0..3 {
+        let mut threads = Vec::new();
+        for q in QUERIES.iter().take(4) {
+            let q = q.to_string();
+            threads.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.query("winreuse", WireLanguage::XPath, OutputKind::Count, &q)
+                    .unwrap()
+            }));
+        }
+        for t in threads {
+            let reply = t.join().unwrap();
+            assert_eq!(reply.stats.batch_size, 4, "round {round} shares one window");
+            if round == 0 {
+                assert_eq!(reply.stats.automata_builds, 1, "cold window builds once");
+            } else {
+                assert_eq!(
+                    reply.stats.automata_builds, 0,
+                    "warm window round {round} must not rebuild"
+                );
+                assert!(reply.stats.automata_reused >= 1, "round {round} reuses");
+            }
+        }
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let s = c.server_stats().unwrap();
+    assert_eq!(s.requests, 12);
+    assert_eq!(s.batches, 3);
+    assert_eq!(s.automata_builds, 1, "three identical windows, one build");
+    assert_eq!(s.automata_reused, 2);
+    handle.shutdown();
+}
+
 /// Verdict-only windows skip phase 2 entirely: one backward scan, zero
 /// forward scans, on the wire and in the server counters.
 #[test]

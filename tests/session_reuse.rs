@@ -1,0 +1,192 @@
+//! Build-once / eval-many property suite for the session-owned automata
+//! lifecycle: a single reused [`Session`] run N times (mixed sinks, both
+//! backends, sequential and frontier-parallel) must be bit-for-bit
+//! identical to N fresh sessions over the same queries, and the warm
+//! runs must actually *be* warm — `automata_builds == 0`,
+//! `automata_reused >= 1` on every round after the first, and (on the
+//! sequential path, where exactly one evaluator is live at a time) the
+//! session's pool builds exactly one automaton across the whole matrix.
+
+use arb::datagen::queries::{RandomPathQuery, R_TOP_DOWN};
+use arb::datagen::{treebank_tree, RegexShape, TreebankConfig};
+use arb::engine::{BooleanSink, CountSink, EvalRequest, NodeSetSink, Session, XmlMarkSink};
+use arb::tree::{BinaryTree, LabelTable, NodeId};
+use arb::Database;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn small_treebank(seed: u64) -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems: 400,
+            seed,
+            filler_tags: 8,
+        },
+        &mut labels,
+    );
+    (tree, labels)
+}
+
+/// Both backends over the same document: in-memory, and on-disk `.arb`.
+fn both_backends(tree: &BinaryTree, labels: &LabelTable) -> Vec<Database> {
+    let dir = std::env::temp_dir().join(format!("arb-session-reuse-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("case-{}.arb", CASE.fetch_add(1, Ordering::Relaxed)));
+    arb::storage::create_from_tree(tree, labels, &path).expect("create database");
+    vec![
+        Database::from_tree(tree.clone(), labels.clone()),
+        Database::open_arb(&path).expect("open database"),
+    ]
+}
+
+/// Everything one evaluation round can observe: verdicts, counts, node
+/// sets, marked XML bytes, plus the per-run automata counters stamped on
+/// the NodeSet run's shared stats.
+#[derive(Debug, Clone, PartialEq)]
+struct RunImage {
+    verdicts: Vec<bool>,
+    counts: Vec<u64>,
+    sets: Vec<Vec<NodeId>>,
+    marked: Vec<u8>,
+}
+
+/// Runs the full sink matrix once on `session` and returns the observed
+/// image plus `(automata_builds, automata_reused)` from the NodeSet
+/// run's shared-pass stats (the first eval of the matrix).
+fn run_matrix(session: &Session, req: &EvalRequest, labels: &LabelTable) -> (RunImage, (u64, u64)) {
+    let mut sets = NodeSetSink::default();
+    let report = session.eval(req, &mut sets).unwrap();
+    let stats = &report
+        .batch
+        .as_ref()
+        .expect("node-set demand runs phase 2")
+        .stats;
+    let automata = (stats.automata_builds, stats.automata_reused);
+
+    let mut counts = CountSink::default();
+    session.eval(req, &mut counts).unwrap();
+
+    let mut bools = BooleanSink::default();
+    session.eval(req, &mut bools).unwrap();
+
+    let mut mark = XmlMarkSink::new(labels, Vec::new());
+    session.eval(req, &mut mark).unwrap();
+
+    (
+        RunImage {
+            verdicts: bools.verdicts().to_vec(),
+            counts: counts.counts().to_vec(),
+            sets: sets.sets().iter().map(|s| s.to_vec()).collect(),
+            marked: mark.into_inner().expect("run completed"),
+        },
+        automata,
+    )
+}
+
+/// The reuse property for one database: N matrix rounds on a single
+/// session equal N rounds on fresh sessions, and the reused session's
+/// pool reports warm rounds as reuse, not rebuilds.
+fn check_reuse(db: &mut Database, sources: &[String], rounds: usize) {
+    let queries: Vec<arb::Query> = sources
+        .iter()
+        .map(|s| db.compile_tmnf(s).expect("generated query compiles"))
+        .collect();
+    let labels = db.labels().clone();
+
+    for parallelism in [1usize, 4] {
+        let req = EvalRequest::new().parallelism(parallelism);
+
+        // Baseline: a fresh session per round.
+        let fresh: Vec<RunImage> = (0..rounds)
+            .map(|_| run_matrix(&db.prepare(&queries), &req, &labels).0)
+            .collect();
+        for (r, img) in fresh.iter().enumerate().skip(1) {
+            prop_assert_eq!(img, &fresh[0], "fresh sessions disagree at round {}", r);
+        }
+
+        // One session, reused for every round.
+        let session = db.prepare(&queries);
+        let pool = std::sync::Arc::clone(session.automata_pool());
+        for r in 0..rounds {
+            let (img, (builds, reused)) = run_matrix(&session, &req, &labels);
+            prop_assert_eq!(
+                &img,
+                &fresh[0],
+                "reused session diverged at round {} (parallelism {})",
+                r,
+                parallelism
+            );
+            if r > 0 && parallelism == 1 {
+                prop_assert_eq!(builds, 0, "warm round {} rebuilt automata", r);
+                prop_assert!(reused >= 1, "warm round {} reports no reuse", r);
+            }
+        }
+        prop_assert!(pool.reused() >= 1, "reused session never reused automata");
+        if parallelism == 1 {
+            // Exactly one evaluator is live at a time, so the whole
+            // matrix × rounds needs exactly one build.
+            prop_assert_eq!(pool.builds(), 1);
+        } else {
+            // Concurrent shard workers may each build one before the
+            // pool warms (plus one for the sequential spine evaluator),
+            // but never proportional to the number of rounds.
+            prop_assert!(
+                pool.builds() <= parallelism as u64 + 1,
+                "parallel reuse built {} automata for {} workers",
+                pool.builds(),
+                parallelism
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Treebank documents, top-down path queries, k = 1 (single) .. 3,
+    /// both backends, 3 rounds of the full sink matrix.
+    #[test]
+    fn reused_session_equals_fresh_sessions((k, tree_seed, query_seed) in
+        (1usize..=3, any::<u64>(), any::<u64>()))
+    {
+        let (tree, labels) = small_treebank(tree_seed);
+        let sources: Vec<String> =
+            RandomPathQuery::batch(k, 5, &["NP", "VP", "PP", "S"], RegexShape::Tags, query_seed)
+                .iter()
+                .map(|q| q.to_program(R_TOP_DOWN))
+                .collect();
+        for mut db in both_backends(&tree, &labels) {
+            check_reuse(&mut db, &sources, 3);
+        }
+    }
+}
+
+/// A shared pool spanning sessions over the same merged program keeps
+/// its warmth across session drops — the server's window cache relies on
+/// exactly this.
+#[test]
+fn pool_survives_session_churn() {
+    let (tree, labels) = small_treebank(0xAB);
+    let mut db = Database::from_tree(tree, labels);
+    let q = db.compile_tmnf("QUERY :- V.Label[NP];").unwrap();
+    let queries = vec![q];
+
+    let pool = std::sync::Arc::clone(db.prepare(&queries).automata_pool());
+    let baseline = db
+        .prepare(&queries)
+        .with_pool(std::sync::Arc::clone(&pool))
+        .run_one()
+        .unwrap()
+        .selected
+        .to_vec();
+    for _ in 0..5 {
+        let session = db.prepare(&queries).with_pool(std::sync::Arc::clone(&pool));
+        let out = session.run_one().unwrap();
+        assert_eq!(out.selected.to_vec(), baseline);
+    }
+    assert_eq!(pool.builds(), 1, "session churn must not rebuild automata");
+    assert!(pool.reused() >= 5);
+}
