@@ -28,7 +28,9 @@
 use arb_core::evaluate_tree;
 use arb_datagen::queries::{RandomPathQuery, R_INFIX, R_TOP_DOWN};
 use arb_datagen::{acgt, treebank_tree, RegexShape, TreebankConfig};
-use arb_engine::{evaluate_disk, evaluate_disk_batch, QueryBatch};
+use arb_engine::{
+    evaluate_disk, evaluate_disk_batch, Database, DocUpdate, QueryBatch, StandingQuery,
+};
 use arb_server::protocol::{OutputKind, QueryResult, WireLanguage};
 use arb_server::{Client, Server, ServerConfig};
 use arb_storage::{create_from_tree_with, ArbDatabase, FormatVersion};
@@ -47,6 +49,14 @@ enum Metric {
 
 /// Time metrics may regress up to this factor before the check fails.
 const TIME_BUDGET: f64 = 3.0;
+
+/// Looks up an already-collected count metric by key.
+fn metric(out: &[(String, Metric)], key: &str) -> u64 {
+    match out.iter().find(|(k, _)| k == key) {
+        Some((_, Metric::Count(n))) => *n,
+        _ => panic!("count metric {key} not collected yet"),
+    }
+}
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/regress.txt")
@@ -181,6 +191,17 @@ fn collect() -> Vec<(String, Metric)> {
             format!("storage.{format}.phase1_ms"),
             Metric::TimeMs(phase1_ms / SCAN_RUNS as f64),
         ));
+    }
+    // The extent-compression acceptance gate: v2's total file size
+    // (checksummed blocks + compressed extent section + block index)
+    // stays within 1.5x the paper's bare v1 layout.
+    {
+        let v1 = metric(&out, "storage.v1.file_bytes");
+        let v2 = metric(&out, "storage.v2.file_bytes");
+        assert!(
+            v2 * 2 <= v1 * 3,
+            "storage: v2 file size ({v2} bytes) must stay within 1.5x v1 ({v1} bytes)"
+        );
     }
 
     // --- baseline: the 5 XPath queries of the `baseline` bench ---------
@@ -407,6 +428,109 @@ fn collect() -> Vec<(String, Metric)> {
             i.max_probe as u64,
         );
         out.push((format!("interning.{name}.twophase_ms"), Metric::TimeMs(ms)));
+    }
+
+    // --- incremental: single-subtree splice on the 424k treebank -------
+    // The updatable-database acceptance gate: one splice dirties a
+    // small window (< 5% of the nodes) and its incremental
+    // re-evaluation beats a full re-evaluation by at least 5x. The
+    // splice always lands on the same late-document element with the
+    // same fragment, so the dirty/retained counters are exact. The
+    // apply and refresh halves are driven separately (the server's
+    // split API) so the speedup gate measures the re-evaluation, not
+    // the crash-safe block rewrite + fsync of the disk apply — that
+    // end-to-end cost is tracked as `update_ms` on its own.
+    {
+        let path = std::env::temp_dir()
+            .join(format!("arb-regress-{}", std::process::id()))
+            .join("treebank-incr.arb");
+        create_from_tree_with(&stree, &slabels, &path, FormatVersion::V2).expect("create database");
+        let mut idb = Database::open_arb(&path).expect("open database");
+        let iqueries: Vec<_> = ["//NP//VP", "//S[NP and VP]"]
+            .iter()
+            .map(|q| idb.compile_xpath(q).expect("query compiles"))
+            .collect();
+        let mut standing = StandingQuery::new(&iqueries);
+        // Priming is the full evaluation every refresh is measured
+        // against.
+        let t = Instant::now();
+        standing.prime(&idb).expect("prime standing state");
+        let prime_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let at = stree
+            .nodes()
+            .enumerate()
+            .skip(stree.len() * 19 / 20)
+            .find(|(_, v)| !stree.info(*v).label.is_text())
+            .map(|(i, _)| i as u32)
+            .expect("element node in the last 5%");
+        let splice = DocUpdate::SpliceSubtree {
+            at,
+            xml: "<S><NP/><VP><PP/></VP></S>".into(),
+        };
+        const REFRESH_RUNS: usize = 3;
+        let mut refresh_ms = f64::INFINITY;
+        let mut update_ms = f64::INFINITY;
+        let mut first = None;
+        let mut last = None;
+        for _ in 0..REFRESH_RUNS {
+            let t = Instant::now();
+            let applied = idb.apply_update(&splice).expect("apply splice");
+            let t_refresh = Instant::now();
+            let report = standing.refresh(&idb, &applied).expect("refresh");
+            refresh_ms = refresh_ms.min(t_refresh.elapsed().as_secs_f64() * 1e3);
+            update_ms = update_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                report.batch.stats.backward_scans, 0,
+                "refresh must not scan"
+            );
+            assert_eq!(report.batch.stats.forward_scans, 0, "refresh must not scan");
+            if first.is_none() {
+                first = Some((
+                    report.batch.stats.dirty_nodes,
+                    report.batch.stats.retained_sta_blocks,
+                ));
+            }
+            last = Some(report);
+        }
+        let (dirty, retained) = first.expect("at least one refresh ran");
+        let last = last.expect("at least one refresh ran");
+        let nodes = idb.node_count();
+        count(&mut out, "incremental.nodes".into(), nodes);
+        count(&mut out, "incremental.dirty_nodes".into(), dirty);
+        count(&mut out, "incremental.retained_sta_blocks".into(), retained);
+        for (i, o) in last.batch.outcomes.iter().enumerate() {
+            count(
+                &mut out,
+                format!("incremental.q{i}.selected"),
+                o.stats.selected,
+            );
+        }
+        // Full re-evaluation over the updated file — the denominator of
+        // the speedup gate.
+        let session = idb.prepare(&iqueries);
+        let t = Instant::now();
+        let full = session.run().expect("full re-evaluation");
+        let full_ms = t.elapsed().as_secs_f64() * 1e3;
+        for (o, f) in last.batch.outcomes.iter().zip(&full.outcomes) {
+            assert_eq!(
+                o.stats.selected, f.stats.selected,
+                "incremental: refresh and full re-evaluation must agree"
+            );
+        }
+        out.push(("incremental.prime_ms".into(), Metric::TimeMs(prime_ms)));
+        out.push(("incremental.refresh_ms".into(), Metric::TimeMs(refresh_ms)));
+        out.push(("incremental.update_ms".into(), Metric::TimeMs(update_ms)));
+        out.push(("incremental.full_ms".into(), Metric::TimeMs(full_ms)));
+        assert!(
+            dirty * 20 < nodes,
+            "incremental: one splice must dirty under 5% of {nodes} nodes, touched {dirty}"
+        );
+        assert!(
+            refresh_ms * 5.0 < full_ms,
+            "incremental: refresh ({refresh_ms:.3} ms) must beat full \
+             re-evaluation ({full_ms:.3} ms) by at least 5x"
+        );
     }
     out
 }

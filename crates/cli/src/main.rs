@@ -15,11 +15,23 @@
 //! arb client <addr> [<db> (--tmnf <program> | --xpath <path>)
 //!            [--output bool|count|nodes|xml] [--stats]] [--server-stats]
 //!            [--ping] [--shutdown]
+//! arb update <db.arb> (--append <under> <frag> | --splice <at> <frag>
+//!            | --delete <at>)...
+//! arb watch  <addr> <db> (--tmnf <program> | --xpath <path>)...
 //! ```
 //!
 //! `serve` keeps databases hot in a resident process; concurrent
 //! `client` queries landing in one admission window share a single
 //! two-scan pass (see the `arb_server` crate docs for the protocol).
+//!
+//! `update` edits a v2 `.arb` file **offline and in place**: the storage
+//! layer rewrites only the record blocks the edit window touches and
+//! bumps the file's epoch. Fragments may introduce new tags — the `.lab`
+//! file grows to match. `watch` is the online counterpart: it registers
+//! a standing query batch on a running server, then reads edit commands
+//! (`append <under> <xml>` / `splice <at> <xml>` / `delete <at>`) from
+//! stdin and prints the result deltas the server pushes back after each
+//! incremental refresh.
 
 use arb_engine::{
     BooleanSink, CountSink, Database, EvalRequest, NodeSetSink, Query, QueryBatch, Session,
@@ -52,7 +64,9 @@ fn usage() -> String {
      arb serve --listen <addr> [--batch-window MS] [--max-batch N] [--queue-cap N]\n            \
      [--cache-budget BYTES] [--workers N] [--no-sweep] <db.arb>...\n  \
      arb client <addr> [<db> (--tmnf <program> | --xpath <path>)\n            \
-     [--output bool|count|nodes|xml] [--stats]] [--server-stats] [--ping] [--shutdown]\n\n\
+     [--output bool|count|nodes|xml] [--stats]] [--server-stats] [--ping] [--shutdown]\n  \
+     arb update <db.arb> (--append <under> <frag> | --splice <at> <frag> | --delete <at>)...\n  \
+     arb watch <addr> <db> (--tmnf <program> | --xpath <path>)...\n\n\
      Repeating --tmnf/-q/--xpath/--file submits all queries as one prepared\n\
      session evaluated with a single shared two-scan pass. --output picks the\n\
      result sink: bool/count/nodes print one line per query, xml writes one\n\
@@ -75,6 +89,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("cat") => cat(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("update") => update(&args[1..]),
+        Some("watch") => watch(&args[1..]),
         _ => Err(usage()),
     }
 }
@@ -396,6 +412,11 @@ fn stats(args: &[String]) -> Result<(), String> {
     if let Some(disk) = db.as_disk() {
         println!("format: v{}", disk.format_version());
         println!("bytes:  {}", disk.file_bytes());
+        let (appends, splices, deletes) = disk.update_counters();
+        println!(
+            "epoch:  {} ({appends} appends, {splices} splices, {deletes} deletes)",
+            disk.epoch()
+        );
     }
     if args.iter().any(|a| a == "--full") {
         let disk = db.as_disk().ok_or("not a disk database")?;
@@ -512,6 +533,10 @@ fn client(args: &[String]) -> Result<(), String> {
         println!("automata builds: {}", s.automata_builds);
         println!("automata reused: {}", s.automata_reused);
         println!("automata build time: {} us", s.automata_build_us);
+        println!("standing registered: {}", s.standing_registered);
+        println!("standing active: {}", s.standing_active);
+        println!("doc updates:     {}", s.doc_updates);
+        println!("delta pushes:    {}", s.delta_pushes);
         return Ok(());
     }
     if rest.iter().any(|a| a == "--shutdown") {
@@ -596,6 +621,233 @@ fn client(args: &[String]) -> Result<(), String> {
             s.automata_reused
         );
     }
+    Ok(())
+}
+
+/// `arb update`: offline in-place edits on a v2 `.arb` file. Fragments
+/// are inline XML (or `@file` to read one from disk) and may introduce
+/// new tags — the `.lab` file is rewritten to the grown label table
+/// before the edit commits.
+fn update(args: &[String]) -> Result<(), String> {
+    let db_path = args.first().ok_or_else(usage)?;
+    let path = std::path::Path::new(db_path);
+    enum Op {
+        Append(u32, String),
+        Splice(u32, String),
+        Delete(u32),
+    }
+    let mut ops = Vec::new();
+    let mut i = 1;
+    let pos = |args: &[String], i: usize, flag: &str| -> Result<u32, String> {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| format!("{flag} needs a preorder index"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--append" | "--splice" => {
+                let at = pos(args, i, &args[i])?;
+                let frag = args
+                    .get(i + 2)
+                    .ok_or_else(|| format!("{} needs <pos> <fragment>", args[i]))?;
+                let xml = match frag.strip_prefix('@') {
+                    Some(file) => {
+                        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+                    }
+                    None => frag.clone(),
+                };
+                ops.push(if args[i] == "--append" {
+                    Op::Append(at, xml)
+                } else {
+                    Op::Splice(at, xml)
+                });
+                i += 2;
+            }
+            "--delete" => {
+                ops.push(Op::Delete(pos(args, i, "--delete")?));
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    if ops.is_empty() {
+        return Err("update needs at least one --append/--splice/--delete".to_string());
+    }
+    let mut updater = arb_storage::ArbUpdater::open(path).map_err(|e| e.to_string())?;
+    let mut labels = arb_storage::ArbDatabase::open(path)
+        .map_err(|e| e.to_string())?
+        .labels()
+        .clone();
+    let base_tags = labels.tag_count();
+    // Parses a fragment against the database's label table, growing the
+    // `.lab` file first when the fragment interns new tags (the header's
+    // tag count follows via `set_tag_count`, so readers of the updated
+    // file see a consistent label space).
+    let frag_records = |updater: &mut arb_storage::ArbUpdater,
+                        labels: &mut arb_xml::LabelTable,
+                        xml: &str|
+     -> Result<Vec<arb_storage::NodeRecord>, String> {
+        let tree = arb_xml::str_to_tree(xml, labels).map_err(|e| e.to_string())?;
+        if labels.tag_count() != base_tags {
+            std::fs::write(path.with_extension("lab"), labels.to_lab_string())
+                .map_err(|e| e.to_string())?;
+        }
+        updater.set_tag_count(labels.tag_count() as u32);
+        Ok(tree
+            .nodes()
+            .map(|v| {
+                let info = tree.info(v);
+                arb_storage::NodeRecord {
+                    label: info.label,
+                    has_first: info.has_first,
+                    has_second: info.has_second,
+                }
+            })
+            .collect())
+    };
+    for op in &ops {
+        let report = match op {
+            Op::Append(under, xml) => {
+                let frag = frag_records(&mut updater, &mut labels, xml)?;
+                updater.append_subtree(*under, &frag)
+            }
+            Op::Splice(at, xml) => {
+                let frag = frag_records(&mut updater, &mut labels, xml)?;
+                updater.splice_subtree(*at, &frag)
+            }
+            Op::Delete(at) => updater.delete_subtree(*at),
+        }
+        .map_err(|e| e.to_string())?;
+        println!(
+            "epoch {}: window at {} (-{} +{} records), {} -> {} nodes, \
+             {} block(s) retained / {} rewritten",
+            report.epoch,
+            report.plan.pos,
+            report.plan.removed,
+            report.plan.inserted,
+            report.old_nodes,
+            report.new_nodes,
+            report.retained_blocks,
+            report.rewritten_blocks
+        );
+    }
+    Ok(())
+}
+
+/// `arb watch`: register a standing query batch on a running server,
+/// then stream edit commands from stdin and print the per-query result
+/// deltas the server pushes back after each incremental refresh.
+fn watch(args: &[String]) -> Result<(), String> {
+    use arb_server::protocol::WireUpdate;
+    use std::io::BufRead;
+
+    let addr = args.first().ok_or_else(usage)?;
+    let db = args.get(1).ok_or_else(usage)?;
+    let mut language = None;
+    let mut sources: Vec<String> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tmnf" | "-q" | "--xpath" => {
+                let lang = if args[i] == "--xpath" {
+                    WireLanguage::XPath
+                } else {
+                    WireLanguage::Tmnf
+                };
+                if *language.get_or_insert(lang) != lang {
+                    return Err("watch queries must share one language".to_string());
+                }
+                sources.push(
+                    args.get(i + 1)
+                        .ok_or_else(|| format!("{} needs an argument", args[i]))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    let language = language.ok_or("no query given (use --tmnf/-q/--xpath)")?;
+    let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let reg = c.register(db, language, &refs).map_err(|e| e.to_string())?;
+    println!(
+        "registered handle {} at epoch {} ({} queries)",
+        reg.handle,
+        reg.epoch,
+        reg.initial.len()
+    );
+    for (i, set) in reg.initial.iter().enumerate() {
+        println!("q{i}: {} nodes initially selected", set.len());
+    }
+    println!("# commands: append <under> <xml> | splice <at> <xml> | delete <at> | quit");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let verb = parts.next().unwrap_or_default();
+        let at: u32 = match parts.next().and_then(|p| p.parse().ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("arb: {verb} needs a preorder index");
+                continue;
+            }
+        };
+        let update = match (verb, parts.next()) {
+            ("append", Some(xml)) => WireUpdate::AppendChild {
+                under: at,
+                xml: xml.to_string(),
+            },
+            ("splice", Some(xml)) => WireUpdate::SpliceSubtree {
+                at,
+                xml: xml.to_string(),
+            },
+            ("delete", None) => WireUpdate::DeleteSubtree { at },
+            _ => {
+                eprintln!("arb: unknown command {line:?}");
+                continue;
+            }
+        };
+        let reply = match c.update_doc(db, update) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("arb: {e}");
+                continue;
+            }
+        };
+        println!(
+            "epoch {}: window at {} (-{} +{}), {} nodes, {} dirty, {} .sta block(s) retained",
+            reply.epoch,
+            reply.pos,
+            reply.removed,
+            reply.inserted,
+            reply.nodes,
+            reply.dirty_nodes,
+            reply.retained_sta_blocks
+        );
+        for push in reply.pushes.iter().filter(|p| p.handle == reg.handle) {
+            for (i, d) in push.queries.iter().enumerate() {
+                println!(
+                    "q{i}: +{} -{} nodes, verdict {}{}",
+                    d.added.len(),
+                    d.removed.len(),
+                    if d.verdict { "accept" } else { "reject" },
+                    if d.verdict_changed { " (flipped)" } else { "" }
+                );
+            }
+        }
+    }
+    c.unregister(db, reg.handle).map_err(|e| e.to_string())?;
+    println!("unregistered handle {}", reg.handle);
     Ok(())
 }
 

@@ -317,6 +317,9 @@ pub fn evaluate_tree_parallel_with(
             i.absorb(&worker_intern);
             i
         },
+        dirty_nodes: 0,
+        retained_sta_blocks: 0,
+        refreshes: 0,
     };
     TreeEvalRun {
         rho_a,

@@ -88,6 +88,20 @@ pub struct EvalStats {
     /// memoized δ entries. Parallel runs report master + workers
     /// combined (see [`InternStats::absorb`]).
     pub interning: InternStats,
+    /// Nodes whose phase-1 and/or phase-2 state an incremental refresh
+    /// actually recomputed: the edited window plus the changed root
+    /// spine and the phase-2 fringe below it. 0 for from-scratch
+    /// evaluations; for refreshes this is the observable "touched <
+    /// update-size + depth" guarantee of the updatable-database path.
+    pub dirty_nodes: u64,
+    /// Full `.sta` blocks an incremental refresh kept verbatim
+    /// (byte-copied, not re-encoded) from the previous epoch's state
+    /// stream. 0 for from-scratch runs and in-memory refreshes.
+    pub retained_sta_blocks: u64,
+    /// Incremental refreshes this report covers: 0 for a from-scratch
+    /// evaluation, 1 for a single `Session::refresh`, and the running
+    /// total when a standing query reports cumulative stats.
+    pub refreshes: u64,
 }
 
 impl EvalStats {

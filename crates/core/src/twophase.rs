@@ -163,6 +163,9 @@ pub fn evaluate_tree_with(
         automata_reused: 0,
         automata_build_time: Duration::ZERO,
         interning: qa.intern_stats(),
+        dirty_nodes: 0,
+        retained_sta_blocks: 0,
+        refreshes: 0,
     };
 
     TreeEvalRun {

@@ -140,7 +140,7 @@ impl QueryBatch {
 
     /// Demultiplexes the merged outcome plus per-query node sets into
     /// per-query [`QueryOutcome`]s.
-    fn demux(
+    pub(crate) fn demux(
         &self,
         shared: &EvalStats,
         merged_counts: &[u64],

@@ -8,13 +8,16 @@
 
 use crate::query::{choose_query_pred, Query, QueryLanguage};
 use crate::session::Session;
+use crate::update::{parse_fragment, tree_records, AppliedUpdate, DocUpdate};
 use crate::QueryOutcome;
-use arb_storage::{ArbDatabase, CreationStats, FormatVersion};
+use arb_storage::{ArbDatabase, CreationStats, FormatVersion, UpdateOp};
 use arb_tree::{BinaryTree, LabelTable};
 use arb_xml::XmlConfig;
 use std::fmt;
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Engine errors.
 #[derive(Debug)]
@@ -46,8 +49,11 @@ impl From<io::Error> for EngineError {
 }
 
 enum Backing {
-    Disk(ArbDatabase),
-    Memory(BinaryTree),
+    Disk(Box<ArbDatabase>),
+    /// In-memory trees sit behind a lock so [`Database::apply_update`]
+    /// can swap epochs under live sessions; readers snapshot the `Arc`
+    /// and never block an update for longer than the pointer clone.
+    Memory(RwLock<Arc<BinaryTree>>),
 }
 
 /// A queryable tree database.
@@ -58,6 +64,9 @@ enum Backing {
 pub struct Database {
     backing: Backing,
     labels: LabelTable,
+    /// Update counter of a memory backing (its epoch); disk backings
+    /// read the epoch from the `.arb` header instead.
+    mem_updates: AtomicU64,
 }
 
 impl Database {
@@ -71,8 +80,9 @@ impl Database {
     pub fn from_disk(db: ArbDatabase) -> Self {
         let labels = db.labels().clone();
         Database {
-            backing: Backing::Disk(db),
+            backing: Backing::Disk(Box::new(db)),
             labels,
+            mem_updates: AtomicU64::new(0),
         }
     }
 
@@ -112,16 +122,18 @@ impl Database {
         let tree = arb_xml::str_to_tree(xml, &mut labels)
             .map_err(|e| EngineError::Create(e.to_string()))?;
         Ok(Database {
-            backing: Backing::Memory(tree),
+            backing: Backing::Memory(RwLock::new(Arc::new(tree))),
             labels,
+            mem_updates: AtomicU64::new(0),
         })
     }
 
     /// An in-memory database from an existing tree and label table.
     pub fn from_tree(tree: BinaryTree, labels: LabelTable) -> Self {
         Database {
-            backing: Backing::Memory(tree),
+            backing: Backing::Memory(RwLock::new(Arc::new(tree))),
             labels,
+            mem_updates: AtomicU64::new(0),
         }
     }
 
@@ -129,7 +141,7 @@ impl Database {
     pub fn node_count(&self) -> u64 {
         match &self.backing {
             Backing::Disk(db) => db.node_count() as u64,
-            Backing::Memory(t) => t.len() as u64,
+            Backing::Memory(t) => t.read().expect("tree lock poisoned").len() as u64,
         }
     }
 
@@ -146,20 +158,114 @@ impl Database {
         }
     }
 
-    /// The in-memory tree, if this is a memory database.
-    pub(crate) fn memory_tree(&self) -> Option<&BinaryTree> {
+    /// A shared snapshot of the current tree: the live `Arc` for memory
+    /// backings (cheap, stable across later updates), a materialization
+    /// for disk backings.
+    pub(crate) fn snapshot_tree(&self) -> Result<Arc<BinaryTree>, EngineError> {
         match &self.backing {
-            Backing::Disk(_) => None,
-            Backing::Memory(t) => Some(t),
+            Backing::Disk(db) => Ok(Arc::new(db.to_tree()?)),
+            Backing::Memory(t) => Ok(t.read().expect("tree lock poisoned").clone()),
         }
     }
 
     /// Materializes the tree (reads the whole database for disk
-    /// backings).
+    /// backings; clones the current epoch's tree in memory).
     pub fn to_tree(&self) -> Result<BinaryTree, EngineError> {
         match &self.backing {
             Backing::Disk(db) => Ok(db.to_tree()?),
-            Backing::Memory(t) => Ok(t.clone()),
+            Backing::Memory(t) => Ok((**t.read().expect("tree lock poisoned")).clone()),
+        }
+    }
+
+    /// The document's epoch: 0 until the first update, bumped by one per
+    /// applied update. Disk backings read it from the `.arb` header (so
+    /// it survives reopens); memory backings count in-process updates.
+    pub fn epoch(&self) -> u64 {
+        match &self.backing {
+            Backing::Disk(db) => db.epoch(),
+            Backing::Memory(_) => self.mem_updates.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Per-kind update counters `(appends, splices, deletes)` of a disk
+    /// backing's header; all zero for memory backings (which only count
+    /// the total, see [`Database::epoch`]).
+    pub fn update_counters(&self) -> (u32, u32, u32) {
+        match &self.backing {
+            Backing::Disk(db) => db.update_counters(),
+            Backing::Memory(_) => (0, 0, 0),
+        }
+    }
+
+    /// Applies one [`DocUpdate`] to the document and returns what
+    /// happened. Disk backings rewrite only the dirty record blocks of
+    /// the `.arb` file in place ([`arb_storage::ArbUpdater`]) and bump
+    /// the header epoch; memory backings rebuild the tree and swap it
+    /// under the lock. Fragments must not introduce new tag names (see
+    /// [`DocUpdate`]).
+    ///
+    /// Standing [`Session`]s over this database pick the
+    /// edit up through [`Session::refresh`](crate::Session::refresh) —
+    /// which calls this itself; call `apply_update` directly only when
+    /// no standing state needs to follow along.
+    pub fn apply_update(&self, update: &DocUpdate) -> Result<AppliedUpdate, EngineError> {
+        let frag = match update.xml() {
+            Some(xml) => parse_fragment(xml, &self.labels)?,
+            None => Vec::new(),
+        };
+        match &self.backing {
+            Backing::Disk(db) => {
+                let op = match update {
+                    DocUpdate::AppendChild { under, .. } => UpdateOp::AppendChild {
+                        under: *under,
+                        frag: &frag,
+                    },
+                    DocUpdate::SpliceSubtree { at, .. } => UpdateOp::SpliceSubtree {
+                        at: *at,
+                        frag: &frag,
+                    },
+                    DocUpdate::DeleteSubtree { at } => UpdateOp::DeleteSubtree { at: *at },
+                };
+                let report = db.apply_update(&op)?;
+                Ok(AppliedUpdate {
+                    plan: report.plan,
+                    frag,
+                    new_nodes: report.new_nodes,
+                    epoch: report.epoch,
+                    retained_blocks: report.retained_blocks,
+                })
+            }
+            Backing::Memory(lock) => {
+                let mut guard = lock.write().expect("tree lock poisoned");
+                let mut records = tree_records(&guard);
+                let (ends, kinds) = arb_storage::record_extents(&records)?;
+                let plan = match update {
+                    DocUpdate::AppendChild { under, .. } => arb_storage::plan_append(
+                        &records,
+                        &ends,
+                        &kinds,
+                        *under,
+                        frag.len() as u32,
+                    )?,
+                    DocUpdate::SpliceSubtree { at, .. } => {
+                        arb_storage::plan_splice(&records, &ends, &kinds, *at, frag.len() as u32)?
+                    }
+                    DocUpdate::DeleteSubtree { at } => {
+                        arb_storage::plan_delete(&records, &ends, &kinds, *at)?
+                    }
+                };
+                arb_storage::apply_edit(&mut records, &plan, &frag);
+                let tree = arb_storage::records_to_tree(&records)?;
+                *guard = Arc::new(tree);
+                let epoch = self.mem_updates.fetch_add(1, Ordering::SeqCst) + 1;
+                Ok(AppliedUpdate {
+                    plan,
+                    frag,
+                    new_nodes: records.len() as u32,
+                    epoch,
+                    retained_blocks: 0,
+                })
+            }
         }
     }
 

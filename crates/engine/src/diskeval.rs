@@ -305,6 +305,9 @@ pub(crate) fn evaluate_disk_grouped(
         automata_reused: 0,
         automata_build_time: Duration::ZERO,
         interning: qa.intern_stats(),
+        dirty_nodes: 0,
+        retained_sta_blocks: 0,
+        refreshes: 0,
     };
     pool.put(qa);
     Ok((
@@ -386,11 +389,11 @@ fn sharded_phase1<'d>(
     // first sharded run; free afterwards).
     let idx = {
         let cached = db.extents_cached();
-        let (ends, kinds) = db.subtree_extents()?;
+        let x = db.subtree_extents()?;
         if !cached {
             backward_scans += 1;
         }
-        SubtreeIndex::from_parts(ends, kinds)
+        SubtreeIndex::from_parts(x.ends.clone(), x.kinds.clone())
     };
     let roots = idx.frontier(threads * 4);
     if roots.len() <= 1 {
@@ -811,6 +814,9 @@ pub(crate) fn evaluate_disk_grouped_parallel(
             i.absorb(&worker_intern);
             i
         },
+        dirty_nodes: 0,
+        retained_sta_blocks: 0,
+        refreshes: 0,
     };
     pool.put(qa);
     Ok((

@@ -61,9 +61,11 @@
 pub mod batch;
 pub mod database;
 pub mod diskeval;
+pub mod incremental;
 pub mod output;
 pub mod query;
 pub mod session;
+pub mod update;
 
 pub use arb_core::AutomataPool;
 pub use arb_storage::{FormatVersion, StaFormat};
@@ -73,12 +75,14 @@ pub use batch::{
 };
 pub use database::{Database, EngineError};
 pub use diskeval::{evaluate_disk, evaluate_disk_parallel};
+pub use incremental::{QueryDelta, RefreshReport, StandingQuery};
 pub use output::XmlEmitter;
 pub use query::{Query, QueryLanguage};
 pub use session::{
     BooleanSink, CountSink, EvalOptions, EvalReport, EvalRequest, NodeSetSink, ResultSink, Session,
     SinkContext, SinkDemand, XmlMarkSink,
 };
+pub use update::{AppliedUpdate, DocUpdate};
 
 use arb_core::EvalStats;
 use arb_tree::NodeSet;

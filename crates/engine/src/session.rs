@@ -24,14 +24,16 @@
 use crate::batch::{BatchOutcome, QueryBatch};
 use crate::database::{Database, EngineError};
 use crate::diskeval::Phase2Hook;
+use crate::incremental::{RefreshReport, StandingEval};
 use crate::output::XmlEmitter;
 use crate::query::Query;
+use crate::update::DocUpdate;
 use crate::QueryOutcome;
 use arb_core::AutomataPool;
 use arb_storage::NodeRecord;
 use arb_tree::{BinaryTree, LabelTable, NodeId, NodeSet};
 use std::io::{self, Write};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Evaluation knobs, absorbing the engine-level options that used to
 /// live in the (now removed) `Engine` struct.
@@ -364,6 +366,11 @@ pub struct Session<'db> {
     db: &'db Database,
     batch: BatchStore<'db>,
     pool: Arc<AutomataPool>,
+    /// Retained evaluation state of the batch as a standing query —
+    /// primed on first [`refresh`](Session::refresh) (or explicitly via
+    /// [`prime_standing`](Session::prime_standing)), then advanced
+    /// incrementally per update.
+    standing: Mutex<Option<StandingEval>>,
 }
 
 impl<'db> Session<'db> {
@@ -372,6 +379,7 @@ impl<'db> Session<'db> {
             db,
             batch: BatchStore::Owned(Box::new(QueryBatch::new(queries))),
             pool: Arc::new(AutomataPool::new()),
+            standing: Mutex::new(None),
         }
     }
 
@@ -380,6 +388,7 @@ impl<'db> Session<'db> {
             db,
             batch: BatchStore::Borrowed(batch),
             pool: Arc::new(AutomataPool::new()),
+            standing: Mutex::new(None),
         }
     }
 
@@ -425,14 +434,11 @@ impl<'db> Session<'db> {
         self.db
     }
 
-    /// The tree backing the in-memory evaluation path: borrowed for
-    /// memory databases, materialized for disk databases under
-    /// [`EvalOptions::prefer_memory`].
-    fn materialized(&self) -> Result<std::borrow::Cow<'db, BinaryTree>, EngineError> {
-        Ok(match self.db.memory_tree() {
-            Some(t) => std::borrow::Cow::Borrowed(t),
-            None => std::borrow::Cow::Owned(self.db.to_tree()?),
-        })
+    /// The tree backing the in-memory evaluation path: the current
+    /// epoch's shared snapshot for memory databases, a materialization
+    /// for disk databases under [`EvalOptions::prefer_memory`].
+    fn materialized(&self) -> Result<Arc<BinaryTree>, EngineError> {
+        self.db.snapshot_tree()
     }
 
     /// **The canonical evaluation entry point.** Runs the session's one
@@ -542,6 +548,43 @@ impl<'db> Session<'db> {
         };
         sink.finish()?;
         Ok(report)
+    }
+
+    /// Primes the session's standing-query state: one full evaluation
+    /// at the database's current epoch, after which every
+    /// [`refresh`](Session::refresh) is incremental. Called implicitly
+    /// by the first `refresh`; call it eagerly to move the priming cost
+    /// off the first update's latency.
+    pub fn prime_standing(&self) -> Result<(), EngineError> {
+        let mut standing = self.standing.lock().expect("standing state poisoned");
+        if standing.is_none() {
+            *standing = Some(StandingEval::prime(self.db, self.batch(), &self.pool)?);
+        }
+        Ok(())
+    }
+
+    /// Applies `update` to the database **and** incrementally
+    /// re-evaluates the session's queries over it: phase 1 reruns only
+    /// over the edited record window and the changed part of its root
+    /// spine, phase 2 only below the highest changed phase-1 state
+    /// (pruned where old states survive). The report carries the full
+    /// per-query outcomes at the new epoch plus per-query result
+    /// *deltas*, and its stats expose the incremental path
+    /// (`dirty_nodes`, `retained_sta_blocks`, `refreshes`; zero scan
+    /// counts).
+    ///
+    /// The first call primes the standing state with one full
+    /// evaluation (see [`prime_standing`](Session::prime_standing)).
+    /// Errors if the database changed outside this session since the
+    /// standing state's epoch.
+    pub fn refresh(&self, update: &DocUpdate) -> Result<RefreshReport, EngineError> {
+        let mut standing = self.standing.lock().expect("standing state poisoned");
+        if standing.is_none() {
+            *standing = Some(StandingEval::prime(self.db, self.batch(), &self.pool)?);
+        }
+        let se = standing.as_mut().expect("primed above");
+        let applied = self.db.apply_update(update)?;
+        se.refresh(&applied, self.batch(), self.db)
     }
 
     /// Evaluates with `req` and returns the per-query outcomes

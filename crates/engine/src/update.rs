@@ -1,0 +1,111 @@
+//! Document updates at the engine level.
+//!
+//! A [`DocUpdate`] names an edit site by preorder index and carries the
+//! replacement/new subtree as an XML fragment. [`Database::apply_update`](crate::Database::apply_update) plans and applies it on either backing —
+//! in place on disk (only the dirty record blocks are rewritten, see
+//! [`arb_storage::ArbUpdater`]), by rebuilding the tree in memory — and
+//! returns the [`AppliedUpdate`] an incremental
+//! [`Session::refresh`](crate::Session::refresh) consumes.
+
+use crate::database::EngineError;
+use arb_storage::{EditPlan, NodeRecord};
+use arb_tree::{BinaryTree, LabelTable};
+
+/// One edit of a document, in the engine's surface vocabulary.
+///
+/// Positions are **preorder indexes of the binary tree** (the same index
+/// space query results use). Fragments are XML with a single root
+/// element; their tag names must already exist in the database's label
+/// table — an update introducing new tags is rejected here (apply it
+/// offline with `arb update`, which can grow the `.lab` file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocUpdate {
+    /// Parse `xml` and append it as the **last child** of node `under`.
+    AppendChild {
+        /// Preorder index of the new parent.
+        under: u32,
+        /// The fragment (one root element).
+        xml: String,
+    },
+    /// Parse `xml` and replace the subtree rooted at `at` with it.
+    SpliceSubtree {
+        /// Preorder index of the replaced subtree's root.
+        at: u32,
+        /// The fragment (one root element).
+        xml: String,
+    },
+    /// Delete the subtree rooted at `at` (the root itself cannot be
+    /// deleted).
+    DeleteSubtree {
+        /// Preorder index of the deleted subtree's root.
+        at: u32,
+    },
+}
+
+impl DocUpdate {
+    /// The update's fragment XML, if it carries one.
+    pub fn xml(&self) -> Option<&str> {
+        match self {
+            DocUpdate::AppendChild { xml, .. } | DocUpdate::SpliceSubtree { xml, .. } => Some(xml),
+            DocUpdate::DeleteSubtree { .. } => None,
+        }
+    }
+}
+
+/// What [`Database::apply_update`](crate::Database::apply_update)
+/// actually did — everything an incremental refresh needs to replay the
+/// edit against its own mirrors.
+#[derive(Debug, Clone)]
+pub struct AppliedUpdate {
+    /// The positional plan (window position/removed/inserted, the one
+    /// changed child flag below it).
+    pub plan: EditPlan,
+    /// The fragment's records (raw: the plan's `frag_root_second` is
+    /// applied when the edit is replayed). Empty for deletions.
+    pub frag: Vec<NodeRecord>,
+    /// Node count after the edit.
+    pub new_nodes: u32,
+    /// The document's epoch after the edit (update counter for memory
+    /// backings, header epoch for disk).
+    pub epoch: u64,
+    /// Record blocks retained byte-for-byte on disk (0 in memory).
+    pub retained_blocks: u32,
+}
+
+/// Flattens a binary tree into its preorder record stream — the shared
+/// shape the update planner and the incremental evaluator work on.
+pub(crate) fn tree_records(tree: &BinaryTree) -> Vec<NodeRecord> {
+    tree.nodes()
+        .map(|v| {
+            let info = tree.info(v);
+            NodeRecord {
+                label: info.label,
+                has_first: info.has_first,
+                has_second: info.has_second,
+            }
+        })
+        .collect()
+}
+
+/// Parses an update fragment against a database's label table without
+/// growing it: new tag names are an error (the engine cannot rewrite a
+/// shared label space under live readers; `arb update` applies such
+/// edits offline).
+pub(crate) fn parse_fragment(
+    xml: &str,
+    labels: &LabelTable,
+) -> Result<Vec<NodeRecord>, EngineError> {
+    let mut scratch = labels.clone();
+    let tree = arb_xml::str_to_tree(xml, &mut scratch)
+        .map_err(|e| EngineError::Create(format!("update fragment: {e}")))?;
+    if scratch.tag_count() > labels.tag_count() {
+        return Err(EngineError::Create(
+            "update fragment introduces new tag names; apply it offline with `arb update`, \
+             which can grow the label table"
+                .into(),
+        ));
+    }
+    let frag = tree_records(&tree);
+    arb_storage::validate_fragment(&frag)?;
+    Ok(frag)
+}

@@ -7,8 +7,8 @@
 //! shared passes on its side.
 
 use crate::protocol::{
-    self, ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
-    WireStats,
+    self, ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, UpdateReply,
+    WireLanguage, WireStats, WireUpdate,
 };
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
@@ -55,6 +55,20 @@ pub struct QueryReply {
     /// queries shared the scan pair, `queue_wait_us` how long this one
     /// sat in the admission window.
     pub stats: WireStats,
+}
+
+/// A successful standing-query registration: the handle to unregister
+/// with, plus the batch's initial results.
+#[derive(Debug, Clone)]
+pub struct RegisterReply {
+    /// Pass to [`Client::unregister`] to drop the registration.
+    pub handle: u64,
+    /// The database epoch the initial results reflect; every later
+    /// [`UpdateReply::epoch`] continues from here.
+    pub epoch: u64,
+    /// Initial selected-node sets, one per registered query, in
+    /// registration order.
+    pub initial: Vec<Vec<u32>>,
 }
 
 /// A blocking connection to a running `arb serve` instance.
@@ -121,7 +135,62 @@ impl Client {
     /// cache hit rate, shed requests).
     pub fn server_stats(&mut self) -> Result<ServerStatsReply, ClientError> {
         match self.roundtrip(&Request::ServerStats)? {
-            Response::ServerStats(s) => Ok(s),
+            Response::ServerStats(s) => Ok(*s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Installs a standing query batch on `db`: evaluated once now (the
+    /// reply carries the initial result sets), then re-evaluated
+    /// incrementally on every [`Client::update_doc`], whose reply pushes
+    /// this registration's result deltas.
+    pub fn register(
+        &mut self,
+        db: &str,
+        language: WireLanguage,
+        sources: &[&str],
+    ) -> Result<RegisterReply, ClientError> {
+        let req = Request::Register {
+            db: db.to_string(),
+            language,
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Registered {
+                handle,
+                epoch,
+                initial,
+            } => Ok(RegisterReply {
+                handle,
+                epoch,
+                initial,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drops a standing registration.
+    pub fn unregister(&mut self, db: &str, handle: u64) -> Result<(), ClientError> {
+        let req = Request::Unregister {
+            db: db.to_string(),
+            handle,
+        };
+        match self.roundtrip(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Applies one document update to `db`. The reply carries the edit
+    /// window, the post-update epoch, and one result-delta push per
+    /// standing registration on the database.
+    pub fn update_doc(&mut self, db: &str, update: WireUpdate) -> Result<UpdateReply, ClientError> {
+        let req = Request::UpdateDoc {
+            db: db.to_string(),
+            update,
+        };
+        match self.roundtrip(&req)? {
+            Response::Updated(reply) => Ok(reply),
             other => Err(unexpected(&other)),
         }
     }

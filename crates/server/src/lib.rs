@@ -43,6 +43,26 @@
 //! [`ServerConfig::workers`] (CLI: `arb serve --workers N`) sets the
 //! sharded parallelism each dispatched window is evaluated with.
 //!
+//! ## Standing queries and document updates
+//!
+//! Databases served here are **updatable**: `UpdateDoc` (opcode `0x07`)
+//! splices, appends or deletes a subtree in place — the storage layer
+//! rewrites only the touched record blocks and bumps the file epoch. A
+//! client can `Register` (opcode `0x05`) a **standing query batch**:
+//! the batch is evaluated once at registration (the reply carries the
+//! initial result sets), and every subsequent update re-evaluates it
+//! *incrementally* via [`arb_engine::StandingQuery`] — phase 1 over the
+//! dirty window plus the root spine, phase 2 only where phase-1 states
+//! changed — and the `UpdateDoc` reply pushes each registration's
+//! result **deltas** (added/removed nodes, verdict flips) instead of
+//! re-shipping full results. [`protocol::ServerStatsReply`] counts
+//! registrations, updates, and delta pushes
+//! (`standing_registered` / `standing_active` / `doc_updates` /
+//! `delta_pushes`); the per-update reply reports `dirty_nodes` and
+//! `retained_sta_blocks`, the wire-visible proof that the refresh
+//! touched a window, not the document. The CLI exposes the loop as
+//! `arb watch`.
+//!
 //! ## Wire protocol
 //!
 //! Hand-rolled, length-prefixed, no external dependencies. Every frame
@@ -59,6 +79,9 @@
 //! | `0x02` | `Ping` | — |
 //! | `0x03` | `ServerStats` | — |
 //! | `0x04` | `Shutdown` | — |
+//! | `0x05` | `Register` | db name, language, query count, query sources |
+//! | `0x06` | `Unregister` | db name, registration handle |
+//! | `0x07` | `UpdateDoc` | db name, edit kind (`0` append / `1` splice / `2` delete), position, XML fragment |
 //!
 //! Responses lead with a status byte: `0x00` success (shape follows the
 //! request), `0xFF` error (code byte + message). Error codes:
@@ -108,9 +131,9 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, ProgramCache, WindowCache, WindowKey};
-pub use client::{Client, ClientError, QueryReply};
+pub use client::{Client, ClientError, QueryReply, RegisterReply};
 pub use protocol::{
-    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
-    WireStats,
+    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, StandingPush,
+    UpdateReply, WireDelta, WireLanguage, WireStats, WireUpdate,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

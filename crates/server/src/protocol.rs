@@ -23,9 +23,14 @@
 //! | `0x02` | Ping        | —                                              |
 //! | `0x03` | ServerStats | —                                              |
 //! | `0x04` | Shutdown    | —                                              |
+//! | `0x05` | Register    | `db: str16, lang: u8, count: u16, count × str32` |
+//! | `0x06` | Unregister  | `db: str16, handle: u64`                       |
+//! | `0x07` | UpdateDoc   | `db: str16, kind: u8, pos: u32, xml: str32`    |
 //!
 //! `lang`: `0` = TMNF, `1` = Core XPath. `output`: `0` = bool, `1` =
-//! count, `2` = nodes, `3` = marked XML.
+//! count, `2` = nodes, `3` = marked XML. `kind` (UpdateDoc): `0` =
+//! append child under `pos`, `1` = splice the subtree at `pos`, `2` =
+//! delete the subtree at `pos` (`xml` empty).
 //!
 //! # Response payloads
 //!
@@ -38,6 +43,17 @@
 //!   `xml`: `u32` length + bytes), then the [`WireStats`] block.
 //! * **Ping** / **Shutdown** — empty.
 //! * **ServerStats** — the [`ServerStatsReply`] block.
+//! * **Register** — `handle: u64, epoch: u64, count: u16`, then per
+//!   query its initial result set (`u32` count + `u32` indexes).
+//! * **Unregister** — empty.
+//! * **UpdateDoc** — the [`UpdateReply`] block: `epoch: u64, pos: u32,
+//!   removed: u32, inserted: u32, nodes: u64, dirty_nodes: u64,
+//!   retained_sta_blocks: u64, pushes: u16`, then per push `handle:
+//!   u64, queries: u16` × [`WireDelta`] (`added`/`removed` as `u32`
+//!   count + indexes, `verdict: u8, verdict_changed: u8`). Every
+//!   standing registration on the database gets one push per update —
+//!   node indexes are in the **post-edit** preorder space; holders of
+//!   pre-edit indexes apply the `pos/removed/inserted` shift first.
 //!
 //! # Error codes
 //!
@@ -171,6 +187,33 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// One document edit on the wire (the protocol form of
+/// [`arb_engine::DocUpdate`]). Positions are preorder indexes; fragments
+/// are XML with one root element whose tags must already exist in the
+/// database's label table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireUpdate {
+    /// Append the fragment as the last child of node `under`.
+    AppendChild {
+        /// Preorder index of the new parent.
+        under: u32,
+        /// The fragment.
+        xml: String,
+    },
+    /// Replace the subtree at `at` with the fragment.
+    SpliceSubtree {
+        /// Preorder index of the replaced subtree's root.
+        at: u32,
+        /// The fragment.
+        xml: String,
+    },
+    /// Delete the subtree at `at`.
+    DeleteSubtree {
+        /// Preorder index of the deleted subtree's root.
+        at: u32,
+    },
+}
+
 /// A request frame, decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -191,6 +234,32 @@ pub enum Request {
     ServerStats,
     /// Graceful shutdown: drain in-flight batches, then stop.
     Shutdown,
+    /// Install a standing query batch: evaluated once at registration,
+    /// then re-evaluated incrementally per document update, with result
+    /// deltas pushed on every [`Request::UpdateDoc`] response.
+    Register {
+        /// Registered database name.
+        db: String,
+        /// Query language of every source in the batch.
+        language: WireLanguage,
+        /// Query texts (one standing batch, evaluated as one shared pass).
+        sources: Vec<String>,
+    },
+    /// Drop a standing query batch.
+    Unregister {
+        /// Registered database name.
+        db: String,
+        /// The handle [`Response::Registered`] returned.
+        handle: u64,
+    },
+    /// Apply one document update; the response carries the result deltas
+    /// of every standing batch registered on the database.
+    UpdateDoc {
+        /// Registered database name.
+        db: String,
+        /// The edit.
+        update: WireUpdate,
+    },
 }
 
 /// The per-query statistics block of a successful query response — the
@@ -279,6 +348,64 @@ pub struct ServerStatsReply {
     pub automata_reused: u64,
     /// Total wall time spent constructing automata, microseconds.
     pub automata_build_us: u64,
+    /// Standing query batches registered over the server's lifetime.
+    pub standing_registered: u64,
+    /// Standing query batches currently installed.
+    pub standing_active: u64,
+    /// Document updates applied via [`Request::UpdateDoc`].
+    pub doc_updates: u64,
+    /// Standing-query delta pushes emitted (one per registration per
+    /// update).
+    pub delta_pushes: u64,
+}
+
+/// One query's result delta inside a standing-query push: how the
+/// selected node set changed across one document update. Indexes are in
+/// the **post-edit** preorder space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireDelta {
+    /// Nodes newly selected by this query.
+    pub added: Vec<u32>,
+    /// Nodes no longer selected by this query.
+    pub removed: Vec<u32>,
+    /// The query's accept/reject verdict after the update.
+    pub verdict: bool,
+    /// True when the update flipped the verdict.
+    pub verdict_changed: bool,
+}
+
+/// The result deltas of one standing registration after one update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandingPush {
+    /// The registration the deltas belong to.
+    pub handle: u64,
+    /// One delta per query in the standing batch, in registration order.
+    pub queries: Vec<WireDelta>,
+}
+
+/// The body of a successful [`Request::UpdateDoc`] response: what the
+/// edit did to the document, how much work the incremental refresh
+/// touched, and one [`StandingPush`] per registration on the database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReply {
+    /// The database epoch after the update.
+    pub epoch: u64,
+    /// Preorder index where the edit window starts.
+    pub pos: u32,
+    /// Records removed at `pos`.
+    pub removed: u32,
+    /// Records inserted at `pos`.
+    pub inserted: u32,
+    /// Nodes in the database after the update.
+    pub nodes: u64,
+    /// Nodes whose phase-1 state changed, summed over the standing
+    /// refreshes (0 when no standing batch is installed).
+    pub dirty_nodes: u64,
+    /// Clean `.sta` blocks byte-copied instead of re-encoded, summed
+    /// over the standing refreshes.
+    pub retained_sta_blocks: u64,
+    /// One push per standing registration on the database.
+    pub pushes: Vec<StandingPush>,
 }
 
 /// A response frame, decoded.
@@ -291,10 +418,21 @@ pub enum Response {
         /// Shared-pass statistics, demultiplexed for this query.
         stats: WireStats,
     },
-    /// Ping or shutdown acknowledged.
+    /// Ping, shutdown, or unregister acknowledged.
     Ok,
     /// Server-wide counters.
-    ServerStats(ServerStatsReply),
+    ServerStats(Box<ServerStatsReply>),
+    /// Standing query batch installed.
+    Registered {
+        /// Opaque handle for [`Request::Unregister`].
+        handle: u64,
+        /// The database epoch the initial results reflect.
+        epoch: u64,
+        /// Initial selected-node sets, one per query in the batch.
+        initial: Vec<Vec<u32>>,
+    },
+    /// Document update applied; standing deltas attached.
+    Updated(UpdateReply),
     /// Request failed.
     Error {
         /// Why.
@@ -460,6 +598,38 @@ impl Request {
             Request::Ping => out.push(0x02),
             Request::ServerStats => out.push(0x03),
             Request::Shutdown => out.push(0x04),
+            Request::Register {
+                db,
+                language,
+                sources,
+            } => {
+                out.push(0x05);
+                put_str16(&mut out, db)?;
+                out.push(language.to_u8());
+                let count = u16::try_from(sources.len())
+                    .map_err(|_| bad("more than 65535 queries in one registration".into()))?;
+                out.extend_from_slice(&count.to_le_bytes());
+                for source in sources {
+                    put_str32(&mut out, source.as_bytes())?;
+                }
+            }
+            Request::Unregister { db, handle } => {
+                out.push(0x06);
+                put_str16(&mut out, db)?;
+                out.extend_from_slice(&handle.to_le_bytes());
+            }
+            Request::UpdateDoc { db, update } => {
+                out.push(0x07);
+                put_str16(&mut out, db)?;
+                let (kind, pos, xml) = match update {
+                    WireUpdate::AppendChild { under, xml } => (0u8, *under, xml.as_str()),
+                    WireUpdate::SpliceSubtree { at, xml } => (1, *at, xml.as_str()),
+                    WireUpdate::DeleteSubtree { at } => (2, *at, ""),
+                };
+                out.push(kind);
+                out.extend_from_slice(&pos.to_le_bytes());
+                put_str32(&mut out, xml.as_bytes())?;
+            }
         }
         Ok(out)
     }
@@ -477,6 +647,42 @@ impl Request {
             0x02 => Request::Ping,
             0x03 => Request::ServerStats,
             0x04 => Request::Shutdown,
+            0x05 => {
+                let db = c.str16()?;
+                let language = WireLanguage::from_u8(c.u8()?)?;
+                let count = c.u16()? as usize;
+                let mut sources = Vec::with_capacity(count.min(1 << 10));
+                for _ in 0..count {
+                    sources.push(c.str32()?);
+                }
+                Request::Register {
+                    db,
+                    language,
+                    sources,
+                }
+            }
+            0x06 => Request::Unregister {
+                db: c.str16()?,
+                handle: c.u64()?,
+            },
+            0x07 => {
+                let db = c.str16()?;
+                let kind = c.u8()?;
+                let pos = c.u32()?;
+                let xml = c.str32()?;
+                let update = match kind {
+                    0 => WireUpdate::AppendChild { under: pos, xml },
+                    1 => WireUpdate::SpliceSubtree { at: pos, xml },
+                    2 => {
+                        if !xml.is_empty() {
+                            return Err(bad("delete update carries a fragment".into()));
+                        }
+                        WireUpdate::DeleteSubtree { at: pos }
+                    }
+                    other => return Err(bad(format!("unknown update kind {other}"))),
+                };
+                Request::UpdateDoc { db, update }
+            }
             other => return Err(bad(format!("unknown opcode {other:#04x}"))),
         };
         c.done()?;
@@ -537,6 +743,10 @@ impl ServerStatsReply {
             self.automata_builds,
             self.automata_reused,
             self.automata_build_us,
+            self.standing_registered,
+            self.standing_active,
+            self.doc_updates,
+            self.delta_pushes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -558,6 +768,104 @@ impl ServerStatsReply {
             automata_builds: c.u64()?,
             automata_reused: c.u64()?,
             automata_build_us: c.u64()?,
+            standing_registered: c.u64()?,
+            standing_active: c.u64()?,
+            doc_updates: c.u64()?,
+            delta_pushes: c.u64()?,
+        })
+    }
+}
+
+fn put_nodes(out: &mut Vec<u8>, ixs: &[u32]) -> io::Result<()> {
+    let len =
+        u32::try_from(ixs.len()).map_err(|_| bad("node set too large for the wire".into()))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    for ix in ixs {
+        out.extend_from_slice(&ix.to_le_bytes());
+    }
+    Ok(())
+}
+
+fn take_nodes(c: &mut Cursor<'_>) -> io::Result<Vec<u32>> {
+    let n = c.u32()? as usize;
+    let mut ixs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        ixs.push(c.u32()?);
+    }
+    Ok(ixs)
+}
+
+impl WireDelta {
+    fn encode(&self, out: &mut Vec<u8>) -> io::Result<()> {
+        put_nodes(out, &self.added)?;
+        put_nodes(out, &self.removed)?;
+        out.push(self.verdict as u8);
+        out.push(self.verdict_changed as u8);
+        Ok(())
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> io::Result<Self> {
+        Ok(WireDelta {
+            added: take_nodes(c)?,
+            removed: take_nodes(c)?,
+            verdict: c.u8()? != 0,
+            verdict_changed: c.u8()? != 0,
+        })
+    }
+}
+
+impl UpdateReply {
+    fn encode(&self, out: &mut Vec<u8>) -> io::Result<()> {
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.pos.to_le_bytes());
+        out.extend_from_slice(&self.removed.to_le_bytes());
+        out.extend_from_slice(&self.inserted.to_le_bytes());
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&self.dirty_nodes.to_le_bytes());
+        out.extend_from_slice(&self.retained_sta_blocks.to_le_bytes());
+        let pushes = u16::try_from(self.pushes.len())
+            .map_err(|_| bad("more than 65535 standing pushes".into()))?;
+        out.extend_from_slice(&pushes.to_le_bytes());
+        for push in &self.pushes {
+            out.extend_from_slice(&push.handle.to_le_bytes());
+            let queries = u16::try_from(push.queries.len())
+                .map_err(|_| bad("more than 65535 queries in one push".into()))?;
+            out.extend_from_slice(&queries.to_le_bytes());
+            for delta in &push.queries {
+                delta.encode(out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> io::Result<Self> {
+        let epoch = c.u64()?;
+        let pos = c.u32()?;
+        let removed = c.u32()?;
+        let inserted = c.u32()?;
+        let nodes = c.u64()?;
+        let dirty_nodes = c.u64()?;
+        let retained_sta_blocks = c.u64()?;
+        let push_count = c.u16()? as usize;
+        let mut pushes = Vec::with_capacity(push_count.min(1 << 10));
+        for _ in 0..push_count {
+            let handle = c.u64()?;
+            let query_count = c.u16()? as usize;
+            let mut queries = Vec::with_capacity(query_count.min(1 << 10));
+            for _ in 0..query_count {
+                queries.push(WireDelta::decode(c)?);
+            }
+            pushes.push(StandingPush { handle, queries });
+        }
+        Ok(UpdateReply {
+            epoch,
+            pos,
+            removed,
+            inserted,
+            nodes,
+            dirty_nodes,
+            retained_sta_blocks,
+            pushes,
         })
     }
 }
@@ -598,6 +906,25 @@ impl Response {
             Response::ServerStats(s) => {
                 out.push(0x00);
                 s.encode(&mut out);
+            }
+            Response::Registered {
+                handle,
+                epoch,
+                initial,
+            } => {
+                out.push(0x00);
+                out.extend_from_slice(&handle.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                let count = u16::try_from(initial.len())
+                    .map_err(|_| bad("more than 65535 initial result sets".into()))?;
+                out.extend_from_slice(&count.to_le_bytes());
+                for set in initial {
+                    put_nodes(&mut out, set)?;
+                }
+            }
+            Response::Updated(reply) => {
+                out.push(0x00);
+                reply.encode(&mut out)?;
             }
             Response::Error { code, message } => {
                 out.push(code.to_u8());
@@ -640,8 +967,25 @@ impl Response {
                     stats: WireStats::decode(&mut c)?,
                 }
             }
-            Request::Ping | Request::Shutdown => Response::Ok,
-            Request::ServerStats => Response::ServerStats(ServerStatsReply::decode(&mut c)?),
+            Request::Ping | Request::Shutdown | Request::Unregister { .. } => Response::Ok,
+            Request::ServerStats => {
+                Response::ServerStats(Box::new(ServerStatsReply::decode(&mut c)?))
+            }
+            Request::Register { .. } => {
+                let handle = c.u64()?;
+                let epoch = c.u64()?;
+                let count = c.u16()? as usize;
+                let mut initial = Vec::with_capacity(count.min(1 << 10));
+                for _ in 0..count {
+                    initial.push(take_nodes(&mut c)?);
+                }
+                Response::Registered {
+                    handle,
+                    epoch,
+                    initial,
+                }
+            }
+            Request::UpdateDoc { .. } => Response::Updated(UpdateReply::decode(&mut c)?),
         };
         c.done()?;
         Ok(resp)
@@ -673,6 +1017,130 @@ mod tests {
             output: OutputKind::Nodes,
             source: "//NP//VP".into(),
         });
+        roundtrip_request(Request::Register {
+            db: "treebank".into(),
+            language: WireLanguage::Tmnf,
+            sources: vec!["QUERY :- Root;".into(), "QUERY :- V.Label[a];".into()],
+        });
+        roundtrip_request(Request::Unregister {
+            db: "treebank".into(),
+            handle: 7,
+        });
+        roundtrip_request(Request::UpdateDoc {
+            db: "treebank".into(),
+            update: WireUpdate::AppendChild {
+                under: 0,
+                xml: "<a/>".into(),
+            },
+        });
+        roundtrip_request(Request::UpdateDoc {
+            db: "treebank".into(),
+            update: WireUpdate::SpliceSubtree {
+                at: 3,
+                xml: "<b><a/></b>".into(),
+            },
+        });
+        roundtrip_request(Request::UpdateDoc {
+            db: "treebank".into(),
+            update: WireUpdate::DeleteSubtree { at: 5 },
+        });
+    }
+
+    #[test]
+    fn standing_responses_roundtrip() {
+        roundtrip_response(
+            Response::Registered {
+                handle: 9,
+                epoch: 4,
+                initial: vec![vec![0, 2, 5], vec![], vec![1]],
+            },
+            &Request::Register {
+                db: "d".into(),
+                language: WireLanguage::Tmnf,
+                sources: vec!["QUERY :- Root;".into()],
+            },
+        );
+        roundtrip_response(
+            Response::Ok,
+            &Request::Unregister {
+                db: "d".into(),
+                handle: 9,
+            },
+        );
+        let update = Request::UpdateDoc {
+            db: "d".into(),
+            update: WireUpdate::DeleteSubtree { at: 2 },
+        };
+        roundtrip_response(
+            Response::Updated(UpdateReply {
+                epoch: 5,
+                pos: 2,
+                removed: 3,
+                inserted: 0,
+                nodes: 97,
+                dirty_nodes: 4,
+                retained_sta_blocks: 11,
+                pushes: vec![
+                    StandingPush {
+                        handle: 9,
+                        queries: vec![
+                            WireDelta {
+                                added: vec![2, 3],
+                                removed: vec![96],
+                                verdict: true,
+                                verdict_changed: false,
+                            },
+                            WireDelta::default(),
+                        ],
+                    },
+                    StandingPush {
+                        handle: 12,
+                        queries: vec![WireDelta {
+                            added: vec![],
+                            removed: vec![0],
+                            verdict: false,
+                            verdict_changed: true,
+                        }],
+                    },
+                ],
+            }),
+            &update,
+        );
+        // A push-free update (no standing registrations) still carries
+        // the edit window and epoch.
+        roundtrip_response(
+            Response::Updated(UpdateReply {
+                epoch: 1,
+                pos: 4,
+                removed: 0,
+                inserted: 2,
+                nodes: 12,
+                dirty_nodes: 0,
+                retained_sta_blocks: 0,
+                pushes: vec![],
+            }),
+            &update,
+        );
+    }
+
+    #[test]
+    fn delete_with_fragment_is_rejected() {
+        // kind 2 must carry an empty fragment; splice the xml in by hand.
+        let mut enc = Vec::new();
+        enc.push(0x07);
+        put_str16(&mut enc, "d").unwrap();
+        enc.push(2);
+        enc.extend_from_slice(&5u32.to_le_bytes());
+        put_str32(&mut enc, b"<a/>").unwrap();
+        assert!(Request::decode(&enc).is_err());
+        // Unknown kind byte.
+        let mut enc = Vec::new();
+        enc.push(0x07);
+        put_str16(&mut enc, "d").unwrap();
+        enc.push(9);
+        enc.extend_from_slice(&5u32.to_le_bytes());
+        put_str32(&mut enc, b"").unwrap();
+        assert!(Request::decode(&enc).is_err());
     }
 
     #[test]
@@ -707,7 +1175,7 @@ mod tests {
         }
         roundtrip_response(Response::Ok, &Request::Ping);
         roundtrip_response(
-            Response::ServerStats(ServerStatsReply {
+            Response::ServerStats(Box::new(ServerStatsReply {
                 requests: 12,
                 batches: 3,
                 max_batch: 4,
@@ -722,7 +1190,11 @@ mod tests {
                 automata_builds: 3,
                 automata_reused: 21,
                 automata_build_us: 77,
-            }),
+                standing_registered: 2,
+                standing_active: 1,
+                doc_updates: 5,
+                delta_pushes: 8,
+            })),
             &Request::ServerStats,
         );
         roundtrip_response(

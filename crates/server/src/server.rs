@@ -15,12 +15,12 @@ use crate::cache::{
     CacheKey, PreparedProgram, PreparedWindow, ProgramCache, WindowCache, WindowKey,
 };
 use crate::protocol::{
-    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, WireLanguage,
-    WireStats,
+    ErrorCode, OutputKind, QueryResult, Request, Response, ServerStatsReply, StandingPush,
+    UpdateReply, WireDelta, WireLanguage, WireStats, WireUpdate,
 };
 use arb_engine::{
-    AutomataPool, BooleanSink, Database, EvalRequest, Query, QueryBatch, ResultSink, SinkDemand,
-    XmlEmitter,
+    AutomataPool, BooleanSink, Database, DocUpdate, EvalRequest, Query, QueryBatch, ResultSink,
+    SinkDemand, StandingQuery, XmlEmitter,
 };
 use arb_storage::NodeRecord;
 use std::collections::HashMap;
@@ -101,6 +101,11 @@ struct DbEntry {
     state: Mutex<QueueState>,
     cv: Condvar,
     windows: WindowCache,
+    /// Standing query batches installed on this database, by handle.
+    /// Lock order: `standing` before `db` — `Register` and `UpdateDoc`
+    /// both take the map first, then the database write lock, so an
+    /// update never races a registration's prime/refresh.
+    standing: Mutex<HashMap<u64, StandingQuery>>,
 }
 
 #[derive(Default)]
@@ -114,6 +119,9 @@ struct Counters {
     automata_builds: AtomicU64,
     automata_reused: AtomicU64,
     automata_build_ns: AtomicU64,
+    standing_registered: AtomicU64,
+    doc_updates: AtomicU64,
+    delta_pushes: AtomicU64,
 }
 
 struct ServerShared {
@@ -121,6 +129,7 @@ struct ServerShared {
     dbs: HashMap<String, Arc<DbEntry>>,
     cache: ProgramCache,
     counters: Counters,
+    next_handle: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -176,6 +185,7 @@ impl Server {
                         state: Mutex::new(QueueState::default()),
                         cv: Condvar::new(),
                         windows: WindowCache::new(config.cache_budget),
+                        standing: Mutex::new(HashMap::new()),
                     }),
                 )
                 .is_some()
@@ -195,6 +205,7 @@ impl Server {
             dbs,
             cache,
             counters: Counters::default(),
+            next_handle: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         });
         let batchers: Vec<JoinHandle<()>> = shared
@@ -313,14 +324,195 @@ fn process(shared: &Arc<ServerShared>, req: Request) -> Response {
             begin_shutdown(shared);
             Response::Ok
         }
-        Request::ServerStats => Response::ServerStats(gather_stats(shared)),
+        Request::ServerStats => Response::ServerStats(Box::new(gather_stats(shared))),
         Request::Query {
             db,
             language,
             output,
             source,
         } => process_query(shared, db, language, output, source),
+        Request::Register {
+            db,
+            language,
+            sources,
+        } => process_register(shared, &db, language, &sources),
+        Request::Unregister { db, handle } => process_unregister(shared, &db, handle),
+        Request::UpdateDoc { db, update } => process_update(shared, &db, update),
     }
+}
+
+fn lookup_db<'a>(shared: &'a ServerShared, db: &str) -> Result<&'a Arc<DbEntry>, Response> {
+    let Some(entry) = shared.dbs.get(db) else {
+        return Err(Response::Error {
+            code: ErrorCode::UnknownDatabase,
+            message: format!("no database registered as {db:?}"),
+        });
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        });
+    }
+    Ok(entry)
+}
+
+/// Installs a standing query batch: compiles the sources, evaluates them
+/// once (the prime), and replies with the handle plus the initial result
+/// sets. Holds the standing map across the prime so a concurrent
+/// `UpdateDoc` cannot slip an epoch between prime and installation.
+fn process_register(
+    shared: &ServerShared,
+    db: &str,
+    language: WireLanguage,
+    sources: &[String],
+) -> Response {
+    let entry = match lookup_db(shared, db) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    if sources.is_empty() {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "a standing registration needs at least one query".into(),
+        };
+    }
+    let mut standing = entry.standing.lock().unwrap();
+    let mut guard = entry.db.write().unwrap();
+    let mut queries = Vec::with_capacity(sources.len());
+    for source in sources {
+        let compiled = match language {
+            WireLanguage::Tmnf => guard.compile_tmnf(source),
+            WireLanguage::XPath => guard.compile_xpath(source),
+        };
+        match compiled {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Query,
+                    message: e.to_string(),
+                }
+            }
+        }
+    }
+    let mut sq = StandingQuery::new(&queries);
+    if let Err(e) = sq.prime(&guard) {
+        return internal_error(e.to_string());
+    }
+    let epoch = sq.epoch().expect("primed");
+    let initial: Vec<Vec<u32>> = sq
+        .results()
+        .expect("primed")
+        .iter()
+        .map(|set| set.iter().map(|v| v.0).collect())
+        .collect();
+    drop(guard);
+    let handle = shared.next_handle.fetch_add(1, Ordering::Relaxed);
+    standing.insert(handle, sq);
+    shared
+        .counters
+        .standing_registered
+        .fetch_add(1, Ordering::Relaxed);
+    Response::Registered {
+        handle,
+        epoch,
+        initial,
+    }
+}
+
+fn process_unregister(shared: &ServerShared, db: &str, handle: u64) -> Response {
+    let entry = match lookup_db(shared, db) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    match entry.standing.lock().unwrap().remove(&handle) {
+        Some(_) => Response::Ok,
+        None => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("no standing registration {handle} on {db:?}"),
+        },
+    }
+}
+
+/// Applies one document update and refreshes every standing registration
+/// incrementally, collecting their result deltas into the reply. The
+/// database write lock serializes the edit against in-flight shared
+/// passes (which hold the read lock).
+fn process_update(shared: &ServerShared, db: &str, update: WireUpdate) -> Response {
+    let entry = match lookup_db(shared, db) {
+        Ok(e) => e,
+        Err(resp) => return resp,
+    };
+    let update = match update {
+        WireUpdate::AppendChild { under, xml } => DocUpdate::AppendChild { under, xml },
+        WireUpdate::SpliceSubtree { at, xml } => DocUpdate::SpliceSubtree { at, xml },
+        WireUpdate::DeleteSubtree { at } => DocUpdate::DeleteSubtree { at },
+    };
+    let mut standing = entry.standing.lock().unwrap();
+    let guard = entry.db.write().unwrap();
+    let applied = match guard.apply_update(&update) {
+        Ok(a) => a,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            }
+        }
+    };
+    let mut pushes = Vec::with_capacity(standing.len());
+    let mut dirty_nodes = 0u64;
+    let mut retained_sta_blocks = 0u64;
+    let mut failed: Vec<(u64, String)> = Vec::new();
+    for (&handle, sq) in standing.iter_mut() {
+        match sq.refresh(&guard, &applied) {
+            Ok(report) => {
+                dirty_nodes += report.batch.stats.dirty_nodes;
+                retained_sta_blocks += report.batch.stats.retained_sta_blocks;
+                pushes.push(StandingPush {
+                    handle,
+                    queries: report
+                        .deltas
+                        .iter()
+                        .map(|d| WireDelta {
+                            added: d.added.clone(),
+                            removed: d.removed.clone(),
+                            verdict: d.verdict,
+                            verdict_changed: d.verdict_changed,
+                        })
+                        .collect(),
+                });
+            }
+            Err(e) => failed.push((handle, e.to_string())),
+        }
+    }
+    // A registration whose refresh failed can never absorb a later epoch;
+    // drop it rather than leave it permanently stale.
+    for (handle, _) in &failed {
+        standing.remove(handle);
+    }
+    drop(guard);
+    pushes.sort_by_key(|p| p.handle);
+    let c = &shared.counters;
+    c.doc_updates.fetch_add(1, Ordering::Relaxed);
+    c.delta_pushes
+        .fetch_add(pushes.len() as u64, Ordering::Relaxed);
+    if let Some((handle, msg)) = failed.into_iter().next() {
+        return internal_error(format!(
+            "update applied (epoch {}), but refreshing standing registration {handle} \
+             failed and it was dropped: {msg}",
+            applied.epoch
+        ));
+    }
+    Response::Updated(UpdateReply {
+        epoch: applied.epoch,
+        pos: applied.plan.pos,
+        removed: applied.plan.removed,
+        inserted: applied.plan.inserted,
+        nodes: u64::from(applied.new_nodes),
+        dirty_nodes,
+        retained_sta_blocks,
+        pushes,
+    })
 }
 
 fn gather_stats(shared: &ServerShared) -> ServerStatsReply {
@@ -341,6 +533,14 @@ fn gather_stats(shared: &ServerShared) -> ServerStatsReply {
         automata_builds: c.automata_builds.load(Ordering::Relaxed),
         automata_reused: c.automata_reused.load(Ordering::Relaxed),
         automata_build_us: c.automata_build_ns.load(Ordering::Relaxed) / 1_000,
+        standing_registered: c.standing_registered.load(Ordering::Relaxed),
+        standing_active: shared
+            .dbs
+            .values()
+            .map(|e| e.standing.lock().unwrap().len() as u64)
+            .sum(),
+        doc_updates: c.doc_updates.load(Ordering::Relaxed),
+        delta_pushes: c.delta_pushes.load(Ordering::Relaxed),
     }
 }
 

@@ -6,19 +6,31 @@
 //! at open); anything else is served as the paper's bare v1 record
 //! array. Every scan, range scan and point read works identically on
 //! both formats.
+//!
+//! Since format v2 grew in-place updates ([`crate::update`]), an opened
+//! handle is a *mount* of one epoch of the file: node count, block map
+//! and extent cache are all epoch-scoped state behind a lock.
+//! [`ArbDatabase::apply_update`] advances the epoch through this handle
+//! (remounting and invalidating the point-read LRU and extent cache
+//! atomically); [`ArbDatabase::revalidate`] catches epochs advanced by
+//! *another* handle or process. Updates are serialized against this
+//! handle's own bookkeeping, but not against in-flight scans — callers
+//! that interleave scans with updates (the engine, the server) hold
+//! their own reader/writer lock around whole evaluations.
 
 use crate::create::{sibling, CreationStats};
 use crate::format::{NodeRecord, RECORD_BYTES};
 use crate::scan::{BackwardScan, ForwardScan};
 use crate::stafile::ScratchPath;
 use crate::traversal::bottom_up_scan;
+use crate::update::{ArbUpdater, UpdateOp, UpdateReport};
 use crate::v2::{self, BlockMap};
 use arb_tree::{BinaryTree, LabelId, LabelTable, NONE};
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// Process-wide sequence number making scratch paths unique per
 /// evaluation (see [`ArbDatabase::scratch_sta`]).
@@ -35,6 +47,17 @@ pub struct ValidationReport {
     pub char_nodes: u64,
 }
 
+/// Subtree extents + child-kind flags of every node, shared by value:
+/// evaluations hold an `Arc` snapshot, so an update installing fresh
+/// extents never invalidates a plan already in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentVecs {
+    /// One past the end of each node's **binary** subtree.
+    pub ends: Vec<u32>,
+    /// Child-kind flags (bit 0 first child, bit 1 second child).
+    pub kinds: Vec<u8>,
+}
+
 /// On-disk layout of an opened database.
 enum Format {
     /// Bare record array (the paper's layout).
@@ -45,7 +68,42 @@ enum Format {
         map: Arc<BlockMap>,
         /// File offset of the extent section.
         extent_offset: u64,
+        /// Layout of the extent section (fixed pre-update files, or
+        /// varint-compressed).
+        extent_format: v2::ExtentFormat,
     },
+}
+
+/// The epoch-scoped part of an opened database: everything that one
+/// in-place update can change.
+struct Mount {
+    node_count: u32,
+    format: Format,
+    file_len: u64,
+    /// Updates ever applied to the file (0 for v1 and pre-update v2).
+    epoch: u64,
+    /// `(appends, splices, deletes)` from the v2 header.
+    counters: (u32, u32, u32),
+}
+
+impl Mount {
+    fn from_v2(meta: &v2::V2Meta) -> Mount {
+        Mount {
+            node_count: meta.header.node_count,
+            format: Format::V2 {
+                map: meta.map.clone(),
+                extent_offset: meta.header.extent_offset,
+                extent_format: meta.header.extent_format,
+            },
+            file_len: meta.file_len,
+            epoch: meta.header.epoch(),
+            counters: (
+                meta.header.appends,
+                meta.header.splices,
+                meta.header.deletes,
+            ),
+        }
+    }
 }
 
 /// How many decoded v2 blocks [`CachedReader`] keeps. Spine reads of a
@@ -59,7 +117,8 @@ const POINT_READ_LRU_BLOCKS: usize = 4;
 /// sharded run fetches a handful of scattered records and used to pay an
 /// `open()` each), plus — on v2 — a small LRU of decoded blocks, since
 /// spine indexes cluster but interleaved shards alternate between a few
-/// of them.
+/// of them. Updates clear the LRU (the file is rewritten in place, so
+/// the handle itself stays valid).
 struct CachedReader {
     file: File,
     /// Decoded v2 blocks, most recently used first; at most
@@ -74,9 +133,7 @@ struct CachedReader {
 pub struct ArbDatabase {
     arb_path: PathBuf,
     labels: LabelTable,
-    node_count: u32,
-    format: Format,
-    file_len: u64,
+    mount: RwLock<Mount>,
     /// Scans opened on this handle (backward, forward) — the observable
     /// ground truth behind Proposition 5.1's two-linear-scans claim and
     /// the `EvalStats` scan counters (batched evaluation shares one scan
@@ -89,15 +146,16 @@ pub struct ArbDatabase {
     reader: Mutex<CachedReader>,
     /// Lazily loaded subtree extents + child flags (see
     /// [`ArbDatabase::subtree_extents`]): a property of the document
-    /// alone, so one load serves every sharded evaluation of this
-    /// handle.
-    extents: std::sync::OnceLock<(Vec<u32>, Vec<u8>)>,
+    /// at its current epoch, so one load serves every sharded
+    /// evaluation of this handle until an update drops it.
+    extents: Mutex<Option<Arc<ExtentVecs>>>,
 }
 
 impl ArbDatabase {
     /// Opens an existing database, sniffing the format version from the
     /// file. v2 files have their header and block index fully validated
-    /// here — truncation, bit flips and crashed creations fail at open.
+    /// here — truncation, bit flips, crashed creations and torn updates
+    /// fail at open.
     pub fn open(arb_path: impl Into<PathBuf>) -> io::Result<Self> {
         let arb_path = arb_path.into();
         let mut file = File::open(&arb_path)?;
@@ -118,7 +176,7 @@ impl ArbDatabase {
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
         };
 
-        let (node_count, format, labels) = if is_v2 {
+        let (mount, labels) = if is_v2 {
             let meta = v2::read_meta(&mut file, file_len)?;
             let labels = match &lab_text {
                 Some(s) => parse_lab(s)?,
@@ -145,14 +203,7 @@ impl ArbDatabase {
                     ),
                 ));
             }
-            (
-                meta.header.node_count,
-                Format::V2 {
-                    map: meta.map,
-                    extent_offset: meta.header.extent_offset,
-                },
-                labels,
-            )
+            (Mount::from_v2(&meta), labels)
         } else {
             if file_len % RECORD_BYTES as u64 != 0 {
                 return Err(io::Error::new(
@@ -186,7 +237,16 @@ impl ArbDatabase {
                     LabelTable::new()
                 }
             };
-            (node_count, Format::V1, labels)
+            (
+                Mount {
+                    node_count,
+                    format: Format::V1,
+                    file_len,
+                    epoch: 0,
+                    counters: (0, 0, 0),
+                },
+                labels,
+            )
         };
 
         let reader = CachedReader {
@@ -197,14 +257,12 @@ impl ArbDatabase {
         Ok(ArbDatabase {
             arb_path,
             labels,
-            node_count,
-            format,
-            file_len,
+            mount: RwLock::new(mount),
             backward_scans: AtomicU64::new(0),
             forward_scans: AtomicU64::new(0),
             blocks_decoded: Arc::new(AtomicU64::new(0)),
             reader: Mutex::new(reader),
-            extents: std::sync::OnceLock::new(),
+            extents: Mutex::new(None),
         })
     }
 
@@ -239,9 +297,13 @@ impl ArbDatabase {
         Ok((db, stats))
     }
 
-    /// The number of nodes.
+    fn mount(&self) -> RwLockReadGuard<'_, Mount> {
+        self.mount.read().expect("mount lock poisoned")
+    }
+
+    /// The number of nodes (at the current epoch).
     pub fn node_count(&self) -> u32 {
-        self.node_count
+        self.mount().node_count
     }
 
     /// The label table.
@@ -256,7 +318,7 @@ impl ArbDatabase {
 
     /// The on-disk format version (1 or 2).
     pub fn format_version(&self) -> u8 {
-        match self.format {
+        match self.mount().format {
             Format::V1 => 1,
             Format::V2 { .. } => 2,
         }
@@ -265,7 +327,84 @@ impl ArbDatabase {
     /// Actual size of the `.arb` file in bytes (for v2 this is the
     /// compressed size, not `node_count * RECORD_BYTES`).
     pub fn file_bytes(&self) -> u64 {
-        self.file_len
+        self.mount().file_len
+    }
+
+    /// The file's update epoch: how many in-place updates it has ever
+    /// absorbed. 0 for v1 files and for v2 files that predate the update
+    /// API (PR 6 files open unchanged).
+    pub fn epoch(&self) -> u64 {
+        self.mount().epoch
+    }
+
+    /// The per-kind update counters `(appends, splices, deletes)` whose
+    /// sum is [`epoch`](ArbDatabase::epoch). Always zero on v1.
+    pub fn update_counters(&self) -> (u32, u32, u32) {
+        self.mount().counters
+    }
+
+    /// Applies one in-place update through this handle: runs the
+    /// [`ArbUpdater`] on the file, then atomically remounts the new
+    /// epoch (node count, block map, update counters), installs the
+    /// updater's freshly computed extents, and clears the point-read
+    /// LRU. v1 databases reject updates.
+    ///
+    /// Serialized against this handle's other updates/revalidations by
+    /// the mount lock, but **not** against concurrent scans — callers
+    /// that evaluate and update concurrently hold their own
+    /// reader/writer lock around whole evaluations (as the server does).
+    pub fn apply_update(&self, op: &UpdateOp<'_>) -> io::Result<UpdateReport> {
+        let mut m = self.mount.write().expect("mount lock poisoned");
+        if matches!(m.format, Format::V1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "in-place updates require format v2 (recreate the database with --format v2)",
+            ));
+        }
+        let mut updater = ArbUpdater::open(&self.arb_path)?;
+        let report = updater.apply(op)?;
+        let mut f = File::open(&self.arb_path)?;
+        let file_len = f.metadata()?.len();
+        let meta = v2::read_meta(&mut f, file_len)?;
+        *m = Mount::from_v2(&meta);
+        let (ends, kinds) = updater.extents();
+        *self.extents.lock().expect("extents lock poisoned") = Some(Arc::new(ExtentVecs {
+            ends: ends.to_vec(),
+            kinds: kinds.to_vec(),
+        }));
+        self.reader
+            .lock()
+            .expect("reader mutex poisoned")
+            .blocks
+            .clear();
+        Ok(report)
+    }
+
+    /// Checks whether **another** handle or process advanced the file's
+    /// epoch and, if so, remounts: new node count and block map, cleared
+    /// point-read LRU, dropped extent cache. Returns whether a remount
+    /// happened. (Label-table growth from an offline `arb update` with
+    /// new tags still requires reopening — existing labels are
+    /// append-only, so this handle's table stays a valid prefix.)
+    pub fn revalidate(&self) -> io::Result<bool> {
+        let mut m = self.mount.write().expect("mount lock poisoned");
+        if matches!(m.format, Format::V1) {
+            return Ok(false);
+        }
+        let mut f = File::open(&self.arb_path)?;
+        let file_len = f.metadata()?.len();
+        let meta = v2::read_meta(&mut f, file_len)?;
+        if meta.header.epoch() == m.epoch && meta.header.node_count == m.node_count {
+            return Ok(false);
+        }
+        *m = Mount::from_v2(&meta);
+        *self.extents.lock().expect("extents lock poisoned") = None;
+        self.reader
+            .lock()
+            .expect("reader mutex poisoned")
+            .blocks
+            .clear();
+        Ok(true)
     }
 
     /// Lifetime count of v2 blocks decoded (and checksum-verified) by
@@ -299,16 +438,18 @@ impl ArbDatabase {
 
     /// Opens a forward record scan (top-down traversal input).
     pub fn forward_scan(&self) -> io::Result<ForwardScan<File>> {
-        self.forward_scan_range(0, self.node_count)
+        let n = self.node_count();
+        self.forward_scan_range(0, n)
     }
 
     /// Opens a forward record scan over the preorder window `[lo, hi)` —
     /// a sharded phase-2 worker's view of one frontier subtree.
     pub fn forward_scan_range(&self, lo: u32, hi: u32) -> io::Result<ForwardScan<File>> {
-        self.check_range(lo, hi)?;
+        let m = self.mount();
+        check_range(m.node_count, lo, hi)?;
         self.forward_scans.fetch_add(1, Ordering::Relaxed);
         let file = File::open(&self.arb_path)?;
-        match &self.format {
+        match &m.format {
             Format::V1 => ForwardScan::range(file, lo, hi),
             Format::V2 { map, .. } => Ok(ForwardScan::blocked(
                 file,
@@ -322,16 +463,18 @@ impl ArbDatabase {
 
     /// Opens a backward record scan (bottom-up traversal input).
     pub fn backward_scan(&self) -> io::Result<BackwardScan<File>> {
-        self.backward_scan_range(0, self.node_count)
+        let n = self.node_count();
+        self.backward_scan_range(0, n)
     }
 
     /// Opens a backward record scan over the preorder window `[lo, hi)` —
     /// a sharded phase-1 worker's view of one frontier subtree.
     pub fn backward_scan_range(&self, lo: u32, hi: u32) -> io::Result<BackwardScan<File>> {
-        self.check_range(lo, hi)?;
+        let m = self.mount();
+        check_range(m.node_count, lo, hi)?;
         self.backward_scans.fetch_add(1, Ordering::Relaxed);
         let file = File::open(&self.arb_path)?;
-        match &self.format {
+        match &m.format {
             Format::V1 => BackwardScan::range(file, lo, hi),
             Format::V2 { map, .. } => Ok(BackwardScan::blocked(
                 file,
@@ -343,68 +486,92 @@ impl ArbDatabase {
         }
     }
 
-    fn check_range(&self, lo: u32, hi: u32) -> io::Result<()> {
-        if lo > hi || hi > self.node_count {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "scan range [{lo}, {hi}) outside the {}-record database",
-                    self.node_count
-                ),
-            ));
-        }
-        Ok(())
-    }
-
     /// Preorder subtree extents and child flags of every node (see
     /// [`crate::traversal::subtree_extents`]), cached on the handle —
     /// the frontier plan of sharded evaluation depends only on the
-    /// document, so repeated runs (prepared sessions are built to run
-    /// many times) don't repeat the work. On v2 the extents were
+    /// document epoch, so repeated runs (prepared sessions are built to
+    /// run many times) don't repeat the work. On v2 the extents were
     /// materialized at creation time and are **loaded** (checksum-
     /// verified, window by window) instead of recomputed with a
     /// metadata scan; on v1 the backward metadata scan runs on first
-    /// use.
-    pub fn subtree_extents(&self) -> io::Result<(&[u32], &[u8])> {
-        if self.extents.get().is_none() {
-            let parts = match &self.format {
-                Format::V1 => {
-                    let mut scan = self.backward_scan()?;
-                    crate::traversal::subtree_extents(&mut scan, self.node_count)?
-                }
-                Format::V2 { extent_offset, .. } => {
-                    let mut ends = Vec::with_capacity(self.node_count as usize);
-                    let mut kinds = Vec::with_capacity(self.node_count as usize);
-                    let mut f = File::open(&self.arb_path)?;
-                    for w in 0..v2::extent_windows(self.node_count) {
-                        let (e, k) =
-                            v2::read_extent_window(&mut f, *extent_offset, self.node_count, w)?;
-                        ends.extend_from_slice(&e);
-                        kinds.extend_from_slice(&k);
-                    }
-                    (ends, kinds)
-                }
-            };
-            // A concurrent initializer computed the same value; either
-            // stick is fine.
-            let _ = self.extents.set(parts);
+    /// use. Returned by `Arc` so an update installing fresh extents
+    /// never pulls the rug from a plan already in flight.
+    pub fn subtree_extents(&self) -> io::Result<Arc<ExtentVecs>> {
+        if let Some(x) = self.extents.lock().expect("extents lock poisoned").as_ref() {
+            return Ok(x.clone());
         }
-        let (ends, kinds) = self.extents.get().expect("initialized above");
-        Ok((ends.as_slice(), kinds.as_slice()))
+        // Compute outside the cache lock (scans re-take the mount lock).
+        enum Plan {
+            V1,
+            V2 {
+                extent_offset: u64,
+                extent_format: v2::ExtentFormat,
+                n: u32,
+            },
+        }
+        let plan = {
+            let m = self.mount();
+            match &m.format {
+                Format::V1 => Plan::V1,
+                Format::V2 {
+                    extent_offset,
+                    extent_format,
+                    ..
+                } => Plan::V2 {
+                    extent_offset: *extent_offset,
+                    extent_format: *extent_format,
+                    n: m.node_count,
+                },
+            }
+        };
+        let (ends, kinds) = match plan {
+            Plan::V1 => {
+                let mut scan = self.backward_scan()?;
+                crate::traversal::subtree_extents(&mut scan, self.node_count())?
+            }
+            Plan::V2 {
+                extent_offset,
+                extent_format,
+                n,
+            } => {
+                let mut ends = Vec::with_capacity(n as usize);
+                let mut kinds = Vec::with_capacity(n as usize);
+                let mut f = File::open(&self.arb_path)?;
+                for w in 0..v2::extent_windows(n) {
+                    let (e, k) =
+                        v2::read_extent_window(&mut f, extent_offset, n, w, extent_format)?;
+                    ends.extend_from_slice(&e);
+                    kinds.extend_from_slice(&k);
+                }
+                (ends, kinds)
+            }
+        };
+        let arc = Arc::new(ExtentVecs { ends, kinds });
+        let mut g = self.extents.lock().expect("extents lock poisoned");
+        // A concurrent initializer raced us; either snapshot is fine.
+        if let Some(x) = g.as_ref() {
+            return Ok(x.clone());
+        }
+        *g = Some(arc.clone());
+        Ok(arc)
     }
 
     /// True once [`ArbDatabase::subtree_extents`] has been computed (so
     /// callers can account the metadata scan honestly).
     pub fn extents_cached(&self) -> bool {
-        self.extents.get().is_some()
+        self.extents
+            .lock()
+            .expect("extents lock poisoned")
+            .is_some()
     }
 
     /// Number of on-disk extent windows (0 for v1, which has no extent
     /// section).
     pub fn extent_windows(&self) -> u32 {
-        match self.format {
+        let m = self.mount();
+        match m.format {
             Format::V1 => 0,
-            Format::V2 { .. } => v2::extent_windows(self.node_count),
+            Format::V2 { .. } => v2::extent_windows(m.node_count),
         }
     }
 
@@ -413,14 +580,19 @@ impl ArbDatabase {
     /// without materializing the whole index — the building block for
     /// windowed frontier planning at any database size. Errors on v1.
     pub fn extent_window(&self, w: u32) -> io::Result<(Vec<u32>, Vec<u8>)> {
-        match &self.format {
+        let m = self.mount();
+        match &m.format {
             Format::V1 => Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "v1 databases have no on-disk extent section",
             )),
-            Format::V2 { extent_offset, .. } => {
+            Format::V2 {
+                extent_offset,
+                extent_format,
+                ..
+            } => {
                 let mut f = File::open(&self.arb_path)?;
-                v2::read_extent_window(&mut f, *extent_offset, self.node_count, w)
+                v2::read_extent_window(&mut f, *extent_offset, m.node_count, w, *extent_format)
             }
         }
     }
@@ -432,25 +604,29 @@ impl ArbDatabase {
     /// spine indexes cluster, and interleaved shards alternate between a
     /// few blocks that a single-slot cache would keep re-decoding.
     pub fn record_at(&self, ix: u32) -> io::Result<NodeRecord> {
-        if ix >= self.node_count {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "record {ix} outside the {}-record database",
-                    self.node_count
-                ),
-            ));
-        }
+        let map = {
+            let m = self.mount();
+            if ix >= m.node_count {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("record {ix} outside the {}-record database", m.node_count),
+                ));
+            }
+            match &m.format {
+                Format::V1 => None,
+                Format::V2 { map, .. } => Some(map.clone()),
+            }
+        };
         let mut r = self.reader.lock().expect("reader mutex poisoned");
-        match &self.format {
-            Format::V1 => {
+        match map {
+            None => {
                 r.file
                     .seek(SeekFrom::Start(ix as u64 * RECORD_BYTES as u64))?;
                 let mut buf = [0u8; RECORD_BYTES];
                 r.file.read_exact(&mut buf)?;
                 Ok(NodeRecord::from_bytes(buf))
             }
-            Format::V2 { map, .. } => {
+            Some(map) => {
                 let b = map.block_of(ix);
                 if let Some(pos) = r.blocks.iter().position(|(blk, _)| *blk == b) {
                     // Hit: freshen recency (move-to-front).
@@ -526,7 +702,7 @@ impl ArbDatabase {
     /// backward scan (Prop. 5.1). Used by tests, the naive baseline, and
     /// small interactive workloads.
     pub fn to_tree(&self) -> io::Result<BinaryTree> {
-        let n = self.node_count as usize;
+        let n = self.node_count() as usize;
         let mut labels = vec![LabelId(0); n];
         let mut first = vec![NONE; n];
         let mut second = vec![NONE; n];
@@ -544,6 +720,16 @@ impl ArbDatabase {
         BinaryTree::from_parts(labels, first, second)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+}
+
+fn check_range(node_count: u32, lo: u32, hi: u32) -> io::Result<()> {
+    if lo > hi || hi > node_count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("scan range [{lo}, {hi}) outside the {node_count}-record database"),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -588,6 +774,8 @@ mod tests {
                 std::fs::metadata(&arb).unwrap().len(),
                 "file_bytes must report the actual on-disk size"
             );
+            assert_eq!(db.epoch(), 0, "fresh files start at epoch 0");
+            assert_eq!(db.update_counters(), (0, 0, 0));
 
             // Reconstruct and compare with direct parsing.
             let tree = db.to_tree().unwrap();
@@ -749,17 +937,74 @@ mod tests {
         let v2f = create(xml, "dbe-v2.arb", FormatVersion::V2);
         let db1 = ArbDatabase::open(&v1).unwrap();
         let db2 = ArbDatabase::open(&v2f).unwrap();
-        let (e1, k1) = db1.subtree_extents().unwrap();
-        let (e2, k2) = db2.subtree_extents().unwrap();
-        assert_eq!(e1, e2);
-        assert_eq!(k1, k2);
+        let x1 = db1.subtree_extents().unwrap();
+        let x2 = db2.subtree_extents().unwrap();
+        assert_eq!(x1.ends, x2.ends);
+        assert_eq!(x1.kinds, x2.kinds);
         assert!(db1.extents_cached() && db2.extents_cached());
         assert_eq!(db1.extent_windows(), 0);
         assert_eq!(db2.extent_windows(), 1);
         let (we, wk) = db2.extent_window(0).unwrap();
-        assert_eq!(we.as_slice(), e2);
-        assert_eq!(wk.as_slice(), k2);
+        assert_eq!(we, x2.ends);
+        assert_eq!(wk, x2.kinds);
         assert!(db1.extent_window(0).is_err());
         assert!(db2.extent_window(9).is_err());
+    }
+
+    #[test]
+    fn apply_update_remounts_and_refreshes_caches() {
+        let arb = create("<doc><a>x</a><b/></doc>", "dbu.arb", FormatVersion::V2);
+        let db = ArbDatabase::open(&arb).unwrap();
+        let before = db.subtree_extents().unwrap();
+        let n = db.node_count();
+        assert!(db.record_at(1).unwrap().has_first);
+
+        // Delete <a>'s subtree through the handle.
+        let rep = db
+            .apply_update(&crate::update::UpdateOp::DeleteSubtree { at: 1 })
+            .unwrap();
+        assert_eq!(rep.epoch, 1);
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.update_counters(), (0, 0, 1));
+        assert_eq!(db.node_count(), n - 2);
+        let after = db.subtree_extents().unwrap();
+        assert_ne!(before.ends, after.ends, "extent cache must refresh");
+        // Point reads see the new epoch (old node 3 <b/> slid to 1).
+        assert!(!db.record_at(1).unwrap().has_first);
+        db.validate().unwrap();
+        assert_eq!(
+            db.file_bytes(),
+            std::fs::metadata(&arb).unwrap().len(),
+            "file_bytes must track the rewritten file"
+        );
+
+        // v1 databases reject updates.
+        let v1 = create("<doc><a/></doc>", "dbu-v1.arb", FormatVersion::V1);
+        let db1 = ArbDatabase::open(&v1).unwrap();
+        assert!(db1
+            .apply_update(&crate::update::UpdateOp::DeleteSubtree { at: 1 })
+            .is_err());
+        assert!(!db1.revalidate().unwrap());
+    }
+
+    #[test]
+    fn revalidate_catches_external_updates() {
+        let arb = create("<doc><a>x</a><b/></doc>", "dbr.arb", FormatVersion::V2);
+        let reader_handle = ArbDatabase::open(&arb).unwrap();
+        let n = reader_handle.node_count();
+        let _ = reader_handle.subtree_extents().unwrap();
+        assert!(!reader_handle.revalidate().unwrap(), "no update yet");
+
+        // A second handle (standing in for another process) updates.
+        let writer_handle = ArbDatabase::open(&arb).unwrap();
+        writer_handle
+            .apply_update(&crate::update::UpdateOp::DeleteSubtree { at: 1 })
+            .unwrap();
+
+        assert!(reader_handle.revalidate().unwrap(), "epoch moved");
+        assert_eq!(reader_handle.epoch(), 1);
+        assert_eq!(reader_handle.node_count(), n - 2);
+        reader_handle.validate().unwrap();
+        assert!(!reader_handle.revalidate().unwrap(), "already current");
     }
 }

@@ -55,6 +55,18 @@
 //! block's most frequent state. Sharded runs compose out of per-worker
 //! segment side files plus a spine patch file; see [`stafile`] for the
 //! exact byte layout and the sharding story.
+//!
+//! ## In-place updates
+//!
+//! v2 databases are updatable: [`ArbUpdater`] (and
+//! [`ArbDatabase::apply_update`] on an open handle) appends, splices and
+//! deletes subtrees by rewriting only the record blocks from the edit's
+//! dirty point on, crash-safe via the same placeholder-header discipline
+//! as creation. Each update bumps a per-kind counter in the header; the
+//! sum is the file's **epoch**, which open handles use to invalidate
+//! their block LRU and extent caches. v2 files from before the update
+//! API carry zero counters and open unchanged at epoch 0. See
+//! [`update`].
 
 pub mod create;
 pub mod db;
@@ -65,15 +77,20 @@ pub mod scan;
 pub mod stafile;
 pub mod stats;
 pub mod traversal;
+pub mod update;
 pub mod v2;
 
 pub use create::{
     create_from_tree, create_from_tree_with, create_from_xml, create_from_xml_with, CreationStats,
     FormatVersion,
 };
-pub use db::ArbDatabase;
+pub use db::{ArbDatabase, ExtentVecs};
 pub use format::NodeRecord;
 pub use scan::{BackwardScan, ForwardScan};
-pub use stafile::{sweep_stale_scratch, ScratchPath, StaFormat};
+pub use stafile::{rewrite_blocked, sweep_stale_scratch, ScratchPath, StaFormat, StaRewrite};
 pub use stats::{profile, Profile};
 pub use traversal::{bottom_up_scan, subtree_extents, top_down_scan, DownContext};
+pub use update::{
+    apply_edit, plan_append, plan_delete, plan_splice, record_extents, records_to_tree,
+    validate_fragment, ArbUpdater, EditPlan, UpdateOp, UpdateReport,
+};

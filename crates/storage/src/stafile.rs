@@ -527,6 +527,9 @@ struct BlockedSegment {
     hi: u64,
     block_records: u32,
     offsets: Vec<u64>,
+    /// Where the footer starts — one past the last block frame (block 0,
+    /// which the backward writer appended last).
+    footer_offset: u64,
 }
 
 impl BlockedSegment {
@@ -581,6 +584,7 @@ impl BlockedSegment {
             hi,
             block_records,
             offsets,
+            footer_offset,
         })
     }
 
@@ -990,6 +994,109 @@ impl StateFilePatcher {
     }
 }
 
+/// Report of one [`rewrite_blocked`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StaRewrite {
+    /// Block frames byte-copied from the previous stream, unverified and
+    /// un-re-encoded.
+    pub retained_blocks: u32,
+    /// Blocks re-encoded from the new state array.
+    pub rewritten_blocks: u32,
+}
+
+/// Rewrites a **blocked, single-segment** `.sta` stream at `path` for a
+/// new epoch of its document. `states` is the complete new phase-1 state
+/// array; every state at an index below `dirty_from` is unchanged from
+/// the stream already on disk (a subtree edit shifts and restates only
+/// indexes from the edit's dirty point on — see [`crate::update`]).
+///
+/// Blocks wholly below `dirty_from` are **byte-copied**: because the
+/// backward writer appends blocks in reverse block order, blocks
+/// `k-1..0` sit in one contiguous range at the end of the old frame
+/// area, so retention is a single bulk copy with the footer offsets
+/// shifted — no decode, no re-encode. Only blocks from the dirty point
+/// on are re-encoded. The result replaces `path` atomically
+/// (`<path>.tmp` + rename), so a crash leaves the old epoch's stream
+/// intact.
+pub fn rewrite_blocked(path: &Path, states: &[u32], dirty_from: u64) -> io::Result<StaRewrite> {
+    if dirty_from > states.len() as u64 {
+        return Err(invalid("dirty_from beyond the new state array"));
+    }
+    let mut old = BlockedSegment::open(path)?;
+    if old.lo != 0 {
+        return Err(invalid(
+            "rewrite requires a single full segment (sharded streams are per-run scratch)",
+        ));
+    }
+    let r = old.block_records;
+    let new_n = states.len() as u64;
+    // A block is retainable only if it is full and identical in both
+    // epochs: wholly below the dirty point (and hence below both lengths).
+    let retained = ((dirty_from / r as u64).min(old.hi / r as u64) as usize).min(old.offsets.len());
+    let new_blocks = sta_block_count(0, new_n, r) as usize;
+    let retained = retained.min(new_blocks);
+
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let mut out = BufWriter::new(File::create(&tmp)?);
+    out.write_all(&SEG_MAGIC)?;
+    out.write_all(&0u64.to_le_bytes())?;
+    out.write_all(&new_n.to_le_bytes())?;
+    out.write_all(&r.to_le_bytes())?;
+    let mut offsets = vec![u64::MAX; new_blocks];
+    let mut file_pos = SEG_HEADER_BYTES;
+    let mut body = Vec::new();
+    let mut runs = Vec::new();
+    // Re-encoded blocks land high-to-low, matching the backward writer's
+    // file order (so the retained tail stays a tail).
+    for j in (retained..new_blocks).rev() {
+        let lo = j as u64 * r as u64;
+        let hi = (lo + r as u64).min(new_n);
+        encode_sta_block(&states[lo as usize..hi as usize], &mut runs, &mut body);
+        offsets[j] = file_pos;
+        out.write_all(&((hi - lo) as u32).to_le_bytes())?;
+        out.write_all(&(body.len() as u32).to_le_bytes())?;
+        out.write_all(&crc32(&body).to_le_bytes())?;
+        out.write_all(&body)?;
+        file_pos += (BLOCK_FRAME_BYTES + body.len()) as u64;
+    }
+    if retained > 0 {
+        let start = old.offsets[retained - 1];
+        let len = old.footer_offset - start;
+        let shift = file_pos as i64 - start as i64;
+        old.f.seek(SeekFrom::Start(start))?;
+        let mut remaining = len;
+        let mut buf = [0u8; 64 * 1024];
+        while remaining > 0 {
+            let take = remaining.min(buf.len() as u64) as usize;
+            read_exact_ctx(&mut old.f, &mut buf[..take], "retained block bytes")?;
+            out.write_all(&buf[..take])?;
+            remaining -= take as u64;
+        }
+        for (j, slot) in offsets.iter_mut().enumerate().take(retained) {
+            *slot = (old.offsets[j] as i64 + shift) as u64;
+        }
+        file_pos += len;
+    }
+    let footer_offset = file_pos;
+    let mut footer = Vec::with_capacity(new_blocks * 8 + 4);
+    for &off in &offsets {
+        debug_assert_ne!(off, u64::MAX, "every block must be placed");
+        footer.extend_from_slice(&off.to_le_bytes());
+    }
+    let crc = crc32(&footer);
+    footer.extend_from_slice(&crc.to_le_bytes());
+    out.write_all(&footer)?;
+    out.write_all(&footer_offset.to_le_bytes())?;
+    out.flush()?;
+    drop(out);
+    drop(old);
+    std::fs::rename(&tmp, path)?;
+    Ok(StaRewrite {
+        retained_blocks: retained as u32,
+        rewritten_blocks: (new_blocks - retained) as u32,
+    })
+}
+
 /// In-memory variant used when the whole run fits in RAM (small trees,
 /// tests): same interface, no file.
 #[derive(Default)]
@@ -1085,6 +1192,60 @@ mod tests {
             let want = if ix % 97 == 0 { (ix % 7) as u32 } else { 42 };
             assert_eq!(r.read_state().unwrap(), want);
         }
+    }
+
+    #[test]
+    fn rewrite_retains_clean_blocks_and_roundtrips() {
+        let path = tmp_dir("rw").join("rw.sta");
+        let n = 100_000u64; // ~4 blocks at the default 32 Ki records
+        let state_of = |ix: u64| -> u32 { (ix % 911) as u32 };
+        let mut w = StateFileWriter::create(&path, n, StaFormat::Blocked).unwrap();
+        for ix in (0..n).rev() {
+            w.write_state(state_of(ix)).unwrap();
+        }
+        w.finish().unwrap();
+
+        // Same length, dirty tail only: two full blocks retainable.
+        let dirty_from = 80_000u64;
+        let mut states: Vec<u32> = (0..n).map(state_of).collect();
+        for s in &mut states[dirty_from as usize..] {
+            *s = s.wrapping_mul(7) ^ 13;
+        }
+        let report = rewrite_blocked(&path, &states, dirty_from).unwrap();
+        assert_eq!(report.retained_blocks, 2);
+        assert_eq!(report.rewritten_blocks, 2);
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
+        for &want in &states {
+            assert_eq!(r.read_state().unwrap(), want);
+        }
+
+        // Growing rewrite: a splice inserted nodes after `dirty_from`.
+        let grown: Vec<u32> = states
+            .iter()
+            .copied()
+            .chain((0..5_000).map(|i| i as u32 * 3 + 1))
+            .collect();
+        let report = rewrite_blocked(&path, &grown, dirty_from).unwrap();
+        assert_eq!(report.retained_blocks, 2);
+        assert_eq!(report.rewritten_blocks, 2);
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
+        for &want in &grown {
+            assert_eq!(r.read_state().unwrap(), want);
+        }
+
+        // Shrinking rewrite with a fully-clean prefix still caps retention
+        // at the new block count.
+        let shrunk: Vec<u32> = grown[..40_000].to_vec();
+        let report = rewrite_blocked(&path, &shrunk, 40_000).unwrap();
+        assert_eq!(report.retained_blocks, 1);
+        assert_eq!(report.rewritten_blocks, 1);
+        let mut r = StateFileReader::open(&path, StaFormat::Blocked).unwrap();
+        for &want in &shrunk {
+            assert_eq!(r.read_state().unwrap(), want);
+        }
+
+        // dirty_from past the array is rejected.
+        assert!(rewrite_blocked(&path, &shrunk, 40_001).is_err());
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! │ 24..28  records per block (u32 LE), last block short               │
 //! │ 28..36  extent-section offset (u64 LE)                             │
 //! │ 36..44  block-index offset (u64 LE)                                │
-//! │ 44..60  reserved (zero)                                            │
+//! │ 44..48  append count (u32 LE) — in-place updates applied           │
+//! │ 48..52  splice count (u32 LE)                                      │
+//! │ 52..56  delete count (u32 LE)                                      │
+//! │ 56      extent-section format (0 fixed, 1 compressed)              │
+//! │ 57..60  reserved (zero)                                            │
 //! │ 60..64  CRC32 of bytes 0..60                                       │
 //! ├──────────────────────────── blocks ────────────────────────────────┤
 //! │ per block: n_records (u32 LE) · body_len (u32 LE) · body CRC32 ·   │
@@ -26,10 +30,18 @@
 //! │            (zigzag(label − prev_label) << 2) | (has_second << 1)   │
 //! │            | has_first, with prev_label reset to 0 per block       │
 //! ├─────────────────────── extent section ─────────────────────────────┤
-//! │ per window of 16384 nodes: CRC32 of the body · body — 5 bytes per  │
-//! │ node: subtree end (u32 LE, one past the last record of the node's  │
-//! │ subtree) then child-kind flags (bit 0 first, bit 1 second). Only   │
-//! │ the last window is short, so window offsets are computable.        │
+//! │ compressed (format 1, written since PR 10): a directory of one     │
+//! │ absolute u64 LE offset per 16384-node window plus a CRC32 of the   │
+//! │ directory, then per window: body_len (u32 LE) · body CRC32 ·       │
+//! │ body — the window's child-kind flags packed 2 bits per node        │
+//! │ (bit 0 first child, bit 1 second), then one LEB128 varint per      │
+//! │ node holding its binary-subtree size `end(v) − (v+1)` (0 for a     │
+//! │ leaf). ~1.3 bytes per node instead of the fixed layout's 5.        │
+//! │                                                                    │
+//! │ fixed (format 0, files created before PR 10 — still readable):     │
+//! │ per window: CRC32 of the body · body — 5 bytes per node: subtree   │
+//! │ end (u32 LE) then child-kind flags. Only the last window is        │
+//! │ short, so window offsets are computable without a directory.       │
 //! ├──────────────────────── block index ───────────────────────────────┤
 //! │ block_count file offsets (u64 LE each) · CRC32 of those bytes.     │
 //! │ Block b holds records [b·R, min((b+1)·R, n)), so range scans seek  │
@@ -43,6 +55,17 @@
 //! on disk. A crashed creation therefore still sniffs as v2 and is
 //! rejected at open; it can never fall back to a silent v1
 //! interpretation.
+//!
+//! In-place updates ([`crate::update::ArbUpdater`]) follow the same
+//! discipline: the header is invalidated (placeholder version) before
+//! the first dirty block is rewritten and re-stamped — with one of the
+//! three update counters bumped — only after the new blocks, extent
+//! section and index are on disk. The counters' sum is the file's
+//! **epoch**: readers compare it against the epoch they mounted and
+//! invalidate their block/extent caches when it moves. Files written
+//! before updates existed carry zero counters (epoch 0) and open
+//! unchanged — the counter bytes were reserved-zero and were already
+//! covered by the header CRC.
 
 use crate::format::NodeRecord;
 use arb_tree::LabelId;
@@ -183,6 +206,17 @@ pub fn decode_block(body: &[u8], n_records: u32, out: &mut Vec<NodeRecord>) -> i
     Ok(())
 }
 
+/// How the extent section is laid out on disk (header byte 56).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExtentFormat {
+    /// 5 bytes per node, computable window offsets (files from before
+    /// the compressed layout existed).
+    Fixed,
+    /// Packed kind bits + varint subtree sizes behind a window-offset
+    /// directory (the layout written since updates landed).
+    Compressed,
+}
+
 /// The parsed, validated v2 header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Header {
@@ -198,9 +232,24 @@ pub struct Header {
     pub extent_offset: u64,
     /// File offset of the block index.
     pub index_offset: u64,
+    /// Lifetime `append_subtree` updates applied to this file.
+    pub appends: u32,
+    /// Lifetime `splice_subtree` updates applied to this file.
+    pub splices: u32,
+    /// Lifetime `delete_subtree` updates applied to this file.
+    pub deletes: u32,
+    /// Extent-section layout.
+    pub extent_format: ExtentFormat,
 }
 
 impl Header {
+    /// The file's update epoch: total updates ever applied. Caches keyed
+    /// on the epoch (block LRU, subtree extents) are invalid once it
+    /// moves. Write-once files are at epoch 0 forever.
+    pub fn epoch(self) -> u64 {
+        self.appends as u64 + self.splices as u64 + self.deletes as u64
+    }
+
     /// Serializes with a valid CRC.
     pub fn to_bytes(self) -> [u8; HEADER_BYTES] {
         let mut b = [0u8; HEADER_BYTES];
@@ -213,6 +262,13 @@ impl Header {
         b[24..28].copy_from_slice(&self.block_records.to_le_bytes());
         b[28..36].copy_from_slice(&self.extent_offset.to_le_bytes());
         b[36..44].copy_from_slice(&self.index_offset.to_le_bytes());
+        b[44..48].copy_from_slice(&self.appends.to_le_bytes());
+        b[48..52].copy_from_slice(&self.splices.to_le_bytes());
+        b[52..56].copy_from_slice(&self.deletes.to_le_bytes());
+        b[56] = match self.extent_format {
+            ExtentFormat::Fixed => 0,
+            ExtentFormat::Compressed => 1,
+        };
         let crc = crc32(&b[..60]);
         b[60..64].copy_from_slice(&crc.to_le_bytes());
         b
@@ -244,6 +300,11 @@ impl Header {
                 le16(10)
             )));
         }
+        let extent_format = match b[56] {
+            0 => ExtentFormat::Fixed,
+            1 => ExtentFormat::Compressed,
+            f => return Err(invalid(format!("unknown extent-section format {f}"))),
+        };
         let h = Header {
             node_count: le32(12),
             tag_count: le32(16),
@@ -251,6 +312,10 @@ impl Header {
             block_records: le32(24),
             extent_offset: le64(28),
             index_offset: le64(36),
+            appends: le32(44),
+            splices: le32(48),
+            deletes: le32(52),
+            extent_format,
         };
         if h.block_records == 0 {
             return Err(invalid("v2 header: zero records per block"));
@@ -306,14 +371,80 @@ pub fn extent_windows(n: u32) -> u32 {
     (n as u64).div_ceil(EXTENT_WINDOW as u64) as u32
 }
 
-/// On-disk size of the extent section for `n` nodes.
-fn extent_section_bytes(n: u32) -> u64 {
+/// On-disk size of the **fixed-layout** extent section for `n` nodes
+/// (the compressed layout's size depends on the data).
+fn fixed_extent_section_bytes(n: u32) -> u64 {
     extent_windows(n) as u64 * 4 + n as u64 * EXTENT_ENTRY_BYTES
 }
 
-/// File offset of extent window `w` (all windows but the last are full).
-pub fn extent_window_offset(extent_offset: u64, w: u32) -> u64 {
+/// File offset of fixed-layout extent window `w` (all windows but the
+/// last are full, so offsets are computable without a directory).
+fn fixed_extent_window_offset(extent_offset: u64, w: u32) -> u64 {
     extent_offset + w as u64 * (4 + EXTENT_WINDOW as u64 * EXTENT_ENTRY_BYTES)
+}
+
+/// Bytes of the compressed extent section's window directory.
+fn extent_dir_bytes(n: u32) -> u64 {
+    extent_windows(n) as u64 * 8 + 4
+}
+
+/// Upper bound on a compressed extent window body: packed kinds plus a
+/// worst-case 5-byte varint per node. Larger claims are corruption.
+const MAX_EXTENT_BODY: u32 = EXTENT_WINDOW / 4 + 5 * EXTENT_WINDOW;
+
+/// Encodes one compressed extent window body: the packed 2-bit kind
+/// flags for nodes `[lo, lo + len)`, then each node's binary-subtree
+/// size `ends[i] − (global + 1)` as a varint. `ends`/`kinds` are indexed
+/// window-locally; `lo` is the window's first global node index.
+pub fn encode_extent_window(ends: &[u32], kinds: &[u8], lo: u32, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(ends.len().div_ceil(4), 0);
+    for (i, &k) in kinds.iter().enumerate() {
+        out[i / 4] |= (k & 3) << ((i % 4) * 2);
+    }
+    for (i, &e) in ends.iter().enumerate() {
+        let v = lo + i as u32;
+        push_varint(out, e - (v + 1));
+    }
+}
+
+/// Decodes one compressed extent window body (inverse of
+/// [`encode_extent_window`]).
+pub fn decode_extent_window(body: &[u8], lo: u32, len: usize) -> io::Result<(Vec<u32>, Vec<u8>)> {
+    let kind_bytes = len.div_ceil(4);
+    if body.len() < kind_bytes {
+        return Err(invalid("extent window body shorter than its kind flags"));
+    }
+    let mut kinds = Vec::with_capacity(len);
+    for i in 0..len {
+        kinds.push((body[i / 4] >> ((i % 4) * 2)) & 3);
+    }
+    let mut ends = Vec::with_capacity(len);
+    let mut pos = kind_bytes;
+    for i in 0..len {
+        let v = lo + i as u32;
+        let size = read_varint(body, &mut pos)?;
+        let end = (v as u64 + 1).checked_add(size as u64);
+        match end {
+            Some(e) if e <= u32::MAX as u64 => ends.push(e as u32),
+            _ => return Err(invalid("extent window: subtree size overflows")),
+        }
+    }
+    if pos != body.len() {
+        return Err(invalid("extent window body longer than its node count"));
+    }
+    Ok((ends, kinds))
+}
+
+/// Reads compressed extent window `w`'s absolute file offset from the
+/// directory. The directory CRC is verified once at
+/// [`read_meta`]; a flipped entry here lands on a frame whose own
+/// length bound and body CRC reject it.
+fn extent_dir_entry<R: Read + Seek>(r: &mut R, extent_offset: u64, w: u32) -> io::Result<u64> {
+    r.seek(SeekFrom::Start(extent_offset + w as u64 * 8))?;
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
 }
 
 /// Reads and cross-validates the header and block index of a v2 file.
@@ -334,13 +465,48 @@ pub fn read_meta<R: Read + Seek>(f: &mut R, file_len: u64) -> io::Result<V2Meta>
     if header.index_offset + index_bytes != file_len {
         return Err(invalid("v2 .arb file truncated (index does not reach EOF)"));
     }
-    if header.extent_offset.checked_add(extent_section_bytes(n)) != Some(header.index_offset) {
-        return Err(invalid(
-            "v2 header: extent section inconsistent with node count",
-        ));
-    }
     if header.extent_offset < HEADER_BYTES as u64 {
         return Err(invalid("v2 header: sections overlap the header"));
+    }
+    match header.extent_format {
+        ExtentFormat::Fixed => {
+            if header
+                .extent_offset
+                .checked_add(fixed_extent_section_bytes(n))
+                != Some(header.index_offset)
+            {
+                return Err(invalid(
+                    "v2 header: extent section inconsistent with node count",
+                ));
+            }
+        }
+        ExtentFormat::Compressed => {
+            // The directory must fit before the index; its entries must
+            // be CRC-clean, increasing, and point into the window area.
+            let dir_bytes = extent_dir_bytes(n);
+            let windows_start = match header.extent_offset.checked_add(dir_bytes) {
+                Some(s) if s <= header.index_offset => s,
+                _ => return Err(invalid("v2 header: extent directory overruns the index")),
+            };
+            f.seek(SeekFrom::Start(header.extent_offset))?;
+            let mut raw = vec![0u8; dir_bytes as usize];
+            f.read_exact(&mut raw)?;
+            let (dir, crc_bytes) = raw.split_at(raw.len() - 4);
+            if crc32(dir) != u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")) {
+                return Err(invalid("v2 extent directory checksum mismatch"));
+            }
+            let mut prev = 0u64;
+            for (w, c) in dir.chunks_exact(8).enumerate() {
+                let off = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                if w > 0 && off <= prev {
+                    return Err(invalid("v2 extent directory: offsets not increasing"));
+                }
+                if off < windows_start || off >= header.index_offset {
+                    return Err(invalid("v2 extent directory: offset outside the section"));
+                }
+                prev = off;
+            }
+        }
     }
     f.seek(SeekFrom::Start(header.index_offset))?;
     let mut raw = vec![0u8; index_bytes as usize];
@@ -407,12 +573,13 @@ pub fn read_block<R: Read + Seek>(
 }
 
 /// Reads and checksum-verifies one extent window: `(ends, kinds)` for
-/// the node range `[w·W, min((w+1)·W, n))`.
+/// the node range `[w·W, min((w+1)·W, n))`, in either layout.
 pub fn read_extent_window<R: Read + Seek>(
     r: &mut R,
     extent_offset: u64,
     node_count: u32,
     w: u32,
+    format: ExtentFormat,
 ) -> io::Result<(Vec<u32>, Vec<u8>)> {
     let lo = w as u64 * EXTENT_WINDOW as u64;
     if lo >= node_count as u64 {
@@ -422,21 +589,69 @@ pub fn read_extent_window<R: Read + Seek>(
         ));
     }
     let len = (node_count as u64 - lo).min(EXTENT_WINDOW as u64) as usize;
-    r.seek(SeekFrom::Start(extent_window_offset(extent_offset, w)))?;
-    let mut crc_bytes = [0u8; 4];
-    r.read_exact(&mut crc_bytes)?;
-    let mut body = vec![0u8; len * EXTENT_ENTRY_BYTES as usize];
-    r.read_exact(&mut body)?;
-    if crc32(&body) != u32::from_le_bytes(crc_bytes) {
-        return Err(invalid("v2 extent window checksum mismatch"));
+    match format {
+        ExtentFormat::Fixed => {
+            r.seek(SeekFrom::Start(fixed_extent_window_offset(
+                extent_offset,
+                w,
+            )))?;
+            let mut crc_bytes = [0u8; 4];
+            r.read_exact(&mut crc_bytes)?;
+            let mut body = vec![0u8; len * EXTENT_ENTRY_BYTES as usize];
+            r.read_exact(&mut body)?;
+            if crc32(&body) != u32::from_le_bytes(crc_bytes) {
+                return Err(invalid("v2 extent window checksum mismatch"));
+            }
+            let mut ends = Vec::with_capacity(len);
+            let mut kinds = Vec::with_capacity(len);
+            for e in body.chunks_exact(EXTENT_ENTRY_BYTES as usize) {
+                ends.push(u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")));
+                kinds.push(e[4]);
+            }
+            Ok((ends, kinds))
+        }
+        ExtentFormat::Compressed => {
+            let off = extent_dir_entry(r, extent_offset, w)?;
+            r.seek(SeekFrom::Start(off))?;
+            let mut frame = [0u8; 8];
+            r.read_exact(&mut frame)?;
+            let body_len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+            if body_len > MAX_EXTENT_BODY {
+                return Err(invalid("v2 extent window body implausibly large"));
+            }
+            let mut body = vec![0u8; body_len as usize];
+            r.read_exact(&mut body)?;
+            if crc32(&body) != crc {
+                return Err(invalid("v2 extent window checksum mismatch"));
+            }
+            decode_extent_window(&body, lo as u32, len)
+        }
     }
-    let mut ends = Vec::with_capacity(len);
-    let mut kinds = Vec::with_capacity(len);
-    for e in body.chunks_exact(EXTENT_ENTRY_BYTES as usize) {
-        ends.push(u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")));
-        kinds.push(e[4]);
+}
+
+/// Serializes the compressed extent section (directory + window frames)
+/// for `ends`/`kinds`, starting at absolute file offset `extent_offset`.
+/// Returns the section bytes ready to write at that offset.
+pub fn build_extent_section(ends: &[u32], kinds: &[u8], extent_offset: u64) -> Vec<u8> {
+    let n = ends.len() as u32;
+    let dir_bytes = extent_dir_bytes(n);
+    let mut dir: Vec<u8> = Vec::with_capacity(dir_bytes as usize);
+    let mut frames: Vec<u8> = Vec::new();
+    let mut body = Vec::new();
+    for w in 0..extent_windows(n) {
+        let lo = w as usize * EXTENT_WINDOW as usize;
+        let hi = (lo + EXTENT_WINDOW as usize).min(n as usize);
+        encode_extent_window(&ends[lo..hi], &kinds[lo..hi], lo as u32, &mut body);
+        dir.extend_from_slice(&(extent_offset + dir_bytes + frames.len() as u64).to_le_bytes());
+        frames.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frames.extend_from_slice(&crc32(&body).to_le_bytes());
+        frames.extend_from_slice(&body);
     }
-    Ok((ends, kinds))
+    let crc = crc32(&dir);
+    dir.extend_from_slice(&crc.to_le_bytes());
+    dir.extend_from_slice(&frames);
+    dir
 }
 
 /// Streaming v2 writer: header placeholder first, then blocks as records
@@ -536,20 +751,9 @@ impl<W: Write + Seek> V2Writer<W> {
         }
         self.flush_block()?;
         let extent_offset = self.pos;
-        let mut body: Vec<u8> =
-            Vec::with_capacity(EXTENT_WINDOW as usize * EXTENT_ENTRY_BYTES as usize);
-        for win in 0..extent_windows(self.node_count) {
-            let lo = win as usize * EXTENT_WINDOW as usize;
-            let hi = (lo + EXTENT_WINDOW as usize).min(self.node_count as usize);
-            body.clear();
-            for v in lo..hi {
-                body.extend_from_slice(&ends[v].to_le_bytes());
-                body.push(kinds[v]);
-            }
-            self.out.write_all(&crc32(&body).to_le_bytes())?;
-            self.out.write_all(&body)?;
-            self.pos += 4 + body.len() as u64;
-        }
+        let section = build_extent_section(ends, kinds, extent_offset);
+        self.out.write_all(&section)?;
+        self.pos += section.len() as u64;
         let index_offset = self.pos;
         let mut index = Vec::with_capacity(self.offsets.len() * 8);
         for &o in &self.offsets {
@@ -566,6 +770,10 @@ impl<W: Write + Seek> V2Writer<W> {
             block_records: BLOCK_RECORDS,
             extent_offset,
             index_offset,
+            appends: 0,
+            splices: 0,
+            deletes: 0,
+            extent_format: ExtentFormat::Compressed,
         };
         self.out.flush()?;
         let mut inner = self
@@ -635,9 +843,14 @@ mod tests {
             block_records: BLOCK_RECORDS,
             extent_offset: 1234,
             index_offset: 5678,
+            appends: 3,
+            splices: 1,
+            deletes: 2,
+            extent_format: ExtentFormat::Compressed,
         };
         let bytes = h.to_bytes();
         assert_eq!(Header::parse(&bytes).unwrap(), h);
+        assert_eq!(h.epoch(), 6);
         let mut bad = bytes;
         bad[13] ^= 0x10; // flip a node-count bit
         assert!(Header::parse(&bad).is_err());
@@ -700,13 +913,17 @@ mod tests {
         }
         assert_eq!(all, records);
         // Extent windows read back verbatim.
-        let (e0, k0) = read_extent_window(&mut f, meta.header.extent_offset, n as u32, 0).unwrap();
+        assert_eq!(meta.header.extent_format, ExtentFormat::Compressed);
+        assert_eq!(meta.header.epoch(), 0, "freshly created files are epoch 0");
+        let fmt = meta.header.extent_format;
+        let (e0, k0) =
+            read_extent_window(&mut f, meta.header.extent_offset, n as u32, 0, fmt).unwrap();
         assert_eq!(e0.len(), EXTENT_WINDOW as usize);
         assert_eq!(&e0[..], &ends[..EXTENT_WINDOW as usize]);
         assert_eq!(&k0[..], &kinds[..EXTENT_WINDOW as usize]);
         let last = extent_windows(n as u32) - 1;
         let (el, _) =
-            read_extent_window(&mut f, meta.header.extent_offset, n as u32, last).unwrap();
+            read_extent_window(&mut f, meta.header.extent_offset, n as u32, last, fmt).unwrap();
         assert_eq!(el.len(), n - last as usize * EXTENT_WINDOW as usize);
     }
 

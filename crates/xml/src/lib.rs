@@ -21,7 +21,11 @@ pub use events::XmlEvent;
 pub use parser::{XmlConfig, XmlParser};
 pub use writer::{escape_text, write_tree, MarkedWriter};
 
-use arb_tree::{BinaryTree, LabelTable, TreeBuilder};
+// Re-exported so `str_to_tree` callers can name their label table
+// without depending on `arb-tree` directly.
+pub use arb_tree::LabelTable;
+
+use arb_tree::{BinaryTree, TreeBuilder};
 use std::io::BufRead;
 
 /// Parses an XML document into its binary tree (paper Section 2.1):

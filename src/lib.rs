@@ -184,6 +184,41 @@
 //! `arb-bench` drives a server at a fixed offered QPS and reports
 //! p50/p99 latency and scans-per-query.
 //!
+//! ## Updatable databases and standing queries
+//!
+//! Databases are **updatable in place**. [`DocUpdate`] describes one
+//! edit — append a fragment under a node, splice out a subtree for a
+//! replacement, or delete one — and
+//! [`Database::apply_update`](engine::Database::apply_update) applies
+//! it to either backing: in memory the tree is re-spliced; on disk
+//! (format v2) the storage layer rewrites only the record blocks the
+//! edit window touches, bumps the file's **epoch** in the header, and
+//! leaves every other block byte-identical. v2 files that predate the
+//! update API open unchanged at epoch 0; v1 files reject updates. The
+//! CLI counterpart is `arb update` (which also grows the `.lab` file
+//! when a fragment introduces new tags), and `arb stats` prints the
+//! epoch with its per-kind append/splice/delete counters.
+//!
+//! Evaluation keeps up **incrementally**. A [`Session`] (or an owned
+//! [`StandingQuery`] for hosts that outlive the session borrow) holds
+//! the rho-a/rho-b state vectors of its last run; after an update,
+//! [`Session::refresh`](engine::Session::refresh) re-runs phase 1 over
+//! the edit window plus the root spine only — stopping the upward walk
+//! as soon as a recomputed state re-interns equal — and phase 2 only
+//! below the highest changed state, pruning subtrees whose downward
+//! state is unchanged. The [`core::EvalStats`] counters `dirty_nodes`,
+//! `retained_sta_blocks` and `refreshes` make the savings observable,
+//! and on disk the blocked `.sta` stream is rewritten from the first
+//! dirty block only. Each refresh returns a [`RefreshReport`] whose
+//! [`QueryDelta`]s carry the per-query added/removed nodes and verdict
+//! flips. The server folds all of this into the wire protocol:
+//! `Register` installs a standing batch, `UpdateDoc` applies one edit
+//! and pushes every registration's deltas in its reply (`arb watch` is
+//! the CLI loop around it), and `server-stats` counts registrations,
+//! updates and delta pushes. The `incremental_differential` suite pins
+//! refresh against full re-evaluation bit-for-bit, edit sequences and
+//! backends crossed, including the wire deltas.
+//!
 //! ## Building and testing
 //!
 //! The workspace is fully offline: the four external dependencies
@@ -197,7 +232,7 @@
 //! cargo bench -p arb-bench   # run them (interning, ltur, storage, twophase, xpath)
 //! ```
 //!
-//! The sixteen root integration suites are the correctness spine:
+//! The seventeen root integration suites are the correctness spine:
 //! `paper_claims`, `theorem_4_1`, `xpath_differential`,
 //! `dtd_differential`, `storage_model`, `format_v2` (corrupt-file
 //! rejection plus a v1-vs-v2 differential property), `twophase_vs_naive`,
@@ -207,9 +242,12 @@
 //! `intern_differential` (arena interners vs. a map-based model),
 //! `wide_alphabet` (merged batches past 128 EDB atoms),
 //! `sta_differential` (blocked vs. flat `.sta` streams vs. in-memory
-//! states, sequential and sharded) and `server_differential`
+//! states, sequential and sharded), `server_differential`
 //! (concurrent clients vs. one-shot sessions, wire-asserted scan
-//! sharing, window-shape automata reuse, overload shedding).
+//! sharing, window-shape automata reuse, overload shedding) and
+//! `incremental_differential` (random edit sequences: `Session::refresh`
+//! vs. full rebuild + re-evaluation bit-for-bit, plus standing-query
+//! wire deltas vs. the diff of full results).
 //! Property suites take an explicit case-count override for deep runs
 //! (`ARB_PROPTEST_CASES=5000 cargo test`) and a global input seed
 //! (`ARB_PROPTEST_SEED`); all datagen workloads are seeded, so every
@@ -243,6 +281,7 @@ pub use arb_xml as xml;
 pub use arb_xpath as xpath;
 
 pub use arb_engine::{
-    BatchOutcome, Database, EvalOptions, EvalReport, EvalRequest, Query, QueryBatch, QueryOutcome,
-    ResultSink, Session, SinkDemand, StaFormat,
+    AppliedUpdate, BatchOutcome, Database, DocUpdate, EvalOptions, EvalReport, EvalRequest, Query,
+    QueryBatch, QueryDelta, QueryOutcome, RefreshReport, ResultSink, Session, SinkDemand,
+    StaFormat, StandingQuery,
 };

@@ -1,0 +1,447 @@
+//! Differential property for incremental re-evaluation: after any
+//! sequence of document updates, `Session::refresh` must be bit-for-bit
+//! the same as throwing the session away, rebuilding the database from
+//! the edited document, and re-evaluating from scratch — node sets,
+//! counts, verdicts, and streamed marked XML, on both backings and
+//! under sharded evaluation. A second test drives the same invariant
+//! through the server: the standing-query deltas pushed over the wire
+//! must replay to exactly the full result sets of fresh wire queries.
+//!
+//! The update oracle is independent of the engine's apply path: the test
+//! keeps its own record vector and edits it through the public storage
+//! planners (`plan_append`/`plan_splice`/`plan_delete` + `apply_edit`),
+//! then materializes a fresh in-memory database from it.
+
+use arb::datagen::queries::{RandomPathQuery, R_TOP_DOWN};
+use arb::datagen::{treebank_tree, RegexShape, TreebankConfig};
+use arb::engine::{BooleanSink, CountSink, EvalRequest, NodeSetSink, XmlMarkSink};
+use arb::storage::{
+    apply_edit, plan_append, plan_delete, plan_splice, record_extents, records_to_tree, NodeRecord,
+};
+use arb::tree::{BinaryTree, LabelTable};
+use arb::{Database, DocUpdate};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn small_treebank(seed: u64, target_elems: usize) -> (BinaryTree, LabelTable) {
+    let mut labels = LabelTable::new();
+    let tree = treebank_tree(
+        &TreebankConfig {
+            target_elems,
+            seed,
+            filler_tags: 8,
+        },
+        &mut labels,
+    );
+    (tree, labels)
+}
+
+fn query_sources(k: usize, seed: u64) -> Vec<String> {
+    RandomPathQuery::batch(k, 5, &["NP", "VP", "PP", "S"], RegexShape::Tags, seed)
+        .iter()
+        .map(|q| q.to_program(R_TOP_DOWN))
+        .collect()
+}
+
+fn tree_records(tree: &BinaryTree) -> Vec<NodeRecord> {
+    tree.nodes()
+        .map(|v| {
+            let info = tree.info(v);
+            NodeRecord {
+                label: info.label,
+                has_first: info.has_first,
+                has_second: info.has_second,
+            }
+        })
+        .collect()
+}
+
+/// Fragments built from tags every treebank document interns, so the
+/// engine's no-new-tags fragment rule never trips.
+fn fragment(sel: u8) -> &'static str {
+    match sel % 4 {
+        0 => "<NP><VP/></NP>",
+        1 => "<S><NP/><VP><PP/></VP></S>",
+        2 => "<PP/>",
+        _ => "<VP><NP/><NP/></VP>",
+    }
+}
+
+/// Maps raw proptest randomness onto a valid edit for the current
+/// document shape: appends target an element node, deletes spare the
+/// root, splices may hit any node (including character nodes and the
+/// root itself).
+fn pick_edit(records: &[NodeRecord], kind: u8, pos_sel: u32, frag_sel: u8) -> DocUpdate {
+    let n = records.len() as u32;
+    match kind % 3 {
+        0 => {
+            let elems: Vec<u32> = (0..n)
+                .filter(|&v| !records[v as usize].label.is_text())
+                .collect();
+            DocUpdate::AppendChild {
+                under: elems[pos_sel as usize % elems.len()],
+                xml: fragment(frag_sel).to_string(),
+            }
+        }
+        1 => DocUpdate::SpliceSubtree {
+            at: pos_sel % n,
+            xml: fragment(frag_sel).to_string(),
+        },
+        _ if n > 1 => DocUpdate::DeleteSubtree {
+            at: 1 + pos_sel % (n - 1),
+        },
+        _ => DocUpdate::AppendChild {
+            under: 0,
+            xml: fragment(frag_sel).to_string(),
+        },
+    }
+}
+
+/// Applies `update` to the model record vector through the public
+/// storage planners and returns the edited document as a fresh tree.
+fn apply_to_model(
+    model: &mut Vec<NodeRecord>,
+    labels: &LabelTable,
+    update: &DocUpdate,
+) -> BinaryTree {
+    let (ends, kinds) = record_extents(model).expect("model extents");
+    let frag: Vec<NodeRecord> = match update {
+        DocUpdate::AppendChild { xml, .. } | DocUpdate::SpliceSubtree { xml, .. } => {
+            let mut lt = labels.clone();
+            let tree = arb::xml::str_to_tree(xml, &mut lt).expect("fragment parses");
+            assert_eq!(
+                lt.tag_count(),
+                labels.tag_count(),
+                "fragments only use existing tags"
+            );
+            tree_records(&tree)
+        }
+        DocUpdate::DeleteSubtree { .. } => Vec::new(),
+    };
+    let plan = match *update {
+        DocUpdate::AppendChild { under, .. } => {
+            plan_append(model, &ends, &kinds, under, frag.len() as u32)
+        }
+        DocUpdate::SpliceSubtree { at, .. } => {
+            plan_splice(model, &ends, &kinds, at, frag.len() as u32)
+        }
+        DocUpdate::DeleteSubtree { at } => plan_delete(model, &ends, &kinds, at),
+    }
+    .expect("edit plans");
+    apply_edit(model, &plan, &frag);
+    records_to_tree(model).expect("model stays well-formed")
+}
+
+/// Replays one wire/report delta onto the shifted previous result set.
+fn replay(
+    prev: &[u32],
+    pos: u32,
+    removed: u32,
+    inserted: u32,
+    added: &[u32],
+    gone: &[u32],
+) -> Vec<u32> {
+    let mut set: Vec<u32> = prev
+        .iter()
+        .filter(|&&v| v < pos || v >= pos + removed)
+        .map(|&v| if v < pos { v } else { v - removed + inserted })
+        .collect();
+    set.retain(|v| !gone.contains(v));
+    set.extend_from_slice(added);
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Runs a full edit sequence on one backing, checking every refresh
+/// against the from-scratch oracle across sinks and thread counts.
+fn check_sequence(
+    mut db: Database,
+    labels: &LabelTable,
+    mut model: Vec<NodeRecord>,
+    sources: &[String],
+    edits: &[(u8, u32, u8)],
+) {
+    let queries: Vec<arb::Query> = sources
+        .iter()
+        .map(|s| db.compile_tmnf(s).expect("query compiles"))
+        .collect();
+    let session = db.prepare(&queries);
+    session.prime_standing().expect("prime");
+    let mut prev_sets: Vec<Vec<u32>> = Vec::new();
+
+    for (step, &(kind, pos_sel, frag_sel)) in edits.iter().enumerate() {
+        let update = pick_edit(&model, kind, pos_sel, frag_sel);
+        let report = session.refresh(&update).expect("refresh");
+        let oracle_tree = apply_to_model(&mut model, labels, &update);
+
+        // From-scratch oracle: a fresh database over the edited document.
+        let mut oracle = Database::from_tree(oracle_tree, labels.clone());
+        let oracle_queries: Vec<arb::Query> = sources
+            .iter()
+            .map(|s| oracle.compile_tmnf(s).expect("query compiles"))
+            .collect();
+        let oracle_session = oracle.prepare(&oracle_queries);
+        let mut oracle_sets = NodeSetSink::default();
+        let mut oracle_bools = BooleanSink::default();
+        let mut oracle_mark = XmlMarkSink::new(oracle.labels(), Vec::new());
+        oracle_session
+            .eval(&EvalRequest::new(), &mut oracle_sets)
+            .expect("oracle sets");
+        oracle_session
+            .eval(&EvalRequest::new(), &mut oracle_bools)
+            .expect("oracle bools");
+        oracle_session
+            .eval(&EvalRequest::new(), &mut oracle_mark)
+            .expect("oracle mark");
+        let oracle_marked = oracle_mark.into_inner().expect("marked bytes");
+
+        // The refresh's incremental outcomes equal the oracle's.
+        prop_assert_eq!(report.batch.outcomes.len(), sources.len());
+        for (i, o) in report.batch.outcomes.iter().enumerate() {
+            prop_assert_eq!(
+                o.selected.to_vec(),
+                oracle_sets.sets()[i].to_vec(),
+                "refresh sets: step {} query {}",
+                step,
+                i
+            );
+            prop_assert_eq!(
+                o.stats.selected,
+                oracle_sets.sets()[i].count() as u64,
+                "refresh counts: step {} query {}",
+                step,
+                i
+            );
+        }
+        for (i, d) in report.deltas.iter().enumerate() {
+            prop_assert_eq!(
+                d.verdict,
+                oracle_bools.verdicts()[i],
+                "refresh verdicts: step {} query {}",
+                step,
+                i
+            );
+        }
+        // The refresh touched a window, not the document: no scans, and
+        // (beyond what the edit inserted) only genuinely dirty nodes.
+        prop_assert_eq!(report.batch.stats.backward_scans, 0);
+        prop_assert_eq!(report.batch.stats.forward_scans, 0);
+        prop_assert!(report.batch.stats.dirty_nodes >= u64::from(report.plan.inserted));
+        prop_assert_eq!(report.batch.stats.refreshes, step as u64 + 1);
+
+        // Deltas replay the previous full sets to the new ones.
+        if !prev_sets.is_empty() {
+            for (i, d) in report.deltas.iter().enumerate() {
+                let replayed = replay(
+                    &prev_sets[i],
+                    report.plan.pos,
+                    report.plan.removed,
+                    report.plan.inserted,
+                    &d.added,
+                    &d.removed,
+                );
+                prop_assert_eq!(
+                    replayed,
+                    oracle_sets.sets()[i]
+                        .iter()
+                        .map(|v| v.0)
+                        .collect::<Vec<u32>>(),
+                    "delta replay: step {} query {}",
+                    step,
+                    i
+                );
+            }
+        }
+        prev_sets = oracle_sets
+            .sets()
+            .iter()
+            .map(|s| s.iter().map(|v| v.0).collect())
+            .collect();
+
+        // The updated backing itself — rewritten record blocks, retained
+        // `.sta` tail — evaluates from scratch exactly like the oracle,
+        // across all four sinks, sequentially and 4-way sharded.
+        for threads in [1usize, 4] {
+            let req = EvalRequest::new().parallelism(threads);
+            let mut sets = NodeSetSink::default();
+            session.eval(&req, &mut sets).expect("full sets");
+            for (i, (s, m)) in sets.sets().iter().zip(oracle_sets.sets()).enumerate() {
+                prop_assert_eq!(
+                    s.to_vec(),
+                    m.to_vec(),
+                    "full sets: step {} query {} threads {}",
+                    step,
+                    i,
+                    threads
+                );
+            }
+            let mut counts = CountSink::default();
+            session.eval(&req, &mut counts).expect("full counts");
+            for (i, c) in counts.counts().iter().enumerate() {
+                prop_assert_eq!(
+                    *c,
+                    oracle_sets.sets()[i].count() as u64,
+                    "full counts: step {} query {} threads {}",
+                    step,
+                    i,
+                    threads
+                );
+            }
+            let mut bools = BooleanSink::default();
+            session.eval(&req, &mut bools).expect("full bools");
+            prop_assert_eq!(
+                bools.verdicts(),
+                oracle_bools.verdicts(),
+                "full verdicts: step {} threads {}",
+                step,
+                threads
+            );
+            let mut mark = XmlMarkSink::new(db.labels(), Vec::new());
+            session.eval(&req, &mut mark).expect("full mark");
+            prop_assert_eq!(
+                mark.into_inner().expect("marked bytes"),
+                oracle_marked.clone(),
+                "marked XML: step {} threads {}",
+                step,
+                threads
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// refresh == rebuild + re-eval, on both backings, for random edit
+    /// sequences.
+    #[test]
+    fn refresh_equals_rebuild((k, tree_seed, query_seed, edits) in
+        (1usize..=3, any::<u64>(), any::<u64>(),
+         proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u8>()), 2..=4)))
+    {
+        let (tree, labels) = small_treebank(tree_seed, 120);
+        let sources = query_sources(k, query_seed);
+        let model = tree_records(&tree);
+
+        // Memory backing.
+        check_sequence(
+            Database::from_tree(tree.clone(), labels.clone()),
+            &labels,
+            model.clone(),
+            &sources,
+            &edits,
+        );
+
+        // Disk backing (format v2 — the only updatable format).
+        let dir = std::env::temp_dir().join(format!("arb-incdiff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("case-{}.arb", CASE.fetch_add(1, Ordering::Relaxed)));
+        arb::storage::create_from_tree(&tree, &labels, &path).expect("create database");
+        check_sequence(
+            Database::open_arb(&path).expect("open database"),
+            &labels,
+            model,
+            &sources,
+            &edits,
+        );
+    }
+}
+
+/// The same invariant over the wire: the standing-query deltas a server
+/// pushes after each `UpdateDoc` must replay the previous full results
+/// to exactly the full results of fresh wire queries — and the server's
+/// standing counters must account for every push.
+#[test]
+fn wire_deltas_replay_to_full_results() {
+    use arb::server::protocol::{QueryResult, WireLanguage, WireUpdate};
+    use arb::server::{Client, Server, ServerConfig};
+
+    let (tree, labels) = small_treebank(7, 80);
+    let dir = std::env::temp_dir().join(format!("arb-incwire-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("standing.arb");
+    arb::storage::create_from_tree(&tree, &labels, &path).expect("create database");
+
+    let handle = Server::start(ServerConfig::default(), &[&path]).expect("server starts");
+    let mut c = Client::connect(handle.local_addr()).expect("connect");
+    let sources = query_sources(2, 42);
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let reg = c
+        .register("standing", WireLanguage::Tmnf, &refs)
+        .expect("register");
+    assert_eq!(reg.initial.len(), sources.len());
+    let mut prev = reg.initial.clone();
+
+    let updates = [
+        WireUpdate::AppendChild {
+            under: 0,
+            xml: "<NP><VP/></NP>".into(),
+        },
+        WireUpdate::SpliceSubtree {
+            at: 2,
+            xml: "<S><NP/><PP/></S>".into(),
+        },
+        WireUpdate::DeleteSubtree { at: 1 },
+    ];
+    for (step, update) in updates.iter().enumerate() {
+        let reply = c.update_doc("standing", update.clone()).expect("update");
+        assert_eq!(reply.epoch, step as u64 + 1, "epochs are contiguous");
+        let push = reply
+            .pushes
+            .iter()
+            .find(|p| p.handle == reg.handle)
+            .expect("our registration got a push");
+        assert_eq!(push.queries.len(), sources.len());
+        for (i, (source, delta)) in sources.iter().zip(&push.queries).enumerate() {
+            let full = match c
+                .query(
+                    "standing",
+                    WireLanguage::Tmnf,
+                    arb::server::protocol::OutputKind::Nodes,
+                    source,
+                )
+                .expect("full query")
+                .result
+            {
+                QueryResult::Nodes(nodes) => nodes,
+                other => panic!("expected nodes, got {other:?}"),
+            };
+            let replayed = replay(
+                &prev[i],
+                reply.pos,
+                reply.removed,
+                reply.inserted,
+                &delta.added,
+                &delta.removed,
+            );
+            assert_eq!(replayed, full, "wire replay: step {step} query {i}");
+            prev[i] = full;
+        }
+    }
+
+    let stats = c.server_stats().expect("stats");
+    assert_eq!(stats.standing_registered, 1);
+    assert_eq!(stats.standing_active, 1);
+    assert_eq!(stats.doc_updates, 3);
+    assert_eq!(stats.delta_pushes, 3);
+
+    // After unregistering, updates still apply but push nothing.
+    c.unregister("standing", reg.handle).expect("unregister");
+    let reply = c
+        .update_doc(
+            "standing",
+            WireUpdate::AppendChild {
+                under: 0,
+                xml: "<PP/>".into(),
+            },
+        )
+        .expect("update without registrations");
+    assert!(reply.pushes.is_empty());
+    assert_eq!(c.server_stats().expect("stats").standing_active, 0);
+
+    c.shutdown().expect("shutdown");
+    handle.wait();
+}
